@@ -1,0 +1,160 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Theorem 4.1 round cap, the treap bulk-construction path, the k-d split
+// heuristic, and the fork-join parallelism itself.
+package wegeom
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/delaunay"
+	"repro/internal/gen"
+	"repro/internal/kdtree"
+	"repro/internal/parallel"
+	"repro/internal/semisort"
+	"repro/internal/treap"
+	"repro/internal/wesort"
+)
+
+// BenchmarkAblationSortRoundCap isolates the Theorem 4.1 depth improvement:
+// the cap trades a few postponed elements (one extra synchronous round) for
+// bounded per-bucket rounds. Writes must stay O(n) in every setting.
+func BenchmarkAblationSortRoundCap(b *testing.B) {
+	n := 1 << 15
+	keys := gen.UniformFloats(n, 41)
+	cfgs := []struct {
+		name string
+		opts wesort.Options
+	}{
+		{"uncapped", wesort.Options{}},
+		{"cap-c1", wesort.Options{CapRounds: true, RoundCapC: 1}},
+		{"cap-c4", wesort.Options{CapRounds: true, RoundCapC: 4}},
+	}
+	for _, cfg := range cfgs {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := asymmem.NewMeter()
+			var st wesort.Stats
+			for i := 0; i < b.N; i++ {
+				_, st = wesort.WriteEfficient(keys, m, cfg.opts)
+			}
+			b.ReportMetric(float64(m.Writes())/float64(n)/float64(b.N), "writes/elem")
+			b.ReportMetric(float64(st.Postponed), "postponed")
+			b.ReportMetric(float64(st.MaxBucketRound), "max-bucket-rounds")
+		})
+	}
+}
+
+// BenchmarkAblationTreapBuild compares the O(n)-write FromSorted
+// construction against n incremental inserts — the choice that keeps the
+// augmented trees' post-sorted constructions linear-write.
+func BenchmarkAblationTreapBuild(b *testing.B) {
+	n := 1 << 15
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i
+	}
+	b.Run("from-sorted", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			tr := treap.New(func(a, b int) bool { return a < b },
+				func(k int) uint64 { return parallel.Hash64(uint64(k)) }, m)
+			tr.FromSorted(keys)
+		}
+		b.ReportMetric(float64(m.Writes())/float64(n)/float64(b.N), "writes/elem")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		perm := parallel.NewRNG(5).Perm(n)
+		for i := 0; i < b.N; i++ {
+			tr := treap.New(func(a, b int) bool { return a < b },
+				func(k int) uint64 { return parallel.Hash64(uint64(k)) }, m)
+			for _, v := range perm {
+				tr.Insert(int(v))
+			}
+		}
+		b.ReportMetric(float64(m.Writes())/float64(n)/float64(b.N), "writes/elem")
+	})
+}
+
+// BenchmarkAblationKDHeuristic compares median vs surface-area splitters on
+// clustered data (§6.3): both are O(n)-write p-batched builds; the metric
+// of interest is the thin-query node count.
+func BenchmarkAblationKDHeuristic(b *testing.B) {
+	n := 1 << 14
+	r := parallel.NewRNG(43)
+	items := make([]kdtree.Item, n)
+	for i := range items {
+		cx, cy := float64(r.Intn(4))*10, float64(r.Intn(4))*10
+		items[i] = kdtree.Item{P: KPoint{cx + r.Float64(), cy + r.Float64()}, ID: int32(i)}
+	}
+	box := KBox{Min: KPoint{10.1, 10.1}, Max: KPoint{10.3, 10.3}}
+	for _, cfg := range []struct {
+		name string
+		sah  bool
+	}{{"median", false}, {"sah", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var visited int
+			for i := 0; i < b.N; i++ {
+				opts := kdtree.PBatchedOptions{}
+				opts.SAH = cfg.sah
+				tree, err := kdtree.BuildPBatched(2, items, opts, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				visited = tree.NodesVisitedByRange(box)
+			}
+			b.ReportMetric(float64(visited), "query-nodes")
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures wall-clock with the fork budget on
+// and off — a sanity check that the fork-join runtime actually helps (the
+// paper's claims are about model costs; this is the engineering check).
+func BenchmarkAblationParallelism(b *testing.B) {
+	pts := ShufflePoints(gen.UniformPoints(1<<13, 44), 45)
+	keys := gen.UniformFloats(1<<16, 46)
+	for _, cfg := range []struct {
+		name   string
+		budget int
+	}{{"sequential", 0}, {"parallel", 8 * 24}} {
+		b.Run("delaunay/"+cfg.name, func(b *testing.B) {
+			old := parallel.SetMaxOutstanding(cfg.budget)
+			defer parallel.SetMaxOutstanding(old)
+			for i := 0; i < b.N; i++ {
+				if _, err := delaunay.TriangulateWriteEfficient(pts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("sort/"+cfg.name, func(b *testing.B) {
+			old := parallel.SetMaxOutstanding(cfg.budget)
+			defer parallel.SetMaxOutstanding(old)
+			for i := 0; i < b.N; i++ {
+				wesort.ParallelPlain(keys, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSemisortLoad sweeps the input skew of the semisort
+// (uniform keys vs few heavy keys) to confirm the expected-linear behaviour
+// does not degrade under collisions.
+func BenchmarkAblationSemisortLoad(b *testing.B) {
+	n := 1 << 16
+	for _, distinct := range []int{8, 1 << 8, 1 << 14} {
+		b.Run(fmt.Sprintf("distinct=%d", distinct), func(b *testing.B) {
+			r := parallel.NewRNG(47)
+			pairs := make([]semisort.Pair, n)
+			for i := range pairs {
+				pairs[i] = semisort.Pair{Key: uint64(r.Intn(distinct)), Val: int32(i)}
+			}
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				semisort.Semisort(pairs, m)
+			}
+			b.ReportMetric(float64(m.Writes())/float64(n)/float64(b.N), "writes/elem")
+		})
+	}
+}

@@ -1,0 +1,503 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// experiment id of DESIGN.md §4 (run `go run ./cmd/wegeom-bench -exp all`
+// for the human-readable tables). Each benchmark reports the simulated
+// large-memory reads and writes per element alongside wall-clock time, so
+// `go test -bench=. -benchmem` reproduces both the model-cost shape the
+// paper proves and a wall-clock sanity check.
+package wegeom
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/dagtrace"
+	"repro/internal/delaunay"
+	"repro/internal/gen"
+	"repro/internal/interval"
+	"repro/internal/kdtree"
+	"repro/internal/parallel"
+	"repro/internal/pst"
+	"repro/internal/rangetree"
+	"repro/internal/tournament"
+	"repro/internal/wesort"
+)
+
+// report attaches model costs (per element) to the benchmark output.
+func report(b *testing.B, m *asymmem.Meter, n int, iters int) {
+	b.Helper()
+	den := float64(n) * float64(iters)
+	b.ReportMetric(float64(m.Reads())/den, "reads/elem")
+	b.ReportMetric(float64(m.Writes())/den, "writes/elem")
+}
+
+// ---- E1/E2/E3: Table 1 construction rows ----
+
+func BenchmarkTable1_IntervalConstruction(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 15} {
+		ivs := ivsFor(n)
+		b.Run(fmt.Sprintf("classic/n=%d", n), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				if _, err := interval.BuildClassic(ivs, interval.Options{Alpha: 4}, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, m, n, b.N)
+		})
+		b.Run(fmt.Sprintf("postsorted/n=%d", n), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				if _, err := interval.Build(ivs, interval.Options{Alpha: 4}, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, m, n, b.N)
+		})
+	}
+}
+
+func BenchmarkTable1_PSTConstruction(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 15} {
+		pts := pstPointsFor(n)
+		b.Run(fmt.Sprintf("classic/n=%d", n), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				pst.BuildClassic(pts, pst.Options{Alpha: 4}, m)
+			}
+			report(b, m, n, b.N)
+		})
+		b.Run(fmt.Sprintf("tournament/n=%d", n), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				pst.Build(pts, pst.Options{Alpha: 4}, m)
+			}
+			report(b, m, n, b.N)
+		})
+	}
+}
+
+func BenchmarkTable1_RangeTreeConstruction(b *testing.B) {
+	n := 1 << 13
+	pts := rtPointsFor(n)
+	for _, alpha := range []int{0, 2, 8} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				rangetree.Build(pts, rangetree.Options{Alpha: alpha}, m)
+			}
+			report(b, m, n, b.N)
+		})
+	}
+}
+
+// ---- E4/E5/E6: Table 1 update/query rows ----
+
+func BenchmarkTable1_IntervalUpdateQuery(b *testing.B) {
+	base := ivsFor(1 << 14)
+	churn := convertG(gen.UniformIntervals(1<<12, 1e-12, 91))
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	for _, alpha := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				tr, err := interval.Build(base, interval.Options{Alpha: alpha}, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Reset()
+				for _, iv := range churn {
+					if err := tr.Insert(iv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			report(b, m, len(churn), b.N)
+		})
+	}
+}
+
+func BenchmarkTable1_PSTUpdateQuery(b *testing.B) {
+	base := pstPointsFor(1 << 14)
+	churn := pstPointsFor(1 << 12)
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	for _, alpha := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				tr := pst.Build(base, pst.Options{Alpha: alpha}, m)
+				m.Reset()
+				for _, p := range churn {
+					tr.Insert(p)
+				}
+			}
+			report(b, m, len(churn), b.N)
+		})
+	}
+}
+
+func BenchmarkTable1_RangeTreeUpdateQuery(b *testing.B) {
+	base := rtPointsFor(1 << 13)
+	churn := rtPointsFor(1 << 11)
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	for _, alpha := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			m := asymmem.NewMeter()
+			for i := 0; i < b.N; i++ {
+				tr := rangetree.Build(base, rangetree.Options{Alpha: alpha}, m)
+				m.Reset()
+				for _, p := range churn {
+					tr.Insert(p)
+				}
+			}
+			report(b, m, len(churn), b.N)
+		})
+	}
+}
+
+// ---- E7: Theorem 4.1 sort writes ----
+
+func BenchmarkSortWrites(b *testing.B) {
+	n := 1 << 15
+	keys := gen.UniformFloats(n, 7)
+	b.Run("plain", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			wesort.ParallelPlain(keys, m)
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("write-efficient", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			wesort.WriteEfficient(keys, m, wesort.Options{CapRounds: true})
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("stdlib-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Sort(keys, nil)
+		}
+	})
+}
+
+// ---- E8: Theorem 5.1 Delaunay ----
+
+func BenchmarkDelaunayWrites(b *testing.B) {
+	n := 1 << 13
+	pts := ShufflePoints(gen.UniformPoints(n, 8), 9)
+	b.Run("plain-bgss", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			if _, err := delaunay.Triangulate(pts, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("write-efficient", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			if _, err := delaunay.TriangulateWriteEfficient(pts, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, m, n, b.N)
+	})
+}
+
+// ---- E9: Theorem 6.1 k-d construction ----
+
+func BenchmarkKDTreeConstruction(b *testing.B) {
+	n := 1 << 15
+	items := kdItemsFor(n, 2)
+	b.Run("classic", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			if _, err := kdtree.BuildClassic(2, items, kdtree.Options{LeafSize: 1}, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("p-batched", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			if _, err := kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{Options: kdtree.Options{LeafSize: 1}}, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, m, n, b.N)
+	})
+}
+
+func BenchmarkKDTreeRangeQuery(b *testing.B) {
+	n := 1 << 15
+	items := kdItemsFor(n, 2)
+	tree, err := kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := parallel.NewRNG(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := r.Float64() * 0.9
+		box := KBox{Min: KPoint{x, 0}, Max: KPoint{x + 0.001, 1}}
+		tree.RangeCount(box)
+	}
+}
+
+// ---- E10: dynamic k-d ----
+
+func BenchmarkKDTreeDynamic(b *testing.B) {
+	n := 1 << 12
+	items := kdItemsFor(n, 2)
+	b.Run("forest-pbatched", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			f := kdtree.NewForest(2, kdtree.PBatchedOptions{}, m)
+			for _, it := range items {
+				if err := f.Insert(it); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("forest-classic", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			f := kdtree.NewForest(2, kdtree.PBatchedOptions{}, m)
+			f.UseClassicRebuild = true
+			for _, it := range items {
+				if err := f.Insert(it); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, m, n, b.N)
+	})
+}
+
+// ---- E11: alpha-labeling invariants (adversarial growth) ----
+
+func BenchmarkAlphaLabelInvariants(b *testing.B) {
+	n := 1 << 12
+	for _, alpha := range []int{2, 8} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			var crit, run int
+			for i := 0; i < b.N; i++ {
+				tr, _ := interval.Build(nil, interval.Options{Alpha: alpha}, nil)
+				for j := 0; j < n; j++ {
+					x := 1.0 - float64(j)/float64(n)
+					if err := tr.Insert(interval.Interval{Left: x, Right: x + 1e-12, ID: int32(j)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st := tr.PathStats()
+				crit, run = st.MaxCriticalNodes, st.MaxSecondaryRun
+			}
+			b.ReportMetric(float64(crit), "crit/path")
+			b.ReportMetric(float64(run), "max-secondary-run")
+		})
+	}
+}
+
+// ---- E12: bulk updates ----
+
+func BenchmarkBulkUpdate(b *testing.B) {
+	base := ivsFor(1 << 13)
+	batch := convertG(gen.UniformIntervals(1<<11, 0.02, 92))
+	for i := range batch {
+		batch[i].ID += 1 << 20
+	}
+	b.Run("single", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			tr, _ := interval.Build(base, interval.Options{Alpha: 8}, m)
+			m.Reset()
+			for _, iv := range batch {
+				if err := tr.Insert(iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, m, len(batch), b.N)
+	})
+	b.Run("bulk", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			tr, _ := interval.Build(base, interval.Options{Alpha: 8}, m)
+			m.Reset()
+			if err := tr.BulkInsert(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, m, len(batch), b.N)
+	})
+}
+
+// ---- E13: omega crossover ----
+
+func BenchmarkOmegaCrossover(b *testing.B) {
+	n := 1 << 13
+	keys := gen.UniformFloats(n, 13)
+	mPlain, mWE := asymmem.NewMeter(), asymmem.NewMeter()
+	wesort.ParallelPlain(keys, mPlain)
+	wesort.WriteEfficient(keys, mWE, wesort.Options{CapRounds: true})
+	for _, omega := range []int64{1, 10, 40} {
+		b.Run(fmt.Sprintf("sort/omega=%d", omega), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = mPlain.Work(omega)
+			}
+			b.ReportMetric(float64(mPlain.Work(omega))/float64(mWE.Work(omega)), "work-ratio")
+		})
+	}
+}
+
+// ---- E14: DAG tracing ----
+
+func BenchmarkDAGTrace(b *testing.B) {
+	g, vis := layeredDAG(16, 256)
+	m := asymmem.NewMeter()
+	var st dagtrace.Stats
+	for i := 0; i < b.N; i++ {
+		st = dagtrace.Trace(g, func(v int32) bool { return vis[v] }, func(int32) {}, m)
+	}
+	b.ReportMetric(float64(st.Visited), "visited")
+	b.ReportMetric(float64(st.Outputs), "outputs")
+	b.ReportMetric(float64(m.Writes())/float64(b.N), "writes/op")
+}
+
+// ---- E15: tournament tree ----
+
+func BenchmarkTournament(b *testing.B) {
+	n := 1 << 14
+	prios := gen.UniformFloats(n, 15)
+	b.Run("scoped", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			t := tournament.New(prios, m)
+			var consume func(lo, hi int)
+			consume = func(lo, hi int) {
+				if hi-lo < 1 {
+					return
+				}
+				if best := t.Best(lo, hi); best >= 0 {
+					t.DeleteScoped(best, lo, hi)
+				}
+				if hi-lo == 1 {
+					return
+				}
+				mid := (lo + hi) / 2
+				consume(lo, mid)
+				consume(mid, hi)
+			}
+			consume(0, n)
+		}
+		report(b, m, n, b.N)
+	})
+	b.Run("full", func(b *testing.B) {
+		m := asymmem.NewMeter()
+		for i := 0; i < b.N; i++ {
+			t := tournament.New(prios, m)
+			for j := 0; j < n; j++ {
+				t.Delete(j)
+			}
+		}
+		report(b, m, n, b.N)
+	})
+}
+
+// ---- helpers ----
+
+func ivsFor(n int) []interval.Interval {
+	return convertG(gen.UniformIntervals(n, 2.0/float64(n), uint64(n)+77))
+}
+
+func convertG(gi []gen.Interval) []interval.Interval {
+	out := make([]interval.Interval, len(gi))
+	for i, iv := range gi {
+		out[i] = interval.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	return out
+}
+
+func pstPointsFor(n int) []pst.Point {
+	xs := gen.UniformFloats(n, uint64(n))
+	ys := gen.UniformFloats(n, uint64(n)^0xabc)
+	out := make([]pst.Point, n)
+	for i := range out {
+		out[i] = pst.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return out
+}
+
+func rtPointsFor(n int) []rangetree.Point {
+	xs := gen.UniformFloats(n, uint64(n))
+	ys := gen.UniformFloats(n, uint64(n)^0xdef)
+	out := make([]rangetree.Point, n)
+	for i := range out {
+		out[i] = rangetree.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return out
+}
+
+func kdItemsFor(n, dims int) []kdtree.Item {
+	pts := gen.UniformKPoints(n, dims, uint64(n))
+	items := make([]kdtree.Item, n)
+	for i := range items {
+		items[i] = kdtree.Item{P: pts[i], ID: int32(i)}
+	}
+	return items
+}
+
+// layeredDAG builds the synthetic DAG used by BenchmarkDAGTrace.
+func layeredDAG(layers, width int) (dagtrace.Graph, []bool) {
+	r := parallel.NewRNG(99)
+	n := 1 + layers*width
+	g := &benchGraph{children: make([][]int32, n), parents: make([][2]int32, n)}
+	for i := range g.parents {
+		g.parents[i] = [2]int32{-1, -1}
+	}
+	prev := []int32{0}
+	id := int32(1)
+	for l := 0; l < layers; l++ {
+		var cur []int32
+		for w := 0; w < width; w++ {
+			v := id
+			id++
+			cur = append(cur, v)
+			p1 := prev[r.Intn(len(prev))]
+			g.children[p1] = append(g.children[p1], v)
+			g.parents[v][0] = p1
+		}
+		prev = cur
+	}
+	vis := make([]bool, n)
+	vis[0] = true
+	for v := 1; v < n; v++ {
+		p := g.parents[v][0]
+		vis[v] = p >= 0 && vis[p] && r.Intn(4) != 0
+	}
+	return g, vis
+}
+
+type benchGraph struct {
+	children [][]int32
+	parents  [][2]int32
+}
+
+func (g *benchGraph) Root() int32 { return 0 }
+func (g *benchGraph) Children(v int32, buf []int32) []int32 {
+	return append(buf, g.children[v]...)
+}
+func (g *benchGraph) Parents(v int32) (int32, int32) {
+	return g.parents[v][0], g.parents[v][1]
+}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/asymmem"
+	"repro/internal/dagtrace"
+	"repro/internal/delaunay"
+	"repro/internal/gen"
+	"repro/internal/interval"
+	"repro/internal/kdtree"
+	"repro/internal/parallel"
+	"repro/internal/rangetree"
+	"repro/internal/tournament"
+	"repro/internal/wesort"
+)
+
+// expE11: Figure 3 + Lemma 7.2 / Corollaries 7.1, 7.2 — α-labeling
+// invariants under the adversarial left-spine insertion of Figure 3.
+func expE11() {
+	n := 1 << 13
+	fmt.Printf("n = %d adversarial (sorted, point-like) insertions into an empty interval tree\n", n)
+	fmt.Println("alpha | crit/path (≤ c·log_α n) | log_α n | secondary run (paper: ≤ 4α+1) | path len | rebuilds")
+	for _, alpha := range []int{2, 4, 8, 16} {
+		tr, _ := interval.Build(nil, interval.Options{Alpha: alpha}, nil)
+		for i := 0; i < n; i++ {
+			x := 1.0 - float64(i)/float64(n)
+			if err := tr.Insert(interval.Interval{Left: x, Right: x + 1e-12, ID: int32(i)}); err != nil {
+				panic(err)
+			}
+		}
+		st := tr.PathStats()
+		logAlphaN := math.Log(float64(n)) / math.Log(float64(alpha))
+		fmt.Printf("%5d | %23d | %7.1f | %30d | %8d | %d\n",
+			alpha, st.MaxCriticalNodes, logAlphaN, st.MaxSecondaryRun,
+			st.MaxPathLen, tr.Stats().Rebuilds)
+	}
+	fmt.Println("shape check: critical nodes per path scale with log_α n; the secondary runs")
+	fmt.Println("stay bounded by O(α) (the reconstruction cadence of Figure 3)")
+}
+
+// expE12: §7.3.5 bulk updates vs one-by-one.
+func expE12() {
+	nBase := 1 << 14
+	fmt.Println("structure  | m/n    | single w/obj | bulk w/obj | single r/obj | bulk r/obj")
+	for _, frac := range []float64{0.01, 0.1, 0.5} {
+		m := int(float64(nBase) * frac)
+		base := convertIvs(gen.UniformIntervals(nBase, 0.02, 20))
+		batch := convertIvs(gen.UniformIntervals(m, 0.02, 21))
+		for i := range batch {
+			batch[i].ID += 1 << 20
+		}
+		ms := asymmem.NewMeter()
+		single, _ := interval.Build(base, interval.Options{Alpha: 8}, ms)
+		s0 := ms.Snapshot()
+		for _, iv := range batch {
+			if err := single.Insert(iv); err != nil {
+				panic(err)
+			}
+		}
+		sc := ms.Snapshot().Sub(s0)
+		mb := asymmem.NewMeter()
+		bulk, _ := interval.Build(base, interval.Options{Alpha: 8}, mb)
+		b0 := mb.Snapshot()
+		if err := bulk.BulkInsert(batch); err != nil {
+			panic(err)
+		}
+		bc := mb.Snapshot().Sub(b0)
+		fmt.Printf("interval   | %-6.2f | %12.1f | %10.1f | %12.1f | %10.1f\n",
+			frac, per(sc.Writes, m), per(bc.Writes, m), per(sc.Reads, m), per(bc.Reads, m))
+	}
+	for _, frac := range []float64{0.01, 0.1, 0.5} {
+		m := int(float64(nBase) * frac)
+		base := makeRTPoints(nBase, 22)
+		batch := makeRTPoints(m, 23)
+		for i := range batch {
+			batch[i].ID += 1 << 20
+		}
+		ms := asymmem.NewMeter()
+		single := rangetree.Build(base, rangetree.Options{Alpha: 8}, ms)
+		s0 := ms.Snapshot()
+		for _, p := range batch {
+			single.Insert(p)
+		}
+		sc := ms.Snapshot().Sub(s0)
+		mb := asymmem.NewMeter()
+		bulk := rangetree.Build(base, rangetree.Options{Alpha: 8}, mb)
+		b0 := mb.Snapshot()
+		bulk.BulkInsert(batch)
+		bc := mb.Snapshot().Sub(b0)
+		fmt.Printf("rangetree  | %-6.2f | %12.1f | %10.1f | %12.1f | %10.1f\n",
+			frac, per(sc.Writes, m), per(bc.Writes, m), per(sc.Reads, m), per(bc.Reads, m))
+	}
+	fmt.Println("shape check: bulk per-object cost at or below one-by-one, improving as m grows")
+}
+
+// expE13: motivation — total asymmetric work crossover as ω grows.
+func expE13() {
+	fmt.Println("work ratio classic/write-efficient (ratio > 1 means write-efficient wins)")
+	fmt.Println("algorithm   | ω=1   | ω=2   | ω=5   | ω=10  | ω=20  | ω=40")
+	omegas := []int64{1, 2, 5, 10, 20, 40}
+
+	n := 1 << 15
+	keys := gen.UniformFloats(n, 30)
+	mPlain, mWE := asymmem.NewMeter(), asymmem.NewMeter()
+	plainTree, _ := wesort.ParallelPlain(keys, mPlain)
+	_ = plainTree
+	wesort.WriteEfficient(keys, mWE, wesort.Options{CapRounds: true})
+	printRatios("sort", mPlain, mWE, omegas)
+
+	pts := shuffle(gen.UniformPoints(1<<13, 31), 32)
+	mP2, mW2 := asymmem.NewMeter(), asymmem.NewMeter()
+	if _, err := delaunay.Triangulate(pts, mP2); err != nil {
+		panic(err)
+	}
+	if _, err := delaunay.TriangulateWriteEfficient(pts, mW2); err != nil {
+		panic(err)
+	}
+	printRatios("delaunay", mP2, mW2, omegas)
+
+	items := makeKDItems(1<<15, 2, 33)
+	mP3, mW3 := asymmem.NewMeter(), asymmem.NewMeter()
+	kdtree.BuildClassic(2, items, kdtree.Options{LeafSize: 1}, mP3)
+	kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{Options: kdtree.Options{LeafSize: 1}}, mW3)
+	printRatios("k-d tree", mP3, mW3, omegas)
+
+	ivs := convertIvs(gen.UniformIntervals(1<<14, 2.0/float64(1<<14), 34))
+	mP4, mW4 := asymmem.NewMeter(), asymmem.NewMeter()
+	interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mP4)
+	interval.Build(ivs, interval.Options{Alpha: 4}, mW4)
+	printRatios("interval", mP4, mW4, omegas)
+	fmt.Println("shape check: ratios grow with ω; crossover (ratio 1) sits at small ω")
+}
+
+func printRatios(name string, classic, we *asymmem.Meter, omegas []int64) {
+	fmt.Printf("%-11s |", name)
+	for _, om := range omegas {
+		fmt.Printf(" %5.2f |", float64(classic.Work(om))/float64(we.Work(om)))
+	}
+	fmt.Println()
+}
+
+// expE14: Theorem 3.1 — DAG tracing cost profile on synthetic layered DAGs.
+func expE14() {
+	fmt.Println("layers x width | |R| visited | |S| outputs | writes | reads (∝ evals)")
+	r := parallel.NewRNG(40)
+	for _, cfg := range [][2]int{{8, 64}, {16, 256}, {32, 1024}} {
+		layers, width := cfg[0], cfg[1]
+		g, vis := randomLayeredDAG(layers, width, r)
+		m := asymmem.NewMeter()
+		var mu sync.Mutex
+		outs := 0
+		st := dagtrace.Trace(g, func(v int32) bool { return vis[v] }, func(int32) {
+			mu.Lock()
+			outs++
+			mu.Unlock()
+		}, m)
+		fmt.Printf("%6d x %-5d | %11d | %11d | %6d | %d\n",
+			layers, width, st.Visited, st.Outputs, m.Writes(), m.Reads())
+	}
+	fmt.Println("shape check: writes equal |S| exactly (no visited-marks); reads scale with |R|")
+}
+
+// randomLayeredDAG builds a layered DAG with in-degree ≤ 2 and a visibility
+// set closed under the traceable property.
+func randomLayeredDAG(layers, width int, r *parallel.RNG) (dagtrace.Graph, []bool) {
+	n := 1 + layers*width
+	g := &sliceGraph{
+		children: make([][]int32, n),
+		parents:  make([][2]int32, n),
+	}
+	for i := range g.parents {
+		g.parents[i] = [2]int32{-1, -1}
+	}
+	prev := []int32{0}
+	id := int32(1)
+	for l := 0; l < layers; l++ {
+		var cur []int32
+		for w := 0; w < width; w++ {
+			v := id
+			id++
+			cur = append(cur, v)
+			p1 := prev[r.Intn(len(prev))]
+			g.children[p1] = append(g.children[p1], v)
+			g.parents[v][0] = p1
+			if r.Intn(2) == 0 {
+				p2 := prev[r.Intn(len(prev))]
+				if p2 != p1 {
+					g.children[p2] = append(g.children[p2], v)
+					g.parents[v][1] = p2
+				}
+			}
+		}
+		prev = cur
+	}
+	vis := make([]bool, n)
+	vis[0] = true
+	for v := int32(1); v < int32(n); v++ {
+		raw := r.Intn(4) != 0 // 75% raw-visible
+		p1, p2 := g.parents[v][0], g.parents[v][1]
+		parentVis := (p1 >= 0 && vis[p1]) || (p2 >= 0 && vis[p2])
+		vis[v] = raw && parentVis
+	}
+	return g, vis
+}
+
+type sliceGraph struct {
+	children [][]int32
+	parents  [][2]int32
+}
+
+func (g *sliceGraph) Root() int32 { return 0 }
+func (g *sliceGraph) Children(v int32, buf []int32) []int32 {
+	return append(buf, g.children[v]...)
+}
+func (g *sliceGraph) Parents(v int32) (int32, int32) {
+	return g.parents[v][0], g.parents[v][1]
+}
+
+// expE15: Appendix A — tournament tree total cost stays linear with
+// scoped deletions.
+func expE15() {
+	fmt.Println("n        | scoped writes/n | full writes/n | log2 n")
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		prios := gen.UniformFloats(n, uint64(n))
+
+		ms := asymmem.NewMeter()
+		ts := tournament.New(prios, ms)
+		base := ms.Writes()
+		// Construction-like consumption: recursively halve ranges, deleting
+		// the best of each range scoped to it (mirrors the PST build).
+		var consume func(lo, hi int)
+		consume = func(lo, hi int) {
+			if hi-lo < 1 {
+				return
+			}
+			if b := ts.Best(lo, hi); b >= 0 {
+				ts.DeleteScoped(b, lo, hi)
+			}
+			if hi-lo == 1 {
+				return
+			}
+			mid := (lo + hi) / 2
+			consume(lo, mid)
+			consume(mid, hi)
+		}
+		consume(0, n)
+		scoped := ms.Writes() - base
+
+		mf := asymmem.NewMeter()
+		tf := tournament.New(prios, mf)
+		base = mf.Writes()
+		var consumeFull func(lo, hi int)
+		consumeFull = func(lo, hi int) {
+			if hi-lo < 1 {
+				return
+			}
+			if b := tf.Best(lo, hi); b >= 0 {
+				tf.Delete(b)
+			}
+			if hi-lo == 1 {
+				return
+			}
+			mid := (lo + hi) / 2
+			consumeFull(lo, mid)
+			consumeFull(mid, hi)
+		}
+		consumeFull(0, n)
+		full := mf.Writes() - base
+
+		fmt.Printf("%-8d | %15.2f | %13.2f | %.1f\n",
+			n, per(scoped, n), per(full, n), math.Log2(float64(n)))
+	}
+	fmt.Println("shape check: scoped deletions keep writes/n constant; full deletions pay Θ(log n)")
+}

@@ -1,0 +1,91 @@
+// wegeom-bench regenerates the paper's evaluation artifacts (Table 1, the
+// theorem bounds, and the quantities illustrated by Figures 1–3) from the
+// implementations in this module, printing measured read/write counts from
+// the Asymmetric NP cost simulator.
+//
+// Usage:
+//
+//	go run ./cmd/wegeom-bench -exp E1      # one experiment
+//	go run ./cmd/wegeom-bench -exp all     # everything (a few minutes)
+//	go run ./cmd/wegeom-bench -list        # experiment index
+//
+// See DESIGN.md §4 for the experiment ↔ paper mapping and EXPERIMENTS.md
+// for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+var experiments = []experiment{
+	{"E1", "Table 1: interval tree construction (classic vs post-sorted)", expE1},
+	{"E2", "Table 1: priority search tree construction (classic vs tournament)", expE2},
+	{"E3", "Table 1: range tree construction (inner-tree size vs alpha)", expE3},
+	{"E4", "Table 1: interval tree update/query trade-off vs alpha", expE4},
+	{"E5", "Table 1: priority search tree update/query trade-off vs alpha", expE5},
+	{"E6", "Table 1: range tree update/query trade-off vs alpha", expE6},
+	{"E7", "Theorem 4.1: incremental sort writes (plain vs prefix-doubling)", expE7},
+	{"E8", "Theorem 5.1 + Figure 1: Delaunay writes and tracing-structure stats", expE8},
+	{"E9", "Theorem 6.1 + Lemmas 6.1-6.3 + Figure 2: k-d tree construction sweep", expE9},
+	{"E10", "§6.2: dynamic k-d updates (log-reconstruction and single tree)", expE10},
+	{"E11", "Figure 3 + Lemma 7.2: alpha-labeling invariants under adversarial growth", expE11},
+	{"E12", "§7.3.5: bulk updates vs one-by-one", expE12},
+	{"E13", "Motivation: total work crossover as omega grows", expE13},
+	{"E14", "Theorem 3.1: DAG tracing writes ∝ |S|, work ∝ |R|", expE14},
+	{"E15", "Appendix A: tournament tree total cost linear with scoped deletes", expE15},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.id {
+			fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+			e.run()
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// ratio formats a/b with one decimal.
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+func per(x int64, n int) float64 { return float64(x) / float64(n) }
+
+// sortedKeys returns map keys in order (for deterministic printing).
+func sortedKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

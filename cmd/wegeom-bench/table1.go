@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/interval"
+	"repro/internal/pst"
+	"repro/internal/rangetree"
+)
+
+// expE1: interval tree construction. Paper row: classic O(ωn log n) vs
+// ours O(ωn + n log n) — writes/n should be ~log n for classic and flat
+// for the post-sorted construction.
+func expE1() {
+	fmt.Println("n        | classic w/n | ours w/n | classic r/n | ours r/n | write ratio")
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		// Short intervals (~2/n long) descend the full tree, exposing the
+		// classic construction's per-level copying.
+		ivs := convertIvs(gen.UniformIntervals(n, 2.0/float64(n), uint64(n)))
+		mc := asymmem.NewMeter()
+		if _, err := interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mc); err != nil {
+			panic(err)
+		}
+		mp := asymmem.NewMeter()
+		if _, err := interval.Build(ivs, interval.Options{Alpha: 4}, mp); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8d | %11.1f | %8.1f | %11.1f | %8.1f | %s\n",
+			n, per(mc.Writes(), n), per(mp.Writes(), n),
+			per(mc.Reads(), n), per(mp.Reads(), n), ratio(mc.Writes(), mp.Writes()))
+	}
+	fmt.Println("shape check: classic writes/n grows with log2(n); ours stays flat")
+}
+
+// expE2: priority search tree construction.
+func expE2() {
+	fmt.Println("n        | classic w/n | ours w/n | classic r/n | ours r/n | write ratio")
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		pts := makePSTPoints(n, uint64(n))
+		mc := asymmem.NewMeter()
+		pst.BuildClassic(pts, pst.Options{Alpha: 4}, mc)
+		mp := asymmem.NewMeter()
+		pst.Build(pts, pst.Options{Alpha: 4}, mp)
+		fmt.Printf("%-8d | %11.1f | %8.1f | %11.1f | %8.1f | %s\n",
+			n, per(mc.Writes(), n), per(mp.Writes(), n),
+			per(mc.Reads(), n), per(mp.Reads(), n), ratio(mc.Writes(), mp.Writes()))
+	}
+	fmt.Println("shape check: classic writes/n grows with log2(n); ours stays flat")
+}
+
+// expE3: range tree construction — inner-structure size O(n log_α n).
+func expE3() {
+	n := 1 << 14
+	pts := makeRTPoints(n, 9)
+	fmt.Printf("n = %d (log2 n = %.1f)\n", n, math.Log2(float64(n)))
+	fmt.Println("alpha   | inner Σsize/n | predicted log_α n | writes/n")
+	for _, alpha := range []int{0, 2, 4, 8, 16} {
+		m := asymmem.NewMeter()
+		tr := rangetree.Build(pts, rangetree.Options{Alpha: alpha}, m)
+		label, pred := fmt.Sprintf("%d", alpha), math.Log2(float64(n))
+		if alpha == 0 {
+			label = "classic"
+		} else {
+			pred = math.Log2(float64(n)) / math.Log2(float64(alpha))
+		}
+		fmt.Printf("%-7s | %13.1f | %17.1f | %8.1f\n",
+			label, float64(tr.Stats().InnerTotalSize)/float64(n), pred, per(m.Writes(), n))
+	}
+	fmt.Println("shape check: Σ inner sizes per point tracks log_α n")
+}
+
+// updateQuerySweep drives E4/E5/E6: per alpha, run an update+query mix and
+// report per-op reads/writes plus ω-work for several ω.
+func updateQuerySweep(
+	name string,
+	build func(alpha int, m *asymmem.Meter) (update func(i int), query func(i int)),
+	updates, queries int,
+) {
+	fmt.Println("alpha   | upd w/op | upd r/op | qry r/op | work/op ω=5 | ω=10 | ω=40")
+	for _, alpha := range []int{0, 2, 8, 32} {
+		m := asymmem.NewMeter()
+		update, query := build(alpha, m)
+		start := m.Snapshot()
+		for i := 0; i < updates; i++ {
+			update(i)
+		}
+		uc := m.Snapshot().Sub(start)
+		start = m.Snapshot()
+		for i := 0; i < queries; i++ {
+			query(i)
+		}
+		qc := m.Snapshot().Sub(start)
+		label := fmt.Sprintf("%d", alpha)
+		if alpha == 0 {
+			label = "classic"
+		}
+		ops := int64(updates + queries)
+		tot := uc.Add(qc)
+		fmt.Printf("%-7s | %8.2f | %8.1f | %8.1f | %11.1f | %4.1f | %4.1f\n",
+			label,
+			per(uc.Writes, updates), per(uc.Reads, updates), per(qc.Reads, queries),
+			float64(tot.Work(5))/float64(ops),
+			float64(tot.Work(10))/float64(ops),
+			float64(tot.Work(40))/float64(ops))
+	}
+	fmt.Printf("shape check (%s): update writes/op fall ~Θ(log α); reads rise ≤ α; total ω-work dips at α≈ω\n", name)
+}
+
+func expE4() {
+	base := convertIvs(gen.UniformIntervals(1<<15, 0.01, 1))
+	churn := convertIvs(gen.UniformIntervals(1<<13, 1e-12, 2))
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	qs := gen.UniformFloats(1<<13, 3)
+	updateQuerySweep("interval",
+		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
+			tr, err := interval.Build(base, interval.Options{Alpha: alpha}, m)
+			if err != nil {
+				panic(err)
+			}
+			return func(i int) {
+					if err := tr.Insert(churn[i]); err != nil {
+						panic(err)
+					}
+				}, func(i int) {
+					tr.Stab(qs[i], func(interval.Interval) bool { return true })
+				}
+		}, len(churn), len(qs))
+}
+
+func expE5() {
+	base := makePSTPoints(1<<15, 4)
+	churn := makePSTPoints(1<<13, 5)
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	qs := gen.UniformFloats(1<<13, 6)
+	updateQuerySweep("pst",
+		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
+			tr := pst.Build(base, pst.Options{Alpha: alpha}, m)
+			return func(i int) {
+					tr.Insert(churn[i])
+				}, func(i int) {
+					q := qs[i]
+					tr.Query3Sided(q, q+0.1, 0.8, func(pst.Point) bool { return true })
+				}
+		}, len(churn), len(qs))
+}
+
+func expE6() {
+	base := makeRTPoints(1<<14, 7)
+	churn := makeRTPoints(1<<12, 8)
+	for i := range churn {
+		churn[i].ID += 1 << 20
+	}
+	qs := gen.UniformFloats(1<<12, 9)
+	updateQuerySweep("rangetree",
+		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
+			tr := rangetree.Build(base, rangetree.Options{Alpha: alpha}, m)
+			return func(i int) {
+					tr.Insert(churn[i])
+				}, func(i int) {
+					q := qs[i]
+					tr.Query(q, q+0.2, 0.3, 0.7, func(rangetree.Point) bool { return true })
+				}
+		}, len(churn), len(qs))
+}
+
+func convertIvs(gi []gen.Interval) []interval.Interval {
+	out := make([]interval.Interval, len(gi))
+	for i, iv := range gi {
+		out[i] = interval.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	return out
+}
+
+func makePSTPoints(n int, seed uint64) []pst.Point {
+	xs := gen.UniformFloats(n, seed)
+	ys := gen.UniformFloats(n, seed^0xdead)
+	out := make([]pst.Point, n)
+	for i := range out {
+		out[i] = pst.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return out
+}
+
+func makeRTPoints(n int, seed uint64) []rangetree.Point {
+	xs := gen.UniformFloats(n, seed)
+	ys := gen.UniformFloats(n, seed^0xbeef)
+	out := make([]rangetree.Point, n)
+	for i := range out {
+		out[i] = rangetree.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return out
+}

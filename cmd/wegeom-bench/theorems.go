@@ -1,0 +1,165 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asymmem"
+	"repro/internal/delaunay"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/wesort"
+)
+
+// expE7: Theorem 4.1 — incremental sort writes.
+func expE7() {
+	fmt.Println("n        | plain w-attempts/n | WE w-attempts/n | WE writes/n | postponed | log2 n")
+	for _, n := range []int{1 << 13, 1 << 15, 1 << 17} {
+		keys := gen.UniformFloats(n, uint64(n))
+		_, stPlain := wesort.ParallelPlain(keys, nil)
+		m := asymmem.NewMeter()
+		_, stWE := wesort.WriteEfficient(keys, m, wesort.Options{CapRounds: true})
+		fmt.Printf("%-8d | %18.1f | %15.2f | %11.1f | %9d | %.1f\n",
+			n, per(stPlain.WriteAttempts, n), per(stWE.WriteAttempts, n),
+			per(m.Writes(), n), stWE.Postponed, math.Log2(float64(n)))
+	}
+	fmt.Println("shape check: plain attempts/n ≈ Θ(log n); write-efficient stays O(1)")
+}
+
+// expE8: Theorem 5.1 + Figure 1 — Delaunay triangulation.
+func expE8() {
+	fmt.Println("n      | dist    | plain encW/n | WE encW/n | WE writes/n | visit/pt | out/pt | DAG depth | rounds")
+	for _, n := range []int{1 << 13, 1 << 15} {
+		for _, dist := range []string{"uniform", "cluster"} {
+			ps := gen.UniformPoints(n, uint64(n))
+			if dist == "cluster" {
+				ps = gen.ClusterPoints(n, 10, uint64(n))
+			}
+			ps = shuffle(ps, uint64(n)+1)
+			plain, err := delaunay.Triangulate(ps, nil)
+			if err != nil {
+				panic(err)
+			}
+			m := asymmem.NewMeter()
+			we, err := delaunay.TriangulateWriteEfficient(ps, m)
+			if err != nil {
+				panic(err)
+			}
+			located := float64(n) // nearly all points go through tracing
+			fmt.Printf("%-6d | %-7s | %12.1f | %9.1f | %11.1f | %8.1f | %6.2f | %9d | %6d\n",
+				n, dist,
+				per(plain.Stats.EncWrites, n), per(we.Stats.EncWrites, n), per(m.Writes(), n),
+				float64(we.Stats.LocateVisited)/located, float64(we.Stats.LocateOutputs)/located,
+				we.Stats.MaxDAGDepth, plain.Stats.Rounds)
+		}
+	}
+	fmt.Println("shape check: plain enc-writes/n ≈ Θ(log n); WE flat. visit/pt = O(log n),")
+	fmt.Println("out/pt ≈ 6 by Euler (Figure 1's tracing structure), DAG depth = O(log n)")
+}
+
+func shuffle[T any](xs []T, seed uint64) []T {
+	out := append([]T{}, xs...)
+	r := rng(seed)
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(r() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func rng(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// expE9: Theorem 6.1 + Lemmas 6.1–6.3 + Figure 2 — k-d tree sweep over p.
+func expE9() {
+	n := 1 << 15
+	items := makeKDItems(n, 2, 3)
+	logn := math.Log2(float64(n))
+	fmt.Printf("n = %d, log2 n = %.1f, optimal height ≈ %.0f\n", n, logn, math.Ceil(logn))
+	fmt.Println("p       | writes/n | height | settles | maxOverflow | range visit (thin slab)")
+	ps := []int{1, int(logn), int(logn * logn), int(logn * logn * logn), n}
+	names := []string{"1", "log n", "log²n", "log³n", "n"}
+	for i, p := range ps {
+		m := asymmem.NewMeter()
+		tr, err := kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{
+			Options: kdtree.Options{LeafSize: 1}, P: p}, m)
+		if err != nil {
+			panic(err)
+		}
+		box := kdBox2(0.37, 0, 0.371, 1)
+		fmt.Printf("%-7s | %8.1f | %6d | %7d | %11d | %d\n",
+			names[i], per(m.Writes(), n), tr.Stats().Height, tr.Stats().Settles,
+			tr.Stats().MaxOverflow, tr.NodesVisitedByRange(box))
+	}
+	mc := asymmem.NewMeter()
+	tc, _ := kdtree.BuildClassic(2, items, kdtree.Options{LeafSize: 1}, mc)
+	fmt.Printf("classic | %8.1f | %6d | %7s | %11s | %d\n",
+		per(mc.Writes(), n), tc.Stats().Height, "-", "-",
+		tc.NodesVisitedByRange(kdBox2(0.37, 0, 0.371, 1)))
+	fmt.Println("shape check: p = log³n gives height = log2 n + O(1) and O(n) writes;")
+	fmt.Println("classic matches the height but pays Θ(n log n) writes (Lemma 6.2 / Thm 6.1)")
+}
+
+// expE10: §6.2 dynamic k-d updates.
+func expE10() {
+	n := 1 << 14
+	items := makeKDItems(n, 2, 4)
+	fmt.Println("scheme                      | writes/insert | reads/insert | trees/rebuilds")
+
+	mf := asymmem.NewMeter()
+	f := kdtree.NewForest(2, kdtree.PBatchedOptions{}, mf)
+	for _, it := range items {
+		if err := f.Insert(it); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("forest (p-batched rebuilds) | %13.1f | %12.1f | %d trees, %d rebuilds\n",
+		per(mf.Writes(), n), per(mf.Reads(), n), f.Trees(), f.Rebuilds())
+
+	mc := asymmem.NewMeter()
+	fc := kdtree.NewForest(2, kdtree.PBatchedOptions{}, mc)
+	fc.UseClassicRebuild = true
+	for _, it := range items {
+		if err := fc.Insert(it); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("forest (classic rebuilds)   | %13.1f | %12.1f | %d trees, %d rebuilds\n",
+		per(mc.Writes(), n), per(mc.Reads(), n), fc.Trees(), fc.Rebuilds())
+
+	ms := asymmem.NewMeter()
+	base, _ := kdtree.BuildPBatched(2, items[:1024], kdtree.PBatchedOptions{}, ms)
+	st := kdtree.NewSingleTree(base, kdtree.BalanceForRange)
+	startW, startR := ms.Writes(), ms.Reads()
+	for _, it := range items[1024:] {
+		if err := st.Insert(it); err != nil {
+			panic(err)
+		}
+	}
+	cnt := n - 1024
+	fmt.Printf("single tree (range budget)  | %13.1f | %12.1f | %d subtree rebuilds\n",
+		per(ms.Writes()-startW, cnt), per(ms.Reads()-startR, cnt), st.Rebuilds())
+	fmt.Println("shape check: p-batched rebuilds cut the forest's write cost by ~Θ(log n)")
+}
+
+func makeKDItems(n, dims int, seed uint64) []kdtree.Item {
+	pts := gen.UniformKPoints(n, dims, seed)
+	items := make([]kdtree.Item, n)
+	for i := range items {
+		items[i] = kdtree.Item{P: pts[i], ID: int32(i)}
+	}
+	return items
+}
+
+func kdBox2(x0, y0, x1, y1 float64) geom.KBox {
+	return geom.KBox{Min: geom.KPoint{x0, y0}, Max: geom.KPoint{x1, y1}}
+}

@@ -1,0 +1,89 @@
+// A meeting-room analytics service on the α-labeled interval tree: store
+// meeting time ranges, answer "how many meetings are live at time t", and
+// absorb schedule churn (adds/cancellations) with the write trade-off of
+// §7.3 — fewer balance-metadata writes for larger α at the price of extra
+// reads.
+//
+//	go run ./examples/interval-scheduler
+package main
+
+import (
+	"fmt"
+
+	wegeom "repro"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func main() {
+	const n = 40000
+	base := convert(gen.UniformIntervals(n, 0.002, 1)) // short meetings over a day [0,1)
+
+	fmt.Println("interval-scheduler: write cost of schedule churn vs alpha")
+	fmt.Println("(churn = instant reminders: point-like intervals that extend the key set,")
+	fmt.Println(" the case where balance metadata is touched on every insert)")
+	fmt.Println("alpha | churn writes | churn reads | stab(0.5)")
+	churn := convert(gen.UniformIntervals(10000, 1e-12, 3))
+	for i := range churn {
+		churn[i].ID += 1_000_000
+	}
+	for _, alpha := range []int{0, 2, 8, 32} {
+		m := wegeom.NewMeter()
+		tree, err := wegeom.NewIntervalTree(base, alpha, m)
+		if err != nil {
+			panic(err)
+		}
+		r := parallel.NewRNG(2) // same deletions for every alpha
+		start := m.Snapshot()
+		// Churn: add all reminders, cancel a random half of them.
+		for _, iv := range churn {
+			if err := tree.Insert(iv); err != nil {
+				panic(err)
+			}
+		}
+		for _, iv := range churn {
+			if r.Intn(2) == 0 {
+				tree.Delete(iv)
+			}
+		}
+		cost := m.Snapshot().Sub(start)
+		label := fmt.Sprintf("%d", alpha)
+		if alpha == 0 {
+			label = "classic"
+		}
+		fmt.Printf("%7s | %12d | %11d | %d\n", label, cost.Writes, cost.Reads, tree.StabCount(0.5))
+	}
+
+	// Bulk load (§7.3.5): merge a whole new calendar at once.
+	tree, err := wegeom.NewIntervalTree(base, 8, nil)
+	if err != nil {
+		panic(err)
+	}
+	bulk := convert(gen.UniformIntervals(5000, 0.002, 4))
+	for i := range bulk {
+		bulk[i].ID += 2_000_000
+	}
+	if err := tree.BulkInsert(bulk); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nbulk-merged %d meetings; busiest probe minute holds %d meetings\n",
+		len(bulk), busiest(tree))
+}
+
+func convert(gi []gen.Interval) []wegeom.Interval {
+	out := make([]wegeom.Interval, len(gi))
+	for i, iv := range gi {
+		out[i] = wegeom.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	return out
+}
+
+func busiest(t *wegeom.IntervalTree) int {
+	best := 0
+	for q := 0.0; q < 1.0; q += 1.0 / 1440 { // every simulated minute
+		if c := t.StabCount(q); c > best {
+			best = c
+		}
+	}
+	return best
+}

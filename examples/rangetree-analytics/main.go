@@ -1,0 +1,79 @@
+// Order-book analytics on the α-labeled 2D range tree: points are
+// (time, price) trade events; range queries count trades in a time×price
+// window; the priority search tree answers "largest trades in a time
+// window" as a 3-sided query.
+//
+//	go run ./examples/rangetree-analytics
+package main
+
+import (
+	"fmt"
+	"math"
+
+	wegeom "repro"
+	"repro/internal/parallel"
+)
+
+func main() {
+	const n = 30000
+	r := parallel.NewRNG(1)
+
+	// Synthetic trades: time uniform in [0,1), price a mean-reverting walk,
+	// size heavy-tailed.
+	trades := make([]wegeom.RTPoint, n)
+	sizes := make([]wegeom.PSTPoint, n)
+	price := 100.0
+	for i := range trades {
+		tm := float64(i) / n
+		price += 0.5*(100-price)/100 + (r.Float64() - 0.5)
+		size := math.Pow(1/(1-r.Float64()+1e-9), 0.7) // Pareto-ish
+		trades[i] = wegeom.RTPoint{X: tm, Y: price, ID: int32(i)}
+		sizes[i] = wegeom.PSTPoint{X: tm, Y: size, ID: int32(i)}
+	}
+
+	m := wegeom.NewMeter()
+	rt := wegeom.NewRangeTree(trades, 8, m)
+	fmt.Printf("range tree over %d trades: %.2f writes/point at construction\n",
+		n, float64(m.Writes())/float64(n))
+
+	// Window queries.
+	for _, w := range [][4]float64{
+		{0.0, 0.25, 98, 101},
+		{0.25, 0.5, 99, 102},
+		{0.5, 1.0, 95, 105},
+	} {
+		fmt.Printf("trades in t∈[%.2f,%.2f], price∈[%.0f,%.0f]: %d\n",
+			w[0], w[1], w[2], w[3], rt.Count(w[0], w[1], w[2], w[3]))
+	}
+
+	// Largest trades in the morning session: 3-sided query on the PST.
+	pt := wegeom.NewPriorityTree(sizes, 8, nil)
+	big := 0
+	pt.Query3Sided(0, 0.5, 10, func(p wegeom.PSTPoint) bool {
+		big++
+		return true
+	})
+	fmt.Printf("trades with size ≥ 10 in the first half session: %d\n", big)
+
+	// Live updates vs bulk load, measured from the same starting state.
+	batch := make([]wegeom.RTPoint, 5000)
+	for i := range batch {
+		batch[i] = wegeom.RTPoint{X: r.Float64(), Y: 95 + 10*r.Float64(), ID: int32(n + i)}
+	}
+	ms := wegeom.NewMeter()
+	single := wegeom.NewRangeTree(trades, 8, ms)
+	before := ms.Snapshot()
+	for _, tr := range batch {
+		single.Insert(tr)
+	}
+	singleCost := ms.Snapshot().Sub(before)
+
+	mb := wegeom.NewMeter()
+	bulkTree := wegeom.NewRangeTree(trades, 8, mb)
+	before = mb.Snapshot()
+	bulkTree.BulkInsert(batch)
+	bulkCost := mb.Snapshot().Sub(before)
+	fmt.Printf("loading %d new trades: %.2f writes/pt one-by-one vs %.2f writes/pt bulk\n",
+		len(batch), float64(singleCost.Writes)/float64(len(batch)),
+		float64(bulkCost.Writes)/float64(len(batch)))
+}

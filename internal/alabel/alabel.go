@@ -1,0 +1,110 @@
+// Package alabel implements the α-labeling technique of the paper's §7.3.1:
+// selecting a subset of tree nodes as *critical* so that balance metadata
+// (subtree weights) is written only at critical nodes. Every root-to-leaf
+// path then contains O(log_α n) critical nodes (Corollary 7.2), which is
+// what reduces the writes per dynamic update by a Θ(log α) factor at the
+// cost of up to α× more reads.
+//
+// Definitions (weights follow the paper: weight of a subtree = number of
+// nodes in it plus one, so a leaf has weight 2 and an internal node's
+// weight is the sum of its children's weights):
+//
+//	A node is critical iff for some integer i ≥ 0 either
+//	  (1) 2α^i ≤ w ≤ 4α^i − 2, or
+//	  (2) w = 2α^i − 1 and its sibling's weight is exactly 2α^i.
+//
+// All leaves (w = 2 = 2α⁰ … 4α⁰−2) are critical. The root is treated as a
+// virtual critical node by the trees using this package.
+package alabel
+
+// IsCritical reports whether a node with subtree weight w and sibling
+// subtree weight sibling (0 if no sibling) is critical for parameter
+// alpha ≥ 2.
+func IsCritical(w, sibling, alpha int) bool {
+	if w < 2 {
+		return false
+	}
+	if _, ok := CriticalLevel(w, alpha); ok {
+		return true
+	}
+	// Condition (2): w = 2α^i − 1 with sibling exactly 2α^i.
+	if sibling == w+1 {
+		if _, ok := CriticalLevel(w+1, alpha); ok && isTwoPower(w+1, alpha) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTwoPower reports whether x = 2α^i for some i ≥ 0.
+func isTwoPower(x, alpha int) bool {
+	if x < 2 || x%2 != 0 {
+		return false
+	}
+	p := x / 2
+	for p > 1 {
+		if p%alpha != 0 {
+			return false
+		}
+		p /= alpha
+	}
+	return p == 1
+}
+
+// CriticalLevel returns the level i with 2α^i ≤ w ≤ 4α^i − 2, if any.
+func CriticalLevel(w, alpha int) (int, bool) {
+	if alpha < 2 {
+		panic("alabel: alpha must be >= 2")
+	}
+	pow := 1 // α^i
+	for i := 0; ; i++ {
+		lo, hi := 2*pow, 4*pow-2
+		if w < lo {
+			return 0, false
+		}
+		if w <= hi {
+			return i, true
+		}
+		if pow > w { // overflow guard; cannot trigger before w < lo
+			return 0, false
+		}
+		pow *= alpha
+	}
+}
+
+// WeightLevel returns the level i with 2α^i − 1 ≤ w ≤ 4α^i − 2 (Fact 7.2's
+// range for a critical node's weight, including the w = 2α^i − 1 case).
+func WeightLevel(w, alpha int) (int, bool) {
+	if i, ok := CriticalLevel(w, alpha); ok {
+		return i, ok
+	}
+	if i, ok := CriticalLevel(w+1, alpha); ok && isTwoPower(w+1, alpha) {
+		return i, true
+	}
+	return 0, false
+}
+
+// MaxCriticalChildren is the Lemma 7.2 bound on the number of critical
+// children of a critical node.
+func MaxCriticalChildren(alpha int) int { return 4*alpha + 2 }
+
+// MaxSecondaryPath is the Corollary 7.1 bound on the number of nodes on
+// the path from a critical node to its critical parent.
+func MaxSecondaryPath(alpha int) int { return 4*alpha + 1 }
+
+// SkipRootMark implements the §7.3.2 exception: after a critical node with
+// initial weight s (at level i) doubles and its subtree is rebuilt, the new
+// root is NOT re-marked when s ≤ 4α^i − 2 and 2α^(i+1) − 1 ≤ 2s, because
+// marking it would violate the Lemma 7.2 ratio with its critical parent.
+func SkipRootMark(s, alpha int) bool {
+	i, ok := WeightLevel(s, alpha)
+	if !ok {
+		return false
+	}
+	powI := 1 // α^i
+	for k := 0; k < i; k++ {
+		powI *= alpha
+	}
+	powIP1 := powI * alpha
+	return s <= 4*powI-2 && 2*powIP1-1 <= 2*s
+}

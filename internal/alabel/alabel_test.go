@@ -1,0 +1,129 @@
+package alabel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLeavesAlwaysCritical(t *testing.T) {
+	for alpha := 2; alpha <= 16; alpha++ {
+		if !IsCritical(2, 2, alpha) {
+			t.Errorf("alpha=%d: leaf (w=2) must be critical", alpha)
+		}
+	}
+}
+
+func TestCriticalLevelRanges(t *testing.T) {
+	alpha := 4
+	cases := []struct {
+		w     int
+		level int
+		ok    bool
+	}{
+		{2, 0, true},   // 2·4^0 = 2 ≤ 2 ≤ 4·4^0−2 = 2
+		{3, 0, false},  // gap between levels 0 and 1
+		{7, 0, false},  // 2·4 = 8 > 7
+		{8, 1, true},   // 2·4^1
+		{14, 1, true},  // 4·4^1−2
+		{15, 0, false}, // gap
+		{32, 2, true},  // 2·16
+		{62, 2, true},  // 4·16−2
+		{63, 0, false},
+	}
+	for _, c := range cases {
+		i, ok := CriticalLevel(c.w, alpha)
+		if ok != c.ok || (ok && i != c.level) {
+			t.Errorf("CriticalLevel(%d, 4) = (%d,%v), want (%d,%v)", c.w, i, ok, c.level, c.ok)
+		}
+	}
+}
+
+func TestConditionTwoSiblingRule(t *testing.T) {
+	alpha := 4
+	// w = 2α − 1 = 7 with sibling 2α = 8 is critical by condition (2).
+	if !IsCritical(7, 8, alpha) {
+		t.Error("w=7 with sibling=8 must be critical (condition 2)")
+	}
+	if IsCritical(7, 9, alpha) {
+		t.Error("w=7 with sibling=9 must not be critical")
+	}
+	if IsCritical(7, 7, alpha) {
+		t.Error("w=7 with sibling=7 must not be critical")
+	}
+}
+
+func TestAlphaTwoEveryPowerRange(t *testing.T) {
+	// alpha=2: ranges [2,2], [4,6], [8,14], [16,30], ... — every leaf and
+	// the classic weight-balanced layers.
+	wantCritical := map[int]bool{2: true, 4: true, 5: true, 6: true, 8: true, 14: true, 16: true, 30: true}
+	wantNot := map[int]bool{3: true, 7: true, 15: true, 31: true}
+	for w := range wantCritical {
+		if _, ok := CriticalLevel(w, 2); !ok {
+			t.Errorf("w=%d should be critical for alpha=2", w)
+		}
+	}
+	for w := range wantNot {
+		if _, ok := CriticalLevel(w, 2); ok {
+			t.Errorf("w=%d should not be critical (condition 1) for alpha=2", w)
+		}
+	}
+}
+
+func TestWeightLevel(t *testing.T) {
+	// WeightLevel covers Fact 7.2's full range 2α^i−1 .. 4α^i−2.
+	if i, ok := WeightLevel(7, 4); !ok || i != 1 {
+		t.Errorf("WeightLevel(7,4) = (%d,%v), want (1,true)", i, ok)
+	}
+	if _, ok := WeightLevel(6, 4); ok {
+		t.Error("WeightLevel(6,4) should not exist")
+	}
+}
+
+func TestSkipRootMark(t *testing.T) {
+	// alpha=2, s=6 (level 1, range [4,6]): 2s=12; 2α²−1 = 7 ≤ 12 and
+	// s ≤ 4α−2 = 6 → skip.
+	if !SkipRootMark(6, 2) {
+		t.Error("SkipRootMark(6,2) should be true")
+	}
+	// alpha=4, s=32 (level 2): s ≤ 4·16−2=62 ✓; 2α³−1 = 127 ≤ 64? no → keep.
+	if SkipRootMark(32, 4) {
+		t.Error("SkipRootMark(32,4) should be false")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if MaxCriticalChildren(3) != 14 || MaxSecondaryPath(3) != 13 {
+		t.Error("bounds formulas wrong")
+	}
+}
+
+func TestPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha < 2")
+		}
+	}()
+	CriticalLevel(5, 1)
+}
+
+// Property: the critical ranges of consecutive levels never overlap, and
+// every critical w maps to exactly one level.
+func TestQuickLevelsDisjoint(t *testing.T) {
+	f := func(wRaw uint16, aRaw uint8) bool {
+		w := int(wRaw)%100000 + 2
+		alpha := int(aRaw)%14 + 2
+		i, ok := CriticalLevel(w, alpha)
+		if !ok {
+			return true
+		}
+		// Verify the inequality directly.
+		pow := 1
+		for k := 0; k < i; k++ {
+			pow *= alpha
+		}
+		return 2*pow <= w && w <= 4*pow-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package asymmem simulates the memory of the Asymmetric Nested-Parallel
+// model of Blelloch et al. (SPAA 2016), the cost model used throughout the
+// paper "Parallel Write-Efficient Algorithms and Data Structures for
+// Computational Geometry" (SPAA 2018).
+//
+// The model has an infinitely large asymmetric memory (the "large-memory")
+// where a write costs ω ≥ 1 and a read costs 1, plus a small per-task
+// symmetric memory where all operations are unit cost. No NVM hardware is
+// required to evaluate the paper's claims: every bound it proves is a count
+// of large-memory reads and writes. A Meter records those counts; Work
+// combines them for a chosen ω.
+//
+// Algorithms in this module charge the meter exactly at the points where the
+// paper counts an access: moving an object in the large memory is a write,
+// inspecting one is a read. Accesses to task-local state (the O(log n)-word
+// small-memory: loop counters, recursion stacks, constant-size scratch) are
+// free, matching the model.
+package asymmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Meter counts reads from and writes to the simulated large asymmetric
+// memory. All methods are safe for concurrent use and are no-ops on a nil
+// receiver, so uninstrumented runs can pass nil everywhere.
+type Meter struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+// NewMeter returns a zeroed meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Read charges one large-memory read.
+func (m *Meter) Read() {
+	if m != nil {
+		m.reads.Add(1)
+	}
+}
+
+// ReadN charges n large-memory reads.
+func (m *Meter) ReadN(n int) {
+	if m != nil && n != 0 {
+		m.reads.Add(int64(n))
+	}
+}
+
+// Write charges one large-memory write.
+func (m *Meter) Write() {
+	if m != nil {
+		m.writes.Add(1)
+	}
+}
+
+// WriteN charges n large-memory writes.
+func (m *Meter) WriteN(n int) {
+	if m != nil && n != 0 {
+		m.writes.Add(int64(n))
+	}
+}
+
+// Reads reports the number of reads charged so far.
+func (m *Meter) Reads() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.reads.Load()
+}
+
+// Writes reports the number of writes charged so far.
+func (m *Meter) Writes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.writes.Load()
+}
+
+// Work returns reads + omega·writes, the Asymmetric NP work of everything
+// charged so far.
+func (m *Meter) Work(omega int64) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.reads.Load() + omega*m.writes.Load()
+}
+
+// Reset zeroes both counters.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.reads.Store(0)
+	m.writes.Store(0)
+}
+
+// Snapshot is an immutable copy of a meter's counters.
+type Snapshot struct {
+	Reads  int64
+	Writes int64
+}
+
+// Snapshot captures the current counters.
+func (m *Meter) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{Reads: m.reads.Load(), Writes: m.writes.Load()}
+}
+
+// Sub returns s minus earlier, the accesses charged between two snapshots.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{Reads: s.Reads - earlier.Reads, Writes: s.Writes - earlier.Writes}
+}
+
+// Add returns the component-wise sum of two snapshots.
+func (s Snapshot) Add(t Snapshot) Snapshot {
+	return Snapshot{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes}
+}
+
+// Work returns reads + omega·writes for the snapshot.
+func (s Snapshot) Work(omega int64) int64 { return s.Reads + omega*s.Writes }
+
+// String formats the snapshot as "reads=R writes=W".
+func (s Snapshot) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", s.Reads, s.Writes)
+}
+
+// Ledger records named phases of a computation, each with the accesses
+// charged while the phase was open. It is used by the experiment harness to
+// attribute costs (e.g. "sort" vs. "build" vs. "query") without separate
+// meters threaded through every call.
+type Ledger struct {
+	m  *Meter
+	mu sync.Mutex
+	ph []PhaseRecord
+}
+
+// PhaseRecord is one closed phase in a Ledger.
+type PhaseRecord struct {
+	Name string
+	Cost Snapshot
+}
+
+// NewLedger returns a ledger charging against meter m.
+func NewLedger(m *Meter) *Ledger { return &Ledger{m: m} }
+
+// Meter returns the underlying meter.
+func (l *Ledger) Meter() *Meter {
+	if l == nil {
+		return nil
+	}
+	return l.m
+}
+
+// Phase runs f and records the accesses charged to the ledger's meter while
+// f ran under the given name. Phases may not overlap across goroutines; the
+// harness runs them sequentially.
+func (l *Ledger) Phase(name string, f func()) Snapshot {
+	if l == nil {
+		f()
+		return Snapshot{}
+	}
+	before := l.m.Snapshot()
+	f()
+	cost := l.m.Snapshot().Sub(before)
+	l.mu.Lock()
+	l.ph = append(l.ph, PhaseRecord{Name: name, Cost: cost})
+	l.mu.Unlock()
+	return cost
+}
+
+// Phases returns a copy of the recorded phases in order.
+func (l *Ledger) Phases() []PhaseRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PhaseRecord, len(l.ph))
+	copy(out, l.ph)
+	return out
+}
+
+// Total returns the sum of all recorded phase costs.
+func (l *Ledger) Total() Snapshot {
+	var t Snapshot
+	for _, p := range l.Phases() {
+		t = t.Add(p.Cost)
+	}
+	return t
+}

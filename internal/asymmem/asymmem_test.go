@@ -1,0 +1,161 @@
+package asymmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterBasic(t *testing.T) {
+	m := NewMeter()
+	if m.Reads() != 0 || m.Writes() != 0 {
+		t.Fatalf("fresh meter not zero: %v", m.Snapshot())
+	}
+	m.Read()
+	m.ReadN(4)
+	m.Write()
+	m.WriteN(2)
+	if got := m.Reads(); got != 5 {
+		t.Errorf("Reads() = %d, want 5", got)
+	}
+	if got := m.Writes(); got != 3 {
+		t.Errorf("Writes() = %d, want 3", got)
+	}
+	if got := m.Work(10); got != 5+10*3 {
+		t.Errorf("Work(10) = %d, want 35", got)
+	}
+	m.Reset()
+	if m.Reads() != 0 || m.Writes() != 0 {
+		t.Errorf("after Reset: %v", m.Snapshot())
+	}
+}
+
+func TestNilMeterIsNoOp(t *testing.T) {
+	var m *Meter
+	m.Read()
+	m.ReadN(10)
+	m.Write()
+	m.WriteN(10)
+	m.Reset()
+	if m.Reads() != 0 || m.Writes() != 0 || m.Work(5) != 0 {
+		t.Fatal("nil meter should report zero")
+	}
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil meter snapshot = %v", s)
+	}
+}
+
+func TestZeroCountChargesNothing(t *testing.T) {
+	m := NewMeter()
+	m.ReadN(0)
+	m.WriteN(0)
+	if m.Reads() != 0 || m.Writes() != 0 {
+		t.Fatal("N=0 charges must be free")
+	}
+}
+
+func TestSnapshotArithmetic(t *testing.T) {
+	m := NewMeter()
+	m.ReadN(7)
+	m.WriteN(2)
+	a := m.Snapshot()
+	m.ReadN(3)
+	m.WriteN(5)
+	b := m.Snapshot()
+	d := b.Sub(a)
+	if d.Reads != 3 || d.Writes != 5 {
+		t.Errorf("Sub = %v, want reads=3 writes=5", d)
+	}
+	sum := a.Add(d)
+	if sum != b {
+		t.Errorf("Add round trip: %v != %v", sum, b)
+	}
+	if d.Work(4) != 3+4*5 {
+		t.Errorf("snapshot Work = %d", d.Work(4))
+	}
+	if d.String() != "reads=3 writes=5" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	const workers = 16
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Read()
+				m.Write()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Reads() != workers*per || m.Writes() != workers*per {
+		t.Fatalf("lost updates: %v", m.Snapshot())
+	}
+}
+
+func TestLedgerPhases(t *testing.T) {
+	m := NewMeter()
+	l := NewLedger(m)
+	if l.Meter() != m {
+		t.Fatal("Meter() should return the wrapped meter")
+	}
+	c1 := l.Phase("sort", func() { m.ReadN(10); m.WriteN(1) })
+	c2 := l.Phase("build", func() { m.ReadN(2); m.WriteN(3) })
+	if c1 != (Snapshot{Reads: 10, Writes: 1}) {
+		t.Errorf("phase 1 cost = %v", c1)
+	}
+	if c2 != (Snapshot{Reads: 2, Writes: 3}) {
+		t.Errorf("phase 2 cost = %v", c2)
+	}
+	ph := l.Phases()
+	if len(ph) != 2 || ph[0].Name != "sort" || ph[1].Name != "build" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	tot := l.Total()
+	if tot != (Snapshot{Reads: 12, Writes: 4}) {
+		t.Errorf("Total = %v", tot)
+	}
+	if tot != m.Snapshot() {
+		t.Errorf("ledger total %v disagrees with meter %v", tot, m.Snapshot())
+	}
+}
+
+func TestNilLedger(t *testing.T) {
+	var l *Ledger
+	ran := false
+	l.Phase("x", func() { ran = true })
+	if !ran {
+		t.Fatal("nil ledger must still run the phase body")
+	}
+	if l.Phases() != nil || l.Meter() != nil {
+		t.Fatal("nil ledger accessors must return zero values")
+	}
+}
+
+// Property: for any sequence of charges, Work(ω) = Reads + ω·Writes and the
+// counters equal the sums of the charges.
+func TestQuickMeterAccounting(t *testing.T) {
+	f := func(reads []uint8, writes []uint8, omega uint8) bool {
+		m := NewMeter()
+		var r, w int64
+		for _, x := range reads {
+			m.ReadN(int(x))
+			r += int64(x)
+		}
+		for _, x := range writes {
+			m.WriteN(int(x))
+			w += int64(x)
+		}
+		om := int64(omega)
+		return m.Reads() == r && m.Writes() == w && m.Work(om) == r+om*w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package core documents the paper's primary contribution — the two
+// general frameworks for parallel write-efficiency — and anchors the
+// repository layout's internal/core slot. The frameworks themselves are
+// implemented as reusable packages:
+//
+//   - Framework 1, randomized incremental algorithms (§3): the DAG-tracing
+//     traversal of Definition 3.1 lives in repro/internal/dagtrace, and the
+//     prefix-doubling round scheduler of §3.2 in repro/internal/incremental.
+//     Their composition yields the write-efficient comparison sort
+//     (repro/internal/wesort), Delaunay triangulation
+//     (repro/internal/delaunay), and p-batched k-d construction
+//     (repro/internal/kdtree).
+//
+//   - Framework 2, augmented trees (§7): the α-labeling critical-node
+//     machinery of §7.3.1 lives in repro/internal/alabel, and the
+//     post-sorted constructions plus reconstruction-based rebalancing are
+//     instantiated by repro/internal/interval, repro/internal/pst and
+//     repro/internal/rangetree.
+//
+// The public facade for all of it is the root package (module "repro").
+package core
+
+import (
+	"repro/internal/alabel"
+	"repro/internal/dagtrace"
+	"repro/internal/incremental"
+)
+
+// Framework1 names the §3 combination: locate conflicts by DAG tracing,
+// insert in prefix-doubled batches.
+type Framework1 struct {
+	// Schedule produces the prefix-doubling batches (§3.2).
+	Schedule func(n, initial int) []incremental.Round
+	// Trace runs the Definition 3.1 traversal for one element.
+	Trace func(g dagtrace.Graph, visible func(v int32) bool, emit func(v int32)) dagtrace.Stats
+}
+
+// Framework2 names the §7 combination: α-labeling plus reconstruction.
+type Framework2 struct {
+	// IsCritical is the §7.3.1 critical-node predicate.
+	IsCritical func(weight, siblingWeight, alpha int) bool
+	// SkipRootMark is the §7.3.2 rebuild exception.
+	SkipRootMark func(initialWeight, alpha int) bool
+}
+
+// Frameworks returns the two frameworks' entry points, wired to their
+// implementations. This is a convenience for discovery; algorithm packages
+// call the underlying packages directly.
+func Frameworks() (Framework1, Framework2) {
+	f1 := Framework1{
+		Schedule: incremental.Schedule,
+		Trace: func(g dagtrace.Graph, visible func(v int32) bool, emit func(v int32)) dagtrace.Stats {
+			return dagtrace.Trace(g, visible, emit, nil)
+		},
+	}
+	f2 := Framework2{
+		IsCritical:   alabel.IsCritical,
+		SkipRootMark: alabel.SkipRootMark,
+	}
+	return f1, f2
+}

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+func TestFrameworksWired(t *testing.T) {
+	f1, f2 := Frameworks()
+	rounds := f1.Schedule(100, 10)
+	if len(rounds) == 0 || rounds[len(rounds)-1].End != 100 {
+		t.Fatal("Framework1.Schedule not wired")
+	}
+	if !f2.IsCritical(2, 2, 4) {
+		t.Fatal("Framework2.IsCritical not wired (leaves are critical)")
+	}
+	if f2.SkipRootMark(100, 4) && !f2.SkipRootMark(6, 2) {
+		t.Fatal("Framework2.SkipRootMark not wired")
+	}
+	// Trace on a trivial single-vertex graph.
+	g := trivialGraph{}
+	st := f1.Trace(g, func(int32) bool { return true }, func(int32) {})
+	if st.Outputs != 1 {
+		t.Fatalf("trace outputs = %d", st.Outputs)
+	}
+}
+
+type trivialGraph struct{}
+
+func (trivialGraph) Root() int32                           { return 0 }
+func (trivialGraph) Children(_ int32, buf []int32) []int32 { return buf }
+func (trivialGraph) Parents(int32) (int32, int32)          { return -1, -1 }

@@ -1,0 +1,97 @@
+// Package dagtrace implements the DAG tracing problem of the paper's §3.1
+// (Definition 3.1, Theorem 3.1): given a DAG with a root, and a boolean
+// visibility predicate f(x, v), report every *sink* (out-degree-0 vertex)
+// that is visible, assuming the traceable property — a vertex is visible
+// only if at least one of its direct predecessors is visible.
+//
+// The algorithm achieves O(|R|) work (R = all visible vertices), O(D) depth
+// and, crucially, O(|S|) writes (S = visible sinks): no visited-marks are
+// stored. Instead each vertex is visited exactly once, from its
+// highest-priority visible parent — a rule every arriving parent can check
+// locally in O(1) because in-degrees are constant (≤ 2 here, matching the
+// Delaunay tracing structure where a triangle's parents are the replaced
+// triangle t and its edge-neighbour t_o).
+package dagtrace
+
+import (
+	"sync/atomic"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// Graph is the traversal interface. Vertices are int32 ids. Parents returns
+// the (at most two) direct predecessors of v in priority order: a vertex is
+// visited from p1 if p1 is visible, else from p2. Root's parents are (-1,-1).
+type Graph interface {
+	Root() int32
+	// Children appends v's direct successors to buf and returns it.
+	Children(v int32, buf []int32) []int32
+	// Parents returns v's predecessors, -1 for absent. p1 outranks p2.
+	Parents(v int32) (p1, p2 int32)
+}
+
+// Stats reports the cost profile of one trace: |R(G,x)| and |S(G,x)| in the
+// paper's notation, plus the number of predicate evaluations.
+type Stats struct {
+	Visited int64 // visible vertices visited (= |R|)
+	Outputs int64 // visible sinks emitted (= |S|)
+	Evals   int64 // visibility predicate evaluations
+}
+
+// Trace runs the traversal for one element. visible(v) is the predicate
+// f(x, v); emit is called once per visible sink, possibly concurrently.
+// Reads are charged per predicate evaluation; writes per emitted output.
+func Trace(g Graph, visible func(v int32) bool, emit func(v int32), m *asymmem.Meter) Stats {
+	var visited, outputs, evals atomic.Int64
+	eval := func(v int32) bool {
+		evals.Add(1)
+		m.Read()
+		return visible(v)
+	}
+	var walk func(v int32)
+	walk = func(v int32) {
+		visited.Add(1)
+		buf := make([]int32, 0, 4)
+		buf = g.Children(v, buf)
+		if len(buf) == 0 {
+			outputs.Add(1)
+			m.Write()
+			emit(v)
+			return
+		}
+		// Visit each visible child for which v is the highest-priority
+		// visible parent.
+		visitChild := func(c int32) {
+			if !eval(c) {
+				return
+			}
+			p1, p2 := g.Parents(c)
+			switch v {
+			case p1:
+				walk(c)
+			case p2:
+				if p1 < 0 || !eval(p1) {
+					walk(c)
+				}
+			}
+		}
+		if len(buf) == 1 {
+			visitChild(buf[0])
+			return
+		}
+		parallel.ForGrain(len(buf), 2, func(i int) { visitChild(buf[i]) })
+	}
+	root := g.Root()
+	if root >= 0 && eval(root) {
+		walk(root)
+	}
+	return Stats{Visited: visited.Load(), Outputs: outputs.Load(), Evals: evals.Load()}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Visited += other.Visited
+	s.Outputs += other.Outputs
+	s.Evals += other.Evals
+}

@@ -1,0 +1,234 @@
+package dagtrace
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// sliceGraph is an explicit DAG for tests.
+type sliceGraph struct {
+	children [][]int32
+	parents  [][2]int32
+	root     int32
+}
+
+func (g *sliceGraph) Root() int32 { return g.root }
+func (g *sliceGraph) Children(v int32, buf []int32) []int32 {
+	return append(buf, g.children[v]...)
+}
+func (g *sliceGraph) Parents(v int32) (int32, int32) {
+	return g.parents[v][0], g.parents[v][1]
+}
+
+// build constructs a sliceGraph with n vertices and the given edges; the
+// first listed parent of each vertex has priority.
+func build(n int, edges [][2]int32) *sliceGraph {
+	g := &sliceGraph{
+		children: make([][]int32, n),
+		parents:  make([][2]int32, n),
+		root:     0,
+	}
+	for i := range g.parents {
+		g.parents[i] = [2]int32{-1, -1}
+	}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		g.children[u] = append(g.children[u], v)
+		if g.parents[v][0] < 0 {
+			g.parents[v][0] = u
+		} else if g.parents[v][1] < 0 {
+			g.parents[v][1] = u
+		} else {
+			panic("in-degree > 2")
+		}
+	}
+	return g
+}
+
+func collect(g Graph, visible func(int32) bool, m *asymmem.Meter) ([]int32, Stats) {
+	var mu sync.Mutex
+	var out []int32
+	st := Trace(g, visible, func(v int32) {
+		mu.Lock()
+		out = append(out, v)
+		mu.Unlock()
+	}, m)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, st
+}
+
+// bfsOracle computes visible sinks reachable through visible vertices.
+func bfsOracle(g *sliceGraph, visible func(int32) bool) []int32 {
+	if !visible(g.root) {
+		return nil
+	}
+	seen := map[int32]bool{g.root: true}
+	queue := []int32{g.root}
+	var sinks []int32
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if len(g.children[v]) == 0 {
+			sinks = append(sinks, v)
+			continue
+		}
+		for _, c := range g.children[v] {
+			if !seen[c] && visible(c) {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+	return sinks
+}
+
+func TestDiamondVisitedOnce(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond; 3 has two parents).
+	g := build(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	out, st := collect(g, func(int32) bool { return true }, nil)
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("outputs = %v", out)
+	}
+	if st.Visited != 4 {
+		t.Fatalf("visited %d vertices, want 4 (each exactly once)", st.Visited)
+	}
+	if st.Outputs != 1 {
+		t.Fatalf("outputs = %d", st.Outputs)
+	}
+}
+
+func TestDedupViaSecondParentWhenPrimaryInvisible(t *testing.T) {
+	// 0 -> 1, 0 -> 2; 1 -> 3 (primary), 2 -> 3 (secondary). Vertex 1
+	// invisible: 3 must still be reached, via 2.
+	g := build(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	out, st := collect(g, func(v int32) bool { return v != 1 }, nil)
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("outputs = %v", out)
+	}
+	if st.Visited != 3 {
+		t.Fatalf("visited = %d, want 3 (0,2,3)", st.Visited)
+	}
+}
+
+func TestInvisibleRoot(t *testing.T) {
+	g := build(2, [][2]int32{{0, 1}})
+	out, st := collect(g, func(int32) bool { return false }, nil)
+	if len(out) != 0 || st.Visited != 0 || st.Outputs != 0 {
+		t.Fatalf("invisible root: out=%v stats=%+v", out, st)
+	}
+}
+
+func TestWritesProportionalToOutputsNotVisited(t *testing.T) {
+	// Long binary tree with all vertices visible but only leaves output.
+	depth := 12
+	n := (1 << (depth + 1)) - 1
+	var edges [][2]int32
+	for v := 0; v < (1<<depth)-1; v++ {
+		edges = append(edges, [2]int32{int32(v), int32(2*v + 1)}, [2]int32{int32(v), int32(2*v + 2)})
+	}
+	g := build(n, edges)
+	m := asymmem.NewMeter()
+	// Only the leftmost path is visible: exactly one output.
+	visible := func(v int32) bool {
+		for v > 0 {
+			if v%2 == 0 { // right child
+				return false
+			}
+			v = (v - 1) / 2
+		}
+		return true
+	}
+	out, st := collect(g, visible, m)
+	if len(out) != 1 {
+		t.Fatalf("outputs = %v", out)
+	}
+	if st.Visited != int64(depth+1) {
+		t.Fatalf("visited = %d, want %d", st.Visited, depth+1)
+	}
+	if m.Writes() != 1 {
+		t.Fatalf("writes = %d, want 1 (writes ∝ |S|, not |R|)", m.Writes())
+	}
+	if m.Reads() < st.Evals {
+		t.Fatalf("reads %d < evals %d", m.Reads(), st.Evals)
+	}
+}
+
+func TestQuickMatchesBFSOracle(t *testing.T) {
+	f := func(seed uint64, invisibleMask uint32) bool {
+		// Random layered DAG with in-degree ≤ 2, 4 layers × 6 vertices.
+		r := parallel.NewRNG(seed)
+		const layers, width = 4, 6
+		n := 1 + layers*width
+		var edges [][2]int32
+		indeg := make([]int, n)
+		prevLayer := []int32{0}
+		id := int32(1)
+		for l := 0; l < layers; l++ {
+			var cur []int32
+			for w := 0; w < width; w++ {
+				v := id
+				id++
+				cur = append(cur, v)
+				// 1 or 2 parents from the previous layer.
+				p1 := prevLayer[r.Intn(len(prevLayer))]
+				edges = append(edges, [2]int32{p1, v})
+				indeg[v]++
+				if r.Intn(2) == 0 {
+					p2 := prevLayer[r.Intn(len(prevLayer))]
+					if p2 != p1 {
+						edges = append(edges, [2]int32{p2, v})
+						indeg[v]++
+					}
+				}
+			}
+			prevLayer = cur
+		}
+		g := build(n, edges)
+		raw := func(v int32) bool {
+			if v == 0 {
+				return true
+			}
+			return (invisibleMask>>(uint(v)%32))&1 == 0
+		}
+		// Close the raw mask under the traceable property (Definition 3.2):
+		// a vertex is visible only if raw-visible AND some direct
+		// predecessor is visible. Vertex ids increase layer by layer, so id
+		// order is topological.
+		vis := make([]bool, n)
+		vis[0] = raw(0)
+		for v := int32(1); v < int32(n); v++ {
+			p1, p2 := g.Parents(v)
+			parentVis := (p1 >= 0 && vis[p1]) || (p2 >= 0 && vis[p2])
+			vis[v] = raw(v) && parentVis
+		}
+		visible := func(v int32) bool { return vis[v] }
+		got, _ := collect(g, visible, nil)
+		want := bfsOracle(g, visible)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	s := Stats{Visited: 1, Outputs: 2, Evals: 3}
+	s.Add(Stats{Visited: 10, Outputs: 20, Evals: 30})
+	if s.Visited != 11 || s.Outputs != 22 || s.Evals != 33 {
+		t.Fatalf("Add = %+v", s)
+	}
+}

@@ -1,0 +1,66 @@
+package delaunay
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+// bruteDelaunayTriangles enumerates all point triples whose circumcircle is
+// empty — the definitional O(n⁴) Delaunay triangulation.
+func bruteDelaunayTriangles(pts []geom.Point) map[[3]int32]bool {
+	out := map[[3]int32]bool{}
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				a, b, c := pts[i], pts[j], pts[k]
+				tri := [3]int32{int32(i), int32(j), int32(k)}
+				if geom.Orient2D(a, b, c) < 0 {
+					a, b = b, a
+					tri = [3]int32{int32(j), int32(i), int32(k)}
+				}
+				if geom.Orient2D(pts[tri[0]], pts[tri[1]], pts[tri[2]]) <= 0 {
+					continue // collinear
+				}
+				empty := true
+				for d := 0; d < n && empty; d++ {
+					if d == i || d == j || d == k {
+						continue
+					}
+					if geom.InCircle(pts[tri[0]], pts[tri[1]], pts[tri[2]], pts[d]) > 0 {
+						empty = false
+					}
+				}
+				if empty {
+					out[canon(tri)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestAgainstDefinitionalDelaunay compares the algorithm's output with the
+// O(n⁴) definitional triangulation on small random inputs.
+func TestAgainstDefinitionalDelaunay(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		n := 8 + int(seed)%10
+		pts := gen.UniformPoints(n, seed+100)
+		want := bruteDelaunayTriangles(pts)
+		tr, err := Triangulate(pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Triangles()
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d n=%d: %d triangles, brute force says %d", seed, n, len(got), len(want))
+		}
+		for _, g := range got {
+			if !want[canon(g)] {
+				t.Fatalf("seed=%d: triangle %v not in definitional DT", seed, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package delaunay
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/hull"
+)
+
+// Check verifies that the triangulation is a Delaunay triangulation of its
+// real points:
+//
+//  1. every real triangle is counter-clockwise;
+//  2. every directed edge among real triangles appears at most once;
+//  3. every shared (paired) edge is locally Delaunay — the opposite vertex
+//     of each side is not strictly inside the other side's circumcircle —
+//     which by the Delaunay lemma implies the global empty-circle property;
+//  4. the unpaired (boundary) edges form exactly the convex hull of the
+//     point set;
+//  5. every real point appears as a vertex (general position implies all
+//     points are DT vertices);
+//  6. Euler's relation #triangles = 2·(n−1) − h holds (h = hull size).
+//
+// It returns nil on success and a descriptive error on the first failure.
+func (t *Triangulation) Check() error {
+	n := t.N
+	tris := t.Triangles()
+	if n < 3 {
+		if len(tris) != 0 {
+			return fmt.Errorf("delaunay check: %d triangles for n=%d", len(tris), n)
+		}
+		return nil
+	}
+	pts := t.Pts[:n]
+
+	// 1. Orientation.
+	for _, tr := range tris {
+		if geom.Orient2D(pts[tr[0]], pts[tr[1]], pts[tr[2]]) <= 0 {
+			return fmt.Errorf("delaunay check: triangle %v not CCW", tr)
+		}
+	}
+
+	// 2. Edge uniqueness.
+	edgeTri := make(map[uint64]int, 3*len(tris))
+	for ti, tr := range tris {
+		for e := 0; e < 3; e++ {
+			k := edgeKey(tr[e], tr[(e+1)%3])
+			if _, dup := edgeTri[k]; dup {
+				return fmt.Errorf("delaunay check: directed edge (%d,%d) duplicated", tr[e], tr[(e+1)%3])
+			}
+			edgeTri[k] = ti
+		}
+	}
+
+	// 3. Local Delaunay on paired edges; collect boundary edges.
+	boundary := make(map[int32]int32) // u -> w for boundary edge (u,w)
+	for ti, tr := range tris {
+		for e := 0; e < 3; e++ {
+			u, w := tr[e], tr[(e+1)%3]
+			tj, ok := edgeTri[edgeKey(w, u)]
+			if !ok {
+				if _, dup := boundary[u]; dup {
+					return fmt.Errorf("delaunay check: vertex %d starts two boundary edges", u)
+				}
+				boundary[u] = w
+				continue
+			}
+			if tj <= ti {
+				continue // check each pair once
+			}
+			other := tris[tj]
+			// Opposite vertex of the neighbour.
+			var opp int32 = -1
+			for _, v := range other {
+				if v != u && v != w {
+					opp = v
+				}
+			}
+			if opp < 0 {
+				return fmt.Errorf("delaunay check: neighbour of edge (%d,%d) shares all vertices", u, w)
+			}
+			if geom.InCircle(pts[tr[0]], pts[tr[1]], pts[tr[2]], pts[opp]) > 0 {
+				return fmt.Errorf("delaunay check: edge (%d,%d) not locally Delaunay (point %d inside)", u, w, opp)
+			}
+		}
+	}
+
+	// 4. Boundary edges = convex hull cycle.
+	hullIdx := hull.ConvexHull(pts, nil)
+	if len(boundary) != len(hullIdx) {
+		return fmt.Errorf("delaunay check: %d boundary edges, hull has %d vertices", len(boundary), len(hullIdx))
+	}
+	onHull := make(map[int32]bool, len(hullIdx))
+	for _, v := range hullIdx {
+		onHull[v] = true
+	}
+	// Follow the boundary cycle and confirm it visits exactly the hull.
+	start := hullIdx[0]
+	cur, steps := start, 0
+	for {
+		next, ok := boundary[cur]
+		if !ok {
+			return fmt.Errorf("delaunay check: boundary cycle broken at %d", cur)
+		}
+		if !onHull[cur] {
+			return fmt.Errorf("delaunay check: boundary vertex %d not on convex hull", cur)
+		}
+		cur = next
+		steps++
+		if cur == start {
+			break
+		}
+		if steps > len(boundary) {
+			return fmt.Errorf("delaunay check: boundary does not close into one cycle")
+		}
+	}
+	if steps != len(hullIdx) {
+		return fmt.Errorf("delaunay check: boundary cycle length %d != hull size %d", steps, len(hullIdx))
+	}
+
+	// 5. Vertex coverage.
+	seen := make([]bool, n)
+	for _, tr := range tris {
+		for _, v := range tr {
+			seen[v] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("delaunay check: point %d is not a vertex of any triangle", i)
+		}
+	}
+
+	// 6. Euler count.
+	if want := 2*(n-1) - len(hullIdx); len(tris) != want {
+		return fmt.Errorf("delaunay check: %d triangles, Euler predicts %d", len(tris), want)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package delaunay
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPlainVsWriteEfficientManySeeds(t *testing.T) {
+	for n := 5; n <= 60; n += 5 {
+		for seed := uint64(0); seed < 30; seed++ {
+			pts := gen.UniformPoints(n, seed)
+			plain, err := Triangulate(pts, nil)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if err := plain.Check(); err != nil {
+				t.Fatalf("PLAIN n=%d seed=%d: %v", n, seed, err)
+			}
+			we, err := TriangulateWriteEfficient(pts, nil)
+			if err != nil {
+				t.Fatalf("WE n=%d seed=%d: %v", n, seed, err)
+			}
+			if err := we.Check(); err != nil {
+				t.Fatalf("WE n=%d seed=%d: %v", n, seed, err)
+			}
+			if len(plain.Triangles()) != len(we.Triangles()) {
+				t.Fatalf("n=%d seed=%d: plain %d vs we %d triangles", n, seed, len(plain.Triangles()), len(we.Triangles()))
+			}
+		}
+	}
+}

@@ -1,0 +1,487 @@
+// Package delaunay implements the paper's §5: planar Delaunay triangulation
+// by the parallel randomized incremental algorithm of Blelloch, Gu, Shun and
+// Sun (BGSS [16], the paper's Algorithm 2), plus the write-efficient variant
+// of Theorem 5.1 that combines the DAG-tracing technique (§3.1) with prefix
+// doubling (§3.2) to reduce the expected number of writes from Θ(n log n)
+// to O(n) while keeping O(n log n) expected reads.
+//
+// The mesh is maintained round-synchronously. Each triangle t carries the
+// set E(t) of uninserted points that encroach it (lie in its circumcircle).
+// In a round, an alive triangle with non-empty E(t) fires iff its minimum
+// encroacher v is no larger than the minima of its three neighbours; firing
+// replaces t with new triangles (u, w, v) on the boundary edges of v's
+// encroached region, each inheriting its encroachers from its two parents
+// t and t_o by in-circle filtering. Priorities are point indices, so the
+// algorithm is deterministic: it produces exactly the triangulation of
+// sequential Bowyer–Watson insertion in index order.
+//
+// The write-efficient variant runs Algorithm 2 on prefix-doubled batches.
+// Between batches, each new point locates its encroached leaf triangles by
+// tracing the history DAG (parents = the two triangles whose filtered union
+// produced each E set) — reads only — and a semisort groups the points into
+// the E sets of alive triangles, charging O(1) writes per point.
+//
+// Deviation from the paper: the paper post-processes the tracing structure
+// to constant out-degree by copying triangles level by level; we keep child
+// adjacency lists instead. Out-degree affects only the fork fan-out of the
+// trace (in-degree ≤ 2 is what the O(|S|)-write dedup rule needs, and that
+// holds here); the measured per-point visited counts in the benches confirm
+// the O(log n) bound of Theorem 4.2 [16] either way.
+package delaunay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+	"repro/internal/incremental"
+	"repro/internal/parallel"
+	"repro/internal/semisort"
+)
+
+// noTri marks an absent triangle reference.
+const noTri = int32(-1)
+
+// outerEdge marks the reverse side of the bounding triangle's outer edges
+// in the edge-owner map: there is no triangle there and never will be,
+// unlike a transient hole left by a partially carved cavity.
+const outerEdge = int32(-2)
+
+// Tri is one triangle of the mesh and simultaneously one vertex of the
+// tracing DAG.
+type Tri struct {
+	V       [3]int32 // vertices, CCW; indices ≥ T.n are bounding vertices
+	Parents [2]int32 // tracing parents (t, t_o); noTri if absent
+	kids    []int32  // tracing children
+	enc     []int32  // encroaching uninserted points (alive triangles only)
+	minEnc  int32    // min(enc) at creation; empty = maxInt32
+	depth   int32    // depth in the dependence DAG (root = 0)
+	alive   bool
+}
+
+const maxPt = int32(1<<31 - 1)
+
+// Stats profiles one triangulation build.
+type Stats struct {
+	Rounds        int   // synchronous rounds of Algorithm 2
+	Created       int   // triangles created (incl. bounding)
+	EncWrites     int64 // points written into E sets (the dominant write term)
+	InCircleTests int64
+	MaxDAGDepth   int32 // dependence-graph depth (paper: O(log n) whp)
+	LocateVisited int64 // tracing: total visited DAG vertices (|R|)
+	LocateOutputs int64 // tracing: total emitted leaves (|S|)
+	Batches       int   // prefix-doubling batches (1 for the plain variant)
+}
+
+// Triangulation is the mesh plus the tracing structure.
+type Triangulation struct {
+	Pts   []geom.Point // n real points then 3 bounding vertices
+	N     int          // number of real points
+	Tris  []Tri
+	Stats Stats
+
+	owner map[uint64]int32 // directed edge (a,b) -> triangle id
+	meter *asymmem.Meter
+	debug func(round int, msg string) // optional round tracer for tests
+}
+
+func edgeKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// newTriangulation sets up the arena. The three bounding vertices are
+// symbolic points at infinity (see ghost.go); their coordinate slots hold
+// the unit directions purely for debugging output and are never read by a
+// predicate.
+func newTriangulation(pts []geom.Point, m *asymmem.Meter) *Triangulation {
+	n := len(pts)
+	all := make([]geom.Point, n+3)
+	copy(all, pts)
+	all[n], all[n+1], all[n+2] = ghostDir[0], ghostDir[1], ghostDir[2]
+	return &Triangulation{
+		Pts:   all,
+		N:     n,
+		owner: make(map[uint64]int32, 8*n+16),
+		meter: m,
+	}
+}
+
+func (t *Triangulation) point(i int32) geom.Point { return t.Pts[i] }
+
+// encroaches tests whether point p encroaches the triangle with vertices
+// vs, with atomic test counting for parallel phases.
+func (t *Triangulation) encroaches(p int32, vs [3]int32, tests *atomic.Int64) bool {
+	tests.Add(1)
+	t.meter.Read()
+	return t.encroachesPoint(t.point(p), vs)
+}
+
+// addTri appends a new triangle, registering its directed edges and linking
+// it under its parents. Must be called from the sequential commit phase.
+func (t *Triangulation) addTri(v0, v1, v2 int32, p0, p1 int32, enc []int32) int32 {
+	id := int32(len(t.Tris))
+	var depth int32
+	minEnc := maxPt
+	for _, e := range enc {
+		if e < minEnc {
+			minEnc = e
+		}
+	}
+	tr := Tri{V: [3]int32{v0, v1, v2}, Parents: [2]int32{p0, p1}, enc: enc, minEnc: minEnc, alive: true}
+	if p0 != noTri {
+		t.Tris[p0].kids = append(t.Tris[p0].kids, id)
+		depth = t.Tris[p0].depth + 1
+	}
+	if p1 != noTri {
+		t.Tris[p1].kids = append(t.Tris[p1].kids, id)
+		if d := t.Tris[p1].depth + 1; d > depth {
+			depth = d
+		}
+	}
+	tr.depth = depth
+	if depth > t.Stats.MaxDAGDepth {
+		t.Stats.MaxDAGDepth = depth
+	}
+	t.Tris = append(t.Tris, tr)
+	t.owner[edgeKey(v0, v1)] = id
+	t.owner[edgeKey(v1, v2)] = id
+	t.owner[edgeKey(v2, v0)] = id
+	t.Stats.Created++
+	t.Stats.EncWrites += int64(len(enc))
+	t.meter.WriteN(4 + len(enc)) // triangle record + E set
+	return id
+}
+
+// reverseOwner returns the registrant of the reverse of directed edge
+// (a, b) and whether the reverse side exists at all. A missing entry is a
+// *hole*: the adjacent cavity is still being carved and the neighbour
+// triangle does not exist yet. (id = noTri with present = true means the
+// outer side of the bounding triangle.)
+func (t *Triangulation) reverseOwner(a, b int32) (id int32, present bool) {
+	t.meter.Read()
+	id, ok := t.owner[edgeKey(b, a)]
+	if !ok {
+		return noTri, false
+	}
+	if id == outerEdge {
+		return noTri, true
+	}
+	return id, true
+}
+
+// pending describes one replacement triangle computed in the parallel
+// phase, committed sequentially afterwards.
+type pending struct {
+	v0, v1, v2 int32
+	p0, p1     int32
+	enc        []int32
+}
+
+// runRounds executes Algorithm 2 until no alive triangle has encroachers.
+// active is the initial worklist (ids of alive triangles with non-empty E).
+func (t *Triangulation) runRounds(active []int32) {
+	var tests atomic.Int64
+	for len(active) > 0 {
+		t.Stats.Rounds++
+
+		// Phase 1 (parallel): decide which triangles fire. A triangle fires
+		// only when (a) all three neighbours exist — the dependence graph
+		// of [16] has arcs from a triangle AND its three neighbours, so a
+		// replacement cannot be evaluated next to a hole left by a
+		// partially carved cavity — and (b) its minimum encroacher is no
+		// larger than every neighbour's minimum.
+		fires := make([]bool, len(active))
+		parallel.For(len(active), func(i int) {
+			id := active[i]
+			tr := &t.Tris[id]
+			v := tr.minEnc
+			ok := true
+			for e := 0; e < 3 && ok; e++ {
+				nb, present := t.reverseOwner(tr.V[e], tr.V[(e+1)%3])
+				if !present {
+					ok = false // hole: neighbour not created yet
+				} else if nb != noTri && t.Tris[nb].alive && t.Tris[nb].minEnc < v {
+					ok = false
+				}
+			}
+			fires[i] = ok
+		})
+
+		// Phase 2 (parallel): compute replacements for fired triangles.
+		news := make([][]pending, len(active))
+		parallel.ForGrain(len(active), 8, func(i int) {
+			if !fires[i] {
+				return
+			}
+			id := active[i]
+			tr := &t.Tris[id]
+			v := tr.minEnc
+			var out []pending
+			for e := 0; e < 3; e++ {
+				u, w := tr.V[e], tr.V[(e+1)%3]
+				nb, _ := t.reverseOwner(u, w)
+				var nbTri *Tri
+				encroachesNb := false
+				if nb != noTri {
+					nbTri = &t.Tris[nb]
+					encroachesNb = t.encroaches(v, nbTri.V, &tests)
+				}
+				if encroachesNb {
+					continue // interior edge of the cavity: no new triangle
+				}
+				// Boundary edge: create t' = (u, w, v).
+				cand := [3]int32{u, w, v}
+				var enc []int32
+				for _, x := range tr.enc {
+					if x != v && t.encroaches(x, cand, &tests) {
+						enc = append(enc, x)
+					}
+				}
+				if nbTri != nil && nbTri.alive {
+					for _, x := range nbTri.enc {
+						if x == v {
+							continue
+						}
+						// Dedup: points encroaching t are taken from E(t).
+						if t.encroaches(x, tr.V, &tests) {
+							continue
+						}
+						if t.encroaches(x, cand, &tests) {
+							enc = append(enc, x)
+						}
+					}
+				}
+				p1 := noTri
+				if nb != noTri {
+					p1 = nb
+				}
+				out = append(out, pending{v0: u, v1: w, v2: v, p0: id, p1: p1, enc: enc})
+			}
+			news[i] = out
+		})
+
+		// Phase 3 (sequential commit): kill fired triangles, add new ones.
+		var next []int32
+		for i, id := range active {
+			if fires[i] {
+				tr := &t.Tris[id]
+				if t.debug != nil {
+					t.debug(t.Stats.Rounds, fmt.Sprintf("fire tri %d %v with v=%d enc=%v", id, tr.V, tr.minEnc, tr.enc))
+				}
+				tr.alive = false
+				tr.enc = nil
+				t.meter.Write()
+			}
+		}
+		for i := range news {
+			for _, p := range news[i] {
+				nid := t.addTri(p.v0, p.v1, p.v2, p.p0, p.p1, p.enc)
+				if t.debug != nil {
+					t.debug(t.Stats.Rounds, fmt.Sprintf("  new tri %d (%d,%d,%d) parents=(%d,%d) enc=%v", nid, p.v0, p.v1, p.v2, p.p0, p.p1, p.enc))
+				}
+				if len(p.enc) > 0 {
+					next = append(next, nid)
+				}
+			}
+		}
+		for i, id := range active {
+			if !fires[i] {
+				next = append(next, id)
+			}
+		}
+		active = next
+	}
+	t.Stats.InCircleTests += tests.Load()
+}
+
+// Triangulate runs the plain BGSS algorithm (Algorithm 2) over all points
+// in input (priority) order. Expected Θ(n log n) reads AND writes.
+func Triangulate(pts []geom.Point, m *asymmem.Meter) (*Triangulation, error) {
+	t := newTriangulation(pts, m)
+	if err := t.seed(len(pts)); err != nil {
+		return nil, err
+	}
+	t.Stats.Batches = 1
+	if len(pts) > 0 {
+		t.runRounds([]int32{0})
+	}
+	return t, nil
+}
+
+// seed creates the bounding triangle with the first m points as its E set,
+// validating that all inputs are finite (the predicates assume it).
+func (t *Triangulation) seed(m int) error {
+	seen := make(map[geom.Point]int32, t.N)
+	for i := 0; i < t.N; i++ {
+		if !t.Pts[i].IsFinite() {
+			return fmt.Errorf("delaunay: point %d is not finite: %v", i, t.Pts[i])
+		}
+		if j, dup := seen[t.Pts[i]]; dup {
+			// A duplicate can never strictly encroach a triangle having its
+			// twin as a vertex, so it would be silently dropped from the
+			// output; reject instead (the paper assumes general position).
+			return fmt.Errorf("delaunay: points %d and %d coincide at %v", j, i, t.Pts[i])
+		}
+		seen[t.Pts[i]] = int32(i)
+	}
+	n := int32(t.N)
+	enc := make([]int32, m)
+	for i := range enc {
+		enc[i] = int32(i)
+	}
+	t.addTri(n, n+1, n+2, noTri, noTri, enc)
+	// Mark the outer sides of the bounding edges so they are never
+	// mistaken for holes.
+	t.owner[edgeKey(n+1, n)] = outerEdge
+	t.owner[edgeKey(n+2, n+1)] = outerEdge
+	t.owner[edgeKey(n, n+2)] = outerEdge
+	return nil
+}
+
+// TriangulateWriteEfficient runs the prefix-doubling, DAG-tracing variant
+// (Theorem 5.1). Expected O(n log n) reads, O(n) writes.
+func TriangulateWriteEfficient(pts []geom.Point, m *asymmem.Meter) (*Triangulation, error) {
+	n := len(pts)
+	t := newTriangulation(pts, m)
+	if n == 0 {
+		if err := t.seed(0); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	rounds := incremental.Schedule(n, incremental.DefaultInitial(n))
+	t.Stats.Batches = len(rounds)
+
+	// Initial batch: plain Algorithm 2 over the first n/log²n points.
+	if err := t.seed(rounds[0].End); err != nil {
+		return nil, err
+	}
+	t.runRounds([]int32{0})
+
+	for _, r := range rounds[1:] {
+		if err := t.locateAndFill(r.Start, r.End); err != nil {
+			return nil, err
+		}
+		// Gather alive triangles with non-empty E as the new worklist.
+		var active []int32
+		for id := range t.Tris {
+			if t.Tris[id].alive && len(t.Tris[id].enc) > 0 {
+				active = append(active, int32(id))
+			}
+		}
+		t.runRounds(active)
+	}
+	return t, nil
+}
+
+// locateAndFill traces each point in [start, end) through the history DAG
+// to its encroached alive triangles and installs the E sets via semisort.
+func (t *Triangulation) locateAndFill(start, end int) error {
+	batch := end - start
+	var visited, outputs atomic.Int64
+	var mu sync.Mutex
+	pairs := make([]semisort.Pair, 0, 4*batch)
+
+	parallel.ForGrain(batch, 16, func(i int) {
+		p := int32(start + i)
+		var local []semisort.Pair
+		v, o := t.tracePoint(p, func(leaf int32) {
+			local = append(local, semisort.Pair{Key: uint64(leaf), Val: p})
+		})
+		visited.Add(v)
+		outputs.Add(o)
+		mu.Lock()
+		pairs = append(pairs, local...)
+		mu.Unlock()
+	})
+	t.Stats.LocateVisited += visited.Load()
+	t.Stats.LocateOutputs += outputs.Load()
+
+	groups := semisort.Semisort(pairs, t.meter)
+	for _, g := range groups {
+		id := int32(g.Key)
+		tr := &t.Tris[id]
+		if !tr.alive {
+			return fmt.Errorf("delaunay: located point into dead triangle %d", id)
+		}
+		sort.Slice(g.Vals, func(a, b int) bool { return g.Vals[a] < g.Vals[b] })
+		tr.enc = g.Vals
+		tr.minEnc = g.Vals[0]
+		t.Stats.EncWrites += int64(len(g.Vals))
+		t.meter.WriteN(len(g.Vals))
+	}
+	return nil
+}
+
+// tracePoint walks the history DAG from the root triangle, visiting each
+// encroached triangle once (from its highest-priority visible parent) and
+// emitting encroached alive leaves. Returns (visited, outputs).
+func (t *Triangulation) tracePoint(p int32, emit func(leaf int32)) (int64, int64) {
+	var visited, outputs int64
+	pp := t.point(p)
+	enc := func(id int32) bool {
+		t.meter.Read()
+		return t.encroachesPoint(pp, t.Tris[id].V)
+	}
+	var walk func(id int32)
+	walk = func(id int32) {
+		visited++
+		tr := &t.Tris[id]
+		// An alive encroached triangle is an output. (The paper reaches the
+		// same effect by giving every triangle that acquires out-neighbours
+		// a leaf copy on the next level; emitting alive vertices directly is
+		// equivalent and avoids the copies. Dead childless vertices — the
+		// interior triangles of a fully carved cavity — are not outputs.)
+		if tr.alive {
+			outputs++
+			t.meter.Write()
+			emit(id)
+			// Fall through: an alive triangle that served as a t_o-parent
+			// also has children that may be reachable only through it.
+		}
+		for _, c := range tr.kids {
+			if !enc(c) {
+				continue
+			}
+			p0, p1 := t.Tris[c].Parents[0], t.Tris[c].Parents[1]
+			if id == p0 {
+				walk(c)
+			} else if id == p1 && (p0 == noTri || !enc(p0)) {
+				walk(c)
+			}
+		}
+	}
+	if enc(0) {
+		walk(0)
+	}
+	return visited, outputs
+}
+
+// Triangles returns the alive triangles whose vertices are all real points.
+func (t *Triangulation) Triangles() [][3]int32 {
+	var out [][3]int32
+	n := int32(t.N)
+	for i := range t.Tris {
+		tr := &t.Tris[i]
+		if !tr.alive {
+			continue
+		}
+		if tr.V[0] < n && tr.V[1] < n && tr.V[2] < n {
+			out = append(out, tr.V)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of alive triangles (including those with
+// bounding vertices).
+func (t *Triangulation) AliveCount() int {
+	c := 0
+	for i := range t.Tris {
+		if t.Tris[i].alive {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,17 @@
+package delaunay
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDuplicatePointsRejected(t *testing.T) {
+	pts := []geom.Point{{X: 0.1, Y: 0.1}, {X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.9, Y: 0.2}}
+	if _, err := Triangulate(pts, nil); err == nil {
+		t.Error("plain accepted duplicate points")
+	}
+	if _, err := TriangulateWriteEfficient(pts, nil); err == nil {
+		t.Error("WE accepted duplicate points")
+	}
+}

@@ -1,0 +1,100 @@
+package delaunay
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// The paper's Algorithm 2 starts from "a sufficiently large bounding
+// triangle". A finite triangle is not sufficient for all inputs: a sliver
+// of nearly-collinear points near the hull has an arbitrarily large
+// circumcircle, which would swallow any finite bounding vertex and corrupt
+// the triangulation near the boundary. We therefore treat the three
+// bounding vertices g0, g1, g2 symbolically as points at infinity in fixed
+// directions d0, d1, d2 (120° apart, rotated by an arbitrary non-special
+// angle so the directions are never axis-parallel), and evaluate the
+// orientation and in-circle predicates in the R→∞ limit:
+//
+//   - encroaches(x, (g0,g1,g2))        = true for every finite x.
+//   - encroaches(x, (gi,gj,q))         = sign((dj − di) × (q − x)) > 0.
+//     (Leading R³ term of the in-circle determinant.)
+//   - encroaches(x, (gi,p,q))          = orient2d(p,q,x) > 0, with the tie
+//     x ∈ line(p,q) broken by the R¹ term sign(di × W),
+//     W = |q−x|²·(p−x) − |p−x|²·(q−x).
+//   - no ghosts: the ordinary exact in-circle test.
+//
+// The finite parts use exact arithmetic (geom.Orient2D); the ghost parts
+// involve the irrational direction components, whose float64 evaluation is
+// deterministic and whose exact ties are unreachable for finite inputs
+// (they would require coordinates exactly proportional to cos/sin of the
+// rotation angle).
+const ghostAngle = 0.5772156649015329
+
+var ghostDir [3]geom.Point
+
+func init() {
+	for k := 0; k < 3; k++ {
+		a := ghostAngle + 2*math.Pi*float64(k)/3
+		ghostDir[k] = geom.Point{X: math.Cos(a), Y: math.Sin(a)}
+	}
+}
+
+func cross(a, b geom.Point) float64 { return a.X*b.Y - a.Y*b.X }
+
+// ghostIndex returns which ghost (0..2) vertex id v is, or -1 if finite.
+func (t *Triangulation) ghostIndex(v int32) int {
+	if v >= int32(t.N) {
+		return int(v) - t.N
+	}
+	return -1
+}
+
+// encroachesPoint reports whether the finite point x strictly encroaches
+// (lies inside the circumcircle of) the CCW triangle with vertex ids vs.
+func (t *Triangulation) encroachesPoint(x geom.Point, vs [3]int32) bool {
+	g := [3]int{t.ghostIndex(vs[0]), t.ghostIndex(vs[1]), t.ghostIndex(vs[2])}
+	ghosts := 0
+	for _, gi := range g {
+		if gi >= 0 {
+			ghosts++
+		}
+	}
+	switch ghosts {
+	case 3:
+		return true
+	case 2:
+		// Rotate so the finite vertex is last: (gi, gj, q).
+		for r := 0; r < 3; r++ {
+			if g[r] < 0 {
+				// finite at position r; ghosts at r+1, r+2 (cyclically);
+				// CCW order means triangle is (v[r+1], v[r+2], v[r]).
+				di := ghostDir[g[(r+1)%3]]
+				dj := ghostDir[g[(r+2)%3]]
+				q := t.point(vs[r])
+				d := geom.Point{X: dj.X - di.X, Y: dj.Y - di.Y}
+				return cross(d, geom.Point{X: q.X - x.X, Y: q.Y - x.Y}) > 0
+			}
+		}
+	case 1:
+		// Rotate so the ghost is first: (g, p, q).
+		for r := 0; r < 3; r++ {
+			if g[r] >= 0 {
+				di := ghostDir[g[r]]
+				p := t.point(vs[(r+1)%3])
+				q := t.point(vs[(r+2)%3])
+				o := geom.Orient2D(p, q, x)
+				if o != 0 {
+					return o > 0
+				}
+				// x on line(p,q): R¹ term decides.
+				P := geom.Point{X: p.X - x.X, Y: p.Y - x.Y}
+				Q := geom.Point{X: q.X - x.X, Y: q.Y - x.Y}
+				lp, lq := P.X*P.X+P.Y*P.Y, Q.X*Q.X+Q.Y*Q.Y
+				w := geom.Point{X: lq*P.X - lp*Q.X, Y: lq*P.Y - lp*Q.Y}
+				return cross(di, w) > 0
+			}
+		}
+	}
+	return geom.InCircle(t.point(vs[0]), t.point(vs[1]), t.point(vs[2]), x) > 0
+}

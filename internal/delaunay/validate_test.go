@@ -1,0 +1,23 @@
+package delaunay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRejectsNonFinitePoints(t *testing.T) {
+	bad := [][]geom.Point{
+		{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: math.NaN(), Y: 1}},
+		{{X: 0, Y: 0}, {X: math.Inf(1), Y: 0}, {X: 0, Y: 1}},
+	}
+	for i, pts := range bad {
+		if _, err := Triangulate(pts, nil); err == nil {
+			t.Errorf("case %d: plain accepted non-finite input", i)
+		}
+		if _, err := TriangulateWriteEfficient(pts, nil); err == nil {
+			t.Errorf("case %d: WE accepted non-finite input", i)
+		}
+	}
+}

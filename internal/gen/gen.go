@@ -1,0 +1,155 @@
+// Package gen produces the synthetic workloads driving the experiments.
+// The paper's bounds hold in expectation over a random insertion order of
+// arbitrary inputs; these generators supply both benign (uniform) and
+// stressful (clustered, degenerate-ish, adversarial) inputs so the benches
+// and tests exercise the same distributions the paper's analyses assume.
+package gen
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// UniformPoints returns n points uniform in the unit square.
+func UniformPoints(n int, seed uint64) []geom.Point {
+	r := parallel.NewRNG(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+// DiskPoints returns n points uniform in the unit disk.
+func DiskPoints(n int, seed uint64) []geom.Point {
+	r := parallel.NewRNG(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		for {
+			x, y := 2*r.Float64()-1, 2*r.Float64()-1
+			if x*x+y*y <= 1 {
+				pts[i] = geom.Point{X: x, Y: y}
+				break
+			}
+		}
+	}
+	return pts
+}
+
+// ClusterPoints returns n points in k Gaussian-ish clusters inside the unit
+// square (Kuzmin-like heavy clustering stresses point-location depth).
+func ClusterPoints(n, k int, seed uint64) []geom.Point {
+	if k < 1 {
+		k = 1
+	}
+	r := parallel.NewRNG(seed)
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	pts := make([]geom.Point, n)
+	sigma := 0.01
+	for i := range pts {
+		c := centers[r.Intn(k)]
+		// Box-Muller.
+		u1, u2 := r.Float64(), r.Float64()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		rad := sigma * math.Sqrt(-2*math.Log(u1))
+		pts[i] = geom.Point{
+			X: c.X + rad*math.Cos(2*math.Pi*u2),
+			Y: c.Y + rad*math.Sin(2*math.Pi*u2),
+		}
+	}
+	return pts
+}
+
+// GridJitterPoints returns an m×m grid (n = m²) with small random jitter,
+// a near-degenerate input exercising the exact-arithmetic fallback.
+func GridJitterPoints(m int, jitter float64, seed uint64) []geom.Point {
+	r := parallel.NewRNG(seed)
+	pts := make([]geom.Point, 0, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			pts = append(pts, geom.Point{
+				X: float64(i) + jitter*(r.Float64()-0.5),
+				Y: float64(j) + jitter*(r.Float64()-0.5),
+			})
+		}
+	}
+	return pts
+}
+
+// UniformKPoints returns n k-dimensional points uniform in the unit cube.
+func UniformKPoints(n, k int, seed uint64) []geom.KPoint {
+	r := parallel.NewRNG(seed)
+	pts := make([]geom.KPoint, n)
+	for i := range pts {
+		p := make(geom.KPoint, k)
+		for d := 0; d < k; d++ {
+			p[d] = r.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Interval is a 1D closed interval.
+type Interval struct {
+	Left, Right float64
+	ID          int32
+}
+
+// UniformIntervals returns n intervals with uniform left endpoints and
+// exponential-ish lengths scaled by meanLen.
+func UniformIntervals(n int, meanLen float64, seed uint64) []Interval {
+	r := parallel.NewRNG(seed)
+	out := make([]Interval, n)
+	for i := range out {
+		l := r.Float64()
+		length := meanLen * math.Log(1/(1-r.Float64()+1e-12))
+		out[i] = Interval{Left: l, Right: l + length, ID: int32(i)}
+	}
+	return out
+}
+
+// NestedIntervals returns n adversarially nested intervals
+// [i·eps, 1 − i·eps], which all overlap a central stabbing point; this
+// stresses inner-tree sizes in the interval tree.
+func NestedIntervals(n int) []Interval {
+	out := make([]Interval, n)
+	eps := 0.4 / float64(n+1)
+	for i := range out {
+		out[i] = Interval{Left: float64(i) * eps, Right: 1 - float64(i)*eps, ID: int32(i)}
+	}
+	return out
+}
+
+// UniformFloats returns n uniform floats in [0,1) (distinct whp).
+func UniformFloats(n int, seed uint64) []float64 {
+	r := parallel.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// ZipfWeights returns n weights following an approximate Zipf(s) law,
+// shuffled; used as priorities for priority-search-tree workloads.
+func ZipfWeights(n int, s float64, seed uint64) []float64 {
+	r := parallel.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1.0 / math.Pow(float64(i+1), s)
+	}
+	// Shuffle so rank and position are uncorrelated.
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUniformPointsInSquare(t *testing.T) {
+	pts := UniformPoints(1000, 1)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatalf("point %v outside unit square", p)
+		}
+	}
+	// Determinism.
+	again := UniformPoints(1000, 1)
+	if pts[500] != again[500] {
+		t.Fatal("same seed must reproduce points")
+	}
+	if other := UniformPoints(1000, 2); pts[0] == other[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestDiskPointsInDisk(t *testing.T) {
+	for _, p := range DiskPoints(500, 3) {
+		if p.X*p.X+p.Y*p.Y > 1 {
+			t.Fatalf("point %v outside unit disk", p)
+		}
+	}
+}
+
+func TestClusterPointsCount(t *testing.T) {
+	pts := ClusterPoints(300, 5, 4)
+	if len(pts) != 300 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	ClusterPoints(10, 0, 4) // k clamped to 1, must not panic
+}
+
+func TestGridJitterPoints(t *testing.T) {
+	pts := GridJitterPoints(10, 0.1, 5)
+	if len(pts) != 100 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	b := geom.BBoxOf(pts)
+	if b.MinX < -0.06 || b.MaxX > 9.06 {
+		t.Fatalf("jitter out of range: %+v", b)
+	}
+}
+
+func TestUniformKPoints(t *testing.T) {
+	pts := UniformKPoints(100, 3, 6)
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatal("wrong dimension")
+		}
+		for _, c := range p {
+			if c < 0 || c >= 1 {
+				t.Fatalf("coordinate %v out of range", c)
+			}
+		}
+	}
+}
+
+func TestUniformIntervalsValid(t *testing.T) {
+	ivs := UniformIntervals(200, 0.1, 7)
+	for i, iv := range ivs {
+		if iv.Right < iv.Left {
+			t.Fatalf("interval %d inverted: %+v", i, iv)
+		}
+		if iv.ID != int32(i) {
+			t.Fatalf("interval %d has ID %d", i, iv.ID)
+		}
+	}
+}
+
+func TestNestedIntervalsAllOverlapCenter(t *testing.T) {
+	ivs := NestedIntervals(100)
+	for _, iv := range ivs {
+		if iv.Left > 0.5 || iv.Right < 0.5 {
+			t.Fatalf("interval %+v misses center", iv)
+		}
+	}
+}
+
+func TestUniformFloatsAndZipf(t *testing.T) {
+	fs := UniformFloats(100, 8)
+	if len(fs) != 100 {
+		t.Fatal("wrong length")
+	}
+	ws := ZipfWeights(100, 1.0, 9)
+	if len(ws) != 100 {
+		t.Fatal("wrong length")
+	}
+	var maxW float64
+	for _, w := range ws {
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %v out of range", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW != 1 {
+		t.Fatalf("max Zipf weight %v, want 1", maxW)
+	}
+}

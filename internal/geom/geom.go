@@ -1,0 +1,207 @@
+// Package geom provides the planar and k-dimensional geometric primitives
+// used by the Delaunay, k-d tree, and convex hull algorithms: points,
+// bounding boxes, and robust orientation / in-circle predicates.
+//
+// The predicates use a floating-point filter (evaluate in float64 with a
+// forward error bound) and fall back to exact rational arithmetic via
+// math/big only when the filter is inconclusive, the standard approach of
+// Shewchuk's adaptive predicates. The paper assumes points in general
+// position; the exact fallback lets the implementation detect and report
+// degeneracies instead of silently corrupting the triangulation.
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p - q as a vector (represented as a Point).
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// epsilon is the float64 machine epsilon 2^-53.
+const epsilon = 1.1102230246251565e-16
+
+// Forward error-bound coefficients, from Shewchuk, "Adaptive Precision
+// Floating-Point Arithmetic and Fast Robust Geometric Predicates" (1997).
+var (
+	ccwErrBound      = (3.0 + 16.0*epsilon) * epsilon
+	inCircleErrBound = (10.0 + 96.0*epsilon) * epsilon
+)
+
+// Orient2D returns +1 if a, b, c are in counter-clockwise order, -1 if
+// clockwise, and 0 if exactly collinear.
+func Orient2D(a, b, c Point) int {
+	detL := (a.X - c.X) * (b.Y - c.Y)
+	detR := (a.Y - c.Y) * (b.X - c.X)
+	det := detL - detR
+	if detL > 0 {
+		if detR <= 0 {
+			return sign(det)
+		}
+	} else if detL < 0 {
+		if detR >= 0 {
+			return sign(det)
+		}
+	} else {
+		return sign(det)
+	}
+	detSum := math.Abs(detL) + math.Abs(detR)
+	if math.Abs(det) >= ccwErrBound*detSum {
+		return sign(det)
+	}
+	return orient2DExact(a, b, c)
+}
+
+func orient2DExact(a, b, c Point) int {
+	ax, ay := big.NewRat(1, 1).SetFloat64(a.X), big.NewRat(1, 1).SetFloat64(a.Y)
+	bx, by := big.NewRat(1, 1).SetFloat64(b.X), big.NewRat(1, 1).SetFloat64(b.Y)
+	cx, cy := big.NewRat(1, 1).SetFloat64(c.X), big.NewRat(1, 1).SetFloat64(c.Y)
+	var l, r, acx, acy, bcx, bcy big.Rat
+	acx.Sub(ax, cx)
+	acy.Sub(ay, cy)
+	bcx.Sub(bx, cx)
+	bcy.Sub(by, cy)
+	l.Mul(&acx, &bcy)
+	r.Mul(&acy, &bcx)
+	return l.Cmp(&r)
+}
+
+// InCircle returns +1 if d lies strictly inside the circumcircle of the
+// counter-clockwise triangle (a, b, c), -1 if strictly outside, and 0 if
+// exactly on the circle. If (a, b, c) is clockwise the sign is flipped by
+// the determinant identity, so callers must pass CCW triangles.
+func InCircle(a, b, c, d Point) int {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	bdxcdy, cdxbdy := bdx*cdy, cdx*bdy
+	alift := adx*adx + ady*ady
+	cdxady, adxcdy := cdx*ady, adx*cdy
+	blift := bdx*bdx + bdy*bdy
+	adxbdy, bdxady := adx*bdy, bdx*ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+	if math.Abs(det) > inCircleErrBound*permanent {
+		return sign(det)
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d Point) int {
+	rat := func(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+	adx := new(big.Rat).Sub(rat(a.X), rat(d.X))
+	ady := new(big.Rat).Sub(rat(a.Y), rat(d.Y))
+	bdx := new(big.Rat).Sub(rat(b.X), rat(d.X))
+	bdy := new(big.Rat).Sub(rat(b.Y), rat(d.Y))
+	cdx := new(big.Rat).Sub(rat(c.X), rat(d.X))
+	cdy := new(big.Rat).Sub(rat(c.Y), rat(d.Y))
+
+	lift := func(x, y *big.Rat) *big.Rat {
+		var xx, yy big.Rat
+		xx.Mul(x, x)
+		yy.Mul(y, y)
+		return new(big.Rat).Add(&xx, &yy)
+	}
+	alift, blift, clift := lift(adx, ady), lift(bdx, bdy), lift(cdx, cdy)
+
+	cross := func(x1, y1, x2, y2 *big.Rat) *big.Rat {
+		var l, r big.Rat
+		l.Mul(x1, y2)
+		r.Mul(y1, x2)
+		return new(big.Rat).Sub(&l, &r)
+	}
+	t1 := new(big.Rat).Mul(alift, cross(bdx, bdy, cdx, cdy))
+	t2 := new(big.Rat).Mul(blift, cross(cdx, cdy, adx, ady))
+	t3 := new(big.Rat).Mul(clift, cross(adx, ady, bdx, bdy))
+
+	sum := new(big.Rat).Add(t1, t2)
+	sum.Add(sum, t3)
+	return sum.Sign()
+}
+
+func sign(f float64) int {
+	switch {
+	case f > 0:
+		return 1
+	case f < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Circumcenter returns the circumcenter of triangle (a, b, c). It is only
+// used for reporting/visualisation, so plain float64 arithmetic suffices.
+// The second return is false if the points are (nearly) collinear.
+func Circumcenter(a, b, c Point) (Point, bool) {
+	dA := a.X*a.X + a.Y*a.Y
+	dB := b.X*b.X + b.Y*b.Y
+	dC := c.X*c.X + c.Y*c.Y
+	div := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if div == 0 {
+		return Point{}, false
+	}
+	ux := (dA*(b.Y-c.Y) + dB*(c.Y-a.Y) + dC*(a.Y-b.Y)) / div
+	uy := (dA*(c.X-b.X) + dB*(a.X-c.X) + dC*(b.X-a.X)) / div
+	return Point{ux, uy}, true
+}
+
+// IsFinite reports whether both coordinates are finite (not NaN/±Inf).
+// The predicates assume finite inputs; callers validate at the boundary.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// BBox is an axis-aligned bounding box in the plane.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyBBox returns an inverted box that any Extend call will fix.
+func EmptyBBox() BBox {
+	return BBox{math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)}
+}
+
+// Extend grows b to include p.
+func (b *BBox) Extend(p Point) {
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+}
+
+// Contains reports whether p is inside b (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX && p.Y >= b.MinY && p.Y <= b.MaxY
+}
+
+// BBoxOf returns the bounding box of the points (empty box for no points).
+func BBoxOf(pts []Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Span returns the larger of the box's width and height.
+func (b BBox) Span() float64 {
+	return math.Max(b.MaxX-b.MinX, b.MaxY-b.MinY)
+}

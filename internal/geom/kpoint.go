@@ -1,0 +1,145 @@
+package geom
+
+import "math"
+
+// KPoint is a point in k-dimensional space, used by the k-d tree. The
+// dimensionality is the slice length; all points in one structure must
+// share it.
+type KPoint []float64
+
+// Clone returns an independent copy of p.
+func (p KPoint) Clone() KPoint {
+	q := make(KPoint, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p KPoint) Dist2(q KPoint) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Equal reports whether p and q are identical coordinate-wise.
+func (p KPoint) Equal(q KPoint) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every coordinate is finite (not NaN/±Inf).
+func (p KPoint) IsFinite() bool {
+	for _, c := range p {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// KBox is an axis-aligned box in k dimensions.
+type KBox struct {
+	Min, Max KPoint
+}
+
+// NewKBox returns the degenerate all-space box for dimension k
+// (Min=+inf, Max=-inf per axis), ready for Extend.
+func NewKBox(k int) KBox {
+	b := KBox{Min: make(KPoint, k), Max: make(KPoint, k)}
+	for i := 0; i < k; i++ {
+		b.Min[i] = math.Inf(1)
+		b.Max[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// UniverseKBox returns the box covering all of k-space.
+func UniverseKBox(k int) KBox {
+	b := KBox{Min: make(KPoint, k), Max: make(KPoint, k)}
+	for i := 0; i < k; i++ {
+		b.Min[i] = math.Inf(-1)
+		b.Max[i] = math.Inf(1)
+	}
+	return b
+}
+
+// Clone returns an independent copy of b.
+func (b KBox) Clone() KBox { return KBox{Min: b.Min.Clone(), Max: b.Max.Clone()} }
+
+// Extend grows b to include p.
+func (b *KBox) Extend(p KPoint) {
+	for i := range p {
+		if p[i] < b.Min[i] {
+			b.Min[i] = p[i]
+		}
+		if p[i] > b.Max[i] {
+			b.Max[i] = p[i]
+		}
+	}
+}
+
+// Contains reports whether p lies inside b (inclusive).
+func (b KBox) Contains(p KPoint) bool {
+	for i := range p {
+		if p[i] < b.Min[i] || p[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o overlap (inclusive).
+func (b KBox) Intersects(o KBox) bool {
+	for i := range b.Min {
+		if b.Max[i] < o.Min[i] || o.Max[i] < b.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o lies fully inside b.
+func (b KBox) ContainsBox(o KBox) bool {
+	for i := range b.Min {
+		if o.Min[i] < b.Min[i] || o.Max[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dist2 returns the squared distance from p to the box (0 if inside).
+func (b KBox) Dist2(p KPoint) float64 {
+	var s float64
+	for i := range p {
+		if p[i] < b.Min[i] {
+			d := b.Min[i] - p[i]
+			s += d * d
+		} else if p[i] > b.Max[i] {
+			d := p[i] - b.Max[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// LongestAxis returns the axis with the largest extent.
+func (b KBox) LongestAxis() int {
+	best, bestLen := 0, math.Inf(-1)
+	for i := range b.Min {
+		if l := b.Max[i] - b.Min[i]; l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,128 @@
+// Package hull implements the planar convex hull building block of the
+// paper's §2.2: sort the points by x, then run a Graham-style scan. After a
+// write-efficient sort, the scan itself does O(ωn) work — the scan's writes
+// are bounded by the hull stack pushes (≤ 2n) — so the total is
+// O(ωn + n log n) work, matching the bound the paper cites [26, 31].
+//
+// The Delaunay verifier also uses ConvexHull to check that the boundary of
+// the triangulation is exactly the hull.
+package hull
+
+import (
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+)
+
+// ConvexHull returns the indices of the hull vertices of pts in
+// counter-clockwise order starting from the lexicographically smallest
+// point. Collinear boundary points are excluded. For fewer than 3
+// non-collinear points it returns the (sorted, deduplicated) extreme
+// points. Charges reads for scans and writes for stack pushes to m.
+func ConvexHull(pts []geom.Point, m *asymmem.Meter) []int32 {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	m.ReadN(n)
+	m.WriteN(n) // the sorted index array
+
+	// Deduplicate identical points.
+	uniq := idx[:1]
+	for _, i := range idx[1:] {
+		last := uniq[len(uniq)-1]
+		if pts[i] != pts[last] {
+			uniq = append(uniq, i)
+		}
+	}
+	if len(uniq) == 1 {
+		return []int32{uniq[0]}
+	}
+	if len(uniq) == 2 {
+		return []int32{uniq[0], uniq[1]}
+	}
+
+	// Monotone chain (equivalent to Graham's scan after sorting).
+	build := func(order []int32) []int32 {
+		var st []int32
+		for _, i := range order {
+			for len(st) >= 2 {
+				m.ReadN(2)
+				o := geom.Orient2D(pts[st[len(st)-2]], pts[st[len(st)-1]], pts[i])
+				if o > 0 {
+					break
+				}
+				st = st[:len(st)-1]
+			}
+			st = append(st, i)
+			m.Write()
+		}
+		return st
+	}
+	lower := build(uniq)
+	rev := make([]int32, len(uniq))
+	for i, v := range uniq {
+		rev[len(uniq)-1-i] = v
+	}
+	upper := build(rev)
+	// Concatenate, dropping each chain's last point (it starts the other).
+	out := append(lower[:len(lower)-1:len(lower)-1], upper[:len(upper)-1]...)
+	if len(out) < 3 {
+		// All points collinear: return the two extremes.
+		return []int32{uniq[0], uniq[len(uniq)-1]}
+	}
+	return out
+}
+
+// Contains reports whether q lies inside or on the hull given by the CCW
+// vertex indices over pts.
+func Contains(pts []geom.Point, hullIdx []int32, q geom.Point) bool {
+	h := len(hullIdx)
+	if h == 0 {
+		return false
+	}
+	if h == 1 {
+		return pts[hullIdx[0]] == q
+	}
+	if h == 2 {
+		a, b := pts[hullIdx[0]], pts[hullIdx[1]]
+		if geom.Orient2D(a, b, q) != 0 {
+			return false
+		}
+		return q.X >= min(a.X, b.X) && q.X <= max(a.X, b.X) &&
+			q.Y >= min(a.Y, b.Y) && q.Y <= max(a.Y, b.Y)
+	}
+	for i := 0; i < h; i++ {
+		a, b := pts[hullIdx[i]], pts[hullIdx[(i+1)%h]]
+		if geom.Orient2D(a, b, q) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

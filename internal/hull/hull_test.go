@@ -1,0 +1,136 @@
+package hull
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+func TestHullSquare(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1},
+		{X: 0.5, Y: 0.5}, {X: 0.2, Y: 0.8},
+	}
+	h := ConvexHull(pts, nil)
+	if len(h) != 4 {
+		t.Fatalf("hull size %d, want 4", len(h))
+	}
+	for _, inner := range []int32{4, 5} {
+		for _, v := range h {
+			if v == inner {
+				t.Fatalf("interior point %d on hull", inner)
+			}
+		}
+	}
+	// CCW order.
+	for i := 0; i < len(h); i++ {
+		a, b, c := pts[h[i]], pts[h[(i+1)%len(h)]], pts[h[(i+2)%len(h)]]
+		if geom.Orient2D(a, b, c) <= 0 {
+			t.Fatalf("hull not strictly CCW at %d", i)
+		}
+	}
+}
+
+func TestHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil, nil); h != nil {
+		t.Fatal("empty input must give nil")
+	}
+	one := []geom.Point{{X: 3, Y: 4}}
+	if h := ConvexHull(one, nil); len(h) != 1 || h[0] != 0 {
+		t.Fatalf("single point hull = %v", h)
+	}
+	dup := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	if h := ConvexHull(dup, nil); len(h) != 1 {
+		t.Fatalf("duplicate points hull = %v", h)
+	}
+	two := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 2}}
+	if h := ConvexHull(two, nil); len(h) != 2 {
+		t.Fatalf("two-point hull = %v", h)
+	}
+	col := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	h := ConvexHull(col, nil)
+	if len(h) != 2 {
+		t.Fatalf("collinear hull = %v, want the two extremes", h)
+	}
+	if !(col[h[0]] == (geom.Point{X: 0, Y: 0}) && col[h[1]] == (geom.Point{X: 3, Y: 3})) {
+		t.Fatalf("collinear extremes wrong: %v", h)
+	}
+}
+
+func TestHullContainsAllPoints(t *testing.T) {
+	pts := gen.UniformPoints(2000, 3)
+	h := ConvexHull(pts, nil)
+	for i, p := range pts {
+		if !Contains(pts, h, p) {
+			t.Fatalf("point %d outside its own hull", i)
+		}
+	}
+	if Contains(pts, h, geom.Point{X: 5, Y: 5}) {
+		t.Fatal("far point inside hull")
+	}
+}
+
+func TestContainsDegenerate(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 2}}
+	h := []int32{0, 1}
+	if !Contains(pts, h, geom.Point{X: 1, Y: 1}) {
+		t.Fatal("on-segment point must be contained")
+	}
+	if Contains(pts, h, geom.Point{X: 3, Y: 3}) {
+		t.Fatal("beyond-segment point must not be contained")
+	}
+	if Contains(pts, h, geom.Point{X: 1, Y: 0}) {
+		t.Fatal("off-line point must not be contained")
+	}
+	if Contains(pts, nil, geom.Point{}) {
+		t.Fatal("empty hull contains nothing")
+	}
+	if !Contains(pts, []int32{0}, geom.Point{X: 0, Y: 0}) {
+		t.Fatal("single-point hull contains its point")
+	}
+}
+
+func TestHullWritesLinear(t *testing.T) {
+	m := asymmem.NewMeter()
+	pts := gen.DiskPoints(10000, 4)
+	ConvexHull(pts, m)
+	if m.Writes() > 3*int64(len(pts)) {
+		t.Fatalf("hull writes %d > 3n: scan must be write-efficient", m.Writes())
+	}
+}
+
+func TestQuickHullIsConvexAndContainsAll(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]geom.Point, len(raw)/2)
+		for i := range pts {
+			pts[i] = geom.Point{X: float64(raw[2*i] % 64), Y: float64(raw[2*i+1] % 64)}
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		h := ConvexHull(pts, nil)
+		if len(h) >= 3 {
+			for i := 0; i < len(h); i++ {
+				a, b, c := pts[h[i]], pts[h[(i+1)%len(h)]], pts[h[(i+2)%len(h)]]
+				if geom.Orient2D(a, b, c) <= 0 {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			if !Contains(pts, h, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package incremental provides the prefix-doubling round scheduler of the
+// paper's §3.2, shared by the write-efficient sort, Delaunay triangulation
+// and k-d tree construction.
+//
+// A randomized incremental algorithm over n objects is split into an
+// initial round of n/log²n objects processed with the standard
+// (write-inefficient) algorithm, followed by O(log log n) rounds each
+// doubling the number of objects processed. Locating the new objects in
+// each round costs O(batch) writes via DAG tracing, so total writes stay
+// linear while the work remains O(n log n).
+package incremental
+
+import "math"
+
+// Round is a half-open batch [Start, End) of object indices.
+type Round struct {
+	Start, End int
+}
+
+// Size returns the number of objects in the round.
+func (r Round) Size() int { return r.End - r.Start }
+
+// DefaultInitial returns the paper's initial-round size n/⌈log₂n⌉²,
+// clamped to [1, n].
+func DefaultInitial(n int) int {
+	if n <= 1 {
+		return n
+	}
+	lg := int(math.Ceil(math.Log2(float64(n))))
+	init := n / (lg * lg)
+	if init < 1 {
+		init = 1
+	}
+	return init
+}
+
+// Schedule returns the prefix-doubling rounds covering [0, n): an initial
+// round of size initial, then rounds of sizes initial, 2·initial,
+// 4·initial, ... until all n objects are covered (the last round is
+// truncated). initial is clamped to [1, n]. For n == 0 it returns nil.
+func Schedule(n, initial int) []Round {
+	if n <= 0 {
+		return nil
+	}
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > n {
+		initial = n
+	}
+	rounds := []Round{{0, initial}}
+	pos := initial
+	for pos < n {
+		// Each incremental round doubles the number already inserted.
+		batch := pos
+		if pos+batch > n {
+			batch = n - pos
+		}
+		rounds = append(rounds, Round{pos, pos + batch})
+		pos += batch
+	}
+	return rounds
+}

@@ -1,0 +1,103 @@
+package incremental
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 1023, 1024, 1025, 1 << 20} {
+		rounds := Schedule(n, DefaultInitial(n))
+		if rounds[0].Start != 0 {
+			t.Fatalf("n=%d: first round starts at %d", n, rounds[0].Start)
+		}
+		for i := 1; i < len(rounds); i++ {
+			if rounds[i].Start != rounds[i-1].End {
+				t.Fatalf("n=%d: gap between rounds %d and %d", n, i-1, i)
+			}
+			if rounds[i].Size() <= 0 {
+				t.Fatalf("n=%d: empty round %d", n, i)
+			}
+		}
+		if rounds[len(rounds)-1].End != n {
+			t.Fatalf("n=%d: last round ends at %d", n, rounds[len(rounds)-1].End)
+		}
+	}
+}
+
+func TestScheduleDoubling(t *testing.T) {
+	rounds := Schedule(1<<20, 1)
+	// Sizes must be 1, 1, 2, 4, 8, ... (each incremental round equals the
+	// prefix so far).
+	for i := 2; i < len(rounds)-1; i++ {
+		if rounds[i].Size() != 2*rounds[i-1].Size() {
+			t.Fatalf("round %d size %d, prev %d: not doubling", i, rounds[i].Size(), rounds[i-1].Size())
+		}
+	}
+}
+
+func TestScheduleRoundCountLogarithmic(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 15, 1 << 20} {
+		rounds := Schedule(n, DefaultInitial(n))
+		// O(log log n) incremental rounds after the initial round... the
+		// count is log2(n/initial) + 1 = log2(log²n) + 1 ≈ 2·log2 log2 n.
+		maxRounds := 3*int(math.Log2(math.Log2(float64(n)))) + 4
+		if len(rounds) > maxRounds {
+			t.Fatalf("n=%d: %d rounds > %d", n, len(rounds), maxRounds)
+		}
+	}
+}
+
+func TestScheduleEdgeCases(t *testing.T) {
+	if Schedule(0, 5) != nil {
+		t.Fatal("n=0 must give nil")
+	}
+	r := Schedule(5, 0) // initial clamped to 1
+	if r[0].Size() != 1 {
+		t.Fatalf("clamped initial = %d", r[0].Size())
+	}
+	r = Schedule(5, 100) // initial clamped to n
+	if len(r) != 1 || r[0].Size() != 5 {
+		t.Fatalf("over-large initial: %+v", r)
+	}
+}
+
+func TestDefaultInitial(t *testing.T) {
+	if DefaultInitial(0) != 0 || DefaultInitial(1) != 1 {
+		t.Fatal("tiny n wrong")
+	}
+	n := 1 << 20
+	want := n / (20 * 20)
+	if got := DefaultInitial(n); got != want {
+		t.Fatalf("DefaultInitial(2^20) = %d, want %d", got, want)
+	}
+	if DefaultInitial(7) < 1 {
+		t.Fatal("must clamp to >= 1")
+	}
+}
+
+func TestQuickSchedulePartition(t *testing.T) {
+	f := func(n uint16, init uint16) bool {
+		if n == 0 {
+			return Schedule(0, int(init)) == nil
+		}
+		rounds := Schedule(int(n), int(init))
+		covered := 0
+		for i, r := range rounds {
+			if r.Size() <= 0 || r.Start != covered {
+				return false
+			}
+			covered = r.End
+			if i > 1 && i < len(rounds)-1 && r.Size() != r.Start {
+				// Each middle incremental round inserts exactly the number
+				// already inserted.
+				return false
+			}
+		}
+		return covered == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

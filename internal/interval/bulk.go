@@ -1,0 +1,194 @@
+package interval
+
+import (
+	"sort"
+
+	"repro/internal/treap"
+)
+
+// BulkInsert adds a batch of m intervals in one pass (§7.3.5): the batch is
+// sorted once, distributed down the outer tree, and merged into each
+// node's inner trees with treap unions — O(m log(n/m) + ωm) expected work
+// for the inner merges instead of m independent O(log n) searches, plus
+// O(ωm log_α n) amortized for the weight/rebalancing bookkeeping.
+func (t *Tree) BulkInsert(ivs []Interval) error {
+	if err := validate(ivs); err != nil {
+		return err
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	if t.root == nil || len(ivs) >= t.live {
+		// Rebuild outright: the batch dominates the tree.
+		all := append(t.Intervals(), ivs...)
+		eps := gatherEndpoints(all)
+		t.sortEndpoints(eps, all)
+		t.root = t.buildPostSorted(eps, all)
+		t.live = len(all)
+		t.deleted = 0
+		t.finishLabels()
+		return nil
+	}
+	batch := append([]Interval{}, ivs...)
+	sort.Slice(batch, func(i, j int) bool {
+		t.meter.Read()
+		if batch[i].Left != batch[j].Left {
+			return batch[i].Left < batch[j].Left
+		}
+		return batch[i].ID < batch[j].ID
+	})
+	t.meter.WriteN(len(batch))
+
+	var doubled []doubledEnt
+	t.bulkRec(t.root, batch, nil, &doubled)
+	t.live += len(ivs)
+	// Rebuild doubled critical subtrees, topmost first: the recursion
+	// appends post-order (children before parents), so iterate in reverse
+	// and skip nodes detached by an earlier, higher rebuild. The recorded
+	// ancestor path lets us keep the maintained weights exact without a
+	// full relabel (rebuilding replaces node contents in place, so the
+	// recorded pointers stay valid even across overlapping rebuilds).
+	for i := len(doubled) - 1; i >= 0; i-- {
+		d := doubled[i]
+		if !t.isUnbalanced(d.n) || !t.contains(t.root, d.n) {
+			continue
+		}
+		oldW := weightOf(d.n)
+		sub := t.rebuildSubtree(d.n, findParent(t.root, d.n))
+		if delta := weightOf(sub) - oldW; delta != 0 {
+			for _, a := range d.path {
+				if (t.opts.classic() || a.critical) && t.contains(t.root, a) {
+					a.weight += delta
+					t.meter.Write()
+					t.stats.WeightWrites++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// doubledEnt records a weight-doubled critical node and its ancestor path
+// (root first, exclusive of the node).
+type doubledEnt struct {
+	n    *node
+	path []*node
+}
+
+// bulkRec distributes a Left-sorted batch below n, returning the node-count
+// increase of n's subtree. anc is the root-to-parent path of n.
+func (t *Tree) bulkRec(n *node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	if n == nil {
+		return 0 // callers handle nil children before recursing
+	}
+	t.meter.Read()
+	var lefts, rights, covers []Interval
+	for _, iv := range batch {
+		t.meter.Read()
+		switch {
+		case iv.Right < n.key:
+			lefts = append(lefts, iv)
+		case iv.Left > n.key:
+			rights = append(rights, iv)
+		default:
+			covers = append(covers, iv)
+		}
+	}
+	if len(covers) > 0 {
+		t.mergeCovers(n, covers)
+	}
+	added := 0
+	childAnc := append(append([]*node{}, anc...), n)
+	added += t.bulkChild(&n.left, lefts, childAnc, doubled)
+	added += t.bulkChild(&n.right, rights, childAnc, doubled)
+	if added > 0 && (t.opts.classic() || n.critical) {
+		n.weight += added
+		t.meter.Write()
+		t.stats.WeightWrites++
+		if t.isUnbalanced(n) {
+			*doubled = append(*doubled, doubledEnt{n: n, path: anc})
+		}
+	}
+	return added
+}
+
+// bulkChild recurses into a child, building a fresh subtree when the child
+// is absent.
+func (t *Tree) bulkChild(slot **node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	if *slot == nil {
+		eps := gatherEndpoints(batch)
+		t.sortEndpoints(eps, batch)
+		sub := t.buildPostSorted(eps, batch)
+		t.labelSubtree(sub, weightOf(sub), false)
+		*slot = sub
+		t.meter.Write()
+		t.stats.LeafInsertions += int64(len(batch))
+		return weightOf(sub) - 1
+	}
+	return t.bulkRec(*slot, batch, anc, doubled)
+}
+
+// mergeCovers unions a batch of covering intervals into n's inner trees.
+func (t *Tree) mergeCovers(n *node, covers []Interval) {
+	if n.byLeft == nil {
+		t.fillInner(n, covers)
+		return
+	}
+	keysL := make([]endKey, len(covers))
+	for i, iv := range covers {
+		keysL[i] = endKey{v: iv.Left, id: iv.ID}
+	}
+	bl := treap.New(endLess, endPrio, t.meter)
+	bl.FromSorted(keysL)
+	n.byLeft.Union(bl)
+
+	byR := append([]Interval{}, covers...)
+	sort.Slice(byR, func(i, j int) bool {
+		t.meter.Read()
+		if byR[i].Right != byR[j].Right {
+			return byR[i].Right < byR[j].Right
+		}
+		return byR[i].ID < byR[j].ID
+	})
+	keysR := make([]endKey, len(byR))
+	for i, iv := range byR {
+		keysR[i] = endKey{v: iv.Right, id: iv.ID}
+	}
+	br := treap.New(endLess, endPrio, t.meter)
+	br.FromSorted(keysR)
+	n.byRight.Union(br)
+
+	for _, iv := range covers {
+		n.ivs[iv.ID] = iv
+	}
+	t.meter.WriteN(len(covers))
+}
+
+// BulkDelete removes a batch of intervals; per §7.3.5, deletions are
+// independent inner-tree removals (constant writes each).
+func (t *Tree) BulkDelete(ivs []Interval) int {
+	removed := 0
+	for _, iv := range ivs {
+		if t.Delete(iv) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// contains reports whether node x is reachable from n.
+func (t *Tree) contains(n, x *node) bool {
+	if n == nil {
+		return false
+	}
+	if n == x {
+		return true
+	}
+	return t.contains(n.left, x) || t.contains(n.right, x)
+}

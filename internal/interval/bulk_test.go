@@ -1,0 +1,137 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func TestBulkInsertMatchesIndividual(t *testing.T) {
+	base := fromGen(gen.UniformIntervals(600, 0.05, 1))
+	batch := fromGen(gen.UniformIntervals(200, 0.05, 2))
+	for i := range batch {
+		batch[i].ID += 10000
+	}
+	for _, alpha := range []int{0, 2, 4} {
+		bulk, err := Build(base, Options{Alpha: alpha}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.BulkInsert(batch); err != nil {
+			t.Fatal(err)
+		}
+		single, _ := Build(base, Options{Alpha: alpha}, nil)
+		for _, iv := range batch {
+			if err := single.Insert(iv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bulk.Len() != single.Len() {
+			t.Fatalf("alpha=%d: bulk %d vs single %d", alpha, bulk.Len(), single.Len())
+		}
+		if err := bulk.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		all := append(append([]Interval{}, base...), batch...)
+		r := parallel.NewRNG(3)
+		for q := 0; q < 100; q++ {
+			x := r.Float64()
+			if bulk.StabCount(x) != single.StabCount(x) {
+				t.Fatalf("alpha=%d q=%v: bulk %d vs single %d", alpha, x, bulk.StabCount(x), single.StabCount(x))
+			}
+			checkStab(t, bulk, all, x, nil)
+		}
+	}
+}
+
+func TestBulkInsertIntoEmpty(t *testing.T) {
+	tr, _ := Build(nil, Options{Alpha: 2}, nil)
+	batch := fromGen(gen.UniformIntervals(300, 0.1, 4))
+	if err := tr.BulkInsert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(5)
+	for q := 0; q < 50; q++ {
+		checkStab(t, tr, batch, r.Float64(), nil)
+	}
+}
+
+func TestBulkInsertEmptyBatch(t *testing.T) {
+	tr, _ := Build(fromGen(gen.UniformIntervals(50, 0.1, 6)), Options{Alpha: 2}, nil)
+	if err := tr.BulkInsert(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Fatal("empty bulk changed size")
+	}
+}
+
+func TestBulkInsertRejectsInverted(t *testing.T) {
+	tr, _ := Build(nil, Options{Alpha: 2}, nil)
+	if err := tr.BulkInsert([]Interval{{Left: 2, Right: 1}}); err == nil {
+		t.Fatal("inverted interval must be rejected")
+	}
+}
+
+func TestBulkDelete(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(400, 0.05, 7))
+	tr, _ := Build(ivs, Options{Alpha: 4}, nil)
+	removed := tr.BulkDelete(ivs[:150])
+	if removed != 150 {
+		t.Fatalf("removed %d, want 150", removed)
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	for _, iv := range ivs[:150] {
+		dead[iv.ID] = true
+	}
+	r := parallel.NewRNG(8)
+	for q := 0; q < 50; q++ {
+		checkStab(t, tr, ivs, r.Float64(), dead)
+	}
+}
+
+func TestBulkCheaperThanSingles(t *testing.T) {
+	// §7.3.5: the per-object work of a bulk insert is no more than a
+	// single insert's (reads dominated by log(n/m) rather than log n).
+	base := fromGen(gen.UniformIntervals(4000, 0.02, 9))
+	batch := fromGen(gen.UniformIntervals(1000, 0.02, 10))
+	for i := range batch {
+		batch[i].ID += 100000
+	}
+	mb := asymmem.NewMeter()
+	bulk, _ := Build(base, Options{Alpha: 4}, mb)
+	start := mb.Snapshot()
+	if err := bulk.BulkInsert(batch); err != nil {
+		t.Fatal(err)
+	}
+	bulkCost := mb.Snapshot().Sub(start)
+
+	ms := asymmem.NewMeter()
+	single, _ := Build(base, Options{Alpha: 4}, ms)
+	start = ms.Snapshot()
+	for _, iv := range batch {
+		if err := single.Insert(iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleCost := ms.Snapshot().Sub(start)
+	// Bulk must not be (much) more expensive; rebuild timing differences
+	// allow some slack.
+	if bulkCost.Writes > 2*singleCost.Writes {
+		t.Errorf("bulk writes %d vs single %d", bulkCost.Writes, singleCost.Writes)
+	}
+}

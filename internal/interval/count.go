@@ -1,0 +1,36 @@
+package interval
+
+import "math"
+
+// CountStab returns the number of live intervals containing q in
+// O(log² n) reads and zero writes — the appendix's "counting queries can
+// be answered by augmenting the inner trees" extension: instead of
+// scanning an inner-tree prefix and writing each result, the rank of q in
+// each inner tree (an order statistic the treaps maintain) gives the
+// prefix length directly.
+func (t *Tree) CountStab(q float64) int {
+	total := 0
+	n := t.root
+	lo := endKey{v: math.Inf(-1), id: math.MinInt32}
+	for n != nil {
+		t.meter.Read()
+		switch {
+		case q < n.key:
+			if n.byLeft != nil {
+				// Intervals with Left ≤ q.
+				total += n.byLeft.CountRange(lo, endKey{v: q, id: math.MaxInt32})
+			}
+			n = n.left
+		case q > n.key:
+			if n.byRight != nil {
+				// Intervals with Right ≥ q.
+				total += n.byRight.Len() - n.byRight.CountRange(lo, endKey{v: q, id: math.MinInt32})
+			}
+			n = n.right
+		default:
+			total += len(n.ivs)
+			n = nil
+		}
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package interval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// deepCheck verifies every ivs entry has its exact keys in both inner trees.
+func deepCheck(tr *Tree) error {
+	var rec func(n *node) error
+	rec = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		for id, iv := range n.ivs {
+			if iv.ID != id {
+				return fmt.Errorf("ivs key %d holds interval with ID %d", id, iv.ID)
+			}
+			if !n.byLeft.Contains(endKey{v: iv.Left, id: iv.ID}) {
+				return fmt.Errorf("byLeft missing (%v,%d)", iv.Left, iv.ID)
+			}
+			if !n.byRight.Contains(endKey{v: iv.Right, id: iv.ID}) {
+				return fmt.Errorf("byRight missing (%v,%d)", iv.Right, iv.ID)
+			}
+		}
+		if err := rec(n.left); err != nil {
+			return err
+		}
+		return rec(n.right)
+	}
+	return rec(tr.root)
+}
+
+func TestDeepStress(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		r := parallel.NewRNG(seed)
+		tr, _ := Build(nil, Options{Alpha: 2}, nil)
+		live := map[int32]Interval{}
+		var liveIDs []int32
+		id := int32(0)
+		for step := 0; step < 150; step++ {
+			what := "insert"
+			if r.Intn(3) != 0 || len(liveIDs) == 0 {
+				x := float64(r.Intn(1000)) / 1000
+				iv := Interval{Left: x, Right: x + float64(r.Intn(7))/100, ID: id}
+				tr.Insert(iv)
+				live[id] = iv
+				liveIDs = append(liveIDs, id)
+				id++
+			} else {
+				what = "delete"
+				vi := r.Intn(len(liveIDs))
+				victim := liveIDs[vi]
+				if !tr.Delete(live[victim]) {
+					t.Fatalf("seed %d step %d: delete failed", seed, step)
+				}
+				delete(live, victim)
+				liveIDs = append(liveIDs[:vi], liveIDs[vi+1:]...)
+			}
+			if err := deepCheck(tr); err != nil {
+				t.Fatalf("seed %d after step %d (%s): %v", seed, step, what, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/alabel"
+)
+
+// Stab reports every live interval containing q, in no particular order.
+// Cost: O(path + ωk) — at each node on the search path, a prefix of one
+// inner tree is scanned (§7.1).
+func (t *Tree) Stab(q float64, visit func(Interval) bool) {
+	n := t.root
+	for n != nil {
+		t.meter.Read()
+		stop := false
+		switch {
+		case q < n.key:
+			if n.byLeft != nil {
+				n.byLeft.InOrder(func(k endKey) bool {
+					if k.v > q {
+						return false
+					}
+					t.meter.Write()
+					if !visit(n.ivs[k.id]) {
+						stop = true
+						return false
+					}
+					return true
+				})
+			}
+			n = n.left
+		case q > n.key:
+			if n.byRight != nil {
+				n.byRight.ReverseInOrder(func(k endKey) bool {
+					if k.v < q {
+						return false
+					}
+					t.meter.Write()
+					if !visit(n.ivs[k.id]) {
+						stop = true
+						return false
+					}
+					return true
+				})
+			}
+			n = n.right
+		default:
+			if n.byLeft != nil {
+				n.byLeft.InOrder(func(k endKey) bool {
+					t.meter.Write()
+					if !visit(n.ivs[k.id]) {
+						stop = true
+						return false
+					}
+					return true
+				})
+			}
+			n = nil
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// StabCount returns the number of live intervals containing q.
+func (t *Tree) StabCount(q float64) int {
+	c := 0
+	t.Stab(q, func(Interval) bool { c++; return true })
+	return c
+}
+
+// Insert adds an interval. The interval is stored at the first node on the
+// search path whose key it covers; if none exists, a new outer leaf keyed
+// at its left endpoint is created and the weights of the critical (or, in
+// classic mode, all) ancestors are updated — the write cost Theorem 7.3
+// bounds by O((ω + α) log_α n) amortized.
+func (t *Tree) Insert(iv Interval) error {
+	if iv.Right < iv.Left {
+		return fmt.Errorf("interval: inverted interval [%v, %v]", iv.Left, iv.Right)
+	}
+	if t.root == nil {
+		t.root = &node{key: iv.Left, weight: 2, initWeight: 2, critical: true}
+		t.meter.Write()
+		t.fillInner(t.root, []Interval{iv})
+		t.live++
+		return nil
+	}
+	// Descend to the target node, remembering the path.
+	var path []*node
+	n := t.root
+	var target *node
+	for n != nil {
+		t.meter.Read()
+		path = append(path, n)
+		if iv.Left <= n.key && n.key <= iv.Right {
+			target = n
+			break
+		}
+		if iv.Right < n.key {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if target != nil {
+		t.insertInner(target, iv)
+		t.live++
+		return nil
+	}
+	// No key is covered: attach a new leaf under the last path node.
+	parent := path[len(path)-1]
+	leaf := &node{key: iv.Left, weight: 2, initWeight: 2, critical: true}
+	t.meter.Write()
+	t.fillInner(leaf, []Interval{iv})
+	if iv.Right < parent.key {
+		parent.left = leaf
+	} else {
+		parent.right = leaf
+	}
+	t.live++
+	t.stats.LeafInsertions++
+
+	// Update weights: classic mode writes every ancestor; α-labeling
+	// writes only the critical ones.
+	var unbalanced *node
+	unbalancedIdx := -1
+	for i, a := range path {
+		if t.opts.classic() || a.critical {
+			a.weight++
+			t.meter.Write()
+			t.stats.WeightWrites++
+		}
+		if unbalanced == nil && t.isUnbalanced(a) {
+			unbalanced, unbalancedIdx = a, i
+		}
+	}
+	if unbalanced != nil {
+		var parent *node
+		if unbalancedIdx > 0 {
+			parent = path[unbalancedIdx-1]
+		}
+		oldW := weightOf(unbalanced)
+		sub := t.rebuildSubtree(unbalanced, parent)
+		// Rebuilding from the live intervals may change the outer node
+		// count (empty nodes are dropped, single-endpoint leaves become
+		// endpoint pairs); keep the maintained ancestor weights exact.
+		if delta := weightOf(sub) - oldW; delta != 0 {
+			for _, a := range path[:unbalancedIdx] {
+				if t.opts.classic() || a.critical {
+					a.weight += delta
+					t.meter.Write()
+					t.stats.WeightWrites++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Tree) isUnbalanced(n *node) bool {
+	if t.opts.classic() {
+		// Standard weight balance: rebuild when one child holds more than
+		// ~71% of the weight.
+		w := weightOf(n)
+		if w < 8 {
+			return false
+		}
+		mx := weightOf(n.left)
+		if r := weightOf(n.right); r > mx {
+			mx = r
+		}
+		return float64(mx) > 0.71*float64(w)
+	}
+	return n.critical && n.weight >= 2*n.initWeight
+}
+
+// findParent locates child's parent by traversal (nil for the root).
+// Duplicate keys make a guided descent unreliable, and rebuilds are rare
+// enough that the traversal cost is amortized away.
+func findParent(root, child *node) *node {
+	var parent *node
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return false
+		}
+		if n.left == child || n.right == child {
+			parent = n
+			return true
+		}
+		return rec(n.left) || rec(n.right)
+	}
+	rec(root)
+	return parent
+}
+
+// insertInner adds iv to n's inner trees.
+func (t *Tree) insertInner(n *node, iv Interval) {
+	if n.byLeft == nil {
+		t.fillInner(n, nil)
+	}
+	if !n.byLeft.Insert(endKey{v: iv.Left, id: iv.ID}) {
+		panic(fmt.Sprintf("byLeft duplicate insert %+v", iv))
+	}
+	if !n.byRight.Insert(endKey{v: iv.Right, id: iv.ID}) {
+		panic(fmt.Sprintf("byRight duplicate insert %+v", iv))
+	}
+	n.ivs[iv.ID] = iv
+	t.meter.Write()
+}
+
+// Delete removes the interval (matched by ID and endpoints). Returns false
+// if not present. The whole tree is rebuilt once deletions outnumber live
+// intervals.
+//
+// The search follows the key ranges rather than stopping at the first
+// stabbed node: with duplicate endpoint values several nodes may carry a
+// key inside [Left, Right], and a reconstruction places each interval at
+// the rank-based LCA of its own endpoints, which need not be the first
+// value-stabbed node on the path.
+func (t *Tree) Delete(iv Interval) bool {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return false
+		}
+		t.meter.Read()
+		if iv.Right < n.key {
+			return rec(n.left)
+		}
+		if iv.Left > n.key {
+			return rec(n.right)
+		}
+		if stored, ok := n.ivs[iv.ID]; ok && stored == iv {
+			if !n.byLeft.Delete(endKey{v: iv.Left, id: iv.ID}) {
+				panic(fmt.Sprintf("byLeft delete miss %+v", iv))
+			}
+			if !n.byRight.Delete(endKey{v: iv.Right, id: iv.ID}) {
+				panic(fmt.Sprintf("byRight delete miss %+v", iv))
+			}
+			delete(n.ivs, iv.ID)
+			t.meter.Write()
+			return true
+		}
+		// Equal-key ambiguity: the interval may sit deeper on either side.
+		// Only subtrees whose key range still intersects [Left, Right] are
+		// visited, so this costs O(#equal keys) beyond the plain path.
+		return rec(n.left) || rec(n.right)
+	}
+	if !rec(t.root) {
+		return false
+	}
+	t.live--
+	t.deleted++
+	if t.deleted > t.live {
+		t.rebuildAll()
+	}
+	return true
+}
+
+// Intervals returns all live intervals.
+func (t *Tree) Intervals() []Interval {
+	var out []Interval
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		for _, iv := range n.ivs {
+			out = append(out, iv)
+		}
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}
+
+// rebuildSubtree reconstructs the subtree rooted at n from its intervals
+// using the post-sorted algorithm (O(n' log n') reads, O(n') writes plus
+// the charged sort), then relabels it (§7.3.2). Returns the new subtree.
+func (t *Tree) rebuildSubtree(n *node, parent *node) *node {
+	ivs := collectIntervals(n)
+	t.stats.Rebuilds++
+	t.stats.RebuildWork += int64(len(ivs))
+	s := n.initWeight
+	eps := gatherEndpoints(ivs)
+	t.sortEndpoints(eps, ivs)
+	sub := t.buildPostSorted(eps, ivs)
+	skip := false
+	if !t.opts.classic() {
+		skip = alabel.SkipRootMark(s, t.opts.Alpha)
+	}
+	t.labelSubtree(sub, weightOf(sub), skip)
+	switch {
+	case parent == nil:
+		t.root = sub
+		// The tree root is always a virtual critical node (§7.3.1); the
+		// §7.3.2 skip exception never applies to it.
+		t.markVirtualRoot()
+	case parent.left == n:
+		parent.left = sub
+	default:
+		parent.right = sub
+	}
+	t.meter.Write()
+	return sub
+}
+
+func collectIntervals(n *node) []Interval {
+	var out []Interval
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		for _, iv := range n.ivs {
+			out = append(out, iv)
+		}
+		rec(n.right)
+	}
+	rec(n)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// rebuildAll reconstructs the whole tree from the live intervals.
+func (t *Tree) rebuildAll() {
+	ivs := t.Intervals()
+	t.stats.FullRebuilds++
+	t.stats.RebuildWork += int64(len(ivs))
+	eps := gatherEndpoints(ivs)
+	t.sortEndpoints(eps, ivs)
+	t.root = t.buildPostSorted(eps, ivs)
+	t.deleted = 0
+	t.finishLabels()
+}
+
+// Check verifies the structural invariants: BST order of keys, stored
+// intervals cover their node's key and lie within the ancestor range,
+// weight bookkeeping at critical nodes, and — in α mode — the Corollary
+// 7.1/7.2 path bounds.
+func (t *Tree) Check() error {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.left) + count(n.right)
+	}
+	var rec func(n *node, lo, hi float64) error
+	rec = func(n *node, lo, hi float64) error {
+		if n == nil {
+			return nil
+		}
+		if n.key < lo || n.key > hi {
+			return fmt.Errorf("interval: key %v outside range [%v, %v]", n.key, lo, hi)
+		}
+		for _, iv := range n.ivs {
+			if iv.Left > n.key || iv.Right < n.key {
+				return fmt.Errorf("interval: interval %+v does not cover node key %v", iv, n.key)
+			}
+		}
+		if n.byLeft != nil && (n.byLeft.Len() != len(n.ivs) || n.byRight.Len() != len(n.ivs)) {
+			return fmt.Errorf("interval: inner tree sizes %d/%d != %d", n.byLeft.Len(), n.byRight.Len(), len(n.ivs))
+		}
+		if n.critical || t.opts.classic() {
+			if got, want := n.weight, count(n)+1; got != want {
+				return fmt.Errorf("interval: maintained weight %d != actual %d", got, want)
+			}
+		}
+		if err := rec(n.left, lo, n.key); err != nil {
+			return err
+		}
+		return rec(n.right, n.key, hi)
+	}
+	if err := rec(t.root, math.Inf(-1), math.Inf(1)); err != nil {
+		return err
+	}
+	total := 0
+	var sum func(n *node)
+	sum = func(n *node) {
+		if n == nil {
+			return
+		}
+		total += len(n.ivs)
+		sum(n.left)
+		sum(n.right)
+	}
+	sum(t.root)
+	if total != t.live {
+		return fmt.Errorf("interval: live count %d but %d stored", t.live, total)
+	}
+	return nil
+}
+
+// PathStats reports, over all root-to-leaf paths, the maximum number of
+// nodes, the maximum number of critical nodes, and the longest run of
+// consecutive secondary nodes — the quantities bounded by Corollaries
+// 7.1 and 7.2.
+type PathStats struct {
+	MaxPathLen       int
+	MaxCriticalNodes int
+	MaxSecondaryRun  int
+}
+
+// PathStats measures the α-labeling invariants.
+func (t *Tree) PathStats() PathStats {
+	var st PathStats
+	var rec func(n *node, depth, crit, run int)
+	rec = func(n *node, depth, crit, run int) {
+		if n == nil {
+			if depth > st.MaxPathLen {
+				st.MaxPathLen = depth
+			}
+			if crit > st.MaxCriticalNodes {
+				st.MaxCriticalNodes = crit
+			}
+			return
+		}
+		if n.critical {
+			crit++
+			run = 0
+		} else {
+			run++
+			if run > st.MaxSecondaryRun {
+				st.MaxSecondaryRun = run
+			}
+		}
+		rec(n.left, depth+1, crit, run)
+		rec(n.right, depth+1, crit, run)
+	}
+	rec(t.root, 0, 0, 0)
+	return st
+}

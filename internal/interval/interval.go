@@ -1,0 +1,446 @@
+// Package interval implements the paper's interval tree (§7, de Berg et
+// al. variant [26]): a balanced BST over the 2n interval endpoints where
+// each node stores the intervals covering its key in two inner trees
+// (sorted by left and by right endpoint), answering 1D stabbing queries in
+// O(log n + ωk).
+//
+// Three aspects follow the paper:
+//
+//   - Post-sorted construction (§7.2, Theorem 7.1): given endpoints in
+//     sorted order, the tree is built with O(n) writes using the heap-order
+//     LCA trick to assign each interval to its node in O(1) and a radix
+//     sort of (level, rank) keys to batch the inner-tree constructions.
+//   - Classic construction (§7.1 baseline): recursive median partitioning
+//     that scans and copies the intervals at every level — Θ(n log n)
+//     writes.
+//   - Reconstruction-based rebalancing with α-labeling (§7.3): dynamic
+//     inserts and deletes maintain subtree weights only at critical nodes,
+//     writing O(log_α n) locations per update, and rebuild a critical
+//     node's subtree once its weight doubles.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/alabel"
+	"repro/internal/asymmem"
+	"repro/internal/lca"
+	"repro/internal/parallel"
+	"repro/internal/radixsort"
+	"repro/internal/treap"
+)
+
+// Interval is a closed interval with a caller-chosen identifier.
+type Interval struct {
+	Left, Right float64
+	ID          int32
+}
+
+// endKey orders intervals within the inner trees.
+type endKey struct {
+	v  float64
+	id int32
+}
+
+func endLess(a, b endKey) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.id < b.id
+}
+
+func endPrio(k endKey) uint64 {
+	return parallel.Hash64(math.Float64bits(k.v) ^ uint64(uint32(k.id))*0x9e3779b97f4a7c15)
+}
+
+type node struct {
+	key         float64
+	left, right *node
+	byLeft      *treap.Tree[endKey] // covering intervals, keyed (Left, ID)
+	byRight     *treap.Tree[endKey] // covering intervals, keyed (Right, ID)
+	ivs         map[int32]Interval  // covering intervals by ID
+
+	weight     int // subtree node count + 1; maintained iff critical/classic
+	initWeight int
+	critical   bool
+}
+
+// Options configures the tree.
+type Options struct {
+	// Alpha ≥ 2 enables α-labeling; 0 or 1 selects the classic mode in
+	// which every node maintains its weight and standard weight-balancing
+	// applies.
+	Alpha int
+}
+
+func (o Options) classic() bool { return o.Alpha < 2 }
+
+// Tree is an interval tree.
+type Tree struct {
+	opts    Options
+	root    *node
+	live    int // live intervals
+	deleted int
+	meter   *asymmem.Meter
+	stats   Stats
+}
+
+// Stats profiles construction and updates.
+type Stats struct {
+	OuterNodes     int
+	Rebuilds       int   // subtree reconstructions triggered by imbalance
+	RebuildWork    int64 // total intervals involved in reconstructions
+	WeightWrites   int64 // balance-metadata writes (the α-labeling saving)
+	FullRebuilds   int   // whole-tree reconstructions from deletions
+	LeafInsertions int64 // inserts that added an outer leaf
+}
+
+// Len returns the number of live intervals.
+func (t *Tree) Len() int { return t.live }
+
+// Stats returns a copy of the statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// endpoint is one endpoint occurrence in the sorted endpoint array.
+type endpoint struct {
+	v     float64
+	iv    int32 // index into the interval slice
+	right bool
+}
+
+// Build sorts the endpoints with a charged comparison sort and constructs
+// the tree with the post-sorted algorithm. Total O(ωn + n log n) work when
+// the caller uses the write-efficient sort accounting (see sortEndpoints).
+func Build(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
+	if err := validate(ivs); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: opts, meter: m}
+	eps := gatherEndpoints(ivs)
+	t.sortEndpoints(eps, ivs)
+	t.root = t.buildPostSorted(eps, ivs)
+	t.live = len(ivs)
+	t.finishLabels()
+	return t, nil
+}
+
+// BuildClassic constructs the tree with the standard recursive algorithm
+// that partitions and copies the intervals level by level — the Θ(ωn log n)
+// baseline of Table 1.
+func BuildClassic(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
+	if err := validate(ivs); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: opts, meter: m}
+	eps := gatherEndpoints(ivs)
+	t.sortEndpoints(eps, ivs)
+	t.root = t.buildClassicRec(eps, ivs)
+	t.live = len(ivs)
+	t.finishLabels()
+	return t, nil
+}
+
+func validate(ivs []Interval) error {
+	for i := range ivs {
+		if ivs[i].Right < ivs[i].Left {
+			return fmt.Errorf("interval: inverted interval %d: [%v, %v]", i, ivs[i].Left, ivs[i].Right)
+		}
+		if math.IsNaN(ivs[i].Left) || math.IsNaN(ivs[i].Right) {
+			return fmt.Errorf("interval: interval %d has NaN endpoint", i)
+		}
+	}
+	return nil
+}
+
+func gatherEndpoints(ivs []Interval) []endpoint {
+	eps := make([]endpoint, 0, 2*len(ivs))
+	for i, iv := range ivs {
+		eps = append(eps, endpoint{v: iv.Left, iv: int32(i)}, endpoint{v: iv.Right, iv: int32(i), right: true})
+	}
+	return eps
+}
+
+// sortEndpoints sorts eps by value and charges the model cost of the §4
+// write-efficient comparison sort: one read per comparison and O(n)
+// writes. (The wesort package implements and measures that sort for real;
+// re-running it here would change only wall-clock, not the counted costs.)
+//
+// Ties on the value break by the interval's ID (then side): the inner
+// trees key on (value, ID), so the rank order of equal values must agree
+// with the key order for the per-node runs to feed FromSorted in strictly
+// increasing order.
+func (t *Tree) sortEndpoints(eps []endpoint, ivs []Interval) {
+	sort.Slice(eps, func(i, j int) bool {
+		t.meter.Read()
+		a, b := eps[i], eps[j]
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		if ivs[a.iv].ID != ivs[b.iv].ID {
+			return ivs[a.iv].ID < ivs[b.iv].ID
+		}
+		return !a.right && b.right
+	})
+	t.meter.WriteN(len(eps))
+}
+
+// buildPostSorted is the §7.2 construction: O(n) reads and writes given
+// sorted endpoints.
+func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
+	m := len(eps)
+	if m == 0 {
+		return nil
+	}
+	// Build the perfectly balanced BST; record each rank's heap index.
+	nodesByHeap := map[uint32]*node{}
+	rankToHeap := make([]uint32, m)
+	var build func(lo, hi int, h uint32) *node
+	build = func(lo, hi int, h uint32) *node {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &node{key: eps[mid].v}
+		t.meter.Write()
+		nodesByHeap[h] = n
+		rankToHeap[mid] = h
+		n.left = build(lo, mid, 2*h)
+		n.right = build(mid+1, hi, 2*h+1)
+		n.weight = weightOf(n.left) + weightOf(n.right)
+		return n
+	}
+	root := build(0, m, 1)
+
+	// Assign each interval to the LCA of its endpoint nodes (O(1) each).
+	maxLevel := 0
+	heapOf := make([]uint32, len(ivs))
+	leftRank := make([]int, len(ivs))
+	rightRank := make([]int, len(ivs))
+	for rank := range eps {
+		if eps[rank].right {
+			rightRank[eps[rank].iv] = rank
+		} else {
+			leftRank[eps[rank].iv] = rank
+		}
+	}
+	t.meter.ReadN(m)
+	for i := range ivs {
+		h := lca.HeapLCA(rankToHeap[leftRank[i]], rankToHeap[rightRank[i]])
+		heapOf[i] = h
+		if d := lca.HeapDepth(h); d > maxLevel {
+			maxLevel = d
+		}
+	}
+	t.meter.WriteN(len(ivs))
+
+	// Radix sort (level, leftRank) and (level, rightRank) pairs; intervals
+	// of one node are consecutive within a level.
+	width := uint64(m + 1)
+	makeItems := func(rank []int) []radixsort.Item {
+		items := make([]radixsort.Item, len(ivs))
+		for i := range ivs {
+			level := uint64(lca.HeapDepth(heapOf[i]))
+			items[i] = radixsort.Item{Key: level*width + uint64(rank[i]), Val: int32(i)}
+		}
+		return items
+	}
+	byL := makeItems(leftRank)
+	byR := makeItems(rightRank)
+	maxKey := uint64(maxLevel+1) * width
+	radixsort.Sort(byL, maxKey, t.meter)
+	radixsort.Sort(byR, maxKey, t.meter)
+
+	// Group per node and build the inner treaps from sorted runs.
+	group := func(items []radixsort.Item, fill func(n *node, run []int32)) {
+		i := 0
+		for i < len(items) {
+			h := heapOf[items[i].Val]
+			j := i
+			run := make([]int32, 0, 4)
+			for j < len(items) && heapOf[items[j].Val] == h {
+				run = append(run, items[j].Val)
+				j++
+			}
+			fill(nodesByHeap[h], run)
+			i = j
+		}
+	}
+	group(byL, func(n *node, run []int32) {
+		if n.byLeft != nil {
+			panic("buildPostSorted: node received two byL runs")
+		}
+		keys := make([]endKey, len(run))
+		for i, vi := range run {
+			keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
+		}
+		n.byLeft = treap.New(endLess, endPrio, t.meter)
+		n.byLeft.FromSorted(keys)
+		for i := 1; i < len(keys); i++ {
+			if !endLess(keys[i-1], keys[i]) {
+				panic("buildPostSorted: byL keys not strictly increasing")
+			}
+		}
+	})
+	group(byR, func(n *node, run []int32) {
+		if n.byRight != nil {
+			panic("buildPostSorted: node received two byR runs")
+		}
+		keys := make([]endKey, len(run))
+		for i, vi := range run {
+			keys[i] = endKey{v: ivs[vi].Right, id: ivs[vi].ID}
+		}
+		for i := 1; i < len(keys); i++ {
+			if !endLess(keys[i-1], keys[i]) {
+				panic("buildPostSorted: byR keys not strictly increasing")
+			}
+		}
+		n.byRight = treap.New(endLess, endPrio, t.meter)
+		n.byRight.FromSorted(keys)
+		n.ivs = make(map[int32]Interval, len(run))
+		for _, vi := range run {
+			n.ivs[ivs[vi].ID] = ivs[vi]
+		}
+		t.meter.WriteN(len(run))
+	})
+	return root
+}
+
+// buildClassicRec is the standard construction: pick the median endpoint,
+// scan the intervals into left / cover / right (copying them — the write
+// cost the paper eliminates), recurse.
+func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) *node {
+	if len(eps) == 0 {
+		return nil
+	}
+	// Build the outer tree over all endpoints to keep the same shape as
+	// the post-sorted version; recursion works on endpoint ranges.
+	var build func(lo, hi int, pool []Interval) *node
+	build = func(lo, hi int, pool []Interval) *node {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &node{key: eps[mid].v}
+		t.meter.Write()
+		var lefts, rights, covers []Interval
+		for _, iv := range pool {
+			t.meter.Read()
+			t.meter.Write() // classic: every interval is copied per level
+			switch {
+			case iv.Right < n.key:
+				lefts = append(lefts, iv)
+			case iv.Left > n.key:
+				rights = append(rights, iv)
+			default:
+				covers = append(covers, iv)
+			}
+		}
+		t.fillInner(n, covers)
+		n.left = build(lo, mid, lefts)
+		n.right = build(mid+1, hi, rights)
+		n.weight = weightOf(n.left) + weightOf(n.right)
+		return n
+	}
+	return build(0, len(eps), ivs)
+}
+
+// fillInner populates a node's inner trees from an unsorted cover set.
+func (t *Tree) fillInner(n *node, covers []Interval) {
+	if n.byLeft == nil {
+		n.byLeft = treap.New(endLess, endPrio, t.meter)
+		n.byRight = treap.New(endLess, endPrio, t.meter)
+		n.ivs = make(map[int32]Interval, len(covers))
+	}
+	sort.Slice(covers, func(i, j int) bool {
+		t.meter.Read()
+		if covers[i].Left != covers[j].Left {
+			return covers[i].Left < covers[j].Left
+		}
+		return covers[i].ID < covers[j].ID
+	})
+	keysL := make([]endKey, len(covers))
+	for i, iv := range covers {
+		keysL[i] = endKey{v: iv.Left, id: iv.ID}
+	}
+	n.byLeft.FromSorted(keysL)
+	sort.Slice(covers, func(i, j int) bool {
+		t.meter.Read()
+		if covers[i].Right != covers[j].Right {
+			return covers[i].Right < covers[j].Right
+		}
+		return covers[i].ID < covers[j].ID
+	})
+	keysR := make([]endKey, len(covers))
+	for i, iv := range covers {
+		keysR[i] = endKey{v: iv.Right, id: iv.ID}
+		n.ivs[iv.ID] = iv
+	}
+	n.byRight.FromSorted(keysR)
+	t.meter.WriteN(len(covers))
+}
+
+// weightOf follows the paper's convention: weight = subtree node count + 1,
+// so an empty subtree has weight 1 and a node's weight is the sum of its
+// children's weights.
+func weightOf(n *node) int {
+	if n == nil {
+		return 1
+	}
+	return n.weight
+}
+
+// finishLabels computes weights and marks critical nodes over the whole
+// tree (O(n) reads/writes, §7.3.1).
+func (t *Tree) finishLabels() {
+	t.stats.OuterNodes = t.countNodes(t.root)
+	t.labelSubtree(t.root, weightOf(t.root), false)
+	t.markVirtualRoot()
+}
+
+func (t *Tree) countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + t.countNodes(n.left) + t.countNodes(n.right)
+}
+
+// labelSubtree recomputes weights bottom-up and marks critical nodes.
+// skipRoot suppresses marking the subtree root (the §7.3.2 exception).
+func (t *Tree) labelSubtree(root *node, _ int, skipRoot bool) {
+	var rec func(n, sib *node) int
+	rec = func(n, sib *node) int {
+		if n == nil {
+			return 1
+		}
+		wl := rec(n.left, n.right)
+		wr := rec(n.right, n.left)
+		n.weight = wl + wr // paper: a node's weight is the sum of its children's
+		sw := 0
+		if sib != nil {
+			sw = weightOf(sib)
+		}
+		if t.opts.classic() {
+			n.critical = true
+		} else {
+			n.critical = alabel.IsCritical(n.weight, sw, t.opts.Alpha)
+		}
+		n.initWeight = n.weight
+		t.meter.Write()
+		return n.weight
+	}
+	rec(root, nil)
+	if root != nil && skipRoot {
+		root.critical = false
+	}
+}
+
+// markVirtualRoot forces the tree root to be the paper's virtual critical
+// node regardless of the predicate.
+func (t *Tree) markVirtualRoot() {
+	if t.root != nil {
+		t.root.critical = true
+		t.root.initWeight = t.root.weight
+	}
+}

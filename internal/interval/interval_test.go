@@ -1,0 +1,410 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func fromGen(gi []gen.Interval) []Interval {
+	out := make([]Interval, len(gi))
+	for i, iv := range gi {
+		out[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	return out
+}
+
+func bruteStab(ivs []Interval, q float64, dead map[int32]bool) map[int32]bool {
+	out := map[int32]bool{}
+	for _, iv := range ivs {
+		if dead[iv.ID] {
+			continue
+		}
+		if iv.Left <= q && q <= iv.Right {
+			out[iv.ID] = true
+		}
+	}
+	return out
+}
+
+func checkStab(t *testing.T, tr *Tree, ivs []Interval, q float64, dead map[int32]bool) {
+	t.Helper()
+	want := bruteStab(ivs, q, dead)
+	got := map[int32]bool{}
+	tr.Stab(q, func(iv Interval) bool {
+		if got[iv.ID] {
+			t.Fatalf("q=%v: duplicate id %d", q, iv.ID)
+		}
+		got[iv.ID] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("q=%v: got %d, want %d", q, len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("q=%v: missing id %d", q, id)
+		}
+	}
+}
+
+func TestBuildAndStab(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 500, 3000} {
+		ivs := fromGen(gen.UniformIntervals(n, 0.05, uint64(n)+1))
+		tr, err := Build(ivs, Options{Alpha: 4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r := parallel.NewRNG(uint64(n) + 9)
+		for q := 0; q < 50; q++ {
+			checkStab(t, tr, ivs, r.Float64(), nil)
+		}
+	}
+}
+
+func TestClassicMatchesPostSorted(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(800, 0.1, 2))
+	a, err := Build(ivs, Options{Alpha: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildClassic(ivs, Options{Alpha: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(3)
+	for q := 0; q < 200; q++ {
+		x := r.Float64()
+		if a.StabCount(x) != b.StabCount(x) {
+			t.Fatalf("q=%v: post-sorted %d vs classic %d", x, a.StabCount(x), b.StabCount(x))
+		}
+	}
+}
+
+func TestNestedIntervals(t *testing.T) {
+	ivs := fromGen(gen.NestedIntervals(500))
+	tr, err := Build(ivs, Options{Alpha: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tr.StabCount(0.5); c != 500 {
+		t.Fatalf("center stab = %d, want 500", c)
+	}
+	if c := tr.StabCount(-1); c != 0 {
+		t.Fatalf("outside stab = %d, want 0", c)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructionWriteCounts(t *testing.T) {
+	// Table 1 row: classic O(ωn log n) vs ours O(ωn + n log n).
+	n := 1 << 13
+	ivs := fromGen(gen.UniformIntervals(n, 0.02, 4))
+
+	mc := asymmem.NewMeter()
+	if _, err := BuildClassic(ivs, Options{Alpha: 4}, mc); err != nil {
+		t.Fatal(err)
+	}
+	mp := asymmem.NewMeter()
+	if _, err := Build(ivs, Options{Alpha: 4}, mp); err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(n))
+	classicPer := float64(mc.Writes()) / float64(n)
+	oursPer := float64(mp.Writes()) / float64(n)
+	if classicPer < logn/3 {
+		t.Errorf("classic writes/n = %.1f, want Θ(log n) ≈ %.1f", classicPer, logn)
+	}
+	if oursPer > 20 {
+		t.Errorf("post-sorted writes/n = %.1f, want O(1)", oursPer)
+	}
+	if mp.Writes() >= mc.Writes() {
+		t.Errorf("ours %d writes not below classic %d", mp.Writes(), mc.Writes())
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(300, 0.01, 5))
+	tr, err := Build(ivs[:100], Options{Alpha: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range ivs[100:] {
+		if err := tr.Insert(iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(6)
+	for q := 0; q < 100; q++ {
+		checkStab(t, tr, ivs, r.Float64(), nil)
+	}
+}
+
+func TestDynamicInsertFromEmpty(t *testing.T) {
+	tr, err := Build(nil, Options{Alpha: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := fromGen(gen.UniformIntervals(500, 0.005, 7))
+	for _, iv := range ivs {
+		if err := tr.Insert(iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(8)
+	for q := 0; q < 100; q++ {
+		checkStab(t, tr, ivs, r.Float64(), nil)
+	}
+	// Rebuilds must have kept paths short.
+	st := tr.PathStats()
+	if st.MaxPathLen > 12*int(math.Log2(500)) {
+		t.Errorf("path length %d too large after dynamic growth", st.MaxPathLen)
+	}
+}
+
+func TestInsertInvertedFails(t *testing.T) {
+	tr, _ := Build(nil, Options{Alpha: 2}, nil)
+	if err := tr.Insert(Interval{Left: 2, Right: 1}); err == nil {
+		t.Fatal("inverted interval must be rejected")
+	}
+	if _, err := Build([]Interval{{Left: 3, Right: 1}}, Options{}, nil); err == nil {
+		t.Fatal("inverted interval must be rejected at build")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(400, 0.05, 9))
+	tr, err := Build(ivs, Options{Alpha: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	r := parallel.NewRNG(10)
+	for i := 0; i < 350; i++ {
+		vi := r.Intn(len(ivs))
+		if dead[ivs[vi].ID] {
+			if tr.Delete(ivs[vi]) {
+				t.Fatal("double delete succeeded")
+			}
+			continue
+		}
+		if !tr.Delete(ivs[vi]) {
+			t.Fatalf("delete %d failed", ivs[vi].ID)
+		}
+		dead[ivs[vi].ID] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		checkStab(t, tr, ivs, r.Float64(), dead)
+	}
+	if tr.Stats().FullRebuilds == 0 {
+		t.Error("heavy deletion should have triggered a full rebuild")
+	}
+}
+
+func TestAlphaLabelingPathInvariants(t *testing.T) {
+	// Corollary 7.1/7.2 under adversarial one-sided growth (Figure 3's
+	// left-spine scenario).
+	for _, alpha := range []int{2, 4, 8} {
+		tr, _ := Build(nil, Options{Alpha: alpha}, nil)
+		n := 3000
+		for i := 0; i < n; i++ {
+			// Strictly decreasing tiny intervals: always new leftmost leaf.
+			x := 1.0 - float64(i)/float64(n)
+			if err := tr.Insert(Interval{Left: x, Right: x + 1e-9, ID: int32(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		st := tr.PathStats()
+		logAlphaN := math.Log(float64(n)) / math.Log(float64(alpha))
+		if float64(st.MaxCriticalNodes) > 6*logAlphaN+8 {
+			t.Errorf("alpha=%d: %d critical nodes/path > O(log_α n) = %.1f",
+				alpha, st.MaxCriticalNodes, logAlphaN)
+		}
+		if st.MaxSecondaryRun > 2*(4*alpha+1) {
+			t.Errorf("alpha=%d: secondary run %d > 2·(4α+1) = %d",
+				alpha, st.MaxSecondaryRun, 2*(4*alpha+1))
+		}
+	}
+}
+
+func TestUpdateWriteTradeoff(t *testing.T) {
+	// Theorem 7.3/7.4: weight-metadata writes per leaf-adding insert drop
+	// as Θ(log α); classic mode writes the whole path.
+	n := 5000
+	ivs := make([]Interval, n)
+	r := parallel.NewRNG(12)
+	for i := range ivs {
+		x := r.Float64()
+		ivs[i] = Interval{Left: x, Right: x + 1e-9, ID: int32(i)}
+	}
+	perAlpha := map[int]float64{}
+	for _, alpha := range []int{0, 2, 8, 32} {
+		m := asymmem.NewMeter()
+		tr, _ := Build(nil, Options{Alpha: alpha}, m)
+		for _, iv := range ivs {
+			if err := tr.Insert(iv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := tr.Stats()
+		if st.LeafInsertions == 0 {
+			t.Fatal("workload should add leaves")
+		}
+		perAlpha[alpha] = float64(st.WeightWrites) / float64(st.LeafInsertions)
+	}
+	// The saving factor is Θ(log α): invisible at α=2, clear at 8 and 32.
+	if perAlpha[8] >= perAlpha[0] {
+		t.Errorf("alpha=8 weight writes/insert %.2f not below classic %.2f", perAlpha[8], perAlpha[0])
+	}
+	if perAlpha[32] >= perAlpha[8] {
+		t.Errorf("alpha=32 weight writes/insert %.2f not below alpha=8 %.2f", perAlpha[32], perAlpha[8])
+	}
+	if perAlpha[2] > 2*perAlpha[0] {
+		t.Errorf("alpha=2 weight writes/insert %.2f should be comparable to classic %.2f", perAlpha[2], perAlpha[0])
+	}
+}
+
+func TestQuickStabMatchesBrute(t *testing.T) {
+	f := func(seed uint64, qs []uint8) bool {
+		ivs := fromGen(gen.UniformIntervals(150, 0.08, seed))
+		tr, err := Build(ivs, Options{Alpha: 2}, nil)
+		if err != nil {
+			return false
+		}
+		for _, qq := range qs {
+			q := float64(qq) / 255
+			if tr.StabCount(q) != len(bruteStab(ivs, q, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDynamicMixedOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr, _ := Build(nil, Options{Alpha: 2}, nil)
+		live := map[int32]Interval{}
+		id := int32(0)
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				x := float64(op%1000) / 1000
+				iv := Interval{Left: x, Right: x + float64(op%7)/100, ID: id}
+				if tr.Insert(iv) != nil {
+					return false
+				}
+				live[id] = iv
+				id++
+			} else {
+				for k, iv := range live {
+					if !tr.Delete(iv) {
+						return false
+					}
+					delete(live, k)
+					break
+				}
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		q := 0.35
+		want := 0
+		for _, iv := range live {
+			if iv.Left <= q && q <= iv.Right {
+				want++
+			}
+		}
+		return tr.StabCount(q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountStabMatchesReporting(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(2000, 0.05, 51))
+	tr, err := Build(ivs, Options{Alpha: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(52)
+	for q := 0; q < 300; q++ {
+		x := r.Float64()
+		if got, want := tr.CountStab(x), tr.StabCount(x); got != want {
+			t.Fatalf("CountStab(%v) = %d, reporting says %d", x, got, want)
+		}
+	}
+	// Exact endpoint hits and far-out probes.
+	for _, x := range []float64{ivs[0].Left, ivs[0].Right, -5, 5} {
+		if got, want := tr.CountStab(x), tr.StabCount(x); got != want {
+			t.Fatalf("CountStab(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestCountStabChargesNoWrites(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(1000, 0.1, 53))
+	m := asymmem.NewMeter()
+	tr, _ := Build(ivs, Options{Alpha: 4}, m)
+	before := m.Snapshot()
+	tr.CountStab(0.5)
+	cost := m.Snapshot().Sub(before)
+	if cost.Writes != 0 {
+		t.Fatalf("counting query wrote %d times", cost.Writes)
+	}
+	if cost.Reads == 0 {
+		t.Fatal("counting query charged no reads")
+	}
+	// And it must be far cheaper than reporting for dense stabs.
+	before = m.Snapshot()
+	tr.StabCount(0.5)
+	reporting := m.Snapshot().Sub(before)
+	if k := tr.CountStab(0.5); k > 40 && cost.Reads >= reporting.Reads {
+		t.Fatalf("counting reads %d not below reporting reads %d for k=%d",
+			cost.Reads, reporting.Reads, k)
+	}
+}
+
+func TestRejectsNaNIntervals(t *testing.T) {
+	if _, err := Build([]Interval{{Left: math.NaN(), Right: 1}}, Options{}, nil); err == nil {
+		t.Error("Build accepted NaN endpoint")
+	}
+	tr, _ := Build(nil, Options{Alpha: 2}, nil)
+	if err := tr.BulkInsert([]Interval{{Left: 0, Right: math.NaN()}}); err == nil {
+		t.Error("BulkInsert accepted NaN endpoint")
+	}
+}

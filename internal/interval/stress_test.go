@@ -1,0 +1,50 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestStressMixedOps(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		r := parallel.NewRNG(seed)
+		tr, _ := Build(nil, Options{Alpha: 2}, nil)
+		live := map[int32]Interval{}
+		var liveIDs []int32
+		id := int32(0)
+		for step := 0; step < 150; step++ {
+			if r.Intn(3) != 0 || len(liveIDs) == 0 {
+				x := float64(r.Intn(1000)) / 1000
+				iv := Interval{Left: x, Right: x + float64(r.Intn(7))/100, ID: id}
+				if err := tr.Insert(iv); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				live[id] = iv
+				liveIDs = append(liveIDs, id)
+				id++
+			} else {
+				vi := r.Intn(len(liveIDs))
+				victim := liveIDs[vi]
+				if !tr.Delete(live[victim]) {
+					t.Fatalf("seed %d step %d: delete %+v failed (check: %v)", seed, step, live[victim], tr.Check())
+				}
+				delete(live, victim)
+				liveIDs = append(liveIDs[:vi], liveIDs[vi+1:]...)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("seed %d after step %d: %v", seed, step, err)
+			}
+		}
+		q := 0.35
+		want := 0
+		for _, iv := range live {
+			if iv.Left <= q && q <= iv.Right {
+				want++
+			}
+		}
+		if got := tr.StabCount(q); got != want {
+			t.Fatalf("seed %d: stab %d != %d", seed, got, want)
+		}
+	}
+}

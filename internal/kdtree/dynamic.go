@@ -1,0 +1,388 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+)
+
+// This file implements §6.2: dynamic updates.
+//
+// Deletion (both schemes): locate the leaf, tombstone the item (O(log n)
+// reads, O(1) writes), and rebuild the whole structure once half the items
+// are tombstones — amortized O(ω + log n) work per deletion.
+//
+// Insertion scheme 1 — logarithmic reconstruction (Overmars [46]): a forest
+// of trees of sizes 2^i; equal-size trees are flattened and merged. With the
+// p-batched builder used for the rebuilds, the writes per insertion drop by
+// a Θ(log n) factor versus rebuilding classically.
+//
+// Insertion scheme 2 — single tree: maintain live counts on the path and
+// rebuild the topmost subtree whose children's sizes differ by more than
+// the imbalance budget (a constant fraction for ANN queries; O(1/log n)
+// for range queries). Amortized O(log²n + ω log n) or O(log³n + ω log²n)
+// work per insertion respectively.
+
+// Delete tombstones the live item with the given coordinates and ID.
+// Returns false if not present. The tree is rebuilt (classic) when half of
+// its items are dead.
+//
+// The search explores both children when the coordinate equals a split
+// value: with duplicate coordinates (and with SAH splits) equal items can
+// legitimately live on either side of the plane.
+func (t *Tree) Delete(it Item) bool {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return false
+		}
+		t.meter.Read()
+		if n.leaf {
+			for i := range n.items {
+				t.meter.Read()
+				if n.items[i].ID == it.ID && !n.deadMask[i] && n.items[i].P.Equal(it.P) {
+					n.deadMask[i] = true
+					t.meter.Write()
+					return true
+				}
+			}
+			return false
+		}
+		if it.P[n.axis] < n.split {
+			return rec(n.left)
+		}
+		if it.P[n.axis] > n.split {
+			return rec(n.right)
+		}
+		return rec(n.right) || rec(n.left)
+	}
+	if !rec(t.root) {
+		return false
+	}
+	t.size--
+	t.dead++
+	if t.dead > t.size {
+		t.rebuildAll()
+	}
+	return true
+}
+
+// rebuildAll reconstructs the tree from its live items.
+func (t *Tree) rebuildAll() {
+	items := t.Items()
+	t.arena = nil
+	t.dead = 0
+	t.size = len(items)
+	t.root = t.buildMedian(items, 0)
+}
+
+// SingleTree is the single-tree dynamic scheme of §6.2. Mode selects the
+// imbalance budget.
+type SingleTree struct {
+	*Tree
+	mode     BalanceMode
+	rebuilds int // subtree reconstructions performed
+}
+
+// BalanceMode selects the balance criterion of §6.2.
+type BalanceMode int
+
+const (
+	// BalanceForRange keeps subtree weights within a 1 ± O(1/log n)
+	// factor, preserving the O(n^((k-1)/k)) range-query bound
+	// (height log₂n + O(1)).
+	BalanceForRange BalanceMode = iota
+	// BalanceForANN allows a constant imbalance factor, preserving only
+	// O(log n) height — cheaper updates, valid for ANN queries.
+	BalanceForANN
+)
+
+// NewSingleTree wraps a freshly built tree for single-tree dynamic updates.
+func NewSingleTree(t *Tree, mode BalanceMode) *SingleTree {
+	t.recount(t.root)
+	return &SingleTree{Tree: t, mode: mode}
+}
+
+func (t *Tree) recount(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		live := 0
+		for i := range n.items {
+			if !n.deadMask[i] {
+				live++
+			}
+		}
+		n.count = live
+		return live
+	}
+	n.count = t.recount(n.left) + t.recount(n.right)
+	return n.count
+}
+
+// imbalanceBudget returns the allowed |left-right|/total.
+func (s *SingleTree) imbalanceBudget() float64 {
+	if s.mode == BalanceForANN {
+		return 0.6
+	}
+	n := float64(s.size + 2)
+	return 4.0 / math.Log2(n+2)
+}
+
+// Insert adds an item, rebuilding the topmost unbalanced subtree on the
+// path if the imbalance budget is exceeded.
+func (s *SingleTree) Insert(it Item) error {
+	if len(it.P) != s.dims {
+		return fmt.Errorf("kdtree: insert dimension %d, want %d", len(it.P), s.dims)
+	}
+	if s.root == nil {
+		s.root = s.newNode()
+		s.root.leaf = true
+		s.root.items = []Item{it}
+		s.root.deadMask = []bool{false}
+		s.root.count = 1
+		s.size = 1
+		return nil
+	}
+	// Descend, updating counts and remembering the topmost violator.
+	type pathEnt struct {
+		n     *node
+		depth int
+	}
+	var path []pathEnt
+	n := s.root
+	depth := 0
+	for !n.leaf {
+		s.meter.Read()
+		n.count++
+		s.meter.Write()
+		path = append(path, pathEnt{n, depth})
+		if it.P[n.axis] < n.split {
+			n = n.left
+		} else {
+			n = n.right
+		}
+		depth++
+	}
+	n.items = append(n.items, it)
+	n.deadMask = append(n.deadMask, false)
+	n.count++
+	s.meter.Write()
+	s.size++
+	if len(n.items) > s.leafSize {
+		s.settleDynamic(n, depth)
+	}
+	// Find the topmost node violating the balance budget and rebuild it.
+	budget := s.imbalanceBudget()
+	for _, pe := range path {
+		l, r := count(pe.n.left), count(pe.n.right)
+		if l+r >= 2*s.leafSize && math.Abs(float64(l-r))/float64(l+r) > budget {
+			s.rebuildSubtree(pe.n, pe.depth)
+			s.rebuilds++
+			break
+		}
+	}
+	return nil
+}
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+// settleDynamic splits an overfull leaf at its median.
+func (s *SingleTree) settleDynamic(leaf *node, depth int) {
+	items := make([]Item, 0, len(leaf.items))
+	for i := range leaf.items {
+		if !leaf.deadMask[i] {
+			items = append(items, leaf.items[i])
+		}
+	}
+	sub := s.buildMedian(items, depth)
+	*leaf = *sub
+}
+
+// rebuildSubtree reconstructs the subtree at n from its live items using
+// the write-efficient p-batched builder on a reshuffled order — the paper's
+// rebuild cost is O(n′ log n′ + ωn′), i.e. only O(n′) writes. The rebuilt
+// subtree's axis phase restarts at 0, which affects only the split
+// heuristic, not correctness.
+func (s *SingleTree) rebuildSubtree(n *node, depth int) {
+	items := s.collect(n)
+	items = SortItemsByRandomOrder(items, uint64(len(items))*0x9e37+uint64(s.rebuilds))
+	sub, err := BuildPBatched(s.dims, items, PBatchedOptions{Options: Options{LeafSize: s.leafSize}}, s.meter)
+	if err != nil || sub.root == nil {
+		// Dimensions were validated at insert; err is impossible here, but
+		// fall back to the in-place builder defensively.
+		*n = *s.buildMedian(items, depth)
+		return
+	}
+	sub.recount(sub.root)
+	*n = *sub.root
+}
+
+func (s *SingleTree) collect(n *node) []Item {
+	var out []Item
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			for i, it := range n.items {
+				if !n.deadMask[i] {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(n)
+	return out
+}
+
+// Rebuilds reports the number of subtree reconstructions so far.
+func (s *SingleTree) Rebuilds() int { return s.rebuilds }
+
+// Forest is the logarithmic-reconstruction scheme of §6.2 (Overmars [46]):
+// at most log₂n trees of sizes that are distinct powers of two.
+type Forest struct {
+	dims     int
+	opts     PBatchedOptions
+	meter    *asymmem.Meter
+	trees    []*Tree // trees[i] has exactly 2^i live-or-dead capacity, or nil
+	size     int
+	dead     int
+	rebuilds int
+	// UseClassicRebuild switches the merge rebuilds to the classic builder
+	// (the baseline the paper improves on by a Θ(log n) write factor).
+	UseClassicRebuild bool
+}
+
+// NewForest returns an empty forest.
+func NewForest(dims int, opts PBatchedOptions, m *asymmem.Meter) *Forest {
+	return &Forest{dims: dims, opts: opts, meter: m}
+}
+
+// Len returns the number of live items.
+func (f *Forest) Len() int { return f.size }
+
+// Trees returns the number of non-empty trees (≤ log₂n).
+func (f *Forest) Trees() int {
+	c := 0
+	for _, t := range f.trees {
+		if t != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Insert adds an item: a size-1 tree is created and equal-size trees merge
+// by flatten + rebuild, like binary counter increments.
+func (f *Forest) Insert(it Item) error {
+	if len(it.P) != f.dims {
+		return fmt.Errorf("kdtree: insert dimension %d, want %d", len(it.P), f.dims)
+	}
+	carry := []Item{it}
+	level := 0
+	for {
+		if level >= len(f.trees) {
+			f.trees = append(f.trees, nil)
+		}
+		if f.trees[level] == nil {
+			t, err := f.build(carry)
+			if err != nil {
+				return err
+			}
+			f.trees[level] = t
+			break
+		}
+		carry = append(carry, f.trees[level].Items()...)
+		f.trees[level] = nil
+		f.rebuilds++
+		level++
+	}
+	f.size++
+	return nil
+}
+
+func (f *Forest) build(items []Item) (*Tree, error) {
+	if len(items) > 8 {
+		// Reshuffle: merged items arrive in spatial order, which would
+		// starve the p-batched splitters of randomness.
+		items = SortItemsByRandomOrder(items, uint64(len(items))*31+uint64(f.rebuilds))
+	}
+	if f.UseClassicRebuild {
+		return BuildClassic(f.dims, items, f.opts.Options, f.meter)
+	}
+	return BuildPBatched(f.dims, items, f.opts, f.meter)
+}
+
+// Delete tombstones the item in whichever tree holds it.
+func (f *Forest) Delete(it Item) bool {
+	for _, t := range f.trees {
+		if t != nil && t.Delete(it) {
+			f.size--
+			f.dead++
+			return true
+		}
+	}
+	return false
+}
+
+// RangeQuery visits live items in box across all trees.
+func (f *Forest) RangeQuery(box geom.KBox, visit func(Item) bool) {
+	for _, t := range f.trees {
+		if t == nil {
+			continue
+		}
+		stop := false
+		t.RangeQuery(box, func(it Item) bool {
+			if !visit(it) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// RangeCount counts live items in box across all trees.
+func (f *Forest) RangeCount(box geom.KBox) int {
+	c := 0
+	f.RangeQuery(box, func(Item) bool { c++; return true })
+	return c
+}
+
+// ANN returns a (1+eps)-approximate nearest neighbour across all trees.
+func (f *Forest) ANN(q geom.KPoint, eps float64) (Item, bool) {
+	var best Item
+	bestD2 := -1.0
+	found := false
+	for _, t := range f.trees {
+		if t == nil {
+			continue
+		}
+		if it, ok := t.ANN(q, eps); ok {
+			d2 := q.Dist2(it.P)
+			if !found || d2 < bestD2 {
+				best, bestD2, found = it, d2, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Rebuilds reports how many merge-rebuild operations occurred.
+func (f *Forest) Rebuilds() int { return f.rebuilds }

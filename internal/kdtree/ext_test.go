@@ -1,0 +1,242 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// bruteKNN is the oracle for KNN.
+func bruteKNN(items []Item, q geom.KPoint, k int, dead map[int32]bool) []Item {
+	live := make([]Item, 0, len(items))
+	for _, it := range items {
+		if !dead[it.ID] {
+			live = append(live, it)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		di, dj := q.Dist2(live[i].P), q.Dist2(live[j].P)
+		if di != dj {
+			return di < dj
+		}
+		return live[i].ID < live[j].ID
+	})
+	if k > len(live) {
+		k = len(live)
+	}
+	return live[:k]
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	items := makeItems(2000, 2, 21)
+	tree, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(22)
+	for trial := 0; trial < 100; trial++ {
+		q := geom.KPoint{r.Float64(), r.Float64()}
+		k := r.Intn(20) + 1
+		got := tree.KNN(q, k)
+		want := bruteKNN(items, q, k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("KNN(%v,%d): %d results, want %d", q, k, len(got), len(want))
+		}
+		for i := range want {
+			if q.Dist2(got[i].P) != q.Dist2(want[i].P) {
+				t.Fatalf("KNN(%v,%d)[%d]: dist %v, want %v", q, k, i,
+					q.Dist2(got[i].P), q.Dist2(want[i].P))
+			}
+		}
+		// Non-decreasing distances.
+		for i := 1; i < len(got); i++ {
+			if q.Dist2(got[i-1].P) > q.Dist2(got[i].P) {
+				t.Fatal("KNN results not sorted by distance")
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	items := makeItems(50, 2, 23)
+	tree, _ := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	if got := tree.KNN(geom.KPoint{0.5, 0.5}, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := tree.KNN(geom.KPoint{0.5, 0.5}, 100); len(got) != 50 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	empty, _ := BuildPBatched(2, nil, PBatchedOptions{}, nil)
+	if got := empty.KNN(geom.KPoint{0, 0}, 3); got != nil {
+		t.Fatal("empty tree must return nil")
+	}
+}
+
+func TestKNNWithDeletions(t *testing.T) {
+	items := makeItems(800, 2, 24)
+	tree, _ := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	dead := map[int32]bool{}
+	r := parallel.NewRNG(25)
+	for i := 0; i < 300; i++ {
+		vi := r.Intn(len(items))
+		if !dead[items[vi].ID] && tree.Delete(items[vi]) {
+			dead[items[vi].ID] = true
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.KPoint{r.Float64(), r.Float64()}
+		got := tree.KNN(q, 5)
+		want := bruteKNN(items, q, 5, dead)
+		for i := range want {
+			if q.Dist2(got[i].P) != q.Dist2(want[i].P) {
+				t.Fatalf("post-delete KNN mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestSAHBuildCorrect(t *testing.T) {
+	for _, n := range []int{10, 500, 5000} {
+		items := makeItems(n, 2, uint64(n)+31)
+		tree, err := BuildPBatchedSAH(2, items, PBatchedOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		box := geom.KBox{Min: geom.KPoint{0.2, 0.1}, Max: geom.KPoint{0.7, 0.8}}
+		checkRange(t, tree, items, box, nil)
+		// ANN still exact at eps=0.
+		q := geom.KPoint{0.4, 0.6}
+		got, ok := tree.ANN(q, 0)
+		if !ok {
+			t.Fatal("ANN empty")
+		}
+		best := math.Inf(1)
+		for _, it := range items {
+			if d := q.Dist2(it.P); d < best {
+				best = d
+			}
+		}
+		if q.Dist2(got.P) != best {
+			t.Fatalf("n=%d: SAH ANN %v != %v", n, q.Dist2(got.P), best)
+		}
+	}
+}
+
+func TestSAHClusteredQueriesCheaper(t *testing.T) {
+	// On strongly clustered data, SAH splits should not be worse than
+	// cycling medians for small-box queries (usually better: they cut
+	// empty space early). We only require correctness plus a sanity bound.
+	n := 1 << 13
+	r := parallel.NewRNG(33)
+	items := make([]Item, n)
+	for i := range items {
+		cx, cy := float64(r.Intn(4))*10, float64(r.Intn(4))*10
+		items[i] = Item{P: geom.KPoint{cx + r.Float64(), cy + r.Float64()}, ID: int32(i)}
+	}
+	med, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sah, err := BuildPBatchedSAH(2, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := geom.KBox{Min: geom.KPoint{10.2, 10.2}, Max: geom.KPoint{10.4, 10.4}}
+	if got, want := sah.RangeCount(box), med.RangeCount(box); got != want {
+		t.Fatalf("SAH count %d != median count %d", got, want)
+	}
+	vs, vm := sah.NodesVisitedByRange(box), med.NodesVisitedByRange(box)
+	if vs > 4*vm+64 {
+		t.Errorf("SAH visited %d nodes vs median %d — unexpectedly poor", vs, vm)
+	}
+}
+
+func TestDeleteWithDuplicateCoordinates(t *testing.T) {
+	// All points identical: Delete must find every one of them despite
+	// split-value ties.
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{P: geom.KPoint{0.5, 0.5}, ID: int32(i)}
+	}
+	tree, err := BuildPBatched(2, items, PBatchedOptions{P: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if !tree.Delete(it) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tree.Len())
+	}
+}
+
+func TestQuickKNNInvariant(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		items := makeItems(200, 2, seed)
+		tree, err := BuildPBatched(2, items, PBatchedOptions{P: 16}, nil)
+		if err != nil {
+			return false
+		}
+		k := int(kRaw)%30 + 1
+		q := geom.KPoint{0.3, 0.7}
+		got := tree.KNN(q, k)
+		want := bruteKNN(items, q, k, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if q.Dist2(got[i].P) != q.Dist2(want[i].P) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonFiniteItems(t *testing.T) {
+	bad := []Item{{P: geom.KPoint{0.5, math.NaN()}, ID: 0}}
+	if _, err := BuildClassic(2, bad, Options{}, nil); err == nil {
+		t.Error("classic accepted NaN")
+	}
+	if _, err := BuildPBatched(2, bad, PBatchedOptions{}, nil); err == nil {
+		t.Error("p-batched accepted NaN")
+	}
+}
+
+func TestPBatchedDeterministicAcrossParallelism(t *testing.T) {
+	items := makeItems(5000, 2, 91)
+	a, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := parallel.SetMaxOutstanding(0)
+	b, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	parallel.SetMaxOutstanding(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure: identical range answers and heights.
+	if a.Stats().Height != b.Stats().Height {
+		t.Fatalf("heights differ: %d vs %d", a.Stats().Height, b.Stats().Height)
+	}
+	r := parallel.NewRNG(92)
+	for q := 0; q < 100; q++ {
+		x, y := r.Float64(), r.Float64()
+		box := geom.KBox{Min: geom.KPoint{x, y}, Max: geom.KPoint{x + 0.2, y + 0.2}}
+		if a.RangeCount(box) != b.RangeCount(box) {
+			t.Fatal("range answers depend on schedule")
+		}
+	}
+}

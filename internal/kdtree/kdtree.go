@@ -1,0 +1,422 @@
+// Package kdtree implements the paper's §6: k-d trees with a classic
+// median-split construction (Θ(n log n) reads and writes), the p-batched
+// incremental construction of §6.1 (Θ(n log n) reads, O(n) writes whp,
+// Theorem 6.1), range and (1+ε)-approximate nearest neighbour queries, and
+// the two dynamic-update schemes of §6.2 (logarithmic reconstruction and
+// the single-tree rebuild scheme).
+//
+// Points carry an ID so deletions can tombstone an exact item; a structure
+// is rebuilt from scratch once half its items are tombstones, giving the
+// amortized O(ω + log n) deletion bound of §6.2.
+package kdtree
+
+import (
+	"fmt"
+
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+)
+
+// Item is a point with a caller-chosen identifier.
+type Item struct {
+	P  geom.KPoint
+	ID int32
+}
+
+type node struct {
+	axis        int8
+	leaf        bool
+	split       float64
+	left, right *node
+	id          int32  // arena index (stable; used for semisort keys)
+	count       int    // live items in subtree
+	dead        int    // tombstoned items in subtree
+	items       []Item // leaf payload (possibly with tombstones)
+	deadMask    []bool // parallel to items
+}
+
+// Tree is a k-d tree over k-dimensional points.
+type Tree struct {
+	dims     int
+	leafSize int
+	sah      bool
+	root     *node
+	arena    []*node
+	size     int // live items
+	dead     int
+	meter    *asymmem.Meter
+	stats    Stats
+}
+
+// Stats profiles construction and queries.
+type Stats struct {
+	Height        int
+	Settles       int   // leaf settle operations during p-batched build
+	MaxOverflow   int   // largest buffer seen at settle time (Lemma 6.3)
+	LocationReads int64 // reads during batched location
+}
+
+// Options configures construction.
+type Options struct {
+	LeafSize int // maximum items per leaf (default 8)
+	// SAH selects the surface-area-heuristic splitter (§6.3 extension)
+	// instead of the cycling-axis exact median.
+	SAH bool
+}
+
+func (o Options) leafSize() int {
+	if o.LeafSize <= 0 {
+		return 8
+	}
+	return o.LeafSize
+}
+
+func newTree(dims int, opts Options, m *asymmem.Meter) *Tree {
+	return &Tree{dims: dims, leafSize: opts.leafSize(), sah: opts.SAH, meter: m}
+}
+
+func (t *Tree) newNode() *node {
+	n := &node{id: int32(len(t.arena))}
+	t.arena = append(t.arena, n)
+	t.meter.Write()
+	return n
+}
+
+// Len returns the number of live items.
+func (t *Tree) Len() int { return t.size }
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Stats returns construction statistics (recomputing the height).
+func (t *Tree) Stats() Stats {
+	t.stats.Height = t.height(t.root)
+	return t.stats
+}
+
+func (t *Tree) height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := t.height(n.left), t.height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// BuildClassic builds the tree by recursive exact-median splitting,
+// cycling the axes. Charges Θ(n) writes per level — the standard
+// construction the paper compares against.
+func BuildClassic(dims int, items []Item, opts Options, m *asymmem.Meter) (*Tree, error) {
+	if err := validate(dims, items); err != nil {
+		return nil, err
+	}
+	t := newTree(dims, opts, m)
+	buf := make([]Item, len(items))
+	copy(buf, items)
+	m.WriteN(len(items))
+	t.root = t.buildMedian(buf, 0)
+	t.size = len(items)
+	return t, nil
+}
+
+func validate(dims int, items []Item) error {
+	if dims < 1 {
+		return fmt.Errorf("kdtree: dims must be >= 1, got %d", dims)
+	}
+	for i := range items {
+		if len(items[i].P) != dims {
+			return fmt.Errorf("kdtree: item %d has dimension %d, want %d", i, len(items[i].P), dims)
+		}
+		if !items[i].P.IsFinite() {
+			return fmt.Errorf("kdtree: item %d has non-finite coordinates: %v", i, items[i].P)
+		}
+	}
+	return nil
+}
+
+// buildMedian recursively splits buf by the exact median along the cycling
+// axis. buf is consumed (reordered in place).
+func (t *Tree) buildMedian(buf []Item, depth int) *node {
+	if len(buf) == 0 {
+		return nil
+	}
+	n := t.newNode()
+	if len(buf) <= t.leafSize {
+		n.leaf = true
+		n.items = append([]Item{}, buf...)
+		n.deadMask = make([]bool, len(buf))
+		n.count = len(buf)
+		t.meter.WriteN(len(buf))
+		return n
+	}
+	axis := depth % t.dims
+	mid := len(buf) / 2
+	if t.sah {
+		var split float64
+		axis, split, mid = t.sahSplit(buf)
+		n.split = split
+	} else {
+		quickselect(buf, mid, axis)
+		n.split = buf[mid].P[axis]
+	}
+	t.meter.ReadN(len(buf))
+	t.meter.WriteN(len(buf)) // the classic build copies/partitions per level
+	n.axis = int8(axis)
+	n.left = t.buildMedian(buf[:mid], depth+1)
+	n.right = t.buildMedian(buf[mid:], depth+1)
+	n.count = len(buf)
+	return n
+}
+
+// quickselect partially sorts buf so that buf[k] is the k-th item by
+// (axis value, ID) order.
+func quickselect(buf []Item, k, axis int) {
+	lo, hi := 0, len(buf)-1
+	for lo < hi {
+		// Median-of-three pivot for robustness on sorted inputs.
+		mid := lo + (hi-lo)/2
+		if lessItem(buf[mid], buf[lo], axis) {
+			buf[mid], buf[lo] = buf[lo], buf[mid]
+		}
+		if lessItem(buf[hi], buf[lo], axis) {
+			buf[hi], buf[lo] = buf[lo], buf[hi]
+		}
+		if lessItem(buf[hi], buf[mid], axis) {
+			buf[hi], buf[mid] = buf[mid], buf[hi]
+		}
+		pivot := buf[mid]
+		i, j := lo, hi
+		for i <= j {
+			for lessItem(buf[i], pivot, axis) {
+				i++
+			}
+			for lessItem(pivot, buf[j], axis) {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+func lessItem(a, b Item, axis int) bool {
+	if a.P[axis] != b.P[axis] {
+		return a.P[axis] < b.P[axis]
+	}
+	return a.ID < b.ID
+}
+
+// locate descends from the root to the leaf whose region contains p,
+// charging a read per level.
+func (t *Tree) locate(p geom.KPoint) *node {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for !n.leaf {
+		t.meter.Read()
+		if p[n.axis] < n.split {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// RangeQuery reports the IDs of all live items inside box (inclusive).
+// The reads charged follow the O(n^((k-1)/k) + out) bound of Lemma 6.1
+// when the tree has near-optimal height.
+func (t *Tree) RangeQuery(box geom.KBox, visit func(Item) bool) {
+	region := geom.UniverseKBox(t.dims)
+	t.rangeRec(t.root, box, region, visit)
+}
+
+func (t *Tree) rangeRec(n *node, box geom.KBox, region geom.KBox, visit func(Item) bool) bool {
+	if n == nil || !box.Intersects(region) {
+		return true
+	}
+	t.meter.Read()
+	if n.leaf {
+		for i, it := range n.items {
+			t.meter.Read()
+			if n.deadMask[i] {
+				continue
+			}
+			if box.Contains(it.P) {
+				t.meter.Write()
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	lr := region.Clone()
+	lr.Max[n.axis] = n.split
+	if !t.rangeRec(n.left, box, lr, visit) {
+		return false
+	}
+	rr := region.Clone()
+	rr.Min[n.axis] = n.split
+	return t.rangeRec(n.right, box, rr, visit)
+}
+
+// RangeCount returns the number of live items in box.
+func (t *Tree) RangeCount(box geom.KBox) int {
+	c := 0
+	t.RangeQuery(box, func(Item) bool { c++; return true })
+	return c
+}
+
+// NodesVisitedByRange returns the number of tree nodes a range query over
+// box touches (the query-cost measure of Lemma 6.1).
+func (t *Tree) NodesVisitedByRange(box geom.KBox) int {
+	visited := 0
+	var rec func(n *node, region geom.KBox)
+	rec = func(n *node, region geom.KBox) {
+		if n == nil || !box.Intersects(region) {
+			return
+		}
+		visited++
+		if n.leaf {
+			return
+		}
+		lr := region.Clone()
+		lr.Max[n.axis] = n.split
+		rec(n.left, lr)
+		rr := region.Clone()
+		rr.Min[n.axis] = n.split
+		rec(n.right, rr)
+	}
+	rec(t.root, geom.UniverseKBox(t.dims))
+	return visited
+}
+
+// ANN returns a (1+eps)-approximate nearest neighbour of q among live
+// items: the returned item's distance is at most (1+eps) times the true
+// minimum. ok is false for an empty tree.
+func (t *Tree) ANN(q geom.KPoint, eps float64) (best Item, ok bool) {
+	if t.root == nil || t.size == 0 {
+		return Item{}, false
+	}
+	bestD2 := -1.0
+	shrink := 1.0 / ((1 + eps) * (1 + eps))
+	var rec3 func(n *node, region geom.KBox)
+	rec3 = func(n *node, region geom.KBox) {
+		if n == nil {
+			return
+		}
+		t.meter.Read()
+		if bestD2 >= 0 && region.Dist2(q) > bestD2*shrink {
+			return // prune: cannot improve by more than the (1+eps) slack
+		}
+		if n.leaf {
+			for i, it := range n.items {
+				t.meter.Read()
+				if n.deadMask[i] {
+					continue
+				}
+				d2 := q.Dist2(it.P)
+				if bestD2 < 0 || d2 < bestD2 {
+					bestD2, best, ok = d2, it, true
+				}
+			}
+			return
+		}
+		lr := region.Clone()
+		lr.Max[n.axis] = n.split
+		rr := region.Clone()
+		rr.Min[n.axis] = n.split
+		if q[n.axis] < n.split {
+			rec3(n.left, lr)
+			rec3(n.right, rr)
+		} else {
+			rec3(n.right, rr)
+			rec3(n.left, lr)
+		}
+	}
+	rec3(t.root, geom.UniverseKBox(t.dims))
+	return best, ok
+}
+
+// Items returns all live items (in arbitrary order).
+func (t *Tree) Items() []Item {
+	out := make([]Item, 0, t.size)
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			for i, it := range n.items {
+				if !n.deadMask[i] {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}
+
+// checkInvariants verifies split consistency, counts, and leaf sizes.
+func (t *Tree) checkInvariants() error {
+	var rec func(n *node, region geom.KBox) (live int, err error)
+	rec = func(n *node, region geom.KBox) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.leaf {
+			live := 0
+			for i, it := range n.items {
+				if !region.Contains(it.P) {
+					return 0, fmt.Errorf("kdtree: leaf item %v outside region %v", it.P, region)
+				}
+				if !n.deadMask[i] {
+					live++
+				}
+			}
+			return live, nil
+		}
+		lr := region.Clone()
+		lr.Max[n.axis] = n.split
+		rr := region.Clone()
+		rr.Min[n.axis] = n.split
+		l, err := rec(n.left, lr)
+		if err != nil {
+			return 0, err
+		}
+		r, err := rec(n.right, rr)
+		if err != nil {
+			return 0, err
+		}
+		return l + r, nil
+	}
+	live, err := rec(t.root, geom.UniverseKBox(t.dims))
+	if err != nil {
+		return err
+	}
+	if live != t.size {
+		return fmt.Errorf("kdtree: size %d but %d live items", t.size, live)
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+func makeItems(n, dims int, seed uint64) []Item {
+	pts := gen.UniformKPoints(n, dims, seed)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{P: pts[i], ID: int32(i)}
+	}
+	return items
+}
+
+// bruteRange is the oracle for range queries.
+func bruteRange(items []Item, box geom.KBox, dead map[int32]bool) map[int32]bool {
+	out := map[int32]bool{}
+	for _, it := range items {
+		if dead[it.ID] {
+			continue
+		}
+		if box.Contains(it.P) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func checkRange(t *testing.T, tree interface {
+	RangeQuery(geom.KBox, func(Item) bool)
+}, items []Item, box geom.KBox, dead map[int32]bool) {
+	t.Helper()
+	want := bruteRange(items, box, dead)
+	got := map[int32]bool{}
+	tree.RangeQuery(box, func(it Item) bool {
+		if got[it.ID] {
+			t.Fatalf("duplicate id %d in range result", it.ID)
+		}
+		got[it.ID] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range: got %d, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("range: missing id %d", id)
+		}
+	}
+}
+
+func TestClassicBuildAndRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 2000} {
+		items := makeItems(n, 2, uint64(n)+1)
+		tree, err := BuildClassic(2, items, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		box := geom.KBox{Min: geom.KPoint{0.2, 0.3}, Max: geom.KPoint{0.6, 0.9}}
+		checkRange(t, tree, items, box, nil)
+	}
+}
+
+func TestPBatchedBuildAndRange(t *testing.T) {
+	for _, n := range []int{1, 50, 1000, 5000} {
+		items := makeItems(n, 2, uint64(n)+2)
+		tree, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tree.Len())
+		}
+		box := geom.KBox{Min: geom.KPoint{0.1, 0.1}, Max: geom.KPoint{0.4, 0.8}}
+		checkRange(t, tree, items, box, nil)
+	}
+}
+
+func TestPBatched3D(t *testing.T) {
+	items := makeItems(2000, 3, 3)
+	tree, err := BuildPBatched(3, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := geom.KBox{Min: geom.KPoint{0, 0, 0}, Max: geom.KPoint{0.5, 0.5, 0.5}}
+	checkRange(t, tree, items, box, nil)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := BuildClassic(0, nil, Options{}, nil); err == nil {
+		t.Fatal("dims=0 must fail")
+	}
+	bad := []Item{{P: geom.KPoint{1, 2, 3}, ID: 0}}
+	if _, err := BuildClassic(2, bad, Options{}, nil); err == nil {
+		t.Fatal("wrong dimension must fail")
+	}
+	if _, err := BuildPBatched(2, bad, PBatchedOptions{}, nil); err == nil {
+		t.Fatal("wrong dimension must fail (p-batched)")
+	}
+}
+
+func TestHeightBoundLemma62(t *testing.T) {
+	// With p = Ω(log³n), the height is log₂n + O(1) whp.
+	n := 1 << 14
+	items := makeItems(n, 2, 5)
+	tree, err := BuildPBatched(2, items, PBatchedOptions{Options: Options{LeafSize: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.Stats().Height
+	logn := int(math.Ceil(math.Log2(float64(n))))
+	if h > logn+6 {
+		t.Errorf("height %d > log2(n)+6 = %d", h, logn+6)
+	}
+	// Split quality: imbalance ≤ O(1/log n) at large nodes.
+	if q := tree.MedianSplitQuality(n / 8); q > 0.2 {
+		t.Errorf("split imbalance %.3f too high at large nodes", q)
+	}
+}
+
+func TestOverflowBufferBoundLemma63(t *testing.T) {
+	n := 1 << 13
+	items := makeItems(n, 2, 6)
+	opts := PBatchedOptions{}
+	tree, err := BuildPBatched(2, items, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := opts.EffectiveP(n)
+	if tree.stats.MaxOverflow > 8*p {
+		t.Errorf("max overflow %d exceeds O(p)=8·%d", tree.stats.MaxOverflow, p)
+	}
+}
+
+func TestWriteEfficiencyClaimKD(t *testing.T) {
+	// Theorem 6.1: classic Θ(n log n) writes vs p-batched O(n).
+	n := 1 << 14
+	items := makeItems(n, 2, 7)
+
+	mc := asymmem.NewMeter()
+	if _, err := BuildClassic(2, items, Options{LeafSize: 1}, mc); err != nil {
+		t.Fatal(err)
+	}
+	mp := asymmem.NewMeter()
+	if _, err := BuildPBatched(2, items, PBatchedOptions{Options: Options{LeafSize: 1}}, mp); err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(n))
+	classicPer := float64(mc.Writes()) / float64(n)
+	batchedPer := float64(mp.Writes()) / float64(n)
+	if classicPer < logn/3 {
+		t.Errorf("classic writes/n = %.1f, expected Θ(log n) ≈ %.1f", classicPer, logn)
+	}
+	if batchedPer > 14 {
+		t.Errorf("p-batched writes/n = %.1f, expected O(1)", batchedPer)
+	}
+	if mp.Writes() >= mc.Writes() {
+		t.Errorf("p-batched %d writes not below classic %d", mp.Writes(), mc.Writes())
+	}
+}
+
+func TestANNExactWithZeroEps(t *testing.T) {
+	items := makeItems(3000, 2, 8)
+	tree, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(9)
+	for q := 0; q < 200; q++ {
+		query := geom.KPoint{r.Float64(), r.Float64()}
+		got, ok := tree.ANN(query, 0)
+		if !ok {
+			t.Fatal("ANN found nothing")
+		}
+		bestD2 := math.Inf(1)
+		for _, it := range items {
+			if d := query.Dist2(it.P); d < bestD2 {
+				bestD2 = d
+			}
+		}
+		if query.Dist2(got.P) != bestD2 {
+			t.Fatalf("eps=0 ANN distance %v != exact %v", query.Dist2(got.P), bestD2)
+		}
+	}
+}
+
+func TestANNApproximationGuarantee(t *testing.T) {
+	items := makeItems(3000, 2, 10)
+	tree, _ := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	r := parallel.NewRNG(11)
+	eps := 0.5
+	for q := 0; q < 200; q++ {
+		query := geom.KPoint{r.Float64(), r.Float64()}
+		got, ok := tree.ANN(query, eps)
+		if !ok {
+			t.Fatal("ANN found nothing")
+		}
+		bestD2 := math.Inf(1)
+		for _, it := range items {
+			if d := query.Dist2(it.P); d < bestD2 {
+				bestD2 = d
+			}
+		}
+		if math.Sqrt(query.Dist2(got.P)) > (1+eps)*math.Sqrt(bestD2)+1e-12 {
+			t.Fatalf("ANN violated (1+eps) guarantee: %v > %v",
+				math.Sqrt(query.Dist2(got.P)), (1+eps)*math.Sqrt(bestD2))
+		}
+	}
+}
+
+func TestDeleteAndRebuild(t *testing.T) {
+	items := makeItems(2000, 2, 12)
+	tree, _ := BuildPBatched(2, items, PBatchedOptions{}, nil)
+	dead := map[int32]bool{}
+	r := parallel.NewRNG(13)
+	for i := 0; i < 1500; i++ {
+		vi := r.Intn(len(items))
+		if dead[items[vi].ID] {
+			if tree.Delete(items[vi]) {
+				t.Fatal("double delete succeeded")
+			}
+			continue
+		}
+		if !tree.Delete(items[vi]) {
+			t.Fatalf("delete of live item %d failed", items[vi].ID)
+		}
+		dead[items[vi].ID] = true
+	}
+	if tree.Len() != 2000-len(dead) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), 2000-len(dead))
+	}
+	box := geom.KBox{Min: geom.KPoint{0, 0}, Max: geom.KPoint{1, 1}}
+	checkRange(t, tree, items, box, dead)
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleTreeInsert(t *testing.T) {
+	items := makeItems(500, 2, 14)
+	base, _ := BuildPBatched(2, items[:100], PBatchedOptions{}, nil)
+	st := NewSingleTree(base, BalanceForRange)
+	for _, it := range items[100:] {
+		if err := st.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 500 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	box := geom.KBox{Min: geom.KPoint{0.2, 0.2}, Max: geom.KPoint{0.8, 0.7}}
+	checkRange(t, st.Tree, items, box, nil)
+	if err := st.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Height stays logarithmic thanks to rebuild-based rebalancing.
+	if h := st.Stats().Height; h > 4*int(math.Log2(500)) {
+		t.Errorf("single-tree height %d too large", h)
+	}
+}
+
+func TestSingleTreeSortedInsertionTriggersRebuilds(t *testing.T) {
+	// Adversarial sorted insertions must trigger rebuilds but stay correct.
+	base, _ := BuildPBatched(2, makeItems(64, 2, 15), PBatchedOptions{}, nil)
+	st := NewSingleTree(base, BalanceForRange)
+	var items []Item
+	for i := 0; i < 1000; i++ {
+		it := Item{P: geom.KPoint{float64(i) / 1000, float64(i) / 1000}, ID: int32(1000 + i)}
+		items = append(items, it)
+		if err := st.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Rebuilds() == 0 {
+		t.Error("sorted insertion should trigger rebuilds")
+	}
+	if h := st.Stats().Height; h > 30 {
+		t.Errorf("height %d after adversarial insertion", h)
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForest(t *testing.T) {
+	f := NewForest(2, PBatchedOptions{}, nil)
+	items := makeItems(600, 2, 16)
+	for _, it := range items {
+		if err := f.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 600 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// At most log2(n)+1 trees.
+	if f.Trees() > int(math.Log2(600))+1 {
+		t.Errorf("%d trees for n=600", f.Trees())
+	}
+	box := geom.KBox{Min: geom.KPoint{0.3, 0.1}, Max: geom.KPoint{0.9, 0.6}}
+	checkRange(t, f, items, box, nil)
+
+	// Deletions across trees.
+	dead := map[int32]bool{}
+	for i := 0; i < 200; i++ {
+		if !f.Delete(items[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+		dead[items[i].ID] = true
+	}
+	checkRange(t, f, items, box, dead)
+
+	// ANN across trees.
+	q := geom.KPoint{0.5, 0.5}
+	got, ok := f.ANN(q, 0)
+	if !ok {
+		t.Fatal("forest ANN found nothing")
+	}
+	bestD2 := math.Inf(1)
+	for _, it := range items {
+		if dead[it.ID] {
+			continue
+		}
+		if d := q.Dist2(it.P); d < bestD2 {
+			bestD2 = d
+		}
+	}
+	if q.Dist2(got.P) != bestD2 {
+		t.Fatalf("forest ANN %v != exact %v", q.Dist2(got.P), bestD2)
+	}
+}
+
+func TestRangeQueryCostScaling(t *testing.T) {
+	// Lemma 6.1: a 2-d range query visits O(2^(h/2)) = O(sqrt(n)) nodes
+	// for a height-log₂n tree (plus output). Use a thin empty-ish box so
+	// output doesn't dominate.
+	n := 1 << 14
+	items := makeItems(n, 2, 17)
+	tree, _ := BuildPBatched(2, items, PBatchedOptions{Options: Options{LeafSize: 1}}, nil)
+	box := geom.KBox{Min: geom.KPoint{0.37, 0}, Max: geom.KPoint{0.371, 1}}
+	visited := tree.NodesVisitedByRange(box)
+	out := tree.RangeCount(box)
+	bound := 40*int(math.Sqrt(float64(n))) + 4*out
+	if visited > bound {
+		t.Errorf("range visited %d nodes > bound %d (out=%d)", visited, bound, out)
+	}
+}
+
+func TestQuickRangeMatchesBrute(t *testing.T) {
+	f := func(seed uint64, x0, y0, x1, y1 uint8) bool {
+		items := makeItems(300, 2, seed)
+		tree, err := BuildPBatched(2, items, PBatchedOptions{P: 8}, nil)
+		if err != nil {
+			return false
+		}
+		lo := geom.KPoint{float64(x0) / 255, float64(y0) / 255}
+		hi := geom.KPoint{float64(x0)/255 + float64(x1)/255, float64(y0)/255 + float64(y1)/255}
+		box := geom.KBox{Min: lo, Max: hi}
+		want := bruteRange(items, box, nil)
+		got := 0
+		bad := false
+		tree.RangeQuery(box, func(it Item) bool {
+			if !want[it.ID] {
+				bad = true
+				return false
+			}
+			got++
+			return true
+		})
+		return !bad && got == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// Many identical points: quickselect tie-breaks by ID; tree must build
+	// and query correctly.
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = Item{P: geom.KPoint{0.5, 0.5}, ID: int32(i)}
+	}
+	tree, err := BuildPBatched(2, items, PBatchedOptions{P: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := geom.KBox{Min: geom.KPoint{0.5, 0.5}, Max: geom.KPoint{0.5, 0.5}}
+	if c := tree.RangeCount(box); c != 200 {
+		t.Fatalf("RangeCount = %d, want 200", c)
+	}
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package kdtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// KNN returns the k nearest live items to q in non-decreasing distance
+// order (fewer if the tree holds fewer). This is the exact k-nearest
+// extension of the §6.1 ANN query: the same pruned descent with a
+// max-heap of the best k candidates.
+func (t *Tree) KNN(q geom.KPoint, k int) []Item {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	h := &knnHeap{}
+	var rec func(n *node, region geom.KBox)
+	rec = func(n *node, region geom.KBox) {
+		if n == nil {
+			return
+		}
+		t.meter.Read()
+		if h.Len() == k && region.Dist2(q) > h.worst() {
+			return
+		}
+		if n.leaf {
+			for i, it := range n.items {
+				t.meter.Read()
+				if n.deadMask[i] {
+					continue
+				}
+				d2 := q.Dist2(it.P)
+				if h.Len() < k {
+					heap.Push(h, knnEnt{d2: d2, it: it})
+				} else if d2 < h.worst() {
+					h.entries[0] = knnEnt{d2: d2, it: it}
+					heap.Fix(h, 0)
+				}
+			}
+			return
+		}
+		lr := region.Clone()
+		lr.Max[n.axis] = n.split
+		rr := region.Clone()
+		rr.Min[n.axis] = n.split
+		if q[n.axis] < n.split {
+			rec(n.left, lr)
+			rec(n.right, rr)
+		} else {
+			rec(n.right, rr)
+			rec(n.left, lr)
+		}
+	}
+	rec(t.root, geom.UniverseKBox(t.dims))
+
+	out := make([]Item, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(knnEnt).it
+	}
+	t.meter.WriteN(len(out))
+	return out
+}
+
+type knnEnt struct {
+	d2 float64
+	it Item
+}
+
+// knnHeap is a max-heap by distance (worst candidate on top).
+type knnHeap struct {
+	entries []knnEnt
+}
+
+func (h *knnHeap) Len() int           { return len(h.entries) }
+func (h *knnHeap) Less(i, j int) bool { return h.entries[i].d2 > h.entries[j].d2 }
+func (h *knnHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *knnHeap) Push(x interface{}) { h.entries = append(h.entries, x.(knnEnt)) }
+func (h *knnHeap) worst() float64     { return h.entries[0].d2 }
+func (h *knnHeap) Pop() interface{} {
+	n := len(h.entries)
+	out := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return out
+}

@@ -1,0 +1,254 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/incremental"
+	"repro/internal/parallel"
+	"repro/internal/semisort"
+)
+
+// PBatchedOptions configures the p-batched incremental construction.
+type PBatchedOptions struct {
+	Options
+	// P is the leaf buffer capacity before a split (the paper's p).
+	// 0 selects the paper's range-query setting p = log³n (Lemma 6.2);
+	// pass 1 for the pure incremental construction and n for the classic
+	// behaviour.
+	P int
+}
+
+// EffectiveP resolves the buffer capacity for input size n.
+func (o PBatchedOptions) EffectiveP(n int) int {
+	if o.P > 0 {
+		return o.P
+	}
+	lg := math.Log2(float64(n) + 2)
+	p := int(lg * lg * lg)
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+// BuildPBatched builds the tree with the paper's p-batched incremental
+// construction (§6.1, Figure 2): prefix-doubling rounds locate each object's
+// leaf (reads only), buffer it there (O(1) writes), and settle leaves whose
+// buffers overflow p by median-splitting just the buffer. After the rounds,
+// leaves with more than leafSize items are finished with the classic
+// builder. O(n) writes whp (Theorem 6.1); tree height log₂n + O(1) whp for
+// p = Ω(log³n) (Lemma 6.2).
+func BuildPBatched(dims int, items []Item, opts PBatchedOptions, m *asymmem.Meter) (*Tree, error) {
+	if err := validate(dims, items); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	t := newTree(dims, opts.Options, m)
+	if n == 0 {
+		return t, nil
+	}
+	p := opts.EffectiveP(n)
+
+	rounds := incremental.Schedule(n, incremental.DefaultInitial(n))
+	// Initial round: classic build of the first batch, but stopping the
+	// recursion at p-sized leaves so that *every* splitter in the tree is
+	// the median of at least p randomly-ordered objects — the property
+	// Lemma 6.2's Chernoff argument needs. The p-sized leaves then act as
+	// buffers for the doubling rounds.
+	buf := make([]Item, rounds[0].Size())
+	copy(buf, items[:rounds[0].Size()])
+	m.WriteN(len(buf))
+	savedLeaf := t.leafSize
+	if p > savedLeaf {
+		t.leafSize = p
+	}
+	t.root = t.buildMedian(buf, 0)
+	t.leafSize = savedLeaf
+	t.size = n
+
+	depthOf := t.computeDepths()
+
+	for _, r := range rounds[1:] {
+		batch := items[r.Start:r.End]
+		// Step 1: locate (reads only) + semisort by leaf.
+		leaves := make([]*node, len(batch))
+		before := t.meter.Snapshot()
+		parallel.For(len(batch), func(i int) {
+			leaves[i] = t.locate(batch[i].P)
+		})
+		t.stats.LocationReads += t.meter.Snapshot().Sub(before).Reads
+		pairs := make([]semisort.Pair, len(batch))
+		for i := range batch {
+			pairs[i] = semisort.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
+		}
+		groups := semisort.Semisort(pairs, m)
+
+		// Step 2: append to buffers; collect overflowed leaves.
+		var overflowed []*node
+		for _, g := range groups {
+			leaf := t.arena[g.Key]
+			for _, vi := range g.Vals {
+				leaf.items = append(leaf.items, items[vi])
+				leaf.deadMask = append(leaf.deadMask, false)
+				m.Write()
+			}
+			if len(leaf.items) > p {
+				overflowed = append(overflowed, leaf)
+			}
+		}
+
+		// Step 3: settle overflowed leaves (possibly cascading, O(1) deep
+		// whp by Lemma 6.3).
+		for _, leaf := range overflowed {
+			t.settle(leaf, depthOf[leaf.id], p, depthOf)
+		}
+	}
+
+	// Final pass: finish leaves larger than leafSize with the classic
+	// builder (the paper's "finishes building the subtree of the tree
+	// nodes with non-empty buffers recursively").
+	t.finishLeaves(t.root, 0)
+	return t, nil
+}
+
+// computeDepths returns depth per arena id (root = 0) for axis cycling.
+func (t *Tree) computeDepths() map[int32]int {
+	d := make(map[int32]int, len(t.arena))
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		d[n.id] = depth
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	rec(t.root, 0)
+	return d
+}
+
+// settle converts an overflowed leaf into an internal node splitting at
+// the median of its buffered items, pushing the items into two child
+// leaves; children still above p are settled recursively.
+func (t *Tree) settle(leaf *node, depth, p int, depthOf map[int32]int) {
+	t.stats.Settles++
+	if len(leaf.items) > t.stats.MaxOverflow {
+		t.stats.MaxOverflow = len(leaf.items)
+	}
+	items := leaf.items
+	axis := depth % t.dims
+	mid := len(items) / 2
+	if t.sah {
+		var split float64
+		axis, split, mid = t.sahSplit(items)
+		leaf.split = split
+	} else {
+		quickselect(items, mid, axis)
+		leaf.split = items[mid].P[axis]
+	}
+	t.meter.ReadN(len(items))
+
+	leaf.leaf = false
+	leaf.axis = int8(axis)
+	left, right := t.newNode(), t.newNode()
+	left.leaf, right.leaf = true, true
+	left.items = append([]Item{}, items[:mid]...)
+	right.items = append([]Item{}, items[mid:]...)
+	left.deadMask = make([]bool, len(left.items))
+	right.deadMask = make([]bool, len(right.items))
+	t.meter.WriteN(len(items))
+	leaf.items, leaf.deadMask = nil, nil
+	leaf.left, leaf.right = left, right
+	depthOf[left.id] = depth + 1
+	depthOf[right.id] = depth + 1
+	if len(left.items) > p {
+		t.settle(left, depth+1, p, depthOf)
+	}
+	if len(right.items) > p {
+		t.settle(right, depth+1, p, depthOf)
+	}
+}
+
+// finishLeaves rebuilds any leaf still holding more than leafSize items.
+// Buffers are O(p) whp and the model grants Ω(p) small memory, so each
+// rebuild loads the buffer once (O(size) reads), builds in small memory,
+// and emits the subtree (O(size) writes) — the accounting behind the
+// "O(n) writes to settle the leaves" step of Theorem 6.1.
+func (t *Tree) finishLeaves(n *node, depth int) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		if len(n.items) > t.leafSize {
+			sub := t.buildMedianSmallMem(n.items, depth)
+			*n = *sub
+		}
+		return
+	}
+	t.finishLeaves(n.left, depth+1)
+	t.finishLeaves(n.right, depth+1)
+}
+
+// buildMedianSmallMem builds a subtree over a buffer that fits in the
+// small symmetric memory: O(|buf|) reads to load it and O(|buf|) writes to
+// emit the result, with the internal recursion uncharged.
+func (t *Tree) buildMedianSmallMem(buf []Item, depth int) *node {
+	t.meter.ReadN(len(buf))
+	t.meter.WriteN(2 * len(buf)) // emitted items + tree nodes
+	saved := t.meter
+	t.meter = nil
+	n := t.buildMedian(buf, depth)
+	t.meter = saved
+	return n
+}
+
+// SortItemsByRandomOrder returns a copy of items shuffled with the given
+// seed — the random insertion order the paper's expectation bounds assume.
+func SortItemsByRandomOrder(items []Item, seed uint64) []Item {
+	out := append([]Item{}, items...)
+	perm := parallel.NewRNG(seed).Perm(len(out))
+	for i, j := range perm {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// MedianSplitQuality reports, per internal node, the imbalance
+// |left − right| / total of live items — the quantity Lemma 6.2 bounds by
+// ε = O(1/log n) for p = Ω(log³n). Returns the maximum over nodes with at
+// least minCount items.
+func (t *Tree) MedianSplitQuality(minCount int) float64 {
+	worst := 0.0
+	var rec func(n *node) int
+	rec = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			live := 0
+			for i := range n.items {
+				if !n.deadMask[i] {
+					live++
+				}
+			}
+			return live
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l+r >= minCount && l+r > 0 {
+			imb := math.Abs(float64(l-r)) / float64(l+r)
+			if imb > worst {
+				worst = imb
+			}
+		}
+		return l + r
+	}
+	rec(t.root)
+	return worst
+}
+
+// sortItems sorts items by (axis, ID); used by tests.
+func sortItems(items []Item, axis int) {
+	sort.Slice(items, func(i, j int) bool { return lessItem(items[i], items[j], axis) })
+}

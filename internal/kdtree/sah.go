@@ -1,0 +1,88 @@
+package kdtree
+
+import (
+	"math"
+
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+)
+
+// This file implements the §6.3 extension: construction under the
+// surface-area heuristic (SAH) of Goldsmith–Salmon [30]. The paper
+// observes that the p-batched technique applies to any split heuristic
+// that is linear in the object set: instead of scanning all objects in
+// the subtree to find the optimal split plane, the splitter is chosen
+// approximately from the p buffered objects, preserving O(n) writes.
+//
+// For a point set, the SAH cost of splitting box B into (B₁, n₁) and
+// (B₂, n₂) is SA(B₁)·n₁ + SA(B₂)·n₂ where SA is the surface measure
+// (perimeter in 2D). The split is taken on the longest axis at the
+// candidate position minimising this cost.
+
+// BuildPBatchedSAH is BuildPBatched with every splitter chosen by the
+// surface-area heuristic over the buffered sample instead of its median.
+// Cost bounds match Theorem 6.1: O(n) writes, O(n log n) reads.
+func BuildPBatchedSAH(dims int, items []Item, opts PBatchedOptions, m *asymmem.Meter) (*Tree, error) {
+	opts.Options.SAH = true
+	return BuildPBatched(dims, items, opts, m)
+}
+
+// sahSplit chooses (axis, split value, left count) for buf by minimising
+// the SAH cost over the sorted positions of the longest axis. buf is
+// reordered so buf[:nLeft] is the left part.
+func (t *Tree) sahSplit(buf []Item) (axis int, split float64, nLeft int) {
+	box := geom.NewKBox(t.dims)
+	for _, it := range buf {
+		box.Extend(it.P)
+	}
+	axis = box.LongestAxis()
+	sortItems(buf, axis)
+
+	n := len(buf)
+	bestCost := math.Inf(1)
+	best := n / 2
+	// Suffix bounding boxes along the chosen axis.
+	sufMin := make([]geom.KPoint, n+1)
+	sufMax := make([]geom.KPoint, n+1)
+	b := geom.NewKBox(t.dims)
+	sufMin[n], sufMax[n] = b.Min.Clone(), b.Max.Clone()
+	for i := n - 1; i >= 0; i-- {
+		b.Extend(buf[i].P)
+		sufMin[i], sufMax[i] = b.Min.Clone(), b.Max.Clone()
+	}
+	pre := geom.NewKBox(t.dims)
+	for i := 1; i < n; i++ {
+		pre.Extend(buf[i-1].P)
+		if buf[i-1].P[axis] == buf[i].P[axis] {
+			continue // cannot split between equal coordinates
+		}
+		cost := surface(pre.Min, pre.Max)*float64(i) +
+			surface(sufMin[i], sufMax[i])*float64(n-i)
+		if cost < bestCost {
+			bestCost, best = cost, i
+		}
+	}
+	t.meter.ReadN(n)
+	return axis, buf[best-1].P[axis], best
+}
+
+// surface returns the surface measure of the box [min, max] (perimeter in
+// 2D, face area in 3D, the natural generalisation above).
+func surface(min, max geom.KPoint) float64 {
+	k := len(min)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		prod := 1.0
+		for j := 0; j < k; j++ {
+			if j != i {
+				e := max[j] - min[j]
+				if e < 0 {
+					return 0 // empty box
+				}
+				prod *= e
+			}
+		}
+		total += prod
+	}
+	return 2 * total
+}

@@ -1,0 +1,167 @@
+package lca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+// naiveLCA computes the LCA by walking parents.
+func naiveLCA(parent []int32, u, v int32) int32 {
+	anc := map[int32]bool{}
+	for x := u; x >= 0; x = parent[x] {
+		anc[x] = true
+	}
+	for x := v; x >= 0; x = parent[x] {
+		if anc[x] {
+			return x
+		}
+	}
+	return -1
+}
+
+func randomTree(n int, seed uint64) []int32 {
+	r := parallel.NewRNG(seed)
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(r.Intn(v))
+	}
+	return parent
+}
+
+func TestSparseAgainstNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		parent := randomTree(n, uint64(n))
+		s := NewSparse(parent)
+		r := parallel.NewRNG(uint64(n) * 7)
+		for q := 0; q < 200; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			got := s.Query(u, v)
+			want := naiveLCA(parent, u, v)
+			if got != want {
+				t.Fatalf("n=%d LCA(%d,%d) = %d, want %d", n, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSparsePathTree(t *testing.T) {
+	// A path (worst case for recursion depth): v's parent is v-1.
+	n := 20000
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(v - 1)
+	}
+	s := NewSparse(parent)
+	if got := s.Query(100, 15000); got != 100 {
+		t.Fatalf("path LCA = %d, want 100", got)
+	}
+	if got := s.Query(int32(n-1), 0); got != 0 {
+		t.Fatalf("path LCA with root = %d", got)
+	}
+}
+
+func TestSparseSelfAndAncestor(t *testing.T) {
+	parent := []int32{-1, 0, 0, 1, 1, 2}
+	s := NewSparse(parent)
+	if s.Query(3, 3) != 3 {
+		t.Fatal("LCA(v,v) must be v")
+	}
+	if s.Query(3, 1) != 1 {
+		t.Fatal("LCA(child, parent) must be parent")
+	}
+	if s.Query(3, 5) != 0 {
+		t.Fatal("LCA across subtrees must be root")
+	}
+}
+
+func TestSparseMultipleRootsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for forest")
+		}
+	}()
+	NewSparse([]int32{-1, -1})
+}
+
+func TestHeapLCA(t *testing.T) {
+	// Tree: 1; 2,3; 4,5,6,7; ...
+	cases := []struct{ a, b, want uint32 }{
+		{1, 1, 1},
+		{2, 3, 1},
+		{4, 5, 2},
+		{4, 6, 1},
+		{8, 9, 4},
+		{8, 12, 1},
+		{5, 2, 2},   // ancestor
+		{13, 3, 3},  // 13 = 1101 under 3
+		{12, 13, 6}, // 1100 and 1101
+		{7, 28, 7},  // 28 = 11100 under 7
+	}
+	for _, c := range cases {
+		if got := HeapLCA(c.a, c.b); got != c.want {
+			t.Errorf("HeapLCA(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHeapLCAPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 index")
+		}
+	}()
+	HeapLCA(0, 1)
+}
+
+func TestHeapDepth(t *testing.T) {
+	if HeapDepth(1) != 0 || HeapDepth(2) != 1 || HeapDepth(3) != 1 || HeapDepth(4) != 2 || HeapDepth(1<<20) != 20 {
+		t.Fatal("HeapDepth wrong")
+	}
+}
+
+// Property: HeapLCA agrees with the naive walk-up computation.
+func TestQuickHeapLCA(t *testing.T) {
+	naive := func(a, b uint32) uint32 {
+		for a != b {
+			if a > b {
+				a >>= 1
+			} else {
+				b >>= 1
+			}
+		}
+		return a
+	}
+	f := func(a, b uint32) bool {
+		a = a%(1<<20) + 1
+		b = b%(1<<20) + 1
+		return HeapLCA(a, b) == naive(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse LCA satisfies the defining property — the result is an
+// ancestor of both, and no child of it on the path is.
+func TestQuickSparseLCAProperty(t *testing.T) {
+	f := func(seed uint64, q uint8) bool {
+		n := 50
+		parent := randomTree(n, seed)
+		s := NewSparse(parent)
+		r := parallel.NewRNG(seed ^ 0xabc)
+		for i := 0; i < int(q%20)+1; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if s.Query(u, v) != naiveLCA(parent, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package parallel provides the fork-join runtime used by all algorithms in
+// this module. It stands in for the nested-parallel model's FORK instruction
+// (binary forking) and the work-stealing scheduler assumed by the paper.
+//
+// Go's goroutines lack fine-grained work stealing, so forking is throttled:
+// a task forks a goroutine only while the number of outstanding forked tasks
+// is below a budget proportional to GOMAXPROCS, and loops fall back to
+// sequential execution below a grain size. This preserves the asymptotic
+// work/depth of the algorithms while keeping scheduling overhead bounded;
+// the experiment harness reports model costs (reads/writes) for the paper's
+// claims and wall-clock only as a sanity check.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// budget limits the number of concurrently outstanding forked tasks.
+var budget atomic.Int64
+
+// maxOutstanding is the fork budget; it is set once at init and can be
+// overridden for tests via SetMaxOutstanding.
+var maxOutstanding atomic.Int64
+
+func init() {
+	maxOutstanding.Store(int64(8 * runtime.GOMAXPROCS(0)))
+}
+
+// SetMaxOutstanding overrides the fork budget (minimum 0, meaning fully
+// sequential). It returns the previous value. Intended for tests and for
+// experiments that pin parallelism.
+func SetMaxOutstanding(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxOutstanding.Swap(int64(n)))
+}
+
+// tryFork reserves a fork slot, returning true if the caller may spawn.
+func tryFork() bool {
+	for {
+		cur := budget.Load()
+		if cur >= maxOutstanding.Load() {
+			return false
+		}
+		if budget.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseFork() { budget.Add(-1) }
+
+// Do runs a and b, potentially in parallel, and returns when both complete.
+// It is the binary FORK of the nested-parallel model.
+func Do(a, b func()) {
+	if !tryFork() {
+		a()
+		b()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer releaseFork()
+		defer close(done)
+		b()
+	}()
+	a()
+	<-done
+}
+
+// Do3 runs three functions, potentially in parallel.
+func Do3(a, b, c func()) {
+	Do(a, func() { Do(b, c) })
+}
+
+// DefaultGrain is the sequential cutoff for parallel loops when the caller
+// does not specify one.
+const DefaultGrain = 512
+
+// For runs body(i) for i in [0, n) with automatic grain selection.
+func For(n int, body func(i int)) {
+	ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain runs body(i) for i in [0, n), executing blocks of up to grain
+// iterations sequentially and recursively forking between blocks.
+func ForGrain(n, grain int, body func(i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	ForChunked(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked partitions [0, n) into chunks of at most grain iterations and
+// runs body(lo, hi) on each chunk, potentially in parallel. The recursion is
+// a balanced binary split, giving O(log(n/grain)) span for the control
+// structure, matching the model's binary forking.
+func ForChunked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= grain {
+			body(lo, hi)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		Do(func() { rec(lo, mid) }, func() { rec(mid, hi) })
+	}
+	rec(0, n)
+}
+
+// Reduce computes op over f(0), ..., f(n-1) with identity id, potentially in
+// parallel. op must be associative; id must be its identity.
+func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
+	if n <= 0 {
+		return id
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	var rec func(lo, hi int) T
+	rec = func(lo, hi int) T {
+		if hi-lo <= grain {
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, f(i))
+			}
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		var left, right T
+		Do(func() { left = rec(lo, mid) }, func() { right = rec(mid, hi) })
+		return op(left, right)
+	}
+	return rec(0, n)
+}
+
+// Scan computes the exclusive prefix sums of src into dst (dst[i] = sum of
+// src[0..i)) and returns the total. dst and src may alias. It uses the
+// standard two-pass blocked algorithm: per-block sums, sequential scan of
+// block sums, then per-block fill-in; work O(n), span O(n/P + P).
+func Scan(dst, src []int64) int64 {
+	n := len(src)
+	if n == 0 {
+		return 0
+	}
+	if len(dst) < n {
+		panic("parallel.Scan: dst shorter than src")
+	}
+	nblocks := runtime.GOMAXPROCS(0) * 4
+	if nblocks > n {
+		nblocks = n
+	}
+	blockSize := (n + nblocks - 1) / nblocks
+	nblocks = (n + blockSize - 1) / blockSize
+	sums := make([]int64, nblocks)
+	ForGrain(nblocks, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += src[i]
+		}
+		sums[b] = s
+	})
+	var total int64
+	for b := 0; b < nblocks; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	ForGrain(nblocks, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = acc
+			acc += v
+		}
+	})
+	return total
+}
+
+// Pack returns the elements of src whose index satisfies keep, preserving
+// order. Work O(n), span polylogarithmic (blocked scan + scatter).
+func Pack[T any](src []T, keep func(i int) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int64, n)
+	ForGrain(n, 2048, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := Scan(flags, flags)
+	out := make([]T, total)
+	ForGrain(n, 2048, func(i int) {
+		// flags now holds exclusive prefix sums; element i was kept iff the
+		// next prefix differs (or it is last and total differs).
+		next := total
+		if i+1 < n {
+			next = flags[i+1]
+		}
+		if next != flags[i] {
+			out[flags[i]] = src[i]
+		}
+	})
+	return out
+}
+
+// PackIndex returns the indices i in [0, n) with keep(i) true, in order.
+func PackIndex(n int, keep func(i int) bool) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return Pack(idx, keep)
+}
+
+// MinIndex returns the index of the minimum element under less over [0, n),
+// breaking ties toward the smaller index. Returns -1 for n <= 0.
+func MinIndex(n, grain int, less func(i, j int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	return Reduce(n, grain, 0, func(i int) int { return i },
+		func(a, b int) int {
+			if a == b {
+				return a
+			}
+			// Prefer smaller index on ties for determinism.
+			if less(b, a) {
+				return b
+			}
+			return a
+		})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WaitGroupFor runs body(i) for i in [0, n) with one goroutine per chunk,
+// without the fork budget. It is used by the harness for embarrassingly
+// parallel outer loops (e.g. batched query evaluation).
+func WaitGroupFor(n int, body func(i int)) {
+	p := runtime.GOMAXPROCS(0)
+	if n < 2 || p == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

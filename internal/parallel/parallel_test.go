@@ -1,0 +1,320 @@
+package parallel
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDoRunsBoth(t *testing.T) {
+	var a, b atomic.Int64
+	Do(func() { a.Store(1) }, func() { b.Store(2) })
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatal("Do did not run both branches")
+	}
+}
+
+func TestDo3(t *testing.T) {
+	var n atomic.Int64
+	Do3(func() { n.Add(1) }, func() { n.Add(10) }, func() { n.Add(100) })
+	if n.Load() != 111 {
+		t.Fatalf("Do3 total = %d", n.Load())
+	}
+}
+
+func TestDoSequentialWhenBudgetZero(t *testing.T) {
+	old := SetMaxOutstanding(0)
+	defer SetMaxOutstanding(old)
+	order := []int{}
+	Do(func() { order = append(order, 1) }, func() { order = append(order, 2) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("sequential Do order = %v", order)
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1025, 10000} {
+		seen := make([]atomic.Int32, n)
+		For(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d touched %d times", n, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	n := 1003
+	var total atomic.Int64
+	ForChunked(n, 64, func(lo, hi int) {
+		if lo >= hi || lo < 0 || hi > n {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != int64(n) {
+		t.Fatalf("chunks cover %d, want %d", total.Load(), n)
+	}
+	// Zero and negative n are no-ops.
+	ForChunked(0, 8, func(lo, hi int) { t.Error("called for n=0") })
+	ForChunked(-5, 8, func(lo, hi int) { t.Error("called for n<0") })
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 5000
+	got := Reduce(n, 37, int64(0), func(i int) int64 { return int64(i) },
+		func(a, b int64) int64 { return a + b })
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("Reduce sum = %d, want %d", got, want)
+	}
+	if Reduce(0, 1, int64(42), func(int) int64 { return 0 }, func(a, b int64) int64 { return a + b }) != 42 {
+		t.Fatal("Reduce of empty range should return identity")
+	}
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, 4097} {
+		src := make([]int64, n)
+		r := NewRNG(uint64(n) + 1)
+		for i := range src {
+			src[i] = int64(r.Intn(100)) - 50
+		}
+		want := make([]int64, n)
+		var acc int64
+		for i := 0; i < n; i++ {
+			want[i] = acc
+			acc += src[i]
+		}
+		dst := make([]int64, n)
+		total := Scan(dst, src)
+		if total != acc {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, acc)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %d, want %d", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanInPlace(t *testing.T) {
+	src := []int64{3, 1, 4, 1, 5}
+	total := Scan(src, src)
+	want := []int64{0, 3, 4, 8, 9}
+	if total != 14 {
+		t.Fatalf("total = %d", total)
+	}
+	for i := range want {
+		if src[i] != want[i] {
+			t.Fatalf("in-place scan: %v", src)
+		}
+	}
+}
+
+func TestScanPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scan(make([]int64, 1), make([]int64, 2))
+}
+
+func TestPack(t *testing.T) {
+	src := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := Pack(src, func(i int) bool { return src[i]%3 == 0 })
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Pack = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pack = %v, want %v", got, want)
+		}
+	}
+	if Pack([]int{}, func(int) bool { return true }) != nil {
+		t.Fatal("Pack of empty must be nil")
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	got := PackIndex(6, func(i int) bool { return i%2 == 1 })
+	want := []int32{1, 3, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("PackIndex = %v", got)
+	}
+}
+
+func TestMinIndex(t *testing.T) {
+	xs := []int{5, 3, 9, 3, 1, 1, 7}
+	got := MinIndex(len(xs), 2, func(i, j int) bool { return xs[i] < xs[j] })
+	if got != 4 {
+		t.Fatalf("MinIndex = %d, want 4 (first minimum)", got)
+	}
+	if MinIndex(0, 1, nil) != -1 {
+		t.Fatal("MinIndex of empty must be -1")
+	}
+}
+
+func TestPriorityWriteMin(t *testing.T) {
+	var a atomic.Int64
+	a.Store(100)
+	if !PriorityWriteMin(&a, 50) || a.Load() != 50 {
+		t.Fatal("50 should win over 100")
+	}
+	if PriorityWriteMin(&a, 70) || a.Load() != 50 {
+		t.Fatal("70 must not win over 50")
+	}
+	if PriorityWriteMin(&a, 50) {
+		t.Fatal("equal value must not report a win")
+	}
+}
+
+func TestPriorityWriteMinConcurrent(t *testing.T) {
+	var a atomic.Int64
+	a.Store(1 << 40)
+	vals := NewRNG(7).Perm(10000)
+	For(len(vals), func(i int) { PriorityWriteMin(&a, int64(vals[i])) })
+	if a.Load() != 0 {
+		t.Fatalf("concurrent min = %d, want 0", a.Load())
+	}
+}
+
+func TestPriorityWriteMax(t *testing.T) {
+	var a atomic.Int64
+	if !PriorityWriteMax(&a, 9) || a.Load() != 9 {
+		t.Fatal("max write failed")
+	}
+	if PriorityWriteMax(&a, 3) {
+		t.Fatal("3 must not win over 9")
+	}
+}
+
+func TestPriorityWriteMinU32(t *testing.T) {
+	var a atomic.Uint32
+	a.Store(^uint32(0))
+	if !PriorityWriteMinU32(&a, 5) || a.Load() != 5 {
+		t.Fatal("u32 min write failed")
+	}
+	if PriorityWriteMinU32(&a, 6) {
+		t.Fatal("6 must not win over 5")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Next() == NewRNG(2).Next() {
+		t.Fatal("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	p := NewRNG(9).Perm(1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	s := r.Split()
+	// The split stream must not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 32; i++ {
+		if r.Next() == s.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream suspiciously correlated: %d/32 equal", same)
+	}
+}
+
+func TestWaitGroupFor(t *testing.T) {
+	n := 777
+	seen := make([]atomic.Int32, n)
+	WaitGroupFor(n, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d touched %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// Property: Pack(keep) ++ Pack(!keep) is a permutation preserving relative
+// order within each part (i.e. stable partition).
+func TestQuickPackStable(t *testing.T) {
+	f := func(xs []int16) bool {
+		src := make([]int, len(xs))
+		for i, v := range xs {
+			src[i] = int(v)
+		}
+		kept := Pack(src, func(i int) bool { return src[i]%2 == 0 })
+		rest := Pack(src, func(i int) bool { return src[i]%2 != 0 })
+		if len(kept)+len(rest) != len(src) {
+			return false
+		}
+		all := append(append([]int{}, kept...), rest...)
+		a := append([]int{}, src...)
+		sort.Ints(all)
+		sort.Ints(a)
+		for i := range a {
+			if a[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scan total equals the sum for arbitrary inputs.
+func TestQuickScanTotal(t *testing.T) {
+	f := func(xs []int32) bool {
+		src := make([]int64, len(xs))
+		var want int64
+		for i, v := range xs {
+			src[i] = int64(v)
+			want += int64(v)
+		}
+		dst := make([]int64, len(src))
+		return Scan(dst, src) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

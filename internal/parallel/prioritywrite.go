@@ -1,0 +1,62 @@
+package parallel
+
+import "sync/atomic"
+
+// The paper assumes a priority-write CRCW PRAM: when several processors
+// write the same location concurrently, the smallest value wins. These
+// helpers implement that semantics with compare-and-swap loops, which is the
+// standard simulation on real hardware and preserves determinism (the final
+// value is the minimum of all attempted writes, regardless of schedule).
+
+// PriorityWriteMin atomically sets *a = min(*a, v) and reports whether v
+// became the new value.
+func PriorityWriteMin(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if cur <= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// PriorityWriteMinI32 atomically sets *a = min(*a, v) for int32 values.
+func PriorityWriteMinI32(a *atomic.Int32, v int32) bool {
+	for {
+		cur := a.Load()
+		if cur <= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// PriorityWriteMinU32 atomically sets *a = min(*a, v) for uint32 values.
+func PriorityWriteMinU32(a *atomic.Uint32, v uint32) bool {
+	for {
+		cur := a.Load()
+		if cur <= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// PriorityWriteMax atomically sets *a = max(*a, v) and reports whether v won.
+func PriorityWriteMax(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if cur >= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}

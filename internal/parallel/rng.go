@@ -1,0 +1,65 @@
+package parallel
+
+// RNG is a SplitMix64 pseudo-random generator. It is tiny, fast, splittable
+// (each Split yields an independent stream), and fully deterministic given a
+// seed, which the determinism tests rely on. The randomized incremental
+// algorithms in the paper need only a random permutation of the input and
+// per-node random priorities; SplitMix64 is more than adequate for both.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new generator with an independent stream.
+func (r *RNG) Split() *RNG { return NewRNG(r.Next()) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("parallel.RNG.Intn: n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly at random in place.
+func (r *RNG) Shuffle(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Hash64 mixes x through the SplitMix64 finalizer; it is used as a cheap
+// stateless hash for semisorting and treap priorities.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,447 @@
+package pst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/alabel"
+)
+
+// Insert adds a point (§7.3.4): descend by x-splitters carrying the point;
+// at each critical node whose stored point has lower priority, swap — so
+// point writes happen at O(log_α n) critical nodes only. A new leaf is
+// created at the bottom; weights update at critical ancestors and a
+// doubled critical subtree is reconstructed.
+func (t *Tree) Insert(p Point) {
+	t.live++
+	if t.root == nil {
+		t.root = &node{pt: p, hasPt: true, split: p.X, weight: 2, initWeight: 2, critical: true}
+		t.meter.Write()
+		return
+	}
+	carried := p
+	var path []*node
+	n := t.root
+	for {
+		t.meter.Read()
+		path = append(path, n)
+		if t.opts.classic() || n.critical {
+			n.weight++
+			t.meter.Write()
+			t.stats.WeightWrites++
+			if n.hasPt && carried.Y > n.pt.Y {
+				carried, n.pt = n.pt, carried
+				t.meter.Write()
+				t.stats.PointWrites++
+			}
+			// Deletion dummies are deliberately NOT refilled here: the
+			// carried point may rank below points deeper in the subtree,
+			// so filling the hole would break the heap order. Dummies are
+			// cleared by reconstructions.
+		}
+		var next **node
+		if carried.X <= n.split {
+			next = &n.left
+		} else {
+			next = &n.right
+		}
+		if *next == nil {
+			leaf := &node{pt: carried, hasPt: true, split: carried.X, weight: 2, initWeight: 2, critical: true}
+			*next = leaf
+			t.meter.Write()
+			t.stats.PointWrites++
+			t.checkRebuild(path)
+			return
+		}
+		n = *next
+	}
+}
+
+// checkRebuild rebuilds the topmost critical node on the path whose weight
+// has doubled since its last labeling.
+func (t *Tree) checkRebuild(path []*node) {
+	for i, a := range path {
+		if (t.opts.classic() || a.critical) && a.weight >= 2*a.initWeight && a.weight > 4 {
+			oldW := a.weight
+			sub := t.rebuildSubtree(a)
+			if delta := sub.weight - oldW; delta != 0 {
+				for _, b := range path[:i] {
+					if t.opts.classic() || b.critical {
+						b.weight += delta
+						t.meter.Write()
+						t.stats.WeightWrites++
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+// rebuildSubtree reconstructs n's subtree from its live points with the
+// post-sorted algorithm and relabels it (skip-root exception per §7.3.2).
+// Returns the new subtree root (spliced in place of n by copying).
+func (t *Tree) rebuildSubtree(n *node) *node {
+	pts := collectPoints(n)
+	t.stats.Rebuilds++
+	t.stats.RebuildWork += int64(len(pts))
+	s := n.initWeight
+	t.sortByX(pts)
+	sub := t.buildPostSorted(pts)
+	if sub == nil {
+		sub = &node{split: n.split, weight: 1, initWeight: 1, critical: true}
+	}
+	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && sub.hasPt {
+		// Demote the new root to secondary: push its point back down so
+		// that points stay only at critical nodes.
+		pt := sub.pt
+		sub.hasPt = false
+		sub.critical = false
+		t.pushDown(sub, pt)
+	}
+	*n = *sub
+	if n == t.root {
+		t.markVirtualRoot()
+	}
+	t.meter.Write()
+	return n
+}
+
+// pushDown reinserts a point below a secondary node (used when the skip
+// exception demotes a rebuilt root).
+func (t *Tree) pushDown(n *node, p Point) {
+	carried := p
+	cur := n
+	for {
+		var next **node
+		if carried.X <= cur.split {
+			next = &cur.left
+		} else {
+			next = &cur.right
+		}
+		if *next == nil {
+			*next = &node{pt: carried, hasPt: true, split: carried.X, weight: 2, initWeight: 2, critical: true}
+			t.meter.Write()
+			return
+		}
+		cur = *next
+		t.meter.Read()
+		if cur.critical {
+			// The demoted point enters cur's subtree for good.
+			cur.weight++
+			t.meter.Write()
+			if !cur.hasPt && !cur.dummy {
+				cur.pt, cur.hasPt = carried, true
+				t.meter.Write()
+				return
+			}
+			if cur.hasPt && carried.Y > cur.pt.Y {
+				carried, cur.pt = cur.pt, carried
+				t.meter.Write()
+			}
+		}
+	}
+}
+
+// BulkInsert adds a batch of points in priority order (highest first), so
+// swap chains are short. The paper's bulk bound for priority trees,
+// O((α + ω)·m·log_α n) amortized work (§7.3.5), equals m single
+// insertions; the batch form improves constants, not asymptotics.
+func (t *Tree) BulkInsert(pts []Point) {
+	batch := append([]Point{}, pts...)
+	// Insert highest priority first: each point then never displaces a
+	// batch-mate, avoiding double swap chains.
+	sortByYDesc(batch, t)
+	for _, p := range batch {
+		t.Insert(p)
+	}
+}
+
+func sortByYDesc(pts []Point, t *Tree) {
+	sort.Slice(pts, func(i, j int) bool {
+		t.meter.Read()
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y > pts[j].Y
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	t.meter.WriteN(len(pts))
+}
+
+// BulkDelete removes a batch of points.
+func (t *Tree) BulkDelete(pts []Point) int {
+	removed := 0
+	for _, p := range pts {
+		if t.Delete(p) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Delete removes the point (matched by ID and coordinates), promoting
+// points up along critical nodes and leaving a dummy at the last hole.
+// The whole tree is rebuilt once dummies outnumber live points.
+func (t *Tree) Delete(p Point) bool {
+	target, path := t.findNodeWithPath(t.root, p)
+	if target == nil {
+		return false
+	}
+	// The point leaves every ancestor's subtree (including target's).
+	for _, a := range path {
+		if t.opts.classic() || a.critical {
+			a.weight--
+			t.meter.Write()
+			t.stats.WeightWrites++
+		}
+	}
+	t.promoteFrom(target)
+	t.live--
+	if t.dummies > t.live {
+		t.rebuildAll()
+	}
+	return true
+}
+
+// findNodeWithPath is findNode also returning the root-to-target path
+// (inclusive of target).
+func (t *Tree) findNodeWithPath(n *node, p Point) (*node, []*node) {
+	var path []*node
+	var rec func(n *node) *node
+	rec = func(n *node) *node {
+		if n == nil {
+			return nil
+		}
+		t.meter.Read()
+		path = append(path, n)
+		if n.hasPt && n.pt.ID == p.ID && n.pt.X == p.X && n.pt.Y == p.Y {
+			return n
+		}
+		if n.hasPt && n.pt.Y < p.Y {
+			path = path[:len(path)-1]
+			return nil // heap order: p cannot be below a lower-priority point
+		}
+		if p.X < n.split {
+			if f := rec(n.left); f != nil {
+				return f
+			}
+		} else if p.X > n.split {
+			if f := rec(n.right); f != nil {
+				return f
+			}
+		} else {
+			if f := rec(n.left); f != nil {
+				return f
+			}
+			if f := rec(n.right); f != nil {
+				return f
+			}
+		}
+		path = path[:len(path)-1]
+		return nil
+	}
+	target := rec(n)
+	if target == nil {
+		return nil, nil
+	}
+	return target, path
+}
+
+// promoteFrom empties node n by pulling up the best point from its
+// point-bearing frontier, cascading until a frontier is empty; the final
+// hole becomes a dummy. Critical nodes strictly between n and the promoted
+// source lose one point from their subtree, so their weights are
+// decremented along the way.
+func (t *Tree) promoteFrom(n *node) {
+	for {
+		best, path := t.bestFrontier(n)
+		if best == nil {
+			n.hasPt = false
+			n.dummy = true
+			t.dummies++
+			t.meter.Write()
+			t.stats.PointWrites++
+			return
+		}
+		// The point moves from best up to n: every critical node strictly
+		// below n on the path (best inclusive) loses one point.
+		for _, b := range path {
+			if t.opts.classic() || b.critical {
+				b.weight--
+				t.meter.Write()
+				t.stats.WeightWrites++
+			}
+		}
+		n.pt = best.pt
+		n.hasPt = true
+		t.meter.Write()
+		t.stats.PointWrites++
+		// best gains back whatever replaces it in the next iteration (or
+		// becomes the dummy); its weight was decremented as the point left
+		// and will not be re-incremented: the subtree genuinely has one
+		// point fewer until an insertion lands there.
+		n = best
+	}
+}
+
+// promoteInto fills an empty node from below (used by markVirtualRoot).
+func (t *Tree) promoteInto(n *node) {
+	if n.hasPt {
+		return
+	}
+	t.promoteFrom(n)
+	if n.dummy {
+		// Nothing below: the subtree holds no points.
+		t.dummies--
+		n.dummy = false
+	}
+}
+
+// bestFrontier returns the point-bearing node with the highest priority on
+// n's frontier (walking through secondary and dummy nodes), plus the path
+// from just below n to it (inclusive), or (nil, nil).
+func (t *Tree) bestFrontier(n *node) (*node, []*node) {
+	var best *node
+	var bestPath []*node
+	var cur []*node
+	var rec func(c *node)
+	rec = func(c *node) {
+		if c == nil {
+			return
+		}
+		t.meter.Read()
+		cur = append(cur, c)
+		if c.hasPt {
+			if best == nil || c.pt.Y > best.pt.Y {
+				best = c
+				bestPath = append([]*node{}, cur...)
+			}
+			cur = cur[:len(cur)-1]
+			return // frontier: do not look below a point-bearing node
+		}
+		rec(c.left)
+		rec(c.right)
+		cur = cur[:len(cur)-1]
+	}
+	rec(n.left)
+	rec(n.right)
+	return best, bestPath
+}
+
+// rebuildAll reconstructs the whole tree from the live points.
+func (t *Tree) rebuildAll() {
+	pts := collectPoints(t.root)
+	t.stats.FullRebuilds++
+	t.stats.RebuildWork += int64(len(pts))
+	t.sortByX(pts)
+	t.root = t.buildPostSorted(pts)
+	t.dummies = 0
+	t.markVirtualRoot()
+}
+
+func collectPoints(n *node) []Point {
+	var out []Point
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.hasPt {
+			out = append(out, n.pt)
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(n)
+	return out
+}
+
+// Check verifies the structural invariants: x-range consistency, heap
+// order across point-bearing nodes, weight bookkeeping at critical nodes,
+// and the live count.
+func (t *Tree) Check() error {
+	var rec func(n *node, lo, hi float64, capY float64, capSet bool) (int, error)
+	rec = func(n *node, lo, hi float64, capY float64, capSet bool) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		pts := 0
+		if n.hasPt {
+			if n.pt.X < lo || n.pt.X > hi {
+				return 0, fmt.Errorf("pst: point %+v outside x-range [%v, %v]", n.pt, lo, hi)
+			}
+			if capSet && n.pt.Y > capY {
+				return 0, fmt.Errorf("pst: heap violation: %+v above ancestor cap %v", n.pt, capY)
+			}
+			capY, capSet = n.pt.Y, true
+			pts = 1
+		}
+		if n.split < lo || n.split > hi {
+			// A leaf's split is its own point's X; allow that exact case.
+			if !(n.left == nil && n.right == nil) {
+				return 0, fmt.Errorf("pst: split %v outside [%v, %v]", n.split, lo, hi)
+			}
+		}
+		l, err := rec(n.left, lo, math.Min(n.split, hi), capY, capSet)
+		if err != nil {
+			return 0, err
+		}
+		r, err := rec(n.right, math.Max(n.split, lo), hi, capY, capSet)
+		if err != nil {
+			return 0, err
+		}
+		total := pts + l + r
+		if n.critical || t.opts.classic() {
+			if n.weight != total+1 {
+				return 0, fmt.Errorf("pst: maintained weight %d != points+1 = %d", n.weight, total+1)
+			}
+		}
+		return total, nil
+	}
+	total, err := rec(t.root, math.Inf(-1), math.Inf(1), 0, false)
+	if err != nil {
+		return err
+	}
+	if total != t.live {
+		return fmt.Errorf("pst: live %d but %d stored", t.live, total)
+	}
+	return nil
+}
+
+// PathStats mirrors interval.PathStats for the α-labeling invariants.
+type PathStats struct {
+	MaxPathLen       int
+	MaxCriticalNodes int
+	MaxSecondaryRun  int
+}
+
+// PathStats measures critical-node density over all root-to-nil paths.
+func (t *Tree) PathStats() PathStats {
+	var st PathStats
+	var rec func(n *node, depth, crit, run int)
+	rec = func(n *node, depth, crit, run int) {
+		if n == nil {
+			if depth > st.MaxPathLen {
+				st.MaxPathLen = depth
+			}
+			if crit > st.MaxCriticalNodes {
+				st.MaxCriticalNodes = crit
+			}
+			return
+		}
+		if n.critical {
+			crit++
+			run = 0
+		} else {
+			run++
+			if run > st.MaxSecondaryRun {
+				st.MaxSecondaryRun = run
+			}
+		}
+		rec(n.left, depth+1, crit, run)
+		rec(n.right, depth+1, crit, run)
+	}
+	rec(t.root, 0, 0, 0)
+	return st
+}

@@ -1,0 +1,314 @@
+// Package pst implements the paper's priority search tree (second variant
+// of §7.1: a max-heap on priority whose nodes carry coordinate splitters),
+// answering 3-sided queries — all points with x ∈ [xL, xR] and priority
+// y ≥ yB — in O(log n + ωk).
+//
+// Following the paper:
+//
+//   - Post-sorted construction (§7.2, Appendix A, Theorem 7.1): with the
+//     points pre-sorted by x, a tournament tree provides the highest-
+//     priority valid point and the k-th valid point of any range; scoped
+//     deletions keep the total construction writes linear.
+//   - Classic construction (§7.1 baseline): scans and copies the points at
+//     every level — Θ(n log n) reads and writes.
+//   - α-labeling dynamics (§7.3.4): points are stored only at critical
+//     nodes, so an insertion's swap-down chain writes O(log_α n) nodes
+//     instead of O(log n); deletions promote along critical nodes and
+//     leave a dummy in the last hole; a subtree is reconstructed when its
+//     weight doubles (reconstruction-based rebalancing, §7.3.2).
+//
+// Deviation noted in DESIGN.md: subtree weights are maintained in units of
+// points + 1 rather than tree nodes + 1. Secondary nodes add at most a
+// factor-2 gap between the two measures (the paper makes the same
+// observation), so every asymptotic bound carries over.
+package pst
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/alabel"
+	"repro/internal/asymmem"
+	"repro/internal/tournament"
+)
+
+// Point has a coordinate X and a priority Y.
+type Point struct {
+	X, Y float64
+	ID   int32
+}
+
+type node struct {
+	pt          Point
+	hasPt       bool
+	dummy       bool // deletion hole left by the last promotion
+	split       float64
+	left, right *node
+
+	weight     int // live points in subtree + 1; maintained iff critical
+	initWeight int
+	critical   bool
+}
+
+// Options configures the tree.
+type Options struct {
+	// Alpha ≥ 2 enables α-labeling (points only at critical nodes);
+	// 0 or 1 selects the classic mode (every node critical).
+	Alpha int
+}
+
+func (o Options) classic() bool { return o.Alpha < 2 }
+
+func (o Options) isCritical(nv, sibNv int) bool {
+	if o.classic() {
+		return true
+	}
+	return alabel.IsCritical(nv+1, sibNv+1, o.Alpha)
+}
+
+// Tree is a priority search tree.
+type Tree struct {
+	opts    Options
+	root    *node
+	live    int
+	dummies int
+	meter   *asymmem.Meter
+	stats   Stats
+}
+
+// Stats profiles construction and updates.
+type Stats struct {
+	Rebuilds     int
+	RebuildWork  int64
+	PointWrites  int64 // point/swap writes during updates (the α saving)
+	WeightWrites int64
+	FullRebuilds int
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return t.live }
+
+// Stats returns a copy of the statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Build sorts the points by x (charged comparison sort) and runs the
+// post-sorted tournament-tree construction.
+func Build(pts []Point, opts Options, m *asymmem.Meter) *Tree {
+	t := &Tree{opts: opts, meter: m}
+	sorted := append([]Point{}, pts...)
+	t.sortByX(sorted)
+	t.root = t.buildPostSorted(sorted)
+	t.live = len(pts)
+	t.markVirtualRoot()
+	return t
+}
+
+// BuildClassic runs the standard recursive construction that partitions
+// and copies the points at every level — the Θ(ωn log n) baseline.
+func BuildClassic(pts []Point, opts Options, m *asymmem.Meter) *Tree {
+	t := &Tree{opts: opts, meter: m}
+	buf := append([]Point{}, pts...)
+	m.WriteN(len(buf))
+	t.root = t.buildClassicRec(buf, -1)
+	t.live = len(pts)
+	t.markVirtualRoot()
+	return t
+}
+
+func (t *Tree) sortByX(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		t.meter.Read()
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	// Charged at the §4 write-efficient sort's model cost: O(n) writes.
+	t.meter.WriteN(len(pts))
+}
+
+// buildPostSorted is the Appendix-A construction over x-sorted points.
+func (t *Tree) buildPostSorted(pts []Point) *node {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	prios := make([]float64, n)
+	for i, p := range pts {
+		prios[i] = p.Y
+	}
+	tt := tournament.New(prios, t.meter)
+	smallMem := 4 * int(math.Log2(float64(n)+2))
+
+	var build func(lo, hi, nv, sibNv int) *node
+	build = func(lo, hi, nv, sibNv int) *node {
+		if nv <= 0 || lo >= hi {
+			return nil
+		}
+		holes := (hi - lo) - nv
+		if nv <= smallMem || holes > nv {
+			// Base case: load the valid points into small memory and build
+			// there; only the O(nv) emission writes are charged.
+			var valid []Point
+			for i := lo; i < hi; i++ {
+				t.meter.Read()
+				if tt.Valid(i) {
+					valid = append(valid, pts[i])
+					tt.DeleteScoped(i, lo, hi)
+				}
+			}
+			return t.buildSmall(valid, sibNv)
+		}
+		nd := &node{}
+		t.meter.Write()
+		critical := t.opts.isCritical(nv, sibNv)
+		remaining := nv
+		if critical {
+			best := tt.Best(lo, hi)
+			nd.pt = pts[best]
+			nd.hasPt = true
+			tt.DeleteScoped(best, lo, hi)
+			t.meter.Write()
+			remaining = nv - 1
+		}
+		nd.critical = critical
+		nd.weight = nv + 1
+		nd.initWeight = nd.weight
+		if remaining == 0 {
+			nd.split = nd.pt.X
+			return nd
+		}
+		k := (remaining + 1) / 2
+		q := tt.KthValid(lo, hi, k)
+		nd.split = pts[q].X
+		nd.left = build(lo, q+1, k, remaining-k)
+		nd.right = build(q+1, hi, remaining-k, k)
+		return nd
+	}
+	return build(0, n, n, 0)
+}
+
+// buildSmall builds a subtree over points resident in small memory,
+// charging only the O(n) emission writes.
+func (t *Tree) buildSmall(pts []Point, sibNv int) *node {
+	t.meter.WriteN(2 * len(pts))
+	saved := t.meter
+	t.meter = nil
+	n := t.buildClassicRec(pts, sibNv)
+	t.meter = saved
+	return n
+}
+
+// buildClassicRec: extract the max-priority point (if the node is
+// critical), split the rest at the x-median, recurse. Charges a read and a
+// write per point per level — the classic cost.
+func (t *Tree) buildClassicRec(pts []Point, sibNv int) *node {
+	nv := len(pts)
+	if nv == 0 {
+		return nil
+	}
+	nd := &node{}
+	t.meter.Write()
+	critical := t.opts.isCritical(nv, sibNv)
+	nd.critical = critical
+	nd.weight = nv + 1
+	nd.initWeight = nd.weight
+	rest := pts
+	if critical {
+		best := 0
+		for i := 1; i < nv; i++ {
+			t.meter.Read()
+			if pts[i].Y > pts[best].Y {
+				best = i
+			}
+		}
+		nd.pt = pts[best]
+		nd.hasPt = true
+		t.meter.Write()
+		rest = append(append([]Point{}, pts[:best]...), pts[best+1:]...)
+		t.meter.WriteN(len(rest))
+	}
+	if len(rest) == 0 {
+		nd.split = nd.pt.X
+		return nd
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		t.meter.Read()
+		if rest[i].X != rest[j].X {
+			return rest[i].X < rest[j].X
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	t.meter.WriteN(len(rest))
+	k := (len(rest) + 1) / 2
+	nd.split = rest[k-1].X
+	nd.left = t.buildClassicRec(rest[:k], len(rest)-k)
+	nd.right = t.buildClassicRec(rest[k:], k)
+	return nd
+}
+
+func (t *Tree) markVirtualRoot() {
+	if t.root != nil {
+		t.root.critical = true
+		if !t.root.hasPt && !t.root.dummy {
+			// The construction stores a point at every critical node; a
+			// secondary root can only arise from the skip exception, which
+			// never applies to the tree root.
+			t.promoteInto(t.root)
+		}
+		t.root.initWeight = t.root.weight
+	}
+}
+
+// Query3Sided reports every live point with x ∈ [xL, xR] and y ≥ yB.
+func (t *Tree) Query3Sided(xL, xR, yB float64, visit func(Point) bool) {
+	var rec func(n *node, lo, hi float64) bool
+	rec = func(n *node, lo, hi float64) bool {
+		if n == nil || hi < xL || lo > xR {
+			return true
+		}
+		t.meter.Read()
+		if n.hasPt {
+			if n.pt.Y < yB {
+				return true // heap order: the whole subtree is below yB
+			}
+			if n.pt.X >= xL && n.pt.X <= xR {
+				t.meter.Write()
+				if !visit(n.pt) {
+					return false
+				}
+			}
+		}
+		// Secondary or dummy nodes cannot prune by priority.
+		if !rec(n.left, lo, n.split) {
+			return false
+		}
+		return rec(n.right, n.split, hi)
+	}
+	rec(t.root, math.Inf(-1), math.Inf(1))
+}
+
+// Count3Sided returns the number of matching points.
+func (t *Tree) Count3Sided(xL, xR, yB float64) int {
+	c := 0
+	t.Query3Sided(xL, xR, yB, func(Point) bool { c++; return true })
+	return c
+}
+
+// Points returns all live points.
+func (t *Tree) Points() []Point {
+	var out []Point
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.hasPt {
+			out = append(out, n.pt)
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}

@@ -1,0 +1,359 @@
+package pst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func makePoints(n int, seed uint64) []Point {
+	xs := gen.UniformFloats(n, seed)
+	ys := gen.UniformFloats(n, seed^0xdead)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return pts
+}
+
+func brute3Sided(pts []Point, xL, xR, yB float64, dead map[int32]bool) map[int32]bool {
+	out := map[int32]bool{}
+	for _, p := range pts {
+		if dead[p.ID] {
+			continue
+		}
+		if p.X >= xL && p.X <= xR && p.Y >= yB {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+func check3Sided(t *testing.T, tr *Tree, pts []Point, xL, xR, yB float64, dead map[int32]bool) {
+	t.Helper()
+	want := brute3Sided(pts, xL, xR, yB, dead)
+	got := map[int32]bool{}
+	tr.Query3Sided(xL, xR, yB, func(p Point) bool {
+		if got[p.ID] {
+			t.Fatalf("duplicate id %d", p.ID)
+		}
+		got[p.ID] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("3-sided (%v,%v,%v): got %d, want %d", xL, xR, yB, len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("missing id %d", id)
+		}
+	}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 10, 500, 3000} {
+		pts := makePoints(n, uint64(n)+1)
+		for _, alpha := range []int{0, 2, 4} {
+			tr := Build(pts, Options{Alpha: alpha}, nil)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("n=%d alpha=%d: %v", n, alpha, err)
+			}
+			r := parallel.NewRNG(uint64(n) + 7)
+			for q := 0; q < 30; q++ {
+				xL := r.Float64()
+				check3Sided(t, tr, pts, xL, xL+r.Float64()*0.5, r.Float64(), nil)
+			}
+		}
+	}
+}
+
+func TestClassicMatchesPostSorted(t *testing.T) {
+	pts := makePoints(1000, 2)
+	a := Build(pts, Options{Alpha: 4}, nil)
+	b := BuildClassic(pts, Options{Alpha: 4}, nil)
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := parallel.NewRNG(3)
+	for q := 0; q < 200; q++ {
+		xL := r.Float64()
+		xR := xL + r.Float64()*0.3
+		yB := r.Float64()
+		if a.Count3Sided(xL, xR, yB) != b.Count3Sided(xL, xR, yB) {
+			t.Fatalf("query (%v,%v,%v) differs", xL, xR, yB)
+		}
+	}
+}
+
+func TestConstructionWriteCounts(t *testing.T) {
+	// Table 1 row: classic O(ωn log n) vs ours O(ωn + n log n).
+	n := 1 << 13
+	pts := makePoints(n, 4)
+	mc := asymmem.NewMeter()
+	BuildClassic(pts, Options{Alpha: 4}, mc)
+	mp := asymmem.NewMeter()
+	Build(pts, Options{Alpha: 4}, mp)
+	logn := math.Log2(float64(n))
+	classicPer := float64(mc.Writes()) / float64(n)
+	oursPer := float64(mp.Writes()) / float64(n)
+	if classicPer < logn/3 {
+		t.Errorf("classic writes/n = %.1f, want Θ(log n) ≈ %.1f", classicPer, logn)
+	}
+	if oursPer > 22 {
+		t.Errorf("post-sorted writes/n = %.1f, want O(1)", oursPer)
+	}
+	if mp.Writes() >= mc.Writes() {
+		t.Errorf("ours %d not below classic %d", mp.Writes(), mc.Writes())
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	pts := makePoints(800, 5)
+	for _, alpha := range []int{0, 2, 4} {
+		tr := Build(pts[:200], Options{Alpha: alpha}, nil)
+		for _, p := range pts[200:] {
+			tr.Insert(p)
+		}
+		if tr.Len() != 800 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		r := parallel.NewRNG(6)
+		for q := 0; q < 60; q++ {
+			xL := r.Float64()
+			check3Sided(t, tr, pts, xL, xL+0.3, r.Float64(), nil)
+		}
+	}
+}
+
+func TestInsertFromEmpty(t *testing.T) {
+	tr := Build(nil, Options{Alpha: 2}, nil)
+	pts := makePoints(500, 7)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	check3Sided(t, tr, pts, 0.2, 0.8, 0.5, nil)
+	st := tr.PathStats()
+	if st.MaxPathLen > 14*int(math.Log2(500)) {
+		t.Errorf("path %d too long after dynamic growth", st.MaxPathLen)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := makePoints(600, 8)
+	for _, alpha := range []int{0, 4} {
+		tr := Build(pts, Options{Alpha: alpha}, nil)
+		dead := map[int32]bool{}
+		r := parallel.NewRNG(9)
+		for i := 0; i < 500; i++ {
+			vi := r.Intn(len(pts))
+			if dead[pts[vi].ID] {
+				if tr.Delete(pts[vi]) {
+					t.Fatal("double delete succeeded")
+				}
+				continue
+			}
+			if !tr.Delete(pts[vi]) {
+				t.Fatalf("alpha=%d: delete %d failed", alpha, pts[vi].ID)
+			}
+			dead[pts[vi].ID] = true
+			if i%100 == 99 {
+				if err := tr.Check(); err != nil {
+					t.Fatalf("alpha=%d after %d deletes: %v", alpha, i+1, err)
+				}
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			xL := r.Float64()
+			check3Sided(t, tr, pts, xL, xL+0.4, r.Float64(), dead)
+		}
+	}
+}
+
+func TestMixedInsertDelete(t *testing.T) {
+	tr := Build(nil, Options{Alpha: 2}, nil)
+	live := map[int32]Point{}
+	r := parallel.NewRNG(10)
+	id := int32(0)
+	var all []Point
+	for step := 0; step < 2000; step++ {
+		if r.Intn(3) > 0 || len(live) == 0 {
+			p := Point{X: r.Float64(), Y: r.Float64(), ID: id}
+			id++
+			tr.Insert(p)
+			live[p.ID] = p
+			all = append(all, p)
+		} else {
+			for _, p := range live {
+				if !tr.Delete(p) {
+					t.Fatalf("delete %d failed at step %d", p.ID, step)
+				}
+				delete(live, p.ID)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len %d != %d", tr.Len(), len(live))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	for _, p := range all {
+		if _, ok := live[p.ID]; !ok {
+			dead[p.ID] = true
+		}
+	}
+	check3Sided(t, tr, all, 0.1, 0.7, 0.3, dead)
+}
+
+func TestUpdateWriteTradeoff(t *testing.T) {
+	// §7.3.4: point + weight writes per insert shrink by Θ(log α).
+	pts := makePoints(6000, 11)
+	writes := map[int]float64{}
+	for _, alpha := range []int{0, 8, 32} {
+		m := asymmem.NewMeter()
+		tr := Build(nil, Options{Alpha: alpha}, m)
+		for _, p := range pts {
+			tr.Insert(p)
+		}
+		st := tr.Stats()
+		writes[alpha] = float64(st.PointWrites+st.WeightWrites) / float64(len(pts))
+	}
+	if writes[8] >= writes[0] {
+		t.Errorf("alpha=8 update writes %.2f not below classic %.2f", writes[8], writes[0])
+	}
+	if writes[32] >= writes[8]*1.2 {
+		t.Errorf("alpha=32 update writes %.2f should not exceed alpha=8 %.2f", writes[32], writes[8])
+	}
+}
+
+func TestQuick3SidedMatchesBrute(t *testing.T) {
+	f := func(seed uint64, a, b, c uint8) bool {
+		pts := makePoints(200, seed)
+		tr := Build(pts, Options{Alpha: 2}, nil)
+		xL := float64(a) / 255
+		xR := xL + float64(b)/255
+		yB := float64(c) / 255
+		return tr.Count3Sided(xL, xR, yB) == len(brute3Sided(pts, xL, xR, yB, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDynamicOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := Build(nil, Options{Alpha: 2}, nil)
+		live := map[int32]Point{}
+		id := int32(0)
+		for _, op := range ops {
+			if op%4 != 0 || len(live) == 0 {
+				p := Point{X: float64(op%100) / 100, Y: float64(op/100%100) / 100, ID: id}
+				id++
+				tr.Insert(p)
+				live[p.ID] = p
+			} else {
+				for _, p := range live {
+					if !tr.Delete(p) {
+						return false
+					}
+					delete(live, p.ID)
+					break
+				}
+			}
+		}
+		if tr.Check() != nil || tr.Len() != len(live) {
+			return false
+		}
+		want := 0
+		for _, p := range live {
+			if p.X >= 0.2 && p.X <= 0.7 && p.Y >= 0.4 {
+				want++
+			}
+		}
+		return tr.Count3Sided(0.2, 0.7, 0.4) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialSpineInvariants(t *testing.T) {
+	// The Figure 3 scenario for the PST: sorted x, ascending priority —
+	// every insert lands on the leftmost path and swaps all the way down.
+	n := 3000
+	for _, alpha := range []int{2, 8} {
+		tr := Build(nil, Options{Alpha: alpha}, nil)
+		for i := 0; i < n; i++ {
+			tr.Insert(Point{X: 1 - float64(i)/float64(n), Y: float64(i), ID: int32(i)})
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		st := tr.PathStats()
+		logAlphaN := math.Log(float64(n)) / math.Log(float64(alpha))
+		if float64(st.MaxCriticalNodes) > 8*logAlphaN+10 {
+			t.Errorf("alpha=%d: %d critical/path > O(log_α n) = %.1f",
+				alpha, st.MaxCriticalNodes, logAlphaN)
+		}
+		if st.MaxSecondaryRun > 3*(4*alpha+1) {
+			t.Errorf("alpha=%d: secondary run %d exceeds O(α) bound", alpha, st.MaxSecondaryRun)
+		}
+		// The tree must still answer correctly.
+		if got := tr.Count3Sided(0, 1, float64(n)-10.5); got != 10 {
+			t.Errorf("alpha=%d: top-10 query returned %d", alpha, got)
+		}
+	}
+}
+
+func TestBulkInsertMatchesSingles(t *testing.T) {
+	base := makePoints(400, 61)
+	batch := makePoints(150, 62)
+	for i := range batch {
+		batch[i].ID += 10000
+	}
+	bulk := Build(base, Options{Alpha: 4}, nil)
+	bulk.BulkInsert(batch)
+	single := Build(base, Options{Alpha: 4}, nil)
+	for _, p := range batch {
+		single.Insert(p)
+	}
+	if bulk.Len() != single.Len() {
+		t.Fatalf("bulk %d vs single %d", bulk.Len(), single.Len())
+	}
+	if err := bulk.Check(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Point{}, base...), batch...)
+	check3Sided(t, bulk, all, 0.2, 0.8, 0.3, nil)
+}
+
+func TestBulkDeletePST(t *testing.T) {
+	pts := makePoints(300, 63)
+	tr := Build(pts, Options{Alpha: 4}, nil)
+	if got := tr.BulkDelete(pts[:120]); got != 120 {
+		t.Fatalf("removed %d", got)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	for _, p := range pts[:120] {
+		dead[p.ID] = true
+	}
+	check3Sided(t, tr, pts, 0.1, 0.9, 0.2, dead)
+}

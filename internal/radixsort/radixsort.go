@@ -1,0 +1,86 @@
+// Package radixsort provides a stable least-significant-digit radix sort on
+// uint64 keys. The paper's interval-tree construction (§7.2) radix sorts
+// (level, rank) pairs whose key range is O(n log n); LSD counting passes
+// give O(n) writes per pass and a constant number of passes, preserving the
+// linear-write bound the construction needs ([48] in the paper).
+package radixsort
+
+import (
+	"math/bits"
+
+	"repro/internal/asymmem"
+)
+
+// Item is one record: sort by Key, carrying Val.
+type Item struct {
+	Key uint64
+	Val int32
+}
+
+const digitBits = 16
+const radix = 1 << digitBits
+
+// Sort stably sorts items by Key in place. maxKey bounds the keys (0 means
+// derive it with one scan); only the digits needed to cover maxKey are
+// processed. Charges ~2n reads and ~n writes per pass to m.
+func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
+	n := len(items)
+	if n <= 1 {
+		return
+	}
+	if maxKey == 0 {
+		for _, it := range items {
+			if it.Key > maxKey {
+				maxKey = it.Key
+			}
+		}
+		m.ReadN(n)
+	}
+	passes := (bits.Len64(maxKey) + digitBits - 1) / digitBits
+	if passes == 0 {
+		passes = 1
+	}
+	buf := make([]Item, n)
+	src, dst := items, buf
+	var count [radix]int64
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[(src[i].Key>>shift)&(radix-1)]++
+		}
+		m.ReadN(n)
+		var sum int64
+		for i := 0; i < radix; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := (src[i].Key >> shift) & (radix - 1)
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		m.WriteN(n)
+		src, dst = dst, src
+	}
+	if &src[0] != &items[0] {
+		copy(items, src)
+		m.WriteN(n)
+	}
+}
+
+// SortInts sorts a slice of non-negative int64 values via the same passes;
+// convenience for tests and small harness tasks.
+func SortInts(xs []int64, m *asymmem.Meter) {
+	items := make([]Item, len(xs))
+	for i, x := range xs {
+		items[i] = Item{Key: uint64(x), Val: int32(i)}
+	}
+	Sort(items, 0, m)
+	for i, it := range items {
+		xs[i] = int64(it.Key)
+	}
+}

@@ -1,0 +1,116 @@
+package radixsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	Sort(nil, 0, nil)
+	one := []Item{{Key: 5, Val: 1}}
+	Sort(one, 0, nil)
+	if one[0].Key != 5 {
+		t.Fatal("single item corrupted")
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	r := parallel.NewRNG(1)
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{Key: r.Next() >> 20, Val: int32(i)}
+	}
+	Sort(items, 0, nil)
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key > items[i].Key {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	r := parallel.NewRNG(2)
+	items := make([]Item, 5000)
+	for i := range items {
+		items[i] = Item{Key: uint64(r.Intn(50)), Val: int32(i)}
+	}
+	Sort(items, 0, nil)
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key == items[i].Key && items[i-1].Val > items[i].Val {
+			t.Fatalf("stability violated at %d", i)
+		}
+	}
+}
+
+func TestSortSmallKeyRangeSinglePass(t *testing.T) {
+	m := asymmem.NewMeter()
+	items := make([]Item, 1000)
+	r := parallel.NewRNG(3)
+	for i := range items {
+		items[i] = Item{Key: uint64(r.Intn(100)), Val: int32(i)}
+	}
+	Sort(items, 100, m)
+	n := int64(len(items))
+	// One pass: n reads + n writes (+ final copy n writes since passes odd).
+	if m.Writes() > 2*n+8 {
+		t.Fatalf("too many writes for one pass: %d", m.Writes())
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key > items[i].Key {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSortLargeKeys(t *testing.T) {
+	items := []Item{
+		{Key: ^uint64(0), Val: 0},
+		{Key: 0, Val: 1},
+		{Key: 1 << 63, Val: 2},
+		{Key: 1 << 32, Val: 3},
+	}
+	Sort(items, 0, nil)
+	want := []uint64{0, 1 << 32, 1 << 63, ^uint64(0)}
+	for i, w := range want {
+		if items[i].Key != w {
+			t.Fatalf("items[%d].Key = %d, want %d", i, items[i].Key, w)
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int64{5, 2, 9, 1, 5, 0}
+	SortInts(xs, nil)
+	want := []int64{0, 1, 2, 5, 5, 9}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("SortInts = %v", xs)
+		}
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	f := func(keys []uint32) bool {
+		items := make([]Item, len(keys))
+		want := make([]uint64, len(keys))
+		for i, k := range keys {
+			items[i] = Item{Key: uint64(k), Val: int32(i)}
+			want[i] = uint64(k)
+		}
+		Sort(items, 0, nil)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if items[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

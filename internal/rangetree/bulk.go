@@ -1,0 +1,155 @@
+package rangetree
+
+import (
+	"sort"
+
+	"repro/internal/treap"
+)
+
+// BulkInsert adds a batch of m points in one pass (§7.3.5): the batch is
+// sorted once and distributed down the outer tree; each critical node
+// receives its x-range's subset as a single treap union into the inner
+// tree (O(m log(n/m) + ωm) expected per level) instead of m independent
+// O(log n) insertions; structural leaf additions happen at the fringe.
+func (t *Tree) BulkInsert(pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
+	if t.root == nil || len(pts) >= t.live {
+		all := append(t.Points(), pts...)
+		t.sortByX(all)
+		t.root = t.buildOuter(all)
+		t.live = len(all)
+		t.dead = 0
+		t.label()
+		t.buildInners(all)
+		return
+	}
+	batch := append([]Point{}, pts...)
+	t.sortByX(batch)
+	var doubled []doubledEnt
+	t.bulkRec(t.root, batch, nil, &doubled)
+	t.live += len(pts)
+	// Topmost-first: the recursion appends post-order, so iterate in
+	// reverse; skip nodes detached by an earlier, higher rebuild and keep
+	// ancestor weights exact via the recorded paths.
+	for i := len(doubled) - 1; i >= 0; i-- {
+		d := doubled[i]
+		if !t.reachable(t.root, d.n) {
+			continue
+		}
+		trigger := (!t.opts.classic() && d.n.critical && d.n.weight >= 2*d.n.initWeight) ||
+			(t.opts.classic() && t.classicUnbalanced(d.n))
+		if !trigger {
+			continue
+		}
+		oldW := d.n.weight
+		t.rebuildSubtree(d.n)
+		if delta := d.n.weight - oldW; delta != 0 {
+			for _, a := range d.path {
+				if (t.opts.classic() || a.critical) && t.reachable(t.root, a) {
+					a.weight += delta
+					t.meter.Write()
+					t.stats.WeightWrites++
+				}
+			}
+		}
+	}
+}
+
+// doubledEnt records a node whose weight grew during the bulk pass and its
+// ancestor path (root first, exclusive).
+type doubledEnt struct {
+	n    *node
+	path []*node
+}
+
+// bulkRec distributes an x-sorted batch below n; returns the node-count
+// increase of n's subtree. n must be non-nil; anc is its ancestor path.
+func (t *Tree) bulkRec(n *node, batch []Point, anc []*node, doubled *[]doubledEnt) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	t.meter.Read()
+	if n.leaf {
+		// Rebuild this fringe: the old leaf plus the batch become a
+		// subtree.
+		all := batch
+		if !n.dead {
+			all = append(append([]Point{}, batch...), n.pt)
+			sort.Slice(all, func(i, j int) bool { return pointLess(all[i], all[j]) })
+		}
+		before := n.weight
+		sub := t.buildOuter(all)
+		tmp := &Tree{opts: t.opts, root: sub, meter: t.meter, stats: t.stats}
+		tmp.label()
+		tmp.buildInners(all)
+		t.stats = tmp.stats
+		*n = *sub
+		return n.weight - before
+	}
+	// Merge the batch into this node's inner tree if it keeps one.
+	if (t.opts.classic() || n.critical) && n.inner != nil {
+		byY := append([]Point{}, batch...)
+		sort.Slice(byY, func(i, j int) bool {
+			t.meter.Read()
+			return yLess(yKey{byY[i].Y, byY[i].ID}, yKey{byY[j].Y, byY[j].ID})
+		})
+		keys := make([]yKey, len(byY))
+		for i, p := range byY {
+			keys[i] = yKey{p.Y, p.ID}
+		}
+		b := treap.New(yLess, yPrio, t.meter)
+		b.FromSorted(keys)
+		n.inner.Union(b)
+		for _, p := range batch {
+			n.pts[p.ID] = p
+		}
+		t.meter.WriteN(len(batch))
+		t.stats.InnerUpdates++
+	}
+	// Split by the routing key and recurse.
+	var l, r []Point
+	for _, p := range batch {
+		t.meter.Read()
+		if t.goesLeft(n, p) {
+			l = append(l, p)
+		} else {
+			r = append(r, p)
+		}
+	}
+	childAnc := append(append([]*node{}, anc...), n)
+	added := t.bulkRec(n.left, l, childAnc, doubled) + t.bulkRec(n.right, r, childAnc, doubled)
+	if added > 0 && (t.opts.classic() || n.critical) {
+		n.weight += added
+		t.meter.Write()
+		t.stats.WeightWrites++
+		*doubled = append(*doubled, doubledEnt{n: n, path: anc})
+	}
+	return added
+}
+
+// reachable reports whether x is still attached under n.
+func (t *Tree) reachable(n, x *node) bool {
+	if n == nil {
+		return false
+	}
+	if n == x {
+		return true
+	}
+	if n.leaf {
+		return false
+	}
+	return t.reachable(n.left, x) || t.reachable(n.right, x)
+}
+
+// BulkDelete removes a batch of points.
+func (t *Tree) BulkDelete(pts []Point) int {
+	removed := 0
+	for _, p := range pts {
+		if t.Delete(p) {
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,87 @@
+package rangetree
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestBulkInsertMatchesIndividual(t *testing.T) {
+	base := makePoints(500, 1)
+	batch := makePoints(200, 2)
+	for i := range batch {
+		batch[i].ID += 10000
+	}
+	for _, alpha := range []int{0, 2, 4} {
+		bulk := Build(base, Options{Alpha: alpha}, nil)
+		bulk.BulkInsert(batch)
+		single := Build(base, Options{Alpha: alpha}, nil)
+		for _, p := range batch {
+			single.Insert(p)
+		}
+		if bulk.Len() != single.Len() {
+			t.Fatalf("alpha=%d: bulk %d vs single %d", alpha, bulk.Len(), single.Len())
+		}
+		if err := bulk.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		all := append(append([]Point{}, base...), batch...)
+		r := parallel.NewRNG(3)
+		for q := 0; q < 60; q++ {
+			xL, yB := r.Float64(), r.Float64()
+			xR, yT := xL+0.4, yB+0.4
+			if bulk.Count(xL, xR, yB, yT) != single.Count(xL, xR, yB, yT) {
+				t.Fatalf("alpha=%d: bulk/single counts differ", alpha)
+			}
+			checkQuery(t, bulk, all, xL, xR, yB, yT, nil)
+		}
+	}
+}
+
+func TestBulkInsertIntoEmpty(t *testing.T) {
+	tr := Build(nil, Options{Alpha: 2}, nil)
+	batch := makePoints(250, 4)
+	tr.BulkInsert(batch)
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkQuery(t, tr, batch, 0.2, 0.7, 0.3, 0.9, nil)
+}
+
+func TestBulkDelete(t *testing.T) {
+	pts := makePoints(400, 5)
+	tr := Build(pts, Options{Alpha: 4}, nil)
+	if got := tr.BulkDelete(pts[:100]); got != 100 {
+		t.Fatalf("removed %d", got)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	for _, p := range pts[:100] {
+		dead[p.ID] = true
+	}
+	checkQuery(t, tr, pts, 0.1, 0.9, 0.1, 0.9, dead)
+}
+
+func TestRepeatedBulks(t *testing.T) {
+	tr := Build(makePoints(100, 6), Options{Alpha: 2}, nil)
+	id := int32(100)
+	all := makePoints(100, 6)
+	for round := 0; round < 8; round++ {
+		batch := makePoints(60, uint64(round)+10)
+		for i := range batch {
+			batch[i].ID = id
+			id++
+		}
+		tr.BulkInsert(batch)
+		all = append(all, batch...)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	checkQuery(t, tr, all, 0.25, 0.8, 0.2, 0.7, nil)
+}

@@ -1,0 +1,369 @@
+package rangetree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alabel"
+)
+
+// Insert adds a point: a new leaf splits the leaf it lands on, the point
+// enters the inner trees of its O(log_α n) critical ancestors (O(log n)
+// ancestors in classic mode), weights update at critical nodes, and a
+// doubled critical subtree is reconstructed — the
+// O((α log n + ω) log_α n) amortized update of Theorem 7.4.
+func (t *Tree) Insert(p Point) {
+	t.live++
+	if t.root == nil {
+		t.root = &node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
+		t.meter.Write()
+		return
+	}
+	var path []*node
+	n := t.root
+	for !n.leaf {
+		t.meter.Read()
+		path = append(path, n)
+		if t.goesLeft(n, p) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	// Split the leaf: it becomes an internal routing node over {old, new}.
+	old := *n
+	a, b := &node{leaf: true, pt: old.pt, key: old.pt.X, dead: old.dead, weight: 2, initWeight: 2, critical: true},
+		&node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
+	if pointLess(p, old.pt) {
+		a, b = b, a
+	}
+	n.leaf = false
+	n.pt = Point{}
+	n.dead = false
+	n.key = a.pt.X
+	n.left, n.right = a, b
+	n.weight = 4
+	n.initWeight = 4
+	if t.opts.classic() || n == t.root {
+		// The tree root is always the paper's virtual critical node.
+		n.critical = true
+	} else {
+		n.critical = alabel.IsCritical(4, 0, t.opts.Alpha)
+	}
+	t.meter.WriteN(3)
+
+	// The split node needs a fresh inner tree if critical (any leftover
+	// inner from a previous life of this node slot is stale).
+	n.inner, n.pts = nil, nil
+	if n.critical {
+		var list []Point
+		if !a.dead {
+			list = append(list, a.pt)
+		}
+		if !b.dead {
+			list = append(list, b.pt)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			return yLess(yKey{list[i].Y, list[i].ID}, yKey{list[j].Y, list[j].ID})
+		})
+		t.setInner(n, list)
+	}
+
+	// Update weights and inner trees along the path. The split added one
+	// leaf node, which raises every ancestor's weight by 2 under the
+	// paper's nodes+1 convention.
+	var unbalanced *node
+	unbalancedIdx := -1
+	for i, anc := range path {
+		if t.opts.classic() || anc.critical {
+			anc.weight += 2
+			t.meter.Write()
+			t.stats.WeightWrites++
+			anc.inner.Insert(yKey{p.Y, p.ID})
+			anc.pts[p.ID] = p
+			t.stats.InnerUpdates++
+		}
+		if unbalanced == nil && !t.opts.classic() && anc.critical && anc.weight >= 2*anc.initWeight {
+			unbalanced, unbalancedIdx = anc, i
+		}
+		if unbalanced == nil && t.opts.classic() && t.classicUnbalanced(anc) {
+			unbalanced, unbalancedIdx = anc, i
+		}
+	}
+	if unbalanced != nil {
+		oldW := unbalanced.weight
+		sub := t.rebuildSubtree(unbalanced)
+		if delta := sub.weight - oldW; delta != 0 {
+			for _, anc := range path[:unbalancedIdx] {
+				if t.opts.classic() || anc.critical {
+					anc.weight += delta
+					t.meter.Write()
+					t.stats.WeightWrites++
+				}
+			}
+		}
+	}
+}
+
+func (t *Tree) classicUnbalanced(n *node) bool {
+	if n.leaf || n.weight < 8 {
+		return false
+	}
+	mx := n.left.weight
+	if n.right.weight > mx {
+		mx = n.right.weight
+	}
+	return float64(mx) > 0.71*float64(n.weight)
+}
+
+func pointLess(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.ID < b.ID
+}
+
+// Delete tombstones the leaf holding p and removes p from its critical
+// ancestors' inner trees. The whole tree is rebuilt once dead leaves
+// outnumber live ones.
+func (t *Tree) Delete(p Point) bool {
+	// Locate the leaf (ties on routing keys are resolved by goesLeft's
+	// ID-aware comparison, so the path is unique).
+	var path []*node
+	n := t.root
+	for n != nil && !n.leaf {
+		t.meter.Read()
+		path = append(path, n)
+		if t.goesLeft(n, p) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil || n.dead || n.pt.ID != p.ID || n.pt != p {
+		return false
+	}
+	n.dead = true
+	t.meter.Write()
+	for _, anc := range path {
+		if t.opts.classic() || anc.critical {
+			anc.inner.Delete(yKey{p.Y, p.ID})
+			delete(anc.pts, p.ID)
+			t.stats.InnerUpdates++
+		}
+	}
+	t.live--
+	t.dead++
+	if t.dead > t.live {
+		t.rebuildAll()
+	}
+	return true
+}
+
+// Points returns all live points in x order.
+func (t *Tree) Points() []Point {
+	var out []Point
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if !n.dead {
+				out = append(out, n.pt)
+			}
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}
+
+// rebuildSubtree reconstructs n's subtree from its live points, relabels
+// it (skip-root exception) and rebuilds its inner trees.
+func (t *Tree) rebuildSubtree(n *node) *node {
+	pts := collectLive(n)
+	t.stats.Rebuilds++
+	t.stats.RebuildWork += int64(len(pts))
+	s := n.initWeight
+	t.sortByX(pts)
+	sub := t.buildOuter(pts)
+	if sub == nil {
+		sub = &node{leaf: true, dead: true, weight: 2, initWeight: 2, critical: true}
+	}
+	tmp := &Tree{opts: t.opts, root: sub, meter: t.meter}
+	tmp.label()
+	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && n != t.root {
+		sub.critical = false
+	}
+	if n == t.root {
+		sub.critical = true
+	}
+	tmp.stats = t.stats
+	tmp.buildInners(pts)
+	t.stats = tmp.stats
+	*n = *sub
+	t.meter.Write()
+	return n
+}
+
+func collectLive(n *node) []Point {
+	var out []Point
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if !n.dead {
+				out = append(out, n.pt)
+			}
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(n)
+	return out
+}
+
+// rebuildAll reconstructs the whole tree from the live points.
+func (t *Tree) rebuildAll() {
+	pts := t.Points()
+	t.stats.FullRebuilds++
+	t.stats.RebuildWork += int64(len(pts))
+	t.sortByX(pts)
+	t.root = t.buildOuter(pts)
+	t.dead = 0
+	t.label()
+	t.buildInners(pts)
+}
+
+// Check verifies x order of leaves, inner-tree contents at critical nodes,
+// weight bookkeeping, and the live count.
+func (t *Tree) Check() error {
+	// Leaves in non-decreasing (X, ID).
+	leaves := []Point{}
+	deadCount := 0
+	var rec func(n *node) error
+	rec = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		if n.leaf {
+			if n.dead {
+				deadCount++
+			} else {
+				leaves = append(leaves, n.pt)
+			}
+			return nil
+		}
+		if n.inner == nil && (n.critical || t.opts.classic()) {
+			return fmt.Errorf("rangetree: critical node missing inner tree")
+		}
+		if err := rec(n.left); err != nil {
+			return err
+		}
+		return rec(n.right)
+	}
+	if err := rec(t.root); err != nil {
+		return err
+	}
+	for i := 1; i < len(leaves); i++ {
+		if pointLess(leaves[i], leaves[i-1]) {
+			return fmt.Errorf("rangetree: leaves out of order at %d", i)
+		}
+	}
+	if len(leaves) != t.live {
+		return fmt.Errorf("rangetree: %d live leaves, expected %d", len(leaves), t.live)
+	}
+	// Inner contents match subtree live points at critical nodes.
+	var verify func(n *node) ([]int32, error)
+	verify = func(n *node) ([]int32, error) {
+		if n == nil {
+			return nil, nil
+		}
+		if n.leaf {
+			if n.dead {
+				return nil, nil
+			}
+			return []int32{n.pt.ID}, nil
+		}
+		l, err := verify(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := verify(n.right)
+		if err != nil {
+			return nil, err
+		}
+		all := append(l, r...)
+		if n.critical || t.opts.classic() {
+			if n.inner.Len() != len(all) {
+				return nil, fmt.Errorf("rangetree: inner size %d != live subtree %d", n.inner.Len(), len(all))
+			}
+			for _, id := range all {
+				if _, ok := n.pts[id]; !ok {
+					return nil, fmt.Errorf("rangetree: inner missing id %d", id)
+				}
+			}
+			if got, want := n.weight, t.subtreeWeight(n); got != want {
+				return nil, fmt.Errorf("rangetree: weight %d != %d", got, want)
+			}
+		}
+		return all, nil
+	}
+	_, err := verify(t.root)
+	return err
+}
+
+// subtreeWeight recomputes the paper's weight (leaf nodes count 2;
+// internal node = sum of children).
+func (t *Tree) subtreeWeight(n *node) int {
+	if n == nil {
+		return 1
+	}
+	if n.leaf {
+		return 2
+	}
+	return t.subtreeWeight(n.left) + t.subtreeWeight(n.right)
+}
+
+// PathStats mirrors interval.PathStats for the α-labeling invariants.
+type PathStats struct {
+	MaxPathLen       int
+	MaxCriticalNodes int
+	MaxSecondaryRun  int
+}
+
+// PathStats measures critical-node density over all root-to-leaf paths.
+func (t *Tree) PathStats() PathStats {
+	var st PathStats
+	var rec func(n *node, depth, crit, run int)
+	rec = func(n *node, depth, crit, run int) {
+		if n == nil {
+			if depth > st.MaxPathLen {
+				st.MaxPathLen = depth
+			}
+			if crit > st.MaxCriticalNodes {
+				st.MaxCriticalNodes = crit
+			}
+			return
+		}
+		if n.critical {
+			crit++
+			run = 0
+		} else {
+			run++
+			if run > st.MaxSecondaryRun {
+				st.MaxSecondaryRun = run
+			}
+		}
+		rec(n.left, depth+1, crit, run)
+		rec(n.right, depth+1, crit, run)
+	}
+	rec(t.root, 0, 0, 0)
+	return st
+}

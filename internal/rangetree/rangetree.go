@@ -1,0 +1,383 @@
+// Package rangetree implements the paper's 2D range tree (§7): a
+// leaf-oriented balanced BST over the points' x-coordinates where selected
+// nodes carry an inner tree of their subtree's points sorted by y,
+// answering 2D orthogonal range queries.
+//
+// With α-labeling (§7.3.4), inner trees are kept only at critical nodes,
+// shrinking the structure to O(n log_α n) and the writes per dynamic update
+// to O(log_α n) inner-tree insertions, at the cost of expanding each
+// canonical subtree whose root is secondary to its ≤ O(α) maximal critical
+// descendants during queries — the O(ωk + α log_α n log n) query bound of
+// Theorem 7.4. Classic mode (alpha < 2) keeps an inner tree at every node.
+//
+// Construction follows the appendix: the root's inner list is the y-sorted
+// point set; each critical node's inner list is an ordered filter of its
+// critical parent's list, costing O((α + ω)s) for an inner tree of size s
+// and O((α + ω)·n log_α n) in total.
+package rangetree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/alabel"
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+	"repro/internal/treap"
+)
+
+// Point is a 2D point with a caller-chosen identifier.
+type Point struct {
+	X, Y float64
+	ID   int32
+}
+
+// yKey orders points by (Y, ID) inside the inner trees.
+type yKey struct {
+	y  float64
+	id int32
+}
+
+func yLess(a, b yKey) bool {
+	if a.y != b.y {
+		return a.y < b.y
+	}
+	return a.id < b.id
+}
+
+func ySum(k yKey) float64 { return k.y }
+
+func yPrio(k yKey) uint64 {
+	return parallel.Hash64(math.Float64bits(k.y) ^ uint64(uint32(k.id))*0x9e3779b97f4a7c15)
+}
+
+type node struct {
+	key         float64 // routing: x ≤ key goes left
+	left, right *node
+	leaf        bool
+	pt          Point
+	dead        bool
+
+	inner      *treap.Tree[yKey] // critical nodes only (or all, classic)
+	pts        map[int32]Point   // id -> point, alongside inner
+	weight     int               // leaves+1 under the paper's convention
+	initWeight int
+	critical   bool
+}
+
+// Options configures the tree.
+type Options struct {
+	// Alpha ≥ 2 enables α-labeling; 0 or 1 keeps an inner tree at every
+	// node (the classic range tree).
+	Alpha int
+}
+
+func (o Options) classic() bool { return o.Alpha < 2 }
+
+// Tree is a 2D range tree.
+type Tree struct {
+	opts  Options
+	root  *node
+	live  int
+	dead  int
+	meter *asymmem.Meter
+	stats Stats
+}
+
+// Stats profiles construction and updates.
+type Stats struct {
+	InnerTotalSize  int64 // Σ inner-tree sizes right after construction
+	InnerTreesBuilt int
+	Rebuilds        int
+	RebuildWork     int64
+	WeightWrites    int64
+	InnerUpdates    int64 // inner-tree insert/delete operations
+	FullRebuilds    int
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return t.live }
+
+// Stats returns a copy of the statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Build constructs the tree: a charged comparison sort by x, the
+// leaf-oriented outer tree, α-labeling, and the top-down inner-tree
+// construction.
+func Build(pts []Point, opts Options, m *asymmem.Meter) *Tree {
+	t := &Tree{opts: opts, meter: m}
+	sorted := append([]Point{}, pts...)
+	t.sortByX(sorted)
+	t.root = t.buildOuter(sorted)
+	t.live = len(pts)
+	t.label()
+	t.buildInners(sorted)
+	return t
+}
+
+func (t *Tree) sortByX(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		t.meter.Read()
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	// Charged at the §4 write-efficient sort's model cost: O(n) writes.
+	t.meter.WriteN(len(pts))
+}
+
+// buildOuter builds the leaf-oriented balanced BST over x-sorted points.
+func (t *Tree) buildOuter(pts []Point) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	var build func(lo, hi int) *node
+	build = func(lo, hi int) *node {
+		t.meter.Write()
+		if hi-lo == 1 {
+			return &node{leaf: true, pt: pts[lo], key: pts[lo].X, weight: 2, initWeight: 2}
+		}
+		mid := (lo + hi) / 2
+		n := &node{key: pts[mid-1].X}
+		n.left = build(lo, mid)
+		n.right = build(mid, hi)
+		n.weight = n.left.weight + n.right.weight
+		n.initWeight = n.weight
+		return n
+	}
+	return build(0, len(pts))
+}
+
+// label marks critical nodes (all nodes in classic mode); the root is the
+// virtual critical node.
+func (t *Tree) label() {
+	var rec func(n, sib *node)
+	rec = func(n, sib *node) {
+		if n == nil {
+			return
+		}
+		sw := 0
+		if sib != nil {
+			sw = sib.weight
+		}
+		if t.opts.classic() {
+			n.critical = true
+		} else {
+			n.critical = alabel.IsCritical(n.weight, sw, t.opts.Alpha)
+		}
+		n.initWeight = n.weight
+		t.meter.Write()
+		rec(n.left, n.right)
+		rec(n.right, n.left)
+	}
+	rec(t.root, nil)
+	if t.root != nil {
+		t.root.critical = true
+	}
+}
+
+// buildInners builds the inner trees top-down: the root gets the y-sorted
+// point set; every critical node's list is an ordered filter of its
+// critical parent's list restricted to its subtree's x-range (appendix).
+func (t *Tree) buildInners(byX []Point) {
+	if t.root == nil {
+		return
+	}
+	byY := append([]Point{}, byX...)
+	sort.Slice(byY, func(i, j int) bool {
+		t.meter.Read()
+		return yLess(yKey{byY[i].Y, byY[i].ID}, yKey{byY[j].Y, byY[j].ID})
+	})
+	t.meter.WriteN(len(byY))
+
+	// xRange computes [min,max] x (with ID tie-break) per subtree from the
+	// routing keys; we track ranges during the descent instead.
+	var fill func(n *node, list []Point)
+	fill = func(n *node, list []Point) {
+		if n.leaf {
+			return // leaves answer directly from their single point
+		}
+		t.setInner(n, list)
+		// Distribute to maximal critical descendants: walk the structure;
+		// at each secondary internal node, split the list by the routing
+		// key and keep walking.
+		var walk func(c *node, sub []Point)
+		walk = func(c *node, sub []Point) {
+			if c == nil || c.leaf {
+				return // leaves answer directly from their single point
+			}
+			if c.critical {
+				fill(c, sub)
+				return
+			}
+			l, r := t.splitByX(c, sub)
+			walk(c.left, l)
+			walk(c.right, r)
+		}
+		if n.leaf {
+			return
+		}
+		l, r := t.splitByX(n, list)
+		walk(n.left, l)
+		walk(n.right, r)
+	}
+	fill(t.root, byY)
+}
+
+// splitByX stably partitions a y-sorted list by the node's routing key,
+// charging a read per element (the "ordered filter").
+func (t *Tree) splitByX(n *node, list []Point) (left, right []Point) {
+	for _, p := range list {
+		t.meter.Read()
+		if t.goesLeft(n, p) {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	return left, right
+}
+
+// goesLeft routes a point at an internal node. Ties on the routing key are
+// broken by ID, mirroring the x-sort order used to build the outer tree.
+func (t *Tree) goesLeft(n *node, p Point) bool {
+	if p.X != n.key {
+		return p.X < n.key
+	}
+	// The routing key is the max (X, ID) of the left subtree; recover the
+	// boundary ID from the rightmost leaf of the left subtree.
+	b := n.left
+	for b != nil && !b.leaf {
+		b = b.right
+	}
+	if b == nil {
+		return p.X <= n.key
+	}
+	if b.pt.X != p.X {
+		return p.X < n.key
+	}
+	return p.ID <= b.pt.ID
+}
+
+// setInner stores a node's inner tree from a y-sorted list. Inner trees
+// carry the y-sum augmentation, supporting the appendix's weighted-sum
+// queries without an output term.
+func (t *Tree) setInner(n *node, list []Point) {
+	n.inner = treap.New(yLess, yPrio, t.meter).WithValues(ySum)
+	keys := make([]yKey, len(list))
+	n.pts = make(map[int32]Point, len(list))
+	for i, p := range list {
+		keys[i] = yKey{p.Y, p.ID}
+		n.pts[p.ID] = p
+	}
+	n.inner.FromSorted(keys)
+	t.meter.WriteN(len(list))
+	t.stats.InnerTotalSize += int64(len(list))
+	t.stats.InnerTreesBuilt++
+}
+
+// Query reports every live point with x ∈ [xL, xR] and y ∈ [yB, yT].
+func (t *Tree) Query(xL, xR, yB, yT float64, visit func(Point) bool) {
+	t.query(t.root, math.Inf(-1), math.Inf(1), xL, xR, yB, yT, visit)
+}
+
+// query walks the outer tree; fully-covered subtrees are answered from the
+// nearest inner trees at or below their root.
+func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, visit func(Point) bool) bool {
+	if n == nil || hi < xL || lo > xR {
+		return true
+	}
+	t.meter.Read()
+	if n.leaf {
+		if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
+			t.meter.Write()
+			return visit(n.pt)
+		}
+		return true
+	}
+	if lo >= xL && hi <= xR {
+		// Canonical subtree: report from the critical cover.
+		return t.reportCover(n, yB, yT, visit)
+	}
+	if !t.query(n.left, lo, n.key, xL, xR, yB, yT, visit) {
+		return false
+	}
+	return t.query(n.right, n.key, hi, xL, xR, yB, yT, visit)
+}
+
+// reportCover reports points with y ∈ [yB, yT] under n using the maximal
+// critical descendants' inner trees (n itself if critical).
+func (t *Tree) reportCover(n *node, yB, yT float64, visit func(Point) bool) bool {
+	if n == nil {
+		return true
+	}
+	t.meter.Read()
+	if n.critical {
+		if n.leaf {
+			if !n.dead && n.pt.Y >= yB && n.pt.Y <= yT {
+				t.meter.Write()
+				return visit(n.pt)
+			}
+			return true
+		}
+		ok := true
+		n.inner.Range(yKey{yB, math.MinInt32}, yKey{yT, math.MaxInt32}, func(k yKey) bool {
+			t.meter.Write()
+			if !visit(n.pts[k.id]) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if !t.reportCover(n.left, yB, yT, visit) {
+		return false
+	}
+	return t.reportCover(n.right, yB, yT, visit)
+}
+
+// Count returns the number of live points in the query rectangle. Counting
+// uses the inner trees' order statistics, so the cost has no output term
+// (the §"Other queries" extension in the paper's appendix).
+func (t *Tree) Count(xL, xR, yB, yT float64) int {
+	lo := yKey{yB, math.MinInt32}
+	hi := yKey{yT, math.MaxInt32}
+	var rec func(n *node, xlo, xhi float64) int
+	rec = func(n *node, xlo, xhi float64) int {
+		if n == nil || xhi < xL || xlo > xR {
+			return 0
+		}
+		t.meter.Read()
+		if n.leaf {
+			if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
+				return 1
+			}
+			return 0
+		}
+		if xlo >= xL && xhi <= xR {
+			return t.countCover(n, lo, hi)
+		}
+		return rec(n.left, xlo, n.key) + rec(n.right, n.key, xhi)
+	}
+	return rec(t.root, math.Inf(-1), math.Inf(1))
+}
+
+// countCover counts y-matching points under n via the critical cover.
+func (t *Tree) countCover(n *node, lo, hi yKey) int {
+	if n == nil {
+		return 0
+	}
+	t.meter.Read()
+	if n.critical {
+		if n.leaf {
+			if n.dead || n.pt.Y < lo.y || n.pt.Y > hi.y {
+				return 0
+			}
+			return 1
+		}
+		return n.inner.CountRange(lo, hi)
+	}
+	return t.countCover(n.left, lo, hi) + t.countCover(n.right, lo, hi)
+}

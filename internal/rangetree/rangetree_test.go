@@ -1,0 +1,330 @@
+package rangetree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func makePoints(n int, seed uint64) []Point {
+	xs := gen.UniformFloats(n, seed)
+	ys := gen.UniformFloats(n, seed^0xbeef)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	return pts
+}
+
+func bruteRange(pts []Point, xL, xR, yB, yT float64, dead map[int32]bool) map[int32]bool {
+	out := map[int32]bool{}
+	for _, p := range pts {
+		if dead[p.ID] {
+			continue
+		}
+		if p.X >= xL && p.X <= xR && p.Y >= yB && p.Y <= yT {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+func checkQuery(t *testing.T, tr *Tree, pts []Point, xL, xR, yB, yT float64, dead map[int32]bool) {
+	t.Helper()
+	want := bruteRange(pts, xL, xR, yB, yT, dead)
+	got := map[int32]bool{}
+	tr.Query(xL, xR, yB, yT, func(p Point) bool {
+		if got[p.ID] {
+			t.Fatalf("duplicate id %d", p.ID)
+		}
+		got[p.ID] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("query [%v,%v]x[%v,%v]: got %d, want %d", xL, xR, yB, yT, len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("missing id %d", id)
+		}
+	}
+	if c := tr.Count(xL, xR, yB, yT); c != len(want) {
+		t.Fatalf("Count = %d, want %d", c, len(want))
+	}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 500, 2000} {
+		pts := makePoints(n, uint64(n)+1)
+		for _, alpha := range []int{0, 2, 4, 8} {
+			tr := Build(pts, Options{Alpha: alpha}, nil)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("n=%d alpha=%d: %v", n, alpha, err)
+			}
+			r := parallel.NewRNG(uint64(n) + 3)
+			for q := 0; q < 20; q++ {
+				xL, yB := r.Float64(), r.Float64()
+				checkQuery(t, tr, pts, xL, xL+r.Float64()*0.5, yB, yB+r.Float64()*0.5, nil)
+			}
+		}
+	}
+}
+
+func TestInnerSizeScaling(t *testing.T) {
+	// Classic: Σ inner sizes = Θ(n log n); α-labeling: Θ(n log_α n).
+	n := 1 << 12
+	pts := makePoints(n, 2)
+	classic := Build(pts, Options{}, nil).Stats().InnerTotalSize
+	a8 := Build(pts, Options{Alpha: 8}, nil).Stats().InnerTotalSize
+	if a8 >= classic {
+		t.Errorf("alpha=8 inner total %d not below classic %d", a8, classic)
+	}
+	logn := math.Log2(float64(n))
+	if float64(classic) < float64(n)*logn/3 {
+		t.Errorf("classic inner total %d suspiciously small", classic)
+	}
+	// log_8 n = logn/3; allow generous constants.
+	if float64(a8) > 4*float64(n)*logn/3 {
+		t.Errorf("alpha=8 inner total %d too large", a8)
+	}
+}
+
+func TestConstructionWriteScaling(t *testing.T) {
+	n := 1 << 12
+	pts := makePoints(n, 3)
+	mc := asymmem.NewMeter()
+	Build(pts, Options{}, mc)
+	ma := asymmem.NewMeter()
+	Build(pts, Options{Alpha: 8}, ma)
+	if ma.Writes() >= mc.Writes() {
+		t.Errorf("alpha=8 writes %d not below classic %d", ma.Writes(), mc.Writes())
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	pts := makePoints(600, 4)
+	for _, alpha := range []int{0, 2, 4} {
+		tr := Build(pts[:150], Options{Alpha: alpha}, nil)
+		for _, p := range pts[150:] {
+			tr.Insert(p)
+		}
+		if tr.Len() != 600 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		r := parallel.NewRNG(5)
+		for q := 0; q < 40; q++ {
+			xL, yB := r.Float64(), r.Float64()
+			checkQuery(t, tr, pts, xL, xL+0.3, yB, yB+0.4, nil)
+		}
+	}
+}
+
+func TestInsertFromEmpty(t *testing.T) {
+	tr := Build(nil, Options{Alpha: 2}, nil)
+	pts := makePoints(400, 6)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkQuery(t, tr, pts, 0.2, 0.8, 0.1, 0.6, nil)
+	st := tr.PathStats()
+	if st.MaxPathLen > 14*int(math.Log2(400)) {
+		t.Errorf("path %d too long", st.MaxPathLen)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := makePoints(500, 7)
+	for _, alpha := range []int{0, 4} {
+		tr := Build(pts, Options{Alpha: alpha}, nil)
+		dead := map[int32]bool{}
+		r := parallel.NewRNG(8)
+		for i := 0; i < 400; i++ {
+			vi := r.Intn(len(pts))
+			if dead[pts[vi].ID] {
+				if tr.Delete(pts[vi]) {
+					t.Fatal("double delete succeeded")
+				}
+				continue
+			}
+			if !tr.Delete(pts[vi]) {
+				t.Fatalf("alpha=%d: delete %d failed", alpha, pts[vi].ID)
+			}
+			dead[pts[vi].ID] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		for q := 0; q < 40; q++ {
+			xL, yB := r.Float64(), r.Float64()
+			checkQuery(t, tr, pts, xL, xL+0.5, yB, yB+0.5, dead)
+		}
+	}
+}
+
+func TestDuplicateXCoordinates(t *testing.T) {
+	// All points share one x: routing must tie-break by ID.
+	pts := make([]Point, 100)
+	r := parallel.NewRNG(9)
+	for i := range pts {
+		pts[i] = Point{X: 0.5, Y: r.Float64(), ID: int32(i)}
+	}
+	tr := Build(pts, Options{Alpha: 2}, nil)
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkQuery(t, tr, pts, 0.5, 0.5, 0.2, 0.8, nil)
+	checkQuery(t, tr, pts, 0.4, 0.6, 0, 1, nil)
+	// Dynamic duplicates too.
+	for i := 100; i < 150; i++ {
+		tr.Insert(Point{X: 0.5, Y: r.Float64(), ID: int32(i)})
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateInnerWriteTradeoff(t *testing.T) {
+	// Theorem 7.4: inner-tree updates per insert drop from O(log n) to
+	// O(log_α n).
+	pts := makePoints(4000, 10)
+	per := map[int]float64{}
+	for _, alpha := range []int{0, 8} {
+		tr := Build(nil, Options{Alpha: alpha}, nil)
+		for _, p := range pts {
+			tr.Insert(p)
+		}
+		per[alpha] = float64(tr.Stats().InnerUpdates) / float64(len(pts))
+	}
+	if per[8] >= per[0] {
+		t.Errorf("alpha=8 inner updates/insert %.2f not below classic %.2f", per[8], per[0])
+	}
+}
+
+func TestQuickQueryOracle(t *testing.T) {
+	f := func(seed uint64, a, b, c, d uint8) bool {
+		pts := makePoints(150, seed)
+		tr := Build(pts, Options{Alpha: 2}, nil)
+		xL, yB := float64(a)/255, float64(c)/255
+		xR, yT := xL+float64(b)/255, yB+float64(d)/255
+		return tr.Count(xL, xR, yB, yT) == len(bruteRange(pts, xL, xR, yB, yT, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDynamicOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := Build(nil, Options{Alpha: 2}, nil)
+		live := map[int32]Point{}
+		id := int32(0)
+		for _, op := range ops {
+			if op%4 != 0 || len(live) == 0 {
+				p := Point{X: float64(op%50) / 50, Y: float64(op/50%50) / 50, ID: id}
+				id++
+				tr.Insert(p)
+				live[p.ID] = p
+			} else {
+				for _, p := range live {
+					if !tr.Delete(p) {
+						return false
+					}
+					delete(live, p.ID)
+					break
+				}
+			}
+		}
+		if tr.Check() != nil || tr.Len() != len(live) {
+			return false
+		}
+		want := 0
+		for _, p := range live {
+			if p.X >= 0.2 && p.X <= 0.7 && p.Y >= 0.1 && p.Y <= 0.8 {
+				want++
+			}
+		}
+		return tr.Count(0.2, 0.7, 0.1, 0.8) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialSpineInvariants(t *testing.T) {
+	n := 3000
+	for _, alpha := range []int{2, 8} {
+		tr := Build(nil, Options{Alpha: alpha}, nil)
+		for i := 0; i < n; i++ {
+			tr.Insert(Point{X: 1 - float64(i)/float64(n), Y: float64(i) / float64(n), ID: int32(i)})
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		st := tr.PathStats()
+		logAlphaN := math.Log(float64(n)) / math.Log(float64(alpha))
+		if float64(st.MaxCriticalNodes) > 8*logAlphaN+10 {
+			t.Errorf("alpha=%d: %d critical/path > O(log_α n) = %.1f",
+				alpha, st.MaxCriticalNodes, logAlphaN)
+		}
+		if st.MaxSecondaryRun > 3*(4*alpha+1) {
+			t.Errorf("alpha=%d: secondary run %d exceeds O(α) bound", alpha, st.MaxSecondaryRun)
+		}
+		if got := tr.Count(0, 1, 0, 1); got != n {
+			t.Errorf("alpha=%d: full count %d != %d", alpha, got, n)
+		}
+	}
+}
+
+func TestSumYMatchesBrute(t *testing.T) {
+	pts := makePoints(1500, 81)
+	for _, alpha := range []int{0, 4} {
+		tr := Build(pts, Options{Alpha: alpha}, nil)
+		r := parallel.NewRNG(82)
+		for q := 0; q < 80; q++ {
+			xL, yB := r.Float64(), r.Float64()
+			xR, yT := xL+0.4, yB+0.4
+			want := 0.0
+			for _, p := range pts {
+				if p.X >= xL && p.X <= xR && p.Y >= yB && p.Y <= yT {
+					want += p.Y
+				}
+			}
+			got := tr.SumY(xL, xR, yB, yT)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("alpha=%d: SumY = %v, want %v", alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestSumYAfterUpdates(t *testing.T) {
+	pts := makePoints(500, 83)
+	tr := Build(pts[:300], Options{Alpha: 4}, nil)
+	for _, p := range pts[300:] {
+		tr.Insert(p)
+	}
+	dead := map[int32]bool{}
+	for _, p := range pts[:100] {
+		tr.Delete(p)
+		dead[p.ID] = true
+	}
+	want := 0.0
+	for _, p := range pts {
+		if !dead[p.ID] && p.X >= 0.2 && p.X <= 0.9 && p.Y >= 0.1 && p.Y <= 0.8 {
+			want += p.Y
+		}
+	}
+	if got := tr.SumY(0.2, 0.9, 0.1, 0.8); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SumY after updates = %v, want %v", got, want)
+	}
+}

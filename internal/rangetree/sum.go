@@ -1,0 +1,48 @@
+package rangetree
+
+import "math"
+
+// SumY returns the sum of the y-coordinates of the live points in the
+// query rectangle, in O(polylog) reads and zero writes — the appendix's
+// "counting or weighted sum queries can be answered by augmenting the
+// inner trees" extension, instantiated with weight(p) = p.Y.
+func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
+	lo := yKey{yB, math.MinInt32}
+	hi := yKey{yT, math.MaxInt32}
+	var rec func(n *node, xlo, xhi float64) float64
+	rec = func(n *node, xlo, xhi float64) float64 {
+		if n == nil || xhi < xL || xlo > xR {
+			return 0
+		}
+		t.meter.Read()
+		if n.leaf {
+			if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
+				return n.pt.Y
+			}
+			return 0
+		}
+		if xlo >= xL && xhi <= xR {
+			return t.sumCover(n, lo, hi)
+		}
+		return rec(n.left, xlo, n.key) + rec(n.right, n.key, xhi)
+	}
+	return rec(t.root, math.Inf(-1), math.Inf(1))
+}
+
+// sumCover sums y over the critical cover under n.
+func (t *Tree) sumCover(n *node, lo, hi yKey) float64 {
+	if n == nil {
+		return 0
+	}
+	t.meter.Read()
+	if n.critical {
+		if n.leaf {
+			if n.dead || n.pt.Y < lo.y || n.pt.Y > hi.y {
+				return 0
+			}
+			return n.pt.Y
+		}
+		return n.inner.SumRange(lo, hi)
+	}
+	return t.sumCover(n.left, lo, hi) + t.sumCover(n.right, lo, hi)
+}

@@ -1,0 +1,110 @@
+// Package semisort implements an expected linear-work semisort: given n
+// records with uint64 keys, group equal keys together; the order across
+// groups (and within a group) is unspecified. This is the primitive from
+// Gu, Shun, Sun, Blelloch, "A top-down parallel semisort" (SPAA 2015) that
+// the paper invokes ([34]) for Delaunay point location (grouping
+// (triangle, point) pairs by triangle) and k-d tree batched insertion
+// (grouping (leaf, object) pairs by leaf).
+//
+// The implementation hashes keys into 2·n buckets across P shards, counts,
+// prefix-sums, and scatters — expected O(n) work and writes, polylog depth.
+// Collisions within a bucket are resolved by a final local grouping pass,
+// preserving the linear expected bound.
+package semisort
+
+import (
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// Pair is one record to semisort.
+type Pair struct {
+	Key uint64
+	Val int32
+}
+
+// Group is a run of records sharing a key, referencing a slice of the
+// semisorted output.
+type Group struct {
+	Key  uint64
+	Vals []int32
+}
+
+// Semisort groups the pairs by key. The returned groups reference freshly
+// allocated storage; the input is not modified. Charges O(n) reads and
+// writes to m (nil m is allowed).
+func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	m.ReadN(n)
+
+	nb := 1
+	for nb < 2*n {
+		nb <<= 1
+	}
+	mask := uint64(nb - 1)
+
+	// Count per bucket.
+	counts := make([]int64, nb)
+	for i := 0; i < n; i++ {
+		b := parallel.Hash64(pairs[i].Key) & mask
+		counts[b]++
+	}
+	// Offsets.
+	parallel.Scan(counts, counts)
+	// Scatter into buckets.
+	out := make([]Pair, n)
+	next := counts
+	for i := 0; i < n; i++ {
+		b := parallel.Hash64(pairs[i].Key) & mask
+		out[next[b]] = pairs[i]
+		next[b]++
+	}
+	m.WriteN(n)
+
+	// Within each bucket, group equal keys. A bucket holds expected O(1)
+	// distinct keys; sort tiny runs when a collision occurs.
+	groups := make([]Group, 0, n/2+1)
+	start := 0
+	for b := 0; b < nb; b++ {
+		end := int(next[b])
+		if end == start {
+			continue
+		}
+		run := out[start:end]
+		if !allSameKey(run) {
+			sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+			m.ReadN(len(run))
+			m.WriteN(len(run))
+		}
+		i := 0
+		for i < len(run) {
+			j := i + 1
+			for j < len(run) && run[j].Key == run[i].Key {
+				j++
+			}
+			vals := make([]int32, j-i)
+			for k := i; k < j; k++ {
+				vals[k-i] = run[k].Val
+			}
+			groups = append(groups, Group{Key: run[i].Key, Vals: vals})
+			i = j
+		}
+		start = end
+	}
+	m.WriteN(n) // writing the grouped values
+	return groups
+}
+
+func allSameKey(run []Pair) bool {
+	for i := 1; i < len(run); i++ {
+		if run[i].Key != run[0].Key {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package semisort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// oracle builds the expected multiset map.
+func oracle(pairs []Pair) map[uint64][]int32 {
+	m := map[uint64][]int32{}
+	for _, p := range pairs {
+		m[p.Key] = append(m[p.Key], p.Val)
+	}
+	for _, v := range m {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	return m
+}
+
+func checkGroups(t *testing.T, pairs []Pair, groups []Group) {
+	t.Helper()
+	want := oracle(pairs)
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	seen := map[uint64]bool{}
+	for _, g := range groups {
+		if seen[g.Key] {
+			t.Fatalf("key %d appears in two groups", g.Key)
+		}
+		seen[g.Key] = true
+		vals := append([]int32{}, g.Vals...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		w := want[g.Key]
+		if len(vals) != len(w) {
+			t.Fatalf("key %d: got %d vals, want %d", g.Key, len(vals), len(w))
+		}
+		for i := range w {
+			if vals[i] != w[i] {
+				t.Fatalf("key %d: vals %v, want %v", g.Key, vals, w)
+			}
+		}
+	}
+}
+
+func TestSemisortEmpty(t *testing.T) {
+	if Semisort(nil, nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+}
+
+func TestSemisortSingleton(t *testing.T) {
+	g := Semisort([]Pair{{Key: 7, Val: 3}}, nil)
+	if len(g) != 1 || g[0].Key != 7 || len(g[0].Vals) != 1 || g[0].Vals[0] != 3 {
+		t.Fatalf("groups = %+v", g)
+	}
+}
+
+func TestSemisortAllEqual(t *testing.T) {
+	pairs := make([]Pair, 100)
+	for i := range pairs {
+		pairs[i] = Pair{Key: 42, Val: int32(i)}
+	}
+	checkGroups(t, pairs, Semisort(pairs, nil))
+}
+
+func TestSemisortAllDistinct(t *testing.T) {
+	pairs := make([]Pair, 1000)
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint64(i) * 1000003, Val: int32(i)}
+	}
+	checkGroups(t, pairs, Semisort(pairs, nil))
+}
+
+func TestSemisortRandomMix(t *testing.T) {
+	r := parallel.NewRNG(11)
+	pairs := make([]Pair, 5000)
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint64(r.Intn(300)), Val: int32(i)}
+	}
+	checkGroups(t, pairs, Semisort(pairs, nil))
+}
+
+func TestSemisortAdversarialHashCollisions(t *testing.T) {
+	// Keys chosen so many distinct keys land in few buckets (sequential
+	// small ints hash well, but key multiples of table size collide in the
+	// masked low bits only after hashing — so emulate by using very few
+	// distinct keys plus a large n, forcing multi-key buckets via density).
+	r := parallel.NewRNG(5)
+	pairs := make([]Pair, 4096)
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint64(r.Intn(7)), Val: int32(i)}
+	}
+	checkGroups(t, pairs, Semisort(pairs, nil))
+}
+
+func TestSemisortChargesLinear(t *testing.T) {
+	m := asymmem.NewMeter()
+	pairs := make([]Pair, 10000)
+	r := parallel.NewRNG(3)
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint64(r.Intn(2000)), Val: int32(i)}
+	}
+	Semisort(pairs, m)
+	n := int64(len(pairs))
+	if m.Writes() > 4*n {
+		t.Fatalf("semisort writes %d > 4n (not linear)", m.Writes())
+	}
+	if m.Reads() == 0 || m.Writes() == 0 {
+		t.Fatal("meter must be charged")
+	}
+}
+
+func TestQuickSemisort(t *testing.T) {
+	f := func(keys []uint8) bool {
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{Key: uint64(k), Val: int32(i)}
+		}
+		groups := Semisort(pairs, nil)
+		want := oracle(pairs)
+		if len(groups) != len(want) {
+			return false
+		}
+		total := 0
+		for _, g := range groups {
+			if len(want[g.Key]) != len(g.Vals) {
+				return false
+			}
+			total += len(g.Vals)
+		}
+		return total == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package tournament implements the tournament tree of the paper's
+// Appendix A: a complete binary tree over a fixed array of prioritised
+// slots where each interior node maintains the best (highest-priority)
+// valid element and the count of valid elements in its subtree.
+//
+// It supports the three queries the write-efficient priority-search-tree
+// construction needs — RangeBest (the paper's RangeMin, stated here as a
+// max so "higher priority" reads naturally), k-th valid element in a range,
+// and deletion — plus scoped deletion: Appendix A observes that once
+// construction recurses into a range (x, y), all future queries are either
+// inside (x, y) or disjoint from it, so a deletion need only update the
+// ancestors whose subtree lies within (x, y). With scoped deletions the
+// total number of writes over an entire construction is O(n).
+package tournament
+
+import "repro/internal/asymmem"
+
+// Tree is a tournament tree over n slots. Slot i initially holds priority
+// prios[i] and is valid.
+type Tree struct {
+	n     int
+	size  int       // number of leaves (power of two ≥ n)
+	prio  []float64 // per original slot
+	valid []bool
+	best  []int32 // per tree node (1-based heap layout), -1 = none
+	cnt   []int32
+	meter *asymmem.Meter
+}
+
+// New builds the tree in O(n) work and writes.
+func New(prios []float64, m *asymmem.Meter) *Tree {
+	n := len(prios)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Tree{
+		n: n, size: size,
+		prio:  prios,
+		valid: make([]bool, n),
+		best:  make([]int32, 2*size),
+		cnt:   make([]int32, 2*size),
+		meter: m,
+	}
+	for i := range t.valid {
+		t.valid[i] = true
+	}
+	for i := range t.best {
+		t.best[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		t.best[size+i] = int32(i)
+		t.cnt[size+i] = 1
+	}
+	for v := size - 1; v >= 1; v-- {
+		t.pull(v)
+	}
+	m.WriteN(2 * size)
+	return t
+}
+
+// pull recomputes node v from its children.
+func (t *Tree) pull(v int) {
+	l, r := t.best[2*v], t.best[2*v+1]
+	t.cnt[v] = t.cnt[2*v] + t.cnt[2*v+1]
+	switch {
+	case l < 0:
+		t.best[v] = r
+	case r < 0:
+		t.best[v] = l
+	case t.prio[r] > t.prio[l]: // ties go to the left (smaller index)
+		t.best[v] = r
+	default:
+		t.best[v] = l
+	}
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return t.n }
+
+// Valid reports whether slot i is still valid.
+func (t *Tree) Valid(i int) bool { return t.valid[i] }
+
+// Best returns the index of the highest-priority valid slot in [lo, hi),
+// or -1 if none. Ties break toward the smaller index.
+func (t *Tree) Best(lo, hi int) int {
+	best := int32(-1)
+	t.visit(1, 0, t.size, lo, hi, func(v int) {
+		b := t.best[v]
+		if b < 0 {
+			return
+		}
+		if best < 0 || t.prio[b] > t.prio[best] || (t.prio[b] == t.prio[best] && b < best) {
+			best = b
+		}
+	})
+	return int(best)
+}
+
+// CountValid returns the number of valid slots in [lo, hi).
+func (t *Tree) CountValid(lo, hi int) int {
+	total := 0
+	t.visit(1, 0, t.size, lo, hi, func(v int) { total += int(t.cnt[v]) })
+	return total
+}
+
+// visit calls f on the canonical decomposition of [lo, hi).
+func (t *Tree) visit(v, nodeLo, nodeHi, lo, hi int, f func(v int)) {
+	if hi <= nodeLo || nodeHi <= lo || lo >= hi {
+		return
+	}
+	t.meter.Read()
+	if lo <= nodeLo && nodeHi <= hi {
+		f(v)
+		return
+	}
+	mid := (nodeLo + nodeHi) / 2
+	t.visit(2*v, nodeLo, mid, lo, hi, f)
+	t.visit(2*v+1, mid, nodeHi, lo, hi, f)
+}
+
+// KthValid returns the index of the k-th valid slot (1-based) in [lo, hi),
+// or -1 if fewer than k valid slots exist there.
+func (t *Tree) KthValid(lo, hi, k int) int {
+	if k <= 0 || lo >= hi {
+		return -1
+	}
+	if t.CountValid(lo, hi) < k {
+		return -1
+	}
+	v, nodeLo, nodeHi := 1, 0, t.size
+	for nodeHi-nodeLo > 1 {
+		t.meter.Read()
+		mid := (nodeLo + nodeHi) / 2
+		lc := 0
+		if l2, h2 := max(lo, nodeLo), min(hi, mid); l2 < h2 {
+			if l2 == nodeLo && h2 == mid {
+				lc = int(t.cnt[2*v])
+			} else {
+				lc = t.CountValid(l2, h2)
+			}
+		}
+		if k <= lc {
+			v, nodeHi = 2*v, mid
+		} else {
+			k -= lc
+			v, nodeLo = 2*v+1, mid
+		}
+	}
+	return nodeLo
+}
+
+// Delete invalidates slot i, updating all its ancestors (O(log n) writes).
+// Deleting an already-invalid slot is a no-op.
+func (t *Tree) Delete(i int) {
+	t.DeleteScoped(i, 0, t.size)
+}
+
+// DeleteScoped invalidates slot i, updating only the ancestors whose
+// subtree lies within [lo, hi). Per Appendix A, when all future queries are
+// within [lo, hi) or disjoint from it, this preserves correctness while
+// keeping the total writes of a full construction linear.
+func (t *Tree) DeleteScoped(i, lo, hi int) {
+	if i < 0 || i >= t.n || !t.valid[i] {
+		return
+	}
+	t.valid[i] = false
+	v := t.size + i
+	t.best[v] = -1
+	t.cnt[v] = 0
+	t.meter.WriteN(2)
+	// Node v at height h (leaves h=0) covers leaves [(v<<h)-size, ((v+1)<<h)-size).
+	h := 0
+	for v > 1 {
+		v >>= 1
+		h++
+		nodeLo := (v << h) - t.size
+		nodeHi := nodeLo + (1 << h)
+		if nodeLo < lo || nodeHi > hi {
+			return
+		}
+		t.pull(v)
+		t.meter.Write()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

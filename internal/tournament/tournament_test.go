@@ -1,0 +1,221 @@
+package tournament
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// naive is a brute-force oracle over the same slots.
+type naive struct {
+	prio  []float64
+	valid []bool
+}
+
+func newNaive(prios []float64) *naive {
+	v := make([]bool, len(prios))
+	for i := range v {
+		v[i] = true
+	}
+	return &naive{prio: prios, valid: v}
+}
+
+func (n *naive) best(lo, hi int) int {
+	b := -1
+	for i := max(lo, 0); i < min(hi, len(n.prio)); i++ {
+		if n.valid[i] && (b < 0 || n.prio[i] > n.prio[b]) {
+			b = i
+		}
+	}
+	return b
+}
+
+func (n *naive) kth(lo, hi, k int) int {
+	for i := max(lo, 0); i < min(hi, len(n.prio)); i++ {
+		if n.valid[i] {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func (n *naive) count(lo, hi int) int {
+	c := 0
+	for i := max(lo, 0); i < min(hi, len(n.prio)); i++ {
+		if n.valid[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func TestAgainstNaive(t *testing.T) {
+	r := parallel.NewRNG(1)
+	n := 257 // deliberately not a power of two
+	prios := make([]float64, n)
+	for i := range prios {
+		prios[i] = r.Float64()
+	}
+	tr := New(prios, nil)
+	or := newNaive(prios)
+	for step := 0; step < 2000; step++ {
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo) + 1
+		switch step % 4 {
+		case 0:
+			if got, want := tr.Best(lo, hi), or.best(lo, hi); got != want {
+				t.Fatalf("step %d: Best(%d,%d) = %d, want %d", step, lo, hi, got, want)
+			}
+		case 1:
+			k := r.Intn(hi-lo) + 1
+			if got, want := tr.KthValid(lo, hi, k), or.kth(lo, hi, k); got != want {
+				t.Fatalf("step %d: KthValid(%d,%d,%d) = %d, want %d", step, lo, hi, k, got, want)
+			}
+		case 2:
+			if got, want := tr.CountValid(lo, hi), or.count(lo, hi); got != want {
+				t.Fatalf("step %d: CountValid(%d,%d) = %d, want %d", step, lo, hi, got, want)
+			}
+		case 3:
+			i := r.Intn(n)
+			tr.Delete(i)
+			or.valid[i] = false
+		}
+	}
+}
+
+func TestBestTieBreaksLow(t *testing.T) {
+	tr := New([]float64{1, 5, 5, 2}, nil)
+	if got := tr.Best(0, 4); got != 1 {
+		t.Fatalf("Best = %d, want 1 (lowest index among ties)", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New([]float64{3, 1, 2}, nil)
+	for i := 0; i < 3; i++ {
+		tr.Delete(i)
+	}
+	if tr.Best(0, 3) != -1 || tr.CountValid(0, 3) != 0 || tr.KthValid(0, 3, 1) != -1 {
+		t.Fatal("empty tree queries must return -1/0")
+	}
+	tr.Delete(1) // double delete is a no-op
+	tr.Delete(-1)
+	tr.Delete(99)
+}
+
+func TestEdgeQueries(t *testing.T) {
+	tr := New([]float64{7}, nil)
+	if tr.Len() != 1 || !tr.Valid(0) {
+		t.Fatal("basic accessors wrong")
+	}
+	if tr.Best(0, 1) != 0 || tr.KthValid(0, 1, 1) != 0 {
+		t.Fatal("single-slot queries wrong")
+	}
+	if tr.Best(0, 0) != -1 || tr.KthValid(0, 1, 0) != -1 || tr.KthValid(0, 1, 2) != -1 {
+		t.Fatal("degenerate queries must return -1")
+	}
+}
+
+func TestScopedDeleteStaysCorrectWithinScope(t *testing.T) {
+	// Simulate the construction pattern: recurse into [0,8) and [8,16),
+	// delete scoped, and verify queries within each scope stay exact while
+	// the root may be stale.
+	r := parallel.NewRNG(2)
+	prios := make([]float64, 16)
+	for i := range prios {
+		prios[i] = r.Float64()
+	}
+	tr := New(prios, nil)
+	or := newNaive(prios)
+	del := []int{3, 5, 1, 12, 14}
+	for _, i := range del {
+		lo, hi := 0, 8
+		if i >= 8 {
+			lo, hi = 8, 16
+		}
+		tr.DeleteScoped(i, lo, hi)
+		or.valid[i] = false
+	}
+	for _, rng := range [][2]int{{0, 8}, {8, 16}, {2, 6}, {9, 15}} {
+		if got, want := tr.Best(rng[0], rng[1]), or.best(rng[0], rng[1]); got != want {
+			t.Fatalf("Best%v = %d, want %d", rng, got, want)
+		}
+		if got, want := tr.CountValid(rng[0], rng[1]), or.count(rng[0], rng[1]); got != want {
+			t.Fatalf("CountValid%v = %d, want %d", rng, got, want)
+		}
+	}
+}
+
+func TestScopedDeleteWriteSavings(t *testing.T) {
+	n := 1 << 12
+	prios := make([]float64, n)
+	r := parallel.NewRNG(3)
+	for i := range prios {
+		prios[i] = r.Float64()
+	}
+	mFull := asymmem.NewMeter()
+	full := New(prios, mFull)
+	base := mFull.Writes()
+	for i := 0; i < n; i++ {
+		full.Delete(i)
+	}
+	fullWrites := mFull.Writes() - base
+
+	mScoped := asymmem.NewMeter()
+	scoped := New(prios, mScoped)
+	base = mScoped.Writes()
+	// Delete each slot scoped to a 16-wide block, mimicking recursion
+	// having narrowed to small ranges.
+	for i := 0; i < n; i++ {
+		lo := i &^ 15
+		scoped.DeleteScoped(i, lo, lo+16)
+	}
+	scopedWrites := mScoped.Writes() - base
+	if scopedWrites*2 >= fullWrites {
+		t.Fatalf("scoped deletes (%d writes) should be well under full deletes (%d writes)", scopedWrites, fullWrites)
+	}
+}
+
+func TestQuickTournamentOracle(t *testing.T) {
+	f := func(raw []uint8, ops []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		prios := make([]float64, len(raw))
+		for i, b := range raw {
+			prios[i] = float64(b) + float64(i)/1000 // mostly distinct
+		}
+		tr := New(prios, nil)
+		or := newNaive(prios)
+		n := len(prios)
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op / 7) % 3 {
+			case 0:
+				tr.Delete(i)
+				or.valid[i] = false
+			case 1:
+				lo := i
+				hi := lo + int(op%5) + 1
+				if tr.Best(lo, hi) != or.best(lo, hi) {
+					return false
+				}
+			case 2:
+				lo := 0
+				k := int(op%7) + 1
+				if tr.KthValid(lo, n, k) != or.kth(lo, n, k) {
+					return false
+				}
+			}
+		}
+		return tr.CountValid(0, n) == or.count(0, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package treap
+
+import "math"
+
+// reinterpret returns the IEEE-754 bit pattern of f, with -0 and +0
+// collapsed so equal keys hash equally.
+func reinterpret(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Float64bits(f)
+}

@@ -1,0 +1,4 @@
+package treap
+
+// CheckInvariants exposes the internal validator to tests.
+func (t *Tree[K]) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,531 @@
+// Package treap implements a randomized balanced binary search tree with
+// split/join/union, the representation the paper uses for the inner trees
+// of interval and range trees and for bulk updates (§7.3.5, citing
+// Blelloch-Ferizovic-Sun "Just join for parallel ordered sets" [13] and
+// Gu-Sun-Blelloch [35]).
+//
+// Priorities are a deterministic hash of the key, so a treap over a given
+// key set has exactly one shape regardless of operation history. That gives
+// history independence (useful for determinism tests) and lets FromSorted
+// build the canonical treap in O(n) writes, which the linear-write
+// constructions rely on.
+//
+// Expected costs per operation: Insert/Delete O(log n) reads and O(1)
+// structural writes (expected O(1) rotations, Tarjan-style), Union of sizes
+// m ≤ n O(m log(n/m)) work. The meter is charged a write per node created
+// or mutated and a read per node inspected.
+package treap
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// Tree is a treap. The zero value is not usable; create with New.
+type Tree[K any] struct {
+	root  *node[K]
+	less  func(a, b K) bool
+	prio  func(K) uint64
+	value func(K) float64 // optional sum augmentation (nil = disabled)
+	meter *asymmem.Meter
+	size  int
+}
+
+type node[K any] struct {
+	key         K
+	prio        uint64
+	left, right *node[K]
+	count       int     // subtree node count
+	sum         float64 // subtree value sum (when augmented)
+}
+
+// New returns an empty treap ordered by less, hashing keys to priorities
+// with prio, charging costs to m (nil allowed).
+func New[K any](less func(a, b K) bool, prio func(K) uint64, m *asymmem.Meter) *Tree[K] {
+	return &Tree[K]{less: less, prio: prio, meter: m}
+}
+
+// NewFloat64 returns a treap over float64 keys with the standard hash.
+func NewFloat64(m *asymmem.Meter) *Tree[float64] {
+	return New(func(a, b float64) bool { return a < b },
+		func(k float64) uint64 { return parallel.Hash64(floatBits(k)) }, m)
+}
+
+func floatBits(f float64) uint64 {
+	// math.Float64bits without importing math: use unsafe-free conversion.
+	return reinterpret(f)
+}
+
+// Len returns the number of keys.
+func (t *Tree[K]) Len() int { return t.size }
+
+// Meter returns the meter costs are charged to.
+func (t *Tree[K]) Meter() *asymmem.Meter { return t.meter }
+
+func (t *Tree[K]) count(n *node[K]) int {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func (t *Tree[K]) update(n *node[K]) {
+	n.count = 1 + t.count(n.left) + t.count(n.right)
+	if t.value != nil {
+		n.sum = t.value(n.key) + t.sum(n.left) + t.sum(n.right)
+	}
+}
+
+func (t *Tree[K]) sum(n *node[K]) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.sum
+}
+
+// WithValues enables the sum augmentation (the paper's appendix "counting
+// or weighted sum queries ... by augmenting the inner trees"): every
+// subtree maintains the sum of value(k) over its keys. Must be called on an
+// empty tree.
+func (t *Tree[K]) WithValues(value func(K) float64) *Tree[K] {
+	if t.size != 0 {
+		panic("treap: WithValues on a non-empty tree")
+	}
+	t.value = value
+	return t
+}
+
+// SumRange returns Σ value(k) over lo ≤ k < hi in O(log n) expected reads.
+// Panics if the tree was not built WithValues.
+func (t *Tree[K]) SumRange(lo, hi K) float64 {
+	if t.value == nil {
+		panic("treap: SumRange without WithValues")
+	}
+	return t.sumLess(t.root, hi) - t.sumLess(t.root, lo)
+}
+
+func (t *Tree[K]) sumLess(n *node[K], k K) float64 {
+	s := 0.0
+	for n != nil {
+		t.meter.Read()
+		if t.less(n.key, k) {
+			s += t.value(n.key) + t.sum(n.left)
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return s
+}
+
+func (t *Tree[K]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// Contains reports whether k is present.
+func (t *Tree[K]) Contains(k K) bool {
+	n := t.root
+	for n != nil {
+		t.meter.Read()
+		if t.less(k, n.key) {
+			n = n.left
+		} else if t.less(n.key, k) {
+			n = n.right
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds k, returning false (and charging only reads) if already
+// present.
+func (t *Tree[K]) Insert(k K) bool {
+	if t.Contains(k) {
+		return false
+	}
+	l, r := t.split(t.root, k)
+	n := &node[K]{key: k, prio: t.prio(k), count: 1}
+	if t.value != nil {
+		n.sum = t.value(k)
+	}
+	t.meter.Write()
+	t.root = t.join(t.join(l, n), r)
+	t.size++
+	return true
+}
+
+// Delete removes k, returning false if absent.
+func (t *Tree[K]) Delete(k K) bool {
+	var deleted bool
+	t.root = t.delete(t.root, k, &deleted)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[K]) delete(n *node[K], k K, deleted *bool) *node[K] {
+	if n == nil {
+		return nil
+	}
+	t.meter.Read()
+	switch {
+	case t.less(k, n.key):
+		n.left = t.delete(n.left, k, deleted)
+	case t.less(n.key, k):
+		n.right = t.delete(n.right, k, deleted)
+	default:
+		*deleted = true
+		return t.join(n.left, n.right)
+	}
+	if *deleted {
+		t.update(n)
+		t.meter.Write()
+	}
+	return n
+}
+
+// split partitions n into (< k) and (≥ k).
+func (t *Tree[K]) split(n *node[K], k K) (*node[K], *node[K]) {
+	if n == nil {
+		return nil, nil
+	}
+	t.meter.Read()
+	if t.less(n.key, k) {
+		l, r := t.split(n.right, k)
+		n.right = l
+		t.update(n)
+		t.meter.Write()
+		return n, r
+	}
+	l, r := t.split(n.left, k)
+	n.left = r
+	t.update(n)
+	t.meter.Write()
+	return l, n
+}
+
+// join concatenates l and r assuming every key in l < every key in r.
+func (t *Tree[K]) join(l, r *node[K]) *node[K] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	}
+	t.meter.Read()
+	if l.prio > r.prio {
+		l.right = t.join(l.right, r)
+		t.update(l)
+		t.meter.Write()
+		return l
+	}
+	r.left = t.join(l, r.left)
+	t.update(r)
+	t.meter.Write()
+	return r
+}
+
+// SplitAt splits t into two treaps: keys < k and keys ≥ k. t becomes empty.
+func (t *Tree[K]) SplitAt(k K) (*Tree[K], *Tree[K]) {
+	l, r := t.split(t.root, k)
+	lt := &Tree[K]{root: l, less: t.less, prio: t.prio, value: t.value, meter: t.meter, size: t.count(l)}
+	rt := &Tree[K]{root: r, less: t.less, prio: t.prio, value: t.value, meter: t.meter, size: t.count(r)}
+	t.root, t.size = nil, 0
+	return lt, rt
+}
+
+// Join appends other (all keys must be ≥ t's keys) into t, emptying other.
+func (t *Tree[K]) Join(other *Tree[K]) {
+	t.root = t.join(t.root, other.root)
+	t.size += other.size
+	other.root, other.size = nil, 0
+}
+
+// Union merges other into t (duplicates collapse), emptying other.
+// Expected O(m log(n/m + 1)) work for sizes m ≤ n.
+func (t *Tree[K]) Union(other *Tree[K]) {
+	t.root = t.union(t.root, other.root)
+	t.size = t.count(t.root)
+	other.root, other.size = nil, 0
+}
+
+func (t *Tree[K]) union(a, b *node[K]) *node[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio < b.prio {
+		a, b = b, a
+	}
+	t.meter.Read()
+	bl, br := t.split(b, a.key)
+	// Drop a duplicate of a.key from br's leftmost position if present.
+	br = t.dropMinIfEqual(br, a.key)
+	a.left = t.union(a.left, bl)
+	a.right = t.union(a.right, br)
+	t.update(a)
+	t.meter.Write()
+	return a
+}
+
+func (t *Tree[K]) dropMinIfEqual(n *node[K], k K) *node[K] {
+	if n == nil {
+		return nil
+	}
+	if n.left == nil {
+		if t.eq(n.key, k) {
+			return n.right
+		}
+		return n
+	}
+	n.left = t.dropMinIfEqual(n.left, k)
+	t.update(n)
+	return n
+}
+
+// FromSorted replaces t's contents with the strictly increasing keys,
+// building the canonical treap in O(n) time and writes via the rightmost-
+// spine (Cartesian tree) construction.
+func (t *Tree[K]) FromSorted(keys []K) {
+	t.root = nil
+	t.size = len(keys)
+	if len(keys) == 0 {
+		return
+	}
+	stack := make([]*node[K], 0, 64)
+	for _, k := range keys {
+		n := &node[K]{key: k, prio: t.prio(k), count: 1}
+		if t.value != nil {
+			n.sum = t.value(k)
+		}
+		t.meter.Write()
+		var last *node[K]
+		for len(stack) > 0 && stack[len(stack)-1].prio < n.prio {
+			last = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		n.left = last
+		if len(stack) > 0 {
+			stack[len(stack)-1].right = n
+		}
+		stack = append(stack, n)
+	}
+	t.root = stack[0]
+	var fix func(n *node[K]) int
+	fix = func(n *node[K]) int {
+		if n == nil {
+			return 0
+		}
+		n.count = 1 + fix(n.left) + fix(n.right)
+		if t.value != nil {
+			n.sum = t.value(n.key) + t.sum(n.left) + t.sum(n.right)
+		}
+		return n.count
+	}
+	fix(t.root)
+}
+
+// InOrder visits all keys in increasing order; stop early by returning false.
+func (t *Tree[K]) InOrder(visit func(k K) bool) {
+	var rec func(n *node[K]) bool
+	rec = func(n *node[K]) bool {
+		if n == nil {
+			return true
+		}
+		t.meter.Read()
+		return rec(n.left) && visit(n.key) && rec(n.right)
+	}
+	rec(t.root)
+}
+
+// ReverseInOrder visits all keys in decreasing order; stop early by
+// returning false.
+func (t *Tree[K]) ReverseInOrder(visit func(k K) bool) {
+	var rec func(n *node[K]) bool
+	rec = func(n *node[K]) bool {
+		if n == nil {
+			return true
+		}
+		t.meter.Read()
+		return rec(n.right) && visit(n.key) && rec(n.left)
+	}
+	rec(t.root)
+}
+
+// Keys returns all keys in increasing order.
+func (t *Tree[K]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.InOrder(func(k K) bool { out = append(out, k); return true })
+	return out
+}
+
+// Range visits keys k with lo ≤ k < hi in increasing order.
+func (t *Tree[K]) Range(lo, hi K, visit func(k K) bool) {
+	var rec func(n *node[K]) bool
+	rec = func(n *node[K]) bool {
+		if n == nil {
+			return true
+		}
+		t.meter.Read()
+		if !t.less(n.key, lo) { // n.key >= lo: left subtree may contain range
+			if !rec(n.left) {
+				return false
+			}
+			if t.less(n.key, hi) {
+				if !visit(n.key) {
+					return false
+				}
+			}
+		}
+		if t.less(n.key, hi) {
+			return rec(n.right)
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// CountRange returns |{k : lo ≤ k < hi}| in O(log n) expected reads.
+func (t *Tree[K]) CountRange(lo, hi K) int {
+	return t.countLess(t.root, hi) - t.countLess(t.root, lo)
+}
+
+func (t *Tree[K]) countLess(n *node[K], k K) int {
+	c := 0
+	for n != nil {
+		t.meter.Read()
+		if t.less(n.key, k) {
+			c += 1 + t.count(n.left)
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return c
+}
+
+// Min returns the smallest key; ok=false if empty.
+func (t *Tree[K]) Min() (K, bool) {
+	n := t.root
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for n.left != nil {
+		t.meter.Read()
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key; ok=false if empty.
+func (t *Tree[K]) Max() (K, bool) {
+	n := t.root
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for n.right != nil {
+		t.meter.Read()
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Select returns the i-th smallest key (0-based); ok=false if out of range.
+func (t *Tree[K]) Select(i int) (K, bool) {
+	if i < 0 || i >= t.size {
+		var zero K
+		return zero, false
+	}
+	n := t.root
+	for {
+		t.meter.Read()
+		lc := t.count(n.left)
+		switch {
+		case i < lc:
+			n = n.left
+		case i == lc:
+			return n.key, true
+		default:
+			i -= lc + 1
+			n = n.right
+		}
+	}
+}
+
+// Height returns the height of the tree (0 for empty); used by tests to
+// check balance.
+func (t *Tree[K]) Height() int {
+	var rec func(n *node[K]) int
+	rec = func(n *node[K]) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.root)
+}
+
+// checkInvariants validates BST order, heap order, and counts; exported to
+// the package tests via export_test.go.
+func (t *Tree[K]) checkInvariants() error {
+	var rec func(n *node[K]) (int, error)
+	rec = func(n *node[K]) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.left != nil {
+			if !t.less(n.left.key, n.key) {
+				return 0, errInvariant("BST order violated (left)")
+			}
+			if n.left.prio > n.prio {
+				return 0, errInvariant("heap order violated (left)")
+			}
+		}
+		if n.right != nil {
+			if !t.less(n.key, n.right.key) {
+				return 0, errInvariant("BST order violated (right)")
+			}
+			if n.right.prio > n.prio {
+				return 0, errInvariant("heap order violated (right)")
+			}
+		}
+		lc, err := rec(n.left)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := rec(n.right)
+		if err != nil {
+			return 0, err
+		}
+		if n.count != lc+rc+1 {
+			return 0, errInvariant("count wrong")
+		}
+		if t.value != nil {
+			want := t.value(n.key) + t.sum(n.left) + t.sum(n.right)
+			if diff := n.sum - want; diff > 1e-9 || diff < -1e-9 {
+				return 0, errInvariant("sum wrong")
+			}
+		}
+		return n.count, nil
+	}
+	total, err := rec(t.root)
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return errInvariant("size mismatch")
+	}
+	return nil
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return string(e) }

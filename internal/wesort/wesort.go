@@ -1,0 +1,458 @@
+// Package wesort implements the paper's §4: comparison sorting by
+// incremental insertion into a binary search tree with no rebalancing
+// (Algorithm 1 of the paper, due to BGSS [16]), in three variants:
+//
+//   - Sequential: the plain sequential loop. One write per element, but no
+//     parallelism.
+//   - ParallelPlain: the round-synchronous parallel version with
+//     priority-writes. O(log n) rounds whp, but every active element
+//     performs one priority-write per round, so Θ(n log n) writes whp.
+//   - WriteEfficient: the paper's prefix-doubling version (Lemma 4.1 /
+//     Theorem 4.1). The initial n/log²n elements use ParallelPlain; each
+//     doubling round first *searches* the current tree for every new
+//     element's empty slot (reads only — the DAG-tracing instance of §3.1
+//     specialises to plain BST search because the DAG is the search tree),
+//     semisorts elements into per-slot buckets, and then runs the
+//     round-based insertion within each bucket. Expected O(n) writes.
+//     With Options.CapRounds (Theorem 4.1), each bucket is abandoned after
+//     c·log log n rounds; abandoned slots are poisoned so that later rounds
+//     postpone anything landing there, and one final round inserts all
+//     postponed elements — preserving exact equivalence with sequential
+//     insertion order while improving the depth to O(log² n).
+//
+// All variants produce exactly the tree that sequential insertion in index
+// order produces — priorities are element indices and priority-writes make
+// the parallel races resolve identically — which the tests verify node by
+// node.
+package wesort
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/asymmem"
+	"repro/internal/incremental"
+	"repro/internal/parallel"
+	"repro/internal/semisort"
+)
+
+// empty is the sentinel for an unoccupied child slot. Priority-writes take
+// the minimum element index, so the sentinel must exceed every index.
+const empty = int32(math.MaxInt32)
+
+// Tree is the unbalanced BST over the input keys. Node i holds Keys[i];
+// child pointers hold element indices or the empty sentinel.
+type Tree struct {
+	Keys  []float64
+	root  atomic.Int32
+	left  []atomic.Int32
+	right []atomic.Int32
+	// committed[i] is 1 once node i's insertion round has completed. The
+	// round-synchronous semantics of Algorithm 1 require that a round's
+	// descents see only the tree as of the previous round's end: a slot
+	// holding an uncommitted value is still up for grabs by priority-write.
+	committed []atomic.Int32
+	meter     *asymmem.Meter
+}
+
+// Stats describes the cost profile of a build.
+type Stats struct {
+	WriteAttempts  int64 // priority-write attempts (the paper's write count)
+	Postponed      int64 // elements deferred to the final round (capped variant)
+	BucketMax      int64 // largest bucket seen in incremental rounds
+	LocationReads  int64 // reads spent locating slots in incremental rounds
+	DoublingRounds int   // number of prefix-doubling rounds
+	MaxBucketRound int64 // maximum rounds any single bucket took
+}
+
+func newTree(keys []float64, m *asymmem.Meter) *Tree {
+	t := &Tree{
+		Keys:      keys,
+		left:      make([]atomic.Int32, len(keys)),
+		right:     make([]atomic.Int32, len(keys)),
+		committed: make([]atomic.Int32, len(keys)),
+		meter:     m,
+	}
+	t.root.Store(empty)
+	for i := range t.left {
+		t.left[i].Store(empty)
+		t.right[i].Store(empty)
+	}
+	return t
+}
+
+// slot identifies a child pointer: the node and which side. The root
+// pointer is the special slot {node: -1}.
+type slot struct {
+	node int32
+	side int8 // 0 = left, 1 = right
+}
+
+var rootSlot = slot{node: -1}
+
+func (s slot) key() uint64 { return uint64(uint32(s.node))<<1 | uint64(s.side) }
+
+func slotFromKey(k uint64) slot {
+	return slot{node: int32(uint32(k >> 1)), side: int8(k & 1)}
+}
+
+func (t *Tree) slotAddr(s slot) *atomic.Int32 {
+	if s.node < 0 {
+		return &t.root
+	}
+	if s.side == 0 {
+		return &t.left[s.node]
+	}
+	return &t.right[s.node]
+}
+
+// descend walks from s through *committed* nodes to the slot where element
+// e belongs, charging a read per node visited. A slot that is empty or
+// holds an uncommitted (this-round) value is the target: under the
+// round-synchronous semantics it is still contested by priority-writes.
+func (t *Tree) descend(s slot, e int32) slot {
+	for {
+		cur := t.slotAddr(s).Load()
+		if cur == empty || t.committed[cur].Load() == 0 {
+			return s
+		}
+		t.meter.Read()
+		if t.Keys[e] < t.Keys[cur] {
+			s = slot{node: cur, side: 0}
+		} else {
+			s = slot{node: cur, side: 1}
+		}
+	}
+}
+
+// Sequential builds the tree by inserting elements in index order, one
+// write per element (plus search reads). This is the paper's sequential
+// Algorithm 1.
+func Sequential(keys []float64, m *asymmem.Meter) *Tree {
+	t := newTree(keys, m)
+	for i := range keys {
+		s := t.descend(rootSlot, int32(i))
+		t.slotAddr(s).Store(int32(i))
+		t.committed[i].Store(1)
+		m.Write()
+	}
+	return t
+}
+
+// roundResult reports one insertRoundBased run.
+type roundResult struct {
+	rounds    int64
+	attempts  int64
+	postponed []int32 // still-active elements (only when maxRounds > 0)
+	slots     []slot  // their current slots, for poisoning
+}
+
+// insertRoundBased inserts the given elements (in increasing index order)
+// below their starting slots using the round-synchronous parallel rule of
+// Algorithm 1: each round, every active element descends to its current
+// empty slot and priority-writes its index; the minimum index wins. One
+// write is charged per active element per round — the accounting under
+// which ParallelPlain costs Θ(n log n) writes.
+//
+// If maxRounds > 0, elements still active after maxRounds rounds are
+// returned as postponed instead of inserted. par selects parallel or
+// sequential execution of the per-round loop (buckets are tiny, so the
+// caller parallelises across buckets instead).
+func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par bool) roundResult {
+	var res roundResult
+	active := elems
+	cur := start
+	for len(active) > 0 {
+		if maxRounds > 0 && res.rounds >= int64(maxRounds) {
+			// Record each straggler's *pending* slot — the empty slot it
+			// would contest next — so the caller can poison exactly the
+			// positions where elements are missing from the tree.
+			for i, e := range active {
+				cur[i] = t.descend(cur[i], e)
+			}
+			res.postponed = active
+			res.slots = cur
+			return res
+		}
+		res.rounds++
+		res.attempts += int64(len(active))
+		body := func(i int) {
+			e := active[i]
+			s := t.descend(cur[i], e)
+			cur[i] = s
+			parallel.PriorityWriteMinI32(t.slotAddr(s), e)
+			t.meter.Write()
+		}
+		if par {
+			parallel.For(len(active), body)
+		} else {
+			for i := range active {
+				body(i)
+			}
+		}
+		// Barrier: commit winners, keep losers.
+		next := active[:0:0]
+		nextSlots := cur[:0:0]
+		for i, e := range active {
+			if t.slotAddr(cur[i]).Load() == e {
+				t.committed[e].Store(1)
+			} else {
+				next = append(next, e)
+				nextSlots = append(nextSlots, cur[i])
+			}
+		}
+		active, cur = next, nextSlots
+	}
+	return res
+}
+
+// ParallelPlain builds the tree with the round-synchronous parallel
+// Algorithm 1 over all elements at once. Writes charged are Θ(n log n) whp.
+func ParallelPlain(keys []float64, m *asymmem.Meter) (*Tree, Stats) {
+	t := newTree(keys, m)
+	var st Stats
+	elems := make([]int32, len(keys))
+	start := make([]slot, len(keys))
+	for i := range elems {
+		elems[i] = int32(i)
+		start[i] = rootSlot
+	}
+	r := t.insertRoundBased(elems, start, 0, true)
+	st.WriteAttempts = r.attempts
+	st.MaxBucketRound = r.rounds
+	return t, st
+}
+
+// Options configures WriteEfficient.
+type Options struct {
+	// CapRounds enables the Theorem 4.1 depth improvement.
+	CapRounds bool
+	// RoundCapC is the constant c3 of the paper (default 4).
+	RoundCapC int
+}
+
+// WriteEfficient builds the tree with the prefix-doubling algorithm of §4.
+// Expected O(n log n + ωn) work: O(n log n) reads, O(n) writes.
+func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stats) {
+	n := len(keys)
+	t := newTree(keys, m)
+	var st Stats
+	if n == 0 {
+		return t, st
+	}
+	rounds := incremental.Schedule(n, incremental.DefaultInitial(n))
+	st.DoublingRounds = len(rounds)
+
+	capRounds := 0
+	if opts.CapRounds {
+		c := opts.RoundCapC
+		if c <= 0 {
+			c = 4
+		}
+		ll := math.Log2(math.Max(2, math.Log2(float64(n)+2)))
+		capRounds = c * int(math.Ceil(ll))
+		if capRounds < 2 {
+			capRounds = 2
+		}
+	}
+
+	// Initial round: plain parallel insertion of the first batch.
+	init := rounds[0]
+	elems := make([]int32, init.Size())
+	start := make([]slot, init.Size())
+	for i := range elems {
+		elems[i] = int32(i)
+		start[i] = rootSlot
+	}
+	r0 := t.insertRoundBased(elems, start, 0, true)
+	st.WriteAttempts += r0.attempts
+
+	var (
+		attempts  atomic.Int64
+		bucketMax atomic.Int64
+		maxRound  atomic.Int64
+
+		poisonMu  sync.Mutex
+		poisoned  = map[uint64]bool{}
+		postponed []int32
+	)
+
+	for _, rd := range rounds[1:] {
+		batch := rd.Size()
+		// Step 1: locate each element's empty slot (reads only).
+		slots := make([]slot, batch)
+		before := t.meter.Snapshot()
+		parallel.For(batch, func(i int) {
+			slots[i] = t.descend(rootSlot, int32(rd.Start+i))
+		})
+		st.LocationReads += t.meter.Snapshot().Sub(before).Reads
+		t.meter.WriteN(batch) // recording the located positions
+
+		// Step 2: semisort by slot.
+		pairs := make([]semisort.Pair, batch)
+		for i := 0; i < batch; i++ {
+			pairs[i] = semisort.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
+		}
+		groups := semisort.Semisort(pairs, t.meter)
+
+		// Step 3: insert per bucket, in parallel across buckets.
+		parallel.ForGrain(len(groups), 1, func(gi int) {
+			g := groups[gi]
+			s := slotFromKey(g.Key)
+			if poisonedSlot(poisoned, &poisonMu, s) {
+				poisonMu.Lock()
+				postponed = append(postponed, g.Vals...)
+				poisonMu.Unlock()
+				return
+			}
+			sortInt32(g.Vals)
+			parallel.PriorityWriteMax(&bucketMax, int64(len(g.Vals)))
+			starts := make([]slot, len(g.Vals))
+			for i := range starts {
+				starts[i] = s
+			}
+			res := t.insertRoundBased(g.Vals, starts, capRounds, false)
+			attempts.Add(res.attempts)
+			parallel.PriorityWriteMax(&maxRound, res.rounds)
+			if len(res.postponed) > 0 {
+				poisonMu.Lock()
+				postponed = append(postponed, res.postponed...)
+				for _, ps := range res.slots {
+					poisoned[ps.key()] = true
+				}
+				poisonMu.Unlock()
+			}
+		})
+	}
+	st.WriteAttempts += attempts.Load()
+	st.BucketMax = bucketMax.Load()
+	st.MaxBucketRound = maxRound.Load()
+
+	// Final round (Theorem 4.1): insert all postponed elements with the
+	// plain round-based rule from the root.
+	if len(postponed) > 0 {
+		sortInt32(postponed)
+		st.Postponed = int64(len(postponed))
+		starts := make([]slot, len(postponed))
+		for i := range starts {
+			starts[i] = rootSlot
+		}
+		rf := t.insertRoundBased(postponed, starts, 0, true)
+		st.WriteAttempts += rf.attempts
+	}
+	return t, st
+}
+
+func poisonedSlot(poisoned map[uint64]bool, mu *sync.Mutex, s slot) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return poisoned[s.key()]
+}
+
+// InOrder returns the element indices of the tree in key order, charging a
+// write per output element.
+func (t *Tree) InOrder() []int32 {
+	out := make([]int32, 0, len(t.Keys))
+	type frame struct {
+		node  int32
+		state int8
+	}
+	root := t.root.Load()
+	if root == empty {
+		return out
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{node: root})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		switch f.state {
+		case 0:
+			f.state = 1
+			if l := t.left[f.node].Load(); l != empty {
+				stack = append(stack, frame{node: l})
+			}
+		case 1:
+			out = append(out, f.node)
+			t.meter.Write()
+			f.state = 2
+			if r := t.right[f.node].Load(); r != empty {
+				stack = append(stack, frame{node: r})
+			}
+		default:
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return out
+}
+
+// Sorted returns the keys in non-decreasing order via in-order traversal.
+func (t *Tree) Sorted() []float64 {
+	idx := t.InOrder()
+	out := make([]float64, len(idx))
+	for i, e := range idx {
+		out[i] = t.Keys[e]
+	}
+	return out
+}
+
+// Size returns the number of elements present in the tree (for a finished
+// build this equals len(Keys)).
+func (t *Tree) Size() int { return len(t.InOrderQuiet()) }
+
+// InOrderQuiet is InOrder without charging writes (verification helper).
+func (t *Tree) InOrderQuiet() []int32 {
+	saved := t.meter
+	t.meter = nil
+	defer func() { t.meter = saved }()
+	return t.InOrder()
+}
+
+// Height returns the tree height (0 for empty).
+func (t *Tree) Height() int {
+	var rec func(v int32) int
+	rec = func(v int32) int {
+		if v == empty {
+			return 0
+		}
+		l, r := rec(t.left[v].Load()), rec(t.right[v].Load())
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.root.Load())
+}
+
+// Equal reports whether two trees have identical structure.
+func (t *Tree) Equal(o *Tree) bool {
+	if len(t.Keys) != len(o.Keys) || t.root.Load() != o.root.Load() {
+		return false
+	}
+	for i := range t.left {
+		if t.left[i].Load() != o.left[i].Load() || t.right[i].Load() != o.right[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort sorts keys (returning a new slice) with the write-efficient
+// algorithm; the input order is the insertion priority, so callers wanting
+// the paper's expectation bounds should pass randomly ordered keys.
+func Sort(keys []float64, m *asymmem.Meter) []float64 {
+	t, _ := WriteEfficient(keys, m, Options{CapRounds: true})
+	return t.Sorted()
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

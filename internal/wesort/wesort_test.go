@@ -1,0 +1,228 @@
+package wesort
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+func sortedOracle(keys []float64) []float64 {
+	out := append([]float64{}, keys...)
+	sort.Float64s(out)
+	return out
+}
+
+func assertSorted(t *testing.T, got, keys []float64) {
+	t.Helper()
+	want := sortedOracle(keys)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequentialSorts(t *testing.T) {
+	keys := gen.UniformFloats(2000, 1)
+	tr := Sequential(keys, nil)
+	assertSorted(t, tr.Sorted(), keys)
+}
+
+func TestParallelPlainMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000, 5000} {
+		keys := gen.UniformFloats(n, uint64(n))
+		seq := Sequential(keys, nil)
+		par, st := ParallelPlain(keys, nil)
+		if !par.Equal(seq) {
+			t.Fatalf("n=%d: parallel tree differs from sequential", n)
+		}
+		if st.WriteAttempts < int64(n) {
+			t.Fatalf("n=%d: write attempts %d < n", n, st.WriteAttempts)
+		}
+	}
+}
+
+func TestWriteEfficientMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 100, 2048, 10000} {
+		keys := gen.UniformFloats(n, uint64(n)+7)
+		seq := Sequential(keys, nil)
+		we, _ := WriteEfficient(keys, nil, Options{})
+		if !we.Equal(seq) {
+			t.Fatalf("n=%d: write-efficient tree differs from sequential", n)
+		}
+	}
+}
+
+func TestWriteEfficientCappedMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 5, 64, 1000, 10000, 50000} {
+		keys := gen.UniformFloats(n, uint64(n)+13)
+		seq := Sequential(keys, nil)
+		we, st := WriteEfficient(keys, nil, Options{CapRounds: true, RoundCapC: 2})
+		if !we.Equal(seq) {
+			t.Fatalf("n=%d: capped tree differs from sequential (postponed=%d)", n, st.Postponed)
+		}
+	}
+}
+
+func TestCappedPostponesAndStillSorts(t *testing.T) {
+	// A tiny cap forces heavy postponement; the result must still match.
+	n := 20000
+	keys := gen.UniformFloats(n, 99)
+	seq := Sequential(keys, nil)
+	we, st := WriteEfficient(keys, nil, Options{CapRounds: true, RoundCapC: 1})
+	if !we.Equal(seq) {
+		t.Fatal("tree differs under aggressive capping")
+	}
+	if st.Postponed == 0 {
+		t.Log("note: no bucket exceeded the tiny cap (acceptable but unusual)")
+	}
+	assertSorted(t, we.Sorted(), keys)
+}
+
+func TestSortFunction(t *testing.T) {
+	keys := gen.UniformFloats(3000, 21)
+	assertSorted(t, Sort(keys, nil), keys)
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := []float64{3, 1, 3, 2, 1, 3, 3, 0}
+	seq := Sequential(keys, nil)
+	we, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
+	if !we.Equal(seq) {
+		t.Fatal("duplicates break equivalence")
+	}
+	assertSorted(t, we.Sorted(), keys)
+}
+
+func TestAdversarialOrders(t *testing.T) {
+	n := 4096
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	organ := make([]float64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+		if i < n/2 {
+			organ[i] = float64(i)
+		} else {
+			organ[i] = float64(n - i)
+		}
+	}
+	for name, keys := range map[string][]float64{"asc": asc, "desc": desc, "organ": organ} {
+		// Sorted insertion order gives a path tree — still must be correct.
+		seq := Sequential(keys, nil)
+		we, _ := WriteEfficient(keys, nil, Options{})
+		if !we.Equal(seq) {
+			t.Fatalf("%s: tree mismatch", name)
+		}
+		assertSorted(t, we.Sorted(), keys)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr, _ := WriteEfficient(nil, nil, Options{})
+	if len(tr.Sorted()) != 0 {
+		t.Fatal("empty input")
+	}
+	tr, _ = WriteEfficient([]float64{5}, nil, Options{CapRounds: true})
+	out := tr.Sorted()
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatal("single input")
+	}
+}
+
+func TestWriteCountsPlainVsWriteEfficient(t *testing.T) {
+	// The core claim of §4: plain parallel insertion performs Θ(n log n)
+	// writes; the prefix-doubling version performs O(n).
+	n := 1 << 15
+	keys := gen.UniformFloats(n, 5)
+
+	mPlain := asymmem.NewMeter()
+	_, stPlain := ParallelPlain(keys, mPlain)
+
+	mWE := asymmem.NewMeter()
+	_, stWE := WriteEfficient(keys, mWE, Options{})
+
+	logn := math.Log2(float64(n))
+	if ratio := float64(stPlain.WriteAttempts) / float64(n); ratio < logn/4 {
+		t.Errorf("plain writes/n = %.1f, expected Θ(log n) ≈ %.1f", ratio, logn)
+	}
+	if ratio := float64(stWE.WriteAttempts) / float64(n); ratio > 8 {
+		t.Errorf("write-efficient writes/n = %.1f, expected O(1)", ratio)
+	}
+	if mWE.Writes() >= mPlain.Writes() {
+		t.Errorf("write-efficient total writes %d not below plain %d", mWE.Writes(), mPlain.Writes())
+	}
+	// Reads remain Θ(n log n) for both.
+	if mWE.Reads() < int64(float64(n)*logn/4) {
+		t.Errorf("write-efficient reads %d suspiciously low", mWE.Reads())
+	}
+}
+
+func TestExpectedTreeHeightLogarithmic(t *testing.T) {
+	n := 1 << 14
+	keys := gen.UniformFloats(n, 31)
+	tr, _ := WriteEfficient(keys, nil, Options{})
+	h := tr.Height()
+	if h > 6*int(math.Log2(float64(n))) {
+		t.Fatalf("height %d too large for random order (n=%d)", h, n)
+	}
+}
+
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	keys := gen.UniformFloats(8000, 77)
+	a, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
+	old := parallel.SetMaxOutstanding(0) // fully sequential execution
+	b, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
+	parallel.SetMaxOutstanding(old)
+	if !a.Equal(b) {
+		t.Fatal("result depends on parallel schedule")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	n := 1 << 13
+	keys := gen.UniformFloats(n, 3)
+	_, st := WriteEfficient(keys, asymmem.NewMeter(), Options{CapRounds: true})
+	if st.DoublingRounds < 3 {
+		t.Errorf("DoublingRounds = %d", st.DoublingRounds)
+	}
+	if st.LocationReads == 0 {
+		t.Error("LocationReads not recorded")
+	}
+	if st.BucketMax == 0 {
+		t.Error("BucketMax not recorded")
+	}
+}
+
+func TestQuickSortsArbitraryInputs(t *testing.T) {
+	f := func(raw []float32) bool {
+		keys := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = float32(i)
+			}
+			keys[i] = float64(v)
+		}
+		tr, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
+		got := tr.Sorted()
+		want := sortedOracle(keys)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

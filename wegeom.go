@@ -1,0 +1,190 @@
+// Package wegeom is the public facade of this reproduction of
+// Blelloch, Gu, Shun, Sun, "Parallel Write-Efficient Algorithms and Data
+// Structures for Computational Geometry" (SPAA 2018).
+//
+// It re-exports the paper's data structures and algorithms with their cost
+// instrumentation:
+//
+//   - Sort / SortWithStats — §4's write-efficient incremental comparison sort.
+//   - Triangulate / TriangulateClassic — §5's linear-write planar Delaunay
+//     triangulation (and the plain BGSS baseline).
+//   - KD trees — §6's p-batched construction, range and ANN queries, and
+//     both dynamic-update schemes.
+//   - Interval, priority-search and range trees — §7's post-sorted
+//     constructions and α-labeled dynamic versions.
+//   - ConvexHull — the §2.2 building block.
+//
+// Every entry point accepts an optional *Meter that counts simulated
+// large-memory reads and writes (the Asymmetric NP model's cost measure);
+// pass nil to skip instrumentation. See DESIGN.md for the experiment map
+// and EXPERIMENTS.md for measured results.
+package wegeom
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/hull"
+	"repro/internal/interval"
+	"repro/internal/kdtree"
+	"repro/internal/parallel"
+	"repro/internal/pst"
+	"repro/internal/rangetree"
+	"repro/internal/wesort"
+)
+
+// Meter counts simulated large-memory reads and writes; Work(ω) returns
+// reads + ω·writes, the Asymmetric NP work.
+type Meter = asymmem.Meter
+
+// NewMeter returns a zeroed cost meter.
+func NewMeter() *Meter { return asymmem.NewMeter() }
+
+// Point is a point in the plane.
+type Point = geom.Point
+
+// KPoint is a k-dimensional point.
+type KPoint = geom.KPoint
+
+// KBox is an axis-aligned k-dimensional box.
+type KBox = geom.KBox
+
+// ---- §4: write-efficient comparison sort ----
+
+// Sort returns keys in non-decreasing order using the write-efficient
+// incremental sort (Theorem 4.1): expected O(n log n + ωn) work, i.e.
+// O(n) writes. The input order is the (random) insertion priority.
+func Sort(keys []float64, m *Meter) []float64 {
+	return wesort.Sort(keys, m)
+}
+
+// SortStats profiles a write-efficient sort run.
+type SortStats = wesort.Stats
+
+// SortWithStats is Sort returning the cost profile.
+func SortWithStats(keys []float64, m *Meter) ([]float64, SortStats) {
+	tr, st := wesort.WriteEfficient(keys, m, wesort.Options{CapRounds: true})
+	return tr.Sorted(), st
+}
+
+// ---- §5: planar Delaunay triangulation ----
+
+// Triangulation is a completed Delaunay triangulation; Triangles() returns
+// the CCW triangles among the input points.
+type Triangulation = delaunay.Triangulation
+
+// Triangulate computes the Delaunay triangulation with the write-efficient
+// algorithm of Theorem 5.1: expected O(n log n + ωn) work. The input order
+// is the insertion priority; shuffle for the expectation bounds (see
+// ShufflePoints).
+func Triangulate(pts []Point, m *Meter) (*Triangulation, error) {
+	return delaunay.TriangulateWriteEfficient(pts, m)
+}
+
+// TriangulateClassic runs the plain BGSS incremental algorithm
+// (Θ(n log n) writes) — the baseline Theorem 5.1 improves on.
+func TriangulateClassic(pts []Point, m *Meter) (*Triangulation, error) {
+	return delaunay.Triangulate(pts, m)
+}
+
+// ShufflePoints returns a deterministic random permutation of pts.
+func ShufflePoints(pts []Point, seed uint64) []Point {
+	out := append([]Point{}, pts...)
+	perm := parallel.NewRNG(seed).Perm(len(out))
+	for i, j := range perm {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ---- §6: k-d trees ----
+
+// KDItem is a k-dimensional point with an identifier.
+type KDItem = kdtree.Item
+
+// KDTree is a k-d tree supporting range and (1+ε)-ANN queries and
+// tombstoned deletions.
+type KDTree = kdtree.Tree
+
+// BuildKDTree constructs a k-d tree with the p-batched incremental
+// algorithm of Theorem 6.1 (O(n) writes; height log₂n+O(1) whp with the
+// default p = log³n).
+func BuildKDTree(dims int, items []KDItem, m *Meter) (*KDTree, error) {
+	return kdtree.BuildPBatched(dims, items, kdtree.PBatchedOptions{}, m)
+}
+
+// BuildKDTreeSAH constructs a k-d tree with the p-batched builder using
+// surface-area-heuristic splitters (the §6.3 extension) — same O(n) write
+// bound, often cheaper queries on clustered data.
+func BuildKDTreeSAH(dims int, items []KDItem, m *Meter) (*KDTree, error) {
+	return kdtree.BuildPBatchedSAH(dims, items, kdtree.PBatchedOptions{}, m)
+}
+
+// BuildKDTreeClassic constructs a k-d tree with exact median splits —
+// Θ(n log n) writes.
+func BuildKDTreeClassic(dims int, items []KDItem, m *Meter) (*KDTree, error) {
+	return kdtree.BuildClassic(dims, items, kdtree.Options{}, m)
+}
+
+// KDForest is the logarithmic-reconstruction dynamic scheme of §6.2.
+type KDForest = kdtree.Forest
+
+// NewKDForest returns an empty dynamic k-d forest.
+func NewKDForest(dims int, m *Meter) *KDForest {
+	return kdtree.NewForest(dims, kdtree.PBatchedOptions{}, m)
+}
+
+// KDSingleTree is the single-tree dynamic scheme of §6.2.
+type KDSingleTree = kdtree.SingleTree
+
+// NewKDSingleTree wraps a built tree for single-tree dynamic updates with
+// the range-query balance budget.
+func NewKDSingleTree(t *KDTree) *KDSingleTree {
+	return kdtree.NewSingleTree(t, kdtree.BalanceForRange)
+}
+
+// ---- §7: augmented trees ----
+
+// Interval is a closed 1D interval.
+type Interval = interval.Interval
+
+// IntervalTree answers stabbing queries and supports α-labeled updates.
+type IntervalTree = interval.Tree
+
+// NewIntervalTree builds an interval tree with the post-sorted linear-write
+// construction (Theorem 7.1). alpha ≥ 2 selects the α-labeling trade-off of
+// Theorem 7.4; alpha 0 selects the classic behaviour.
+func NewIntervalTree(ivs []Interval, alpha int, m *Meter) (*IntervalTree, error) {
+	return interval.Build(ivs, interval.Options{Alpha: alpha}, m)
+}
+
+// PSTPoint is a point with coordinate X and priority Y.
+type PSTPoint = pst.Point
+
+// PriorityTree answers 3-sided queries.
+type PriorityTree = pst.Tree
+
+// NewPriorityTree builds a priority search tree with the tournament-tree
+// construction of Appendix A (Theorem 7.1).
+func NewPriorityTree(pts []PSTPoint, alpha int, m *Meter) *PriorityTree {
+	return pst.Build(pts, pst.Options{Alpha: alpha}, m)
+}
+
+// RTPoint is a 2D point for the range tree.
+type RTPoint = rangetree.Point
+
+// RangeTree answers 2D orthogonal range queries.
+type RangeTree = rangetree.Tree
+
+// NewRangeTree builds a 2D range tree; alpha ≥ 2 keeps inner trees only at
+// critical nodes (Theorem 7.4's trade-off).
+func NewRangeTree(pts []RTPoint, alpha int, m *Meter) *RangeTree {
+	return rangetree.Build(pts, rangetree.Options{Alpha: alpha}, m)
+}
+
+// ---- §2.2: convex hull ----
+
+// ConvexHull returns the indices of the hull vertices in CCW order.
+func ConvexHull(pts []Point, m *Meter) []int32 {
+	return hull.ConvexHull(pts, m)
+}

@@ -1,0 +1,126 @@
+package wegeom
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestFacadePipeline exercises the public API end to end: sort, hull,
+// Delaunay, k-d tree, and the three augmented trees, with cost metering.
+func TestFacadePipeline(t *testing.T) {
+	m := NewMeter()
+
+	// Sort.
+	keys := gen.UniformFloats(5000, 1)
+	sorted := Sort(keys, m)
+	if !sort.Float64sAreSorted(sorted) {
+		t.Fatal("Sort output not sorted")
+	}
+	if m.Writes() == 0 || m.Reads() == 0 {
+		t.Fatal("meter not charged")
+	}
+
+	// Delaunay.
+	pts := ShufflePoints(gen.UniformPoints(2000, 2), 3)
+	tri, err := Triangulate(pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.Check(); err != nil {
+		t.Fatal(err)
+	}
+	classic, err := TriangulateClassic(pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classic.Triangles()) != len(tri.Triangles()) {
+		t.Fatal("classic and write-efficient triangulations differ")
+	}
+
+	// Convex hull.
+	h := ConvexHull(pts, m)
+	if len(h) < 3 {
+		t.Fatalf("hull too small: %d", len(h))
+	}
+
+	// k-d tree.
+	kpts := gen.UniformKPoints(3000, 2, 4)
+	items := make([]KDItem, len(kpts))
+	for i := range items {
+		items[i] = KDItem{P: kpts[i], ID: int32(i)}
+	}
+	kd, err := BuildKDTree(2, items, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := KBox{Min: KPoint{0.2, 0.2}, Max: KPoint{0.5, 0.9}}
+	n1 := kd.RangeCount(box)
+	kdc, err := BuildKDTreeClassic(2, items, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 := kdc.RangeCount(box); n1 != n2 {
+		t.Fatalf("kd range counts differ: %d vs %d", n1, n2)
+	}
+	if _, ok := kd.ANN(KPoint{0.5, 0.5}, 0.1); !ok {
+		t.Fatal("ANN found nothing")
+	}
+
+	// Dynamic kd.
+	f := NewKDForest(2, m)
+	for _, it := range items[:500] {
+		if err := f.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 500 {
+		t.Fatal("forest size wrong")
+	}
+	st := NewKDSingleTree(kd)
+	if err := st.Insert(KDItem{P: KPoint{0.1, 0.9}, ID: 99999}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interval tree.
+	givs := gen.UniformIntervals(1000, 0.05, 5)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, err := NewIntervalTree(ivs, 8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.StabCount(0.5) == 0 {
+		t.Fatal("no stabbing results at 0.5 (unlikely)")
+	}
+
+	// Priority tree.
+	ppts := make([]PSTPoint, 1000)
+	ys := gen.UniformFloats(1000, 6)
+	xs := gen.UniformFloats(1000, 7)
+	for i := range ppts {
+		ppts[i] = PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	pt := NewPriorityTree(ppts, 8, m)
+	if pt.Count3Sided(0, 1, 0) != 1000 {
+		t.Fatal("3-sided over everything must return all")
+	}
+
+	// Range tree.
+	rpts := make([]RTPoint, 1000)
+	for i := range rpts {
+		rpts[i] = RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	rt := NewRangeTree(rpts, 8, m)
+	if rt.Count(0, 1, 0, 1) != 1000 {
+		t.Fatal("full-range count must return all")
+	}
+
+	// Stats accessor sanity.
+	if _, sst := SortWithStats(keys[:1000], m); sst.DoublingRounds == 0 {
+		t.Fatal("sort stats empty")
+	}
+}
