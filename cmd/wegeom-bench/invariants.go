@@ -5,16 +5,12 @@ import (
 	"math"
 	"sync"
 
+	wegeom "repro"
 	"repro/internal/asymmem"
 	"repro/internal/dagtrace"
-	"repro/internal/delaunay"
 	"repro/internal/gen"
-	"repro/internal/interval"
-	"repro/internal/kdtree"
 	"repro/internal/parallel"
-	"repro/internal/rangetree"
 	"repro/internal/tournament"
-	"repro/internal/wesort"
 )
 
 // expE11: Figure 3 + Lemma 7.2 / Corollaries 7.1, 7.2 — α-labeling
@@ -24,10 +20,13 @@ func expE11() {
 	fmt.Printf("n = %d adversarial (sorted, point-like) insertions into an empty interval tree\n", n)
 	fmt.Println("alpha | crit/path (≤ c·log_α n) | log_α n | secondary run (paper: ≤ 4α+1) | path len | rebuilds")
 	for _, alpha := range []int{2, 4, 8, 16} {
-		tr, _ := interval.Build(nil, interval.Options{Alpha: alpha}, nil)
+		tr, _, err := wegeom.NewEngine(wegeom.WithAlpha(alpha)).NewIntervalTree(ctx, nil)
+		if err != nil {
+			panic(err)
+		}
 		for i := 0; i < n; i++ {
 			x := 1.0 - float64(i)/float64(n)
-			if err := tr.Insert(interval.Interval{Left: x, Right: x + 1e-12, ID: int32(i)}); err != nil {
+			if err := tr.Insert(wegeom.Interval{Left: x, Right: x + 1e-12, ID: int32(i)}); err != nil {
 				panic(err)
 			}
 		}
@@ -52,22 +51,28 @@ func expE12() {
 		for i := range batch {
 			batch[i].ID += 1 << 20
 		}
-		ms := asymmem.NewMeter()
-		single, _ := interval.Build(base, interval.Options{Alpha: 8}, ms)
-		s0 := ms.Snapshot()
+		engS := wegeom.NewEngine(wegeom.WithAlpha(8))
+		single, _, err := engS.NewIntervalTree(ctx, base)
+		if err != nil {
+			panic(err)
+		}
+		s0 := engS.Meter().Snapshot()
 		for _, iv := range batch {
 			if err := single.Insert(iv); err != nil {
 				panic(err)
 			}
 		}
-		sc := ms.Snapshot().Sub(s0)
-		mb := asymmem.NewMeter()
-		bulk, _ := interval.Build(base, interval.Options{Alpha: 8}, mb)
-		b0 := mb.Snapshot()
+		sc := engS.Meter().Snapshot().Sub(s0)
+		engB := wegeom.NewEngine(wegeom.WithAlpha(8))
+		bulk, _, err := engB.NewIntervalTree(ctx, base)
+		if err != nil {
+			panic(err)
+		}
+		b0 := engB.Meter().Snapshot()
 		if err := bulk.BulkInsert(batch); err != nil {
 			panic(err)
 		}
-		bc := mb.Snapshot().Sub(b0)
+		bc := engB.Meter().Snapshot().Sub(b0)
 		fmt.Printf("interval   | %-6.2f | %12.1f | %10.1f | %12.1f | %10.1f\n",
 			frac, per(sc.Writes, m), per(bc.Writes, m), per(sc.Reads, m), per(bc.Reads, m))
 	}
@@ -78,18 +83,24 @@ func expE12() {
 		for i := range batch {
 			batch[i].ID += 1 << 20
 		}
-		ms := asymmem.NewMeter()
-		single := rangetree.Build(base, rangetree.Options{Alpha: 8}, ms)
-		s0 := ms.Snapshot()
+		engS := wegeom.NewEngine(wegeom.WithAlpha(8))
+		single, _, err := engS.NewRangeTree(ctx, base)
+		if err != nil {
+			panic(err)
+		}
+		s0 := engS.Meter().Snapshot()
 		for _, p := range batch {
 			single.Insert(p)
 		}
-		sc := ms.Snapshot().Sub(s0)
-		mb := asymmem.NewMeter()
-		bulk := rangetree.Build(base, rangetree.Options{Alpha: 8}, mb)
-		b0 := mb.Snapshot()
+		sc := engS.Meter().Snapshot().Sub(s0)
+		engB := wegeom.NewEngine(wegeom.WithAlpha(8))
+		bulk, _, err := engB.NewRangeTree(ctx, base)
+		if err != nil {
+			panic(err)
+		}
+		b0 := engB.Meter().Snapshot()
 		bulk.BulkInsert(batch)
-		bc := mb.Snapshot().Sub(b0)
+		bc := engB.Meter().Snapshot().Sub(b0)
 		fmt.Printf("rangetree  | %-6.2f | %12.1f | %10.1f | %12.1f | %10.1f\n",
 			frac, per(sc.Writes, m), per(bc.Writes, m), per(sc.Reads, m), per(bc.Reads, m))
 	}
@@ -104,45 +115,66 @@ func expE13() {
 
 	n := 1 << 15
 	keys := gen.UniformFloats(n, 30)
-	mPlain, mWE := asymmem.NewMeter(), asymmem.NewMeter()
-	plainTree, _ := wesort.ParallelPlain(keys, mPlain)
-	_ = plainTree
-	wesort.WriteEfficient(keys, mWE, wesort.Options{CapRounds: true})
-	printRatios("sort", mPlain, mWE, omegas)
+	eng := wegeom.NewEngine()
+	_, repPlain, err := eng.SortBaseline(ctx, keys)
+	if err != nil {
+		panic(err)
+	}
+	_, repWE, err := eng.Sort(ctx, keys)
+	if err != nil {
+		panic(err)
+	}
+	printRatios("sort", repPlain, repWE, omegas)
 
-	pts := shuffle(gen.UniformPoints(1<<13, 31), 32)
-	mP2, mW2 := asymmem.NewMeter(), asymmem.NewMeter()
-	if _, err := delaunay.Triangulate(pts, mP2); err != nil {
+	engD := wegeom.NewEngine(wegeom.WithSeed(32))
+	pts := engD.ShufflePoints(gen.UniformPoints(1<<13, 31))
+	_, repP2, err := engD.TriangulateClassic(ctx, pts)
+	if err != nil {
 		panic(err)
 	}
-	if _, err := delaunay.TriangulateWriteEfficient(pts, mW2); err != nil {
+	_, repW2, err := engD.Triangulate(ctx, pts)
+	if err != nil {
 		panic(err)
 	}
-	printRatios("delaunay", mP2, mW2, omegas)
+	printRatios("delaunay", repP2, repW2, omegas)
 
 	items := makeKDItems(1<<15, 2, 33)
-	mP3, mW3 := asymmem.NewMeter(), asymmem.NewMeter()
-	kdtree.BuildClassic(2, items, kdtree.Options{LeafSize: 1}, mP3)
-	kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{Options: kdtree.Options{LeafSize: 1}}, mW3)
-	printRatios("k-d tree", mP3, mW3, omegas)
+	engK := wegeom.NewEngine(wegeom.WithLeafSize(1))
+	_, repP3, err := engK.BuildKDTreeClassic(ctx, 2, items)
+	if err != nil {
+		panic(err)
+	}
+	_, repW3, err := engK.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		panic(err)
+	}
+	printRatios("k-d tree", repP3, repW3, omegas)
 
 	ivs := convertIvs(gen.UniformIntervals(1<<14, 2.0/float64(1<<14), 34))
-	mP4, mW4 := asymmem.NewMeter(), asymmem.NewMeter()
-	interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mP4)
-	interval.Build(ivs, interval.Options{Alpha: 4}, mW4)
-	printRatios("interval", mP4, mW4, omegas)
+	engI := wegeom.NewEngine(wegeom.WithAlpha(4))
+	_, repP4, err := engI.NewIntervalTreeClassic(ctx, ivs)
+	if err != nil {
+		panic(err)
+	}
+	_, repW4, err := engI.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		panic(err)
+	}
+	printRatios("interval", repP4, repW4, omegas)
 	fmt.Println("shape check: ratios grow with ω; crossover (ratio 1) sits at small ω")
 }
 
-func printRatios(name string, classic, we *asymmem.Meter, omegas []int64) {
+func printRatios(name string, classic, we *wegeom.Report, omegas []int64) {
 	fmt.Printf("%-11s |", name)
 	for _, om := range omegas {
-		fmt.Printf(" %5.2f |", float64(classic.Work(om))/float64(we.Work(om)))
+		fmt.Printf(" %5.2f |", float64(classic.WorkAt(om))/float64(we.WorkAt(om)))
 	}
 	fmt.Println()
 }
 
-// expE14: Theorem 3.1 — DAG tracing cost profile on synthetic layered DAGs.
+// expE14: Theorem 3.1 — DAG tracing cost profile on synthetic layered
+// DAGs. (Framework-level: dagtrace has no Engine surface, so this
+// experiment drives the internal package directly.)
 func expE14() {
 	fmt.Println("layers x width | |R| visited | |S| outputs | writes | reads (∝ evals)")
 	r := parallel.NewRNG(40)
@@ -220,7 +252,7 @@ func (g *sliceGraph) Parents(v int32) (int32, int32) {
 }
 
 // expE15: Appendix A — tournament tree total cost stays linear with
-// scoped deletions.
+// scoped deletions. (Framework-level: drives the internal package.)
 func expE15() {
 	fmt.Println("n        | scoped writes/n | full writes/n | log2 n")
 	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {

@@ -1,7 +1,10 @@
 // wegeom-bench regenerates the paper's evaluation artifacts (Table 1, the
 // theorem bounds, and the quantities illustrated by Figures 1–3) from the
 // implementations in this module, printing measured read/write counts from
-// the Asymmetric NP cost simulator.
+// the Asymmetric NP cost simulator. Experiments drive the public Engine
+// API (one Engine per configuration variant); only the framework-level
+// probes E14/E15 reach into internal packages, which have no Engine
+// surface.
 //
 // Usage:
 //
@@ -9,8 +12,7 @@
 //	go run ./cmd/wegeom-bench -exp all     # everything (a few minutes)
 //	go run ./cmd/wegeom-bench -list        # experiment index
 //
-// See DESIGN.md §4 for the experiment ↔ paper mapping and EXPERIMENTS.md
-// for recorded results.
+// See README.md for the experiment ↔ paper mapping.
 package main
 
 import (

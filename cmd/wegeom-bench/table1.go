@@ -1,15 +1,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/asymmem"
+	wegeom "repro"
 	"repro/internal/gen"
-	"repro/internal/interval"
-	"repro/internal/pst"
-	"repro/internal/rangetree"
 )
+
+var ctx = context.Background()
 
 // expE1: interval tree construction. Paper row: classic O(ωn log n) vs
 // ours O(ωn + n log n) — writes/n should be ~log n for classic and flat
@@ -20,17 +20,19 @@ func expE1() {
 		// Short intervals (~2/n long) descend the full tree, exposing the
 		// classic construction's per-level copying.
 		ivs := convertIvs(gen.UniformIntervals(n, 2.0/float64(n), uint64(n)))
-		mc := asymmem.NewMeter()
-		if _, err := interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mc); err != nil {
+		eng := wegeom.NewEngine(wegeom.WithAlpha(4))
+		_, repC, err := eng.NewIntervalTreeClassic(ctx, ivs)
+		if err != nil {
 			panic(err)
 		}
-		mp := asymmem.NewMeter()
-		if _, err := interval.Build(ivs, interval.Options{Alpha: 4}, mp); err != nil {
+		_, repP, err := eng.NewIntervalTree(ctx, ivs)
+		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("%-8d | %11.1f | %8.1f | %11.1f | %8.1f | %s\n",
-			n, per(mc.Writes(), n), per(mp.Writes(), n),
-			per(mc.Reads(), n), per(mp.Reads(), n), ratio(mc.Writes(), mp.Writes()))
+			n, per(repC.Total.Writes, n), per(repP.Total.Writes, n),
+			per(repC.Total.Reads, n), per(repP.Total.Reads, n),
+			ratio(repC.Total.Writes, repP.Total.Writes))
 	}
 	fmt.Println("shape check: classic writes/n grows with log2(n); ours stays flat")
 }
@@ -40,13 +42,19 @@ func expE2() {
 	fmt.Println("n        | classic w/n | ours w/n | classic r/n | ours r/n | write ratio")
 	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
 		pts := makePSTPoints(n, uint64(n))
-		mc := asymmem.NewMeter()
-		pst.BuildClassic(pts, pst.Options{Alpha: 4}, mc)
-		mp := asymmem.NewMeter()
-		pst.Build(pts, pst.Options{Alpha: 4}, mp)
+		eng := wegeom.NewEngine(wegeom.WithAlpha(4))
+		_, repC, err := eng.NewPriorityTreeClassic(ctx, pts)
+		if err != nil {
+			panic(err)
+		}
+		_, repP, err := eng.NewPriorityTree(ctx, pts)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-8d | %11.1f | %8.1f | %11.1f | %8.1f | %s\n",
-			n, per(mc.Writes(), n), per(mp.Writes(), n),
-			per(mc.Reads(), n), per(mp.Reads(), n), ratio(mc.Writes(), mp.Writes()))
+			n, per(repC.Total.Writes, n), per(repP.Total.Writes, n),
+			per(repC.Total.Reads, n), per(repP.Total.Reads, n),
+			ratio(repC.Total.Writes, repP.Total.Writes))
 	}
 	fmt.Println("shape check: classic writes/n grows with log2(n); ours stays flat")
 }
@@ -58,8 +66,10 @@ func expE3() {
 	fmt.Printf("n = %d (log2 n = %.1f)\n", n, math.Log2(float64(n)))
 	fmt.Println("alpha   | inner Σsize/n | predicted log_α n | writes/n")
 	for _, alpha := range []int{0, 2, 4, 8, 16} {
-		m := asymmem.NewMeter()
-		tr := rangetree.Build(pts, rangetree.Options{Alpha: alpha}, m)
+		tr, rep, err := wegeom.NewEngine(wegeom.WithAlpha(alpha)).NewRangeTree(ctx, pts)
+		if err != nil {
+			panic(err)
+		}
 		label, pred := fmt.Sprintf("%d", alpha), math.Log2(float64(n))
 		if alpha == 0 {
 			label = "classic"
@@ -67,22 +77,24 @@ func expE3() {
 			pred = math.Log2(float64(n)) / math.Log2(float64(alpha))
 		}
 		fmt.Printf("%-7s | %13.1f | %17.1f | %8.1f\n",
-			label, float64(tr.Stats().InnerTotalSize)/float64(n), pred, per(m.Writes(), n))
+			label, float64(tr.Stats().InnerTotalSize)/float64(n), pred, per(rep.Total.Writes, n))
 	}
 	fmt.Println("shape check: Σ inner sizes per point tracks log_α n")
 }
 
-// updateQuerySweep drives E4/E5/E6: per alpha, run an update+query mix and
-// report per-op reads/writes plus ω-work for several ω.
+// updateQuerySweep drives E4/E5/E6: per alpha, build through an Engine,
+// run an update+query mix against the engine's meter, and report per-op
+// reads/writes plus ω-work for several ω.
 func updateQuerySweep(
 	name string,
-	build func(alpha int, m *asymmem.Meter) (update func(i int), query func(i int)),
+	build func(eng *wegeom.Engine) (update func(i int), query func(i int)),
 	updates, queries int,
 ) {
 	fmt.Println("alpha   | upd w/op | upd r/op | qry r/op | work/op ω=5 | ω=10 | ω=40")
 	for _, alpha := range []int{0, 2, 8, 32} {
-		m := asymmem.NewMeter()
-		update, query := build(alpha, m)
+		eng := wegeom.NewEngine(wegeom.WithAlpha(alpha))
+		update, query := build(eng)
+		m := eng.Meter()
 		start := m.Snapshot()
 		for i := 0; i < updates; i++ {
 			update(i)
@@ -117,8 +129,8 @@ func expE4() {
 	}
 	qs := gen.UniformFloats(1<<13, 3)
 	updateQuerySweep("interval",
-		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
-			tr, err := interval.Build(base, interval.Options{Alpha: alpha}, m)
+		func(eng *wegeom.Engine) (func(int), func(int)) {
+			tr, _, err := eng.NewIntervalTree(ctx, base)
 			if err != nil {
 				panic(err)
 			}
@@ -127,7 +139,7 @@ func expE4() {
 						panic(err)
 					}
 				}, func(i int) {
-					tr.Stab(qs[i], func(interval.Interval) bool { return true })
+					tr.Stab(qs[i], func(wegeom.Interval) bool { return true })
 				}
 		}, len(churn), len(qs))
 }
@@ -140,13 +152,16 @@ func expE5() {
 	}
 	qs := gen.UniformFloats(1<<13, 6)
 	updateQuerySweep("pst",
-		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
-			tr := pst.Build(base, pst.Options{Alpha: alpha}, m)
+		func(eng *wegeom.Engine) (func(int), func(int)) {
+			tr, _, err := eng.NewPriorityTree(ctx, base)
+			if err != nil {
+				panic(err)
+			}
 			return func(i int) {
 					tr.Insert(churn[i])
 				}, func(i int) {
 					q := qs[i]
-					tr.Query3Sided(q, q+0.1, 0.8, func(pst.Point) bool { return true })
+					tr.Query3Sided(q, q+0.1, 0.8, func(wegeom.PSTPoint) bool { return true })
 				}
 		}, len(churn), len(qs))
 }
@@ -159,41 +174,44 @@ func expE6() {
 	}
 	qs := gen.UniformFloats(1<<12, 9)
 	updateQuerySweep("rangetree",
-		func(alpha int, m *asymmem.Meter) (func(int), func(int)) {
-			tr := rangetree.Build(base, rangetree.Options{Alpha: alpha}, m)
+		func(eng *wegeom.Engine) (func(int), func(int)) {
+			tr, _, err := eng.NewRangeTree(ctx, base)
+			if err != nil {
+				panic(err)
+			}
 			return func(i int) {
 					tr.Insert(churn[i])
 				}, func(i int) {
 					q := qs[i]
-					tr.Query(q, q+0.2, 0.3, 0.7, func(rangetree.Point) bool { return true })
+					tr.Query(q, q+0.2, 0.3, 0.7, func(wegeom.RTPoint) bool { return true })
 				}
 		}, len(churn), len(qs))
 }
 
-func convertIvs(gi []gen.Interval) []interval.Interval {
-	out := make([]interval.Interval, len(gi))
+func convertIvs(gi []gen.Interval) []wegeom.Interval {
+	out := make([]wegeom.Interval, len(gi))
 	for i, iv := range gi {
-		out[i] = interval.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+		out[i] = wegeom.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
 	}
 	return out
 }
 
-func makePSTPoints(n int, seed uint64) []pst.Point {
+func makePSTPoints(n int, seed uint64) []wegeom.PSTPoint {
 	xs := gen.UniformFloats(n, seed)
 	ys := gen.UniformFloats(n, seed^0xdead)
-	out := make([]pst.Point, n)
+	out := make([]wegeom.PSTPoint, n)
 	for i := range out {
-		out[i] = pst.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+		out[i] = wegeom.PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
 	}
 	return out
 }
 
-func makeRTPoints(n int, seed uint64) []rangetree.Point {
+func makeRTPoints(n int, seed uint64) []wegeom.RTPoint {
 	xs := gen.UniformFloats(n, seed)
 	ys := gen.UniformFloats(n, seed^0xbeef)
-	out := make([]rangetree.Point, n)
+	out := make([]wegeom.RTPoint, n)
 	for i := range out {
-		out[i] = rangetree.Point{X: xs[i], Y: ys[i], ID: int32(i)}
+		out[i] = wegeom.RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
 	}
 	return out
 }

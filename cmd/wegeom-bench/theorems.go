@@ -4,12 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/asymmem"
-	"repro/internal/delaunay"
+	wegeom "repro"
 	"repro/internal/gen"
-	"repro/internal/geom"
-	"repro/internal/kdtree"
-	"repro/internal/wesort"
 )
 
 // expE7: Theorem 4.1 — incremental sort writes.
@@ -17,12 +13,18 @@ func expE7() {
 	fmt.Println("n        | plain w-attempts/n | WE w-attempts/n | WE writes/n | postponed | log2 n")
 	for _, n := range []int{1 << 13, 1 << 15, 1 << 17} {
 		keys := gen.UniformFloats(n, uint64(n))
-		_, stPlain := wesort.ParallelPlain(keys, nil)
-		m := asymmem.NewMeter()
-		_, stWE := wesort.WriteEfficient(keys, m, wesort.Options{CapRounds: true})
+		eng := wegeom.NewEngine()
+		_, stPlain, _, err := eng.SortBaselineWithStats(ctx, keys)
+		if err != nil {
+			panic(err)
+		}
+		_, stWE, repWE, err := eng.SortWithStats(ctx, keys)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-8d | %18.1f | %15.2f | %11.1f | %9d | %.1f\n",
 			n, per(stPlain.WriteAttempts, n), per(stWE.WriteAttempts, n),
-			per(m.Writes(), n), stWE.Postponed, math.Log2(float64(n)))
+			per(repWE.Total.Writes, n), stWE.Postponed, math.Log2(float64(n)))
 	}
 	fmt.Println("shape check: plain attempts/n ≈ Θ(log n); write-efficient stays O(1)")
 }
@@ -36,47 +38,26 @@ func expE8() {
 			if dist == "cluster" {
 				ps = gen.ClusterPoints(n, 10, uint64(n))
 			}
-			ps = shuffle(ps, uint64(n)+1)
-			plain, err := delaunay.Triangulate(ps, nil)
+			eng := wegeom.NewEngine(wegeom.WithSeed(uint64(n) + 1))
+			ps = eng.ShufflePoints(ps)
+			plain, _, err := eng.TriangulateClassic(ctx, ps)
 			if err != nil {
 				panic(err)
 			}
-			m := asymmem.NewMeter()
-			we, err := delaunay.TriangulateWriteEfficient(ps, m)
+			we, repWE, err := eng.Triangulate(ctx, ps)
 			if err != nil {
 				panic(err)
 			}
 			located := float64(n) // nearly all points go through tracing
 			fmt.Printf("%-6d | %-7s | %12.1f | %9.1f | %11.1f | %8.1f | %6.2f | %9d | %6d\n",
 				n, dist,
-				per(plain.Stats.EncWrites, n), per(we.Stats.EncWrites, n), per(m.Writes(), n),
+				per(plain.Stats.EncWrites, n), per(we.Stats.EncWrites, n), per(repWE.Total.Writes, n),
 				float64(we.Stats.LocateVisited)/located, float64(we.Stats.LocateOutputs)/located,
 				we.Stats.MaxDAGDepth, plain.Stats.Rounds)
 		}
 	}
 	fmt.Println("shape check: plain enc-writes/n ≈ Θ(log n); WE flat. visit/pt = O(log n),")
 	fmt.Println("out/pt ≈ 6 by Euler (Figure 1's tracing structure), DAG depth = O(log n)")
-}
-
-func shuffle[T any](xs []T, seed uint64) []T {
-	out := append([]T{}, xs...)
-	r := rng(seed)
-	for i := len(out) - 1; i > 0; i-- {
-		j := int(r() % uint64(i+1))
-		out[i], out[j] = out[j], out[i]
-	}
-	return out
-}
-
-func rng(seed uint64) func() uint64 {
-	state := seed
-	return func() uint64 {
-		state += 0x9e3779b97f4a7c15
-		z := state
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 }
 
 // expE9: Theorem 6.1 + Lemmas 6.1–6.3 + Figure 2 — k-d tree sweep over p.
@@ -89,21 +70,23 @@ func expE9() {
 	ps := []int{1, int(logn), int(logn * logn), int(logn * logn * logn), n}
 	names := []string{"1", "log n", "log²n", "log³n", "n"}
 	for i, p := range ps {
-		m := asymmem.NewMeter()
-		tr, err := kdtree.BuildPBatched(2, items, kdtree.PBatchedOptions{
-			Options: kdtree.Options{LeafSize: 1}, P: p}, m)
+		eng := wegeom.NewEngine(wegeom.WithLeafSize(1), wegeom.WithPBatch(p))
+		tr, rep, err := eng.BuildKDTree(ctx, 2, items)
 		if err != nil {
 			panic(err)
 		}
 		box := kdBox2(0.37, 0, 0.371, 1)
 		fmt.Printf("%-7s | %8.1f | %6d | %7d | %11d | %d\n",
-			names[i], per(m.Writes(), n), tr.Stats().Height, tr.Stats().Settles,
+			names[i], per(rep.Total.Writes, n), tr.Stats().Height, tr.Stats().Settles,
 			tr.Stats().MaxOverflow, tr.NodesVisitedByRange(box))
 	}
-	mc := asymmem.NewMeter()
-	tc, _ := kdtree.BuildClassic(2, items, kdtree.Options{LeafSize: 1}, mc)
+	engC := wegeom.NewEngine(wegeom.WithLeafSize(1))
+	tc, repC, err := engC.BuildKDTreeClassic(ctx, 2, items)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("classic | %8.1f | %6d | %7s | %11s | %d\n",
-		per(mc.Writes(), n), tc.Stats().Height, "-", "-",
+		per(repC.Total.Writes, n), tc.Stats().Height, "-", "-",
 		tc.NodesVisitedByRange(kdBox2(0.37, 0, 0.371, 1)))
 	fmt.Println("shape check: p = log³n gives height = log2 n + O(1) and O(n) writes;")
 	fmt.Println("classic matches the height but pays Θ(n log n) writes (Lemma 6.2 / Thm 6.1)")
@@ -115,30 +98,36 @@ func expE10() {
 	items := makeKDItems(n, 2, 4)
 	fmt.Println("scheme                      | writes/insert | reads/insert | trees/rebuilds")
 
-	mf := asymmem.NewMeter()
-	f := kdtree.NewForest(2, kdtree.PBatchedOptions{}, mf)
+	engF := wegeom.NewEngine()
+	f := engF.NewKDForest(2)
 	for _, it := range items {
 		if err := f.Insert(it); err != nil {
 			panic(err)
 		}
 	}
+	mf := engF.Meter()
 	fmt.Printf("forest (p-batched rebuilds) | %13.1f | %12.1f | %d trees, %d rebuilds\n",
 		per(mf.Writes(), n), per(mf.Reads(), n), f.Trees(), f.Rebuilds())
 
-	mc := asymmem.NewMeter()
-	fc := kdtree.NewForest(2, kdtree.PBatchedOptions{}, mc)
+	engC := wegeom.NewEngine()
+	fc := engC.NewKDForest(2)
 	fc.UseClassicRebuild = true
 	for _, it := range items {
 		if err := fc.Insert(it); err != nil {
 			panic(err)
 		}
 	}
+	mc := engC.Meter()
 	fmt.Printf("forest (classic rebuilds)   | %13.1f | %12.1f | %d trees, %d rebuilds\n",
 		per(mc.Writes(), n), per(mc.Reads(), n), fc.Trees(), fc.Rebuilds())
 
-	ms := asymmem.NewMeter()
-	base, _ := kdtree.BuildPBatched(2, items[:1024], kdtree.PBatchedOptions{}, ms)
-	st := kdtree.NewSingleTree(base, kdtree.BalanceForRange)
+	engS := wegeom.NewEngine()
+	base, _, err := engS.BuildKDTree(ctx, 2, items[:1024])
+	if err != nil {
+		panic(err)
+	}
+	st := engS.NewKDSingleTree(base)
+	ms := engS.Meter()
 	startW, startR := ms.Writes(), ms.Reads()
 	for _, it := range items[1024:] {
 		if err := st.Insert(it); err != nil {
@@ -151,15 +140,15 @@ func expE10() {
 	fmt.Println("shape check: p-batched rebuilds cut the forest's write cost by ~Θ(log n)")
 }
 
-func makeKDItems(n, dims int, seed uint64) []kdtree.Item {
+func makeKDItems(n, dims int, seed uint64) []wegeom.KDItem {
 	pts := gen.UniformKPoints(n, dims, seed)
-	items := make([]kdtree.Item, n)
+	items := make([]wegeom.KDItem, n)
 	for i := range items {
-		items[i] = kdtree.Item{P: pts[i], ID: int32(i)}
+		items[i] = wegeom.KDItem{P: pts[i], ID: int32(i)}
 	}
 	return items
 }
 
-func kdBox2(x0, y0, x1, y1 float64) geom.KBox {
-	return geom.KBox{Min: geom.KPoint{x0, y0}, Max: geom.KPoint{x1, y1}}
+func kdBox2(x0, y0, x1, y1 float64) wegeom.KBox {
+	return wegeom.KBox{Min: wegeom.KPoint{x0, y0}, Max: wegeom.KPoint{x1, y1}}
 }

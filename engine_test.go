@@ -1,0 +1,360 @@
+package wegeom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestEngineAllMethods exercises every Engine method end-to-end and checks
+// that each uniform Report carries non-zero phase costs.
+func TestEngineAllMethods(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithOmega(10), WithAlpha(8), WithSeed(3))
+
+	checkReport := func(t *testing.T, rep *Report, op string) {
+		t.Helper()
+		if rep == nil {
+			t.Fatalf("%s: nil report", op)
+		}
+		if rep.Op != op {
+			t.Fatalf("report op = %q, want %q", rep.Op, op)
+		}
+		if rep.Total.Reads == 0 && rep.Total.Writes == 0 {
+			t.Fatalf("%s: report counted no accesses", op)
+		}
+		if len(rep.Phases) == 0 {
+			t.Fatalf("%s: report has no phases", op)
+		}
+		var phased Snapshot
+		for _, p := range rep.Phases {
+			phased = phased.Add(p.Cost)
+		}
+		if phased.Reads == 0 && phased.Writes == 0 {
+			t.Fatalf("%s: all phase costs are zero", op)
+		}
+		if phased.Reads > rep.Total.Reads || phased.Writes > rep.Total.Writes {
+			t.Fatalf("%s: phases exceed total: %v > %v", op, phased, rep.Total)
+		}
+		if rep.Work() != rep.Total.Work(10) {
+			t.Fatalf("%s: Work() inconsistent with ω=10", op)
+		}
+	}
+
+	// Sort + baseline.
+	keys := gen.UniformFloats(4000, 1)
+	sorted, rep, err := eng.Sort(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "sort")
+	if !sort.Float64sAreSorted(sorted) {
+		t.Fatal("Sort output not sorted")
+	}
+	sortedBase, rep, err := eng.SortBaseline(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "sort-baseline")
+	for i := range sorted {
+		if sorted[i] != sortedBase[i] {
+			t.Fatal("baseline and write-efficient sorts disagree")
+		}
+	}
+	_, st, _, err := eng.SortWithStats(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DoublingRounds == 0 {
+		t.Fatal("SortWithStats reported no doubling rounds")
+	}
+
+	// Delaunay, both variants.
+	pts := eng.ShufflePoints(gen.UniformPoints(1500, 2))
+	tri, rep, err := eng.Triangulate(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "triangulate")
+	if err := tri.Check(); err != nil {
+		t.Fatal(err)
+	}
+	classic, rep, err := eng.TriangulateClassic(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "triangulate-classic")
+	if len(classic.Triangles()) != len(tri.Triangles()) {
+		t.Fatal("classic and write-efficient triangulations differ")
+	}
+
+	// Convex hull.
+	hullIdx, rep, err := eng.ConvexHull(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "hull")
+	if len(hullIdx) < 3 {
+		t.Fatalf("hull too small: %d", len(hullIdx))
+	}
+
+	// k-d trees: p-batched (median and SAH) and classic, plus dynamics.
+	kpts := gen.UniformKPoints(2500, 2, 4)
+	items := make([]KDItem, len(kpts))
+	for i := range items {
+		items[i] = KDItem{P: kpts[i], ID: int32(i)}
+	}
+	kd, rep, err := eng.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "kdtree")
+	box := KBox{Min: KPoint{0.2, 0.2}, Max: KPoint{0.5, 0.9}}
+	n1 := kd.RangeCount(box)
+	kdc, rep, err := eng.BuildKDTreeClassic(ctx, 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "kdtree-classic")
+	if n2 := kdc.RangeCount(box); n1 != n2 {
+		t.Fatalf("kd range counts differ: %d vs %d", n1, n2)
+	}
+	sahEng := NewEngine(WithSAH(true))
+	kdSAH, rep, err := sahEng.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "kdtree")
+	if n3 := kdSAH.RangeCount(box); n1 != n3 {
+		t.Fatalf("SAH kd range count differs: %d vs %d", n1, n3)
+	}
+	forest := eng.NewKDForest(2)
+	for _, it := range items[:400] {
+		if err := forest.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if forest.Len() != 400 {
+		t.Fatal("forest size wrong")
+	}
+	single := eng.NewKDSingleTree(kd)
+	if err := single.Insert(KDItem{P: KPoint{0.1, 0.9}, ID: 99999}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interval tree, both constructions.
+	givs := gen.UniformIntervals(1200, 0.05, 5)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, rep, err := eng.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "interval")
+	stab := it.StabCount(0.5)
+	if stab == 0 {
+		t.Fatal("no stabbing results at 0.5 (unlikely)")
+	}
+	itc, rep, err := eng.NewIntervalTreeClassic(ctx, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "interval-classic")
+	if itc.StabCount(0.5) != stab {
+		t.Fatal("classic interval tree disagrees on stab count")
+	}
+
+	// Priority search tree, both constructions.
+	ppts := make([]PSTPoint, 1200)
+	xs, ys := gen.UniformFloats(1200, 6), gen.UniformFloats(1200, 7)
+	for i := range ppts {
+		ppts[i] = PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	pt, rep, err := eng.NewPriorityTree(ctx, ppts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "pst")
+	c3 := pt.Count3Sided(0.25, 0.75, 0.1)
+	ptc, rep, err := eng.NewPriorityTreeClassic(ctx, ppts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "pst-classic")
+	if ptc.Count3Sided(0.25, 0.75, 0.1) != c3 {
+		t.Fatal("classic PST disagrees on 3-sided count")
+	}
+
+	// Range tree.
+	rpts := make([]RTPoint, 1200)
+	for i := range rpts {
+		rpts[i] = RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	rt, rep, err := eng.NewRangeTree(ctx, rpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, "rangetree")
+	if rt.Count(0.1, 0.9, 0.1, 0.9) == 0 {
+		t.Fatal("range tree counted nothing in a large window")
+	}
+}
+
+// TestEngineSharedMeterAndLedger checks that WithMeter and WithLedger
+// accumulate across calls while per-call reports stay disjoint.
+func TestEngineSharedMeterAndLedger(t *testing.T) {
+	ctx := context.Background()
+	m := NewMeter()
+	led := NewLedger(m)
+	eng := NewEngine(WithMeter(m), WithLedger(led))
+
+	keys := gen.UniformFloats(2000, 9)
+	_, rep1, err := eng.Sort(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := m.Snapshot()
+	_, rep2, err := eng.Sort(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot(); got.Reads != after1.Reads+rep2.Total.Reads || got.Writes != after1.Writes+rep2.Total.Writes {
+		t.Fatal("shared meter did not accumulate across calls")
+	}
+	if rep1.Total != rep2.Total {
+		t.Fatalf("identical runs reported different totals: %v vs %v", rep1.Total, rep2.Total)
+	}
+	if len(led.Phases()) != len(rep1.Phases)+len(rep2.Phases) {
+		t.Fatal("shared ledger did not accumulate both calls' phases")
+	}
+}
+
+// TestEngineParallelismSequential checks WithParallelism(1) still produces
+// correct results (the fork budget is restored afterwards).
+func TestEngineParallelismSequential(t *testing.T) {
+	eng := NewEngine(WithParallelism(1), WithSeed(11))
+	pts := eng.ShufflePoints(gen.UniformPoints(800, 12))
+	tri, _, err := eng.Triangulate(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCancellation verifies that a cancelled context aborts a large
+// Triangulate promptly: the full build takes several seconds, the
+// cancelled one must give up within one round of the deadline.
+func TestEngineCancellation(t *testing.T) {
+	eng := NewEngine(WithSeed(7))
+	pts := eng.ShufflePoints(gen.UniformPoints(120000, 13))
+
+	// Pre-cancelled context: nothing substantial may run.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	tri, _, err := eng.Triangulate(cancelled, pts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Triangulate: err = %v, want context.Canceled", err)
+	}
+	if tri != nil {
+		t.Fatal("pre-cancelled Triangulate returned a triangulation")
+	}
+
+	// Deadline mid-run: the full 120k build takes seconds; the cancelled
+	// run must return well before that.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, _, err = eng.Triangulate(ctx, pts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline Triangulate: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2500*time.Millisecond {
+		t.Fatalf("cancellation was not prompt: took %v after a 25ms deadline", elapsed)
+	}
+
+	// Classic variant and the sort poll cancellation too.
+	if _, _, err := eng.TriangulateClassic(cancelled, pts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled TriangulateClassic: err = %v", err)
+	}
+	if _, _, err := eng.Sort(cancelled, gen.UniformFloats(50000, 14)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Sort: err = %v", err)
+	}
+	kpts := gen.UniformKPoints(2000, 2, 15)
+	items := make([]KDItem, len(kpts))
+	for i := range items {
+		items[i] = KDItem{P: kpts[i], ID: int32(i)}
+	}
+	if _, _, err := eng.BuildKDTree(cancelled, 2, items); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled BuildKDTree: err = %v", err)
+	}
+}
+
+// TestShufflePointsDeterministic checks that a fixed seed yields a fixed
+// permutation and that the shuffle leaves its input untouched.
+func TestShufflePointsDeterministic(t *testing.T) {
+	pts := gen.UniformPoints(500, 21)
+	orig := append([]Point{}, pts...)
+	a := ShufflePoints(pts, 42)
+	b := ShufflePoints(pts, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("ShufflePoints mutated its input")
+		}
+	}
+	c := ShufflePoints(pts, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same permutation (astronomically unlikely)")
+	}
+	// The engine path uses the engine's seed.
+	d := NewEngine(WithSeed(42)).ShufflePoints(pts)
+	for i := range a {
+		if a[i] != d[i] {
+			t.Fatal("engine shuffle with equal seed differs from ShufflePoints")
+		}
+	}
+}
+
+// TestShufflePointsUniform checks that the Fisher–Yates shuffle reaches
+// all 3! = 6 permutations of 3 points across seeds, with roughly uniform
+// frequencies — the property the old swap-by-Perm loop violated.
+func TestShufflePointsUniform(t *testing.T) {
+	pts := []Point{{X: 0}, {X: 1}, {X: 2}}
+	const trials = 6000
+	counts := map[string]int{}
+	for seed := uint64(0); seed < trials; seed++ {
+		out := ShufflePoints(pts, seed)
+		key := fmt.Sprintf("%.0f%.0f%.0f", out[0].X, out[1].X, out[2].X)
+		counts[key]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d permutations of 3 points, want all 6: %v", len(counts), counts)
+	}
+	want := float64(trials) / 6
+	for perm, c := range counts {
+		if float64(c) < 0.8*want || float64(c) > 1.2*want {
+			t.Fatalf("permutation %s occurred %d times, want ≈%.0f (non-uniform)", perm, c, want)
+		}
+	}
+}

@@ -1,14 +1,17 @@
 // Terrain interpolation with the write-efficient Delaunay triangulation:
-// sample a synthetic height field at scattered points, triangulate, and
-// answer height queries by barycentric interpolation within the containing
-// triangle — the classic motivating workload for planar DT.
+// sample a synthetic height field at scattered points, triangulate through
+// the Engine API, and answer height queries by barycentric interpolation
+// within the containing triangle — the classic motivating workload for
+// planar DT.
 //
 //	go run ./examples/delaunay-terrain
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	wegeom "repro"
 	"repro/internal/gen"
@@ -25,21 +28,23 @@ func height(p geom.Point) float64 {
 
 func main() {
 	const n = 20000
-	pts := wegeom.ShufflePoints(gen.UniformPoints(n, 42), 7)
+	eng := wegeom.NewEngine(wegeom.WithSeed(7), wegeom.WithOmega(10))
+	pts := eng.ShufflePoints(gen.UniformPoints(n, 42))
 	heights := make([]float64, n)
 	for i, p := range pts {
 		heights[i] = height(p)
 	}
 
-	m := wegeom.NewMeter()
-	tri, err := wegeom.Triangulate(pts, m)
+	tri, rep, err := eng.Triangulate(context.Background(), pts)
 	if err != nil {
 		panic(err)
 	}
 	tris := tri.Triangles()
-	fmt.Printf("triangulated %d samples into %d triangles\n", n, len(tris))
-	fmt.Printf("model cost: %d reads, %d writes (%.2f writes/point)\n",
-		m.Reads(), m.Writes(), float64(m.Writes())/float64(n))
+	fmt.Printf("triangulated %d samples into %d triangles in %s\n",
+		n, len(tris), rep.Wall.Round(time.Millisecond))
+	fmt.Printf("model cost: %d reads, %d writes (%.2f writes/point), work(ω=%d)=%d\n",
+		rep.Total.Reads, rep.Total.Writes, float64(rep.Total.Writes)/float64(n),
+		rep.Omega, rep.Work())
 	fmt.Printf("dependence-DAG depth: %d (O(log n) per the paper)\n\n", tri.Stats.MaxDAGDepth)
 
 	// Interpolate on a coarse grid and report the max error against the

@@ -2,12 +2,14 @@
 // meeting time ranges, answer "how many meetings are live at time t", and
 // absorb schedule churn (adds/cancellations) with the write trade-off of
 // §7.3 — fewer balance-metadata writes for larger α at the price of extra
-// reads.
+// reads. Each α variant runs on its own Engine; churn costs come from
+// snapshots of the engine's meter.
 //
 //	go run ./examples/interval-scheduler
 package main
 
 import (
+	"context"
 	"fmt"
 
 	wegeom "repro"
@@ -17,6 +19,7 @@ import (
 
 func main() {
 	const n = 40000
+	ctx := context.Background()
 	base := convert(gen.UniformIntervals(n, 0.002, 1)) // short meetings over a day [0,1)
 
 	fmt.Println("interval-scheduler: write cost of schedule churn vs alpha")
@@ -28,13 +31,13 @@ func main() {
 		churn[i].ID += 1_000_000
 	}
 	for _, alpha := range []int{0, 2, 8, 32} {
-		m := wegeom.NewMeter()
-		tree, err := wegeom.NewIntervalTree(base, alpha, m)
+		eng := wegeom.NewEngine(wegeom.WithAlpha(alpha))
+		tree, _, err := eng.NewIntervalTree(ctx, base)
 		if err != nil {
 			panic(err)
 		}
 		r := parallel.NewRNG(2) // same deletions for every alpha
-		start := m.Snapshot()
+		start := eng.Meter().Snapshot()
 		// Churn: add all reminders, cancel a random half of them.
 		for _, iv := range churn {
 			if err := tree.Insert(iv); err != nil {
@@ -46,7 +49,7 @@ func main() {
 				tree.Delete(iv)
 			}
 		}
-		cost := m.Snapshot().Sub(start)
+		cost := eng.Meter().Snapshot().Sub(start)
 		label := fmt.Sprintf("%d", alpha)
 		if alpha == 0 {
 			label = "classic"
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	// Bulk load (§7.3.5): merge a whole new calendar at once.
-	tree, err := wegeom.NewIntervalTree(base, 8, nil)
+	tree, _, err := wegeom.NewEngine(wegeom.WithAlpha(8)).NewIntervalTree(ctx, base)
 	if err != nil {
 		panic(err)
 	}

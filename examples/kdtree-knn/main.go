@@ -1,18 +1,19 @@
 // Nearest-neighbour search over a streaming point set with the §6.2
 // dynamic k-d structures: the logarithmic-reconstruction forest absorbs
 // insertions while answering (1+ε)-approximate nearest-neighbour queries,
-// and deletions tombstone with periodic rebuilds.
+// and deletions tombstone with periodic rebuilds. Everything runs through
+// one Engine, whose Report profiles the static build.
 //
 //	go run ./examples/kdtree-knn
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	wegeom "repro"
 	"repro/internal/gen"
-	"repro/internal/kdtree"
 	"repro/internal/parallel"
 )
 
@@ -20,23 +21,23 @@ func main() {
 	const dims = 3
 	const initial = 30000
 	const streamed = 10000
+	eng := wegeom.NewEngine(wegeom.WithSeed(3))
 
-	// Static bulk: p-batched construction over clustered data.
+	// Static bulk: p-batched construction over uniform data.
 	base := gen.UniformKPoints(initial, dims, 1)
 	items := make([]wegeom.KDItem, initial)
 	for i := range items {
 		items[i] = wegeom.KDItem{P: base[i], ID: int32(i)}
 	}
-	m := wegeom.NewMeter()
-	tree, err := wegeom.BuildKDTree(dims, items, m)
+	tree, rep, err := eng.BuildKDTree(context.Background(), dims, items)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("static build: %d points, height %d, %.2f writes/point\n",
-		initial, tree.Stats().Height, float64(m.Writes())/float64(initial))
+		initial, tree.Stats().Height, float64(rep.Total.Writes)/float64(initial))
 
 	// Streaming: forest of p-batched trees.
-	forest := wegeom.NewKDForest(dims, nil)
+	forest := eng.NewKDForest(dims)
 	stream := gen.UniformKPoints(streamed, dims, 2)
 	for i, p := range stream {
 		if err := forest.Insert(wegeom.KDItem{P: p, ID: int32(initial + i)}); err != nil {
@@ -97,7 +98,7 @@ func main() {
 
 	// Single-tree scheme: adversarial sorted inserts stay balanced via
 	// rebuild-based rebalancing.
-	st := kdtree.NewSingleTree(tree, kdtree.BalanceForRange)
+	st := eng.NewKDSingleTree(tree)
 	for i := 0; i < 5000; i++ {
 		x := float64(i) / 5000
 		p := make(wegeom.KPoint, dims)

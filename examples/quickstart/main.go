@@ -1,10 +1,12 @@
-// Quickstart: one tour through every structure in the library, with the
-// asymmetric-memory cost meter showing the write savings the paper proves.
+// Quickstart: one tour through every structure in the library via the
+// Engine API, with the asymmetric-memory cost reports showing the write
+// savings the paper proves.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	wegeom "repro"
@@ -14,26 +16,34 @@ import (
 func main() {
 	const n = 50000
 	const omega = 10 // projected NVM write/read cost ratio (paper: 5–40)
+	ctx := context.Background()
 
+	// One Engine runs every algorithm under one configuration: ω for work
+	// reporting, α for the augmented trees, a seed for shuffles, and a
+	// shared meter behind the per-call Reports.
+	eng := wegeom.NewEngine(
+		wegeom.WithOmega(omega),
+		wegeom.WithAlpha(8),
+		wegeom.WithSeed(3),
+	)
 	fmt.Printf("wegeom quickstart — n=%d, omega=%d\n\n", n, omega)
 
 	// 1. Write-efficient sorting (§4).
 	keys := gen.UniformFloats(n, 1)
-	m := wegeom.NewMeter()
-	wegeom.Sort(keys, m)
+	_, rep, err := eng.Sort(ctx, keys)
+	must(err)
 	fmt.Printf("sort:       reads=%-10d writes=%-9d work(ω)=%d\n",
-		m.Reads(), m.Writes(), m.Work(omega))
+		rep.Total.Reads, rep.Total.Writes, rep.Work())
 
 	// 2. Delaunay triangulation (§5): write-efficient vs plain.
-	pts := wegeom.ShufflePoints(gen.UniformPoints(n/5, 2), 3)
-	mWE, mPlain := wegeom.NewMeter(), wegeom.NewMeter()
-	we, err := wegeom.Triangulate(pts, mWE)
+	pts := eng.ShufflePoints(gen.UniformPoints(n/5, 2))
+	we, repWE, err := eng.Triangulate(ctx, pts)
 	must(err)
-	_, err = wegeom.TriangulateClassic(pts, mPlain)
+	_, repPlain, err := eng.TriangulateClassic(ctx, pts)
 	must(err)
 	fmt.Printf("delaunay:   %d triangles; writes %d (write-efficient) vs %d (plain) — %.1fx fewer\n",
-		len(we.Triangles()), mWE.Writes(), mPlain.Writes(),
-		float64(mPlain.Writes())/float64(mWE.Writes()))
+		len(we.Triangles()), repWE.Total.Writes, repPlain.Total.Writes,
+		float64(repPlain.Total.Writes)/float64(repWE.Total.Writes))
 
 	// 3. k-d tree (§6): p-batched vs classic construction.
 	kpts := gen.UniformKPoints(n/2, 2, 4)
@@ -41,26 +51,28 @@ func main() {
 	for i := range items {
 		items[i] = wegeom.KDItem{P: kpts[i], ID: int32(i)}
 	}
-	mP, mC := wegeom.NewMeter(), wegeom.NewMeter()
-	kd, err := wegeom.BuildKDTree(2, items, mP)
+	kd, repP, err := eng.BuildKDTree(ctx, 2, items)
 	must(err)
-	_, err = wegeom.BuildKDTreeClassic(2, items, mC)
+	_, repC, err := eng.BuildKDTreeClassic(ctx, 2, items)
 	must(err)
 	fmt.Printf("k-d tree:   height=%d; writes %d (p-batched) vs %d (classic) — %.1fx fewer\n",
-		kd.Stats().Height, mP.Writes(), mC.Writes(),
-		float64(mC.Writes())/float64(mP.Writes()))
+		kd.Stats().Height, repP.Total.Writes, repC.Total.Writes,
+		float64(repC.Total.Writes)/float64(repP.Total.Writes))
 	nn, _ := kd.ANN(wegeom.KPoint{0.5, 0.5}, 0.1)
 	fmt.Printf("            1.1-approx NN of (0.5,0.5): (%.3f, %.3f)\n", nn.P[0], nn.P[1])
 
-	// 4. Interval tree (§7): stabbing queries.
+	// 4. Interval tree (§7): stabbing queries, with the per-phase report.
 	givs := gen.UniformIntervals(n/5, 0.01, 5)
 	ivs := make([]wegeom.Interval, len(givs))
 	for i, iv := range givs {
 		ivs[i] = wegeom.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
 	}
-	it, err := wegeom.NewIntervalTree(ivs, 8, nil)
+	it, repIv, err := eng.NewIntervalTree(ctx, ivs)
 	must(err)
-	fmt.Printf("intervals:  %d intervals contain x=0.5\n", it.StabCount(0.5))
+	fmt.Printf("intervals:  %d intervals contain x=0.5; construction phases:\n", it.StabCount(0.5))
+	for name, cost := range repIv.PhaseTotals() {
+		fmt.Printf("            %-14s %s\n", name, cost)
+	}
 
 	// 5. Priority search tree: 3-sided query.
 	ppts := make([]wegeom.PSTPoint, n/5)
@@ -68,7 +80,8 @@ func main() {
 	for i := range ppts {
 		ppts[i] = wegeom.PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
 	}
-	pt := wegeom.NewPriorityTree(ppts, 8, nil)
+	pt, _, err := eng.NewPriorityTree(ctx, ppts)
+	must(err)
 	fmt.Printf("pst:        %d points with x∈[0.25,0.75], priority ≥ 0.05\n",
 		pt.Count3Sided(0.25, 0.75, 0.05))
 
@@ -77,7 +90,8 @@ func main() {
 	for i := range rpts {
 		rpts[i] = wegeom.RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
 	}
-	rt := wegeom.NewRangeTree(rpts, 8, nil)
+	rt, _, err := eng.NewRangeTree(ctx, rpts)
+	must(err)
 	fmt.Printf("range tree: %d points in [0.1,0.4]×[0.01,0.5]\n",
 		rt.Count(0.1, 0.4, 0.01, 0.5))
 }

@@ -1,12 +1,15 @@
 // Order-book analytics on the α-labeled 2D range tree: points are
 // (time, price) trade events; range queries count trades in a time×price
 // window; the priority search tree answers "largest trades in a time
-// window" as a 3-sided query.
+// window" as a 3-sided query. Every structure is built by one Engine at
+// α = 8; the single-vs-bulk comparison uses one engine per variant so
+// their meters stay independent.
 //
 //	go run ./examples/rangetree-analytics
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,7 +19,9 @@ import (
 
 func main() {
 	const n = 30000
+	ctx := context.Background()
 	r := parallel.NewRNG(1)
+	eng := wegeom.NewEngine(wegeom.WithAlpha(8))
 
 	// Synthetic trades: time uniform in [0,1), price a mean-reverting walk,
 	// size heavy-tailed.
@@ -31,10 +36,12 @@ func main() {
 		sizes[i] = wegeom.PSTPoint{X: tm, Y: size, ID: int32(i)}
 	}
 
-	m := wegeom.NewMeter()
-	rt := wegeom.NewRangeTree(trades, 8, m)
+	rt, rep, err := eng.NewRangeTree(ctx, trades)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("range tree over %d trades: %.2f writes/point at construction\n",
-		n, float64(m.Writes())/float64(n))
+		n, float64(rep.Total.Writes)/float64(n))
 
 	// Window queries.
 	for _, w := range [][4]float64{
@@ -47,7 +54,10 @@ func main() {
 	}
 
 	// Largest trades in the morning session: 3-sided query on the PST.
-	pt := wegeom.NewPriorityTree(sizes, 8, nil)
+	pt, _, err := eng.NewPriorityTree(ctx, sizes)
+	if err != nil {
+		panic(err)
+	}
 	big := 0
 	pt.Query3Sided(0, 0.5, 10, func(p wegeom.PSTPoint) bool {
 		big++
@@ -60,19 +70,25 @@ func main() {
 	for i := range batch {
 		batch[i] = wegeom.RTPoint{X: r.Float64(), Y: 95 + 10*r.Float64(), ID: int32(n + i)}
 	}
-	ms := wegeom.NewMeter()
-	single := wegeom.NewRangeTree(trades, 8, ms)
-	before := ms.Snapshot()
+	engS := wegeom.NewEngine(wegeom.WithAlpha(8))
+	single, _, err := engS.NewRangeTree(ctx, trades)
+	if err != nil {
+		panic(err)
+	}
+	before := engS.Meter().Snapshot()
 	for _, tr := range batch {
 		single.Insert(tr)
 	}
-	singleCost := ms.Snapshot().Sub(before)
+	singleCost := engS.Meter().Snapshot().Sub(before)
 
-	mb := wegeom.NewMeter()
-	bulkTree := wegeom.NewRangeTree(trades, 8, mb)
-	before = mb.Snapshot()
+	engB := wegeom.NewEngine(wegeom.WithAlpha(8))
+	bulkTree, _, err := engB.NewRangeTree(ctx, trades)
+	if err != nil {
+		panic(err)
+	}
+	before = engB.Meter().Snapshot()
 	bulkTree.BulkInsert(batch)
-	bulkCost := mb.Snapshot().Sub(before)
+	bulkCost := engB.Meter().Snapshot().Sub(before)
 	fmt.Printf("loading %d new trades: %.2f writes/pt one-by-one vs %.2f writes/pt bulk\n",
 		len(batch), float64(singleCost.Writes)/float64(len(batch)),
 		float64(bulkCost.Writes)/float64(len(batch)))

@@ -1,0 +1,97 @@
+// Package config defines the single configuration struct shared by every
+// algorithm package in this module. The public Engine (package repro, files
+// engine.go / options.go) assembles a Config from functional options and
+// hands the same value to each builder — internal/wesort, internal/delaunay,
+// internal/kdtree, internal/interval, internal/pst and internal/rangetree —
+// replacing the per-package Options shapes those builders used to define.
+//
+// A Config carries three kinds of state:
+//
+//   - Instrumentation: the asymmetric-memory Meter the run charges and an
+//     optional Ledger that attributes the charges to named phases.
+//   - Algorithm knobs: ω, α-labeling, the k-d buffer size p, SAH splitting,
+//     the sort round cap, leaf size, parallelism and the RNG seed.
+//   - Control: an Interrupt hook the Engine wires to context cancellation;
+//     builders poll it at round boundaries and abandon the run when it
+//     reports an error.
+//
+// The zero Config is valid: nil meter (uncharged), no ledger, no interrupt,
+// every knob at its package default.
+package config
+
+import "repro/internal/asymmem"
+
+// DefaultOmega is the write/read cost ratio assumed when a caller does not
+// choose one. The paper evaluates ω between 5 and 40 for projected NVM; 10
+// sits in the middle of that band.
+const DefaultOmega = 10
+
+// DefaultAlpha is the α-labeling parameter used when a caller does not
+// choose one: small enough that query reads stay cheap, large enough that
+// the balance-metadata write saving of Theorem 7.4 is visible.
+const DefaultAlpha = 8
+
+// Config is the unified option set consumed by every builder.
+type Config struct {
+	// Meter is charged with every simulated large-memory access. Nil
+	// disables instrumentation (all charges no-op).
+	Meter *asymmem.Meter
+	// Ledger, when non-nil, records named phases of the run (it must be
+	// backed by Meter for the phase costs to be meaningful).
+	Ledger *asymmem.Ledger
+	// Omega is the write/read cost ratio used when reporting work. It does
+	// not change any algorithm's behaviour, only the Work aggregation.
+	Omega int64
+	// Parallelism caps the fork-join runtime: 0 keeps the runtime default,
+	// 1 forces sequential execution, p > 1 allows roughly p-way forking.
+	Parallelism int
+	// Seed drives the Engine's deterministic shuffles (and any future
+	// randomized choice routed through the Config).
+	Seed uint64
+	// Alpha is the α-labeling parameter of §7.3 for the augmented trees:
+	// 0 or 1 selects classic behaviour, ≥ 2 the Theorem 7.4 trade-off.
+	Alpha int
+	// SAH selects surface-area-heuristic splitters for k-d construction
+	// (the §6.3 extension) instead of cycling-axis exact medians.
+	SAH bool
+	// PBatch is the k-d leaf buffer capacity p of §6.1; 0 selects the
+	// paper's range-query setting p = log³n.
+	PBatch int
+	// LeafSize is the maximum k-d leaf occupancy after construction;
+	// 0 selects the package default (8).
+	LeafSize int
+	// CapRounds enables the Theorem 4.1 round cap in the incremental sort.
+	CapRounds bool
+	// RoundCapC is the round-cap constant c3 (default 4).
+	RoundCapC int
+	// Interrupt, when non-nil, is polled by builders at round boundaries;
+	// a non-nil result aborts the run with that error. The Engine wires it
+	// to ctx.Err.
+	Interrupt func() error
+}
+
+// Check polls the interrupt hook; builders call it at round boundaries.
+func (c Config) Check() error {
+	if c.Interrupt == nil {
+		return nil
+	}
+	return c.Interrupt()
+}
+
+// Phase runs f, attributing its meter charges to a named phase when a
+// ledger is configured; without one it just runs f.
+func (c Config) Phase(name string, f func()) {
+	if c.Ledger == nil {
+		f()
+		return
+	}
+	c.Ledger.Phase(name, f)
+}
+
+// PhaseErr is Phase for steps that can fail: the phase is recorded either
+// way, and f's error is returned.
+func (c Config) PhaseErr(name string, f func() error) error {
+	var err error
+	c.Phase(name, func() { err = f() })
+	return err
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/geom"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
@@ -83,9 +84,10 @@ type Triangulation struct {
 	Tris  []Tri
 	Stats Stats
 
-	owner map[uint64]int32 // directed edge (a,b) -> triangle id
-	meter *asymmem.Meter
-	debug func(round int, msg string) // optional round tracer for tests
+	owner     map[uint64]int32 // directed edge (a,b) -> triangle id
+	meter     *asymmem.Meter
+	interrupt func() error                // optional cancellation hook, polled per round
+	debug     func(round int, msg string) // optional round tracer for tests
 }
 
 func edgeKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
@@ -180,9 +182,17 @@ type pending struct {
 
 // runRounds executes Algorithm 2 until no alive triangle has encroachers.
 // active is the initial worklist (ids of alive triangles with non-empty E).
-func (t *Triangulation) runRounds(active []int32) {
+// The interrupt hook, when set, is polled once per synchronous round so a
+// cancelled run stops within one round's work.
+func (t *Triangulation) runRounds(active []int32) error {
 	var tests atomic.Int64
 	for len(active) > 0 {
+		if t.interrupt != nil {
+			if err := t.interrupt(); err != nil {
+				t.Stats.InCircleTests += tests.Load()
+				return err
+			}
+		}
 		t.Stats.Rounds++
 
 		// Phase 1 (parallel): decide which triangles fire. A triangle fires
@@ -293,18 +303,29 @@ func (t *Triangulation) runRounds(active []int32) {
 		active = next
 	}
 	t.Stats.InCircleTests += tests.Load()
+	return nil
 }
 
 // Triangulate runs the plain BGSS algorithm (Algorithm 2) over all points
 // in input (priority) order. Expected Θ(n log n) reads AND writes.
 func Triangulate(pts []geom.Point, m *asymmem.Meter) (*Triangulation, error) {
-	t := newTriangulation(pts, m)
-	if err := t.seed(len(pts)); err != nil {
+	return TriangulateClassicConfig(pts, config.Config{Meter: m})
+}
+
+// TriangulateClassicConfig is Triangulate under the module-wide Config:
+// it charges cfg.Meter, records the run as a "delaunay/rounds" phase, and
+// aborts between synchronous rounds when cfg.Interrupt fires.
+func TriangulateClassicConfig(pts []geom.Point, cfg config.Config) (*Triangulation, error) {
+	t := newTriangulation(pts, cfg.Meter)
+	t.interrupt = cfg.Interrupt
+	if err := cfg.PhaseErr("delaunay/seed", func() error { return t.seed(len(pts)) }); err != nil {
 		return nil, err
 	}
 	t.Stats.Batches = 1
 	if len(pts) > 0 {
-		t.runRounds([]int32{0})
+		if err := cfg.PhaseErr("delaunay/rounds", func() error { return t.runRounds([]int32{0}) }); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -342,8 +363,17 @@ func (t *Triangulation) seed(m int) error {
 // TriangulateWriteEfficient runs the prefix-doubling, DAG-tracing variant
 // (Theorem 5.1). Expected O(n log n) reads, O(n) writes.
 func TriangulateWriteEfficient(pts []geom.Point, m *asymmem.Meter) (*Triangulation, error) {
+	return TriangulateConfig(pts, config.Config{Meter: m})
+}
+
+// TriangulateConfig is TriangulateWriteEfficient under the module-wide
+// Config: it charges cfg.Meter, records "delaunay/initial",
+// "delaunay/locate" and "delaunay/insert" phases in cfg.Ledger, and aborts
+// between synchronous rounds when cfg.Interrupt fires.
+func TriangulateConfig(pts []geom.Point, cfg config.Config) (*Triangulation, error) {
 	n := len(pts)
-	t := newTriangulation(pts, m)
+	t := newTriangulation(pts, cfg.Meter)
+	t.interrupt = cfg.Interrupt
 	if n == 0 {
 		if err := t.seed(0); err != nil {
 			return nil, err
@@ -354,13 +384,22 @@ func TriangulateWriteEfficient(pts []geom.Point, m *asymmem.Meter) (*Triangulati
 	t.Stats.Batches = len(rounds)
 
 	// Initial batch: plain Algorithm 2 over the first n/log²n points.
-	if err := t.seed(rounds[0].End); err != nil {
+	if err := cfg.PhaseErr("delaunay/initial", func() error {
+		if err := t.seed(rounds[0].End); err != nil {
+			return err
+		}
+		return t.runRounds([]int32{0})
+	}); err != nil {
 		return nil, err
 	}
-	t.runRounds([]int32{0})
 
 	for _, r := range rounds[1:] {
-		if err := t.locateAndFill(r.Start, r.End); err != nil {
+		if err := cfg.Check(); err != nil {
+			return nil, err
+		}
+		if err := cfg.PhaseErr("delaunay/locate", func() error {
+			return t.locateAndFill(r.Start, r.End)
+		}); err != nil {
 			return nil, err
 		}
 		// Gather alive triangles with non-empty E as the new worklist.
@@ -370,7 +409,11 @@ func TriangulateWriteEfficient(pts []geom.Point, m *asymmem.Meter) (*Triangulati
 				active = append(active, int32(id))
 			}
 		}
-		t.runRounds(active)
+		if err := cfg.PhaseErr("delaunay/insert", func() error {
+			return t.runRounds(active)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/lca"
 	"repro/internal/parallel"
 	"repro/internal/radixsort"
@@ -114,15 +115,50 @@ type endpoint struct {
 // the tree with the post-sorted algorithm. Total O(ωn + n log n) work when
 // the caller uses the write-efficient sort accounting (see sortEndpoints).
 func Build(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
+	return BuildConfig(ivs, config.Config{Alpha: opts.Alpha, Meter: m})
+}
+
+// BuildConfig is the module-wide Config entry point: the post-sorted
+// linear-write construction with α = cfg.Alpha, charging cfg.Meter and
+// recording "interval/sort", "interval/build" and "interval/label" phases
+// in cfg.Ledger. cfg.Interrupt is polled between phases.
+func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := validate(ivs); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: opts, meter: m}
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
 	eps := gatherEndpoints(ivs)
-	t.sortEndpoints(eps, ivs)
-	t.root = t.buildPostSorted(eps, ivs)
+	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	cfg.Phase("interval/build", func() { t.root = t.buildPostSorted(eps, ivs) })
 	t.live = len(ivs)
-	t.finishLabels()
+	cfg.Phase("interval/label", func() { t.finishLabels() })
+	return t, nil
+}
+
+// BuildClassicConfig is BuildClassic (level-by-level copying, Θ(ωn log n)
+// work) under the module-wide Config.
+func BuildClassicConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
+	if err := validate(ivs); err != nil {
+		return nil, err
+	}
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	eps := gatherEndpoints(ivs)
+	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	cfg.Phase("interval/build", func() { t.root = t.buildClassicRec(eps, ivs) })
+	t.live = len(ivs)
+	cfg.Phase("interval/label", func() { t.finishLabels() })
 	return t, nil
 }
 
@@ -130,16 +166,7 @@ func Build(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
 // that partitions and copies the intervals level by level — the Θ(ωn log n)
 // baseline of Table 1.
 func BuildClassic(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
-	if err := validate(ivs); err != nil {
-		return nil, err
-	}
-	t := &Tree{opts: opts, meter: m}
-	eps := gatherEndpoints(ivs)
-	t.sortEndpoints(eps, ivs)
-	t.root = t.buildClassicRec(eps, ivs)
-	t.live = len(ivs)
-	t.finishLabels()
-	return t, nil
+	return BuildClassicConfig(ivs, config.Config{Alpha: opts.Alpha, Meter: m})
 }
 
 func validate(ivs []Interval) error {

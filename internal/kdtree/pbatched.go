@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
 	"repro/internal/semisort"
@@ -41,9 +42,60 @@ func (o PBatchedOptions) EffectiveP(n int) int {
 // builder. O(n) writes whp (Theorem 6.1); tree height log₂n + O(1) whp for
 // p = Ω(log³n) (Lemma 6.2).
 func BuildPBatched(dims int, items []Item, opts PBatchedOptions, m *asymmem.Meter) (*Tree, error) {
+	return buildPBatched(dims, items, opts, config.Config{Meter: m})
+}
+
+// BuildConfig is the module-wide Config entry point for k-d construction:
+// the p-batched incremental builder with p = cfg.PBatch (0 selecting the
+// paper's log³n), leaf size cfg.LeafSize, and cfg.SAH choosing between
+// exact-median and surface-area-heuristic splitters. It charges cfg.Meter,
+// records "kdtree/initial", "kdtree/locate", "kdtree/settle" and
+// "kdtree/finish" phases in cfg.Ledger, and aborts between doubling rounds
+// when cfg.Interrupt fires.
+func BuildConfig(dims int, items []Item, cfg config.Config) (*Tree, error) {
+	opts := PBatchedOptions{
+		Options: Options{LeafSize: cfg.LeafSize, SAH: cfg.SAH},
+		P:       cfg.PBatch,
+	}
+	return buildPBatched(dims, items, opts, cfg)
+}
+
+// BuildClassicConfig is BuildClassic (exact-median, Θ(n log n) writes)
+// under the module-wide Config, recorded as one "kdtree/classic" phase.
+func BuildClassicConfig(dims int, items []Item, cfg config.Config) (*Tree, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	var t *Tree
+	err := cfg.PhaseErr("kdtree/classic", func() error {
+		var err error
+		t, err = BuildClassic(dims, items, Options{LeafSize: cfg.LeafSize, SAH: cfg.SAH}, cfg.Meter)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewForestConfig returns an empty §6.2 dynamic forest whose rebuilds use
+// the Config's p-batched settings and charge its meter.
+func NewForestConfig(dims int, cfg config.Config) *Forest {
+	opts := PBatchedOptions{
+		Options: Options{LeafSize: cfg.LeafSize, SAH: cfg.SAH},
+		P:       cfg.PBatch,
+	}
+	return NewForest(dims, opts, cfg.Meter)
+}
+
+func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Config) (*Tree, error) {
 	if err := validate(dims, items); err != nil {
 		return nil, err
 	}
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	m := cfg.Meter
 	n := len(items)
 	t := newTree(dims, opts.Options, m)
 	if n == 0 {
@@ -57,59 +109,69 @@ func BuildPBatched(dims int, items []Item, opts PBatchedOptions, m *asymmem.Mete
 	// the median of at least p randomly-ordered objects — the property
 	// Lemma 6.2's Chernoff argument needs. The p-sized leaves then act as
 	// buffers for the doubling rounds.
-	buf := make([]Item, rounds[0].Size())
-	copy(buf, items[:rounds[0].Size()])
-	m.WriteN(len(buf))
-	savedLeaf := t.leafSize
-	if p > savedLeaf {
-		t.leafSize = p
-	}
-	t.root = t.buildMedian(buf, 0)
-	t.leafSize = savedLeaf
-	t.size = n
+	cfg.Phase("kdtree/initial", func() {
+		buf := make([]Item, rounds[0].Size())
+		copy(buf, items[:rounds[0].Size()])
+		m.WriteN(len(buf))
+		savedLeaf := t.leafSize
+		if p > savedLeaf {
+			t.leafSize = p
+		}
+		t.root = t.buildMedian(buf, 0)
+		t.leafSize = savedLeaf
+		t.size = n
+	})
 
 	depthOf := t.computeDepths()
 
 	for _, r := range rounds[1:] {
+		if err := cfg.Check(); err != nil {
+			return nil, err
+		}
 		batch := items[r.Start:r.End]
 		// Step 1: locate (reads only) + semisort by leaf.
-		leaves := make([]*node, len(batch))
-		before := t.meter.Snapshot()
-		parallel.For(len(batch), func(i int) {
-			leaves[i] = t.locate(batch[i].P)
+		var groups []semisort.Group
+		cfg.Phase("kdtree/locate", func() {
+			leaves := make([]*node, len(batch))
+			before := t.meter.Snapshot()
+			parallel.For(len(batch), func(i int) {
+				leaves[i] = t.locate(batch[i].P)
+			})
+			t.stats.LocationReads += t.meter.Snapshot().Sub(before).Reads
+			pairs := make([]semisort.Pair, len(batch))
+			for i := range batch {
+				pairs[i] = semisort.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
+			}
+			groups = semisort.Semisort(pairs, m)
 		})
-		t.stats.LocationReads += t.meter.Snapshot().Sub(before).Reads
-		pairs := make([]semisort.Pair, len(batch))
-		for i := range batch {
-			pairs[i] = semisort.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
-		}
-		groups := semisort.Semisort(pairs, m)
 
-		// Step 2: append to buffers; collect overflowed leaves.
-		var overflowed []*node
-		for _, g := range groups {
-			leaf := t.arena[g.Key]
-			for _, vi := range g.Vals {
-				leaf.items = append(leaf.items, items[vi])
-				leaf.deadMask = append(leaf.deadMask, false)
-				m.Write()
+		cfg.Phase("kdtree/settle", func() {
+			// Step 2: append to buffers; collect overflowed leaves.
+			var overflowed []*node
+			for _, g := range groups {
+				leaf := t.arena[g.Key]
+				for _, vi := range g.Vals {
+					leaf.items = append(leaf.items, items[vi])
+					leaf.deadMask = append(leaf.deadMask, false)
+					m.Write()
+				}
+				if len(leaf.items) > p {
+					overflowed = append(overflowed, leaf)
+				}
 			}
-			if len(leaf.items) > p {
-				overflowed = append(overflowed, leaf)
-			}
-		}
 
-		// Step 3: settle overflowed leaves (possibly cascading, O(1) deep
-		// whp by Lemma 6.3).
-		for _, leaf := range overflowed {
-			t.settle(leaf, depthOf[leaf.id], p, depthOf)
-		}
+			// Step 3: settle overflowed leaves (possibly cascading, O(1)
+			// deep whp by Lemma 6.3).
+			for _, leaf := range overflowed {
+				t.settle(leaf, depthOf[leaf.id], p, depthOf)
+			}
+		})
 	}
 
 	// Final pass: finish leaves larger than leafSize with the classic
 	// builder (the paper's "finishes building the subtree of the tree
 	// nodes with non-empty buffers recursively").
-	t.finishLeaves(t.root, 0)
+	cfg.Phase("kdtree/finish", func() { t.finishLeaves(t.root, 0) })
 	return t, nil
 }
 

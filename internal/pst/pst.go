@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/tournament"
 )
 
@@ -94,13 +95,43 @@ func (t *Tree) Stats() Stats { return t.stats }
 // Build sorts the points by x (charged comparison sort) and runs the
 // post-sorted tournament-tree construction.
 func Build(pts []Point, opts Options, m *asymmem.Meter) *Tree {
-	t := &Tree{opts: opts, meter: m}
-	sorted := append([]Point{}, pts...)
-	t.sortByX(sorted)
-	t.root = t.buildPostSorted(sorted)
-	t.live = len(pts)
-	t.markVirtualRoot()
+	t, _ := BuildConfig(pts, config.Config{Alpha: opts.Alpha, Meter: m})
 	return t
+}
+
+// BuildConfig is the module-wide Config entry point: the tournament-tree
+// post-sorted construction with α = cfg.Alpha, charging cfg.Meter and
+// recording "pst/sort" and "pst/build" phases in cfg.Ledger. cfg.Interrupt
+// is polled between phases.
+func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	sorted := append([]Point{}, pts...)
+	cfg.Phase("pst/sort", func() { t.sortByX(sorted) })
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	cfg.Phase("pst/build", func() {
+		t.root = t.buildPostSorted(sorted)
+		t.live = len(pts)
+		t.markVirtualRoot()
+	})
+	return t, nil
+}
+
+// BuildClassicConfig is BuildClassic (level-by-level partition-and-copy,
+// Θ(ωn log n) work) under the module-wide Config.
+func BuildClassicConfig(pts []Point, cfg config.Config) (*Tree, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	var t *Tree
+	cfg.Phase("pst/classic", func() {
+		t = BuildClassic(pts, Options{Alpha: cfg.Alpha}, cfg.Meter)
+	})
+	return t, nil
 }
 
 // BuildClassic runs the standard recursive construction that partitions

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/parallel"
 	"repro/internal/treap"
 )
@@ -105,14 +106,35 @@ func (t *Tree) Stats() Stats { return t.stats }
 // leaf-oriented outer tree, α-labeling, and the top-down inner-tree
 // construction.
 func Build(pts []Point, opts Options, m *asymmem.Meter) *Tree {
-	t := &Tree{opts: opts, meter: m}
-	sorted := append([]Point{}, pts...)
-	t.sortByX(sorted)
-	t.root = t.buildOuter(sorted)
-	t.live = len(pts)
-	t.label()
-	t.buildInners(sorted)
+	t, _ := BuildConfig(pts, config.Config{Alpha: opts.Alpha, Meter: m})
 	return t
+}
+
+// BuildConfig is the module-wide Config entry point: the post-sorted
+// construction with α = cfg.Alpha (0 or 1 keeping an inner tree at every
+// node), charging cfg.Meter and recording "rangetree/sort",
+// "rangetree/outer" and "rangetree/inners" phases in cfg.Ledger.
+// cfg.Interrupt is polled between phases.
+func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	sorted := append([]Point{}, pts...)
+	cfg.Phase("rangetree/sort", func() { t.sortByX(sorted) })
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	cfg.Phase("rangetree/outer", func() {
+		t.root = t.buildOuter(sorted)
+		t.live = len(pts)
+		t.label()
+	})
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	cfg.Phase("rangetree/inners", func() { t.buildInners(sorted) })
+	return t, nil
 }
 
 func (t *Tree) sortByX(pts []Point) {

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
 	"repro/internal/semisort"
@@ -235,12 +236,27 @@ type Options struct {
 // WriteEfficient builds the tree with the prefix-doubling algorithm of §4.
 // Expected O(n log n + ωn) work: O(n log n) reads, O(n) writes.
 func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stats) {
+	t, st, _ := BuildConfig(keys, config.Config{
+		Meter: m, CapRounds: opts.CapRounds, RoundCapC: opts.RoundCapC,
+	})
+	return t, st
+}
+
+// BuildConfig is the module-wide Config entry point for the write-efficient
+// sort: the prefix-doubling algorithm of §4 charging cfg.Meter, recording
+// "sort/initial", "sort/locate" and "sort/insert" phases in cfg.Ledger, and
+// aborting between doubling rounds when cfg.Interrupt fires.
+func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 	n := len(keys)
-	t := newTree(keys, m)
+	t := newTree(keys, cfg.Meter)
 	var st Stats
 	if n == 0 {
-		return t, st
+		return t, st, nil
 	}
+	if err := cfg.Check(); err != nil {
+		return nil, st, err
+	}
+	opts := Options{CapRounds: cfg.CapRounds, RoundCapC: cfg.RoundCapC}
 	rounds := incremental.Schedule(n, incremental.DefaultInitial(n))
 	st.DoublingRounds = len(rounds)
 
@@ -265,8 +281,10 @@ func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stat
 		elems[i] = int32(i)
 		start[i] = rootSlot
 	}
-	r0 := t.insertRoundBased(elems, start, 0, true)
-	st.WriteAttempts += r0.attempts
+	cfg.Phase("sort/initial", func() {
+		r0 := t.insertRoundBased(elems, start, 0, true)
+		st.WriteAttempts += r0.attempts
+	})
 
 	var (
 		attempts  atomic.Int64
@@ -279,51 +297,60 @@ func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stat
 	)
 
 	for _, rd := range rounds[1:] {
-		batch := rd.Size()
-		// Step 1: locate each element's empty slot (reads only).
-		slots := make([]slot, batch)
-		before := t.meter.Snapshot()
-		parallel.For(batch, func(i int) {
-			slots[i] = t.descend(rootSlot, int32(rd.Start+i))
-		})
-		st.LocationReads += t.meter.Snapshot().Sub(before).Reads
-		t.meter.WriteN(batch) // recording the located positions
-
-		// Step 2: semisort by slot.
-		pairs := make([]semisort.Pair, batch)
-		for i := 0; i < batch; i++ {
-			pairs[i] = semisort.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
+		if err := cfg.Check(); err != nil {
+			return nil, st, err
 		}
-		groups := semisort.Semisort(pairs, t.meter)
+		batch := rd.Size()
+		// Step 1: locate each element's empty slot (reads only), then
+		// step 2: semisort by slot.
+		var groups []semisort.Group
+		cfg.Phase("sort/locate", func() {
+			slots := make([]slot, batch)
+			before := t.meter.Snapshot()
+			parallel.For(batch, func(i int) {
+				slots[i] = t.descend(rootSlot, int32(rd.Start+i))
+			})
+			st.LocationReads += t.meter.Snapshot().Sub(before).Reads
+			t.meter.WriteN(batch) // recording the located positions
+
+			pairs := make([]semisort.Pair, batch)
+			for i := 0; i < batch; i++ {
+				pairs[i] = semisort.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
+			}
+			groups = semisort.Semisort(pairs, t.meter)
+		})
 
 		// Step 3: insert per bucket, in parallel across buckets.
-		parallel.ForGrain(len(groups), 1, func(gi int) {
-			g := groups[gi]
-			s := slotFromKey(g.Key)
-			if poisonedSlot(poisoned, &poisonMu, s) {
-				poisonMu.Lock()
-				postponed = append(postponed, g.Vals...)
-				poisonMu.Unlock()
-				return
-			}
-			sortInt32(g.Vals)
-			parallel.PriorityWriteMax(&bucketMax, int64(len(g.Vals)))
-			starts := make([]slot, len(g.Vals))
-			for i := range starts {
-				starts[i] = s
-			}
-			res := t.insertRoundBased(g.Vals, starts, capRounds, false)
-			attempts.Add(res.attempts)
-			parallel.PriorityWriteMax(&maxRound, res.rounds)
-			if len(res.postponed) > 0 {
-				poisonMu.Lock()
-				postponed = append(postponed, res.postponed...)
-				for _, ps := range res.slots {
-					poisoned[ps.key()] = true
+		insertBuckets := func() {
+			parallel.ForGrain(len(groups), 1, func(gi int) {
+				g := groups[gi]
+				s := slotFromKey(g.Key)
+				if poisonedSlot(poisoned, &poisonMu, s) {
+					poisonMu.Lock()
+					postponed = append(postponed, g.Vals...)
+					poisonMu.Unlock()
+					return
 				}
-				poisonMu.Unlock()
-			}
-		})
+				sortInt32(g.Vals)
+				parallel.PriorityWriteMax(&bucketMax, int64(len(g.Vals)))
+				starts := make([]slot, len(g.Vals))
+				for i := range starts {
+					starts[i] = s
+				}
+				res := t.insertRoundBased(g.Vals, starts, capRounds, false)
+				attempts.Add(res.attempts)
+				parallel.PriorityWriteMax(&maxRound, res.rounds)
+				if len(res.postponed) > 0 {
+					poisonMu.Lock()
+					postponed = append(postponed, res.postponed...)
+					for _, ps := range res.slots {
+						poisoned[ps.key()] = true
+					}
+					poisonMu.Unlock()
+				}
+			})
+		}
+		cfg.Phase("sort/insert", insertBuckets)
 	}
 	st.WriteAttempts += attempts.Load()
 	st.BucketMax = bucketMax.Load()
@@ -338,10 +365,12 @@ func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stat
 		for i := range starts {
 			starts[i] = rootSlot
 		}
-		rf := t.insertRoundBased(postponed, starts, 0, true)
-		st.WriteAttempts += rf.attempts
+		cfg.Phase("sort/insert", func() {
+			rf := t.insertRoundBased(postponed, starts, 0, true)
+			st.WriteAttempts += rf.attempts
+		})
 	}
-	return t, st
+	return t, st, nil
 }
 
 func poisonedSlot(poisoned map[uint64]bool, mu *sync.Mutex, s slot) bool {

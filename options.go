@@ -1,0 +1,100 @@
+package wegeom
+
+import "repro/internal/config"
+
+// DefaultOmega is the write/read cost ratio an Engine assumes unless
+// WithOmega overrides it (the paper evaluates ω between 5 and 40).
+const DefaultOmega = config.DefaultOmega
+
+// DefaultAlpha is the α-labeling parameter an Engine assumes unless
+// WithAlpha overrides it.
+const DefaultAlpha = config.DefaultAlpha
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithMeter makes the Engine charge m instead of a freshly allocated
+// meter. Pass nil to disable instrumentation entirely (all charges no-op
+// and reports count zero accesses). Use a shared meter to accumulate costs
+// across engines or to interleave Engine calls with direct structure
+// updates under one count.
+func WithMeter(m *Meter) Option {
+	return func(e *Engine) {
+		e.cfg.Meter = m
+		e.meterSet = true
+	}
+}
+
+// WithLedger makes the Engine record phases into l instead of a private
+// per-engine ledger, accumulating phase records across calls (and engines,
+// if shared). The ledger should be backed by the same meter the Engine
+// charges for its phase costs to be meaningful.
+func WithLedger(l *Ledger) Option {
+	return func(e *Engine) {
+		e.ledger = l
+		e.ledgerSet = true
+	}
+}
+
+// WithOmega sets the write/read cost ratio ω used when reporting work.
+// It never changes an algorithm's behaviour — only the Report aggregation.
+func WithOmega(omega int64) Option {
+	return func(e *Engine) { e.cfg.Omega = omega }
+}
+
+// WithParallelism caps the fork-join runtime during this Engine's runs:
+// 0 keeps the runtime default, 1 forces sequential execution, p > 1 allows
+// roughly p-way forking. The cap is installed for the duration of each
+// method call; concurrent runs from engines with different parallelism
+// settings see the most recent installer's cap.
+func WithParallelism(p int) Option {
+	return func(e *Engine) { e.cfg.Parallelism = p }
+}
+
+// WithSeed seeds the Engine's deterministic RNG (ShufflePoints and any
+// future randomized choice). Engines with equal seeds make identical
+// random choices.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.cfg.Seed = seed }
+}
+
+// WithAlpha selects the α-labeling trade-off of Theorem 7.4 for the
+// augmented trees (interval, priority-search, range): α ≥ 2 maintains
+// balance metadata only at critical nodes (fewer update writes, more query
+// reads); 0 or 1 selects the classic behaviour.
+func WithAlpha(alpha int) Option {
+	return func(e *Engine) { e.cfg.Alpha = alpha }
+}
+
+// WithSAH makes BuildKDTree choose splitters by the surface-area heuristic
+// over the buffered sample (the §6.3 extension) instead of cycling-axis
+// exact medians. Same O(n) write bound, often cheaper queries on clustered
+// data.
+func WithSAH(enabled bool) Option {
+	return func(e *Engine) { e.cfg.SAH = enabled }
+}
+
+// WithPBatch sets the k-d leaf buffer capacity p of §6.1: 0 selects the
+// paper's range-query setting p = log³n, 1 the pure incremental
+// construction, n the classic behaviour.
+func WithPBatch(p int) Option {
+	return func(e *Engine) { e.cfg.PBatch = p }
+}
+
+// WithLeafSize sets the maximum k-d leaf occupancy after construction
+// (default 8).
+func WithLeafSize(n int) Option {
+	return func(e *Engine) { e.cfg.LeafSize = n }
+}
+
+// WithSortRoundCap toggles the Theorem 4.1 round cap in the incremental
+// sort (on by default): each insertion bucket is abandoned after
+// c·log log n rounds and retried in one final round, improving the depth
+// bound to O(log² n) without changing the resulting tree. c ≤ 0 keeps the
+// paper's constant (4).
+func WithSortRoundCap(enabled bool, c int) Option {
+	return func(e *Engine) {
+		e.cfg.CapRounds = enabled
+		e.cfg.RoundCapC = c
+	}
+}

@@ -1,0 +1,85 @@
+package wegeom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/asymmem"
+)
+
+// Snapshot is an immutable read/write count pair from the asymmetric-memory
+// simulator.
+type Snapshot = asymmem.Snapshot
+
+// Ledger attributes meter charges to named phases; pass one to WithLedger
+// to accumulate phases across Engine calls.
+type Ledger = asymmem.Ledger
+
+// NewLedger returns a ledger charging against meter m.
+func NewLedger(m *Meter) *Ledger { return asymmem.NewLedger(m) }
+
+// PhaseCost is one named phase of a run with the accesses charged while it
+// was open.
+type PhaseCost = asymmem.PhaseRecord
+
+// Report is the uniform result profile every Engine method returns: the
+// run's named phases (in execution order, as charged by the builders), the
+// total simulated accesses, the wall-clock time, and the ω the Engine was
+// configured with.
+//
+// Phase costs and the total are counted in the Asymmetric NP model of the
+// paper: a read from the large memory costs 1, a write costs ω, and
+// small-memory state is free. Wall time is reported only as a sanity check
+// — the paper's claims are about the counted costs.
+type Report struct {
+	// Op names the Engine method that produced the report ("sort",
+	// "triangulate", ...).
+	Op string
+	// Phases are the named sub-steps recorded during the run, in order.
+	// Repeated names (e.g. one "delaunay/locate" per prefix-doubling
+	// batch) are kept as separate records; PhaseTotals merges them.
+	Phases []PhaseCost
+	// Total is everything charged to the engine's meter during the run,
+	// including accesses outside any named phase.
+	Total Snapshot
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+	// Omega is the configured write/read cost ratio.
+	Omega int64
+}
+
+// Work returns the run's Asymmetric NP work, reads + ω·writes, at the
+// engine's configured ω.
+func (r *Report) Work() int64 { return r.Total.Work(r.Omega) }
+
+// WorkAt returns the run's work at an alternative ω, for crossover sweeps.
+func (r *Report) WorkAt(omega int64) int64 { return r.Total.Work(omega) }
+
+// PhaseTotals merges repeated phase names and returns one aggregate cost
+// per name.
+func (r *Report) PhaseTotals() map[string]Snapshot {
+	out := make(map[string]Snapshot, len(r.Phases))
+	for _, p := range r.Phases {
+		out[p.Name] = out[p.Name].Add(p.Cost)
+	}
+	return out
+}
+
+// String formats the report as one line per phase plus a total, suitable
+// for experiment logs.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond))
+	totals := r.PhaseTotals()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "\n  %-18s %s", name, totals[name])
+	}
+	return b.String()
+}

@@ -2,32 +2,47 @@
 // Blelloch, Gu, Shun, Sun, "Parallel Write-Efficient Algorithms and Data
 // Structures for Computational Geometry" (SPAA 2018).
 //
-// It re-exports the paper's data structures and algorithms with their cost
-// instrumentation:
+// The primary API is the Engine (engine.go): construct one with NewEngine
+// and functional options (WithMeter, WithOmega, WithAlpha, WithSAH,
+// WithPBatch, WithParallelism, WithSeed, ...), then call its methods —
+// Sort, Triangulate, BuildKDTree, NewIntervalTree, NewPriorityTree,
+// NewRangeTree, ConvexHull — each of which accepts a context.Context for
+// cancellation and returns a uniform *Report of per-phase simulated
+// read/write costs, total work at the configured ω, and wall time:
 //
-//   - Sort / SortWithStats — §4's write-efficient incremental comparison sort.
+//	eng := wegeom.NewEngine(wegeom.WithOmega(10))
+//	sorted, rep, err := eng.Sort(ctx, keys)
+//
+// The paper's structures map to Engine methods as follows:
+//
+//   - Sort / SortBaseline — §4's write-efficient incremental comparison
+//     sort and its round-synchronous baseline.
 //   - Triangulate / TriangulateClassic — §5's linear-write planar Delaunay
 //     triangulation (and the plain BGSS baseline).
-//   - KD trees — §6's p-batched construction, range and ANN queries, and
-//     both dynamic-update schemes.
-//   - Interval, priority-search and range trees — §7's post-sorted
+//   - BuildKDTree / BuildKDTreeClassic, NewKDForest, NewKDSingleTree —
+//     §6's p-batched construction, range and ANN queries, and both
+//     dynamic-update schemes.
+//   - NewIntervalTree, NewPriorityTree, NewRangeTree — §7's post-sorted
 //     constructions and α-labeled dynamic versions.
 //   - ConvexHull — the §2.2 building block.
 //
-// Every entry point accepts an optional *Meter that counts simulated
-// large-memory reads and writes (the Asymmetric NP model's cost measure);
-// pass nil to skip instrumentation. See DESIGN.md for the experiment map
-// and EXPERIMENTS.md for measured results.
+// Every run charges a Meter counting simulated large-memory reads and
+// writes (the Asymmetric NP model's cost measure). See README.md for a
+// quickstart, the package map, and the paper-section table.
+//
+// The free functions below predate the Engine and remain as thin
+// deprecated wrappers over a default Engine; new code should construct an
+// Engine instead.
 package wegeom
 
 import (
+	"context"
+
 	"repro/internal/asymmem"
 	"repro/internal/delaunay"
 	"repro/internal/geom"
-	"repro/internal/hull"
 	"repro/internal/interval"
 	"repro/internal/kdtree"
-	"repro/internal/parallel"
 	"repro/internal/pst"
 	"repro/internal/rangetree"
 	"repro/internal/wesort"
@@ -52,19 +67,24 @@ type KBox = geom.KBox
 // ---- §4: write-efficient comparison sort ----
 
 // Sort returns keys in non-decreasing order using the write-efficient
-// incremental sort (Theorem 4.1): expected O(n log n + ωn) work, i.e.
-// O(n) writes. The input order is the (random) insertion priority.
+// incremental sort (Theorem 4.1).
+//
+// Deprecated: use NewEngine(WithMeter(m)).Sort(ctx, keys), which also
+// reports per-phase costs and honours cancellation.
 func Sort(keys []float64, m *Meter) []float64 {
-	return wesort.Sort(keys, m)
+	out, _, _ := NewEngine(WithMeter(m)).Sort(context.Background(), keys)
+	return out
 }
 
 // SortStats profiles a write-efficient sort run.
 type SortStats = wesort.Stats
 
 // SortWithStats is Sort returning the cost profile.
+//
+// Deprecated: use NewEngine(WithMeter(m)).SortWithStats(ctx, keys).
 func SortWithStats(keys []float64, m *Meter) ([]float64, SortStats) {
-	tr, st := wesort.WriteEfficient(keys, m, wesort.Options{CapRounds: true})
-	return tr.Sorted(), st
+	out, st, _, _ := NewEngine(WithMeter(m)).SortWithStats(context.Background(), keys)
+	return out, st
 }
 
 // ---- §5: planar Delaunay triangulation ----
@@ -74,27 +94,29 @@ func SortWithStats(keys []float64, m *Meter) ([]float64, SortStats) {
 type Triangulation = delaunay.Triangulation
 
 // Triangulate computes the Delaunay triangulation with the write-efficient
-// algorithm of Theorem 5.1: expected O(n log n + ωn) work. The input order
-// is the insertion priority; shuffle for the expectation bounds (see
-// ShufflePoints).
+// algorithm of Theorem 5.1.
+//
+// Deprecated: use NewEngine(WithMeter(m)).Triangulate(ctx, pts).
 func Triangulate(pts []Point, m *Meter) (*Triangulation, error) {
-	return delaunay.TriangulateWriteEfficient(pts, m)
+	tri, _, err := NewEngine(WithMeter(m)).Triangulate(context.Background(), pts)
+	return tri, err
 }
 
 // TriangulateClassic runs the plain BGSS incremental algorithm
 // (Θ(n log n) writes) — the baseline Theorem 5.1 improves on.
+//
+// Deprecated: use NewEngine(WithMeter(m)).TriangulateClassic(ctx, pts).
 func TriangulateClassic(pts []Point, m *Meter) (*Triangulation, error) {
-	return delaunay.Triangulate(pts, m)
+	tri, _, err := NewEngine(WithMeter(m)).TriangulateClassic(context.Background(), pts)
+	return tri, err
 }
 
-// ShufflePoints returns a deterministic random permutation of pts.
+// ShufflePoints returns a uniform random permutation of pts, deterministic
+// in seed.
+//
+// Deprecated: use NewEngine(WithSeed(seed)).ShufflePoints(pts).
 func ShufflePoints(pts []Point, seed uint64) []Point {
-	out := append([]Point{}, pts...)
-	perm := parallel.NewRNG(seed).Perm(len(out))
-	for i, j := range perm {
-		out[i], out[j] = out[j], out[i]
-	}
-	return out
+	return shufflePoints(pts, seed)
 }
 
 // ---- §6: k-d trees ----
@@ -107,31 +129,40 @@ type KDItem = kdtree.Item
 type KDTree = kdtree.Tree
 
 // BuildKDTree constructs a k-d tree with the p-batched incremental
-// algorithm of Theorem 6.1 (O(n) writes; height log₂n+O(1) whp with the
-// default p = log³n).
+// algorithm of Theorem 6.1.
+//
+// Deprecated: use NewEngine(WithMeter(m)).BuildKDTree(ctx, dims, items).
 func BuildKDTree(dims int, items []KDItem, m *Meter) (*KDTree, error) {
-	return kdtree.BuildPBatched(dims, items, kdtree.PBatchedOptions{}, m)
+	t, _, err := NewEngine(WithMeter(m)).BuildKDTree(context.Background(), dims, items)
+	return t, err
 }
 
 // BuildKDTreeSAH constructs a k-d tree with the p-batched builder using
-// surface-area-heuristic splitters (the §6.3 extension) — same O(n) write
-// bound, often cheaper queries on clustered data.
+// surface-area-heuristic splitters (the §6.3 extension).
+//
+// Deprecated: use NewEngine(WithMeter(m), WithSAH(true)).BuildKDTree(ctx, dims, items).
 func BuildKDTreeSAH(dims int, items []KDItem, m *Meter) (*KDTree, error) {
-	return kdtree.BuildPBatchedSAH(dims, items, kdtree.PBatchedOptions{}, m)
+	t, _, err := NewEngine(WithMeter(m), WithSAH(true)).BuildKDTree(context.Background(), dims, items)
+	return t, err
 }
 
 // BuildKDTreeClassic constructs a k-d tree with exact median splits —
 // Θ(n log n) writes.
+//
+// Deprecated: use NewEngine(WithMeter(m)).BuildKDTreeClassic(ctx, dims, items).
 func BuildKDTreeClassic(dims int, items []KDItem, m *Meter) (*KDTree, error) {
-	return kdtree.BuildClassic(dims, items, kdtree.Options{}, m)
+	t, _, err := NewEngine(WithMeter(m)).BuildKDTreeClassic(context.Background(), dims, items)
+	return t, err
 }
 
 // KDForest is the logarithmic-reconstruction dynamic scheme of §6.2.
 type KDForest = kdtree.Forest
 
 // NewKDForest returns an empty dynamic k-d forest.
+//
+// Deprecated: use NewEngine(WithMeter(m)).NewKDForest(dims).
 func NewKDForest(dims int, m *Meter) *KDForest {
-	return kdtree.NewForest(dims, kdtree.PBatchedOptions{}, m)
+	return NewEngine(WithMeter(m)).NewKDForest(dims)
 }
 
 // KDSingleTree is the single-tree dynamic scheme of §6.2.
@@ -139,6 +170,8 @@ type KDSingleTree = kdtree.SingleTree
 
 // NewKDSingleTree wraps a built tree for single-tree dynamic updates with
 // the range-query balance budget.
+//
+// Deprecated: use (*Engine).NewKDSingleTree.
 func NewKDSingleTree(t *KDTree) *KDSingleTree {
 	return kdtree.NewSingleTree(t, kdtree.BalanceForRange)
 }
@@ -154,8 +187,11 @@ type IntervalTree = interval.Tree
 // NewIntervalTree builds an interval tree with the post-sorted linear-write
 // construction (Theorem 7.1). alpha ≥ 2 selects the α-labeling trade-off of
 // Theorem 7.4; alpha 0 selects the classic behaviour.
+//
+// Deprecated: use NewEngine(WithMeter(m), WithAlpha(alpha)).NewIntervalTree(ctx, ivs).
 func NewIntervalTree(ivs []Interval, alpha int, m *Meter) (*IntervalTree, error) {
-	return interval.Build(ivs, interval.Options{Alpha: alpha}, m)
+	t, _, err := NewEngine(WithMeter(m), WithAlpha(alpha)).NewIntervalTree(context.Background(), ivs)
+	return t, err
 }
 
 // PSTPoint is a point with coordinate X and priority Y.
@@ -166,8 +202,11 @@ type PriorityTree = pst.Tree
 
 // NewPriorityTree builds a priority search tree with the tournament-tree
 // construction of Appendix A (Theorem 7.1).
+//
+// Deprecated: use NewEngine(WithMeter(m), WithAlpha(alpha)).NewPriorityTree(ctx, pts).
 func NewPriorityTree(pts []PSTPoint, alpha int, m *Meter) *PriorityTree {
-	return pst.Build(pts, pst.Options{Alpha: alpha}, m)
+	t, _, _ := NewEngine(WithMeter(m), WithAlpha(alpha)).NewPriorityTree(context.Background(), pts)
+	return t
 }
 
 // RTPoint is a 2D point for the range tree.
@@ -178,13 +217,19 @@ type RangeTree = rangetree.Tree
 
 // NewRangeTree builds a 2D range tree; alpha ≥ 2 keeps inner trees only at
 // critical nodes (Theorem 7.4's trade-off).
+//
+// Deprecated: use NewEngine(WithMeter(m), WithAlpha(alpha)).NewRangeTree(ctx, pts).
 func NewRangeTree(pts []RTPoint, alpha int, m *Meter) *RangeTree {
-	return rangetree.Build(pts, rangetree.Options{Alpha: alpha}, m)
+	t, _, _ := NewEngine(WithMeter(m), WithAlpha(alpha)).NewRangeTree(context.Background(), pts)
+	return t
 }
 
 // ---- §2.2: convex hull ----
 
 // ConvexHull returns the indices of the hull vertices in CCW order.
+//
+// Deprecated: use NewEngine(WithMeter(m)).ConvexHull(ctx, pts).
 func ConvexHull(pts []Point, m *Meter) []int32 {
-	return hull.ConvexHull(pts, m)
+	out, _, _ := NewEngine(WithMeter(m)).ConvexHull(context.Background(), pts)
+	return out
 }
