@@ -109,19 +109,20 @@ func BenchmarkAblationKDHeuristic(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationParallelism measures wall-clock with the fork budget on
-// and off — a sanity check that the fork-join runtime actually helps (the
-// paper's claims are about model costs; this is the engineering check).
+// BenchmarkAblationParallelism measures wall-clock with the worker pool at
+// one worker vs the machine default — a sanity check that the fork-join
+// runtime actually helps (the paper's claims are about model costs; this is
+// the engineering check).
 func BenchmarkAblationParallelism(b *testing.B) {
 	pts := ShufflePoints(gen.UniformPoints(1<<13, 44), 45)
 	keys := gen.UniformFloats(1<<16, 46)
 	for _, cfg := range []struct {
-		name   string
-		budget int
-	}{{"sequential", 0}, {"parallel", 8 * 24}} {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
 		b.Run("delaunay/"+cfg.name, func(b *testing.B) {
-			old := parallel.SetMaxOutstanding(cfg.budget)
-			defer parallel.SetMaxOutstanding(old)
+			old := parallel.SetWorkers(cfg.workers)
+			defer parallel.SetWorkers(old)
 			for i := 0; i < b.N; i++ {
 				if _, err := delaunay.TriangulateWriteEfficient(pts, nil); err != nil {
 					b.Fatal(err)
@@ -129,8 +130,8 @@ func BenchmarkAblationParallelism(b *testing.B) {
 			}
 		})
 		b.Run("sort/"+cfg.name, func(b *testing.B) {
-			old := parallel.SetMaxOutstanding(cfg.budget)
-			defer parallel.SetMaxOutstanding(old)
+			old := parallel.SetWorkers(cfg.workers)
+			defer parallel.SetWorkers(old)
 			for i := 0; i < b.N; i++ {
 				wesort.ParallelPlain(keys, nil)
 			}

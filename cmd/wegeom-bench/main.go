@@ -11,6 +11,7 @@
 //	go run ./cmd/wegeom-bench -exp E1      # one experiment
 //	go run ./cmd/wegeom-bench -exp all     # everything (a few minutes)
 //	go run ./cmd/wegeom-bench -list        # experiment index
+//	go run ./cmd/wegeom-bench -scaling    # strong-scaling sweep -> BENCH_scaling.json
 //
 // See README.md for the experiment ↔ paper mapping.
 package main
@@ -49,8 +50,19 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	scaling := flag.Bool("scaling", false, "run the strong-scaling sweep (Delaunay/wesort/kdtree at P = 1, 2, 4, ...) and exit")
+	scalingOut := flag.String("scaling-out", "BENCH_scaling.json", "output path for the -scaling JSON report")
+	scalingMaxP := flag.Int("scaling-maxp", 0, "largest worker-pool size for -scaling (0 = GOMAXPROCS)")
+	scalingReps := flag.Int("scaling-reps", 3, "repetitions per (workload, P) point in -scaling; best is kept")
 	flag.Parse()
 
+	if *scaling {
+		if err := runScaling(*scalingOut, *scalingMaxP, *scalingReps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.id, e.title)

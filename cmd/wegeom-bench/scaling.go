@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/gen"
+)
+
+// The -scaling mode measures wall-clock strong scaling of the three
+// parallel builders (Delaunay, write-efficient sort, p-batched k-d tree) at
+// worker-pool sizes P = 1, 2, 4, ... up to -scaling-maxp, pinning
+// GOMAXPROCS to P for each step so the pool matches the schedulable
+// parallelism. Model costs (reads/writes) are recorded alongside: they must
+// not move with P — the paper's claims are about counts, and the sharded
+// meter only changes how the counts are collected. Results are written as
+// JSON (default BENCH_scaling.json) to seed the performance trajectory.
+
+type scalingResult struct {
+	Workload    string  `json:"workload"`
+	P           int     `json:"p"`
+	WallNS      int64   `json:"wall_ns"`
+	Wall        string  `json:"wall"`
+	Reads       int64   `json:"reads"`
+	Writes      int64   `json:"writes"`
+	Work        int64   `json:"work_omega10"`
+	SpeedupVsP1 float64 `json:"speedup_vs_p1"`
+}
+
+type scalingReport struct {
+	Generated string          `json:"generated"`
+	CPUs      int             `json:"cpus"`
+	Reps      int             `json:"reps"`
+	Note      string          `json:"note"`
+	Workloads map[string]int  `json:"workloads"`
+	Results   []scalingResult `json:"results"`
+}
+
+func runScaling(out string, maxP, reps int) error {
+	if maxP <= 0 {
+		maxP = runtime.GOMAXPROCS(0)
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	ctx := context.Background()
+	const (
+		nDelaunay = 20000
+		nSort     = 60000
+		nKD       = 60000
+	)
+	pts := wegeom.ShufflePoints(gen.UniformPoints(nDelaunay, 21), 22)
+	keys := gen.UniformFloats(nSort, 23)
+	items := make([]wegeom.KDItem, nKD)
+	for i, p := range gen.UniformPoints(nKD, 24) {
+		items[i] = wegeom.KDItem{P: wegeom.KPoint{p.X, p.Y}, ID: int32(i)}
+	}
+	workloads := []struct {
+		name string
+		n    int
+		run  func(p int) (*wegeom.Report, error)
+	}{
+		{"delaunay", nDelaunay, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).Triangulate(ctx, pts)
+			return rep, err
+		}},
+		{"wesort", nSort, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).Sort(ctx, keys)
+			return rep, err
+		}},
+		{"kdtree", nKD, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).BuildKDTree(ctx, 2, items)
+			return rep, err
+		}},
+	}
+
+	report := scalingReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+		Reps:      reps,
+		Note: "best-of-reps wall time per (workload, P); GOMAXPROCS pinned to P per step; " +
+			"reads/writes are model costs and are independent of P by construction",
+		Workloads: map[string]int{},
+	}
+	for _, w := range workloads {
+		report.Workloads[w.name] = w.n
+	}
+
+	p1Wall := map[string]int64{}
+	for p := 1; p <= maxP; p *= 2 {
+		oldMax := runtime.GOMAXPROCS(p)
+		for _, w := range workloads {
+			best := time.Duration(1<<63 - 1)
+			var last *wegeom.Report
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				rep, err := w.run(p)
+				if err != nil {
+					runtime.GOMAXPROCS(oldMax)
+					return fmt.Errorf("%s at P=%d: %w", w.name, p, err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				last = rep
+			}
+			res := scalingResult{
+				Workload: w.name,
+				P:        p,
+				WallNS:   best.Nanoseconds(),
+				Wall:     best.Round(time.Microsecond).String(),
+				Reads:    last.Total.Reads,
+				Writes:   last.Total.Writes,
+				Work:     last.Total.Work(10),
+			}
+			if p == 1 {
+				p1Wall[w.name] = res.WallNS
+			}
+			if base := p1Wall[w.name]; base > 0 {
+				res.SpeedupVsP1 = float64(base) / float64(res.WallNS)
+			}
+			report.Results = append(report.Results, res)
+			fmt.Printf("scaling %-9s P=%-3d wall=%-12s speedup=%.2fx reads=%d writes=%d\n",
+				w.name, p, res.Wall, res.SpeedupVsP1, res.Reads, res.Writes)
+		}
+		runtime.GOMAXPROCS(oldMax)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

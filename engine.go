@@ -2,6 +2,7 @@ package wegeom
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"time"
 
@@ -43,10 +44,9 @@ type Engine struct {
 	ledgerSet bool
 }
 
-// forkCapMu serializes runs from engines that install an explicit fork
-// budget (WithParallelism > 0); engines at the runtime default never take
-// it.
-var forkCapMu sync.Mutex
+// poolMu serializes runs from engines that install an explicit worker-pool
+// size (WithParallelism > 0); engines at the runtime default never take it.
+var poolMu sync.Mutex
 
 // NewEngine returns an Engine with the given options applied over the
 // defaults: a fresh private meter and ledger, ω = DefaultOmega,
@@ -63,7 +63,14 @@ func NewEngine(opts ...Option) *Engine {
 		opt(e)
 	}
 	if !e.meterSet {
-		e.cfg.Meter = asymmem.NewMeter()
+		// One shard per worker of the pool this Engine will run: the
+		// runtime default, or the pinned WithParallelism size if that is
+		// wider (e.g. an oversubscribed pool on a small machine).
+		shards := 0
+		if e.cfg.Parallelism > runtime.GOMAXPROCS(0) {
+			shards = e.cfg.Parallelism
+		}
+		e.cfg.Meter = asymmem.NewMeterShards(shards)
 	}
 	if !e.ledgerSet {
 		e.ledger = asymmem.NewLedger(e.cfg.Meter)
@@ -89,17 +96,13 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cfg.Parallelism > 0 {
-		budget := 0 // Parallelism == 1: fully sequential
-		if e.cfg.Parallelism > 1 {
-			budget = 8 * e.cfg.Parallelism
-		}
-		// The fork budget is process-wide; serialize capped runs so the
+		// The worker pool is process-wide; serialize pinned runs so the
 		// save/restore pairs of concurrent engines cannot interleave and
-		// leak a stale cap past the last run.
-		forkCapMu.Lock()
-		defer forkCapMu.Unlock()
-		prev := parallel.SetMaxOutstanding(budget)
-		defer parallel.SetMaxOutstanding(prev)
+		// leak a stale pool size past the last run.
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		prev := parallel.SetWorkers(e.cfg.Parallelism)
+		defer parallel.SetWorkers(prev)
 	}
 	cfg := e.cfg
 	cfg.Ledger = e.ledger
@@ -107,14 +110,17 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 		cfg.Interrupt = ctx.Err
 	}
 	phasesBefore := len(e.ledger.Phases())
-	before := cfg.Meter.Snapshot()
+	beforeShards := cfg.Meter.PerWorker()
+	before := sumSnapshots(beforeShards)
 	start := time.Now()
 	err := f(cfg)
+	afterShards := cfg.Meter.PerWorker()
 	rep := &Report{
-		Op:    op,
-		Total: cfg.Meter.Snapshot().Sub(before),
-		Wall:  time.Since(start),
-		Omega: cfg.Omega,
+		Op:        op,
+		Total:     sumSnapshots(afterShards).Sub(before),
+		PerWorker: subSnapshots(afterShards, beforeShards),
+		Wall:      time.Since(start),
+		Omega:     cfg.Omega,
 	}
 	if all := e.ledger.Phases(); len(all) > phasesBefore {
 		rep.Phases = all[phasesBefore:]

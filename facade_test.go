@@ -1,0 +1,322 @@
+package wegeom
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The deprecated top-level facade functions must stay thin wrappers over
+// the Engine: each test runs a wrapper and the equivalent Engine call on
+// the same deterministic input and asserts identical results and identical
+// meter charges.
+
+func facadePoints(n int) []Point {
+	return ShufflePoints(gen.UniformPoints(n, 61), 62)
+}
+
+// chargesEqual asserts the two meters saw the same totals.
+func chargesEqual(t *testing.T, op string, wrapper, engine *Meter) {
+	t.Helper()
+	if w, e := wrapper.Snapshot(), engine.Snapshot(); w != e {
+		t.Fatalf("%s: wrapper charged %v, engine charged %v", op, w, e)
+	}
+}
+
+func TestFacadeSortDelegates(t *testing.T) {
+	keys := gen.UniformFloats(5000, 63)
+	mW, mE := NewMeter(), NewMeter()
+	got := Sort(keys, mW)
+	want, _, err := NewEngine(WithMeter(mE)).Sort(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sorted output differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	chargesEqual(t, "sort", mW, mE)
+}
+
+func TestFacadeSortWithStatsDelegates(t *testing.T) {
+	keys := gen.UniformFloats(5000, 64)
+	mW, mE := NewMeter(), NewMeter()
+	got, gotSt := SortWithStats(keys, mW)
+	want, wantSt, _, err := NewEngine(WithMeter(mE)).SortWithStats(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sorted output differs at %d", i)
+		}
+	}
+	if gotSt != wantSt {
+		t.Fatalf("stats differ: %+v vs %+v", gotSt, wantSt)
+	}
+	chargesEqual(t, "sort-stats", mW, mE)
+}
+
+func triEqual(t *testing.T, a, b *Triangulation) {
+	t.Helper()
+	ta, tb := a.Triangles(), b.Triangles()
+	if len(ta) != len(tb) {
+		t.Fatalf("triangle counts differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("triangle %d differs: %v vs %v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestFacadeTriangulateDelegates(t *testing.T) {
+	pts := facadePoints(1200)
+	mW, mE := NewMeter(), NewMeter()
+	got, err := Triangulate(pts, mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(WithMeter(mE)).Triangulate(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triEqual(t, got, want)
+	chargesEqual(t, "triangulate", mW, mE)
+}
+
+func TestFacadeTriangulateClassicDelegates(t *testing.T) {
+	pts := facadePoints(1200)
+	mW, mE := NewMeter(), NewMeter()
+	got, err := TriangulateClassic(pts, mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(WithMeter(mE)).TriangulateClassic(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triEqual(t, got, want)
+	chargesEqual(t, "triangulate-classic", mW, mE)
+}
+
+func TestFacadeShufflePointsDelegates(t *testing.T) {
+	pts := gen.UniformPoints(500, 65)
+	got := ShufflePoints(pts, 99)
+	want := NewEngine(WithSeed(99)).ShufflePoints(pts)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("shuffle differs at %d", i)
+		}
+	}
+}
+
+func facadeItems(n int) []KDItem {
+	items := make([]KDItem, n)
+	for i, p := range gen.UniformPoints(n, 66) {
+		items[i] = KDItem{P: KPoint{p.X, p.Y}, ID: int32(i)}
+	}
+	return items
+}
+
+func kdEqual(t *testing.T, op string, a, b *KDTree) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: sizes differ: %d vs %d", op, a.Len(), b.Len())
+	}
+	boxes := []KBox{
+		{Min: KPoint{0.1, 0.1}, Max: KPoint{0.4, 0.6}},
+		{Min: KPoint{0.25, 0}, Max: KPoint{0.9, 0.3}},
+		{Min: KPoint{0, 0}, Max: KPoint{1, 1}},
+	}
+	for _, box := range boxes {
+		if ca, cb := a.RangeCount(box), b.RangeCount(box); ca != cb {
+			t.Fatalf("%s: range count over %v differs: %d vs %d", op, box, ca, cb)
+		}
+	}
+	if ha, hb := a.Stats().Height, b.Stats().Height; ha != hb {
+		t.Fatalf("%s: heights differ: %d vs %d", op, ha, hb)
+	}
+}
+
+func TestFacadeBuildKDTreeDelegates(t *testing.T) {
+	items := facadeItems(4000)
+	mW, mE := NewMeter(), NewMeter()
+	got, err := BuildKDTree(2, items, mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(WithMeter(mE)).BuildKDTree(context.Background(), 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdEqual(t, "kdtree", got, want)
+	chargesEqual(t, "kdtree", mW, mE)
+}
+
+func TestFacadeBuildKDTreeSAHDelegates(t *testing.T) {
+	items := facadeItems(4000)
+	mW, mE := NewMeter(), NewMeter()
+	got, err := BuildKDTreeSAH(2, items, mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(WithMeter(mE), WithSAH(true)).BuildKDTree(context.Background(), 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdEqual(t, "kdtree-sah", got, want)
+	chargesEqual(t, "kdtree-sah", mW, mE)
+}
+
+func TestFacadeBuildKDTreeClassicDelegates(t *testing.T) {
+	items := facadeItems(4000)
+	mW, mE := NewMeter(), NewMeter()
+	got, err := BuildKDTreeClassic(2, items, mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := NewEngine(WithMeter(mE)).BuildKDTreeClassic(context.Background(), 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdEqual(t, "kdtree-classic", got, want)
+	chargesEqual(t, "kdtree-classic", mW, mE)
+}
+
+func TestFacadeNewKDForestDelegates(t *testing.T) {
+	items := facadeItems(600)
+	mW, mE := NewMeter(), NewMeter()
+	fW := NewKDForest(2, mW)
+	fE := NewEngine(WithMeter(mE)).NewKDForest(2)
+	for _, it := range items {
+		if err := fW.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		if err := fE.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fW.Len() != fE.Len() || fW.Trees() != fE.Trees() {
+		t.Fatalf("forest shapes differ: len %d/%d trees %d/%d",
+			fW.Len(), fE.Len(), fW.Trees(), fE.Trees())
+	}
+	chargesEqual(t, "kdforest", mW, mE)
+}
+
+func TestFacadeNewKDSingleTreeDelegates(t *testing.T) {
+	items := facadeItems(1000)
+	mW, mE := NewMeter(), NewMeter()
+	baseW, err := BuildKDTree(2, items[:800], mW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseE, _, err := NewEngine(WithMeter(mE)).BuildKDTree(context.Background(), 2, items[:800])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sW := NewKDSingleTree(baseW)
+	sE := NewEngine().NewKDSingleTree(baseE)
+	for _, it := range items[800:] {
+		if err := sW.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		if err := sE.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sW.Rebuilds() != sE.Rebuilds() {
+		t.Fatalf("rebuild counts differ: %d vs %d", sW.Rebuilds(), sE.Rebuilds())
+	}
+	chargesEqual(t, "kdsingle", mW, mE)
+}
+
+func facadeIntervals(n int) []Interval {
+	ivs := make([]Interval, n)
+	for i, p := range gen.UniformPoints(n, 67) {
+		ivs[i] = Interval{Left: p.X, Right: p.X + 0.01 + 0.2*p.Y, ID: int32(i)}
+	}
+	return ivs
+}
+
+func TestFacadeNewIntervalTreeDelegates(t *testing.T) {
+	ivs := facadeIntervals(2500)
+	for _, alpha := range []int{0, 8} {
+		mW, mE := NewMeter(), NewMeter()
+		got, err := NewIntervalTree(ivs, alpha, mW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := NewEngine(WithMeter(mE), WithAlpha(alpha)).NewIntervalTree(context.Background(), ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{0.1, 0.33, 0.5, 0.77, 0.95} {
+			if cg, cw := got.CountStab(q), want.CountStab(q); cg != cw {
+				t.Fatalf("alpha=%d: stab(%v) differs: %d vs %d", alpha, q, cg, cw)
+			}
+		}
+	}
+}
+
+func TestFacadeNewPriorityTreeDelegates(t *testing.T) {
+	pts := make([]PSTPoint, 2500)
+	for i, p := range gen.UniformPoints(2500, 68) {
+		pts[i] = PSTPoint{X: p.X, Y: p.Y, ID: int32(i)}
+	}
+	mW, mE := NewMeter(), NewMeter()
+	got := NewPriorityTree(pts, 8, mW)
+	want, _, err := NewEngine(WithMeter(mE), WithAlpha(8)).NewPriorityTree(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][3]float64{{0.1, 0.6, 0.5}, {0, 1, 0.9}, {0.4, 0.5, 0.1}} {
+		if cg, cw := got.Count3Sided(q[0], q[1], q[2]), want.Count3Sided(q[0], q[1], q[2]); cg != cw {
+			t.Fatalf("3-sided %v differs: %d vs %d", q, cg, cw)
+		}
+	}
+	chargesEqual(t, "pst", mW, mE)
+}
+
+func TestFacadeNewRangeTreeDelegates(t *testing.T) {
+	pts := make([]RTPoint, 2500)
+	for i, p := range gen.UniformPoints(2500, 69) {
+		pts[i] = RTPoint{X: p.X, Y: p.Y, ID: int32(i)}
+	}
+	mW, mE := NewMeter(), NewMeter()
+	got := NewRangeTree(pts, 8, mW)
+	want, _, err := NewEngine(WithMeter(mE), WithAlpha(8)).NewRangeTree(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][4]float64{{0.1, 0.6, 0.2, 0.8}, {0, 1, 0, 1}, {0.45, 0.55, 0.4, 0.9}} {
+		if cg, cw := got.Count(q[0], q[1], q[2], q[3]), want.Count(q[0], q[1], q[2], q[3]); cg != cw {
+			t.Fatalf("range count %v differs: %d vs %d", q, cg, cw)
+		}
+	}
+	chargesEqual(t, "rangetree", mW, mE)
+}
+
+func TestFacadeConvexHullDelegates(t *testing.T) {
+	pts := facadePoints(2000)
+	mW, mE := NewMeter(), NewMeter()
+	got := ConvexHull(pts, mW)
+	want, _, err := NewEngine(WithMeter(mE)).ConvexHull(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hull sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("hull vertex %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+	chargesEqual(t, "hull", mW, mE)
+}

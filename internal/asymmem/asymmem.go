@@ -15,67 +15,203 @@
 // inspecting one is a read. Accesses to task-local state (the O(log n)-word
 // small-memory: loop counters, recursion stacks, constant-size scratch) are
 // free, matching the model.
+//
+// # Sharding
+//
+// A Meter is internally sharded: it holds one cache-line-padded (reads,
+// writes) counter pair per potential worker of the fork-join runtime, and
+// totals are computed by summing the shards. Charge sites that know which
+// worker they run on (the runtime hands worker IDs down the fork path, see
+// internal/parallel) obtain a Worker handle once with Meter.Worker and
+// charge it, so parallel phases never contend on a shared counter cache
+// line. The legacy Meter.Read/Write methods remain for sequential code and
+// charge shard 0. Either way every charge lands in exactly one shard via one
+// atomic add, so totals are exact — sharding changes cache behaviour, never
+// counts. Per-task small-memory state is free in the model, so the
+// worker-local handles themselves cost nothing.
 package asymmem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Meter counts reads from and writes to the simulated large asymmetric
-// memory. All methods are safe for concurrent use and are no-ops on a nil
-// receiver, so uninstrumented runs can pass nil everywhere.
-type Meter struct {
+// shard is one worker's counter pair, padded so that two workers' shards
+// never share a cache line (the padding covers the common 64-byte line and
+// the 128-byte spatial prefetcher pairs on recent x86 parts).
+type shard struct {
 	reads  atomic.Int64
 	writes atomic.Int64
+	_      [112]byte
 }
 
-// NewMeter returns a zeroed meter.
-func NewMeter() *Meter { return &Meter{} }
+// defaultShards is the shard count for meters created by NewMeter: the
+// smallest power of two covering GOMAXPROCS at package init. Worker IDs are
+// folded into the shard range by a mask, so any ID is valid regardless of
+// shard count.
+var defaultShards = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}()
+
+// Meter counts reads from and writes to the simulated large asymmetric
+// memory. All methods are safe for concurrent use and are no-ops on a nil
+// receiver, so uninstrumented runs can pass nil everywhere. Create meters
+// with NewMeter/NewMeterShards; the zero value has no shards and charging
+// it panics with a diagnostic.
+type Meter struct {
+	shards []shard
+	mask   uint32
+}
+
+// shard0 returns the legacy charge target, diagnosing zero-value meters
+// (which have no shard backing) instead of failing with a bare index panic.
+func (m *Meter) shard0() *shard {
+	if len(m.shards) == 0 {
+		panic("asymmem: Meter must be created with NewMeter, not used as a zero value")
+	}
+	return &m.shards[0]
+}
+
+// NewMeter returns a zeroed meter with one shard per runtime worker.
+func NewMeter() *Meter { return NewMeterShards(0) }
+
+// NewMeterShards returns a zeroed meter with the given shard count rounded
+// up to a power of two; n <= 0 selects one shard per runtime worker.
+func NewMeterShards(n int) *Meter {
+	if n <= 0 {
+		n = defaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &Meter{shards: make([]shard, p), mask: uint32(p - 1)}
+}
+
+// Shards reports the meter's shard count.
+func (m *Meter) Shards() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.shards)
+}
+
+// Worker is a charging handle bound to one shard of a Meter — the
+// worker-local charging API. Obtain one with Meter.Worker at the top of a
+// parallel task (the fork-join runtime passes worker IDs down the fork
+// path) and charge it instead of the Meter so concurrent workers touch
+// distinct cache lines. The zero Worker (and any handle from a nil Meter)
+// is valid and makes every charge a no-op.
+type Worker struct {
+	s *shard
+}
+
+// Worker returns the charging handle for worker id. IDs out of shard range
+// are folded in by a mask: the handle is always valid and the charges are
+// always counted, at worst sharing a shard with another worker.
+func (m *Meter) Worker(id int) Worker {
+	if m == nil {
+		return Worker{}
+	}
+	if len(m.shards) == 0 {
+		panic("asymmem: Meter must be created with NewMeter, not used as a zero value")
+	}
+	return Worker{s: &m.shards[uint32(id)&m.mask]}
+}
 
 // Read charges one large-memory read.
+func (w Worker) Read() {
+	if w.s != nil {
+		w.s.reads.Add(1)
+	}
+}
+
+// ReadN charges n large-memory reads.
+func (w Worker) ReadN(n int) {
+	if w.s != nil && n != 0 {
+		w.s.reads.Add(int64(n))
+	}
+}
+
+// Write charges one large-memory write.
+func (w Worker) Write() {
+	if w.s != nil {
+		w.s.writes.Add(1)
+	}
+}
+
+// WriteN charges n large-memory writes.
+func (w Worker) WriteN(n int) {
+	if w.s != nil && n != 0 {
+		w.s.writes.Add(int64(n))
+	}
+}
+
+// Active reports whether charges on this handle are counted (false for the
+// zero handle, so hot loops may skip charge bookkeeping entirely).
+func (w Worker) Active() bool { return w.s != nil }
+
+// Read charges one large-memory read (to shard 0; parallel charge sites
+// should use a Worker handle).
 func (m *Meter) Read() {
 	if m != nil {
-		m.reads.Add(1)
+		m.shard0().reads.Add(1)
 	}
 }
 
 // ReadN charges n large-memory reads.
 func (m *Meter) ReadN(n int) {
 	if m != nil && n != 0 {
-		m.reads.Add(int64(n))
+		m.shard0().reads.Add(int64(n))
 	}
 }
 
-// Write charges one large-memory write.
+// Write charges one large-memory write (to shard 0; parallel charge sites
+// should use a Worker handle).
 func (m *Meter) Write() {
 	if m != nil {
-		m.writes.Add(1)
+		m.shard0().writes.Add(1)
 	}
 }
 
 // WriteN charges n large-memory writes.
 func (m *Meter) WriteN(n int) {
 	if m != nil && n != 0 {
-		m.writes.Add(int64(n))
+		m.shard0().writes.Add(int64(n))
 	}
 }
 
-// Reads reports the number of reads charged so far.
+// Reads reports the number of reads charged so far, summed over shards.
 func (m *Meter) Reads() int64 {
 	if m == nil {
 		return 0
 	}
-	return m.reads.Load()
+	var t int64
+	for i := range m.shards {
+		t += m.shards[i].reads.Load()
+	}
+	return t
 }
 
-// Writes reports the number of writes charged so far.
+// Writes reports the number of writes charged so far, summed over shards.
 func (m *Meter) Writes() int64 {
 	if m == nil {
 		return 0
 	}
-	return m.writes.Load()
+	var t int64
+	for i := range m.shards {
+		t += m.shards[i].writes.Load()
+	}
+	return t
 }
 
 // Work returns reads + omega·writes, the Asymmetric NP work of everything
@@ -84,16 +220,19 @@ func (m *Meter) Work(omega int64) int64 {
 	if m == nil {
 		return 0
 	}
-	return m.reads.Load() + omega*m.writes.Load()
+	s := m.Snapshot()
+	return s.Reads + omega*s.Writes
 }
 
-// Reset zeroes both counters.
+// Reset zeroes all shards.
 func (m *Meter) Reset() {
 	if m == nil {
 		return
 	}
-	m.reads.Store(0)
-	m.writes.Store(0)
+	for i := range m.shards {
+		m.shards[i].reads.Store(0)
+		m.shards[i].writes.Store(0)
+	}
 }
 
 // Snapshot is an immutable copy of a meter's counters.
@@ -102,12 +241,34 @@ type Snapshot struct {
 	Writes int64
 }
 
-// Snapshot captures the current counters.
+// Snapshot captures the current totals, summed over shards. Like the
+// unsharded meter's two-counter snapshot, it is exact when taken at a
+// quiescent point (a join boundary); charges racing with the snapshot may
+// or may not be included.
 func (m *Meter) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	return Snapshot{Reads: m.reads.Load(), Writes: m.writes.Load()}
+	var s Snapshot
+	for i := range m.shards {
+		s.Reads += m.shards[i].reads.Load()
+		s.Writes += m.shards[i].writes.Load()
+	}
+	return s
+}
+
+// PerWorker returns one snapshot per shard, attributing the totals to the
+// workers that charged them (shard 0 also holds everything charged through
+// the legacy Meter methods).
+func (m *Meter) PerWorker() []Snapshot {
+	if m == nil {
+		return nil
+	}
+	out := make([]Snapshot, len(m.shards))
+	for i := range m.shards {
+		out[i] = Snapshot{Reads: m.shards[i].reads.Load(), Writes: m.shards[i].writes.Load()}
+	}
+	return out
 }
 
 // Sub returns s minus earlier, the accesses charged between two snapshots.
@@ -132,10 +293,21 @@ func (s Snapshot) String() string {
 // charged while the phase was open. It is used by the experiment harness to
 // attribute costs (e.g. "sort" vs. "build" vs. "query") without separate
 // meters threaded through every call.
+//
+// Phase attribution is consistent under concurrency: phases from different
+// goroutines are serialized (a phase measures the meter delta of its own
+// body, including everything its body forks and joins), so the sum of the
+// recorded phase costs equals the meter delta across them. Charges made
+// outside any phase while a phase is open on another goroutine are the one
+// thing that still bleeds into that open phase; the harness charges inside
+// phases throughout.
 type Ledger struct {
-	m  *Meter
-	mu sync.Mutex
-	ph []PhaseRecord
+	m *Meter
+	// phaseMu serializes Phase bodies; mu guards the record slice only, so
+	// Phases/Total stay non-blocking while a phase runs.
+	phaseMu sync.Mutex
+	mu      sync.Mutex
+	ph      []PhaseRecord
 }
 
 // PhaseRecord is one closed phase in a Ledger.
@@ -156,16 +328,19 @@ func (l *Ledger) Meter() *Meter {
 }
 
 // Phase runs f and records the accesses charged to the ledger's meter while
-// f ran under the given name. Phases may not overlap across goroutines; the
-// harness runs them sequentially.
+// f ran under the given name. Concurrent phases serialize, so each record
+// holds exactly its own body's charges; phases must not nest within one
+// ledger (the harness runs them sequentially).
 func (l *Ledger) Phase(name string, f func()) Snapshot {
 	if l == nil {
 		f()
 		return Snapshot{}
 	}
+	l.phaseMu.Lock()
 	before := l.m.Snapshot()
 	f()
 	cost := l.m.Snapshot().Sub(before)
+	l.phaseMu.Unlock()
 	l.mu.Lock()
 	l.ph = append(l.ph, PhaseRecord{Name: name, Cost: cost})
 	l.mu.Unlock()

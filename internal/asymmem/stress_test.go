@@ -1,0 +1,166 @@
+package asymmem
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestMeterConcurrentCharges hammers one shared Meter from many goroutines
+// through every charging path — legacy Meter methods, per-goroutine Worker
+// handles, and deliberately colliding Worker handles — and asserts no count
+// is lost. Run under -race in CI.
+func TestMeterConcurrentCharges(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 2000
+	)
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := m.Worker(g)
+			collide := m.Worker(0) // every goroutine also hits shard 0
+			for i := 0; i < perG; i++ {
+				switch i % 4 {
+				case 0:
+					h.Read()
+					h.Write()
+				case 1:
+					h.ReadN(2)
+					h.WriteN(2)
+				case 2:
+					m.Read()
+					m.Write()
+				default:
+					collide.ReadN(1)
+					collide.WriteN(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Per goroutine: 500 iterations of each arm -> 500*1 + 500*2 + 500*1 +
+	// 500*1 = 2500 reads, same writes.
+	want := int64(goroutines * perG * 5 / 4)
+	if got := m.Reads(); got != want {
+		t.Fatalf("lost reads: got %d want %d", got, want)
+	}
+	if got := m.Writes(); got != want {
+		t.Fatalf("lost writes: got %d want %d", got, want)
+	}
+	per := m.PerWorker()
+	var sum Snapshot
+	for _, s := range per {
+		sum = sum.Add(s)
+	}
+	if sum.Reads != want || sum.Writes != want {
+		t.Fatalf("PerWorker sum %v, want reads=writes=%d", sum, want)
+	}
+	if s := m.Snapshot(); s != sum {
+		t.Fatalf("Snapshot %v != PerWorker sum %v", s, sum)
+	}
+}
+
+// TestLedgerConcurrentPhases runs concurrent phases charging the shared
+// meter from inside parallel-ish bodies and asserts the attribution is
+// consistent: every phase records exactly its own charges, and the sum of
+// phase costs equals the meter delta.
+func TestLedgerConcurrentPhases(t *testing.T) {
+	const (
+		goroutines = 16
+		phasesEach = 20
+		chargesPer = 500
+	)
+	m := NewMeter()
+	l := NewLedger(m)
+	before := m.Snapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for p := 0; p < phasesEach; p++ {
+				cost := l.Phase("stress", func() {
+					// Charge from several goroutines inside the phase, as a
+					// forked parallel body would.
+					var inner sync.WaitGroup
+					for w := 0; w < 4; w++ {
+						inner.Add(1)
+						go func(w int) {
+							defer inner.Done()
+							h := m.Worker(g*4 + w)
+							for i := 0; i < chargesPer; i++ {
+								h.Read()
+								h.Write()
+							}
+						}(w)
+					}
+					inner.Wait()
+				})
+				if cost.Reads != 4*chargesPer || cost.Writes != 4*chargesPer {
+					t.Errorf("phase recorded %v, want reads=writes=%d", cost, 4*chargesPer)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	delta := m.Snapshot().Sub(before)
+	if total := l.Total(); total != delta {
+		t.Fatalf("sum of phase costs %v != meter delta %v", total, delta)
+	}
+	if got := len(l.Phases()); got != goroutines*phasesEach {
+		t.Fatalf("recorded %d phases, want %d", got, goroutines*phasesEach)
+	}
+}
+
+// TestWorkerShardFolding checks that worker IDs beyond the shard count fold
+// in by mask and are still counted.
+func TestWorkerShardFolding(t *testing.T) {
+	m := NewMeterShards(4)
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", m.Shards())
+	}
+	for id := 0; id < 64; id++ {
+		m.Worker(id).Read()
+	}
+	if got := m.Reads(); got != 64 {
+		t.Fatalf("folded reads = %d, want 64", got)
+	}
+	// GOMAXPROCS-many default shards never drop a charge either.
+	d := NewMeter()
+	d.Worker(3 * runtime.GOMAXPROCS(0)).WriteN(7)
+	if got := d.Writes(); got != 7 {
+		t.Fatalf("default-shard writes = %d, want 7", got)
+	}
+}
+
+// TestNilMeterWorker ensures the zero Worker and nil Meter are no-op but
+// safe from any goroutine.
+func TestNilMeterWorker(t *testing.T) {
+	var m *Meter
+	h := m.Worker(5)
+	if h.Active() {
+		t.Fatal("nil meter produced an active handle")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Read()
+			h.ReadN(3)
+			h.Write()
+			h.WriteN(3)
+			m.Read()
+			m.WriteN(2)
+		}()
+	}
+	wg.Wait()
+	if m.Reads() != 0 || m.Writes() != 0 || m.Snapshot() != (Snapshot{}) || m.PerWorker() != nil {
+		t.Fatal("nil meter counted something")
+	}
+}

@@ -42,8 +42,9 @@ type Config struct {
 	// Omega is the write/read cost ratio used when reporting work. It does
 	// not change any algorithm's behaviour, only the Work aggregation.
 	Omega int64
-	// Parallelism caps the fork-join runtime: 0 keeps the runtime default,
-	// 1 forces sequential execution, p > 1 allows roughly p-way forking.
+	// Parallelism sizes the fork-join runtime's worker pool for the run:
+	// 0 keeps the runtime default (GOMAXPROCS workers), 1 forces sequential
+	// execution, p > 1 runs a pool of p workers.
 	Parallelism int
 	// Seed drives the Engine's deterministic shuffles (and any future
 	// randomized choice routed through the Config).
@@ -68,6 +69,14 @@ type Config struct {
 	// a non-nil result aborts the run with that error. The Engine wires it
 	// to ctx.Err.
 	Interrupt func() error
+}
+
+// WorkerMeter returns the worker-local charging handle for worker w on the
+// Config's meter (a no-op handle when the meter is nil). Builders obtain one
+// per parallel task — the fork-join runtime hands worker IDs down the fork
+// path — so concurrent charge sites touch distinct meter shards.
+func (c Config) WorkerMeter(w int) asymmem.Worker {
+	return c.Meter.Worker(w)
 }
 
 // Check polls the interrupt hook; builders call it at round boundaries.

@@ -44,47 +44,49 @@ type Stats struct {
 // Reads are charged per predicate evaluation; writes per emitted output.
 func Trace(g Graph, visible func(v int32) bool, emit func(v int32), m *asymmem.Meter) Stats {
 	var visited, outputs, evals atomic.Int64
-	eval := func(v int32) bool {
+	eval := func(v int32, h asymmem.Worker) bool {
 		evals.Add(1)
-		m.Read()
+		h.Read()
 		return visible(v)
 	}
-	var walk func(v int32)
-	walk = func(v int32) {
+	var walk func(v int32, w int)
+	walk = func(v int32, w int) {
+		h := m.Worker(w)
 		visited.Add(1)
 		buf := make([]int32, 0, 4)
 		buf = g.Children(v, buf)
 		if len(buf) == 0 {
 			outputs.Add(1)
-			m.Write()
+			h.Write()
 			emit(v)
 			return
 		}
 		// Visit each visible child for which v is the highest-priority
-		// visible parent.
-		visitChild := func(c int32) {
-			if !eval(c) {
+		// visible parent; each fork charges the worker it lands on, and the
+		// nested loop keeps this vertex's worker for its unforked chunks.
+		visitChild := func(c int32, w int, h asymmem.Worker) {
+			if !eval(c, h) {
 				return
 			}
 			p1, p2 := g.Parents(c)
 			switch v {
 			case p1:
-				walk(c)
+				walk(c, w)
 			case p2:
-				if p1 < 0 || !eval(p1) {
-					walk(c)
+				if p1 < 0 || !eval(p1, h) {
+					walk(c, w)
 				}
 			}
 		}
 		if len(buf) == 1 {
-			visitChild(buf[0])
+			visitChild(buf[0], w, h)
 			return
 		}
-		parallel.ForGrain(len(buf), 2, func(i int) { visitChild(buf[i]) })
+		parallel.ForGrainAt(w, len(buf), 2, func(w, i int) { visitChild(buf[i], w, m.Worker(w)) })
 	}
 	root := g.Root()
-	if root >= 0 && eval(root) {
-		walk(root)
+	if root >= 0 && eval(root, m.Worker(0)) {
+		walk(root, 0)
 	}
 	return Stats{Visited: visited.Load(), Outputs: outputs.Load(), Evals: evals.Load()}
 }

@@ -111,11 +111,21 @@ func newTriangulation(pts []geom.Point, m *asymmem.Meter) *Triangulation {
 
 func (t *Triangulation) point(i int32) geom.Point { return t.Pts[i] }
 
+// localCost accumulates one parallel task's meter charges and stats
+// counters in task-local small memory (free in the model); the task flushes
+// them with one atomic add each at chunk end, so the hot per-test path
+// touches no shared cache line.
+type localCost struct {
+	reads  int64
+	writes int64
+	tests  int64
+}
+
 // encroaches tests whether point p encroaches the triangle with vertices
-// vs, with atomic test counting for parallel phases.
-func (t *Triangulation) encroaches(p int32, vs [3]int32, tests *atomic.Int64) bool {
-	tests.Add(1)
-	t.meter.Read()
+// vs, accumulating the read charge and the in-circle test count locally.
+func (t *Triangulation) encroaches(p int32, vs [3]int32, lc *localCost) bool {
+	lc.tests++
+	lc.reads++
 	return t.encroachesPoint(t.point(p), vs)
 }
 
@@ -160,8 +170,8 @@ func (t *Triangulation) addTri(v0, v1, v2 int32, p0, p1 int32, enc []int32) int3
 // *hole*: the adjacent cavity is still being carved and the neighbour
 // triangle does not exist yet. (id = noTri with present = true means the
 // outer side of the bounding triangle.)
-func (t *Triangulation) reverseOwner(a, b int32) (id int32, present bool) {
-	t.meter.Read()
+func (t *Triangulation) reverseOwner(a, b int32, lc *localCost) (id int32, present bool) {
+	lc.reads++
 	id, ok := t.owner[edgeKey(b, a)]
 	if !ok {
 		return noTri, false
@@ -202,77 +212,89 @@ func (t *Triangulation) runRounds(active []int32) error {
 		// partially carved cavity — and (b) its minimum encroacher is no
 		// larger than every neighbour's minimum.
 		fires := make([]bool, len(active))
-		parallel.For(len(active), func(i int) {
-			id := active[i]
-			tr := &t.Tris[id]
-			v := tr.minEnc
-			ok := true
-			for e := 0; e < 3 && ok; e++ {
-				nb, present := t.reverseOwner(tr.V[e], tr.V[(e+1)%3])
-				if !present {
-					ok = false // hole: neighbour not created yet
-				} else if nb != noTri && t.Tris[nb].alive && t.Tris[nb].minEnc < v {
-					ok = false
+		parallel.ForChunkedW(len(active), parallel.DefaultGrain, func(w, lo, hi int) {
+			hw := t.meter.Worker(w)
+			var lc localCost
+			for i := lo; i < hi; i++ {
+				id := active[i]
+				tr := &t.Tris[id]
+				v := tr.minEnc
+				ok := true
+				for e := 0; e < 3 && ok; e++ {
+					nb, present := t.reverseOwner(tr.V[e], tr.V[(e+1)%3], &lc)
+					if !present {
+						ok = false // hole: neighbour not created yet
+					} else if nb != noTri && t.Tris[nb].alive && t.Tris[nb].minEnc < v {
+						ok = false
+					}
 				}
+				fires[i] = ok
 			}
-			fires[i] = ok
+			hw.ReadN(int(lc.reads))
 		})
 
 		// Phase 2 (parallel): compute replacements for fired triangles.
 		news := make([][]pending, len(active))
-		parallel.ForGrain(len(active), 8, func(i int) {
-			if !fires[i] {
-				return
-			}
-			id := active[i]
-			tr := &t.Tris[id]
-			v := tr.minEnc
-			var out []pending
-			for e := 0; e < 3; e++ {
-				u, w := tr.V[e], tr.V[(e+1)%3]
-				nb, _ := t.reverseOwner(u, w)
-				var nbTri *Tri
-				encroachesNb := false
-				if nb != noTri {
-					nbTri = &t.Tris[nb]
-					encroachesNb = t.encroaches(v, nbTri.V, &tests)
+		parallel.ForChunkedW(len(active), 8, func(wk, lo, hi int) {
+			hw := t.meter.Worker(wk)
+			var lc localCost
+			for i := lo; i < hi; i++ {
+				if !fires[i] {
+					continue
 				}
-				if encroachesNb {
-					continue // interior edge of the cavity: no new triangle
-				}
-				// Boundary edge: create t' = (u, w, v).
-				cand := [3]int32{u, w, v}
-				var enc []int32
-				for _, x := range tr.enc {
-					if x != v && t.encroaches(x, cand, &tests) {
-						enc = append(enc, x)
+				id := active[i]
+				tr := &t.Tris[id]
+				v := tr.minEnc
+				var out []pending
+				for e := 0; e < 3; e++ {
+					u, w := tr.V[e], tr.V[(e+1)%3]
+					nb, _ := t.reverseOwner(u, w, &lc)
+					var nbTri *Tri
+					encroachesNb := false
+					if nb != noTri {
+						nbTri = &t.Tris[nb]
+						encroachesNb = t.encroaches(v, nbTri.V, &lc)
 					}
-				}
-				if nbTri != nil && nbTri.alive {
-					for _, x := range nbTri.enc {
-						if x == v {
-							continue
-						}
-						// Dedup: points encroaching t are taken from E(t).
-						if t.encroaches(x, tr.V, &tests) {
-							continue
-						}
-						if t.encroaches(x, cand, &tests) {
+					if encroachesNb {
+						continue // interior edge of the cavity: no new triangle
+					}
+					// Boundary edge: create t' = (u, w, v).
+					cand := [3]int32{u, w, v}
+					var enc []int32
+					for _, x := range tr.enc {
+						if x != v && t.encroaches(x, cand, &lc) {
 							enc = append(enc, x)
 						}
 					}
+					if nbTri != nil && nbTri.alive {
+						for _, x := range nbTri.enc {
+							if x == v {
+								continue
+							}
+							// Dedup: points encroaching t are taken from E(t).
+							if t.encroaches(x, tr.V, &lc) {
+								continue
+							}
+							if t.encroaches(x, cand, &lc) {
+								enc = append(enc, x)
+							}
+						}
+					}
+					p1 := noTri
+					if nb != noTri {
+						p1 = nb
+					}
+					out = append(out, pending{v0: u, v1: w, v2: v, p0: id, p1: p1, enc: enc})
 				}
-				p1 := noTri
-				if nb != noTri {
-					p1 = nb
-				}
-				out = append(out, pending{v0: u, v1: w, v2: v, p0: id, p1: p1, enc: enc})
+				news[i] = out
 			}
-			news[i] = out
+			hw.ReadN(int(lc.reads))
+			tests.Add(lc.tests)
 		})
 
 		// Phase 3 (sequential commit): kill fired triangles, add new ones.
 		var next []int32
+		fired := 0
 		for i, id := range active {
 			if fires[i] {
 				tr := &t.Tris[id]
@@ -281,9 +303,10 @@ func (t *Triangulation) runRounds(active []int32) error {
 				}
 				tr.alive = false
 				tr.enc = nil
-				t.meter.Write()
+				fired++
 			}
 		}
+		t.meter.WriteN(fired) // one write per killed triangle, in bulk
 		for i := range news {
 			for _, p := range news[i] {
 				nid := t.addTri(p.v0, p.v1, p.v2, p.p0, p.p1, p.enc)
@@ -426,12 +449,21 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	var mu sync.Mutex
 	pairs := make([]semisort.Pair, 0, 4*batch)
 
-	parallel.ForGrain(batch, 16, func(i int) {
-		p := int32(start + i)
+	parallel.ForChunkedW(batch, 16, func(w, lo, hi int) {
+		hw := t.meter.Worker(w)
+		var lc localCost
+		var v, o int64
 		var local []semisort.Pair
-		v, o := t.tracePoint(p, func(leaf int32) {
-			local = append(local, semisort.Pair{Key: uint64(leaf), Val: p})
-		})
+		for i := lo; i < hi; i++ {
+			p := int32(start + i)
+			vi, oi := t.tracePoint(p, func(leaf int32) {
+				local = append(local, semisort.Pair{Key: uint64(leaf), Val: p})
+			}, &lc)
+			v += vi
+			o += oi
+		}
+		hw.ReadN(int(lc.reads))
+		hw.WriteN(int(lc.writes))
 		visited.Add(v)
 		outputs.Add(o)
 		mu.Lock()
@@ -441,7 +473,7 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	t.Stats.LocateVisited += visited.Load()
 	t.Stats.LocateOutputs += outputs.Load()
 
-	groups := semisort.Semisort(pairs, t.meter)
+	groups := semisort.SemisortW(pairs, t.meter.Worker(0))
 	for _, g := range groups {
 		id := int32(g.Key)
 		tr := &t.Tris[id]
@@ -460,11 +492,11 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 // tracePoint walks the history DAG from the root triangle, visiting each
 // encroached triangle once (from its highest-priority visible parent) and
 // emitting encroached alive leaves. Returns (visited, outputs).
-func (t *Triangulation) tracePoint(p int32, emit func(leaf int32)) (int64, int64) {
+func (t *Triangulation) tracePoint(p int32, emit func(leaf int32), lc *localCost) (int64, int64) {
 	var visited, outputs int64
 	pp := t.point(p)
 	enc := func(id int32) bool {
-		t.meter.Read()
+		lc.reads++
 		return t.encroachesPoint(pp, t.Tris[id].V)
 	}
 	var walk func(id int32)
@@ -478,7 +510,7 @@ func (t *Triangulation) tracePoint(p int32, emit func(leaf int32)) (int64, int64
 		// interior triangles of a fully carved cavity — are not outputs.)
 		if tr.alive {
 			outputs++
-			t.meter.Write()
+			lc.writes++
 			emit(id)
 			// Fall through: an alive triangle that served as a t_o-parent
 			// also has children that may be reachable only through it.

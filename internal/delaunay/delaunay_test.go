@@ -196,9 +196,9 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := parallel.SetMaxOutstanding(0)
+	old := parallel.SetWorkers(1)
 	b, err := Triangulate(pts, nil)
-	parallel.SetMaxOutstanding(old)
+	parallel.SetWorkers(old)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,7 +144,7 @@ func (t *Tree) mergeCovers(n *node, covers []Interval) {
 	for i, iv := range covers {
 		keysL[i] = endKey{v: iv.Left, id: iv.ID}
 	}
-	bl := treap.New(endLess, endPrio, t.meter)
+	bl := treap.NewW(endLess, endPrio, t.meter)
 	bl.FromSorted(keysL)
 	n.byLeft.Union(bl)
 
@@ -160,7 +160,7 @@ func (t *Tree) mergeCovers(n *node, covers []Interval) {
 	for i, iv := range byR {
 		keysR[i] = endKey{v: iv.Right, id: iv.ID}
 	}
-	br := treap.New(endLess, endPrio, t.meter)
+	br := treap.NewW(endLess, endPrio, t.meter)
 	br.FromSorted(keysR)
 	n.byRight.Union(br)
 

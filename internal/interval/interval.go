@@ -84,7 +84,7 @@ type Tree struct {
 	root    *node
 	live    int // live intervals
 	deleted int
-	meter   *asymmem.Meter
+	meter   asymmem.Worker
 	stats   Stats
 }
 
@@ -129,7 +129,7 @@ func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
@@ -150,7 +150,7 @@ func BuildClassicConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
@@ -276,8 +276,8 @@ func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
 	byL := makeItems(leftRank)
 	byR := makeItems(rightRank)
 	maxKey := uint64(maxLevel+1) * width
-	radixsort.Sort(byL, maxKey, t.meter)
-	radixsort.Sort(byR, maxKey, t.meter)
+	radixsort.SortW(byL, maxKey, t.meter)
+	radixsort.SortW(byR, maxKey, t.meter)
 
 	// Group per node and build the inner treaps from sorted runs.
 	group := func(items []radixsort.Item, fill func(n *node, run []int32)) {
@@ -302,7 +302,7 @@ func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
 		for i, vi := range run {
 			keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
 		}
-		n.byLeft = treap.New(endLess, endPrio, t.meter)
+		n.byLeft = treap.NewW(endLess, endPrio, t.meter)
 		n.byLeft.FromSorted(keys)
 		for i := 1; i < len(keys); i++ {
 			if !endLess(keys[i-1], keys[i]) {
@@ -323,7 +323,7 @@ func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
 				panic("buildPostSorted: byR keys not strictly increasing")
 			}
 		}
-		n.byRight = treap.New(endLess, endPrio, t.meter)
+		n.byRight = treap.NewW(endLess, endPrio, t.meter)
 		n.byRight.FromSorted(keys)
 		n.ivs = make(map[int32]Interval, len(run))
 		for _, vi := range run {
@@ -376,8 +376,8 @@ func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) *node {
 // fillInner populates a node's inner trees from an unsorted cover set.
 func (t *Tree) fillInner(n *node, covers []Interval) {
 	if n.byLeft == nil {
-		n.byLeft = treap.New(endLess, endPrio, t.meter)
-		n.byRight = treap.New(endLess, endPrio, t.meter)
+		n.byLeft = treap.NewW(endLess, endPrio, t.meter)
+		n.byRight = treap.NewW(endLess, endPrio, t.meter)
 		n.ivs = make(map[int32]Interval, len(covers))
 	}
 	sort.Slice(covers, func(i, j int) bool {

@@ -221,9 +221,9 @@ func TestPBatchedDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := parallel.SetMaxOutstanding(0)
+	old := parallel.SetWorkers(1)
 	b, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
-	parallel.SetMaxOutstanding(old)
+	parallel.SetWorkers(old)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -222,20 +222,24 @@ func lessItem(a, b Item, axis int) bool {
 }
 
 // locate descends from the root to the leaf whose region contains p,
-// charging a read per level.
-func (t *Tree) locate(p geom.KPoint) *node {
+// charging one read per level to the caller's worker-local meter handle
+// (counted locally and flushed as one bulk charge — same total, one atomic
+// add).
+func (t *Tree) locate(p geom.KPoint, h asymmem.Worker) *node {
 	n := t.root
 	if n == nil {
 		return nil
 	}
+	reads := 0
 	for !n.leaf {
-		t.meter.Read()
+		reads++
 		if p[n.axis] < n.split {
 			n = n.left
 		} else {
 			n = n.right
 		}
 	}
+	h.ReadN(reads)
 	return n
 }
 
@@ -253,8 +257,8 @@ func (t *Tree) rangeRec(n *node, box geom.KBox, region geom.KBox, visit func(Ite
 	}
 	t.meter.Read()
 	if n.leaf {
+		t.meter.ReadN(len(n.items)) // one read per buffered item, in bulk
 		for i, it := range n.items {
-			t.meter.Read()
 			if n.deadMask[i] {
 				continue
 			}
@@ -327,8 +331,8 @@ func (t *Tree) ANN(q geom.KPoint, eps float64) (best Item, ok bool) {
 			return // prune: cannot improve by more than the (1+eps) slack
 		}
 		if n.leaf {
+			t.meter.ReadN(len(n.items)) // one read per buffered item, in bulk
 			for i, it := range n.items {
-				t.meter.Read()
 				if n.deadMask[i] {
 					continue
 				}

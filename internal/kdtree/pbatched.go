@@ -134,15 +134,18 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 		cfg.Phase("kdtree/locate", func() {
 			leaves := make([]*node, len(batch))
 			before := t.meter.Snapshot()
-			parallel.For(len(batch), func(i int) {
-				leaves[i] = t.locate(batch[i].P)
+			parallel.ForChunkedW(len(batch), parallel.DefaultGrain, func(w, lo, hi int) {
+				hw := t.meter.Worker(w)
+				for i := lo; i < hi; i++ {
+					leaves[i] = t.locate(batch[i].P, hw)
+				}
 			})
 			t.stats.LocationReads += t.meter.Snapshot().Sub(before).Reads
 			pairs := make([]semisort.Pair, len(batch))
 			for i := range batch {
 				pairs[i] = semisort.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
 			}
-			groups = semisort.Semisort(pairs, m)
+			groups = semisort.SemisortW(pairs, t.meter.Worker(0))
 		})
 
 		cfg.Phase("kdtree/settle", func() {
@@ -153,8 +156,8 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 				for _, vi := range g.Vals {
 					leaf.items = append(leaf.items, items[vi])
 					leaf.deadMask = append(leaf.deadMask, false)
-					m.Write()
 				}
+				m.WriteN(len(g.Vals)) // one write per buffered item, in bulk
 				if len(leaf.items) > p {
 					overflowed = append(overflowed, leaf)
 				}

@@ -2,13 +2,24 @@
 // this module. It stands in for the nested-parallel model's FORK instruction
 // (binary forking) and the work-stealing scheduler assumed by the paper.
 //
-// Go's goroutines lack fine-grained work stealing, so forking is throttled:
-// a task forks a goroutine only while the number of outstanding forked tasks
-// is below a budget proportional to GOMAXPROCS, and loops fall back to
-// sequential execution below a grain size. This preserves the asymptotic
-// work/depth of the algorithms while keeping scheduling overhead bounded;
-// the experiment harness reports model costs (reads/writes) for the paper's
-// claims and wall-clock only as a sanity check.
+// The runtime is organized around a fixed pool of P workers (P defaults to
+// GOMAXPROCS; SetWorkers resizes it). Worker identities flow down the fork
+// path: the caller of a parallel region is worker 0, and every successful
+// fork hands the spawned branch a free worker ID from the pool, so any task
+// can know which worker it runs as without a global goroutine registry. The
+// worker-aware primitives (DoW, ForW, ForGrainW, ForChunkedW) expose that ID
+// to their bodies; charge sites use it to obtain a worker-local handle on
+// the asymmetric-memory meter (see internal/asymmem) so parallel phases
+// never contend on shared counter cache lines.
+//
+// Forking is throttled by the pool: a branch forks only while a worker ID is
+// free, and loops fall back to sequential execution below a grain size.
+// Because a running task re-attempts the fork at every recursive split,
+// workers that finish early are re-engaged at the next split point (lazy
+// binary splitting), which preserves the asymptotic work/depth of the
+// algorithms while bounding scheduling overhead; the experiment harness
+// reports model costs (reads/writes) for the paper's claims and wall-clock
+// only as a sanity check.
 package parallel
 
 import (
@@ -17,58 +28,80 @@ import (
 	"sync/atomic"
 )
 
-// budget limits the number of concurrently outstanding forked tasks.
-var budget atomic.Int64
+// pool is one sizing of the worker pool: IDs 1..n-1 circulate through the
+// free list; ID 0 is the caller of every parallel region.
+type pool struct {
+	n   int
+	ids chan int
+}
 
-// maxOutstanding is the fork budget; it is set once at init and can be
-// overridden for tests via SetMaxOutstanding.
-var maxOutstanding atomic.Int64
+var curPool atomic.Pointer[pool]
+
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{n: n, ids: make(chan int, n)}
+	for i := 1; i < n; i++ {
+		p.ids <- i
+	}
+	return p
+}
 
 func init() {
-	maxOutstanding.Store(int64(8 * runtime.GOMAXPROCS(0)))
+	curPool.Store(newPool(runtime.GOMAXPROCS(0)))
 }
 
-// SetMaxOutstanding overrides the fork budget (minimum 0, meaning fully
-// sequential). It returns the previous value. Intended for tests and for
-// experiments that pin parallelism.
-func SetMaxOutstanding(n int) int {
-	if n < 0 {
-		n = 0
+// Workers returns the current worker-pool size P. Worker IDs handed down
+// the fork path are in [0, P).
+func Workers() int { return curPool.Load().n }
+
+// SetWorkers resizes the worker pool: 1 forces sequential execution, n > 1
+// allows n-way fork-join, and n <= 0 restores the default (GOMAXPROCS).
+// It returns the previous size. Resizing while parallel regions are in
+// flight is safe (in-flight forks drain against the pool they started
+// with) but sizes the new regions only; callers that pin parallelism (the
+// Engine) serialize runs around it.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return int(maxOutstanding.Swap(int64(n)))
-}
-
-// tryFork reserves a fork slot, returning true if the caller may spawn.
-func tryFork() bool {
-	for {
-		cur := budget.Load()
-		if cur >= maxOutstanding.Load() {
-			return false
-		}
-		if budget.CompareAndSwap(cur, cur+1) {
-			return true
-		}
+	prev := curPool.Load()
+	if n == prev.n {
+		return prev.n
 	}
+	curPool.Store(newPool(n))
+	return prev.n
 }
-
-func releaseFork() { budget.Add(-1) }
 
 // Do runs a and b, potentially in parallel, and returns when both complete.
-// It is the binary FORK of the nested-parallel model.
+// It is the binary FORK of the nested-parallel model. Code that charges the
+// cost meter should prefer DoW, which passes worker IDs to the branches.
 func Do(a, b func()) {
-	if !tryFork() {
-		a()
-		b()
-		return
+	DoW(0, func(int) { a() }, func(int) { b() })
+}
+
+// DoW is the worker-aware binary FORK: the caller, running as worker w,
+// runs a(w) itself; b runs as a freshly acquired pool worker when one is
+// free and as w sequentially otherwise. Both branches have completed when
+// DoW returns.
+func DoW(w int, a, b func(w int)) {
+	p := curPool.Load()
+	select {
+	case id := <-p.ids:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b(id)
+			p.ids <- id
+		}()
+		a(w)
+		wg.Wait()
+	default:
+		a(w)
+		b(w)
 	}
-	done := make(chan struct{})
-	go func() {
-		defer releaseFork()
-		defer close(done)
-		b()
-	}()
-	a()
-	<-done
 }
 
 // Do3 runs three functions, potentially in parallel.
@@ -85,40 +118,76 @@ func For(n int, body func(i int)) {
 	ForGrain(n, DefaultGrain, body)
 }
 
+// ForW runs body(w, i) for i in [0, n) with automatic grain selection,
+// passing each iteration the worker it runs as.
+func ForW(n int, body func(w, i int)) {
+	ForGrainW(n, DefaultGrain, body)
+}
+
 // ForGrain runs body(i) for i in [0, n), executing blocks of up to grain
 // iterations sequentially and recursively forking between blocks.
 func ForGrain(n, grain int, body func(i int)) {
-	if grain < 1 {
-		grain = 1
-	}
-	ForChunked(n, grain, func(lo, hi int) {
+	ForGrainW(n, grain, func(_, i int) { body(i) })
+}
+
+// ForGrainW is ForGrain passing each iteration the worker it runs as —
+// the worker ID is constant across one sequential block, so per-block state
+// (a meter handle, scratch) can be hoisted with ForChunkedW instead when
+// the body is hot.
+func ForGrainW(n, grain int, body func(w, i int)) {
+	ForGrainAt(0, n, grain, body)
+}
+
+// ForGrainAt is ForGrainW for a caller already running as worker w (see
+// ForChunkedAt).
+func ForGrainAt(w, n, grain int, body func(w, i int)) {
+	ForChunkedAt(w, n, grain, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			body(i)
+			body(w, i)
 		}
 	})
 }
 
 // ForChunked partitions [0, n) into chunks of at most grain iterations and
-// runs body(lo, hi) on each chunk, potentially in parallel. The recursion is
-// a balanced binary split, giving O(log(n/grain)) span for the control
-// structure, matching the model's binary forking.
+// runs body(lo, hi) on each chunk, potentially in parallel.
 func ForChunked(n, grain int, body func(lo, hi int)) {
+	ForChunkedW(n, grain, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForChunkedW partitions [0, n) into chunks of at most grain iterations and
+// runs body(w, lo, hi) on each chunk, potentially in parallel, passing the
+// worker each chunk runs as. The recursion is a balanced binary split,
+// giving O(log(n/grain)) span for the control structure, matching the
+// model's binary forking; each split re-attempts a fork, so freed workers
+// are re-engaged mid-loop. The caller runs as worker 0; a loop nested
+// inside a worker-aware body should use ForChunkedAt with its own worker
+// instead, so its caller-side chunks keep charging that worker's shard.
+func ForChunkedW(n, grain int, body func(w, lo, hi int)) {
+	ForChunkedAt(0, n, grain, body)
+}
+
+// ForChunkedAt is ForChunkedW for a caller already running as worker w:
+// the unforked (caller-side) chunks run as w, and forked branches acquire
+// fresh pool workers as usual.
+func ForChunkedAt(w, n, grain int, body func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	var rec func(lo, hi int)
-	rec = func(lo, hi int) {
+	var rec func(w, lo, hi int)
+	rec = func(w, lo, hi int) {
 		if hi-lo <= grain {
-			body(lo, hi)
+			body(w, lo, hi)
 			return
 		}
 		mid := lo + (hi-lo)/2
-		Do(func() { rec(lo, mid) }, func() { rec(mid, hi) })
+		DoW(w,
+			func(w int) { rec(w, lo, mid) },
+			func(w int) { rec(w, mid, hi) })
 	}
-	rec(0, n)
+	rec(w, 0, n)
 }
 
 // Reduce computes op over f(0), ..., f(n-1) with identity id, potentially in
@@ -147,10 +216,16 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	return rec(0, n)
 }
 
+// scanParBlocks is the block count above which Scan's middle pass (the
+// scan of per-block sums) recurses in parallel instead of running
+// sequentially.
+const scanParBlocks = 2048
+
 // Scan computes the exclusive prefix sums of src into dst (dst[i] = sum of
 // src[0..i)) and returns the total. dst and src may alias. It uses the
-// standard two-pass blocked algorithm: per-block sums, sequential scan of
-// block sums, then per-block fill-in; work O(n), span O(n/P + P).
+// standard two-pass blocked algorithm: per-block sums, a scan of the block
+// sums (recursing in parallel when there are many blocks), then per-block
+// fill-in; work O(n), span O(n/P + P).
 func Scan(dst, src []int64) int64 {
 	n := len(src)
 	if n == 0 {
@@ -159,7 +234,12 @@ func Scan(dst, src []int64) int64 {
 	if len(dst) < n {
 		panic("parallel.Scan: dst shorter than src")
 	}
-	nblocks := runtime.GOMAXPROCS(0) * 4
+	nblocks := Workers() * 4
+	if big := n / (1 << 15); big > nblocks {
+		// Keep blocks at a bounded size on large inputs so the fill-in pass
+		// parallelizes past 4P chunks; the block-sums scan then recurses.
+		nblocks = big
+	}
 	if nblocks > n {
 		nblocks = n
 	}
@@ -175,10 +255,14 @@ func Scan(dst, src []int64) int64 {
 		sums[b] = s
 	})
 	var total int64
-	for b := 0; b < nblocks; b++ {
-		s := sums[b]
-		sums[b] = total
-		total += s
+	if nblocks >= scanParBlocks {
+		total = Scan(sums, sums)
+	} else {
+		for b := 0; b < nblocks; b++ {
+			s := sums[b]
+			sums[b] = total
+			total += s
+		}
 	}
 	ForGrain(nblocks, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -257,10 +341,10 @@ func min(a, b int) int {
 }
 
 // WaitGroupFor runs body(i) for i in [0, n) with one goroutine per chunk,
-// without the fork budget. It is used by the harness for embarrassingly
+// outside the worker pool. It is used by the harness for embarrassingly
 // parallel outer loops (e.g. batched query evaluation).
 func WaitGroupFor(n int, body func(i int)) {
-	p := runtime.GOMAXPROCS(0)
+	p := Workers()
 	if n < 2 || p == 1 {
 		for i := 0; i < n; i++ {
 			body(i)

@@ -24,8 +24,8 @@ func TestDo3(t *testing.T) {
 }
 
 func TestDoSequentialWhenBudgetZero(t *testing.T) {
-	old := SetMaxOutstanding(0)
-	defer SetMaxOutstanding(old)
+	old := SetWorkers(1)
+	defer SetWorkers(old)
 	order := []int{}
 	Do(func() { order = append(order, 1) }, func() { order = append(order, 2) })
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {

@@ -73,7 +73,7 @@ type Tree struct {
 	root    *node
 	live    int
 	dummies int
-	meter   *asymmem.Meter
+	meter   asymmem.Worker
 	stats   Stats
 }
 
@@ -107,7 +107,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("pst/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
@@ -137,9 +137,9 @@ func BuildClassicConfig(pts []Point, cfg config.Config) (*Tree, error) {
 // BuildClassic runs the standard recursive construction that partitions
 // and copies the points at every level — the Θ(ωn log n) baseline.
 func BuildClassic(pts []Point, opts Options, m *asymmem.Meter) *Tree {
-	t := &Tree{opts: opts, meter: m}
+	t := &Tree{opts: opts, meter: m.Worker(0)}
 	buf := append([]Point{}, pts...)
-	m.WriteN(len(buf))
+	t.meter.WriteN(len(buf))
 	t.root = t.buildClassicRec(buf, -1)
 	t.live = len(pts)
 	t.markVirtualRoot()
@@ -168,7 +168,7 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 	for i, p := range pts {
 		prios[i] = p.Y
 	}
-	tt := tournament.New(prios, t.meter)
+	tt := tournament.NewW(prios, t.meter)
 	smallMem := 4 * int(math.Log2(float64(n)+2))
 
 	var build func(lo, hi, nv, sibNv int) *node
@@ -224,7 +224,7 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 func (t *Tree) buildSmall(pts []Point, sibNv int) *node {
 	t.meter.WriteN(2 * len(pts))
 	saved := t.meter
-	t.meter = nil
+	t.meter = asymmem.Worker{}
 	n := t.buildClassicRec(pts, sibNv)
 	t.meter = saved
 	return n

@@ -24,6 +24,12 @@ const radix = 1 << digitBits
 // derive it with one scan); only the digits needed to cover maxKey are
 // processed. Charges ~2n reads and ~n writes per pass to m.
 func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
+	SortW(items, maxKey, m.Worker(0))
+}
+
+// SortW is Sort charging a worker-local meter handle, for callers running
+// as one worker of a parallel phase.
+func SortW(items []Item, maxKey uint64, h asymmem.Worker) {
 	n := len(items)
 	if n <= 1 {
 		return
@@ -34,7 +40,7 @@ func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
 				maxKey = it.Key
 			}
 		}
-		m.ReadN(n)
+		h.ReadN(n)
 	}
 	passes := (bits.Len64(maxKey) + digitBits - 1) / digitBits
 	if passes == 0 {
@@ -51,7 +57,7 @@ func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
 		for i := 0; i < n; i++ {
 			count[(src[i].Key>>shift)&(radix-1)]++
 		}
-		m.ReadN(n)
+		h.ReadN(n)
 		var sum int64
 		for i := 0; i < radix; i++ {
 			c := count[i]
@@ -63,12 +69,12 @@ func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
 			dst[count[d]] = src[i]
 			count[d]++
 		}
-		m.WriteN(n)
+		h.WriteN(n)
 		src, dst = dst, src
 	}
 	if &src[0] != &items[0] {
 		copy(items, src)
-		m.WriteN(n)
+		h.WriteN(n)
 	}
 }
 

@@ -99,7 +99,7 @@ func (t *Tree) bulkRec(n *node, batch []Point, anc []*node, doubled *[]doubledEn
 		for i, p := range byY {
 			keys[i] = yKey{p.Y, p.ID}
 		}
-		b := treap.New(yLess, yPrio, t.meter)
+		b := treap.NewW(yLess, yPrio, t.meter)
 		b.FromSorted(keys)
 		n.inner.Union(b)
 		for _, p := range batch {

@@ -81,7 +81,7 @@ type Tree struct {
 	root  *node
 	live  int
 	dead  int
-	meter *asymmem.Meter
+	meter asymmem.Worker
 	stats Stats
 }
 
@@ -119,7 +119,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.Meter}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("rangetree/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
@@ -286,7 +286,7 @@ func (t *Tree) goesLeft(n *node, p Point) bool {
 // carry the y-sum augmentation, supporting the appendix's weighted-sum
 // queries without an output term.
 func (t *Tree) setInner(n *node, list []Point) {
-	n.inner = treap.New(yLess, yPrio, t.meter).WithValues(ySum)
+	n.inner = treap.NewW(yLess, yPrio, t.meter).WithValues(ySum)
 	keys := make([]yKey, len(list))
 	n.pts = make(map[int32]Point, len(list))
 	for i, p := range list {

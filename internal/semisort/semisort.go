@@ -36,11 +36,17 @@ type Group struct {
 // allocated storage; the input is not modified. Charges O(n) reads and
 // writes to m (nil m is allowed).
 func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
+	return SemisortW(pairs, m.Worker(0))
+}
+
+// SemisortW is Semisort charging a worker-local meter handle, for callers
+// running as one worker of a parallel phase.
+func SemisortW(pairs []Pair, h asymmem.Worker) []Group {
 	n := len(pairs)
 	if n == 0 {
 		return nil
 	}
-	m.ReadN(n)
+	h.ReadN(n)
 
 	nb := 1
 	for nb < 2*n {
@@ -64,7 +70,7 @@ func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
 		out[next[b]] = pairs[i]
 		next[b]++
 	}
-	m.WriteN(n)
+	h.WriteN(n)
 
 	// Within each bucket, group equal keys. A bucket holds expected O(1)
 	// distinct keys; sort tiny runs when a collision occurs.
@@ -78,8 +84,8 @@ func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
 		run := out[start:end]
 		if !allSameKey(run) {
 			sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
-			m.ReadN(len(run))
-			m.WriteN(len(run))
+			h.ReadN(len(run))
+			h.WriteN(len(run))
 		}
 		i := 0
 		for i < len(run) {
@@ -96,7 +102,7 @@ func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
 		}
 		start = end
 	}
-	m.WriteN(n) // writing the grouped values
+	h.WriteN(n) // writing the grouped values
 	return groups
 }
 

@@ -24,11 +24,16 @@ type Tree struct {
 	valid []bool
 	best  []int32 // per tree node (1-based heap layout), -1 = none
 	cnt   []int32
-	meter *asymmem.Meter
+	meter asymmem.Worker
 }
 
 // New builds the tree in O(n) work and writes.
 func New(prios []float64, m *asymmem.Meter) *Tree {
+	return NewW(prios, m.Worker(0))
+}
+
+// NewW is New charging a worker-local meter handle.
+func NewW(prios []float64, h asymmem.Worker) *Tree {
 	n := len(prios)
 	size := 1
 	for size < n {
@@ -40,7 +45,7 @@ func New(prios []float64, m *asymmem.Meter) *Tree {
 		valid: make([]bool, n),
 		best:  make([]int32, 2*size),
 		cnt:   make([]int32, 2*size),
-		meter: m,
+		meter: h,
 	}
 	for i := range t.valid {
 		t.valid[i] = true
@@ -55,7 +60,7 @@ func New(prios []float64, m *asymmem.Meter) *Tree {
 	for v := size - 1; v >= 1; v-- {
 		t.pull(v)
 	}
-	m.WriteN(2 * size)
+	h.WriteN(2 * size)
 	return t
 }
 

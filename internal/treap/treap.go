@@ -27,7 +27,7 @@ type Tree[K any] struct {
 	less  func(a, b K) bool
 	prio  func(K) uint64
 	value func(K) float64 // optional sum augmentation (nil = disabled)
-	meter *asymmem.Meter
+	meter asymmem.Worker
 	size  int
 }
 
@@ -42,7 +42,14 @@ type node[K any] struct {
 // New returns an empty treap ordered by less, hashing keys to priorities
 // with prio, charging costs to m (nil allowed).
 func New[K any](less func(a, b K) bool, prio func(K) uint64, m *asymmem.Meter) *Tree[K] {
-	return &Tree[K]{less: less, prio: prio, meter: m}
+	return NewW(less, prio, m.Worker(0))
+}
+
+// NewW is New charging a worker-local meter handle — the form the
+// linear-write tree constructions use so inner-tree charges land on the
+// worker that builds them.
+func NewW[K any](less func(a, b K) bool, prio func(K) uint64, h asymmem.Worker) *Tree[K] {
+	return &Tree[K]{less: less, prio: prio, meter: h}
 }
 
 // NewFloat64 returns a treap over float64 keys with the standard hash.
@@ -59,8 +66,8 @@ func floatBits(f float64) uint64 {
 // Len returns the number of keys.
 func (t *Tree[K]) Len() int { return t.size }
 
-// Meter returns the meter costs are charged to.
-func (t *Tree[K]) Meter() *asymmem.Meter { return t.meter }
+// Meter returns the worker-local meter handle costs are charged to.
+func (t *Tree[K]) Meter() asymmem.Worker { return t.meter }
 
 func (t *Tree[K]) count(n *node[K]) int {
 	if n == nil {

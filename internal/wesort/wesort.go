@@ -109,16 +109,20 @@ func (t *Tree) slotAddr(s slot) *atomic.Int32 {
 }
 
 // descend walks from s through *committed* nodes to the slot where element
-// e belongs, charging a read per node visited. A slot that is empty or
-// holds an uncommitted (this-round) value is the target: under the
-// round-synchronous semantics it is still contested by priority-writes.
-func (t *Tree) descend(s slot, e int32) slot {
+// e belongs, charging one read per node visited to the caller's
+// worker-local meter handle (counted locally and flushed as one bulk charge
+// — same total, one atomic add). A slot that is empty or holds an
+// uncommitted (this-round) value is the target: under the round-synchronous
+// semantics it is still contested by priority-writes.
+func (t *Tree) descend(s slot, e int32, h asymmem.Worker) slot {
+	reads := 0
 	for {
 		cur := t.slotAddr(s).Load()
 		if cur == empty || t.committed[cur].Load() == 0 {
+			h.ReadN(reads)
 			return s
 		}
-		t.meter.Read()
+		reads++
 		if t.Keys[e] < t.Keys[cur] {
 			s = slot{node: cur, side: 0}
 		} else {
@@ -132,11 +136,12 @@ func (t *Tree) descend(s slot, e int32) slot {
 // Algorithm 1.
 func Sequential(keys []float64, m *asymmem.Meter) *Tree {
 	t := newTree(keys, m)
+	h := m.Worker(0)
 	for i := range keys {
-		s := t.descend(rootSlot, int32(i))
+		s := t.descend(rootSlot, int32(i), h)
 		t.slotAddr(s).Store(int32(i))
 		t.committed[i].Store(1)
-		m.Write()
+		h.Write()
 	}
 	return t
 }
@@ -159,8 +164,10 @@ type roundResult struct {
 // If maxRounds > 0, elements still active after maxRounds rounds are
 // returned as postponed instead of inserted. par selects parallel or
 // sequential execution of the per-round loop (buckets are tiny, so the
-// caller parallelises across buckets instead).
-func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par bool) roundResult {
+// caller parallelises across buckets instead); h is the caller's
+// worker-local meter handle, used for the sequential paths — the parallel
+// path charges each chunk's own worker handle via the fork path.
+func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par bool, h asymmem.Worker) roundResult {
 	var res roundResult
 	active := elems
 	cur := start
@@ -170,7 +177,7 @@ func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par 
 			// would contest next — so the caller can poison exactly the
 			// positions where elements are missing from the tree.
 			for i, e := range active {
-				cur[i] = t.descend(cur[i], e)
+				cur[i] = t.descend(cur[i], e, h)
 			}
 			res.postponed = active
 			res.slots = cur
@@ -178,19 +185,26 @@ func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par 
 		}
 		res.rounds++
 		res.attempts += int64(len(active))
-		body := func(i int) {
+		body := func(hw asymmem.Worker, i int) {
 			e := active[i]
-			s := t.descend(cur[i], e)
+			s := t.descend(cur[i], e, hw)
 			cur[i] = s
 			parallel.PriorityWriteMinI32(t.slotAddr(s), e)
-			t.meter.Write()
 		}
 		if par {
-			parallel.For(len(active), body)
+			parallel.ForChunkedW(len(active), parallel.DefaultGrain, func(w, lo, hi int) {
+				hw := t.meter.Worker(w)
+				for i := lo; i < hi; i++ {
+					body(hw, i)
+				}
+				// One write per active element per round, charged in bulk.
+				hw.WriteN(hi - lo)
+			})
 		} else {
 			for i := range active {
-				body(i)
+				body(h, i)
 			}
+			h.WriteN(len(active))
 		}
 		// Barrier: commit winners, keep losers.
 		next := active[:0:0]
@@ -219,7 +233,7 @@ func ParallelPlain(keys []float64, m *asymmem.Meter) (*Tree, Stats) {
 		elems[i] = int32(i)
 		start[i] = rootSlot
 	}
-	r := t.insertRoundBased(elems, start, 0, true)
+	r := t.insertRoundBased(elems, start, 0, true, m.Worker(0))
 	st.WriteAttempts = r.attempts
 	st.MaxBucketRound = r.rounds
 	return t, st
@@ -281,8 +295,9 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 		elems[i] = int32(i)
 		start[i] = rootSlot
 	}
+	h0 := cfg.WorkerMeter(0)
 	cfg.Phase("sort/initial", func() {
-		r0 := t.insertRoundBased(elems, start, 0, true)
+		r0 := t.insertRoundBased(elems, start, 0, true, h0)
 		st.WriteAttempts += r0.attempts
 	})
 
@@ -307,22 +322,26 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 		cfg.Phase("sort/locate", func() {
 			slots := make([]slot, batch)
 			before := t.meter.Snapshot()
-			parallel.For(batch, func(i int) {
-				slots[i] = t.descend(rootSlot, int32(rd.Start+i))
+			parallel.ForChunkedW(batch, parallel.DefaultGrain, func(w, lo, hi int) {
+				hw := t.meter.Worker(w)
+				for i := lo; i < hi; i++ {
+					slots[i] = t.descend(rootSlot, int32(rd.Start+i), hw)
+				}
 			})
 			st.LocationReads += t.meter.Snapshot().Sub(before).Reads
-			t.meter.WriteN(batch) // recording the located positions
+			h0.WriteN(batch) // recording the located positions
 
 			pairs := make([]semisort.Pair, batch)
 			for i := 0; i < batch; i++ {
 				pairs[i] = semisort.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
 			}
-			groups = semisort.Semisort(pairs, t.meter)
+			groups = semisort.SemisortW(pairs, h0)
 		})
 
 		// Step 3: insert per bucket, in parallel across buckets.
 		insertBuckets := func() {
-			parallel.ForGrain(len(groups), 1, func(gi int) {
+			parallel.ForGrainW(len(groups), 1, func(w, gi int) {
+				hw := t.meter.Worker(w)
 				g := groups[gi]
 				s := slotFromKey(g.Key)
 				if poisonedSlot(poisoned, &poisonMu, s) {
@@ -337,7 +356,7 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 				for i := range starts {
 					starts[i] = s
 				}
-				res := t.insertRoundBased(g.Vals, starts, capRounds, false)
+				res := t.insertRoundBased(g.Vals, starts, capRounds, false, hw)
 				attempts.Add(res.attempts)
 				parallel.PriorityWriteMax(&maxRound, res.rounds)
 				if len(res.postponed) > 0 {
@@ -366,7 +385,7 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 			starts[i] = rootSlot
 		}
 		cfg.Phase("sort/insert", func() {
-			rf := t.insertRoundBased(postponed, starts, 0, true)
+			rf := t.insertRoundBased(postponed, starts, 0, true, h0)
 			st.WriteAttempts += rf.attempts
 		})
 	}
@@ -403,7 +422,6 @@ func (t *Tree) InOrder() []int32 {
 			}
 		case 1:
 			out = append(out, f.node)
-			t.meter.Write()
 			f.state = 2
 			if r := t.right[f.node].Load(); r != empty {
 				stack = append(stack, frame{node: r})
@@ -412,6 +430,7 @@ func (t *Tree) InOrder() []int32 {
 			stack = stack[:len(stack)-1]
 		}
 	}
+	t.meter.WriteN(len(out)) // one write per emitted element, in bulk
 	return out
 }
 

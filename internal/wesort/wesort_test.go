@@ -180,9 +180,9 @@ func TestExpectedTreeHeightLogarithmic(t *testing.T) {
 func TestDeterminismAcrossParallelism(t *testing.T) {
 	keys := gen.UniformFloats(8000, 77)
 	a, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
-	old := parallel.SetMaxOutstanding(0) // fully sequential execution
+	old := parallel.SetWorkers(1) // fully sequential execution
 	b, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
-	parallel.SetMaxOutstanding(old)
+	parallel.SetWorkers(old)
 	if !a.Equal(b) {
 		t.Fatal("result depends on parallel schedule")
 	}

@@ -42,11 +42,11 @@ func WithOmega(omega int64) Option {
 	return func(e *Engine) { e.cfg.Omega = omega }
 }
 
-// WithParallelism caps the fork-join runtime during this Engine's runs:
-// 0 keeps the runtime default, 1 forces sequential execution, p > 1 allows
-// roughly p-way forking. The cap is installed for the duration of each
-// method call; concurrent runs from engines with different parallelism
-// settings see the most recent installer's cap.
+// WithParallelism sizes the fork-join runtime's worker pool during this
+// Engine's runs: 0 keeps the runtime default (GOMAXPROCS workers), 1 forces
+// sequential execution, p > 1 runs a pool of p workers. The pool size is
+// installed for the duration of each method call; runs from engines that
+// pin a size serialize against each other.
 func WithParallelism(p int) Option {
 	return func(e *Engine) { e.cfg.Parallelism = p }
 }

@@ -44,10 +44,54 @@ type Report struct {
 	// Total is everything charged to the engine's meter during the run,
 	// including accesses outside any named phase.
 	Total Snapshot
+	// PerWorker attributes Total to the meter's shards: entry w is what
+	// worker w charged during the run (worker 0 also holds sequential
+	// phases and legacy unsharded charges). Summing PerWorker gives Total
+	// exactly. Nil when the Engine was built with WithMeter(nil).
+	PerWorker []Snapshot
 	// Wall is the elapsed wall-clock time of the run.
 	Wall time.Duration
 	// Omega is the configured write/read cost ratio.
 	Omega int64
+}
+
+// ActiveWorkers reports how many workers charged at least one access during
+// the run — a quick check that a parallel phase actually spread across the
+// pool.
+func (r *Report) ActiveWorkers() int {
+	n := 0
+	for _, s := range r.PerWorker {
+		if s != (Snapshot{}) {
+			n++
+		}
+	}
+	return n
+}
+
+// sumSnapshots adds a slice of per-shard snapshots into one total.
+func sumSnapshots(ss []Snapshot) Snapshot {
+	var t Snapshot
+	for _, s := range ss {
+		t = t.Add(s)
+	}
+	return t
+}
+
+// subSnapshots returns after minus before element-wise (nil when after is
+// nil; a shorter before — never produced by one meter — is zero-padded).
+func subSnapshots(after, before []Snapshot) []Snapshot {
+	if after == nil {
+		return nil
+	}
+	out := make([]Snapshot, len(after))
+	for i := range after {
+		if i < len(before) {
+			out[i] = after[i].Sub(before[i])
+		} else {
+			out[i] = after[i]
+		}
+	}
+	return out
 }
 
 // Work returns the run's Asymmetric NP work, reads + ω·writes, at the
