@@ -91,8 +91,15 @@ func (e *Engine) Omega() int64 { return e.cfg.Omega }
 func (e *Engine) Alpha() int { return e.cfg.Alpha }
 
 // run executes f under the Engine's Config with ctx wired to the
-// builders' interrupt hook, and assembles the uniform Report.
+// builders' interrupt hook, and assembles the uniform Report. A nil ctx is
+// normalized to context.Background() so every Engine method — and every
+// deprecated facade wrapper that forwards a nil context — gets the same
+// cancellation/interrupt semantics: cfg.Interrupt is always wired, and the
+// builders poll it at phase and fork boundaries.
 func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) error) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cfg.Parallelism > 0 {
@@ -106,9 +113,7 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 	}
 	cfg := e.cfg
 	cfg.Ledger = e.ledger
-	if ctx != nil {
-		cfg.Interrupt = ctx.Err
-	}
+	cfg.Interrupt = ctx.Err
 	phasesBefore := len(e.ledger.Phases())
 	beforeShards := cfg.Meter.PerWorker()
 	before := sumSnapshots(beforeShards)
@@ -121,6 +126,7 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 		PerWorker: subSnapshots(afterShards, beforeShards),
 		Wall:      time.Since(start),
 		Omega:     cfg.Omega,
+		Workers:   parallel.Workers(),
 	}
 	if all := e.ledger.Phases(); len(all) > phasesBefore {
 		rep.Phases = all[phasesBefore:]

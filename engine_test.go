@@ -299,6 +299,78 @@ func TestEngineCancellation(t *testing.T) {
 	}
 }
 
+// TestEngineNilContext verifies that a nil ctx is normalized inside run():
+// every method behaves as with context.Background() instead of skipping the
+// interrupt wiring (or panicking), so cancellation semantics stay uniform
+// across methods and the deprecated facade wrappers.
+func TestEngineNilContext(t *testing.T) {
+	eng := NewEngine(WithAlpha(4))
+	ivs := make([]Interval, 0, 300)
+	for i, iv := range gen.UniformIntervals(300, 0.05, 31) {
+		ivs = append(ivs, Interval{Left: iv.Left, Right: iv.Right, ID: int32(i)})
+	}
+	tr, rep, err := eng.NewIntervalTree(nil, ivs) //nolint:staticcheck // nil ctx is the point
+	if err != nil {
+		t.Fatalf("nil-ctx NewIntervalTree: %v", err)
+	}
+	if tr.Len() != len(ivs) {
+		t.Fatalf("nil-ctx build holds %d intervals, want %d", tr.Len(), len(ivs))
+	}
+	if rep.Workers < 1 {
+		t.Fatalf("Report.Workers = %d, want >= 1", rep.Workers)
+	}
+	if _, _, err := eng.Sort(nil, gen.UniformFloats(500, 32)); err != nil { //nolint:staticcheck
+		t.Fatalf("nil-ctx Sort: %v", err)
+	}
+}
+
+// TestEngineCancellationTreeFamily verifies the §7 tree builders poll the
+// interrupt at phase and fork boundaries: pre-cancelled contexts abort
+// before building, and a mid-run deadline aborts a large parallel interval
+// build promptly, at P = 1 and under a multi-worker pool.
+func TestEngineCancellationTreeFamily(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := NewEngine(WithAlpha(8))
+
+	ivs := make([]Interval, 0, 200000)
+	for i, iv := range gen.UniformIntervals(200000, 0.01, 33) {
+		ivs = append(ivs, Interval{Left: iv.Left, Right: iv.Right, ID: int32(i)})
+	}
+	if tr, _, err := eng.NewIntervalTree(cancelled, ivs); !errors.Is(err, context.Canceled) || tr != nil {
+		t.Fatalf("pre-cancelled NewIntervalTree: tree=%v err=%v, want nil/Canceled", tr, err)
+	}
+	ppts := make([]PSTPoint, 2000)
+	rpts := make([]RTPoint, 2000)
+	for i, p := range gen.UniformPoints(2000, 34) {
+		ppts[i] = PSTPoint{X: p.X, Y: p.Y, ID: int32(i)}
+		rpts[i] = RTPoint{X: p.X, Y: p.Y, ID: int32(i)}
+	}
+	if tr, _, err := eng.NewPriorityTree(cancelled, ppts); !errors.Is(err, context.Canceled) || tr != nil {
+		t.Fatalf("pre-cancelled NewPriorityTree: tree=%v err=%v", tr, err)
+	}
+	if tr, _, err := eng.NewRangeTree(cancelled, rpts); !errors.Is(err, context.Canceled) || tr != nil {
+		t.Fatalf("pre-cancelled NewRangeTree: tree=%v err=%v", tr, err)
+	}
+
+	// Deadline mid-run, with a forked build: the 200k interval build takes
+	// well over the deadline; the run must abort within one grain's work.
+	for _, p := range []int{1, 4} {
+		peng := NewEngine(WithAlpha(8), WithParallelism(p))
+		ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		start := time.Now()
+		_, _, err := peng.NewIntervalTree(ctx, ivs)
+		elapsed := time.Since(start)
+		cancel2()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("P=%d deadline NewIntervalTree: err = %v, want DeadlineExceeded", p, err)
+		}
+		if elapsed > 2500*time.Millisecond {
+			t.Fatalf("P=%d cancellation was not prompt: took %v after a 10ms deadline", p, elapsed)
+		}
+	}
+}
+
 // TestShufflePointsDeterministic checks that a fixed seed yields a fixed
 // permutation and that the shuffle leaves its input untouched.
 func TestShufflePointsDeterministic(t *testing.T) {

@@ -92,4 +92,16 @@ func main() {
 	fmt.Printf("loading %d new trades: %.2f writes/pt one-by-one vs %.2f writes/pt bulk\n",
 		len(batch), float64(singleCost.Writes)/float64(len(batch)),
 		float64(bulkCost.Writes)/float64(len(batch)))
+
+	// Parallel construction: the same build forked over a 4-worker pool.
+	// Model costs are bit-identical to the sequential build — only wall
+	// time and the per-worker attribution move.
+	engP := wegeom.NewEngine(wegeom.WithAlpha(8), wegeom.WithParallelism(4))
+	_, repP, err := engP.NewRangeTree(ctx, trades)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parallel rebuild (P=%d): %d of %d workers charged; reads/writes %d/%d (sequential: %d/%d)\n",
+		repP.Workers, repP.ActiveWorkers(), repP.Workers,
+		repP.Total.Reads, repP.Total.Writes, rep.Total.Reads, rep.Total.Writes)
 }

@@ -3,7 +3,17 @@ package interval
 import (
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/treap"
+)
+
+// bulkGrain is the batch-size cutoff below which the bulk distribution
+// stops forking child recursions and runs sequentially on the current
+// worker; bulkUnionMin is the cover-batch size below which inner-tree
+// merges use the sequential treap union.
+const (
+	bulkGrain    = 512
+	bulkUnionMin = 256
 )
 
 // BulkInsert adds a batch of m intervals in one pass (§7.3.5): the batch is
@@ -11,6 +21,12 @@ import (
 // node's inner trees with treap unions — O(m log(n/m) + ωm) expected work
 // for the inner merges instead of m independent O(log n) searches, plus
 // O(ωm log_α n) amortized for the weight/rebalancing bookkeeping.
+//
+// The distribution is parallel divide-and-conquer on the worker pool: the
+// left and right halves of the batch descend into disjoint subtrees, so the
+// two child recursions fork, and large cover batches union into the inner
+// treaps with the parallel union. Charges are worker-local and the work is
+// identical to the sequential pass, so counted costs do not move with P.
 func (t *Tree) BulkInsert(ivs []Interval) error {
 	if err := validate(ivs); err != nil {
 		return err
@@ -40,7 +56,7 @@ func (t *Tree) BulkInsert(ivs []Interval) error {
 	t.meter.WriteN(len(batch))
 
 	var doubled []doubledEnt
-	t.bulkRec(t.root, batch, nil, &doubled)
+	t.bulkRec(0, t.root, batch, nil, &doubled)
 	t.live += len(ivs)
 	// Rebuild doubled critical subtrees, topmost first: the recursion
 	// appends post-order (children before parents), so iterate in reverse
@@ -76,18 +92,23 @@ type doubledEnt struct {
 }
 
 // bulkRec distributes a Left-sorted batch below n, returning the node-count
-// increase of n's subtree. anc is the root-to-parent path of n.
-func (t *Tree) bulkRec(n *node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+// increase of n's subtree. anc is the root-to-parent path of n; the caller
+// runs as worker w. Child recursions fork while the batch stays above the
+// grain; forked branches collect their doubled entries separately and the
+// join concatenates left-then-right, preserving the sequential pass's
+// post-order (children before parents) deterministically.
+func (t *Tree) bulkRec(w int, n *node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
 	if n == nil {
 		return 0 // callers handle nil children before recursing
 	}
-	t.meter.Read()
+	wk := t.worker(w)
+	wk.Read()
 	var lefts, rights, covers []Interval
 	for _, iv := range batch {
-		t.meter.Read()
+		wk.Read()
 		switch {
 		case iv.Right < n.key:
 			lefts = append(lefts, iv)
@@ -98,16 +119,28 @@ func (t *Tree) bulkRec(n *node, batch []Interval, anc []*node, doubled *[]double
 		}
 	}
 	if len(covers) > 0 {
-		t.mergeCovers(n, covers)
+		t.mergeCovers(w, n, covers)
 	}
-	added := 0
 	childAnc := append(append([]*node{}, anc...), n)
-	added += t.bulkChild(&n.left, lefts, childAnc, doubled)
-	added += t.bulkChild(&n.right, rights, childAnc, doubled)
+	var addL, addR int
+	if len(lefts) > 0 && len(rights) > 0 && len(lefts)+len(rights) > bulkGrain {
+		var dl, dr []doubledEnt
+		parallel.DoW(w,
+			func(w int) { addL = t.bulkChild(w, &n.left, lefts, childAnc, &dl) },
+			func(w int) { addR = t.bulkChild(w, &n.right, rights, childAnc, &dr) })
+		*doubled = append(*doubled, dl...)
+		*doubled = append(*doubled, dr...)
+	} else {
+		addL = t.bulkChild(w, &n.left, lefts, childAnc, doubled)
+		addR = t.bulkChild(w, &n.right, rights, childAnc, doubled)
+	}
+	added := addL + addR
 	if added > 0 && (t.opts.classic() || n.critical) {
 		n.weight += added
-		t.meter.Write()
+		wk.Write()
+		t.statsMu.Lock()
 		t.stats.WeightWrites++
+		t.statsMu.Unlock()
 		if t.isUnbalanced(n) {
 			*doubled = append(*doubled, doubledEnt{n: n, path: anc})
 		}
@@ -117,40 +150,51 @@ func (t *Tree) bulkRec(n *node, batch []Interval, anc []*node, doubled *[]double
 
 // bulkChild recurses into a child, building a fresh subtree when the child
 // is absent.
-func (t *Tree) bulkChild(slot **node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+func (t *Tree) bulkChild(w int, slot **node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
 	if *slot == nil {
 		eps := gatherEndpoints(batch)
-		t.sortEndpoints(eps, batch)
-		sub := t.buildPostSorted(eps, batch)
-		t.labelSubtree(sub, weightOf(sub), false)
+		t.sortEndpointsW(eps, batch, t.worker(w))
+		sub := t.buildPostSortedAt(eps, batch, w, nil)
+		t.labelSubtreeW(sub, false, t.worker(w))
 		*slot = sub
-		t.meter.Write()
+		t.worker(w).Write()
+		t.statsMu.Lock()
 		t.stats.LeafInsertions += int64(len(batch))
+		t.statsMu.Unlock()
 		return weightOf(sub) - 1
 	}
-	return t.bulkRec(*slot, batch, anc, doubled)
+	return t.bulkRec(w, *slot, batch, anc, doubled)
 }
 
-// mergeCovers unions a batch of covering intervals into n's inner trees.
-func (t *Tree) mergeCovers(n *node, covers []Interval) {
+// mergeCovers unions a batch of covering intervals into n's inner trees,
+// running as worker w. Large batches use the parallel treap union.
+func (t *Tree) mergeCovers(w int, n *node, covers []Interval) {
+	wk := t.worker(w)
 	if n.byLeft == nil {
-		t.fillInner(n, covers)
+		t.fillInnerW(n, covers, wk)
 		return
+	}
+	union := func(dst *treap.Tree[endKey], b *treap.Tree[endKey]) {
+		if len(covers) >= bulkUnionMin && t.wm != nil {
+			dst.UnionPar(b, w, t.wm)
+		} else {
+			dst.Union(b)
+		}
 	}
 	keysL := make([]endKey, len(covers))
 	for i, iv := range covers {
 		keysL[i] = endKey{v: iv.Left, id: iv.ID}
 	}
-	bl := treap.NewW(endLess, endPrio, t.meter)
+	bl := treap.NewW(endLess, endPrio, wk)
 	bl.FromSorted(keysL)
-	n.byLeft.Union(bl)
+	union(n.byLeft, bl)
 
 	byR := append([]Interval{}, covers...)
 	sort.Slice(byR, func(i, j int) bool {
-		t.meter.Read()
+		wk.Read()
 		if byR[i].Right != byR[j].Right {
 			return byR[i].Right < byR[j].Right
 		}
@@ -160,14 +204,14 @@ func (t *Tree) mergeCovers(n *node, covers []Interval) {
 	for i, iv := range byR {
 		keysR[i] = endKey{v: iv.Right, id: iv.ID}
 	}
-	br := treap.NewW(endLess, endPrio, t.meter)
+	br := treap.NewW(endLess, endPrio, wk)
 	br.FromSorted(keysR)
-	n.byRight.Union(br)
+	union(n.byRight, br)
 
 	for _, iv := range covers {
 		n.ivs[iv.ID] = iv
 	}
-	t.meter.WriteN(len(covers))
+	wk.WriteN(len(covers))
 }
 
 // BulkDelete removes a batch of intervals; per §7.3.5, deletions are

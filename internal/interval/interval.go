@@ -22,7 +22,9 @@ package interval
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
@@ -85,7 +87,21 @@ type Tree struct {
 	live    int // live intervals
 	deleted int
 	meter   asymmem.Worker
+	// wm hands out worker-local meter handles for the parallel build and
+	// bulk paths (nil on trees assembled without a Config, in which case
+	// every charge lands on the sequential handle).
+	wm      func(int) asymmem.Worker
+	statsMu sync.Mutex // guards stats on the parallel build/bulk paths
 	stats   Stats
+}
+
+// worker returns the charging handle for worker w, falling back to the
+// tree's sequential handle when no worker-meter factory was configured.
+func (t *Tree) worker(w int) asymmem.Worker {
+	if t.wm == nil {
+		return t.meter
+	}
+	return t.wm(w)
 }
 
 // Stats profiles construction and updates.
@@ -121,7 +137,9 @@ func Build(ivs []Interval, opts Options, m *asymmem.Meter) (*Tree, error) {
 // BuildConfig is the module-wide Config entry point: the post-sorted
 // linear-write construction with α = cfg.Alpha, charging cfg.Meter and
 // recording "interval/sort", "interval/build" and "interval/label" phases
-// in cfg.Ledger. cfg.Interrupt is polled between phases.
+// in cfg.Ledger. The build phase runs as parallel divide-and-conquer on the
+// fork-join worker pool; cfg.Interrupt is polled between phases and at
+// every fork boundary inside the build.
 func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := validate(ivs); err != nil {
 		return nil, err
@@ -129,13 +147,17 @@ func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	cfg.Phase("interval/build", func() { t.root = t.buildPostSorted(eps, ivs) })
+	in := parallel.NewInterrupt(cfg.Interrupt)
+	cfg.Phase("interval/build", func() { t.root = t.buildPostSortedAt(eps, ivs, 0, in) })
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
 	t.live = len(ivs)
 	cfg.Phase("interval/label", func() { t.finishLabels() })
 	return t, nil
@@ -150,7 +172,7 @@ func BuildClassicConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
@@ -199,8 +221,14 @@ func gatherEndpoints(ivs []Interval) []endpoint {
 // with the key order for the per-node runs to feed FromSorted in strictly
 // increasing order.
 func (t *Tree) sortEndpoints(eps []endpoint, ivs []Interval) {
+	t.sortEndpointsW(eps, ivs, t.meter)
+}
+
+// sortEndpointsW is sortEndpoints charging a worker-local handle, for bulk
+// paths already running as some pool worker.
+func (t *Tree) sortEndpointsW(eps []endpoint, ivs []Interval, wk asymmem.Worker) {
 	sort.Slice(eps, func(i, j int) bool {
-		t.meter.Read()
+		wk.Read()
 		a, b := eps[i], eps[j]
 		if a.v != b.v {
 			return a.v < b.v
@@ -210,127 +238,214 @@ func (t *Tree) sortEndpoints(eps []endpoint, ivs []Interval) {
 		}
 		return !a.right && b.right
 	})
-	t.meter.WriteN(len(eps))
+	wk.WriteN(len(eps))
 }
 
+// buildGrain is the interval tree's sequential-fallback cutoff: a parallel
+// recursion over fewer than this many endpoints (or a chunked loop block of
+// this size) runs sequentially on the current worker. The split strategy is
+// the same deterministic mid-rank split the sequential builder used, so the
+// tree shape — and with it every charge — is independent of P.
+const buildGrain = 1024
+
+// innerRunGrain is how many per-node inner-tree runs one parallel loop
+// block fills sequentially.
+const innerRunGrain = 32
+
 // buildPostSorted is the §7.2 construction: O(n) reads and writes given
-// sorted endpoints.
+// sorted endpoints. It runs on the fork-join pool with the caller as
+// worker 0 (buildPostSortedAt for callers already running as some worker).
 func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
+	return t.buildPostSortedAt(eps, ivs, 0, nil)
+}
+
+// buildPostSortedAt is the parallel post-sorted construction for a caller
+// running as worker w. All four stages — the outer BST, the rank/LCA
+// assignment, the two radix sorts, and the per-node inner-treap fills —
+// fork on the worker pool and charge worker-local meter handles, so the
+// counted costs are bit-identical to the sequential construction at any P
+// (the work is the same; only wall-clock and per-worker attribution move).
+// in, when non-nil, is polled at fork boundaries; a tripped interrupt
+// abandons the build and returns a partial tree the caller must discard.
+func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *parallel.Interrupt) *node {
 	m := len(eps)
 	if m == 0 {
 		return nil
 	}
-	// Build the perfectly balanced BST; record each rank's heap index.
-	nodesByHeap := map[uint32]*node{}
+	// Build the perfectly balanced BST; record each rank's heap index. The
+	// mid-rank split halves sizes, so heap indices stay below
+	// 2^bits.Len(m); a flat slice (unlike the map a sequential builder
+	// could use) lets forked branches record nodes at disjoint indices
+	// without synchronization.
+	nodesByHeap := make([]*node, 2<<bits.Len(uint(m)))
 	rankToHeap := make([]uint32, m)
-	var build func(lo, hi int, h uint32) *node
-	build = func(lo, hi int, h uint32) *node {
-		if lo >= hi {
+	var build func(w, lo, hi int, h uint32, wk asymmem.Worker) *node
+	build = func(w, lo, hi int, h uint32, wk asymmem.Worker) *node {
+		if lo >= hi || in.Stopped() {
 			return nil
 		}
 		mid := (lo + hi) / 2
 		n := &node{key: eps[mid].v}
-		t.meter.Write()
+		wk.Write()
 		nodesByHeap[h] = n
-		rankToHeap[mid] = h
-		n.left = build(lo, mid, 2*h)
-		n.right = build(mid+1, hi, 2*h+1)
+		rankToHeap[mid] = uint32(h)
+		if hi-lo <= buildGrain {
+			n.left = build(w, lo, mid, 2*h, wk)
+			n.right = build(w, mid+1, hi, 2*h+1, wk)
+		} else if in.Poll() {
+			return n
+		} else {
+			parallel.DoW(w,
+				func(w int) { n.left = build(w, lo, mid, 2*h, t.worker(w)) },
+				func(w int) { n.right = build(w, mid+1, hi, 2*h+1, t.worker(w)) })
+		}
 		n.weight = weightOf(n.left) + weightOf(n.right)
 		return n
 	}
-	root := build(0, m, 1)
+	root := build(w, 0, m, 1, t.worker(w))
+	if in.Stopped() {
+		return root
+	}
 
 	// Assign each interval to the LCA of its endpoint nodes (O(1) each).
+	// Each endpoint writes its own interval's rank cell (left and right
+	// land in different arrays), so chunks race on nothing.
 	maxLevel := 0
+	var maxMu sync.Mutex
 	heapOf := make([]uint32, len(ivs))
 	leftRank := make([]int, len(ivs))
 	rightRank := make([]int, len(ivs))
-	for rank := range eps {
-		if eps[rank].right {
-			rightRank[eps[rank].iv] = rank
-		} else {
-			leftRank[eps[rank].iv] = rank
+	parallel.ForChunkedAt(w, m, buildGrain, func(w, lo, hi int) {
+		for rank := lo; rank < hi; rank++ {
+			if eps[rank].right {
+				rightRank[eps[rank].iv] = rank
+			} else {
+				leftRank[eps[rank].iv] = rank
+			}
 		}
-	}
-	t.meter.ReadN(m)
-	for i := range ivs {
-		h := lca.HeapLCA(rankToHeap[leftRank[i]], rankToHeap[rightRank[i]])
-		heapOf[i] = h
-		if d := lca.HeapDepth(h); d > maxLevel {
-			maxLevel = d
+		t.worker(w).ReadN(hi - lo)
+	})
+	parallel.ForChunkedAt(w, len(ivs), buildGrain, func(w, lo, hi int) {
+		local := 0
+		for i := lo; i < hi; i++ {
+			h := lca.HeapLCA(rankToHeap[leftRank[i]], rankToHeap[rightRank[i]])
+			heapOf[i] = h
+			if d := lca.HeapDepth(h); d > local {
+				local = d
+			}
 		}
-	}
-	t.meter.WriteN(len(ivs))
+		t.worker(w).WriteN(hi - lo)
+		maxMu.Lock()
+		if local > maxLevel {
+			maxLevel = local
+		}
+		maxMu.Unlock()
+	})
 
 	// Radix sort (level, leftRank) and (level, rightRank) pairs; intervals
-	// of one node are consecutive within a level.
+	// of one node are consecutive within a level. The two sorts touch
+	// disjoint arrays and fork as one pair.
 	width := uint64(m + 1)
-	makeItems := func(rank []int) []radixsort.Item {
+	makeItems := func(w int, rank []int) []radixsort.Item {
 		items := make([]radixsort.Item, len(ivs))
-		for i := range ivs {
-			level := uint64(lca.HeapDepth(heapOf[i]))
-			items[i] = radixsort.Item{Key: level*width + uint64(rank[i]), Val: int32(i)}
-		}
+		parallel.ForChunkedAt(w, len(ivs), buildGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				level := uint64(lca.HeapDepth(heapOf[i]))
+				items[i] = radixsort.Item{Key: level*width + uint64(rank[i]), Val: int32(i)}
+			}
+		})
 		return items
 	}
-	byL := makeItems(leftRank)
-	byR := makeItems(rightRank)
-	maxKey := uint64(maxLevel+1) * width
-	radixsort.SortW(byL, maxKey, t.meter)
-	radixsort.SortW(byR, maxKey, t.meter)
-
-	// Group per node and build the inner treaps from sorted runs.
-	group := func(items []radixsort.Item, fill func(n *node, run []int32)) {
-		i := 0
-		for i < len(items) {
-			h := heapOf[items[i].Val]
-			j := i
-			run := make([]int32, 0, 4)
-			for j < len(items) && heapOf[items[j].Val] == h {
-				run = append(run, items[j].Val)
-				j++
-			}
-			fill(nodesByHeap[h], run)
-			i = j
-		}
+	if in.Poll() {
+		return root
 	}
-	group(byL, func(n *node, run []int32) {
-		if n.byLeft != nil {
-			panic("buildPostSorted: node received two byL runs")
-		}
-		keys := make([]endKey, len(run))
-		for i, vi := range run {
-			keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
-		}
-		n.byLeft = treap.NewW(endLess, endPrio, t.meter)
-		n.byLeft.FromSorted(keys)
-		for i := 1; i < len(keys); i++ {
-			if !endLess(keys[i-1], keys[i]) {
-				panic("buildPostSorted: byL keys not strictly increasing")
+	maxKey := uint64(maxLevel+1) * width
+	var byL, byR []radixsort.Item
+	parallel.DoW(w,
+		func(w int) {
+			byL = makeItems(w, leftRank)
+			radixsort.SortW(byL, maxKey, t.worker(w))
+		},
+		func(w int) {
+			byR = makeItems(w, rightRank)
+			radixsort.SortW(byR, maxKey, t.worker(w))
+		})
+
+	// Group per node and build the inner treaps from sorted runs. Run
+	// boundaries are index arithmetic (small-memory, uncharged); the fills
+	// touch one outer node each, so runs build concurrently, and the byL
+	// and byR passes write disjoint node fields, so the two groups fork as
+	// a pair as well.
+	group := func(w int, items []radixsort.Item, fill func(wk asymmem.Worker, n *node, run []int32)) {
+		var starts []int
+		for i := 0; i < len(items); {
+			starts = append(starts, i)
+			h := heapOf[items[i].Val]
+			for i < len(items) && heapOf[items[i].Val] == h {
+				i++
 			}
 		}
-	})
-	group(byR, func(n *node, run []int32) {
-		if n.byRight != nil {
-			panic("buildPostSorted: node received two byR runs")
-		}
-		keys := make([]endKey, len(run))
-		for i, vi := range run {
-			keys[i] = endKey{v: ivs[vi].Right, id: ivs[vi].ID}
-		}
-		for i := 1; i < len(keys); i++ {
-			if !endLess(keys[i-1], keys[i]) {
-				panic("buildPostSorted: byR keys not strictly increasing")
+		parallel.ForGrainAt(w, len(starts), innerRunGrain, func(w, ri int) {
+			if in.Stopped() {
+				return
 			}
-		}
-		n.byRight = treap.NewW(endLess, endPrio, t.meter)
-		n.byRight.FromSorted(keys)
-		n.ivs = make(map[int32]Interval, len(run))
-		for _, vi := range run {
-			n.ivs[ivs[vi].ID] = ivs[vi]
-		}
-		t.meter.WriteN(len(run))
-	})
+			lo := starts[ri]
+			hi := len(items)
+			if ri+1 < len(starts) {
+				hi = starts[ri+1]
+			}
+			run := make([]int32, hi-lo)
+			for k := lo; k < hi; k++ {
+				run[k-lo] = items[k].Val
+			}
+			fill(t.worker(w), nodesByHeap[heapOf[items[lo].Val]], run)
+		})
+	}
+	if in.Poll() {
+		return root
+	}
+	parallel.DoW(w,
+		func(w int) {
+			group(w, byL, func(wk asymmem.Worker, n *node, run []int32) {
+				if n.byLeft != nil {
+					panic("buildPostSorted: node received two byL runs")
+				}
+				keys := make([]endKey, len(run))
+				for i, vi := range run {
+					keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
+				}
+				n.byLeft = treap.NewW(endLess, endPrio, wk)
+				n.byLeft.FromSorted(keys)
+				for i := 1; i < len(keys); i++ {
+					if !endLess(keys[i-1], keys[i]) {
+						panic("buildPostSorted: byL keys not strictly increasing")
+					}
+				}
+			})
+		},
+		func(w int) {
+			group(w, byR, func(wk asymmem.Worker, n *node, run []int32) {
+				if n.byRight != nil {
+					panic("buildPostSorted: node received two byR runs")
+				}
+				keys := make([]endKey, len(run))
+				for i, vi := range run {
+					keys[i] = endKey{v: ivs[vi].Right, id: ivs[vi].ID}
+				}
+				for i := 1; i < len(keys); i++ {
+					if !endLess(keys[i-1], keys[i]) {
+						panic("buildPostSorted: byR keys not strictly increasing")
+					}
+				}
+				n.byRight = treap.NewW(endLess, endPrio, wk)
+				n.byRight.FromSorted(keys)
+				n.ivs = make(map[int32]Interval, len(run))
+				for _, vi := range run {
+					n.ivs[ivs[vi].ID] = ivs[vi]
+				}
+				wk.WriteN(len(run))
+			})
+		})
 	return root
 }
 
@@ -375,13 +490,18 @@ func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) *node {
 
 // fillInner populates a node's inner trees from an unsorted cover set.
 func (t *Tree) fillInner(n *node, covers []Interval) {
+	t.fillInnerW(n, covers, t.meter)
+}
+
+// fillInnerW is fillInner charging a worker-local handle.
+func (t *Tree) fillInnerW(n *node, covers []Interval, wk asymmem.Worker) {
 	if n.byLeft == nil {
-		n.byLeft = treap.NewW(endLess, endPrio, t.meter)
-		n.byRight = treap.NewW(endLess, endPrio, t.meter)
+		n.byLeft = treap.NewW(endLess, endPrio, wk)
+		n.byRight = treap.NewW(endLess, endPrio, wk)
 		n.ivs = make(map[int32]Interval, len(covers))
 	}
 	sort.Slice(covers, func(i, j int) bool {
-		t.meter.Read()
+		wk.Read()
 		if covers[i].Left != covers[j].Left {
 			return covers[i].Left < covers[j].Left
 		}
@@ -393,7 +513,7 @@ func (t *Tree) fillInner(n *node, covers []Interval) {
 	}
 	n.byLeft.FromSorted(keysL)
 	sort.Slice(covers, func(i, j int) bool {
-		t.meter.Read()
+		wk.Read()
 		if covers[i].Right != covers[j].Right {
 			return covers[i].Right < covers[j].Right
 		}
@@ -405,7 +525,7 @@ func (t *Tree) fillInner(n *node, covers []Interval) {
 		n.ivs[iv.ID] = iv
 	}
 	n.byRight.FromSorted(keysR)
-	t.meter.WriteN(len(covers))
+	wk.WriteN(len(covers))
 }
 
 // weightOf follows the paper's convention: weight = subtree node count + 1,
@@ -436,6 +556,11 @@ func (t *Tree) countNodes(n *node) int {
 // labelSubtree recomputes weights bottom-up and marks critical nodes.
 // skipRoot suppresses marking the subtree root (the §7.3.2 exception).
 func (t *Tree) labelSubtree(root *node, _ int, skipRoot bool) {
+	t.labelSubtreeW(root, skipRoot, t.meter)
+}
+
+// labelSubtreeW is labelSubtree charging a worker-local handle.
+func (t *Tree) labelSubtreeW(root *node, skipRoot bool, wk asymmem.Worker) {
 	var rec func(n, sib *node) int
 	rec = func(n, sib *node) int {
 		if n == nil {
@@ -454,7 +579,7 @@ func (t *Tree) labelSubtree(root *node, _ int, skipRoot bool) {
 			n.critical = alabel.IsCritical(n.weight, sw, t.opts.Alpha)
 		}
 		n.initWeight = n.weight
-		t.meter.Write()
+		wk.Write()
 		return n.weight
 	}
 	rec(root, nil)

@@ -1,0 +1,126 @@
+package interval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+// dumpTree renders the full structure — outer shape, keys, weights,
+// critical flags, and both inner trees' key sequences — so two builds can
+// be compared node-for-node.
+func dumpTree(tr *Tree) string {
+	var b strings.Builder
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%*sk=%v w=%d iw=%d c=%v", depth, "", n.key, n.weight, n.initWeight, n.critical)
+		if n.byLeft != nil {
+			fmt.Fprintf(&b, " L=%v R=%v", n.byLeft.Keys(), n.byRight.Keys())
+		}
+		b.WriteByte('\n')
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	rec(tr.root, 0)
+	return b.String()
+}
+
+// buildAt builds under a worker pool of p and returns the tree and the
+// meter totals the build charged.
+func buildAt(t *testing.T, p int, ivs []Interval, alpha int) (*Tree, asymmem.Snapshot) {
+	t.Helper()
+	prev := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(prev)
+	m := asymmem.NewMeterShards(p)
+	tr, err := BuildConfig(ivs, config.Config{Alpha: alpha, Meter: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m.Snapshot()
+}
+
+// TestParallelBuildEquivalence asserts the pool-parallel construction is
+// indistinguishable from the sequential one: same structure, bit-identical
+// read/write totals, at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestParallelBuildEquivalence(t *testing.T) {
+	sizes := []int{0, 1, 17, 800, 5000}
+	if testing.Short() {
+		sizes = []int{0, 1, 17, 800, 2500}
+	}
+	for _, n := range sizes {
+		ivs := fromGen(gen.UniformIntervals(n, 0.05, uint64(n)+7))
+		for _, alpha := range []int{0, 8} {
+			refTree, refCost := buildAt(t, 1, ivs, alpha)
+			refDump := dumpTree(refTree)
+			for _, p := range []int{2, 8} {
+				tr, cost := buildAt(t, p, ivs, alpha)
+				if cost != refCost {
+					t.Errorf("n=%d alpha=%d P=%d: cost %v != sequential %v", n, alpha, p, cost, refCost)
+				}
+				if d := dumpTree(tr); d != refDump {
+					t.Errorf("n=%d alpha=%d P=%d: structure differs from sequential", n, alpha, p)
+				}
+				if err := tr.Check(); err != nil {
+					t.Errorf("n=%d alpha=%d P=%d: %v", n, alpha, p, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBulkInsertEquivalence asserts the forked bulk distribution
+// (including parallel inner-tree unions) matches the sequential pass in
+// structure and counted costs at P ∈ {1, 2, 8}.
+func TestParallelBulkInsertEquivalence(t *testing.T) {
+	nBase, nBatch := 4000, 1500
+	if testing.Short() {
+		nBase, nBatch = 2000, 800
+	}
+	base := fromGen(gen.UniformIntervals(nBase, 0.02, 11))
+	batch := fromGen(gen.UniformIntervals(nBatch, 0.02, 12))
+	for i := range batch {
+		batch[i].ID += 100000
+	}
+	for _, alpha := range []int{0, 8} {
+		var refDump string
+		var refCost asymmem.Snapshot
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			m := asymmem.NewMeterShards(p)
+			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+			if err != nil {
+				parallel.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			if err := tr.BulkInsert(batch); err != nil {
+				parallel.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("alpha=%d P=%d: %v", alpha, p, err)
+			}
+			dump := dumpTree(tr)
+			if p == 1 {
+				refDump, refCost = dump, cost
+				continue
+			}
+			if cost != refCost {
+				t.Errorf("alpha=%d P=%d: bulk cost %v != sequential %v", alpha, p, cost, refCost)
+			}
+			if dump != refDump {
+				t.Errorf("alpha=%d P=%d: bulk structure differs from sequential", alpha, p)
+			}
+		}
+	}
+}

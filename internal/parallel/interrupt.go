@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interrupt adapts a Config-style interrupt hook (a func() error the Engine
+// wires to ctx.Err, polled at round boundaries by the sequential builders)
+// to fork-grained polling inside parallel regions. Every branch calls Poll
+// at its fork boundary; the first non-nil error trips a latch and all
+// in-flight branches observe it and unwind without doing further work, so a
+// cancelled context aborts a large parallel build within one grain's work.
+//
+// Polling costs nothing on the asymmetric-memory meter (the hook is
+// task-local control state, free in the model), so an uninterrupted build
+// charges exactly what it would without the latch. A nil *Interrupt never
+// trips, letting uncancellable call sites pass nil straight through.
+type Interrupt struct {
+	poll    func() error
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+// NewInterrupt wraps a poll hook; a nil hook yields a nil latch, which every
+// method treats as "never interrupted".
+func NewInterrupt(poll func() error) *Interrupt {
+	if poll == nil {
+		return nil
+	}
+	return &Interrupt{poll: poll}
+}
+
+// Poll checks the hook and reports whether the region should unwind. Once
+// any branch observes an error, every subsequent Poll reports true without
+// re-invoking the hook.
+func (in *Interrupt) Poll() bool {
+	if in == nil {
+		return false
+	}
+	if in.stopped.Load() {
+		return true
+	}
+	if err := in.poll(); err != nil {
+		in.mu.Lock()
+		if in.err == nil {
+			in.err = err
+		}
+		in.mu.Unlock()
+		in.stopped.Store(true)
+		return true
+	}
+	return false
+}
+
+// Stopped reports whether the latch has tripped, without consulting the
+// hook — the cheap check for hot unwind paths.
+func (in *Interrupt) Stopped() bool {
+	return in != nil && in.stopped.Load()
+}
+
+// Err returns the error that tripped the latch (nil if it never tripped).
+func (in *Interrupt) Err() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.err
+}

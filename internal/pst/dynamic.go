@@ -147,8 +147,22 @@ func (t *Tree) pushDown(n *node, p Point) {
 // BulkInsert adds a batch of points in priority order (highest first), so
 // swap chains are short. The paper's bulk bound for priority trees,
 // O((α + ω)·m·log_α n) amortized work (§7.3.5), equals m single
-// insertions; the batch form improves constants, not asymptotics.
+// insertions; the batch form improves constants, not asymptotics. A batch
+// that dominates the tree (m ≥ live points) instead rebuilds outright with
+// the parallel post-sorted construction, like the interval and range tree
+// bulk paths.
 func (t *Tree) BulkInsert(pts []Point) {
+	if t.root == nil || len(pts) >= t.live {
+		all := append(collectPoints(t.root), pts...)
+		t.stats.FullRebuilds++
+		t.stats.RebuildWork += int64(len(all))
+		t.sortByX(all)
+		t.root = t.buildPostSorted(all)
+		t.live = len(all)
+		t.dummies = 0
+		t.markVirtualRoot()
+		return
+	}
 	batch := append([]Point{}, pts...)
 	// Insert highest priority first: each point then never displaces a
 	// batch-mate, avoiding double swap chains.

@@ -1,0 +1,89 @@
+package pst
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// dumpTree renders the full structure — splits, points, dummies, weights,
+// critical flags — so two builds can be compared node-for-node.
+func dumpTree(tr *Tree) string {
+	var b strings.Builder
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%*ss=%v w=%d iw=%d c=%v d=%v", depth, "", n.split, n.weight, n.initWeight, n.critical, n.dummy)
+		if n.hasPt {
+			fmt.Fprintf(&b, " pt=%v", n.pt)
+		}
+		b.WriteByte('\n')
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	rec(tr.root, 0)
+	return b.String()
+}
+
+// TestParallelBuildEquivalence asserts the pool-parallel tournament-tree
+// construction matches the sequential one in structure and bit-identical
+// read/write totals at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestParallelBuildEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 33, 900, 6000} {
+		pts := makePoints(n, uint64(n)+3)
+		for _, alpha := range []int{0, 8} {
+			var refDump string
+			var refCost asymmem.Snapshot
+			for _, p := range []int{1, 2, 8} {
+				prev := parallel.SetWorkers(p)
+				m := asymmem.NewMeterShards(p)
+				tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
+				parallel.SetWorkers(prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cost := m.Snapshot()
+				dump := dumpTree(tr)
+				if err := tr.Check(); err != nil {
+					t.Fatalf("n=%d alpha=%d P=%d: %v", n, alpha, p, err)
+				}
+				if p == 1 {
+					refDump, refCost = dump, cost
+					continue
+				}
+				if cost != refCost {
+					t.Errorf("n=%d alpha=%d P=%d: cost %v != sequential %v", n, alpha, p, cost, refCost)
+				}
+				if dump != refDump {
+					t.Errorf("n=%d alpha=%d P=%d: structure differs from sequential", n, alpha, p)
+				}
+			}
+		}
+	}
+}
+
+// TestBulkInsertDominatingBatchRebuilds covers the batch-dominates path:
+// the rebuild must produce a valid tree holding every point.
+func TestBulkInsertDominatingBatchRebuilds(t *testing.T) {
+	base := makePoints(200, 71)
+	tr := Build(base, Options{Alpha: 4}, nil)
+	batch := makePoints(500, 72)
+	for i := range batch {
+		batch[i].ID += 50000
+	}
+	tr.BulkInsert(batch)
+	if got, want := tr.Len(), len(base)+len(batch); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Point{}, base...), batch...)
+	check3Sided(t, tr, all, 0.1, 0.9, 0.25, nil)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
 	"repro/internal/config"
+	"repro/internal/parallel"
 	"repro/internal/tournament"
 )
 
@@ -74,7 +75,20 @@ type Tree struct {
 	live    int
 	dummies int
 	meter   asymmem.Worker
-	stats   Stats
+	// wm hands out worker-local meter handles for the parallel build (nil
+	// on trees assembled without a Config; charges then fall back to the
+	// sequential handle).
+	wm    func(int) asymmem.Worker
+	stats Stats
+}
+
+// worker returns the charging handle for worker w, falling back to the
+// sequential handle when no worker-meter factory was configured.
+func (t *Tree) worker(w int) asymmem.Worker {
+	if t.wm == nil {
+		return t.meter
+	}
+	return t.wm(w)
 }
 
 // Stats profiles construction and updates.
@@ -107,17 +121,23 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("pst/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
+	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("pst/build", func() {
-		t.root = t.buildPostSorted(sorted)
+		t.root = t.buildPostSortedAt(sorted, 0, in)
 		t.live = len(pts)
-		t.markVirtualRoot()
+		if !in.Stopped() {
+			t.markVirtualRoot()
+		}
 	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -158,8 +178,28 @@ func (t *Tree) sortByX(pts []Point) {
 	t.meter.WriteN(len(pts))
 }
 
-// buildPostSorted is the Appendix-A construction over x-sorted points.
+// pstBuildGrain is the PST's sequential-fallback cutoff: a recursion over
+// fewer than this many valid points stops forking and runs on the current
+// worker. The split point stays the deterministic k-th valid slot
+// (k = ⌈remaining/2⌉), so the shape is independent of P.
+const pstBuildGrain = 1024
+
+// buildPostSorted is the Appendix-A construction over x-sorted points,
+// with the caller as worker 0.
 func (t *Tree) buildPostSorted(pts []Point) *node {
+	return t.buildPostSortedAt(pts, 0, nil)
+}
+
+// buildPostSortedAt is the parallel Appendix-A construction for a caller
+// running as worker w. After a node extracts its best point and its k-th
+// valid splitter, the recursion forks into the disjoint slot ranges
+// [lo, q+1) and [q+1, hi); every tournament-tree node a scoped query or
+// deletion touches from inside a range has its span within that range, so
+// concurrent branches share no mutable tournament state and each charges
+// its own worker-local handle. Counted costs are bit-identical to the
+// sequential construction at any P. in, when non-nil, is polled at fork
+// boundaries; a tripped interrupt abandons the build.
+func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *node {
 	n := len(pts)
 	if n == 0 {
 		return nil
@@ -168,12 +208,12 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 	for i, p := range pts {
 		prios[i] = p.Y
 	}
-	tt := tournament.NewW(prios, t.meter)
+	tt := tournament.NewW(prios, t.worker(w))
 	smallMem := 4 * int(math.Log2(float64(n)+2))
 
-	var build func(lo, hi, nv, sibNv int) *node
-	build = func(lo, hi, nv, sibNv int) *node {
-		if nv <= 0 || lo >= hi {
+	var build func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) *node
+	build = func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) *node {
+		if nv <= 0 || lo >= hi || in.Stopped() {
 			return nil
 		}
 		holes := (hi - lo) - nv
@@ -182,24 +222,24 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 			// there; only the O(nv) emission writes are charged.
 			var valid []Point
 			for i := lo; i < hi; i++ {
-				t.meter.Read()
+				wk.Read()
 				if tt.Valid(i) {
 					valid = append(valid, pts[i])
-					tt.DeleteScoped(i, lo, hi)
+					tt.DeleteScopedH(i, lo, hi, wk)
 				}
 			}
-			return t.buildSmall(valid, sibNv)
+			return t.buildSmallW(valid, sibNv, wk)
 		}
 		nd := &node{}
-		t.meter.Write()
+		wk.Write()
 		critical := t.opts.isCritical(nv, sibNv)
 		remaining := nv
 		if critical {
-			best := tt.Best(lo, hi)
+			best := tt.BestH(lo, hi, wk)
 			nd.pt = pts[best]
 			nd.hasPt = true
-			tt.DeleteScoped(best, lo, hi)
-			t.meter.Write()
+			tt.DeleteScopedH(best, lo, hi, wk)
+			wk.Write()
 			remaining = nv - 1
 		}
 		nd.critical = critical
@@ -210,36 +250,48 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 			return nd
 		}
 		k := (remaining + 1) / 2
-		q := tt.KthValid(lo, hi, k)
+		q := tt.KthValidH(lo, hi, k, wk)
 		nd.split = pts[q].X
-		nd.left = build(lo, q+1, k, remaining-k)
-		nd.right = build(q+1, hi, remaining-k, k)
+		if remaining <= pstBuildGrain {
+			nd.left = build(w, lo, q+1, k, remaining-k, wk)
+			nd.right = build(w, q+1, hi, remaining-k, k, wk)
+		} else if in.Poll() {
+			return nd
+		} else {
+			parallel.DoW(w,
+				func(w int) { nd.left = build(w, lo, q+1, k, remaining-k, t.worker(w)) },
+				func(w int) { nd.right = build(w, q+1, hi, remaining-k, k, t.worker(w)) })
+		}
 		return nd
 	}
-	return build(0, n, n, 0)
+	return build(w, 0, n, n, 0, t.worker(w))
 }
 
-// buildSmall builds a subtree over points resident in small memory,
-// charging only the O(n) emission writes.
-func (t *Tree) buildSmall(pts []Point, sibNv int) *node {
-	t.meter.WriteN(2 * len(pts))
-	saved := t.meter
-	t.meter = asymmem.Worker{}
-	n := t.buildClassicRec(pts, sibNv)
-	t.meter = saved
-	return n
+// buildSmallW builds a subtree over points resident in small memory,
+// charging only the O(n) emission writes (to the caller's worker handle);
+// the classic recursion below runs on an inactive handle, free like the
+// model's small memory.
+func (t *Tree) buildSmallW(pts []Point, sibNv int, wk asymmem.Worker) *node {
+	wk.WriteN(2 * len(pts))
+	return t.buildClassicRecH(pts, sibNv, asymmem.Worker{})
 }
 
 // buildClassicRec: extract the max-priority point (if the node is
 // critical), split the rest at the x-median, recurse. Charges a read and a
 // write per point per level — the classic cost.
 func (t *Tree) buildClassicRec(pts []Point, sibNv int) *node {
+	return t.buildClassicRecH(pts, sibNv, t.meter)
+}
+
+// buildClassicRecH is buildClassicRec charging an explicit handle (the
+// small-memory base case passes an inactive one).
+func (t *Tree) buildClassicRecH(pts []Point, sibNv int, h asymmem.Worker) *node {
 	nv := len(pts)
 	if nv == 0 {
 		return nil
 	}
 	nd := &node{}
-	t.meter.Write()
+	h.Write()
 	critical := t.opts.isCritical(nv, sibNv)
 	nd.critical = critical
 	nd.weight = nv + 1
@@ -248,33 +300,33 @@ func (t *Tree) buildClassicRec(pts []Point, sibNv int) *node {
 	if critical {
 		best := 0
 		for i := 1; i < nv; i++ {
-			t.meter.Read()
+			h.Read()
 			if pts[i].Y > pts[best].Y {
 				best = i
 			}
 		}
 		nd.pt = pts[best]
 		nd.hasPt = true
-		t.meter.Write()
+		h.Write()
 		rest = append(append([]Point{}, pts[:best]...), pts[best+1:]...)
-		t.meter.WriteN(len(rest))
+		h.WriteN(len(rest))
 	}
 	if len(rest) == 0 {
 		nd.split = nd.pt.X
 		return nd
 	}
 	sort.Slice(rest, func(i, j int) bool {
-		t.meter.Read()
+		h.Read()
 		if rest[i].X != rest[j].X {
 			return rest[i].X < rest[j].X
 		}
 		return rest[i].ID < rest[j].ID
 	})
-	t.meter.WriteN(len(rest))
+	h.WriteN(len(rest))
 	k := (len(rest) + 1) / 2
 	nd.split = rest[k-1].X
-	nd.left = t.buildClassicRec(rest[:k], len(rest)-k)
-	nd.right = t.buildClassicRec(rest[k:], k)
+	nd.left = t.buildClassicRecH(rest[:k], len(rest)-k, h)
+	nd.right = t.buildClassicRecH(rest[k:], k, h)
 	return nd
 }
 

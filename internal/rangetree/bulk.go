@@ -3,14 +3,25 @@ package rangetree
 import (
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/treap"
 )
+
+// rtBulkGrain is the batch-size cutoff below which the bulk distribution
+// stops forking child recursions and runs sequentially on the current
+// worker.
+const rtBulkGrain = 512
 
 // BulkInsert adds a batch of m points in one pass (§7.3.5): the batch is
 // sorted once and distributed down the outer tree; each critical node
 // receives its x-range's subset as a single treap union into the inner
 // tree (O(m log(n/m) + ωm) expected per level) instead of m independent
 // O(log n) insertions; structural leaf additions happen at the fringe.
+//
+// The distribution runs as parallel divide-and-conquer: the two sides of
+// each routing split descend into disjoint subtrees and fork on the worker
+// pool, and large inner-tree merges use the parallel treap union. Counted
+// costs are identical to the sequential pass at any P.
 func (t *Tree) BulkInsert(pts []Point) {
 	if len(pts) == 0 {
 		return
@@ -28,7 +39,7 @@ func (t *Tree) BulkInsert(pts []Point) {
 	batch := append([]Point{}, pts...)
 	t.sortByX(batch)
 	var doubled []doubledEnt
-	t.bulkRec(t.root, batch, nil, &doubled)
+	t.bulkRec(0, t.root, batch, nil, &doubled)
 	t.live += len(pts)
 	// Topmost-first: the recursion appends post-order, so iterate in
 	// reverse; skip nodes detached by an earlier, higher rebuild and keep
@@ -64,54 +75,66 @@ type doubledEnt struct {
 	path []*node
 }
 
-// bulkRec distributes an x-sorted batch below n; returns the node-count
-// increase of n's subtree. n must be non-nil; anc is its ancestor path.
-func (t *Tree) bulkRec(n *node, batch []Point, anc []*node, doubled *[]doubledEnt) int {
+// bulkRec distributes an x-sorted batch below n, running as worker w;
+// returns the node-count increase of n's subtree. n must be non-nil; anc is
+// its ancestor path. Child recursions fork while the batch stays above the
+// grain; forked branches collect doubled entries separately and the join
+// concatenates left-then-right, preserving the sequential pass's
+// post-order deterministically.
+func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
-	t.meter.Read()
+	wk := t.worker(w)
+	wk.Read()
 	if n.leaf {
 		// Rebuild this fringe: the old leaf plus the batch become a
-		// subtree.
+		// subtree. The scratch tree charges the current worker and its
+		// statistics merge in under the stats lock.
 		all := batch
 		if !n.dead {
 			all = append(append([]Point{}, batch...), n.pt)
 			sort.Slice(all, func(i, j int) bool { return pointLess(all[i], all[j]) })
 		}
 		before := n.weight
-		sub := t.buildOuter(all)
-		tmp := &Tree{opts: t.opts, root: sub, meter: t.meter, stats: t.stats}
-		tmp.label()
-		tmp.buildInners(all)
-		t.stats = tmp.stats
-		*n = *sub
+		tmp := &Tree{opts: t.opts, meter: wk, wm: t.wm}
+		tmp.root = tmp.buildOuterAt(all, w, nil)
+		tmp.labelAt(w, nil)
+		tmp.buildInnersAt(all, w, nil)
+		t.addStats(tmp.stats)
+		*n = *tmp.root
 		return n.weight - before
 	}
 	// Merge the batch into this node's inner tree if it keeps one.
 	if (t.opts.classic() || n.critical) && n.inner != nil {
 		byY := append([]Point{}, batch...)
 		sort.Slice(byY, func(i, j int) bool {
-			t.meter.Read()
+			wk.Read()
 			return yLess(yKey{byY[i].Y, byY[i].ID}, yKey{byY[j].Y, byY[j].ID})
 		})
 		keys := make([]yKey, len(byY))
 		for i, p := range byY {
 			keys[i] = yKey{p.Y, p.ID}
 		}
-		b := treap.NewW(yLess, yPrio, t.meter)
+		b := treap.NewW(yLess, yPrio, wk)
 		b.FromSorted(keys)
-		n.inner.Union(b)
+		if len(batch) >= rtUnionMin && t.wm != nil {
+			n.inner.UnionPar(b, w, t.wm)
+		} else {
+			n.inner.Union(b)
+		}
 		for _, p := range batch {
 			n.pts[p.ID] = p
 		}
-		t.meter.WriteN(len(batch))
+		wk.WriteN(len(batch))
+		t.statsMu.Lock()
 		t.stats.InnerUpdates++
+		t.statsMu.Unlock()
 	}
 	// Split by the routing key and recurse.
 	var l, r []Point
 	for _, p := range batch {
-		t.meter.Read()
+		wk.Read()
 		if t.goesLeft(n, p) {
 			l = append(l, p)
 		} else {
@@ -119,11 +142,25 @@ func (t *Tree) bulkRec(n *node, batch []Point, anc []*node, doubled *[]doubledEn
 		}
 	}
 	childAnc := append(append([]*node{}, anc...), n)
-	added := t.bulkRec(n.left, l, childAnc, doubled) + t.bulkRec(n.right, r, childAnc, doubled)
+	var added int
+	if len(l) > 0 && len(r) > 0 && len(l)+len(r) > rtBulkGrain {
+		var addL, addR int
+		var dl, dr []doubledEnt
+		parallel.DoW(w,
+			func(w int) { addL = t.bulkRec(w, n.left, l, childAnc, &dl) },
+			func(w int) { addR = t.bulkRec(w, n.right, r, childAnc, &dr) })
+		*doubled = append(*doubled, dl...)
+		*doubled = append(*doubled, dr...)
+		added = addL + addR
+	} else {
+		added = t.bulkRec(w, n.left, l, childAnc, doubled) + t.bulkRec(w, n.right, r, childAnc, doubled)
+	}
 	if added > 0 && (t.opts.classic() || n.critical) {
 		n.weight += added
-		t.meter.Write()
+		wk.Write()
+		t.statsMu.Lock()
 		t.stats.WeightWrites++
+		t.statsMu.Unlock()
 		*doubled = append(*doubled, doubledEnt{n: n, path: anc})
 	}
 	return added

@@ -1,0 +1,140 @@
+package rangetree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// dumpTree renders the full structure — outer shape, routing keys, weights,
+// critical flags, and each inner tree's key sequence — so two builds can be
+// compared node-for-node.
+func dumpTree(tr *Tree) string {
+	var b strings.Builder
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%*sk=%v leaf=%v w=%d iw=%d c=%v dead=%v", depth, "", n.key, n.leaf, n.weight, n.initWeight, n.critical, n.dead)
+		if n.leaf {
+			fmt.Fprintf(&b, " pt=%v", n.pt)
+		}
+		if n.inner != nil {
+			fmt.Fprintf(&b, " inner=%v", n.inner.Keys())
+		}
+		b.WriteByte('\n')
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	rec(tr.root, 0)
+	return b.String()
+}
+
+// TestParallelBuildEquivalence asserts the pool-parallel construction
+// (outer tree, labeling, and top-down inner-tree fills) matches the
+// sequential one in structure and bit-identical read/write totals at
+// P ∈ {1, 2, 8}. Run under -race in CI.
+func TestParallelBuildEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 29, 700, 4000} {
+		pts := makePoints(n, uint64(n)+5)
+		for _, alpha := range []int{0, 8} {
+			var refDump string
+			var refCost asymmem.Snapshot
+			for _, p := range []int{1, 2, 8} {
+				prev := parallel.SetWorkers(p)
+				m := asymmem.NewMeterShards(p)
+				tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
+				parallel.SetWorkers(prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cost := m.Snapshot()
+				dump := dumpTree(tr)
+				if err := tr.Check(); err != nil {
+					t.Fatalf("n=%d alpha=%d P=%d: %v", n, alpha, p, err)
+				}
+				if p == 1 {
+					refDump, refCost = dump, cost
+					continue
+				}
+				if cost != refCost {
+					t.Errorf("n=%d alpha=%d P=%d: cost %v != sequential %v", n, alpha, p, cost, refCost)
+				}
+				if dump != refDump {
+					t.Errorf("n=%d alpha=%d P=%d: structure differs from sequential", n, alpha, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSubGrainBuildHonorsInterrupt covers the phase-boundary poll: a build
+// far below the fork grain never polls at a fork boundary, so an interrupt
+// raised during the outer phase must still stop the inners phase via the
+// between-phase check.
+func TestSubGrainBuildHonorsInterrupt(t *testing.T) {
+	pts := makePoints(500, 41)
+	errStop := fmt.Errorf("stop")
+	calls := 0
+	cfg := config.Config{Alpha: 8, Meter: asymmem.NewMeter(), Interrupt: func() error {
+		calls++
+		if calls > 2 { // entry and post-sort checks pass; post-outer fails
+			return errStop
+		}
+		return nil
+	}}
+	tr, err := BuildConfig(pts, cfg)
+	if err != errStop {
+		t.Fatalf("BuildConfig = (%v, %v), want interrupt error", tr, err)
+	}
+	if tr != nil {
+		t.Fatal("interrupted build returned a tree")
+	}
+}
+
+// TestParallelBulkInsertEquivalence asserts the forked bulk distribution
+// (including parallel inner-tree unions and fringe rebuilds) matches the
+// sequential pass in structure and counted costs at P ∈ {1, 2, 8}.
+func TestParallelBulkInsertEquivalence(t *testing.T) {
+	base := makePoints(3000, 21)
+	batch := makePoints(1200, 22)
+	for i := range batch {
+		batch[i].ID += 100000
+	}
+	for _, alpha := range []int{0, 8} {
+		var refDump string
+		var refCost asymmem.Snapshot
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			m := asymmem.NewMeterShards(p)
+			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+			if err != nil {
+				parallel.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			tr.BulkInsert(batch)
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("alpha=%d P=%d: %v", alpha, p, err)
+			}
+			dump := dumpTree(tr)
+			if p == 1 {
+				refDump, refCost = dump, cost
+				continue
+			}
+			if cost != refCost {
+				t.Errorf("alpha=%d P=%d: bulk cost %v != sequential %v", alpha, p, cost, refCost)
+			}
+			if dump != refDump {
+				t.Errorf("alpha=%d P=%d: bulk structure differs from sequential", alpha, p)
+			}
+		}
+	}
+}

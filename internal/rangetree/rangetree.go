@@ -19,6 +19,7 @@ package rangetree
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
@@ -82,7 +83,35 @@ type Tree struct {
 	live  int
 	dead  int
 	meter asymmem.Worker
-	stats Stats
+	// wm hands out worker-local meter handles for the parallel build and
+	// bulk paths (nil on trees assembled without a Config; charges then
+	// fall back to the sequential handle).
+	wm      func(int) asymmem.Worker
+	statsMu sync.Mutex // guards stats on the parallel build/bulk paths
+	stats   Stats
+}
+
+// worker returns the charging handle for worker w, falling back to the
+// sequential handle when no worker-meter factory was configured.
+func (t *Tree) worker(w int) asymmem.Worker {
+	if t.wm == nil {
+		return t.meter
+	}
+	return t.wm(w)
+}
+
+// addStats merges a sub-build's statistics under the stats lock (parallel
+// fringe rebuilds accumulate into a scratch Tree first).
+func (t *Tree) addStats(o Stats) {
+	t.statsMu.Lock()
+	t.stats.InnerTotalSize += o.InnerTotalSize
+	t.stats.InnerTreesBuilt += o.InnerTreesBuilt
+	t.stats.Rebuilds += o.Rebuilds
+	t.stats.RebuildWork += o.RebuildWork
+	t.stats.WeightWrites += o.WeightWrites
+	t.stats.InnerUpdates += o.InnerUpdates
+	t.stats.FullRebuilds += o.FullRebuilds
+	t.statsMu.Unlock()
 }
 
 // Stats profiles construction and updates.
@@ -119,21 +148,32 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0)}
+	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("rangetree/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
+	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("rangetree/outer", func() {
-		t.root = t.buildOuter(sorted)
+		t.root = t.buildOuterAt(sorted, 0, in)
 		t.live = len(pts)
-		t.label()
+		if !in.Stopped() {
+			t.labelAt(0, in)
+		}
 	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	// Sub-grain builds never reach a fork boundary, so poll between phases
+	// too — cancellation during the outer phase must stop the inners.
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	cfg.Phase("rangetree/inners", func() { t.buildInners(sorted) })
+	cfg.Phase("rangetree/inners", func() { t.buildInnersAt(sorted, 0, in) })
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -149,34 +189,68 @@ func (t *Tree) sortByX(pts []Point) {
 	t.meter.WriteN(len(pts))
 }
 
+// rtBuildGrain is the range tree's sequential-fallback cutoff: outer-tree
+// recursions, labeling walks, and inner-tree distribution lists below this
+// many points run sequentially on the current worker. The outer split
+// remains the deterministic mid-rank cut, so the shape — and every charge —
+// is independent of P.
+const rtBuildGrain = 1024
+
+// rtUnionMin is the bulk batch size at which inner-tree merges switch to
+// the parallel treap union.
+const rtUnionMin = 256
+
 // buildOuter builds the leaf-oriented balanced BST over x-sorted points.
 func (t *Tree) buildOuter(pts []Point) *node {
+	return t.buildOuterAt(pts, 0, nil)
+}
+
+// buildOuterAt is the parallel outer-tree construction for a caller running
+// as worker w: the two halves of the rank range fork on the worker pool,
+// each charging a worker-local handle. in, when non-nil, is polled at fork
+// boundaries.
+func (t *Tree) buildOuterAt(pts []Point, w int, in *parallel.Interrupt) *node {
 	if len(pts) == 0 {
 		return nil
 	}
-	var build func(lo, hi int) *node
-	build = func(lo, hi int) *node {
-		t.meter.Write()
+	var build func(w, lo, hi int, wk asymmem.Worker) *node
+	build = func(w, lo, hi int, wk asymmem.Worker) *node {
+		if in.Stopped() {
+			return &node{leaf: true, weight: 2}
+		}
+		wk.Write()
 		if hi-lo == 1 {
 			return &node{leaf: true, pt: pts[lo], key: pts[lo].X, weight: 2, initWeight: 2}
 		}
 		mid := (lo + hi) / 2
 		n := &node{key: pts[mid-1].X}
-		n.left = build(lo, mid)
-		n.right = build(mid, hi)
+		if hi-lo <= rtBuildGrain || in.Poll() {
+			n.left = build(w, lo, mid, wk)
+			n.right = build(w, mid, hi, wk)
+		} else {
+			parallel.DoW(w,
+				func(w int) { n.left = build(w, lo, mid, t.worker(w)) },
+				func(w int) { n.right = build(w, mid, hi, t.worker(w)) })
+		}
 		n.weight = n.left.weight + n.right.weight
 		n.initWeight = n.weight
 		return n
 	}
-	return build(0, len(pts))
+	return build(w, 0, len(pts), t.worker(w))
 }
 
 // label marks critical nodes (all nodes in classic mode); the root is the
 // virtual critical node.
 func (t *Tree) label() {
-	var rec func(n, sib *node)
-	rec = func(n, sib *node) {
-		if n == nil {
+	t.labelAt(0, nil)
+}
+
+// labelAt is label running as worker w, forking the two subtree walks while
+// the subtree weight stays above the grain.
+func (t *Tree) labelAt(w int, in *parallel.Interrupt) {
+	var rec func(w int, n, sib *node, wk asymmem.Worker)
+	rec = func(w int, n, sib *node, wk asymmem.Worker) {
+		if n == nil || in.Stopped() {
 			return
 		}
 		sw := 0
@@ -189,11 +263,17 @@ func (t *Tree) label() {
 			n.critical = alabel.IsCritical(n.weight, sw, t.opts.Alpha)
 		}
 		n.initWeight = n.weight
-		t.meter.Write()
-		rec(n.left, n.right)
-		rec(n.right, n.left)
+		wk.Write()
+		if n.weight <= rtBuildGrain || in.Poll() {
+			rec(w, n.left, n.right, wk)
+			rec(w, n.right, n.left, wk)
+		} else {
+			parallel.DoW(w,
+				func(w int) { rec(w, n.left, n.right, t.worker(w)) },
+				func(w int) { rec(w, n.right, n.left, t.worker(w)) })
+		}
 	}
-	rec(t.root, nil)
+	rec(w, t.root, nil, t.worker(w))
 	if t.root != nil {
 		t.root.critical = true
 	}
@@ -203,55 +283,89 @@ func (t *Tree) label() {
 // point set; every critical node's list is an ordered filter of its
 // critical parent's list restricted to its subtree's x-range (appendix).
 func (t *Tree) buildInners(byX []Point) {
+	t.buildInnersAt(byX, 0, nil)
+}
+
+// buildInnersAt is the parallel inner-tree construction for a caller
+// running as worker w. A critical node's own inner build is independent of
+// the ordered filter feeding its descendants — both only read the y-sorted
+// list — so the two fork as a pair, as do the left/right distribution walks
+// below each routing split; every branch charges a worker-local handle. The
+// counted costs equal the sequential top-down construction at any P. in,
+// when non-nil, is polled at fork boundaries.
+func (t *Tree) buildInnersAt(byX []Point, w int, in *parallel.Interrupt) {
 	if t.root == nil {
 		return
 	}
 	byY := append([]Point{}, byX...)
+	wk0 := t.worker(w)
 	sort.Slice(byY, func(i, j int) bool {
-		t.meter.Read()
+		wk0.Read()
 		return yLess(yKey{byY[i].Y, byY[i].ID}, yKey{byY[j].Y, byY[j].ID})
 	})
-	t.meter.WriteN(len(byY))
+	wk0.WriteN(len(byY))
 
 	// xRange computes [min,max] x (with ID tie-break) per subtree from the
 	// routing keys; we track ranges during the descent instead.
-	var fill func(n *node, list []Point)
-	fill = func(n *node, list []Point) {
-		if n.leaf {
+	var fill func(w int, n *node, list []Point)
+	// walk distributes a list to the maximal critical descendants: at each
+	// secondary internal node, split by the routing key and keep walking.
+	var walk func(w int, c *node, sub []Point)
+	walk = func(w int, c *node, sub []Point) {
+		if c == nil || c.leaf || in.Stopped() {
 			return // leaves answer directly from their single point
 		}
-		t.setInner(n, list)
-		// Distribute to maximal critical descendants: walk the structure;
-		// at each secondary internal node, split the list by the routing
-		// key and keep walking.
-		var walk func(c *node, sub []Point)
-		walk = func(c *node, sub []Point) {
-			if c == nil || c.leaf {
-				return // leaves answer directly from their single point
-			}
-			if c.critical {
-				fill(c, sub)
-				return
-			}
-			l, r := t.splitByX(c, sub)
-			walk(c.left, l)
-			walk(c.right, r)
-		}
-		if n.leaf {
+		if c.critical {
+			fill(w, c, sub)
 			return
 		}
-		l, r := t.splitByX(n, list)
-		walk(n.left, l)
-		walk(n.right, r)
+		l, r := t.splitByXW(c, sub, t.worker(w))
+		if len(sub) > rtBuildGrain && !in.Poll() {
+			parallel.DoW(w,
+				func(w int) { walk(w, c.left, l) },
+				func(w int) { walk(w, c.right, r) })
+		} else {
+			walk(w, c.left, l)
+			walk(w, c.right, r)
+		}
 	}
-	fill(t.root, byY)
+	fill = func(w int, n *node, list []Point) {
+		if n.leaf || in.Stopped() {
+			return // leaves answer directly from their single point
+		}
+		descend := func(w int) {
+			l, r := t.splitByXW(n, list, t.worker(w))
+			if len(list) > rtBuildGrain && !in.Poll() {
+				parallel.DoW(w,
+					func(w int) { walk(w, n.left, l) },
+					func(w int) { walk(w, n.right, r) })
+			} else {
+				walk(w, n.left, l)
+				walk(w, n.right, r)
+			}
+		}
+		if len(list) > rtBuildGrain && !in.Poll() {
+			parallel.DoW(w,
+				func(w int) { t.setInnerW(n, list, t.worker(w)) },
+				func(w int) { descend(w) })
+		} else {
+			t.setInnerW(n, list, t.worker(w))
+			descend(w)
+		}
+	}
+	fill(w, t.root, byY)
 }
 
 // splitByX stably partitions a y-sorted list by the node's routing key,
 // charging a read per element (the "ordered filter").
 func (t *Tree) splitByX(n *node, list []Point) (left, right []Point) {
+	return t.splitByXW(n, list, t.meter)
+}
+
+// splitByXW is splitByX charging a worker-local handle.
+func (t *Tree) splitByXW(n *node, list []Point, wk asymmem.Worker) (left, right []Point) {
 	for _, p := range list {
-		t.meter.Read()
+		wk.Read()
 		if t.goesLeft(n, p) {
 			left = append(left, p)
 		} else {
@@ -286,7 +400,13 @@ func (t *Tree) goesLeft(n *node, p Point) bool {
 // carry the y-sum augmentation, supporting the appendix's weighted-sum
 // queries without an output term.
 func (t *Tree) setInner(n *node, list []Point) {
-	n.inner = treap.NewW(yLess, yPrio, t.meter).WithValues(ySum)
+	t.setInnerW(n, list, t.meter)
+}
+
+// setInnerW is setInner charging a worker-local handle; the statistics
+// update takes the stats lock because inner trees build concurrently.
+func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker) {
+	n.inner = treap.NewW(yLess, yPrio, wk).WithValues(ySum)
 	keys := make([]yKey, len(list))
 	n.pts = make(map[int32]Point, len(list))
 	for i, p := range list {
@@ -294,9 +414,11 @@ func (t *Tree) setInner(n *node, list []Point) {
 		n.pts[p.ID] = p
 	}
 	n.inner.FromSorted(keys)
-	t.meter.WriteN(len(list))
+	wk.WriteN(len(list))
+	t.statsMu.Lock()
 	t.stats.InnerTotalSize += int64(len(list))
 	t.stats.InnerTreesBuilt++
+	t.statsMu.Unlock()
 }
 
 // Query reports every live point with x ∈ [xL, xR] and y ∈ [yB, yT].

@@ -89,8 +89,17 @@ func (t *Tree) Valid(i int) bool { return t.valid[i] }
 // Best returns the index of the highest-priority valid slot in [lo, hi),
 // or -1 if none. Ties break toward the smaller index.
 func (t *Tree) Best(lo, hi int) int {
+	return t.BestH(lo, hi, t.meter)
+}
+
+// BestH is Best charging an explicit worker-local handle. The parallel PST
+// construction recurses into disjoint slot ranges concurrently; every
+// mutable tree node a scoped query or deletion touches has its span inside
+// the caller's range, so disjoint ranges share no mutable state and each
+// branch can charge the worker it runs as.
+func (t *Tree) BestH(lo, hi int, h asymmem.Worker) int {
 	best := int32(-1)
-	t.visit(1, 0, t.size, lo, hi, func(v int) {
+	t.visit(1, 0, t.size, lo, hi, h, func(v int) {
 		b := t.best[v]
 		if b < 0 {
 			return
@@ -104,45 +113,55 @@ func (t *Tree) Best(lo, hi int) int {
 
 // CountValid returns the number of valid slots in [lo, hi).
 func (t *Tree) CountValid(lo, hi int) int {
+	return t.CountValidH(lo, hi, t.meter)
+}
+
+// CountValidH is CountValid charging an explicit worker-local handle.
+func (t *Tree) CountValidH(lo, hi int, h asymmem.Worker) int {
 	total := 0
-	t.visit(1, 0, t.size, lo, hi, func(v int) { total += int(t.cnt[v]) })
+	t.visit(1, 0, t.size, lo, hi, h, func(v int) { total += int(t.cnt[v]) })
 	return total
 }
 
 // visit calls f on the canonical decomposition of [lo, hi).
-func (t *Tree) visit(v, nodeLo, nodeHi, lo, hi int, f func(v int)) {
+func (t *Tree) visit(v, nodeLo, nodeHi, lo, hi int, h asymmem.Worker, f func(v int)) {
 	if hi <= nodeLo || nodeHi <= lo || lo >= hi {
 		return
 	}
-	t.meter.Read()
+	h.Read()
 	if lo <= nodeLo && nodeHi <= hi {
 		f(v)
 		return
 	}
 	mid := (nodeLo + nodeHi) / 2
-	t.visit(2*v, nodeLo, mid, lo, hi, f)
-	t.visit(2*v+1, mid, nodeHi, lo, hi, f)
+	t.visit(2*v, nodeLo, mid, lo, hi, h, f)
+	t.visit(2*v+1, mid, nodeHi, lo, hi, h, f)
 }
 
 // KthValid returns the index of the k-th valid slot (1-based) in [lo, hi),
 // or -1 if fewer than k valid slots exist there.
 func (t *Tree) KthValid(lo, hi, k int) int {
+	return t.KthValidH(lo, hi, k, t.meter)
+}
+
+// KthValidH is KthValid charging an explicit worker-local handle.
+func (t *Tree) KthValidH(lo, hi, k int, h asymmem.Worker) int {
 	if k <= 0 || lo >= hi {
 		return -1
 	}
-	if t.CountValid(lo, hi) < k {
+	if t.CountValidH(lo, hi, h) < k {
 		return -1
 	}
 	v, nodeLo, nodeHi := 1, 0, t.size
 	for nodeHi-nodeLo > 1 {
-		t.meter.Read()
+		h.Read()
 		mid := (nodeLo + nodeHi) / 2
 		lc := 0
 		if l2, h2 := max(lo, nodeLo), min(hi, mid); l2 < h2 {
 			if l2 == nodeLo && h2 == mid {
 				lc = int(t.cnt[2*v])
 			} else {
-				lc = t.CountValid(l2, h2)
+				lc = t.CountValidH(l2, h2, h)
 			}
 		}
 		if k <= lc {
@@ -166,6 +185,11 @@ func (t *Tree) Delete(i int) {
 // within [lo, hi) or disjoint from it, this preserves correctness while
 // keeping the total writes of a full construction linear.
 func (t *Tree) DeleteScoped(i, lo, hi int) {
+	t.DeleteScopedH(i, lo, hi, t.meter)
+}
+
+// DeleteScopedH is DeleteScoped charging an explicit worker-local handle.
+func (t *Tree) DeleteScopedH(i, lo, hi int, h asymmem.Worker) {
 	if i < 0 || i >= t.n || !t.valid[i] {
 		return
 	}
@@ -173,19 +197,20 @@ func (t *Tree) DeleteScoped(i, lo, hi int) {
 	v := t.size + i
 	t.best[v] = -1
 	t.cnt[v] = 0
-	t.meter.WriteN(2)
-	// Node v at height h (leaves h=0) covers leaves [(v<<h)-size, ((v+1)<<h)-size).
-	h := 0
+	h.WriteN(2)
+	// Node v at height ht (leaves ht=0) covers leaves
+	// [(v<<ht)-size, ((v+1)<<ht)-size).
+	ht := 0
 	for v > 1 {
 		v >>= 1
-		h++
-		nodeLo := (v << h) - t.size
-		nodeHi := nodeLo + (1 << h)
+		ht++
+		nodeLo := (v << ht) - t.size
+		nodeHi := nodeLo + (1 << ht)
 		if nodeLo < lo || nodeHi > hi {
 			return
 		}
 		t.pull(v)
-		t.meter.Write()
+		h.Write()
 	}
 }
 

@@ -193,42 +193,53 @@ func (t *Tree[K]) delete(n *node[K], k K, deleted *bool) *node[K] {
 
 // split partitions n into (< k) and (≥ k).
 func (t *Tree[K]) split(n *node[K], k K) (*node[K], *node[K]) {
+	return t.splitH(n, k, t.meter)
+}
+
+// splitH is split charging an explicit worker-local handle, so parallel
+// regions can attribute the structural charges to the worker that made them.
+func (t *Tree[K]) splitH(n *node[K], k K, h asymmem.Worker) (*node[K], *node[K]) {
 	if n == nil {
 		return nil, nil
 	}
-	t.meter.Read()
+	h.Read()
 	if t.less(n.key, k) {
-		l, r := t.split(n.right, k)
+		l, r := t.splitH(n.right, k, h)
 		n.right = l
 		t.update(n)
-		t.meter.Write()
+		h.Write()
 		return n, r
 	}
-	l, r := t.split(n.left, k)
+	l, r := t.splitH(n.left, k, h)
 	n.left = r
 	t.update(n)
-	t.meter.Write()
+	h.Write()
 	return l, n
 }
 
 // join concatenates l and r assuming every key in l < every key in r.
 func (t *Tree[K]) join(l, r *node[K]) *node[K] {
+	return t.joinH(l, r, t.meter)
+}
+
+// joinH is join charging an explicit worker-local handle.
+func (t *Tree[K]) joinH(l, r *node[K], h asymmem.Worker) *node[K] {
 	switch {
 	case l == nil:
 		return r
 	case r == nil:
 		return l
 	}
-	t.meter.Read()
+	h.Read()
 	if l.prio > r.prio {
-		l.right = t.join(l.right, r)
+		l.right = t.joinH(l.right, r, h)
 		t.update(l)
-		t.meter.Write()
+		h.Write()
 		return l
 	}
-	r.left = t.join(l, r.left)
+	r.left = t.joinH(l, r.left, h)
 	t.update(r)
-	t.meter.Write()
+	h.Write()
 	return r
 }
 
@@ -257,6 +268,10 @@ func (t *Tree[K]) Union(other *Tree[K]) {
 }
 
 func (t *Tree[K]) union(a, b *node[K]) *node[K] {
+	return t.unionSeq(a, b, t.meter)
+}
+
+func (t *Tree[K]) unionSeq(a, b *node[K], h asymmem.Worker) *node[K] {
 	if a == nil {
 		return b
 	}
@@ -266,14 +281,64 @@ func (t *Tree[K]) union(a, b *node[K]) *node[K] {
 	if a.prio < b.prio {
 		a, b = b, a
 	}
-	t.meter.Read()
-	bl, br := t.split(b, a.key)
+	h.Read()
+	bl, br := t.splitH(b, a.key, h)
 	// Drop a duplicate of a.key from br's leftmost position if present.
 	br = t.dropMinIfEqual(br, a.key)
-	a.left = t.union(a.left, bl)
-	a.right = t.union(a.right, br)
+	a.left = t.unionSeq(a.left, bl, h)
+	a.right = t.unionSeq(a.right, br, h)
 	t.update(a)
-	t.meter.Write()
+	h.Write()
+	return a
+}
+
+// unionParGrain is the combined-size cutoff below which UnionPar stops
+// forking and finishes sequentially on the current worker. Union's two
+// sub-unions are fully independent, so the fork is safe at any size; the
+// grain only bounds scheduling overhead.
+const unionParGrain = 256
+
+// UnionPar is Union forking the two independent sub-unions at every level
+// onto the worker pool while both operands stay above the grain. The caller
+// runs as worker w; each branch charges a worker-local handle from wm, so
+// per-worker cost attribution stays exact under parallelism. The resulting
+// treap — and, because priorities are deterministic, every structural
+// charge — is identical to Union's: UnionPar changes wall-clock and
+// attribution, never counts or shape.
+func (t *Tree[K]) UnionPar(other *Tree[K], w int, wm func(int) asymmem.Worker) {
+	if wm == nil {
+		t.Union(other)
+		return
+	}
+	t.root = t.unionPar(t.root, other.root, w, wm)
+	t.size = t.count(t.root)
+	other.root, other.size = nil, 0
+}
+
+func (t *Tree[K]) unionPar(a, b *node[K], w int, wm func(int) asymmem.Worker) *node[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.count+b.count <= unionParGrain {
+		return t.unionSeq(a, b, wm(w))
+	}
+	if a.prio < b.prio {
+		a, b = b, a
+	}
+	h := wm(w)
+	h.Read()
+	bl, br := t.splitH(b, a.key, h)
+	br = t.dropMinIfEqual(br, a.key)
+	var l, r *node[K]
+	parallel.DoW(w,
+		func(w int) { l = t.unionPar(a.left, bl, w, wm) },
+		func(w int) { r = t.unionPar(a.right, br, w, wm) })
+	a.left, a.right = l, r
+	t.update(a)
+	h.Write()
 	return a
 }
 

@@ -1,0 +1,60 @@
+package treap
+
+import (
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// TestUnionParMatchesUnion asserts the forked union produces the same treap
+// and bit-identical meter totals as the sequential union, across pool
+// sizes. Run under -race in CI.
+func TestUnionParMatchesUnion(t *testing.T) {
+	mk := func(m *asymmem.Meter, lo, hi, step int) *Tree[float64] {
+		tr := NewFloat64(m)
+		keys := make([]float64, 0, (hi-lo)/step+1)
+		for k := lo; k < hi; k += step {
+			keys = append(keys, float64(k))
+		}
+		tr.FromSorted(keys)
+		return tr
+	}
+	for _, p := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(p)
+		ms := asymmem.NewMeterShards(p)
+		a := mk(ms, 0, 6000, 1)
+		b := mk(ms, 3000, 9000, 2) // overlap: duplicates must collapse
+		before := ms.Snapshot()
+		a.Union(b)
+		seqCost := ms.Snapshot().Sub(before)
+		seqKeys := a.Keys()
+
+		mp := asymmem.NewMeterShards(p)
+		c := mk(mp, 0, 6000, 1)
+		d := mk(mp, 3000, 9000, 2)
+		before = mp.Snapshot()
+		c.UnionPar(d, 0, mp.Worker)
+		parCost := mp.Snapshot().Sub(before)
+		parallel.SetWorkers(prev)
+
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if parCost != seqCost {
+			t.Errorf("P=%d: UnionPar cost %v != Union %v", p, parCost, seqCost)
+		}
+		parKeys := c.Keys()
+		if len(parKeys) != len(seqKeys) {
+			t.Fatalf("P=%d: %d keys vs %d", p, len(parKeys), len(seqKeys))
+		}
+		for i := range parKeys {
+			if parKeys[i] != seqKeys[i] {
+				t.Fatalf("P=%d: key %d: %v != %v", p, i, parKeys[i], seqKeys[i])
+			}
+		}
+		if c.Len() != a.Len() {
+			t.Fatalf("P=%d: Len %d != %d", p, c.Len(), a.Len())
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Report struct {
 	Wall time.Duration
 	// Omega is the configured write/read cost ratio.
 	Omega int64
+	// Workers is the fork-join pool size the run executed with (the
+	// Engine's WithParallelism value, or the runtime default). Compare
+	// with ActiveWorkers to see how far a parallel build actually spread.
+	Workers int
 }
 
 // ActiveWorkers reports how many workers charged at least one access during
@@ -115,7 +119,7 @@ func (r *Report) PhaseTotals() map[string]Snapshot {
 // for experiment logs.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers)
 	totals := r.PhaseTotals()
 	names := make([]string, 0, len(totals))
 	for name := range totals {
