@@ -1,0 +1,54 @@
+package wegeom
+
+import (
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/interval"
+	"repro/internal/kdtree"
+	"repro/internal/parallel"
+	"repro/internal/pst"
+)
+
+func TestClassicCostInvariance(t *testing.T) {
+	n := 30000
+	ivs := make([]interval.Interval, n)
+	for i, iv := range gen.UniformIntervals(n, 0.02, 5) {
+		ivs[i] = interval.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	pts := make([]pst.Point, n)
+	items := make([]kdtree.Item, n)
+	for i, p := range gen.UniformPoints(n, 6) {
+		pts[i] = pst.Point{X: p.X, Y: p.Y, ID: int32(i)}
+		items[i] = kdtree.Item{P: geom.KPoint{p.X, p.Y}, ID: int32(i)}
+	}
+	var refI, refP, refK asymmem.Snapshot
+	for _, p := range []int{1, 8} {
+		prev := parallel.SetWorkers(p)
+		mi, mp, mk := asymmem.NewMeterShards(p), asymmem.NewMeterShards(p), asymmem.NewMeterShards(p)
+		if _, err := interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mi); err != nil {
+			t.Fatal(err)
+		}
+		pst.BuildClassic(pts, pst.Options{Alpha: 4}, mp)
+		if _, err := kdtree.BuildClassic(2, items, kdtree.Options{}, mk); err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(prev)
+		si, sp, sk := mi.Snapshot(), mp.Snapshot(), mk.Snapshot()
+		if p == 1 {
+			refI, refP, refK = si, sp, sk
+			continue
+		}
+		if si != refI {
+			t.Errorf("interval classic cost at P=8 %v != P=1 %v", si, refI)
+		}
+		if sp != refP {
+			t.Errorf("pst classic cost at P=8 %v != P=1 %v", sp, refP)
+		}
+		if sk != refK {
+			t.Errorf("kdtree classic cost at P=8 %v != P=1 %v", sk, refK)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	wegeom "repro"
 	"repro/internal/gen"
+	"repro/internal/parallel"
 )
 
 // The -scaling mode measures wall-clock strong scaling of the parallel
@@ -63,6 +64,9 @@ func runScaling(out string, maxP, reps int) error {
 		nSort     = 60000
 		nKD       = 60000
 		nTree     = 50000
+		// The prims workloads are pure primitive invocations (no tree on
+		// top), so they take a larger n to give the pool something to chew.
+		nPrims = 400000
 	)
 	pts := wegeom.ShufflePoints(gen.UniformPoints(nDelaunay, 21), 22)
 	keys := gen.UniformFloats(nSort, 23)
@@ -79,6 +83,16 @@ func runScaling(out string, maxP, reps int) error {
 	for i, p := range gen.UniformPoints(nTree, 26) {
 		pstPts[i] = wegeom.PSTPoint{X: p.X, Y: p.Y, ID: int32(i)}
 		rtPts[i] = wegeom.RTPoint{X: p.X, Y: p.Y, ID: int32(i)}
+	}
+	rng := parallel.NewRNG(27)
+	radixItems := make([]wegeom.RadixItem, nPrims)
+	semiPairs := make([]wegeom.SemiPair, nPrims)
+	prios := gen.UniformFloats(nPrims, 28)
+	for i := range radixItems {
+		radixItems[i] = wegeom.RadixItem{Key: rng.Next(), Val: int32(i)}
+		// ~16 records per key on average: groups big enough to be real,
+		// numerous enough to exercise the scatter.
+		semiPairs[i] = wegeom.SemiPair{Key: rng.Next() % (nPrims / 16), Val: int32(i)}
 	}
 	workloads := []struct {
 		name string
@@ -107,6 +121,18 @@ func runScaling(out string, maxP, reps int) error {
 		}},
 		{"rangetree", nTree, func(p int) (*wegeom.Report, error) {
 			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).NewRangeTree(ctx, rtPts)
+			return rep, err
+		}},
+		{"radixsort", nPrims, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).RadixSort(ctx, radixItems)
+			return rep, err
+		}},
+		{"semisort", nPrims, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).Semisort(ctx, semiPairs)
+			return rep, err
+		}},
+		{"tournament", nPrims, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).BuildTournament(ctx, prios)
 			return rep, err
 		}},
 	}

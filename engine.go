@@ -13,8 +13,10 @@ import (
 	"repro/internal/interval"
 	"repro/internal/kdtree"
 	"repro/internal/parallel"
+	"repro/internal/prims"
 	"repro/internal/pst"
 	"repro/internal/rangetree"
+	"repro/internal/tournament"
 	"repro/internal/wesort"
 )
 
@@ -346,6 +348,73 @@ func (e *Engine) NewRangeTree(ctx context.Context, pts []RTPoint) (*RangeTree, *
 		var err error
 		t, err = rangetree.BuildConfig(pts, cfg)
 		return err
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return t, rep, nil
+}
+
+// ---- parallel primitives (internal/prims) ----
+
+// RadixSort returns a stably Key-sorted copy of items using the
+// worker-pool-parallel LSD radix sort every builder in this module shares
+// (internal/prims): blocked counting passes over 16-bit digits, charged at
+// one read and one write per record per pass. The phase is recorded as
+// "prims/radixsort"; the counted costs are independent of WithParallelism.
+func (e *Engine) RadixSort(ctx context.Context, items []RadixItem) ([]RadixItem, *Report, error) {
+	out := append([]RadixItem{}, items...)
+	rep, err := e.run(ctx, "radixsort", func(cfg config.Config) error {
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		cfg.Phase("prims/radixsort", func() {
+			prims.RadixSort(out, 0, cfg.WorkerMeter(0))
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+// Semisort groups the pairs by key with the expected-linear-work parallel
+// semisort ([34]; internal/prims): hash into 2n buckets, blocked
+// count/scan/scatter, per-bucket collision resolution. Group order and
+// costs are deterministic and independent of WithParallelism; the phase is
+// recorded as "prims/semisort".
+func (e *Engine) Semisort(ctx context.Context, pairs []SemiPair) ([]SemiGroup, *Report, error) {
+	var out []SemiGroup
+	rep, err := e.run(ctx, "semisort", func(cfg config.Config) error {
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		cfg.Phase("prims/semisort", func() {
+			out = prims.Semisort(pairs, cfg.WorkerMeter(0))
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+// BuildTournament builds the Appendix-A tournament tree over the given
+// slot priorities — the primitive under the priority-search-tree
+// construction — with the bottom-up parallel level sweep (O(n) work and
+// writes). The phase is recorded as "tournament/build".
+func (e *Engine) BuildTournament(ctx context.Context, prios []float64) (*Tournament, *Report, error) {
+	var t *Tournament
+	rep, err := e.run(ctx, "tournament", func(cfg config.Config) error {
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		cfg.Phase("tournament/build", func() {
+			t = tournament.NewW(prios, cfg.WorkerMeter(0))
+		})
+		return nil
 	})
 	if err != nil {
 		return nil, rep, err

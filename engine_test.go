@@ -430,3 +430,102 @@ func TestShufflePointsUniform(t *testing.T) {
 		}
 	}
 }
+
+// TestEnginePrimitives exercises the parallel-primitive Engine methods —
+// RadixSort, Semisort, BuildTournament — end-to-end: correct results,
+// uniform Reports with the expected phases, and counted costs independent
+// of WithParallelism.
+func TestEnginePrimitives(t *testing.T) {
+	ctx := context.Background()
+	n := 20000
+	items := make([]RadixItem, n)
+	pairs := make([]SemiPair, n)
+	prios := gen.UniformFloats(n, 5)
+	rng := uint64(1)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		items[i] = RadixItem{Key: rng >> 16, Val: int32(i)}
+		pairs[i] = SemiPair{Key: rng % 512, Val: int32(i)}
+	}
+
+	type primRun struct {
+		op    string
+		phase string
+		run   func(e *Engine) (*Report, error)
+	}
+	runs := []primRun{
+		{"radixsort", "prims/radixsort", func(e *Engine) (*Report, error) {
+			out, rep, err := e.RadixSort(ctx, items)
+			if err != nil {
+				return rep, err
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i-1].Key > out[i].Key ||
+					(out[i-1].Key == out[i].Key && out[i-1].Val > out[i].Val) {
+					t.Fatalf("RadixSort output unsorted/unstable at %d", i)
+				}
+			}
+			if items[0].Val != 0 {
+				t.Fatal("RadixSort mutated its input")
+			}
+			return rep, nil
+		}},
+		{"semisort", "prims/semisort", func(e *Engine) (*Report, error) {
+			groups, rep, err := e.Semisort(ctx, pairs)
+			if err != nil {
+				return rep, err
+			}
+			total := 0
+			for _, g := range groups {
+				total += len(g.Vals)
+			}
+			if total != n {
+				t.Fatalf("Semisort groups hold %d pairs, want %d", total, n)
+			}
+			return rep, nil
+		}},
+		{"tournament", "tournament/build", func(e *Engine) (*Report, error) {
+			tt, rep, err := e.BuildTournament(ctx, prios)
+			if err != nil {
+				return rep, err
+			}
+			best := tt.Best(0, n)
+			for i := 0; i < n; i++ {
+				if prios[i] > prios[best] {
+					t.Fatalf("BuildTournament Best = %d, but %d has higher priority", best, i)
+				}
+			}
+			return rep, nil
+		}},
+	}
+	for _, pr := range runs {
+		var ref Snapshot
+		for _, p := range []int{1, 4} {
+			rep, err := pr.run(NewEngine(WithParallelism(p)))
+			if err != nil {
+				t.Fatalf("%s at P=%d: %v", pr.op, p, err)
+			}
+			if rep.Op != pr.op {
+				t.Fatalf("report op = %q, want %q", rep.Op, pr.op)
+			}
+			if len(rep.Phases) != 1 || rep.Phases[0].Name != pr.phase {
+				t.Fatalf("%s: phases = %+v, want one %q", pr.op, rep.Phases, pr.phase)
+			}
+			if rep.Total.Writes == 0 {
+				t.Fatalf("%s: counted no writes", pr.op)
+			}
+			if p == 1 {
+				ref = rep.Total
+			} else if rep.Total != ref {
+				t.Fatalf("%s: cost at P=%d %v != P=1 %v", pr.op, p, rep.Total, ref)
+			}
+		}
+	}
+
+	// Cancellation: a pre-cancelled context aborts before the phase runs.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := NewEngine().RadixSort(cctx, items); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RadixSort with cancelled ctx: err = %v", err)
+	}
+}

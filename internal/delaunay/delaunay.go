@@ -40,7 +40,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
-	"repro/internal/semisort"
+	"repro/internal/prims"
 )
 
 // noTri marks an absent triangle reference.
@@ -425,13 +425,12 @@ func TriangulateConfig(pts []geom.Point, cfg config.Config) (*Triangulation, err
 		}); err != nil {
 			return nil, err
 		}
-		// Gather alive triangles with non-empty E as the new worklist.
-		var active []int32
-		for id := range t.Tris {
-			if t.Tris[id].alive && len(t.Tris[id].enc) > 0 {
-				active = append(active, int32(id))
-			}
-		}
+		// Gather alive triangles with non-empty E as the new worklist (the
+		// parallel pack; scanning the mesh for the worklist is harness
+		// bookkeeping the model does not charge, hence the inactive handle).
+		active := prims.PackIndex(len(t.Tris), func(id int) bool {
+			return t.Tris[id].alive && len(t.Tris[id].enc) > 0
+		}, asymmem.Worker{})
 		if err := cfg.PhaseErr("delaunay/insert", func() error {
 			return t.runRounds(active)
 		}); err != nil {
@@ -447,17 +446,17 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	batch := end - start
 	var visited, outputs atomic.Int64
 	var mu sync.Mutex
-	pairs := make([]semisort.Pair, 0, 4*batch)
+	pairs := make([]prims.Pair, 0, 4*batch)
 
 	parallel.ForChunkedW(batch, 16, func(w, lo, hi int) {
 		hw := t.meter.Worker(w)
 		var lc localCost
 		var v, o int64
-		var local []semisort.Pair
+		var local []prims.Pair
 		for i := lo; i < hi; i++ {
 			p := int32(start + i)
 			vi, oi := t.tracePoint(p, func(leaf int32) {
-				local = append(local, semisort.Pair{Key: uint64(leaf), Val: p})
+				local = append(local, prims.Pair{Key: uint64(leaf), Val: p})
 			}, &lc)
 			v += vi
 			o += oi
@@ -473,19 +472,32 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	t.Stats.LocateVisited += visited.Load()
 	t.Stats.LocateOutputs += outputs.Load()
 
-	groups := semisort.SemisortW(pairs, t.meter.Worker(0))
-	for _, g := range groups {
+	// Install the E sets: each group is one alive triangle's encroacher
+	// set, and groups touch disjoint triangles, so installation forks on
+	// the worker pool with worker-local charging (one write per point, in
+	// bulk per group — same totals as the sequential install at any P).
+	groups := prims.Semisort(pairs, t.meter.Worker(0))
+	var encWrites atomic.Int64
+	var deadTri atomic.Int32
+	deadTri.Store(noTri)
+	parallel.ForGrainW(len(groups), 64, func(w, gi int) {
+		g := groups[gi]
 		id := int32(g.Key)
 		tr := &t.Tris[id]
 		if !tr.alive {
-			return fmt.Errorf("delaunay: located point into dead triangle %d", id)
+			deadTri.Store(id)
+			return
 		}
 		sort.Slice(g.Vals, func(a, b int) bool { return g.Vals[a] < g.Vals[b] })
 		tr.enc = g.Vals
 		tr.minEnc = g.Vals[0]
-		t.Stats.EncWrites += int64(len(g.Vals))
-		t.meter.WriteN(len(g.Vals))
+		encWrites.Add(int64(len(g.Vals)))
+		t.meter.Worker(w).WriteN(len(g.Vals))
+	})
+	if id := deadTri.Load(); id != noTri {
+		return fmt.Errorf("delaunay: located point into dead triangle %d", id)
 	}
+	t.Stats.EncWrites += encWrites.Load()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package interval
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -120,6 +121,45 @@ func TestParallelBulkInsertEquivalence(t *testing.T) {
 			}
 			if dump != refDump {
 				t.Errorf("alpha=%d P=%d: bulk structure differs from sequential", alpha, p)
+			}
+		}
+	}
+}
+
+// TestBuildHostileKeys regression-tests the radix key encodings: negative
+// caller-chosen IDs must tie-break in signed order, and -0.0 endpoints must
+// collapse onto +0.0 (the inner-tree comparators treat the zeros as equal),
+// in both the small-input comparison path and the blocked radix path.
+func TestBuildHostileKeys(t *testing.T) {
+	neg0 := math.Copysign(0, -1)
+	for _, n := range []int{100, 6000} { // 2n endpoints: below/above the radix cutoff
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			// All left endpoints collide on a handful of values including
+			// both zeros; IDs span negative and positive.
+			var v float64
+			switch i % 3 {
+			case 0:
+				v = 0
+			case 1:
+				v = neg0
+			default:
+				v = 10
+			}
+			ivs[i] = Interval{Left: v, Right: 20 + float64(i%7), ID: int32(i) - int32(n/2)}
+		}
+		for _, p := range []int{1, 8} {
+			prev := parallel.SetWorkers(p)
+			tr, err := BuildConfig(ivs, config.Config{Alpha: 8, Meter: asymmem.NewMeterShards(p)})
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatalf("n=%d P=%d: %v", n, p, err)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("n=%d P=%d: %v", n, p, err)
+			}
+			if c := tr.StabCount(15); c != n {
+				t.Fatalf("n=%d P=%d: StabCount(15) = %d, want %d", n, p, c, n)
 			}
 		}
 	}

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/asymmem"
 	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/prims"
 )
 
 // Item is a point with a caller-chosen identifier.
@@ -139,38 +141,98 @@ func validate(dims int, items []Item) error {
 	return nil
 }
 
+// classicGrain is the classic builder's sequential cutoff: a node over at
+// most this many items selects its median with the sequential quickselect
+// and recurses without forking. Above it, the exact-median selection runs
+// as a parallel stable radix sort over the axis coordinate (prims) and the
+// two child recursions fork on the worker pool — ROADMAP's "parallelize the
+// classic baselines" item, keeping classic-vs-ours wall-clock comparisons
+// apples-to-apples at P > 1. Charges are identical on both paths, so the
+// counted Θ(n log n) baseline cost never moves with P.
+const classicGrain = 1 << 13
+
 // buildMedian recursively splits buf by the exact median along the cycling
-// axis. buf is consumed (reordered in place).
+// axis. buf is consumed (reordered in place). The recursion creates nodes
+// unregistered (forked branches touch no shared state); the registration
+// walk below then assigns arena ids in the same pre-order the sequential
+// builder produced, so ids — which later batched rounds use as semisort
+// keys — are deterministic at any P.
 func (t *Tree) buildMedian(buf []Item, depth int) *node {
+	root := t.buildMedianRec(buf, depth, 0)
+	t.registerNodes(root)
+	return root
+}
+
+// registerNodes appends a built subtree's nodes to the arena in pre-order,
+// charging the one write per tree node the sequential builder charged at
+// node creation.
+func (t *Tree) registerNodes(n *node) {
+	if n == nil {
+		return
+	}
+	n.id = int32(len(t.arena))
+	t.arena = append(t.arena, n)
+	t.meter.Write()
+	t.registerNodes(n.left)
+	t.registerNodes(n.right)
+}
+
+// buildMedianRec runs as worker w; forked branches charge their own
+// worker-local meter handles so the concurrent classic baseline never
+// contends on one shard's cache line (totals are order-independent sums, so
+// the counted cost is unchanged at any P).
+func (t *Tree) buildMedianRec(buf []Item, depth, w int) *node {
 	if len(buf) == 0 {
 		return nil
 	}
-	n := t.newNode()
+	h := t.meter.Worker(w)
+	n := &node{}
 	if len(buf) <= t.leafSize {
 		n.leaf = true
 		n.items = append([]Item{}, buf...)
 		n.deadMask = make([]bool, len(buf))
 		n.count = len(buf)
-		t.meter.WriteN(len(buf))
+		h.WriteN(len(buf))
 		return n
 	}
 	axis := depth % t.dims
 	mid := len(buf) / 2
-	if t.sah {
+	switch {
+	case t.sah:
 		var split float64
 		axis, split, mid = t.sahSplit(buf)
 		n.split = split
-	} else {
+	case len(buf) > classicGrain:
+		radixMedian(buf, axis)
+		n.split = buf[mid].P[axis]
+	default:
 		quickselect(buf, mid, axis)
 		n.split = buf[mid].P[axis]
 	}
-	t.meter.ReadN(len(buf))
-	t.meter.WriteN(len(buf)) // the classic build copies/partitions per level
+	h.ReadN(len(buf))
+	h.WriteN(len(buf)) // the classic build copies/partitions per level
 	n.axis = int8(axis)
-	n.left = t.buildMedian(buf[:mid], depth+1)
-	n.right = t.buildMedian(buf[mid:], depth+1)
+	if len(buf) > classicGrain {
+		parallel.DoW(w,
+			func(w int) { n.left = t.buildMedianRec(buf[:mid], depth+1, w) },
+			func(w int) { n.right = t.buildMedianRec(buf[mid:], depth+1, w) })
+	} else {
+		n.left = t.buildMedianRec(buf[:mid], depth+1, w)
+		n.right = t.buildMedianRec(buf[mid:], depth+1, w)
+	}
 	n.count = len(buf)
 	return n
+}
+
+// radixMedian reorders buf into full (axis value, ID) order — the order
+// whose k-th element quickselect positions — with the parallel stable radix
+// passes of prims, so large nodes' median selection scales with the worker
+// pool. The resulting left/right halves equal the sequential partition's.
+func radixMedian(buf []Item, axis int) {
+	items := prims.SortPerm(len(buf),
+		func(i int) uint64 { return prims.Int32Key(buf[i].ID) },
+		func(i int) uint64 { return prims.Float64Key(buf[i].P[axis]) })
+	prims.ApplyPerm(items, buf)
 }
 
 // quickselect partially sorts buf so that buf[k] is the k-th item by

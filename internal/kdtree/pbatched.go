@@ -8,7 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
-	"repro/internal/semisort"
+	"repro/internal/prims"
 )
 
 // PBatchedOptions configures the p-batched incremental construction.
@@ -130,7 +130,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 		}
 		batch := items[r.Start:r.End]
 		// Step 1: locate (reads only) + semisort by leaf.
-		var groups []semisort.Group
+		var groups []prims.Group
 		cfg.Phase("kdtree/locate", func() {
 			leaves := make([]*node, len(batch))
 			before := t.meter.Snapshot()
@@ -141,11 +141,13 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 				}
 			})
 			t.stats.LocationReads += t.meter.Snapshot().Sub(before).Reads
-			pairs := make([]semisort.Pair, len(batch))
-			for i := range batch {
-				pairs[i] = semisort.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
-			}
-			groups = semisort.SemisortW(pairs, t.meter.Worker(0))
+			pairs := make([]prims.Pair, len(batch))
+			parallel.ForChunked(len(batch), parallel.DefaultGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pairs[i] = prims.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
+				}
+			})
+			groups = prims.Semisort(pairs, t.meter.Worker(0))
 		})
 
 		cfg.Phase("kdtree/settle", func() {

@@ -190,6 +190,40 @@ func ForChunkedAt(w, n, grain int, body func(w, lo, hi int)) {
 	rec(w, 0, n)
 }
 
+// BlockBounds returns the half-open range [lo, hi) of block b when [0, n)
+// is partitioned into nblocks near-equal contiguous blocks (the first
+// n mod nblocks blocks are one element longer). The decomposition is a pure
+// function of n and nblocks — never of the pool size — so primitives that
+// must produce P-independent results (the stable sorts in internal/prims)
+// can parallelize over blocks without their block boundaries moving with P.
+func BlockBounds(n, nblocks, b int) (lo, hi int) {
+	q, r := n/nblocks, n%nblocks
+	lo = b*q + min(b, r)
+	hi = lo + q
+	if b < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForBlocksW partitions [0, n) into exactly nblocks near-equal contiguous
+// blocks (BlockBounds) and runs body(w, b, lo, hi) on each, potentially in
+// parallel, passing the worker each block runs as. Unlike ForChunkedW the
+// caller picks the block *count*, not the block size — the shape needed by
+// blocked counting passes, whose auxiliary histogram is sized per block.
+func ForBlocksW(n, nblocks int, body func(w, b, lo, hi int)) {
+	if n <= 0 || nblocks <= 0 {
+		return
+	}
+	if nblocks > n {
+		nblocks = n
+	}
+	ForGrainW(nblocks, 1, func(w, b int) {
+		lo, hi := BlockBounds(n, nblocks, b)
+		body(w, b, lo, hi)
+	})
+}
+
 // Reduce computes op over f(0), ..., f(n-1) with identity id, potentially in
 // parallel. op must be associative; id must be its identity.
 func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {

@@ -1,0 +1,101 @@
+package prims
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+)
+
+// decodeItems parses fuzz bytes into records: 8 bytes of key each, Val =
+// input position. keyMask trims the key range so the fuzzer also reaches
+// dense (collision-heavy) keyspaces cheaply via the low mask bits.
+func decodeItems(data []byte) []Item {
+	if len(data) == 0 {
+		return nil
+	}
+	// First byte picks a key-range shrink: 0 -> full 64-bit keys,
+	// k -> keys mod 2^k.
+	shift := uint(data[0] % 65)
+	data = data[1:]
+	items := make([]Item, 0, len(data)/8+1)
+	for i := 0; i+8 <= len(data); i += 8 {
+		k := binary.LittleEndian.Uint64(data[i : i+8])
+		if shift > 0 && shift < 64 {
+			k &= (uint64(1) << shift) - 1
+		}
+		items = append(items, Item{Key: k, Val: int32(len(items))})
+	}
+	if rem := len(data) % 8; rem > 0 {
+		var buf [8]byte
+		copy(buf[:], data[len(data)-rem:])
+		items = append(items, Item{Key: binary.LittleEndian.Uint64(buf[:]), Val: int32(len(items))})
+	}
+	return items
+}
+
+// FuzzRadixSort cross-checks prims.RadixSort against sort.SliceStable:
+// same key order and — because Val records the input position — the same
+// tie order (stability).
+func FuzzRadixSort(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items := decodeItems(data)
+		want := append([]Item{}, items...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		RadixSort(items, 0, asymmem.Worker{})
+		for i := range want {
+			if items[i] != want[i] {
+				t.Fatalf("position %d: got %+v, want %+v (stability or order violated)", i, items[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzSemisort checks group integrity: every input pair appears in exactly
+// one group exactly once, every group is key-homogeneous, and no key spans
+// two groups.
+func FuzzSemisort(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items := decodeItems(data)
+		pairs := make([]Pair, len(items))
+		for i, it := range items {
+			pairs[i] = Pair{Key: it.Key, Val: it.Val}
+		}
+		groups := Semisort(pairs, asymmem.Worker{})
+		seenKey := map[uint64]bool{}
+		seenVal := map[int32]bool{}
+		total := 0
+		for _, g := range groups {
+			if len(g.Vals) == 0 {
+				t.Fatal("empty group")
+			}
+			if seenKey[g.Key] {
+				t.Fatalf("key %d spans two groups", g.Key)
+			}
+			seenKey[g.Key] = true
+			for _, v := range g.Vals {
+				if v < 0 || int(v) >= len(pairs) {
+					t.Fatalf("group %d holds out-of-range val %d", g.Key, v)
+				}
+				if pairs[v].Key != g.Key {
+					t.Fatalf("group %d holds val %d of key %d (not key-homogeneous)", g.Key, v, pairs[v].Key)
+				}
+				if seenVal[v] {
+					t.Fatalf("pair %d appears twice", v)
+				}
+				seenVal[v] = true
+			}
+			total += len(g.Vals)
+		}
+		if total != len(pairs) {
+			t.Fatalf("groups hold %d pairs, input had %d", total, len(pairs))
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package prims is the shared parallel-primitives layer of this module:
+// worker-pool-native, meter-charging implementations of the handful of bulk
+// operations every construction in the paper bottoms out in — stable radix /
+// counting sort, semisort, filter/pack, and a level sweep for bottom-up tree
+// construction. GBBS (Dhulipala–Blelloch–Shun) demonstrates that a small
+// library of theoretically-efficient primitives is what lets many algorithms
+// be simultaneously fast and short; this package plays that role here, on
+// top of the fork-join runtime of internal/parallel.
+//
+// # Cost discipline
+//
+// Every primitive takes an asymmem.Worker charging handle and charges the
+// same bulk model costs the sequential implementations it replaces charged —
+// e.g. one read and one write per record per radix pass — at join points, as
+// a constant number of atomic adds per call. The charges are a function of
+// the input only, never of the worker-pool size P, and the outputs are
+// deterministic (the sorts are stable, so their results are unique), so a
+// parallel phase built on prims has read/write totals and results
+// bit-identical to its own sequential execution at any P. Auxiliary state —
+// per-block histograms, scan trees, index buffers — is the model's
+// small-memory scratch and is never charged, matching the sequential code
+// paths these primitives replace.
+//
+// # Parallel shape
+//
+// The sorts use the standard blocked decomposition: a parallel per-block
+// counting pass, an exclusive parallel.Scan over the per-block histograms
+// (laid out digit-major so the scan directly yields each block's scatter
+// offsets), and a parallel per-block stable scatter. The block *count*
+// scales with the pool (sortBlocks), so P-invariance of the results rests
+// on stability, not on fixed boundaries: every pass is a stable scatter,
+// a stable sort's output is unique, and therefore the result is the same
+// for any block decomposition. Per-block work must stay uncharged (as it
+// is — charges are bulk, per record) or that invariance breaks. Work is
+// O(n) per pass and span polylogarithmic, preserving the asymptotics the
+// paper's constructions assume ([34], [48]).
+package prims
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// Item is one radix-sortable record: sorted by Key, carrying Val.
+type Item struct {
+	Key uint64
+	Val int32
+}
+
+// digitBits is the radix-pass width. 16 bits matches the sequential sorter
+// this package replaced, so pass counts — and with them the charged costs —
+// are unchanged.
+const digitBits = 16
+
+// radix is the bucket count of one radix pass.
+const radix = 1 << digitBits
+
+// seqSortCutoff is the input size below which the sorts run their
+// sequential loops: the blocked passes only pay off once the per-block
+// histograms amortize. The cutoff changes wall-clock only — charges and
+// output are identical on both paths.
+const seqSortCutoff = 1 << 13
+
+// fillGrain is the sequential block size for the uncharged element-wise
+// helper loops (key building, permutations).
+const fillGrain = 1 << 12
+
+// maxSortBlocks caps the block count of the counting passes: each block
+// owns a radix-sized histogram column, so the auxiliary table is
+// radix·blocks words.
+const maxSortBlocks = 16
+
+// sortBlocks picks the block count for one counting pass over n records.
+func sortBlocks(n int) int {
+	nb := parallel.Workers()
+	if nb > maxSortBlocks {
+		nb = maxSortBlocks
+	}
+	if per := n / seqSortCutoff; nb > per {
+		nb = per
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
+}
+
+// RadixSort stably sorts items by Key in place with parallel least-
+// significant-digit counting passes. maxKey bounds the keys (0 derives the
+// bound with one charged scan); only the digits needed to cover maxKey are
+// processed. Charges one read and one write per record per pass to h, plus
+// one write per record for the final copy when the pass count is odd —
+// exactly the charges of the sequential sorter it replaces, independent of
+// the worker-pool size.
+func RadixSort(items []Item, maxKey uint64, h asymmem.Worker) {
+	n := len(items)
+	if n <= 1 {
+		return
+	}
+	if maxKey == 0 {
+		maxKey = MaxKey(items)
+		h.ReadN(n)
+	}
+	passes := (bits.Len64(maxKey) + digitBits - 1) / digitBits
+	if passes == 0 {
+		passes = 1
+	}
+	buf := make([]Item, n)
+	src, dst := items, buf
+	for p := 0; p < passes; p++ {
+		countingPass(src, dst, uint(p*digitBits), radix)
+		h.ReadN(n)
+		h.WriteN(n)
+		src, dst = dst, src
+	}
+	if &src[0] != &items[0] {
+		parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+			copy(items[lo:hi], src[lo:hi])
+		})
+		h.WriteN(n)
+	}
+}
+
+// CountingSort stably sorts items whose keys lie in [0, buckets) with one
+// parallel counting pass. Charges one read and two writes per record (the
+// scatter plus the copy back into items).
+func CountingSort(items []Item, buckets int, h asymmem.Worker) {
+	n := len(items)
+	if n <= 1 {
+		return
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	dst := make([]Item, n)
+	countingPass(items, dst, 0, buckets)
+	h.ReadN(n)
+	h.WriteN(n)
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		copy(items[lo:hi], dst[lo:hi])
+	})
+	h.WriteN(n)
+}
+
+// MaxKey returns the largest Key in items (0 for an empty slice), reducing
+// in parallel. The caller charges any model cost.
+func MaxKey(items []Item) uint64 {
+	return parallel.Reduce(len(items), fillGrain, uint64(0),
+		func(i int) uint64 { return items[i].Key },
+		func(a, b uint64) uint64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+}
+
+// countingPass stably scatters src into dst by digit
+// (src[i].Key >> shift) mod nbuckets-capacity, where every digit must be
+// < nbuckets. Blocked: per-block histograms are laid out digit-major
+// (counts[d·nb + b]) so one exclusive scan yields each block's scatter
+// offset for each digit and the scatter is stable across blocks. The
+// histogram and scan are uncharged auxiliary state, as in the sequential
+// sorter this replaces.
+func countingPass(src, dst []Item, shift uint, nbuckets int) {
+	n := len(src)
+	// digit folds a key into [0, nbuckets): a mask for power-of-two bucket
+	// counts (every radix pass), a modulo otherwise.
+	var digit func(k uint64) int
+	if nbuckets&(nbuckets-1) == 0 {
+		mask := uint64(nbuckets - 1)
+		digit = func(k uint64) int { return int((k >> shift) & mask) }
+	} else {
+		nb64 := uint64(nbuckets)
+		digit = func(k uint64) int { return int((k >> shift) % nb64) }
+	}
+	if n < seqSortCutoff {
+		counts := make([]int64, nbuckets)
+		for i := 0; i < n; i++ {
+			counts[digit(src[i].Key)]++
+		}
+		var sum int64
+		for d := 0; d < nbuckets; d++ {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := digit(src[i].Key)
+			dst[counts[d]] = src[i]
+			counts[d]++
+		}
+		return
+	}
+	nb := sortBlocks(n)
+	counts := make([]int64, nbuckets*nb)
+	parallel.ForBlocksW(n, nb, func(_, b, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[digit(src[i].Key)*nb+b]++
+		}
+	})
+	parallel.Scan(counts, counts)
+	parallel.ForBlocksW(n, nb, func(_, b, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := digit(src[i].Key)
+			dst[counts[d*nb+b]] = src[i]
+			counts[d*nb+b]++
+		}
+	})
+}
+
+// sortByKeyBits stably sorts items over exactly keyBits low key bits,
+// charging nothing — the building block for composite-key sorts whose model
+// cost the caller charges separately (Semisort). Key ranges that fit one
+// digit sort with a single counting pass sized to the actual range, so
+// small inputs never allocate a full radix histogram.
+func sortByKeyBits(items []Item, keyBits int) {
+	n := len(items)
+	if n <= 1 {
+		return
+	}
+	if keyBits <= 0 {
+		keyBits = 1
+	}
+	if keyBits <= digitBits {
+		dst := make([]Item, n)
+		countingPass(items, dst, 0, 1<<keyBits)
+		copy(items, dst)
+		return
+	}
+	maxKey := ^uint64(0)
+	if keyBits < 64 {
+		maxKey = (uint64(1) << keyBits) - 1
+	}
+	RadixSort(items, maxKey, asymmem.Worker{})
+}
+
+// SortPerm returns the permutation of [0, n) that stably orders the
+// indices by (major(i), minor(i)): a minor radix pass then a stable major
+// pass, both on the worker pool. Items carry the source index in Val, in
+// sorted order. Uncharged — the callers (the comparison-sort model charge
+// sites in interval/pst/rangetree) account their own model cost; the key
+// closures are invoked once per pass per element.
+func SortPerm(n int, minor, major func(i int) uint64) []Item {
+	items := make([]Item, n)
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			items[i] = Item{Key: minor(i), Val: int32(i)}
+		}
+	})
+	if n < seqSortCutoff {
+		// Small inputs skip the radix passes (whose histograms would dwarf
+		// the input) for a stable comparison sort over the same composite
+		// key. A stable sort's result is unique, so this path returns
+		// exactly the radix path's permutation — the path choice depends
+		// only on n, never on P.
+		majors := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			majors[i] = major(i)
+		}
+		sort.SliceStable(items, func(a, b int) bool {
+			ma, mb := majors[items[a].Val], majors[items[b].Val]
+			if ma != mb {
+				return ma < mb
+			}
+			return items[a].Key < items[b].Key
+		})
+		return items
+	}
+	RadixSort(items, 0, asymmem.Worker{})
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			items[i].Key = major(int(items[i].Val))
+		}
+	})
+	RadixSort(items, ^uint64(0), asymmem.Worker{})
+	return items
+}
+
+// Float64Key maps a float64 to a uint64 whose unsigned order matches the
+// float comparison order (-Inf < … < 0 < … < +Inf; NaNs sort to the
+// extremes by sign bit). -0.0 is normalized to +0.0 so the key order
+// agrees exactly with the `<`/`!=` comparators the tree structures use —
+// they treat the two zeros as equal and fall through to their tie-breaks,
+// so the key must too.
+func Float64Key(x float64) uint64 {
+	if x == 0 {
+		x = 0 // collapse -0.0 onto +0.0
+	}
+	b := math.Float64bits(x)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// Int32Key maps an int32 to a uint64 whose unsigned order matches the
+// signed order — the minor-key encoding for ID tie-breaks (IDs are
+// caller-chosen and may be negative).
+func Int32Key(v int32) uint64 {
+	return uint64(uint32(v) ^ (1 << 31))
+}
+
+// ApplyPerm reorders xs into the order of perm (as returned by SortPerm
+// over xs's indices): afterwards xs[i] is the old xs[perm[i].Val]. Parallel
+// gather into scratch, then a chunked copy back; uncharged (callers account
+// their model cost).
+func ApplyPerm[T any](perm []Item, xs []T) {
+	n := len(perm)
+	sorted := make([]T, n)
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sorted[i] = xs[perm[i].Val]
+		}
+	})
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		copy(xs[lo:hi], sorted[lo:hi])
+	})
+}
+
+// ComparisonSortReads is the model read cost this module charges where it
+// accounts a comparison sort of n records without running one — n⌈log₂n⌉,
+// one read per comparison of a textbook mergesort. Charging the closed form
+// (rather than counting a library sort's actual comparisons) keeps the cost
+// a pure function of n, so parallel phases stay bit-identical to sequential
+// ones at any P.
+func ComparisonSortReads(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n * bits.Len(uint(n-1))
+}

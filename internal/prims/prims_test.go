@@ -1,0 +1,278 @@
+package prims
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+func randItems(n int, distinctKeys uint64, seed uint64) []Item {
+	r := parallel.NewRNG(seed)
+	items := make([]Item, n)
+	for i := range items {
+		k := r.Next()
+		if distinctKeys > 0 {
+			k %= distinctKeys
+		}
+		items[i] = Item{Key: k, Val: int32(i)}
+	}
+	return items
+}
+
+func checkSortedStable(t *testing.T, items []Item) {
+	t.Helper()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key > items[i].Key {
+			t.Fatalf("not sorted at %d: %d > %d", i, items[i-1].Key, items[i].Key)
+		}
+		if items[i-1].Key == items[i].Key && items[i-1].Val > items[i].Val {
+			t.Fatalf("stability violated at %d", i)
+		}
+	}
+}
+
+func TestRadixSortSizes(t *testing.T) {
+	// Cover the sequential path, the blocked path, and odd/even pass counts.
+	for _, n := range []int{0, 1, 2, 100, seqSortCutoff - 1, seqSortCutoff, 3 * seqSortCutoff} {
+		for _, keys := range []uint64{0, 3, 1 << 20, 0xffffffffffffffff} {
+			items := randItems(n, keys, uint64(n)+keys)
+			RadixSort(items, 0, asymmem.Worker{})
+			checkSortedStable(t, items)
+		}
+	}
+}
+
+func TestRadixSortChargeParity(t *testing.T) {
+	// Charges must equal the sequential sorter's: one read and one write
+	// per record per pass, plus n writes for the final copy when the pass
+	// count is odd, regardless of pool size or code path.
+	for _, n := range []int{1000, 3 * seqSortCutoff} {
+		items := randItems(n, 1<<20, 7) // 20-bit keys -> 2 passes
+		m := asymmem.NewMeter()
+		RadixSort(items, 0, m.Worker(0))
+		wantReads := int64(3 * n)  // maxKey derivation + 2 passes
+		wantWrites := int64(2 * n) // 2 passes, even -> no final copy
+		if m.Reads() != wantReads || m.Writes() != wantWrites {
+			t.Errorf("n=%d: charges reads=%d writes=%d, want %d/%d",
+				n, m.Reads(), m.Writes(), wantReads, wantWrites)
+		}
+	}
+}
+
+func TestCountingSort(t *testing.T) {
+	for _, n := range []int{0, 1, 500, 2 * seqSortCutoff} {
+		items := randItems(n, 97, uint64(n)+1) // 97 buckets: non-power-of-two
+		CountingSort(items, 97, asymmem.Worker{})
+		checkSortedStable(t, items)
+	}
+}
+
+func TestMaxKey(t *testing.T) {
+	if MaxKey(nil) != 0 {
+		t.Fatal("MaxKey(nil) != 0")
+	}
+	items := randItems(10000, 0, 3)
+	want := uint64(0)
+	for _, it := range items {
+		if it.Key > want {
+			want = it.Key
+		}
+	}
+	if got := MaxKey(items); got != want {
+		t.Fatalf("MaxKey = %d, want %d", got, want)
+	}
+}
+
+func TestFloat64KeyOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -1, -1e-300, 0, 1e-300, 0.5, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if !(Float64Key(vals[i-1]) < Float64Key(vals[i])) {
+			t.Errorf("Float64Key(%v) !< Float64Key(%v)", vals[i-1], vals[i])
+		}
+	}
+	if Float64Key(math.Copysign(0, -1)) > Float64Key(0) {
+		t.Error("-0 must not sort above +0")
+	}
+}
+
+func TestSortPerm(t *testing.T) {
+	r := parallel.NewRNG(9)
+	n := 20000
+	type rec struct {
+		x  float64
+		id int32
+	}
+	recs := make([]rec, n)
+	for i := range recs {
+		recs[i] = rec{x: float64(r.Intn(50)), id: int32(r.Intn(1000))}
+	}
+	items := SortPerm(n,
+		func(i int) uint64 { return uint64(uint32(recs[i].id)) },
+		func(i int) uint64 { return Float64Key(recs[i].x) })
+	for i := 1; i < n; i++ {
+		a, b := recs[items[i-1].Val], recs[items[i].Val]
+		if a.x > b.x || (a.x == b.x && a.id > b.id) {
+			t.Fatalf("SortPerm order violated at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+func semiOracle(pairs []Pair) map[uint64][]int32 {
+	m := map[uint64][]int32{}
+	for _, p := range pairs {
+		m[p.Key] = append(m[p.Key], p.Val)
+	}
+	for _, v := range m {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	return m
+}
+
+func checkSemisort(t *testing.T, pairs []Pair, groups []Group) {
+	t.Helper()
+	want := semiOracle(pairs)
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	for _, g := range groups {
+		vals := append([]int32{}, g.Vals...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		w, ok := want[g.Key]
+		if !ok {
+			t.Fatalf("unexpected group key %d", g.Key)
+		}
+		if len(vals) != len(w) {
+			t.Fatalf("key %d: got %d vals, want %d", g.Key, len(vals), len(w))
+		}
+		for i := range w {
+			if vals[i] != w[i] {
+				t.Fatalf("key %d: vals differ", g.Key)
+			}
+		}
+		delete(want, g.Key)
+	}
+}
+
+func TestSemisortSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, 2 * seqSortCutoff} {
+		for _, distinct := range []uint64{1, 5, 1 << 30} {
+			pairs := make([]Pair, n)
+			r := parallel.NewRNG(uint64(n) + distinct)
+			for i := range pairs {
+				pairs[i] = Pair{Key: r.Next() % distinct, Val: int32(i)}
+			}
+			checkSemisort(t, pairs, Semisort(pairs, asymmem.Worker{}))
+		}
+	}
+}
+
+func TestSemisortChargesLinear(t *testing.T) {
+	n := 3 * seqSortCutoff
+	pairs := make([]Pair, n)
+	r := parallel.NewRNG(13)
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint64(r.Intn(2000)), Val: int32(i)}
+	}
+	m := asymmem.NewMeter()
+	Semisort(pairs, m.Worker(0))
+	if m.Writes() > int64(4*n) {
+		t.Fatalf("semisort writes %d > 4n (not linear)", m.Writes())
+	}
+	if m.Reads() == 0 || m.Writes() == 0 {
+		t.Fatal("meter must be charged")
+	}
+}
+
+func TestFilterAndPackIndex(t *testing.T) {
+	src := make([]int, 10000)
+	for i := range src {
+		src[i] = i
+	}
+	m := asymmem.NewMeter()
+	keep := func(i int) bool { return i%3 == 0 }
+	out := Filter(src, keep, m.Worker(0))
+	if len(out) != (len(src)+2)/3 {
+		t.Fatalf("Filter kept %d", len(out))
+	}
+	for k, v := range out {
+		if v != 3*k {
+			t.Fatalf("Filter out[%d] = %d", k, v)
+		}
+	}
+	if m.Reads() != int64(len(src)) || m.Writes() != int64(len(out)) {
+		t.Errorf("Filter charges reads=%d writes=%d", m.Reads(), m.Writes())
+	}
+	idx := PackIndex(len(src), keep, asymmem.Worker{})
+	if len(idx) != len(out) {
+		t.Fatalf("PackIndex returned %d indices", len(idx))
+	}
+	for k, v := range idx {
+		if int(v) != 3*k {
+			t.Fatalf("PackIndex idx[%d] = %d", k, v)
+		}
+	}
+}
+
+func TestLevelSweep(t *testing.T) {
+	// Sum a complete binary tree bottom-up; every node must see both
+	// children already computed, in every pool configuration.
+	for _, p := range []int{1, 4} {
+		prev := parallel.SetWorkers(p)
+		for _, leaves := range []int{1, 2, 64, 4096} {
+			sum := make([]int64, 2*leaves)
+			for i := 0; i < leaves; i++ {
+				sum[leaves+i] = int64(i)
+			}
+			LevelSweep(leaves, 8, func(_, v int) {
+				sum[v] = sum[2*v] + sum[2*v+1]
+			})
+			want := int64(leaves) * int64(leaves-1) / 2
+			if leaves > 1 && sum[1] != want {
+				t.Errorf("P=%d leaves=%d: root sum %d, want %d", p, leaves, sum[1], want)
+			}
+		}
+		parallel.SetWorkers(prev)
+	}
+}
+
+func TestComparisonSortReads(t *testing.T) {
+	if ComparisonSortReads(0) != 0 || ComparisonSortReads(1) != 0 {
+		t.Fatal("trivial inputs must cost nothing")
+	}
+	if got := ComparisonSortReads(1024); got != 1024*10 {
+		t.Fatalf("ComparisonSortReads(1024) = %d", got)
+	}
+}
+
+func TestInt32KeyOrder(t *testing.T) {
+	vals := []int32{-2147483648, -7, -1, 0, 1, 42, 2147483647}
+	for i := 1; i < len(vals); i++ {
+		if !(Int32Key(vals[i-1]) < Int32Key(vals[i])) {
+			t.Errorf("Int32Key(%d) !< Int32Key(%d)", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestFloat64KeyNegativeZero(t *testing.T) {
+	// The tree comparators treat -0.0 == +0.0 (via != / <) and fall
+	// through to ID tie-breaks, so the radix key must collapse the zeros.
+	if Float64Key(math.Copysign(0, -1)) != Float64Key(0) {
+		t.Fatal("Float64Key must map -0.0 and +0.0 to the same key")
+	}
+}
+
+func TestApplyPerm(t *testing.T) {
+	xs := []string{"d", "a", "c", "b"}
+	perm := SortPerm(len(xs),
+		func(i int) uint64 { return 0 },
+		func(i int) uint64 { return uint64(xs[i][0]) })
+	ApplyPerm(perm, xs)
+	for i, w := range []string{"a", "b", "c", "d"} {
+		if xs[i] != w {
+			t.Fatalf("ApplyPerm result %v", xs)
+		}
+	}
+}

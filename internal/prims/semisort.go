@@ -1,0 +1,149 @@
+package prims
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// Pair is one record to semisort.
+type Pair struct {
+	Key uint64
+	Val int32
+}
+
+// Group is a run of records sharing a key, referencing freshly allocated
+// storage.
+type Group struct {
+	Key  uint64
+	Vals []int32
+}
+
+// runGrain is how many bucket runs one parallel grouping block handles
+// sequentially.
+const runGrain = 64
+
+// Semisort groups the pairs by key — the primitive of Gu, Shun, Sun,
+// Blelloch (SPAA 2015) that the paper invokes ([34]) for Delaunay point
+// location and k-d batched insertion. Keys hash into 2n buckets; records
+// are placed in bucket order by a stable blocked counting pass, and each
+// bucket resolves its expected-O(1) collisions locally, in parallel across
+// buckets. Expected O(n) work and writes, polylogarithmic depth.
+//
+// The input is not modified. Charges to h match the sequential semisort
+// this replaces exactly — O(n) model reads and writes as one read and two
+// writes per record plus the collision-bucket resolution — and both the
+// charges and the returned groups (order included) are independent of the
+// worker-pool size.
+func Semisort(pairs []Pair, h asymmem.Worker) []Group {
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	h.ReadN(n)
+
+	nb := 1
+	for nb < 2*n {
+		nb <<= 1
+	}
+	mask := uint64(nb - 1)
+	bucketBits := bits.Len(uint(nb - 1))
+
+	// Hash, count, scan, scatter: placing every record in bucket order is
+	// exactly a stable sort on the hashed bucket id, so the blocked
+	// counting passes of the radix sort implement the scatter; its
+	// auxiliary state is uncharged and the model cost — one write per
+	// placed record — is charged here.
+	items := make([]Item, n)
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			items[i] = Item{Key: parallel.Hash64(pairs[i].Key) & mask, Val: int32(i)}
+		}
+	})
+	sortByKeyBits(items, bucketBits)
+	out := make([]Pair, n)
+	parallel.ForChunked(n, fillGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = pairs[items[i].Val]
+		}
+	})
+	h.WriteN(n)
+
+	// Bucket runs: record i starts one iff its bucket differs from its
+	// predecessor's — and after the sort, items[i].Key is exactly record
+	// i's bucket id, so no rehash is needed. The starts, and everything
+	// below, are index arithmetic over small-memory scratch.
+	starts := parallel.PackIndex(n, func(i int) bool {
+		return i == 0 || items[i].Key != items[i-1].Key
+	})
+	nruns := len(starts)
+	runBounds := func(r int) (int, int) {
+		lo := int(starts[r])
+		hi := n
+		if r+1 < nruns {
+			hi = int(starts[r+1])
+		}
+		return lo, hi
+	}
+
+	// Within each bucket, group equal keys; a collision (two keys in one
+	// bucket) is resolved by sorting the tiny run, charged as the
+	// sequential semisort charged it. The runs are disjoint subslices of
+	// out, so they group in parallel; counting distinct keys first lets the
+	// groups land at precomputed offsets, keeping their order — ascending
+	// bucket, then first-appearance within the bucket — independent of P.
+	gcounts := make([]int64, nruns)
+	parallel.ForGrain(nruns, runGrain, func(r int) {
+		lo, hi := runBounds(r)
+		run := out[lo:hi]
+		if !allSameKey(run) {
+			sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+			h.ReadN(len(run))
+			h.WriteN(len(run))
+		}
+		distinct := int64(0)
+		for i := 0; i < len(run); {
+			j := i + 1
+			for j < len(run) && run[j].Key == run[i].Key {
+				j++
+			}
+			distinct++
+			i = j
+		}
+		gcounts[r] = distinct
+	})
+	total := parallel.Scan(gcounts, gcounts)
+
+	groups := make([]Group, total)
+	parallel.ForGrain(nruns, runGrain, func(r int) {
+		lo, hi := runBounds(r)
+		run := out[lo:hi]
+		g := gcounts[r]
+		for i := 0; i < len(run); {
+			j := i + 1
+			for j < len(run) && run[j].Key == run[i].Key {
+				j++
+			}
+			vals := make([]int32, j-i)
+			for k := i; k < j; k++ {
+				vals[k-i] = run[k].Val
+			}
+			groups[g] = Group{Key: run[i].Key, Vals: vals}
+			g++
+			i = j
+		}
+	})
+	h.WriteN(n) // writing the grouped values
+	return groups
+}
+
+func allSameKey(run []Pair) bool {
+	for i := 1; i < len(run); i++ {
+		if run[i].Key != run[0].Key {
+			return false
+		}
+	}
+	return true
+}

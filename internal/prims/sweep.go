@@ -1,0 +1,43 @@
+package prims
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// LevelSweep runs body over every interior node of a complete binary tree
+// in 1-based heap layout (root 1, node v has children 2v and 2v+1) with
+// `leaves` leaves (a power of two), one level at a time from the deepest
+// interior level [leaves/2, leaves) up to the root, in parallel within each
+// level with a barrier between levels. A node therefore runs only after
+// both of its children have — the dependency structure of every bottom-up
+// tree construction (tournament trees, heap pulls, subtree aggregates).
+// Within a level the nodes are disjoint, so body needs no synchronization
+// of its own; grain is the per-level sequential cutoff. Work O(leaves),
+// span O(log leaves · log P) from the per-level forks.
+func LevelSweep(leaves, grain int, body func(w, v int)) {
+	for width := leaves / 2; width >= 1; width /= 2 {
+		lo := width
+		parallel.ForGrainW(width, grain, func(w, i int) { body(w, lo+i) })
+	}
+}
+
+// Filter returns the elements of src whose index satisfies keep, in order,
+// via the blocked scan-and-scatter pack. Charges one read per examined
+// element and one write per kept element to h.
+func Filter[T any](src []T, keep func(i int) bool, h asymmem.Worker) []T {
+	out := parallel.Pack(src, keep)
+	h.ReadN(len(src))
+	h.WriteN(len(out))
+	return out
+}
+
+// PackIndex returns the indices i in [0, n) with keep(i) true, in order,
+// charging like Filter. Pass the zero Worker to pack uncharged auxiliary
+// state (index lists the model counts as small memory).
+func PackIndex(n int, keep func(i int) bool, h asymmem.Worker) []int32 {
+	out := parallel.PackIndex(n, keep)
+	h.ReadN(n)
+	h.WriteN(len(out))
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
+	"repro/internal/prims"
 	"repro/internal/tournament"
 )
 
@@ -157,7 +158,7 @@ func BuildClassicConfig(pts []Point, cfg config.Config) (*Tree, error) {
 // BuildClassic runs the standard recursive construction that partitions
 // and copies the points at every level — the Θ(ωn log n) baseline.
 func BuildClassic(pts []Point, opts Options, m *asymmem.Meter) *Tree {
-	t := &Tree{opts: opts, meter: m.Worker(0)}
+	t := &Tree{opts: opts, meter: m.Worker(0), wm: m.Worker}
 	buf := append([]Point{}, pts...)
 	t.meter.WriteN(len(buf))
 	t.root = t.buildClassicRec(buf, -1)
@@ -166,16 +167,23 @@ func BuildClassic(pts []Point, opts Options, m *asymmem.Meter) *Tree {
 	return t
 }
 
+// sortByX sorts the tournament slots by (X, ID) on the worker pool — a
+// minor stable radix pass over the ID, a major pass over the coordinate's
+// order-preserving bits (prims.SortPerm) — charged at the §4
+// write-efficient comparison sort's model cost: ⌈log₂n⌉ reads per point
+// (the comparisons) and O(n) writes, a pure function of n so the totals
+// never move with P.
 func (t *Tree) sortByX(pts []Point) {
-	sort.Slice(pts, func(i, j int) bool {
-		t.meter.Read()
-		if pts[i].X != pts[j].X {
-			return pts[i].X < pts[j].X
-		}
-		return pts[i].ID < pts[j].ID
-	})
-	// Charged at the §4 write-efficient sort's model cost: O(n) writes.
-	t.meter.WriteN(len(pts))
+	n := len(pts)
+	if n <= 1 {
+		return
+	}
+	items := prims.SortPerm(n,
+		func(i int) uint64 { return prims.Int32Key(pts[i].ID) },
+		func(i int) uint64 { return prims.Float64Key(pts[i].X) })
+	prims.ApplyPerm(items, pts)
+	t.meter.ReadN(prims.ComparisonSortReads(n))
+	t.meter.WriteN(n)
 }
 
 // pstBuildGrain is the PST's sequential-fallback cutoff: a recursion over
@@ -280,12 +288,21 @@ func (t *Tree) buildSmallW(pts []Point, sibNv int, wk asymmem.Worker) *node {
 // critical), split the rest at the x-median, recurse. Charges a read and a
 // write per point per level — the classic cost.
 func (t *Tree) buildClassicRec(pts []Point, sibNv int) *node {
-	return t.buildClassicRecH(pts, sibNv, t.meter)
+	return t.buildClassicRecAt(pts, sibNv, 0, t.meter, t.worker)
 }
 
-// buildClassicRecH is buildClassicRec charging an explicit handle (the
-// small-memory base case passes an inactive one).
+// buildClassicRecH is buildClassicRec charging one explicit handle on every
+// branch — the small-memory base case passes an inactive one, and its
+// forked branches must stay free too, so no worker-meter factory applies.
 func (t *Tree) buildClassicRecH(pts []Point, sibNv int, h asymmem.Worker) *node {
+	return t.buildClassicRecAt(pts, sibNv, 0, h, nil)
+}
+
+// buildClassicRecAt is the classic recursion for a caller running as worker
+// w charging h; wm, when non-nil, hands forked branches their own
+// worker-local handles so the concurrent baseline never funnels every
+// subtree's charges onto one meter shard.
+func (t *Tree) buildClassicRecAt(pts []Point, sibNv, w int, h asymmem.Worker, wm func(int) asymmem.Worker) *node {
 	nv := len(pts)
 	if nv == 0 {
 		return nil
@@ -316,17 +333,36 @@ func (t *Tree) buildClassicRecH(pts []Point, sibNv int, h asymmem.Worker) *node 
 		return nd
 	}
 	sort.Slice(rest, func(i, j int) bool {
-		h.Read()
 		if rest[i].X != rest[j].X {
 			return rest[i].X < rest[j].X
 		}
 		return rest[i].ID < rest[j].ID
 	})
+	// The per-level sort, charged at one read per comparison (closed form,
+	// so the count is a pure function of the input size) and one write per
+	// record — the classic cost the paper's Table 1 baseline pays.
+	h.ReadN(prims.ComparisonSortReads(len(rest)))
 	h.WriteN(len(rest))
 	k := (len(rest) + 1) / 2
 	nd.split = rest[k-1].X
-	nd.left = t.buildClassicRecH(rest[:k], len(rest)-k, h)
-	nd.right = t.buildClassicRecH(rest[k:], k, h)
+	if len(rest) > pstBuildGrain {
+		// The two halves are disjoint copies, so the baseline's recursion
+		// forks on the worker pool (its Θ(ωn log n) charges are unchanged —
+		// the same per-node sorts and copies run, just concurrently on
+		// worker-local handles).
+		branch := func(w int) asymmem.Worker {
+			if wm == nil {
+				return h
+			}
+			return wm(w)
+		}
+		parallel.DoW(w,
+			func(w int) { nd.left = t.buildClassicRecAt(rest[:k], len(rest)-k, w, branch(w), wm) },
+			func(w int) { nd.right = t.buildClassicRecAt(rest[k:], k, w, branch(w), wm) })
+	} else {
+		nd.left = t.buildClassicRecAt(rest[:k], len(rest)-k, w, h, wm)
+		nd.right = t.buildClassicRecAt(rest[k:], k, w, h, wm)
+	}
 	return nd
 }
 

@@ -1,0 +1,77 @@
+package radixsort
+
+import (
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// sortAt runs the facade sort under a worker pool of p and returns the
+// sorted items and the charged totals.
+func sortAt(t *testing.T, p int, src []Item, maxKey uint64) ([]Item, asymmem.Snapshot) {
+	t.Helper()
+	prev := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(prev)
+	items := append([]Item{}, src...)
+	m := asymmem.NewMeterShards(p)
+	prims.RadixSort(items, maxKey, m.Worker(0))
+	return items, m.Snapshot()
+}
+
+// TestParallelSortEquivalence asserts the pool-parallel radix sort is
+// indistinguishable from its sequential execution — same stable output,
+// bit-identical read/write totals — at P ∈ {1, 2, 8}. Run under -race in
+// CI.
+func TestParallelSortEquivalence(t *testing.T) {
+	sizes := []int{0, 1, 100, 10000, 60000}
+	if testing.Short() {
+		sizes = []int{0, 1, 100, 10000, 30000}
+	}
+	for _, n := range sizes {
+		r := parallel.NewRNG(uint64(n) + 3)
+		src := make([]Item, n)
+		for i := range src {
+			src[i] = Item{Key: r.Next() >> 24, Val: int32(i)}
+		}
+		for _, maxKey := range []uint64{0, 1 << 40} {
+			refItems, refCost := sortAt(t, 1, src, maxKey)
+			for _, p := range []int{2, 8} {
+				items, cost := sortAt(t, p, src, maxKey)
+				if cost != refCost {
+					t.Errorf("n=%d maxKey=%d P=%d: cost %v != sequential %v", n, maxKey, p, cost, refCost)
+				}
+				for i := range refItems {
+					if items[i] != refItems[i] {
+						t.Errorf("n=%d maxKey=%d P=%d: output differs at %d", n, maxKey, p, i)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFacadeDelegates asserts the deprecated facade charges and sorts
+// exactly as prims.RadixSort.
+func TestFacadeDelegates(t *testing.T) {
+	r := parallel.NewRNG(17)
+	src := make([]Item, 5000)
+	for i := range src {
+		src[i] = Item{Key: r.Next() >> 30, Val: int32(i)}
+	}
+	a := append([]Item{}, src...)
+	b := append([]Item{}, src...)
+	ma, mb := asymmem.NewMeter(), asymmem.NewMeter()
+	Sort(a, 0, ma)
+	prims.RadixSort(b, 0, mb.Worker(0))
+	if ma.Snapshot() != mb.Snapshot() {
+		t.Errorf("facade cost %v != prims cost %v", ma.Snapshot(), mb.Snapshot())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("facade output differs at %d", i)
+		}
+	}
+}

@@ -3,79 +3,37 @@
 // (level, rank) pairs whose key range is O(n log n); LSD counting passes
 // give O(n) writes per pass and a constant number of passes, preserving the
 // linear-write bound the construction needs ([48] in the paper).
+//
+// Deprecated: this package is a thin facade kept for API stability. The
+// implementation lives in internal/prims (prims.RadixSort), which runs the
+// counting passes on the worker pool with charges identical to the
+// sequential sorter this package used to contain; new code should call
+// prims directly.
 package radixsort
 
 import (
-	"math/bits"
-
 	"repro/internal/asymmem"
+	"repro/internal/prims"
 )
 
 // Item is one record: sort by Key, carrying Val.
-type Item struct {
-	Key uint64
-	Val int32
-}
-
-const digitBits = 16
-const radix = 1 << digitBits
+type Item = prims.Item
 
 // Sort stably sorts items by Key in place. maxKey bounds the keys (0 means
 // derive it with one scan); only the digits needed to cover maxKey are
 // processed. Charges ~2n reads and ~n writes per pass to m.
+//
+// Deprecated: call prims.RadixSort with a worker-local handle.
 func Sort(items []Item, maxKey uint64, m *asymmem.Meter) {
-	SortW(items, maxKey, m.Worker(0))
+	prims.RadixSort(items, maxKey, m.Worker(0))
 }
 
 // SortW is Sort charging a worker-local meter handle, for callers running
 // as one worker of a parallel phase.
+//
+// Deprecated: call prims.RadixSort.
 func SortW(items []Item, maxKey uint64, h asymmem.Worker) {
-	n := len(items)
-	if n <= 1 {
-		return
-	}
-	if maxKey == 0 {
-		for _, it := range items {
-			if it.Key > maxKey {
-				maxKey = it.Key
-			}
-		}
-		h.ReadN(n)
-	}
-	passes := (bits.Len64(maxKey) + digitBits - 1) / digitBits
-	if passes == 0 {
-		passes = 1
-	}
-	buf := make([]Item, n)
-	src, dst := items, buf
-	var count [radix]int64
-	for p := 0; p < passes; p++ {
-		shift := uint(p * digitBits)
-		for i := range count {
-			count[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			count[(src[i].Key>>shift)&(radix-1)]++
-		}
-		h.ReadN(n)
-		var sum int64
-		for i := 0; i < radix; i++ {
-			c := count[i]
-			count[i] = sum
-			sum += c
-		}
-		for i := 0; i < n; i++ {
-			d := (src[i].Key >> shift) & (radix - 1)
-			dst[count[d]] = src[i]
-			count[d]++
-		}
-		h.WriteN(n)
-		src, dst = dst, src
-	}
-	if &src[0] != &items[0] {
-		copy(items, src)
-		h.WriteN(n)
-	}
+	prims.RadixSort(items, maxKey, h)
 }
 
 // SortInts sorts a slice of non-negative int64 values via the same passes;

@@ -18,13 +18,13 @@ package rangetree
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/alabel"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
+	"repro/internal/prims"
 	"repro/internal/treap"
 )
 
@@ -178,15 +178,24 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 }
 
 func (t *Tree) sortByX(pts []Point) {
-	sort.Slice(pts, func(i, j int) bool {
-		t.meter.Read()
-		if pts[i].X != pts[j].X {
-			return pts[i].X < pts[j].X
-		}
-		return pts[i].ID < pts[j].ID
-	})
-	// Charged at the §4 write-efficient sort's model cost: O(n) writes.
-	t.meter.WriteN(len(pts))
+	t.sortPointsW(pts, func(p Point) float64 { return p.X }, t.meter)
+}
+
+// sortPointsW sorts pts by (coord, ID) on the worker pool via the stable
+// radix passes of prims.SortPerm, charging wk the §4 write-efficient
+// comparison sort's model cost — ⌈log₂n⌉ reads per point and O(n) writes, a
+// pure function of n so the totals never move with P.
+func (t *Tree) sortPointsW(pts []Point, coord func(Point) float64, wk asymmem.Worker) {
+	n := len(pts)
+	if n <= 1 {
+		return
+	}
+	items := prims.SortPerm(n,
+		func(i int) uint64 { return prims.Int32Key(pts[i].ID) },
+		func(i int) uint64 { return prims.Float64Key(coord(pts[i])) })
+	prims.ApplyPerm(items, pts)
+	wk.ReadN(prims.ComparisonSortReads(n))
+	wk.WriteN(n)
 }
 
 // rtBuildGrain is the range tree's sequential-fallback cutoff: outer-tree
@@ -298,12 +307,7 @@ func (t *Tree) buildInnersAt(byX []Point, w int, in *parallel.Interrupt) {
 		return
 	}
 	byY := append([]Point{}, byX...)
-	wk0 := t.worker(w)
-	sort.Slice(byY, func(i, j int) bool {
-		wk0.Read()
-		return yLess(yKey{byY[i].Y, byY[i].ID}, yKey{byY[j].Y, byY[j].ID})
-	})
-	wk0.WriteN(len(byY))
+	t.sortPointsW(byY, func(p Point) float64 { return p.Y }, t.worker(w))
 
 	// xRange computes [min,max] x (with ID tie-break) per subtree from the
 	// routing keys; we track ranges during the descent instead.

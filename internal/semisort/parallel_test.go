@@ -1,0 +1,51 @@
+package semisort
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// semisortAt runs the semisort under a worker pool of p and returns the
+// groups and charged totals.
+func semisortAt(t *testing.T, p int, pairs []Pair) ([]Group, asymmem.Snapshot) {
+	t.Helper()
+	prev := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(prev)
+	m := asymmem.NewMeterShards(p)
+	groups := prims.Semisort(pairs, m.Worker(0))
+	return groups, m.Snapshot()
+}
+
+// TestParallelSemisortEquivalence asserts the pool-parallel semisort is
+// indistinguishable from its sequential execution — the same groups in the
+// same order with the same value order, and bit-identical read/write
+// totals — at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestParallelSemisortEquivalence(t *testing.T) {
+	sizes := []int{0, 1, 64, 5000, 40000}
+	if testing.Short() {
+		sizes = []int{0, 1, 64, 5000, 20000}
+	}
+	for _, n := range sizes {
+		for _, distinct := range []int{1, 13, 1 << 30} {
+			r := parallel.NewRNG(uint64(n*31 + distinct))
+			pairs := make([]Pair, n)
+			for i := range pairs {
+				pairs[i] = Pair{Key: uint64(r.Intn(distinct)), Val: int32(i)}
+			}
+			refGroups, refCost := semisortAt(t, 1, pairs)
+			for _, p := range []int{2, 8} {
+				groups, cost := semisortAt(t, p, pairs)
+				if cost != refCost {
+					t.Errorf("n=%d distinct=%d P=%d: cost %v != sequential %v", n, distinct, p, cost, refCost)
+				}
+				if !reflect.DeepEqual(groups, refGroups) {
+					t.Errorf("n=%d distinct=%d P=%d: groups differ from sequential", n, distinct, p)
+				}
+			}
+		}
+	}
+}

@@ -6,111 +6,38 @@
 // (triangle, point) pairs by triangle) and k-d tree batched insertion
 // (grouping (leaf, object) pairs by leaf).
 //
-// The implementation hashes keys into 2·n buckets across P shards, counts,
-// prefix-sums, and scatters — expected O(n) work and writes, polylog depth.
-// Collisions within a bucket are resolved by a final local grouping pass,
-// preserving the linear expected bound.
+// Deprecated: this package is a thin facade kept for API stability. The
+// implementation lives in internal/prims (prims.Semisort), which runs the
+// hash/count/scan/scatter pipeline on the worker pool with charges and
+// output identical to the sequential semisort this package used to contain;
+// new code should call prims directly.
 package semisort
 
 import (
-	"sort"
-
 	"repro/internal/asymmem"
-	"repro/internal/parallel"
+	"repro/internal/prims"
 )
 
 // Pair is one record to semisort.
-type Pair struct {
-	Key uint64
-	Val int32
-}
+type Pair = prims.Pair
 
 // Group is a run of records sharing a key, referencing a slice of the
 // semisorted output.
-type Group struct {
-	Key  uint64
-	Vals []int32
-}
+type Group = prims.Group
 
 // Semisort groups the pairs by key. The returned groups reference freshly
 // allocated storage; the input is not modified. Charges O(n) reads and
 // writes to m (nil m is allowed).
+//
+// Deprecated: call prims.Semisort with a worker-local handle.
 func Semisort(pairs []Pair, m *asymmem.Meter) []Group {
-	return SemisortW(pairs, m.Worker(0))
+	return prims.Semisort(pairs, m.Worker(0))
 }
 
 // SemisortW is Semisort charging a worker-local meter handle, for callers
 // running as one worker of a parallel phase.
+//
+// Deprecated: call prims.Semisort.
 func SemisortW(pairs []Pair, h asymmem.Worker) []Group {
-	n := len(pairs)
-	if n == 0 {
-		return nil
-	}
-	h.ReadN(n)
-
-	nb := 1
-	for nb < 2*n {
-		nb <<= 1
-	}
-	mask := uint64(nb - 1)
-
-	// Count per bucket.
-	counts := make([]int64, nb)
-	for i := 0; i < n; i++ {
-		b := parallel.Hash64(pairs[i].Key) & mask
-		counts[b]++
-	}
-	// Offsets.
-	parallel.Scan(counts, counts)
-	// Scatter into buckets.
-	out := make([]Pair, n)
-	next := counts
-	for i := 0; i < n; i++ {
-		b := parallel.Hash64(pairs[i].Key) & mask
-		out[next[b]] = pairs[i]
-		next[b]++
-	}
-	h.WriteN(n)
-
-	// Within each bucket, group equal keys. A bucket holds expected O(1)
-	// distinct keys; sort tiny runs when a collision occurs.
-	groups := make([]Group, 0, n/2+1)
-	start := 0
-	for b := 0; b < nb; b++ {
-		end := int(next[b])
-		if end == start {
-			continue
-		}
-		run := out[start:end]
-		if !allSameKey(run) {
-			sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
-			h.ReadN(len(run))
-			h.WriteN(len(run))
-		}
-		i := 0
-		for i < len(run) {
-			j := i + 1
-			for j < len(run) && run[j].Key == run[i].Key {
-				j++
-			}
-			vals := make([]int32, j-i)
-			for k := i; k < j; k++ {
-				vals[k-i] = run[k].Val
-			}
-			groups = append(groups, Group{Key: run[i].Key, Vals: vals})
-			i = j
-		}
-		start = end
-	}
-	h.WriteN(n) // writing the grouped values
-	return groups
-}
-
-func allSameKey(run []Pair) bool {
-	for i := 1; i < len(run); i++ {
-		if run[i].Key != run[0].Key {
-			return false
-		}
-	}
-	return true
+	return prims.Semisort(pairs, h)
 }

@@ -1,0 +1,80 @@
+package tournament
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// dumpTree renders the full internal state — best and cnt per heap node,
+// valid per slot — so two constructions can be compared cell-for-cell.
+func dumpTree(t *Tree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d size=%d\n", t.n, t.size)
+	for v := 1; v < 2*t.size; v++ {
+		fmt.Fprintf(&b, "%d:%d/%d ", v, t.best[v], t.cnt[v])
+	}
+	b.WriteByte('\n')
+	for i := 0; i < t.n; i++ {
+		fmt.Fprintf(&b, "%v", t.valid[i])
+	}
+	return b.String()
+}
+
+// buildAt builds under a worker pool of p and returns the tree and charged
+// totals.
+func buildAt(t *testing.T, p int, prios []float64) (*Tree, asymmem.Snapshot) {
+	t.Helper()
+	prev := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(prev)
+	m := asymmem.NewMeterShards(p)
+	tr := New(prios, m)
+	return tr, m.Snapshot()
+}
+
+// TestParallelBuildEquivalence asserts the level-sweep construction is
+// indistinguishable from the sequential bottom-up pull — identical best /
+// cnt / valid state and bit-identical read/write totals — at P ∈ {1, 2, 8}.
+// Run under -race in CI.
+func TestParallelBuildEquivalence(t *testing.T) {
+	sizes := []int{0, 1, 2, 63, 4096, 50000}
+	if testing.Short() {
+		sizes = []int{0, 1, 2, 63, 4096, 20000}
+	}
+	for _, n := range sizes {
+		r := parallel.NewRNG(uint64(n) + 11)
+		prios := make([]float64, n)
+		for i := range prios {
+			// A narrow value range forces ties, exercising the smaller-index
+			// tie-break across levels.
+			prios[i] = float64(r.Intn(64))
+		}
+		refTree, refCost := buildAt(t, 1, prios)
+		refDump := dumpTree(refTree)
+		for _, p := range []int{2, 8} {
+			tr, cost := buildAt(t, p, prios)
+			if cost != refCost {
+				t.Errorf("n=%d P=%d: cost %v != sequential %v", n, p, cost, refCost)
+			}
+			if d := dumpTree(tr); d != refDump {
+				t.Errorf("n=%d P=%d: tree state differs from sequential", n, p)
+			}
+		}
+		// The parallel-built tree must answer queries like the sequential
+		// one after scoped deletions too (shared pull logic, but guard it).
+		if n >= 63 {
+			for _, lo := range []int{0, n / 3} {
+				hi := lo + n/2
+				if hi > n {
+					hi = n
+				}
+				if a, b := refTree.Best(lo, hi), refTree.CountValid(lo, hi); a < lo || a >= hi || b != hi-lo {
+					t.Errorf("n=%d: Best/CountValid [%d,%d) = %d/%d", n, lo, hi, a, b)
+				}
+			}
+		}
+	}
+}

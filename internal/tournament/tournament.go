@@ -13,7 +13,11 @@
 // total number of writes over an entire construction is O(n).
 package tournament
 
-import "repro/internal/asymmem"
+import (
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
 
 // Tree is a tournament tree over n slots. Slot i initially holds priority
 // prios[i] and is valid.
@@ -27,12 +31,22 @@ type Tree struct {
 	meter asymmem.Worker
 }
 
+// buildGrain is the construction's per-level sequential cutoff: a level (or
+// initialization loop block) below this many nodes runs on the current
+// worker. Wall-clock only — the construction's charges are one bulk write
+// per tree cell regardless of the pool size.
+const buildGrain = 2048
+
 // New builds the tree in O(n) work and writes.
 func New(prios []float64, m *asymmem.Meter) *Tree {
 	return NewW(prios, m.Worker(0))
 }
 
-// NewW is New charging a worker-local meter handle.
+// NewW is New charging a worker-local meter handle. Construction runs
+// bottom-up on the worker pool — each tree level is embarrassingly parallel
+// once the level below it is pulled (prims.LevelSweep), and the leaf
+// initialization is chunked — with the same O(n) work, O(log² n) span, and
+// bulk charges as the sequential sweep it replaces.
 func NewW(prios []float64, h asymmem.Worker) *Tree {
 	n := len(prios)
 	size := 1
@@ -47,19 +61,23 @@ func NewW(prios []float64, h asymmem.Worker) *Tree {
 		cnt:   make([]int32, 2*size),
 		meter: h,
 	}
-	for i := range t.valid {
-		t.valid[i] = true
-	}
-	for i := range t.best {
-		t.best[i] = -1
-	}
-	for i := 0; i < n; i++ {
-		t.best[size+i] = int32(i)
-		t.cnt[size+i] = 1
-	}
-	for v := size - 1; v >= 1; v-- {
-		t.pull(v)
-	}
+	parallel.ForChunked(n, buildGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.valid[i] = true
+		}
+	})
+	parallel.ForChunked(2*size, buildGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.best[i] = -1
+		}
+	})
+	parallel.ForChunked(n, buildGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.best[size+i] = int32(i)
+			t.cnt[size+i] = 1
+		}
+	})
+	prims.LevelSweep(size, buildGrain, func(_, v int) { t.pull(v) })
 	h.WriteN(2 * size)
 	return t
 }

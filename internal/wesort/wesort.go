@@ -35,7 +35,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/incremental"
 	"repro/internal/parallel"
-	"repro/internal/semisort"
+	"repro/internal/prims"
 )
 
 // empty is the sentinel for an unoccupied child slot. Priority-writes take
@@ -318,7 +318,7 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 		batch := rd.Size()
 		// Step 1: locate each element's empty slot (reads only), then
 		// step 2: semisort by slot.
-		var groups []semisort.Group
+		var groups []prims.Group
 		cfg.Phase("sort/locate", func() {
 			slots := make([]slot, batch)
 			before := t.meter.Snapshot()
@@ -331,11 +331,13 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 			st.LocationReads += t.meter.Snapshot().Sub(before).Reads
 			h0.WriteN(batch) // recording the located positions
 
-			pairs := make([]semisort.Pair, batch)
-			for i := 0; i < batch; i++ {
-				pairs[i] = semisort.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
-			}
-			groups = semisort.SemisortW(pairs, h0)
+			pairs := make([]prims.Pair, batch)
+			parallel.ForChunked(batch, parallel.DefaultGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pairs[i] = prims.Pair{Key: slots[i].key(), Val: int32(rd.Start + i)}
+				}
+			})
+			groups = prims.Semisort(pairs, h0)
 		})
 
 		// Step 3: insert per bucket, in parallel across buckets.

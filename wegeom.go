@@ -43,8 +43,10 @@ import (
 	"repro/internal/geom"
 	"repro/internal/interval"
 	"repro/internal/kdtree"
+	"repro/internal/prims"
 	"repro/internal/pst"
 	"repro/internal/rangetree"
+	"repro/internal/tournament"
 	"repro/internal/wesort"
 )
 
@@ -223,6 +225,22 @@ func NewRangeTree(pts []RTPoint, alpha int, m *Meter) *RangeTree {
 	t, _, _ := NewEngine(WithMeter(m), WithAlpha(alpha)).NewRangeTree(context.Background(), pts)
 	return t
 }
+
+// ---- parallel primitives ----
+
+// RadixItem is one record for Engine.RadixSort: sorted stably by Key,
+// carrying Val.
+type RadixItem = prims.Item
+
+// SemiPair is one record for Engine.Semisort.
+type SemiPair = prims.Pair
+
+// SemiGroup is one key's group in a semisort result.
+type SemiGroup = prims.Group
+
+// Tournament is the Appendix-A tournament tree over prioritised slots
+// (range-best, k-th valid, scoped deletion).
+type Tournament = tournament.Tree
 
 // ---- §2.2: convex hull ----
 
