@@ -12,7 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/kdtree"
 	"repro/internal/parallel"
-	"repro/internal/semisort"
+	"repro/internal/prims"
 	"repro/internal/treap"
 	"repro/internal/wesort"
 )
@@ -147,13 +147,13 @@ func BenchmarkAblationSemisortLoad(b *testing.B) {
 	for _, distinct := range []int{8, 1 << 8, 1 << 14} {
 		b.Run(fmt.Sprintf("distinct=%d", distinct), func(b *testing.B) {
 			r := parallel.NewRNG(47)
-			pairs := make([]semisort.Pair, n)
+			pairs := make([]prims.Pair, n)
 			for i := range pairs {
-				pairs[i] = semisort.Pair{Key: uint64(r.Intn(distinct)), Val: int32(i)}
+				pairs[i] = prims.Pair{Key: uint64(r.Intn(distinct)), Val: int32(i)}
 			}
 			m := asymmem.NewMeter()
 			for i := 0; i < b.N; i++ {
-				semisort.Semisort(pairs, m)
+				prims.Semisort(pairs, m.Worker(0))
 			}
 			b.ReportMetric(float64(m.Writes())/float64(n)/float64(b.N), "writes/elem")
 		})

@@ -1,0 +1,105 @@
+package wegeom
+
+import (
+	"context"
+
+	"repro/internal/config"
+	"repro/internal/qbatch"
+)
+
+// This file is the Engine surface of the batched-query layer
+// (internal/qbatch): every structure's reporting query in batch form. A
+// batch fans its queries across the fork-join worker pool, charges
+// traversal reads and reporting writes to worker-local handles on the
+// Engine's meter — totals bit-identical to calling the one-shot query in a
+// loop, at any WithParallelism — and packs the variable-size results into
+// one contiguous array with deterministic layout (query i's results are
+// Results(i), in the one-shot query's visit order). Reporting writes are
+// charged at exactly the output size: the paper's write-efficiency
+// discipline extended from construction to serving.
+//
+// The returned Report records the two packing passes as
+// "<structure>/<op>/count" and "<structure>/<op>/write" phases and carries
+// Queries/Results, so rep.QPS() gives the batch's query throughput.
+// Cancellation is polled between query grains; a cancelled batch returns
+// ctx.Err() and no results.
+
+// IntervalBatch is a packed interval-stabbing result set.
+type IntervalBatch = qbatch.Packed[Interval]
+
+// PSTBatch is a packed 3-sided-query result set.
+type PSTBatch = qbatch.Packed[PSTPoint]
+
+// RTBatch is a packed 2D-range-query result set.
+type RTBatch = qbatch.Packed[RTPoint]
+
+// KDBatch is a packed k-d query result set (kNN or orthogonal range).
+type KDBatch = qbatch.Packed[KDItem]
+
+// TriBatch is a packed Delaunay point-location result set: each query's
+// conflict triangles, as ids into the Triangulation's Tris arena.
+type TriBatch = qbatch.Packed[int32]
+
+// runBatch executes one batched-query operation under the Engine's Config
+// (methods cannot be generic, hence the package-level shape): it runs f,
+// stamps the batch dimensions on the uniform Report, and returns the
+// packed results — nil, with the Report still carrying whatever was
+// charged, when the batch was cancelled.
+func runBatch[R any](e *Engine, ctx context.Context, op string, nq int, f func(cfg config.Config) (*qbatch.Packed[R], error)) (*qbatch.Packed[R], *Report, error) {
+	var out *qbatch.Packed[R]
+	rep, err := e.run(ctx, op, func(cfg config.Config) error {
+		var ferr error
+		out, ferr = f(cfg)
+		return ferr
+	})
+	rep.Queries = nq
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Results = out.Total()
+	return out, rep, nil
+}
+
+// StabBatch answers a batch of 1D stabbing queries on t: query i's stabbed
+// intervals are out.Results(i). See the package comment above for the
+// charging and determinism contract.
+func (e *Engine) StabBatch(ctx context.Context, t *IntervalTree, qs []float64) (*IntervalBatch, *Report, error) {
+	return runBatch(e, ctx, "stab-batch", len(qs),
+		func(cfg config.Config) (*IntervalBatch, error) { return t.StabBatch(qs, cfg) })
+}
+
+// Query3SidedBatch answers a batch of 3-sided queries on t (x ∈ [XL, XR],
+// y ≥ YB): query i's points are out.Results(i).
+func (e *Engine) Query3SidedBatch(ctx context.Context, t *PriorityTree, qs []PSTQuery) (*PSTBatch, *Report, error) {
+	return runBatch(e, ctx, "query3sided-batch", len(qs),
+		func(cfg config.Config) (*PSTBatch, error) { return t.Query3SidedBatch(qs, cfg) })
+}
+
+// RangeQueryBatch answers a batch of 2D rectangle queries on t
+// (x ∈ [XL, XR], y ∈ [YB, YT]): query i's points are out.Results(i).
+func (e *Engine) RangeQueryBatch(ctx context.Context, t *RangeTree, qs []RTQuery) (*RTBatch, *Report, error) {
+	return runBatch(e, ctx, "range-query-batch", len(qs),
+		func(cfg config.Config) (*RTBatch, error) { return t.QueryBatch(qs, cfg) })
+}
+
+// KNNBatch answers a batch of exact k-nearest-neighbour queries on t with
+// one shared k: query i's neighbours are out.Results(i), nearest first.
+func (e *Engine) KNNBatch(ctx context.Context, t *KDTree, qs []KPoint, k int) (*KDBatch, *Report, error) {
+	return runBatch(e, ctx, "knn-batch", len(qs),
+		func(cfg config.Config) (*KDBatch, error) { return t.KNNBatch(qs, k, cfg) })
+}
+
+// KDRangeBatch answers a batch of orthogonal range queries on t: query i's
+// items are out.Results(i).
+func (e *Engine) KDRangeBatch(ctx context.Context, t *KDTree, boxes []KBox) (*KDBatch, *Report, error) {
+	return runBatch(e, ctx, "kd-range-batch", len(boxes),
+		func(cfg config.Config) (*KDBatch, error) { return t.RangeBatch(boxes, cfg) })
+}
+
+// LocateBatch answers a batch of point-location queries on tri via the
+// §3.1 DAG-tracing walk: query i's conflict triangles (alive triangles
+// whose circumcircles contain the query point) are out.Results(i).
+func (e *Engine) LocateBatch(ctx context.Context, tri *Triangulation, qs []Point) (*TriBatch, *Report, error) {
+	return runBatch(e, ctx, "locate-batch", len(qs),
+		func(cfg config.Config) (*TriBatch, error) { return tri.LocateBatch(qs, cfg) })
+}

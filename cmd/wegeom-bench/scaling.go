@@ -15,12 +15,15 @@ import (
 
 // The -scaling mode measures wall-clock strong scaling of the parallel
 // builders — Delaunay, the write-efficient sort, the p-batched k-d tree,
-// and the three augmented trees (interval, priority search, range) — at
-// worker-pool sizes P = 1, 2, 4, ... up to -scaling-maxp, pinning
-// GOMAXPROCS to P for each step so the pool matches the schedulable
-// parallelism. Model costs (reads/writes) are recorded alongside: they must
-// not move with P — the paper's claims are about counts, and the parallel
-// builders are cost-equivalent to the sequential ones by construction.
+// the three augmented trees (interval, priority search, range), and the
+// shared primitives — plus the batched-query *serving* workloads
+// (stab-batch, range-query-batch, knn-batch), which fan a fixed query mix
+// over trees built once up front, at worker-pool sizes P = 1, 2, 4, ... up
+// to -scaling-maxp, pinning GOMAXPROCS to P for each step so the pool
+// matches the schedulable parallelism. Model costs (reads/writes) are
+// recorded alongside: they must not move with P — the paper's claims are
+// about counts, and both the parallel builders and the qbatch layer are
+// cost-equivalent to their sequential loops by construction.
 //
 // Steps with P above the host's CPU count cannot speed anything up — the
 // extra workers time-slice one core — so those rows are marked
@@ -94,6 +97,37 @@ func runScaling(out string, maxP, reps int) error {
 		// numerous enough to exercise the scatter.
 		semiPairs[i] = wegeom.SemiPair{Key: rng.Next() % (nPrims / 16), Val: int32(i)}
 	}
+
+	// The batched-query workloads serve a fixed query mix against trees
+	// built once up front (with a throwaway engine), so each step times —
+	// and each report counts — only the qbatch serving path.
+	const nQBatch = 20000
+	setup := wegeom.NewEngine()
+	qTree, _, err := setup.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		return fmt.Errorf("scaling setup interval: %w", err)
+	}
+	qRT, _, err := setup.NewRangeTree(ctx, rtPts)
+	if err != nil {
+		return fmt.Errorf("scaling setup rangetree: %w", err)
+	}
+	qKD, _, err := setup.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		return fmt.Errorf("scaling setup kdtree: %w", err)
+	}
+	stabQs := gen.UniformFloats(nQBatch, 29)
+	knnQs := make([]wegeom.KPoint, nQBatch)
+	for i, p := range gen.UniformPoints(nQBatch, 30) {
+		knnQs[i] = wegeom.KPoint{p.X, p.Y}
+	}
+	rectWs := gen.UniformFloats(4*(nQBatch/4), 31)
+	rectQs := make([]wegeom.RTQuery, nQBatch/4)
+	for i := range rectQs {
+		x, y := rectWs[4*i], rectWs[4*i+1]
+		// Small rectangles: output-dominated cost stays bounded while the
+		// outer-tree descent still does real work per query.
+		rectQs[i] = wegeom.RTQuery{XL: x, XR: x + 0.02*rectWs[4*i+2], YB: y, YT: y + 0.02*rectWs[4*i+3]}
+	}
 	workloads := []struct {
 		name string
 		n    int
@@ -133,6 +167,18 @@ func runScaling(out string, maxP, reps int) error {
 		}},
 		{"tournament", nPrims, func(p int) (*wegeom.Report, error) {
 			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).BuildTournament(ctx, prios)
+			return rep, err
+		}},
+		{"stab-batch", nQBatch, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).StabBatch(ctx, qTree, stabQs)
+			return rep, err
+		}},
+		{"range-query-batch", len(rectQs), func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).RangeQueryBatch(ctx, qRT, rectQs)
+			return rep, err
+		}},
+		{"knn-batch", nQBatch, func(p int) (*wegeom.Report, error) {
+			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).KNNBatch(ctx, qKD, knnQs, 8)
 			return rep, err
 		}},
 	}

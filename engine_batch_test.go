@@ -1,0 +1,181 @@
+package wegeom
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+// TestEngineBatchMethods smoke-tests every batched-query Engine method:
+// results match the one-shot query loop, the Report carries the batch
+// dimensions and the two packing phases, and costs land on the Engine's
+// meter.
+func TestEngineBatchMethods(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithParallelism(4))
+
+	// Interval stabbing.
+	givs := gen.UniformIntervals(2000, 0.02, 81)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, _, err := eng.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stabs := gen.UniformFloats(200, 82)
+	sb, rep, err := eng.StabBatch(ctx, it, stabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != len(stabs) || rep.Results != sb.Total() {
+		t.Fatalf("stab report: queries=%d results=%d, want %d/%d", rep.Queries, rep.Results, len(stabs), sb.Total())
+	}
+	if rep.QPS() <= 0 {
+		t.Fatalf("stab report: QPS = %v", rep.QPS())
+	}
+	totals := rep.PhaseTotals()
+	if _, ok := totals["interval/stab-batch/count"]; !ok {
+		t.Fatalf("missing count phase; phases = %v", rep.Phases)
+	}
+	if _, ok := totals["interval/stab-batch/write"]; !ok {
+		t.Fatalf("missing write phase; phases = %v", rep.Phases)
+	}
+	if rep.Total.Writes != sb.Total() {
+		t.Fatalf("stab batch charged %d writes, want the output size %d", rep.Total.Writes, sb.Total())
+	}
+	for i, q := range stabs {
+		var want []Interval
+		it.Stab(q, func(iv Interval) bool { want = append(want, iv); return true })
+		got := sb.Results(i)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stab query %d: batch differs from one-shot", i)
+		}
+	}
+
+	// PST 3-sided.
+	xs, ys := gen.UniformFloats(2000, 83), gen.UniformFloats(2000, 84)
+	pstPts := make([]PSTPoint, len(xs))
+	for i := range xs {
+		pstPts[i] = PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	pt, _, err := eng.NewPriorityTree(ctx, pstPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, rep, err := eng.Query3SidedBatch(ctx, pt, []PSTQuery{{XL: 0.2, XR: 0.8, YB: 0.9}, {XL: 0.5, XR: 0.4, YB: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 2 || p3.Queries() != 2 {
+		t.Fatalf("pst batch: %d queries", rep.Queries)
+	}
+	if got, want := len(p3.Results(0)), pt.Count3Sided(0.2, 0.8, 0.9); got != want {
+		t.Fatalf("pst query 0: %d results, want %d", got, want)
+	}
+	if len(p3.Results(1)) != 0 {
+		t.Fatalf("pst empty-range query returned %d results", len(p3.Results(1)))
+	}
+
+	// Range tree rectangles.
+	rtPts := make([]RTPoint, len(xs))
+	for i := range xs {
+		rtPts[i] = RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	rt, _, err := eng.NewRangeTree(ctx, rtPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rep, err := eng.RangeQueryBatch(ctx, rt, []RTQuery{{XL: 0.1, XR: 0.4, YB: 0.2, YT: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rb.Results(0)), rt.Count(0.1, 0.4, 0.2, 0.9); got != want {
+		t.Fatalf("range tree query: %d results, want %d", got, want)
+	}
+	if rep.Results != int64(len(rb.Items)) {
+		t.Fatalf("range tree report results = %d", rep.Results)
+	}
+
+	// k-d kNN + orthogonal range.
+	items := make([]KDItem, len(xs))
+	for i := range xs {
+		items[i] = KDItem{P: KPoint{xs[i], ys[i]}, ID: int32(i)}
+	}
+	kt, _, err := eng.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kq := []KPoint{{0.5, 0.5}, {0.1, 0.9}}
+	kb, rep, err := eng.KNNBatch(ctx, kt, kq, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != 10 || kb.Total() != 10 {
+		t.Fatalf("knn batch: %d results, want 10", kb.Total())
+	}
+	for i, q := range kq {
+		if !reflect.DeepEqual(kb.Results(i), kt.KNN(q, 5)) {
+			t.Fatalf("knn query %d: batch differs from one-shot", i)
+		}
+	}
+	box := geom.NewKBox(2)
+	box.Min[0], box.Min[1], box.Max[0], box.Max[1] = 0.3, 0.3, 0.6, 0.6
+	xb, _, err := eng.KDRangeBatch(ctx, kt, []KBox{box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(xb.Results(0)), kt.RangeCount(box); got != want {
+		t.Fatalf("kd range query: %d results, want %d", got, want)
+	}
+
+	// Delaunay point location.
+	tri, _, err := eng.Triangulate(ctx, eng.ShufflePoints(gen.UniformPoints(1500, 85)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq := gen.UniformPoints(50, 86)
+	lb, rep, err := eng.LocateBatch(ctx, tri, lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != len(lq) {
+		t.Fatalf("locate batch: %d queries", rep.Queries)
+	}
+	for i, q := range lq {
+		if !reflect.DeepEqual(lb.Results(i), tri.Locate(q)) {
+			t.Fatalf("locate query %d: batch differs from one-shot", i)
+		}
+	}
+}
+
+// TestEngineBatchCancellation asserts a cancelled context aborts a batch
+// with ctx.Err() and no results.
+func TestEngineBatchCancellation(t *testing.T) {
+	eng := NewEngine()
+	givs := gen.UniformIntervals(800, 0.05, 87)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, _, err := eng.NewIntervalTree(context.Background(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _, err := eng.StabBatch(ctx, it, gen.UniformFloats(100, 88))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled batch returned results")
+	}
+}

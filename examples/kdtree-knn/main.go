@@ -4,11 +4,12 @@
 // and deletions tombstone with periodic rebuilds. Everything runs through
 // one Engine, whose Report profiles the static build.
 //
-//	go run ./examples/kdtree-knn
+//	go run ./examples/kdtree-knn [-n points]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math"
 
@@ -19,8 +20,10 @@ import (
 
 func main() {
 	const dims = 3
-	const initial = 30000
-	const streamed = 10000
+	nFlag := flag.Int("n", 30000, "number of static points (CI smoke runs use a small value)")
+	flag.Parse()
+	initial := *nFlag
+	streamed := initial / 3
 	eng := wegeom.NewEngine(wegeom.WithSeed(3))
 
 	// Static bulk: p-batched construction over uniform data.
@@ -77,6 +80,19 @@ func main() {
 		_ = it2
 	}
 	fmt.Printf("ANN guarantee verified on %d/%d probes (ε=%.2f)\n", okCount, checked, eps)
+
+	// Serving: exact 10-NN for a whole query batch in one call. The batch
+	// fans across the worker pool, reuses one candidate heap per query
+	// grain, and returns the neighbours packed (query i → batch.Results(i),
+	// nearest first) with the throughput on the report.
+	queries := gen.UniformKPoints(2000, dims, 4)
+	batch, brep, err := eng.KNNBatch(context.Background(), tree, queries, 10)
+	if err != nil {
+		panic(err)
+	}
+	nearest := batch.Results(0)
+	fmt.Printf("knn-batch: %d queries × 10-NN → %d packed results, %.0f queries/s; first query's nearest id=%d\n",
+		brep.Queries, brep.Results, brep.QPS(), nearest[0].ID)
 
 	// Deletion churn on the static tree.
 	deleted := 0

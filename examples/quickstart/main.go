@@ -2,11 +2,12 @@
 // Engine API, with the asymmetric-memory cost reports showing the write
 // savings the paper proves.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-n items]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 
 	wegeom "repro"
@@ -14,7 +15,9 @@ import (
 )
 
 func main() {
-	const n = 50000
+	nFlag := flag.Int("n", 50000, "input size (CI smoke runs use a small value)")
+	flag.Parse()
+	n := *nFlag
 	const omega = 10 // projected NVM write/read cost ratio (paper: 5–40)
 	ctx := context.Background()
 
@@ -94,6 +97,17 @@ func main() {
 	must(err)
 	fmt.Printf("range tree: %d points in [0.1,0.4]×[0.01,0.5]\n",
 		rt.Count(0.1, 0.4, 0.01, 0.5))
+
+	// 7. Batched queries — the serving layer (internal/qbatch). One call
+	// fans a query batch across the worker pool and packs the results;
+	// counted costs are bit-identical to a sequential query loop and the
+	// reporting writes are exactly the output size.
+	stabs := gen.UniformFloats(1000, 8)
+	sb, repQ, err := eng.StabBatch(ctx, it, stabs)
+	must(err)
+	fmt.Printf("stab-batch: %d queries → %d results at %.0f queries/s (reporting writes = %d)\n",
+		repQ.Queries, repQ.Results, repQ.QPS(), repQ.Total.Writes)
+	_ = sb
 }
 
 func must(err error) {

@@ -5,11 +5,12 @@
 // α = 8; the single-vs-bulk comparison uses one engine per variant so
 // their meters stay independent.
 //
-//	go run ./examples/rangetree-analytics
+//	go run ./examples/rangetree-analytics [-n trades]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math"
 
@@ -18,7 +19,9 @@ import (
 )
 
 func main() {
-	const n = 30000
+	nFlag := flag.Int("n", 30000, "number of trades (CI smoke runs use a small value)")
+	flag.Parse()
+	n := *nFlag
 	ctx := context.Background()
 	r := parallel.NewRNG(1)
 	eng := wegeom.NewEngine(wegeom.WithAlpha(8))
@@ -29,7 +32,7 @@ func main() {
 	sizes := make([]wegeom.PSTPoint, n)
 	price := 100.0
 	for i := range trades {
-		tm := float64(i) / n
+		tm := float64(i) / float64(n)
 		price += 0.5*(100-price)/100 + (r.Float64() - 0.5)
 		size := math.Pow(1/(1-r.Float64()+1e-9), 0.7) // Pareto-ish
 		trades[i] = wegeom.RTPoint{X: tm, Y: price, ID: int32(i)}
@@ -43,15 +46,25 @@ func main() {
 	fmt.Printf("range tree over %d trades: %.2f writes/point at construction\n",
 		n, float64(rep.Total.Writes)/float64(n))
 
-	// Window queries.
-	for _, w := range [][4]float64{
-		{0.0, 0.25, 98, 101},
-		{0.25, 0.5, 99, 102},
-		{0.5, 1.0, 95, 105},
-	} {
-		fmt.Printf("trades in t∈[%.2f,%.2f], price∈[%.0f,%.0f]: %d\n",
-			w[0], w[1], w[2], w[3], rt.Count(w[0], w[1], w[2], w[3]))
+	// Window queries, served as one batch: the three dashboards' windows
+	// fan across the worker pool and come back packed, with the counted
+	// cost of a sequential query loop and reporting writes equal to the
+	// output size.
+	windows := []wegeom.RTQuery{
+		{XL: 0.0, XR: 0.25, YB: 98, YT: 101},
+		{XL: 0.25, XR: 0.5, YB: 99, YT: 102},
+		{XL: 0.5, XR: 1.0, YB: 95, YT: 105},
 	}
+	packed, wrep, err := eng.RangeQueryBatch(ctx, rt, windows)
+	if err != nil {
+		panic(err)
+	}
+	for i, w := range windows {
+		fmt.Printf("trades in t∈[%.2f,%.2f], price∈[%.0f,%.0f]: %d\n",
+			w.XL, w.XR, w.YB, w.YT, len(packed.Results(i)))
+	}
+	fmt.Printf("range-query-batch: %d windows, %d rows, reporting writes = %d (output size only)\n",
+		wrep.Queries, wrep.Results, wrep.Total.Writes)
 
 	// Largest trades in the morning session: 3-sided query on the PST.
 	pt, _, err := eng.NewPriorityTree(ctx, sizes)
@@ -66,7 +79,7 @@ func main() {
 	fmt.Printf("trades with size ≥ 10 in the first half session: %d\n", big)
 
 	// Live updates vs bulk load, measured from the same starting state.
-	batch := make([]wegeom.RTPoint, 5000)
+	batch := make([]wegeom.RTPoint, n/6)
 	for i := range batch {
 		batch[i] = wegeom.RTPoint{X: r.Float64(), Y: 95 + 10*r.Float64(), ID: int32(n + i)}
 	}

@@ -1,0 +1,83 @@
+package delaunay
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+// TestLocateBatchEquivalence asserts LocateBatch is indistinguishable from
+// a sequential Locate loop — identical per-query conflict sets and
+// bit-identical counted costs — at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestLocateBatchEquivalence(t *testing.T) {
+	n := 2500
+	if testing.Short() {
+		n = 900
+	}
+	m := asymmem.NewMeter()
+	tri, err := TriangulateConfig(gen.UniformPoints(n, 71), config.Config{Meter: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := gen.UniformPoints(300, 72) // fresh points, not in the mesh
+
+	before := m.Snapshot()
+	seq := make([][]int32, len(qs))
+	for i, q := range qs {
+		seq[i] = tri.Locate(q)
+	}
+	seqCost := m.Snapshot().Sub(before)
+
+	for _, p := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(p)
+		before := m.Snapshot()
+		out, err := tri.LocateBatch(qs, config.Config{Meter: m})
+		cost := m.Snapshot().Sub(before)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != seqCost {
+			t.Errorf("P=%d: batch cost %v != sequential loop %v", p, cost, seqCost)
+		}
+		for i := range qs {
+			got := out.Results(i)
+			if len(got) == 0 && len(seq[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, seq[i]) {
+				t.Fatalf("P=%d query %d: batch %v != sequential %v", p, i, got, seq[i])
+			}
+		}
+	}
+}
+
+// TestLocateReportsConflicts sanity-checks the standalone location query:
+// every returned triangle is alive and its circumcircle contains the query
+// point, and an inserted point's own location is non-empty.
+func TestLocateReportsConflicts(t *testing.T) {
+	pts := gen.UniformPoints(400, 73)
+	tri, err := TriangulateConfig(pts, config.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range gen.UniformPoints(50, 74) {
+		out := tri.Locate(q)
+		if len(out) == 0 {
+			t.Fatalf("interior query %v found no conflict triangle", q)
+		}
+		for _, id := range out {
+			tr := &tri.Tris[id]
+			if !tr.alive {
+				t.Fatalf("query %v reported dead triangle %d", q, id)
+			}
+			if !tri.encroachesPoint(q, tr.V) {
+				t.Fatalf("query %v reported non-conflicting triangle %d", q, id)
+			}
+		}
+	}
+}

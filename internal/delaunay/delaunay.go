@@ -501,12 +501,20 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	return nil
 }
 
-// tracePoint walks the history DAG from the root triangle, visiting each
-// encroached triangle once (from its highest-priority visible parent) and
-// emitting encroached alive leaves. Returns (visited, outputs).
+// tracePoint walks the history DAG for uninserted point p (see traceGeom).
 func (t *Triangulation) tracePoint(p int32, emit func(leaf int32), lc *localCost) (int64, int64) {
+	return t.traceGeom(t.point(p), emit, lc)
+}
+
+// traceGeom walks the history DAG from the root triangle for an arbitrary
+// query point, visiting each encroached triangle once (from its
+// highest-priority visible parent) and emitting encroached alive leaves.
+// Returns (visited, outputs). It is the shared visitor core of the build's
+// batched location (tracePoint) and of the public Locate / LocateBatch
+// queries: reads accumulate in lc (one per in-circle test) and one output
+// write per emitted leaf, which the caller flushes to its meter handle.
+func (t *Triangulation) traceGeom(pp geom.Point, emit func(leaf int32), lc *localCost) (int64, int64) {
 	var visited, outputs int64
-	pp := t.point(p)
 	enc := func(id int32) bool {
 		lc.reads++
 		return t.encroachesPoint(pp, t.Tris[id].V)

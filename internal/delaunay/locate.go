@@ -1,0 +1,41 @@
+package delaunay
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/qbatch"
+)
+
+// Locate traces the history DAG for query point q (the §3.1 DAG-tracing
+// operation as a standalone query) and returns the ids of the alive
+// triangles whose circumcircles contain q, in the DAG walk's deterministic
+// order. For a point inside the triangulation this is the conflict set a
+// subsequent insertion of q would carve. Charges one read per in-circle
+// test and one reporting write per returned triangle to the build meter.
+// The in-circle predicate is strict, so a query coincident with a mesh
+// vertex (e.g. an already-inserted point) has an empty conflict set.
+func (t *Triangulation) Locate(q geom.Point) []int32 {
+	var lc localCost
+	var out []int32
+	t.traceGeom(q, func(leaf int32) { out = append(out, leaf) }, &lc)
+	t.meter.Worker(0).ReadN(int(lc.reads))
+	t.meter.Worker(0).WriteN(len(out))
+	return out
+}
+
+// LocateBatch answers a batch of point-location queries on the worker pool
+// and packs the results: query i's conflict triangles are
+// Items[Off[i]:Off[i+1]], in the same order a sequential Locate would
+// return them. Traversal reads and reporting writes charge worker-local
+// handles on cfg.Meter with totals bit-identical to a sequential Locate
+// loop at any worker-pool size; the reporting writes are exactly the output
+// size. cfg.Interrupt is polled between query grains.
+func (t *Triangulation) LocateBatch(qs []geom.Point, cfg config.Config) (*qbatch.Packed[int32], error) {
+	return qbatch.Run(cfg, "delaunay/locate-batch", qs,
+		func(q geom.Point, wk asymmem.Worker, _ *struct{}, emit func(int32)) {
+			var lc localCost
+			t.traceGeom(q, emit, &lc)
+			wk.ReadN(int(lc.reads))
+		})
+}

@@ -1,0 +1,25 @@
+package interval
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/qbatch"
+)
+
+// StabBatch answers a batch of stabbing queries on the worker pool and
+// packs the results: query i's stabbed intervals are
+// Results(i) = Items[Off[i]:Off[i+1]], in the same order a sequential Stab
+// would visit them. Traversal reads and reporting writes charge
+// worker-local handles on cfg.Meter with totals bit-identical to calling
+// Stab in a loop, at any worker-pool size; the reporting writes are exactly
+// the output size (the write-efficiency discipline extended to queries).
+// cfg.Interrupt is polled between query grains.
+func (t *Tree) StabBatch(qs []float64, cfg config.Config) (*qbatch.Packed[Interval], error) {
+	return qbatch.Run(cfg, "interval/stab-batch", qs,
+		func(q float64, wk asymmem.Worker, _ *struct{}, emit func(Interval)) {
+			t.stabH(q, wk, func(iv Interval) bool {
+				emit(iv)
+				return true
+			})
+		})
+}

@@ -1,0 +1,83 @@
+package interval
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+// TestStabBatchEquivalence asserts StabBatch is indistinguishable from a
+// sequential Stab loop — identical per-query result sequences and
+// bit-identical counted costs — at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestStabBatchEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	ivs := fromGen(gen.UniformIntervals(n, 0.02, 31))
+	qs := gen.UniformFloats(900, 32)
+	qs = append(qs, ivs[0].Left, ivs[n/2].Right, -5, 5) // exact endpoints + misses
+	for _, alpha := range []int{0, 8} {
+		m := asymmem.NewMeterShards(8)
+		tr, err := BuildConfig(ivs, config.Config{Alpha: alpha, Meter: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		before := m.Snapshot()
+		seq := make([][]Interval, len(qs))
+		for i, q := range qs {
+			tr.Stab(q, func(iv Interval) bool {
+				seq[i] = append(seq[i], iv)
+				return true
+			})
+		}
+		seqCost := m.Snapshot().Sub(before)
+
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			before := m.Snapshot()
+			out, err := tr.StabBatch(qs, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != seqCost {
+				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
+			}
+			if out.Queries() != len(qs) {
+				t.Fatalf("alpha=%d P=%d: %d queries", alpha, p, out.Queries())
+			}
+			for i := range qs {
+				got := out.Results(i)
+				if len(got) == 0 && len(seq[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, seq[i]) {
+					t.Fatalf("alpha=%d P=%d query %d: batch %v != sequential %v", alpha, p, i, got, seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStabBatchInterrupt asserts a cancelled batch aborts with the context
+// error and reports no results.
+func TestStabBatchInterrupt(t *testing.T) {
+	ivs := fromGen(gen.UniformIntervals(500, 0.05, 33))
+	tr, err := BuildConfig(ivs, config.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.StabBatch(gen.UniformFloats(100, 34), config.Config{Interrupt: ctx.Err}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -6,24 +6,36 @@ import (
 	"sort"
 
 	"repro/internal/alabel"
+	"repro/internal/asymmem"
 )
 
 // Stab reports every live interval containing q, in no particular order.
 // Cost: O(path + ωk) — at each node on the search path, a prefix of one
 // inner tree is scanned (§7.1).
 func (t *Tree) Stab(q float64, visit func(Interval) bool) {
+	t.stabH(q, t.meter, func(iv Interval) bool {
+		t.meter.Write()
+		return visit(iv)
+	})
+}
+
+// stabH is the handle-parameterized visitor core shared by Stab and
+// StabBatch: the same traversal, charging its reads (outer path and inner
+// prefix scans) to h. It does NOT charge the reporting writes — Stab
+// charges one per visited interval, StabBatch charges each query's output
+// size in bulk after packing — so the two call shapes count identically.
+func (t *Tree) stabH(q float64, h asymmem.Worker, visit func(Interval) bool) {
 	n := t.root
 	for n != nil {
-		t.meter.Read()
+		h.Read()
 		stop := false
 		switch {
 		case q < n.key:
 			if n.byLeft != nil {
-				n.byLeft.InOrder(func(k endKey) bool {
+				n.byLeft.InOrderH(h, func(k endKey) bool {
 					if k.v > q {
 						return false
 					}
-					t.meter.Write()
 					if !visit(n.ivs[k.id]) {
 						stop = true
 						return false
@@ -34,11 +46,10 @@ func (t *Tree) Stab(q float64, visit func(Interval) bool) {
 			n = n.left
 		case q > n.key:
 			if n.byRight != nil {
-				n.byRight.ReverseInOrder(func(k endKey) bool {
+				n.byRight.ReverseInOrderH(h, func(k endKey) bool {
 					if k.v < q {
 						return false
 					}
-					t.meter.Write()
 					if !visit(n.ivs[k.id]) {
 						stop = true
 						return false
@@ -49,8 +60,7 @@ func (t *Tree) Stab(q float64, visit func(Interval) bool) {
 			n = n.right
 		default:
 			if n.byLeft != nil {
-				n.byLeft.InOrder(func(k endKey) bool {
-					t.meter.Write()
+				n.byLeft.InOrderH(h, func(k endKey) bool {
 					if !visit(n.ivs[k.id]) {
 						stop = true
 						return false

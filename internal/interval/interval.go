@@ -384,8 +384,10 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 	// boundaries are index arithmetic (small-memory, uncharged); the fills
 	// touch one outer node each, so runs build concurrently, and the byL
 	// and byR passes write disjoint node fields, so the two groups fork as
-	// a pair as well.
-	group := func(w int, items []prims.Item, fill func(wk asymmem.Worker, n *node, run []int32)) {
+	// a pair as well. Each loop block hoists one fillScratch — the run
+	// buffer, the key staging slice, and the treap spine stack — so the hot
+	// per-node fills allocate only what the tree retains.
+	group := func(w int, items []prims.Item, fill func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch)) {
 		var starts []int
 		for i := 0; i < len(items); {
 			starts = append(starts, i)
@@ -394,20 +396,24 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 				i++
 			}
 		}
-		parallel.ForGrainAt(w, len(starts), innerRunGrain, func(w, ri int) {
-			if in.Stopped() {
-				return
+		parallel.ForChunkedAt(w, len(starts), innerRunGrain, func(w, blo, bhi int) {
+			wk := t.worker(w)
+			var sc fillScratch
+			for ri := blo; ri < bhi; ri++ {
+				if in.Stopped() {
+					return
+				}
+				lo := starts[ri]
+				hi := len(items)
+				if ri+1 < len(starts) {
+					hi = starts[ri+1]
+				}
+				sc.run = sc.run[:0]
+				for k := lo; k < hi; k++ {
+					sc.run = append(sc.run, items[k].Val)
+				}
+				fill(wk, nodesByHeap[heapOf[items[lo].Val]], sc.run, &sc)
 			}
-			lo := starts[ri]
-			hi := len(items)
-			if ri+1 < len(starts) {
-				hi = starts[ri+1]
-			}
-			run := make([]int32, hi-lo)
-			for k := lo; k < hi; k++ {
-				run[k-lo] = items[k].Val
-			}
-			fill(t.worker(w), nodesByHeap[heapOf[items[lo].Val]], run)
 		})
 	}
 	if in.Poll() {
@@ -415,16 +421,16 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 	}
 	parallel.DoW(w,
 		func(w int) {
-			group(w, byL, func(wk asymmem.Worker, n *node, run []int32) {
+			group(w, byL, func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
 				if n.byLeft != nil {
 					panic("buildPostSorted: node received two byL runs")
 				}
-				keys := make([]endKey, len(run))
+				keys := sc.stageKeys(len(run))
 				for i, vi := range run {
 					keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
 				}
 				n.byLeft = treap.NewW(endLess, endPrio, wk)
-				n.byLeft.FromSorted(keys)
+				n.byLeft.FromSortedScratch(keys, &sc.spine)
 				for i := 1; i < len(keys); i++ {
 					if !endLess(keys[i-1], keys[i]) {
 						panic("buildPostSorted: byL keys not strictly increasing")
@@ -433,11 +439,11 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 			})
 		},
 		func(w int) {
-			group(w, byR, func(wk asymmem.Worker, n *node, run []int32) {
+			group(w, byR, func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
 				if n.byRight != nil {
 					panic("buildPostSorted: node received two byR runs")
 				}
-				keys := make([]endKey, len(run))
+				keys := sc.stageKeys(len(run))
 				for i, vi := range run {
 					keys[i] = endKey{v: ivs[vi].Right, id: ivs[vi].ID}
 				}
@@ -447,7 +453,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 					}
 				}
 				n.byRight = treap.NewW(endLess, endPrio, wk)
-				n.byRight.FromSorted(keys)
+				n.byRight.FromSortedScratch(keys, &sc.spine)
 				n.ivs = make(map[int32]Interval, len(run))
 				for _, vi := range run {
 					n.ivs[ivs[vi].ID] = ivs[vi]
@@ -456,6 +462,25 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 			})
 		})
 	return root
+}
+
+// fillScratch is the per-block reusable state of the inner-treap fill
+// loops: the run and key staging buffers and the FromSorted spine stack.
+// One lives per sequential loop block, so concurrent fills never share.
+type fillScratch struct {
+	run   []int32
+	keys  []endKey
+	spine treap.Scratch[endKey]
+}
+
+// stageKeys returns the staging slice resized to n, growing its backing
+// array only when a larger run arrives.
+func (sc *fillScratch) stageKeys(n int) []endKey {
+	if cap(sc.keys) < n {
+		sc.keys = make([]endKey, n)
+	}
+	sc.keys = sc.keys[:n]
+	return sc.keys
 }
 
 // buildClassicRec is the standard construction: pick the median endpoint,

@@ -1,0 +1,38 @@
+package kdtree
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/qbatch"
+)
+
+// KNNBatch answers a batch of k-nearest-neighbour queries (one shared k) on
+// the worker pool and packs the results: query i's neighbours are
+// Items[Off[i]:Off[i+1]], in non-decreasing distance order, exactly as a
+// sequential KNN loop would return them. Traversal reads and reporting
+// writes charge worker-local handles on cfg.Meter with totals bit-identical
+// to the sequential loop at any worker-pool size; the candidate heap and
+// region box are per-grain scratch, so the batch allocates nothing per
+// query beyond the packed output. cfg.Interrupt is polled between query
+// grains.
+func (t *Tree) KNNBatch(qs []geom.KPoint, k int, cfg config.Config) (*qbatch.Packed[Item], error) {
+	return qbatch.Run(cfg, "kdtree/knn-batch", qs,
+		func(q geom.KPoint, wk asymmem.Worker, s *queryScratch, emit func(Item)) {
+			t.knnH(q, k, wk, s, emit)
+		})
+}
+
+// RangeBatch answers a batch of orthogonal range queries on the worker pool
+// and packs the results: query i's items are Items[Off[i]:Off[i+1]], in the
+// same order a sequential RangeQuery would visit them. Charging and scratch
+// reuse follow KNNBatch. cfg.Interrupt is polled between query grains.
+func (t *Tree) RangeBatch(boxes []geom.KBox, cfg config.Config) (*qbatch.Packed[Item], error) {
+	return qbatch.Run(cfg, "kdtree/range-batch", boxes,
+		func(box geom.KBox, wk asymmem.Worker, s *queryScratch, emit func(Item)) {
+			t.rangeH(box, wk, s, func(it Item) bool {
+				emit(it)
+				return true
+			})
+		})
+}

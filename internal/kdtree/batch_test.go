@@ -1,0 +1,127 @@
+package kdtree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+func batchTree(t *testing.T, n int, m *asymmem.Meter) (*Tree, []Item) {
+	t.Helper()
+	pts := gen.UniformPoints(n, 61)
+	items := make([]Item, n)
+	for i, p := range pts {
+		items[i] = Item{P: geom.KPoint{p.X, p.Y}, ID: int32(i)}
+	}
+	tr, err := BuildConfig(2, items, config.Config{Meter: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, items
+}
+
+// TestKNNBatchEquivalence asserts KNNBatch is indistinguishable from a
+// sequential KNN loop — identical per-query neighbour sequences and
+// bit-identical counted costs — at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestKNNBatchEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	m := asymmem.NewMeterShards(8)
+	tr, _ := batchTree(t, n, m)
+	qpts := gen.UniformPoints(400, 62)
+	qs := make([]geom.KPoint, len(qpts))
+	for i, p := range qpts {
+		qs[i] = geom.KPoint{p.X, p.Y}
+	}
+	for _, k := range []int{1, 8} {
+		before := m.Snapshot()
+		seq := make([][]Item, len(qs))
+		for i, q := range qs {
+			seq[i] = tr.KNN(q, k)
+		}
+		seqCost := m.Snapshot().Sub(before)
+
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			before := m.Snapshot()
+			out, err := tr.KNNBatch(qs, k, config.Config{Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != seqCost {
+				t.Errorf("k=%d P=%d: batch cost %v != sequential loop %v", k, p, cost, seqCost)
+			}
+			for i := range qs {
+				if got := out.Results(i); !reflect.DeepEqual(got, seq[i]) {
+					t.Fatalf("k=%d P=%d query %d: batch %v != sequential %v", k, p, i, got, seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRangeBatchEquivalence asserts RangeBatch matches a sequential
+// RangeQuery loop in per-query results and counted costs at P ∈ {1, 2, 8}.
+func TestRangeBatchEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	m := asymmem.NewMeterShards(8)
+	tr, _ := batchTree(t, n, m)
+	ws := gen.UniformFloats(4*200, 63)
+	boxes := make([]geom.KBox, 200)
+	for i := range boxes {
+		b := geom.NewKBox(2)
+		for d := 0; d < 2; d++ {
+			lo, hi := ws[4*i+2*d], ws[4*i+2*d+1]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			b.Min[d], b.Max[d] = lo, lo+(hi-lo)*0.3
+		}
+		boxes[i] = b
+	}
+
+	before := m.Snapshot()
+	seq := make([][]Item, len(boxes))
+	for i, b := range boxes {
+		tr.RangeQuery(b, func(it Item) bool {
+			seq[i] = append(seq[i], it)
+			return true
+		})
+	}
+	seqCost := m.Snapshot().Sub(before)
+
+	for _, p := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(p)
+		before := m.Snapshot()
+		out, err := tr.RangeBatch(boxes, config.Config{Meter: m})
+		cost := m.Snapshot().Sub(before)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != seqCost {
+			t.Errorf("P=%d: batch cost %v != sequential loop %v", p, cost, seqCost)
+		}
+		for i := range boxes {
+			got := out.Results(i)
+			if len(got) == 0 && len(seq[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, seq[i]) {
+				t.Fatalf("P=%d query %d: batch differs from sequential", p, i)
+			}
+		}
+	}
+}

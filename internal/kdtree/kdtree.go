@@ -309,38 +309,57 @@ func (t *Tree) locate(p geom.KPoint, h asymmem.Worker) *node {
 // The reads charged follow the O(n^((k-1)/k) + out) bound of Lemma 6.1
 // when the tree has near-optimal height.
 func (t *Tree) RangeQuery(box geom.KBox, visit func(Item) bool) {
-	region := geom.UniverseKBox(t.dims)
-	t.rangeRec(t.root, box, region, visit)
+	var s queryScratch
+	h := t.meter.Worker(0)
+	t.rangeH(box, h, &s, func(it Item) bool {
+		h.Write()
+		return visit(it)
+	})
 }
 
-func (t *Tree) rangeRec(n *node, box geom.KBox, region geom.KBox, visit func(Item) bool) bool {
-	if n == nil || !box.Intersects(region) {
-		return true
-	}
-	t.meter.Read()
-	if n.leaf {
-		t.meter.ReadN(len(n.items)) // one read per buffered item, in bulk
-		for i, it := range n.items {
-			if n.deadMask[i] {
-				continue
-			}
-			if box.Contains(it.P) {
-				t.meter.Write()
-				if !visit(it) {
-					return false
+// rangeH is the handle-parameterized visitor core shared by RangeQuery and
+// RangeBatch: the same pruned walk, charging its reads to h and leaving the
+// reporting writes to the caller (one per visit sequentially; the packed
+// output size in bulk for a batch), so both call shapes count identically.
+// The region box narrows and restores in place on the scratch — no
+// per-node clones.
+func (t *Tree) rangeH(box geom.KBox, h asymmem.Worker, s *queryScratch, visit func(Item) bool) {
+	s.resetRegion(t.dims)
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil || !box.Intersects(s.region) {
+			return true
+		}
+		h.Read()
+		if n.leaf {
+			h.ReadN(len(n.items)) // one read per buffered item, in bulk
+			for i, it := range n.items {
+				if n.deadMask[i] {
+					continue
+				}
+				if box.Contains(it.P) {
+					if !visit(it) {
+						return false
+					}
 				}
 			}
+			return true
 		}
-		return true
+		axis := int(n.axis)
+		max := s.region.Max[axis]
+		s.region.Max[axis] = n.split
+		ok := rec(n.left)
+		s.region.Max[axis] = max
+		if !ok {
+			return false
+		}
+		min := s.region.Min[axis]
+		s.region.Min[axis] = n.split
+		ok = rec(n.right)
+		s.region.Min[axis] = min
+		return ok
 	}
-	lr := region.Clone()
-	lr.Max[n.axis] = n.split
-	if !t.rangeRec(n.left, box, lr, visit) {
-		return false
-	}
-	rr := region.Clone()
-	rr.Min[n.axis] = n.split
-	return t.rangeRec(n.right, box, rr, visit)
+	rec(t.root)
 }
 
 // RangeCount returns the number of live items in box.

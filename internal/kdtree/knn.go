@@ -2,64 +2,116 @@ package kdtree
 
 import (
 	"container/heap"
+	"math"
 
+	"repro/internal/asymmem"
 	"repro/internal/geom"
 )
+
+// queryScratch is reusable query state threaded through the visitor cores
+// (knnH, rangeH): the kNN candidate heap, the ordered-output staging
+// slice, and the region box the descent mutates and restores in place. The
+// batched queries hoist one per query grain, replacing the per-query heap
+// and per-node region-clone allocations the one-shot queries used to make.
+// The zero value is ready to use.
+type queryScratch struct {
+	heap   knnHeap
+	out    []Item
+	region geom.KBox
+}
+
+// resetRegion points the scratch region at the universe box for a tree of
+// t.dims dimensions, reusing the backing arrays.
+func (s *queryScratch) resetRegion(dims int) {
+	if len(s.region.Min) != dims {
+		s.region = geom.UniverseKBox(dims)
+		return
+	}
+	for i := 0; i < dims; i++ {
+		s.region.Min[i] = math.Inf(-1)
+		s.region.Max[i] = math.Inf(1)
+	}
+}
 
 // KNN returns the k nearest live items to q in non-decreasing distance
 // order (fewer if the tree holds fewer). This is the exact k-nearest
 // extension of the §6.1 ANN query: the same pruned descent with a
 // max-heap of the best k candidates.
 func (t *Tree) KNN(q geom.KPoint, k int) []Item {
+	var s queryScratch
+	var out []Item
+	t.knnH(q, k, t.meter.Worker(0), &s, func(it Item) { out = append(out, it) })
+	t.meter.WriteN(len(out))
+	return out
+}
+
+// knnH is the handle-parameterized visitor core shared by KNN and KNNBatch:
+// the pruned descent charging its reads to h, then emitting the k nearest
+// items in non-decreasing distance order. Reporting writes are left to the
+// caller (KNN charges the result count; a batch charges each query's packed
+// output size), so both call shapes count identically. The region box is
+// narrowed and restored in place on the scratch — no per-node clones.
+func (t *Tree) knnH(q geom.KPoint, k int, h asymmem.Worker, s *queryScratch, emit func(Item)) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return
 	}
-	h := &knnHeap{}
-	var rec func(n *node, region geom.KBox)
-	rec = func(n *node, region geom.KBox) {
+	s.heap.entries = s.heap.entries[:0]
+	s.resetRegion(t.dims)
+	var rec func(n *node)
+	rec = func(n *node) {
 		if n == nil {
 			return
 		}
-		t.meter.Read()
-		if h.Len() == k && region.Dist2(q) > h.worst() {
+		h.Read()
+		if s.heap.Len() == k && s.region.Dist2(q) > s.heap.worst() {
 			return
 		}
 		if n.leaf {
+			h.ReadN(len(n.items)) // one read per buffered item, in bulk
 			for i, it := range n.items {
-				t.meter.Read()
 				if n.deadMask[i] {
 					continue
 				}
 				d2 := q.Dist2(it.P)
-				if h.Len() < k {
-					heap.Push(h, knnEnt{d2: d2, it: it})
-				} else if d2 < h.worst() {
-					h.entries[0] = knnEnt{d2: d2, it: it}
-					heap.Fix(h, 0)
+				if s.heap.Len() < k {
+					heap.Push(&s.heap, knnEnt{d2: d2, it: it})
+				} else if d2 < s.heap.worst() {
+					s.heap.entries[0] = knnEnt{d2: d2, it: it}
+					heap.Fix(&s.heap, 0)
 				}
 			}
 			return
 		}
-		lr := region.Clone()
-		lr.Max[n.axis] = n.split
-		rr := region.Clone()
-		rr.Min[n.axis] = n.split
-		if q[n.axis] < n.split {
-			rec(n.left, lr)
-			rec(n.right, rr)
+		axis := int(n.axis)
+		if q[axis] < n.split {
+			max := s.region.Max[axis]
+			s.region.Max[axis] = n.split
+			rec(n.left)
+			s.region.Max[axis] = max
+			min := s.region.Min[axis]
+			s.region.Min[axis] = n.split
+			rec(n.right)
+			s.region.Min[axis] = min
 		} else {
-			rec(n.right, rr)
-			rec(n.left, lr)
+			min := s.region.Min[axis]
+			s.region.Min[axis] = n.split
+			rec(n.right)
+			s.region.Min[axis] = min
+			max := s.region.Max[axis]
+			s.region.Max[axis] = n.split
+			rec(n.left)
+			s.region.Max[axis] = max
 		}
 	}
-	rec(t.root, geom.UniverseKBox(t.dims))
+	rec(t.root)
 
-	out := make([]Item, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(knnEnt).it
+	s.out = s.out[:0]
+	for s.heap.Len() > 0 {
+		s.out = append(s.out, heap.Pop(&s.heap).(knnEnt).it)
 	}
-	t.meter.WriteN(len(out))
-	return out
+	for i := len(s.out) - 1; i >= 0; i-- {
+		emit(s.out[i])
+	}
 }
 
 type knnEnt struct {

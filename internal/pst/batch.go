@@ -1,0 +1,30 @@
+package pst
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/qbatch"
+)
+
+// Query3 is one 3-sided query for Query3SidedBatch: report every live point
+// with x ∈ [XL, XR] and y ≥ YB.
+type Query3 struct {
+	XL, XR, YB float64
+}
+
+// Query3SidedBatch answers a batch of 3-sided queries on the worker pool
+// and packs the results: query i's points are Items[Off[i]:Off[i+1]], in
+// the same order a sequential Query3Sided would visit them. Traversal reads
+// and reporting writes charge worker-local handles on cfg.Meter with totals
+// bit-identical to a sequential query loop at any worker-pool size; the
+// reporting writes are exactly the output size. cfg.Interrupt is polled
+// between query grains.
+func (t *Tree) Query3SidedBatch(qs []Query3, cfg config.Config) (*qbatch.Packed[Point], error) {
+	return qbatch.Run(cfg, "pst/query3-batch", qs,
+		func(q Query3, wk asymmem.Worker, _ *struct{}, emit func(Point)) {
+			t.query3SidedH(q.XL, q.XR, q.YB, wk, func(p Point) bool {
+				emit(p)
+				return true
+			})
+		})
+}

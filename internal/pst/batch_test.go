@@ -1,0 +1,77 @@
+package pst
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+// TestQuery3SidedBatchEquivalence asserts Query3SidedBatch is
+// indistinguishable from a sequential Query3Sided loop — identical
+// per-query result sequences and bit-identical counted costs — at
+// P ∈ {1, 2, 8}. Run under -race in CI.
+func TestQuery3SidedBatchEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	xs, ys := gen.UniformFloats(n, 41), gen.UniformFloats(n, 42)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	ws := gen.UniformFloats(3*300, 43)
+	qs := make([]Query3, 300)
+	for i := range qs {
+		xl, xr := ws[3*i], ws[3*i+1]
+		if xr < xl {
+			xl, xr = xr, xl
+		}
+		qs[i] = Query3{XL: xl, XR: xr, YB: ws[3*i+2]}
+	}
+	qs = append(qs, Query3{XL: -1, XR: 2, YB: -1}, Query3{XL: 0.4, XR: 0.3, YB: 0}) // report-all + empty
+	for _, alpha := range []int{0, 8} {
+		m := asymmem.NewMeterShards(8)
+		tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		before := m.Snapshot()
+		seq := make([][]Point, len(qs))
+		for i, q := range qs {
+			tr.Query3Sided(q.XL, q.XR, q.YB, func(p Point) bool {
+				seq[i] = append(seq[i], p)
+				return true
+			})
+		}
+		seqCost := m.Snapshot().Sub(before)
+
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			before := m.Snapshot()
+			out, err := tr.Query3SidedBatch(qs, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != seqCost {
+				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
+			}
+			for i := range qs {
+				got := out.Results(i)
+				if len(got) == 0 && len(seq[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, seq[i]) {
+					t.Fatalf("alpha=%d P=%d query %d: batch differs from sequential", alpha, p, i)
+				}
+			}
+		}
+	}
+}

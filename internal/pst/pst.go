@@ -381,18 +381,29 @@ func (t *Tree) markVirtualRoot() {
 
 // Query3Sided reports every live point with x ∈ [xL, xR] and y ≥ yB.
 func (t *Tree) Query3Sided(xL, xR, yB float64, visit func(Point) bool) {
+	t.query3SidedH(xL, xR, yB, t.meter, func(p Point) bool {
+		t.meter.Write()
+		return visit(p)
+	})
+}
+
+// query3SidedH is the handle-parameterized visitor core shared by
+// Query3Sided and Query3SidedBatch: the same pruned descent, charging its
+// reads to h and leaving the reporting writes to the caller (one per visit
+// sequentially; the packed output size in bulk for a batch), so both call
+// shapes count identically.
+func (t *Tree) query3SidedH(xL, xR, yB float64, h asymmem.Worker, visit func(Point) bool) {
 	var rec func(n *node, lo, hi float64) bool
 	rec = func(n *node, lo, hi float64) bool {
 		if n == nil || hi < xL || lo > xR {
 			return true
 		}
-		t.meter.Read()
+		h.Read()
 		if n.hasPt {
 			if n.pt.Y < yB {
 				return true // heap order: the whole subtree is below yB
 			}
 			if n.pt.X >= xL && n.pt.X <= xR {
-				t.meter.Write()
 				if !visit(n.pt) {
 					return false
 				}

@@ -1,0 +1,70 @@
+package qbatch
+
+import (
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// FuzzPack drives the result-packing pipeline with arbitrary per-query
+// output sizes and worker-pool widths and asserts the packed layout is
+// exact: offsets are monotone and start at 0, every query's slot range
+// holds exactly its own results in emit order (no overlap, no loss), and
+// the charged writes equal the total output size.
+func FuzzPack(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250}, uint8(1))
+	f.Add([]byte{5, 5, 5}, uint8(2))
+	f.Add([]byte{}, uint8(8))
+	f.Add([]byte{255, 0, 0, 0, 0, 0, 0, 17}, uint8(3))
+	f.Fuzz(func(t *testing.T, counts []byte, pRaw uint8) {
+		if len(counts) > 4096 {
+			counts = counts[:4096]
+		}
+		p := int(pRaw)%8 + 1
+		prev := parallel.SetWorkers(p)
+		defer parallel.SetWorkers(prev)
+
+		qs := make([]int, len(counts))
+		for i := range qs {
+			qs[i] = i
+		}
+		m := asymmem.NewMeterShards(p)
+		out, err := Run(config.Config{Meter: m}, "fuzz", qs,
+			func(q int, wk asymmem.Worker, _ *struct{}, emit func(uint64)) {
+				wk.ReadN(1)
+				for j := 0; j < int(counts[q]); j++ {
+					// Encode (query, rank) so any misplaced slot is visible.
+					emit(uint64(q)<<16 | uint64(j))
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(out.Off) != len(qs)+1 || out.Off[0] != 0 {
+			t.Fatalf("offsets malformed: %v", out.Off)
+		}
+		var want int64
+		for i, c := range counts {
+			if got := out.Off[i+1] - out.Off[i]; got != int64(c) {
+				t.Fatalf("query %d: slot size %d, want %d", i, got, c)
+			}
+			want += int64(c)
+		}
+		if out.Off[len(qs)] != want || int64(len(out.Items)) != want {
+			t.Fatalf("total %d items %d, want %d", out.Off[len(qs)], len(out.Items), want)
+		}
+		for i := range qs {
+			for j, v := range out.Results(i) {
+				if v != uint64(i)<<16|uint64(j) {
+					t.Fatalf("query %d rank %d: got %x", i, j, v)
+				}
+			}
+		}
+		if s := m.Snapshot(); s.Writes != want || s.Reads != int64(len(qs)) {
+			t.Fatalf("cost %v, want reads=%d writes=%d", s, len(qs), want)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package qbatch is the worker-pool-native batched-query runtime: it fans a
+// batch of independent queries over a shared read-only structure across the
+// fork-join workers and packs the variable-size results into one contiguous
+// output array with deterministic layout.
+//
+// The packing follows the write-efficient count → Scan → write two-pass
+// pattern the parallel primitives (internal/prims) use for their scatter
+// phases:
+//
+//  1. Count: every query runs its traversal once, charging the traversal
+//     reads to a worker-local meter handle and counting — not storing — its
+//     results. Counts land in per-query cells of one flat array, so
+//     concurrent grains race on nothing.
+//  2. Scan: an exclusive prefix sum over the counts (parallel.Scan) turns
+//     them into output offsets. The offsets are a pure function of the
+//     query batch, never of the worker-pool size.
+//  3. Write: every query re-runs its traversal with the uncharged handle
+//     and writes its results at its offset, then charges exactly its output
+//     size as reporting writes.
+//
+// The discipline mirrors the paper's write-efficiency argument for
+// reporting queries: a query's reads are whatever its search path costs,
+// but the only large-memory *writes* a reporting query pays for are the ωk
+// for its k results — the packed output is exactly the output, with no
+// over-allocation, copying, or P-dependent padding. Because the reads are
+// charged once (in the count pass) and the writes once (in the write pass),
+// the counted costs are bit-identical to running the same queries in a
+// sequential loop, at any worker-pool size.
+//
+// Cancellation: cfg.Interrupt is polled between grains in both passes
+// through a parallel.Interrupt latch; a cancelled batch returns the
+// interrupt error and discards partial output.
+package qbatch
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// Grain is how many queries one worker runs sequentially between interrupt
+// polls and fork opportunities. Queries are orders of magnitude heavier
+// than the loop bookkeeping, so the grain is small to keep the pool busy on
+// skewed batches (one giant reporting query next to many empty ones).
+const Grain = 16
+
+// Core runs one query's traversal. It must charge the traversal's reads to
+// wk (an inactive handle during the write pass makes those charges no-ops),
+// call emit once per result in the query's deterministic visit order, and
+// must NOT charge the reporting writes — the runtime charges exactly the
+// output size after packing. scratch is grain-local reusable state (a kNN
+// heap, a traversal stack) shared by the up-to-Grain queries one worker
+// runs back-to-back; a Core that needs none takes *struct{}.
+//
+// The traversal runs twice per query (count pass, then write pass), so a
+// Core must be deterministic and side-effect-free apart from emit and the
+// charges on wk.
+type Core[Q, R, S any] func(q Q, wk asymmem.Worker, scratch *S, emit func(R))
+
+// Packed is a batch's results in one contiguous array: query i's results
+// are Items[Off[i]:Off[i+1]], in the query's own visit order. The layout is
+// deterministic — independent of the worker-pool size and of scheduling.
+type Packed[R any] struct {
+	Items []R
+	Off   []int64 // len = #queries + 1; Off[0] = 0, Off[#queries] = len(Items)
+}
+
+// Queries returns the number of queries in the batch.
+func (p *Packed[R]) Queries() int { return len(p.Off) - 1 }
+
+// Results returns query i's results (a sub-slice of Items; do not retain
+// across mutations of the batch owner).
+func (p *Packed[R]) Results(i int) []R { return p.Items[p.Off[i]:p.Off[i+1]] }
+
+// Total returns the total number of results across the batch.
+func (p *Packed[R]) Total() int64 {
+	if len(p.Off) == 0 {
+		return 0
+	}
+	return p.Off[len(p.Off)-1]
+}
+
+// Run evaluates the batch under cfg: queries fan across the worker pool in
+// grains, traversal reads and reporting writes are charged to worker-local
+// handles on cfg.Meter (totals bit-identical to a sequential query loop at
+// any P), and the packed results come back with deterministic layout. When
+// cfg.Ledger is set the two passes are recorded as phase+"/count" and
+// phase+"/write".
+//
+// One scratch value lives per sequential grain (up to Grain queries run
+// against it back-to-back), hoisted out of the per-query path. Scratch is
+// deliberately NOT indexed by worker ID: parallel.SetWorkers may resize the
+// pool while a batch is in flight (its documented contract), which both
+// widens the ID range and lets an old-pool task and a new-pool task hold
+// the same ID concurrently — fine for the meter's masked atomic shards,
+// unsound for exclusive scratch.
+func Run[Q, R, S any](cfg config.Config, phase string, queries []Q, core Core[Q, R, S]) (*Packed[R], error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	nq := len(queries)
+	off := make([]int64, nq+1)
+	if nq == 0 {
+		return &Packed[R]{Items: nil, Off: off}, nil
+	}
+	in := parallel.NewInterrupt(cfg.Interrupt)
+
+	// Pass 1 — count: one traversal per query, charging reads worker-
+	// locally; counts land in disjoint cells.
+	cfg.Phase(phase+"/count", func() {
+		parallel.ForChunkedW(nq, Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			var s S
+			for i := lo; i < hi; i++ {
+				var c int64
+				core(queries[i], wk, &s, func(R) { c++ })
+				off[i] = c
+			}
+		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pass 2 — scan: exclusive prefix sums over the counts give each query
+	// its slot; the total sizes the output exactly.
+	total := parallel.Scan(off[:nq], off[:nq])
+	off[nq] = total
+	items := make([]R, total)
+
+	// Pass 3 — write: re-run each traversal uncharged and write results at
+	// the query's offset; the reporting writes charged are exactly the
+	// output size.
+	cfg.Phase(phase+"/write", func() {
+		parallel.ForChunkedW(nq, Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			var s S
+			for i := lo; i < hi; i++ {
+				pos := off[i]
+				core(queries[i], asymmem.Worker{}, &s, func(r R) {
+					items[pos] = r
+					pos++
+				})
+				if pos != off[i+1] {
+					panic("qbatch: traversal emitted a different result count on the write pass")
+				}
+				wk.WriteN(int(pos - off[i]))
+			}
+		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	return &Packed[R]{Items: items, Off: off}, nil
+}

@@ -1,0 +1,185 @@
+package qbatch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// fakeCore simulates a reporting query against a read-only structure:
+// query q "reads" q+1 nodes and reports q mod modulus results, each a
+// deterministic function of (q, rank). It exercises exactly the contract
+// Run demands of a structure's visitor core.
+func fakeCore(modulus int) Core[int, int64, struct{}] {
+	return func(q int, wk asymmem.Worker, _ *struct{}, emit func(int64)) {
+		wk.ReadN(q + 1)
+		for j := 0; j < q%modulus; j++ {
+			emit(int64(q)*1000 + int64(j))
+		}
+	}
+}
+
+func runAt(t *testing.T, p int, qs []int, modulus int) (*Packed[int64], asymmem.Snapshot) {
+	t.Helper()
+	prev := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(prev)
+	m := asymmem.NewMeterShards(p)
+	out, err := Run(config.Config{Meter: m}, "test", qs, fakeCore(modulus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, m.Snapshot()
+}
+
+func TestRunPacksDeterministically(t *testing.T) {
+	for _, nq := range []int{0, 1, 7, 100, 3000} {
+		qs := make([]int, nq)
+		for i := range qs {
+			qs[i] = (i * 13) % 97
+		}
+		ref, refCost := runAt(t, 1, qs, 7)
+		if got, want := ref.Queries(), nq; got != want {
+			t.Fatalf("nq=%d: Queries() = %d", nq, got)
+		}
+		// The sequential loop's cost: reads = sum(q+1), writes = outputs.
+		var wantReads, wantWrites int64
+		for _, q := range qs {
+			wantReads += int64(q + 1)
+			wantWrites += int64(q % 7)
+		}
+		if refCost.Reads != wantReads || refCost.Writes != wantWrites {
+			t.Fatalf("nq=%d: cost %v, want reads=%d writes=%d (output size only)",
+				nq, refCost, wantReads, wantWrites)
+		}
+		if ref.Total() != wantWrites {
+			t.Fatalf("nq=%d: Total() = %d, want %d", nq, ref.Total(), wantWrites)
+		}
+		for i, q := range qs {
+			res := ref.Results(i)
+			if len(res) != q%7 {
+				t.Fatalf("nq=%d query %d: %d results, want %d", nq, i, len(res), q%7)
+			}
+			for j, r := range res {
+				if want := int64(q)*1000 + int64(j); r != want {
+					t.Fatalf("nq=%d query %d rank %d: %d, want %d", nq, i, j, r, want)
+				}
+			}
+		}
+		for _, p := range []int{2, 8} {
+			out, cost := runAt(t, p, qs, 7)
+			if cost != refCost {
+				t.Errorf("nq=%d P=%d: cost %v != sequential %v", nq, p, cost, refCost)
+			}
+			if fmt.Sprint(out.Off) != fmt.Sprint(ref.Off) {
+				t.Errorf("nq=%d P=%d: offsets differ", nq, p)
+			}
+			if fmt.Sprint(out.Items) != fmt.Sprint(ref.Items) {
+				t.Errorf("nq=%d P=%d: packed items differ", nq, p)
+			}
+		}
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	out, err := Run(config.Config{}, "test", nil, fakeCore(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries() != 0 || out.Total() != 0 || len(out.Items) != 0 {
+		t.Fatalf("empty batch: %+v", out)
+	}
+}
+
+func TestRunNilMeter(t *testing.T) {
+	qs := []int{1, 2, 3, 10}
+	out, err := Run(config.Config{}, "test", qs, fakeCore(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries() != 4 {
+		t.Fatalf("Queries() = %d", out.Queries())
+	}
+}
+
+func TestRunScratchIsThreadedAndReused(t *testing.T) {
+	// The scratch must be handed to every query, and queries sharing a
+	// grain see the same (reused) scratch value.
+	type scr struct{ uses int }
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	qs := make([]int, 500)
+	out, err := Run(config.Config{}, "test", qs,
+		func(q int, wk asymmem.Worker, s *scr, emit func(int)) {
+			s.uses++
+			emit(s.uses)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each grain's scratch counts monotonically across its queries.
+	var uses int64
+	for i := range qs {
+		uses += int64(out.Items[out.Off[i]])
+	}
+	if uses == 0 {
+		t.Fatal("scratch never threaded through the core")
+	}
+}
+
+func TestRunLedgerPhases(t *testing.T) {
+	m := asymmem.NewMeter()
+	l := asymmem.NewLedger(m)
+	_, err := Run(config.Config{Meter: m, Ledger: l}, "iv/stab", []int{1, 2, 9}, fakeCore(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := l.Phases()
+	if len(ph) != 2 || ph[0].Name != "iv/stab/count" || ph[1].Name != "iv/stab/write" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph[0].Cost.Writes != 0 {
+		t.Errorf("count pass charged writes: %v", ph[0].Cost)
+	}
+	if ph[1].Cost.Reads != 0 {
+		t.Errorf("write pass charged reads: %v", ph[1].Cost)
+	}
+}
+
+func TestRunInterrupt(t *testing.T) {
+	boom := errors.New("boom")
+	polls := 0
+	cfg := config.Config{Interrupt: func() error {
+		polls++
+		if polls > 3 {
+			return boom
+		}
+		return nil
+	}}
+	qs := make([]int, 10000)
+	for i := range qs {
+		qs[i] = i % 50
+	}
+	_, err := Run(cfg, "test", qs, fakeCore(9))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunNondeterministicCorePanics(t *testing.T) {
+	calls := 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a core that changes its output count between passes")
+		}
+	}()
+	_, _ = Run(config.Config{}, "test", []int{1}, func(q int, wk asymmem.Worker, _ *struct{}, emit func(int)) {
+		calls++
+		for j := 0; j < calls; j++ { // emits 1 result on pass 1, 2 on pass 2
+			emit(j)
+		}
+	})
+}

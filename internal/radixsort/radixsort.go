@@ -17,6 +17,8 @@ import (
 )
 
 // Item is one record: sort by Key, carrying Val.
+//
+// Deprecated: use prims.Item.
 type Item = prims.Item
 
 // Sort stably sorts items by Key in place. maxKey bounds the keys (0 means
@@ -38,6 +40,9 @@ func SortW(items []Item, maxKey uint64, h asymmem.Worker) {
 
 // SortInts sorts a slice of non-negative int64 values via the same passes;
 // convenience for tests and small harness tasks.
+//
+// Deprecated: wrap the values in prims.Item records and call
+// prims.RadixSort.
 func SortInts(xs []int64, m *asymmem.Meter) {
 	items := make([]Item, len(xs))
 	for i, x := range xs {

@@ -1,0 +1,30 @@
+package rangetree
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/qbatch"
+)
+
+// Query2D is one rectangle query for QueryBatch: report every live point
+// with x ∈ [XL, XR] and y ∈ [YB, YT].
+type Query2D struct {
+	XL, XR, YB, YT float64
+}
+
+// QueryBatch answers a batch of rectangle queries on the worker pool and
+// packs the results: query i's points are Items[Off[i]:Off[i+1]], in the
+// same order a sequential Query would visit them. Traversal reads and
+// reporting writes charge worker-local handles on cfg.Meter with totals
+// bit-identical to a sequential query loop at any worker-pool size; the
+// reporting writes are exactly the output size. cfg.Interrupt is polled
+// between query grains.
+func (t *Tree) QueryBatch(qs []Query2D, cfg config.Config) (*qbatch.Packed[Point], error) {
+	return qbatch.Run(cfg, "rangetree/query-batch", qs,
+		func(q Query2D, wk asymmem.Worker, _ *struct{}, emit func(Point)) {
+			t.queryH(q.XL, q.XR, q.YB, q.YT, wk, func(p Point) bool {
+				emit(p)
+				return true
+			})
+		})
+}

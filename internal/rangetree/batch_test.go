@@ -1,0 +1,80 @@
+package rangetree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+)
+
+// TestQueryBatchEquivalence asserts QueryBatch is indistinguishable from a
+// sequential Query loop — identical per-query result sequences and
+// bit-identical counted costs — at P ∈ {1, 2, 8}. Run under -race in CI.
+func TestQueryBatchEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	xs, ys := gen.UniformFloats(n, 51), gen.UniformFloats(n, 52)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	ws := gen.UniformFloats(4*250, 53)
+	qs := make([]Query2D, 250)
+	for i := range qs {
+		xl, xr := ws[4*i], ws[4*i+1]
+		if xr < xl {
+			xl, xr = xr, xl
+		}
+		yb, yt := ws[4*i+2], ws[4*i+3]
+		if yt < yb {
+			yb, yt = yt, yb
+		}
+		qs[i] = Query2D{XL: xl, XR: xr, YB: yb, YT: yt}
+	}
+	qs = append(qs, Query2D{XL: -1, XR: 2, YB: -1, YT: 2}, Query2D{XL: 0.9, XR: 0.1, YB: 0, YT: 1})
+	for _, alpha := range []int{0, 8} {
+		m := asymmem.NewMeterShards(8)
+		tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		before := m.Snapshot()
+		seq := make([][]Point, len(qs))
+		for i, q := range qs {
+			tr.Query(q.XL, q.XR, q.YB, q.YT, func(p Point) bool {
+				seq[i] = append(seq[i], p)
+				return true
+			})
+		}
+		seqCost := m.Snapshot().Sub(before)
+
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			before := m.Snapshot()
+			out, err := tr.QueryBatch(qs, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != seqCost {
+				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
+			}
+			for i := range qs {
+				got := out.Results(i)
+				if len(got) == 0 && len(seq[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, seq[i]) {
+					t.Fatalf("alpha=%d P=%d query %d: batch differs from sequential", alpha, p, i)
+				}
+			}
+		}
+	}
+}

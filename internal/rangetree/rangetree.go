@@ -408,8 +408,11 @@ func (t *Tree) setInner(n *node, list []Point) {
 }
 
 // setInnerW is setInner charging a worker-local handle; the statistics
-// update takes the stats lock because inner trees build concurrently.
+// update takes the stats lock because inner trees build concurrently. One
+// inner tree builds per call, so the spine scratch is call-local (a
+// worker-indexed pool would break under a mid-flight SetWorkers resize).
 func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker) {
+	var sc treap.Scratch[yKey]
 	n.inner = treap.NewW(yLess, yPrio, wk).WithValues(ySum)
 	keys := make([]yKey, len(list))
 	n.pts = make(map[int32]Point, len(list))
@@ -417,7 +420,7 @@ func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker) {
 		keys[i] = yKey{p.Y, p.ID}
 		n.pts[p.ID] = p
 	}
-	n.inner.FromSorted(keys)
+	n.inner.FromSortedScratch(keys, &sc)
 	wk.WriteN(len(list))
 	t.statsMu.Lock()
 	t.stats.InnerTotalSize += int64(len(list))
@@ -427,51 +430,60 @@ func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker) {
 
 // Query reports every live point with x ∈ [xL, xR] and y ∈ [yB, yT].
 func (t *Tree) Query(xL, xR, yB, yT float64, visit func(Point) bool) {
-	t.query(t.root, math.Inf(-1), math.Inf(1), xL, xR, yB, yT, visit)
+	t.queryH(xL, xR, yB, yT, t.meter, func(p Point) bool {
+		t.meter.Write()
+		return visit(p)
+	})
+}
+
+// queryH is the handle-parameterized visitor core shared by Query and
+// QueryBatch: the same outer walk and critical-cover reporting, charging
+// its reads to h and leaving the reporting writes to the caller (one per
+// visit sequentially; the packed output size in bulk for a batch), so both
+// call shapes count identically.
+func (t *Tree) queryH(xL, xR, yB, yT float64, h asymmem.Worker, visit func(Point) bool) {
+	t.query(t.root, math.Inf(-1), math.Inf(1), xL, xR, yB, yT, h, visit)
 }
 
 // query walks the outer tree; fully-covered subtrees are answered from the
 // nearest inner trees at or below their root.
-func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, visit func(Point) bool) bool {
+func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
 	if n == nil || hi < xL || lo > xR {
 		return true
 	}
-	t.meter.Read()
+	h.Read()
 	if n.leaf {
 		if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
-			t.meter.Write()
 			return visit(n.pt)
 		}
 		return true
 	}
 	if lo >= xL && hi <= xR {
 		// Canonical subtree: report from the critical cover.
-		return t.reportCover(n, yB, yT, visit)
+		return t.reportCover(n, yB, yT, h, visit)
 	}
-	if !t.query(n.left, lo, n.key, xL, xR, yB, yT, visit) {
+	if !t.query(n.left, lo, n.key, xL, xR, yB, yT, h, visit) {
 		return false
 	}
-	return t.query(n.right, n.key, hi, xL, xR, yB, yT, visit)
+	return t.query(n.right, n.key, hi, xL, xR, yB, yT, h, visit)
 }
 
 // reportCover reports points with y ∈ [yB, yT] under n using the maximal
 // critical descendants' inner trees (n itself if critical).
-func (t *Tree) reportCover(n *node, yB, yT float64, visit func(Point) bool) bool {
+func (t *Tree) reportCover(n *node, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
 	if n == nil {
 		return true
 	}
-	t.meter.Read()
+	h.Read()
 	if n.critical {
 		if n.leaf {
 			if !n.dead && n.pt.Y >= yB && n.pt.Y <= yT {
-				t.meter.Write()
 				return visit(n.pt)
 			}
 			return true
 		}
 		ok := true
-		n.inner.Range(yKey{yB, math.MinInt32}, yKey{yT, math.MaxInt32}, func(k yKey) bool {
-			t.meter.Write()
+		n.inner.RangeH(yKey{yB, math.MinInt32}, yKey{yT, math.MaxInt32}, h, func(k yKey) bool {
 			if !visit(n.pts[k.id]) {
 				ok = false
 				return false
@@ -480,10 +492,10 @@ func (t *Tree) reportCover(n *node, yB, yT float64, visit func(Point) bool) bool
 		})
 		return ok
 	}
-	if !t.reportCover(n.left, yB, yT, visit) {
+	if !t.reportCover(n.left, yB, yT, h, visit) {
 		return false
 	}
-	return t.reportCover(n.right, yB, yT, visit)
+	return t.reportCover(n.right, yB, yT, h, visit)
 }
 
 // Count returns the number of live points in the query rectangle. Counting

@@ -19,10 +19,14 @@ import (
 )
 
 // Pair is one record to semisort.
+//
+// Deprecated: use prims.Pair.
 type Pair = prims.Pair
 
 // Group is a run of records sharing a key, referencing a slice of the
 // semisorted output.
+//
+// Deprecated: use prims.Group.
 type Group = prims.Group
 
 // Semisort groups the pairs by key. The returned groups reference freshly

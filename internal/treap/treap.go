@@ -357,16 +357,45 @@ func (t *Tree[K]) dropMinIfEqual(n *node[K], k K) *node[K] {
 	return n
 }
 
+// Scratch is reusable construction state for FromSortedScratch: one value
+// per sequential loop block, threaded through loops that fill many treaps
+// (the per-node inner-tree fills of the interval tree), replaces the
+// per-call spine-stack allocation FromSorted would otherwise make for
+// every tree. A Scratch must not be shared by concurrent builds. The zero
+// value is ready to use.
+type Scratch[K any] struct {
+	stack []*node[K]
+}
+
 // FromSorted replaces t's contents with the strictly increasing keys,
 // building the canonical treap in O(n) time and writes via the rightmost-
 // spine (Cartesian tree) construction.
 func (t *Tree[K]) FromSorted(keys []K) {
+	var sc Scratch[K]
+	t.FromSortedScratch(keys, &sc)
+}
+
+// FromSortedScratch is FromSorted reusing the caller's scratch for the
+// rightmost-spine stack; hot loops that build one treap per tree node hoist
+// one Scratch per worker instead of allocating per call.
+func (t *Tree[K]) FromSortedScratch(keys []K, sc *Scratch[K]) {
 	t.root = nil
 	t.size = len(keys)
 	if len(keys) == 0 {
 		return
 	}
-	stack := make([]*node[K], 0, 64)
+	if cap(sc.stack) == 0 {
+		sc.stack = make([]*node[K], 0, 64)
+	}
+	stack := sc.stack[:0]
+	defer func() {
+		// Hand the (possibly grown) backing array back, cleared to its
+		// high-water mark — spine pops leave stale pointers beyond the
+		// final length — so the scratch does not pin this treap's nodes
+		// past the next build.
+		clear(stack[:cap(stack)])
+		sc.stack = stack[:0]
+	}()
 	for _, k := range keys {
 		n := &node[K]{key: k, prio: t.prio(k), count: 1}
 		if t.value != nil {
@@ -401,12 +430,20 @@ func (t *Tree[K]) FromSorted(keys []K) {
 
 // InOrder visits all keys in increasing order; stop early by returning false.
 func (t *Tree[K]) InOrder(visit func(k K) bool) {
+	t.InOrderH(t.meter, visit)
+}
+
+// InOrderH is InOrder charging the traversal reads to h instead of the
+// tree's own handle — the form the batched-query runtime uses so a query
+// charges the worker it runs as (and can re-run uncharged with the zero
+// handle).
+func (t *Tree[K]) InOrderH(h asymmem.Worker, visit func(k K) bool) {
 	var rec func(n *node[K]) bool
 	rec = func(n *node[K]) bool {
 		if n == nil {
 			return true
 		}
-		t.meter.Read()
+		h.Read()
 		return rec(n.left) && visit(n.key) && rec(n.right)
 	}
 	rec(t.root)
@@ -415,12 +452,18 @@ func (t *Tree[K]) InOrder(visit func(k K) bool) {
 // ReverseInOrder visits all keys in decreasing order; stop early by
 // returning false.
 func (t *Tree[K]) ReverseInOrder(visit func(k K) bool) {
+	t.ReverseInOrderH(t.meter, visit)
+}
+
+// ReverseInOrderH is ReverseInOrder charging the traversal reads to h (see
+// InOrderH).
+func (t *Tree[K]) ReverseInOrderH(h asymmem.Worker, visit func(k K) bool) {
 	var rec func(n *node[K]) bool
 	rec = func(n *node[K]) bool {
 		if n == nil {
 			return true
 		}
-		t.meter.Read()
+		h.Read()
 		return rec(n.right) && visit(n.key) && rec(n.left)
 	}
 	rec(t.root)
@@ -435,12 +478,17 @@ func (t *Tree[K]) Keys() []K {
 
 // Range visits keys k with lo ≤ k < hi in increasing order.
 func (t *Tree[K]) Range(lo, hi K, visit func(k K) bool) {
+	t.RangeH(lo, hi, t.meter, visit)
+}
+
+// RangeH is Range charging the traversal reads to h (see InOrderH).
+func (t *Tree[K]) RangeH(lo, hi K, h asymmem.Worker, visit func(k K) bool) {
 	var rec func(n *node[K]) bool
 	rec = func(n *node[K]) bool {
 		if n == nil {
 			return true
 		}
-		t.meter.Read()
+		h.Read()
 		if !t.less(n.key, lo) { // n.key >= lo: left subtree may contain range
 			if !rec(n.left) {
 				return false

@@ -57,6 +57,21 @@ type Report struct {
 	// Engine's WithParallelism value, or the runtime default). Compare
 	// with ActiveWorkers to see how far a parallel build actually spread.
 	Workers int
+	// Queries and Results are the batch dimensions of a batched-query run
+	// (Engine.StabBatch, KNNBatch, ...): how many queries the batch
+	// evaluated and how many results they reported in total. Zero for
+	// construction runs.
+	Queries int
+	Results int64
+}
+
+// QPS returns a batched-query run's throughput in queries per second
+// (0 when the report is not from a batch or the wall time is zero).
+func (r *Report) QPS() float64 {
+	if r.Queries == 0 || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Wall.Seconds()
 }
 
 // ActiveWorkers reports how many workers charged at least one access during
@@ -120,6 +135,9 @@ func (r *Report) PhaseTotals() map[string]Snapshot {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers)
+	if r.Queries > 0 {
+		fmt.Fprintf(&b, " queries=%d results=%d qps=%.0f", r.Queries, r.Results, r.QPS())
+	}
 	totals := r.PhaseTotals()
 	names := make([]string, 0, len(totals))
 	for name := range totals {

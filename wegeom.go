@@ -25,6 +25,11 @@
 //   - NewIntervalTree, NewPriorityTree, NewRangeTree — §7's post-sorted
 //     constructions and α-labeled dynamic versions.
 //   - ConvexHull — the §2.2 building block.
+//   - StabBatch, Query3SidedBatch, RangeQueryBatch, KNNBatch, KDRangeBatch,
+//     LocateBatch — the batched-query serving layer (batch.go): query
+//     batches fan across the worker pool and come back packed, with
+//     reporting writes charged at exactly the output size and Reports
+//     carrying query throughput.
 //
 // Every run charges a Meter counting simulated large-memory reads and
 // writes (the Asymmetric NP model's cost measure). See README.md for a
@@ -199,6 +204,10 @@ func NewIntervalTree(ivs []Interval, alpha int, m *Meter) (*IntervalTree, error)
 // PSTPoint is a point with coordinate X and priority Y.
 type PSTPoint = pst.Point
 
+// PSTQuery is one 3-sided query for Engine.Query3SidedBatch: report every
+// live point with x ∈ [XL, XR] and y ≥ YB.
+type PSTQuery = pst.Query3
+
 // PriorityTree answers 3-sided queries.
 type PriorityTree = pst.Tree
 
@@ -213,6 +222,10 @@ func NewPriorityTree(pts []PSTPoint, alpha int, m *Meter) *PriorityTree {
 
 // RTPoint is a 2D point for the range tree.
 type RTPoint = rangetree.Point
+
+// RTQuery is one rectangle query for Engine.RangeQueryBatch: report every
+// live point with x ∈ [XL, XR] and y ∈ [YB, YT].
+type RTQuery = rangetree.Query2D
 
 // RangeTree answers 2D orthogonal range queries.
 type RangeTree = rangetree.Tree
