@@ -68,6 +68,25 @@ func (e *Engine) StabBatch(ctx context.Context, t *IntervalTree, qs []float64) (
 		func(cfg config.Config) (*IntervalBatch, error) { return t.StabBatch(qs, cfg) })
 }
 
+// StabCountBatch answers a batch of counting stabbing queries on t:
+// out[i] is the number of live intervals containing qs[i]. A count has no
+// output term, so the batch charges only traversal reads — no write pass
+// at all — making it the cheapest query under the asymmetric model.
+// Results stays 0 on the Report: nothing is reported, only counted.
+func (e *Engine) StabCountBatch(ctx context.Context, t *IntervalTree, qs []float64) ([]int64, *Report, error) {
+	var out []int64
+	rep, err := e.run(ctx, "stab-count-batch", func(cfg config.Config) error {
+		var ferr error
+		out, ferr = t.CountBatch(qs, cfg)
+		return ferr
+	})
+	rep.Queries = len(qs)
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
 // Query3SidedBatch answers a batch of 3-sided queries on t (x ∈ [XL, XR],
 // y ≥ YB): query i's points are out.Results(i).
 func (e *Engine) Query3SidedBatch(ctx context.Context, t *PriorityTree, qs []PSTQuery) (*PSTBatch, *Report, error) {

@@ -1,0 +1,224 @@
+package wegeom
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// buildAllStructures constructs one of each query structure on e from fixed
+// seeds, so the original and the restored replica face identical data.
+func buildAllStructures(t *testing.T, e *Engine) *Checkpoint {
+	t.Helper()
+	ctx := context.Background()
+	const n = 1200
+
+	givs := gen.UniformIntervals(n, 0.05, 1)
+	ivs := make([]Interval, n)
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	itree, _, err := e.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		t.Fatalf("NewIntervalTree: %v", err)
+	}
+
+	xs := gen.UniformFloats(n, 2)
+	ys := gen.UniformFloats(n, 3)
+	ppts := make([]PSTPoint, n)
+	rpts := make([]RTPoint, n)
+	for i := 0; i < n; i++ {
+		ppts[i] = PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+		rpts[i] = RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	ptree, _, err := e.NewPriorityTree(ctx, ppts)
+	if err != nil {
+		t.Fatalf("NewPriorityTree: %v", err)
+	}
+	rtree, _, err := e.NewRangeTree(ctx, rpts)
+	if err != nil {
+		t.Fatalf("NewRangeTree: %v", err)
+	}
+
+	kpts := gen.UniformKPoints(n, 2, 4)
+	kitems := make([]KDItem, n)
+	for i, p := range kpts {
+		kitems[i] = KDItem{P: p, ID: int32(i)}
+	}
+	kdt, _, err := e.BuildKDTree(ctx, 2, kitems)
+	if err != nil {
+		t.Fatalf("BuildKDTree: %v", err)
+	}
+
+	dpts := e.ShufflePoints(gen.UniformPoints(500, 5))
+	tri, _, err := e.Triangulate(ctx, dpts)
+	if err != nil {
+		t.Fatalf("Triangulate: %v", err)
+	}
+
+	return &Checkpoint{Interval: itree, Priority: ptree, Range: rtree, KD: kdt, Delaunay: tri}
+}
+
+// TestCheckpointRoundTrip is the acceptance check for the checkpoint
+// subsystem: a restored replica answers a fixed query batch with exactly the
+// same packed results AND the same counted model costs as the original.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	engA := NewEngine()
+	orig := buildAllStructures(t, engA)
+
+	var buf bytes.Buffer
+	if _, err := engA.SaveCheckpoint(ctx, &buf, orig); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	engB := NewEngine()
+	restored, loadRep, err := engB.LoadCheckpoint(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if restored.Interval == nil || restored.Priority == nil || restored.Range == nil ||
+		restored.KD == nil || restored.Delaunay == nil {
+		t.Fatal("LoadCheckpoint left structures nil")
+	}
+	if loadRep.Total.Writes == 0 {
+		t.Error("restore charged no writes; boot cost should be O(n) writes")
+	}
+
+	// checkBatch runs the same batched query against the original (on engA)
+	// and the restored replica (on engB) and requires identical packed
+	// results and identical counted costs.
+	checkBatch := func(name string, run func(e *Engine, c *Checkpoint) (items, offs any, rep *Report, err error)) {
+		t.Helper()
+		ia, oa, ra, err := run(engA, orig)
+		if err != nil {
+			t.Fatalf("%s on original: %v", name, err)
+		}
+		ib, ob, rb, err := run(engB, restored)
+		if err != nil {
+			t.Fatalf("%s on restored: %v", name, err)
+		}
+		if !reflect.DeepEqual(ia, ib) {
+			t.Errorf("%s: packed items differ between original and restored", name)
+		}
+		if !reflect.DeepEqual(oa, ob) {
+			t.Errorf("%s: packed offsets differ between original and restored", name)
+		}
+		if ra.Total != rb.Total {
+			t.Errorf("%s: counted costs differ: original %v, restored %v", name, ra.Total, rb.Total)
+		}
+	}
+
+	stabQs := gen.UniformFloats(300, 9)
+	checkBatch("StabBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.StabBatch(ctx, c.Interval, stabQs)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+
+	checkBatch("StabCountBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.StabCountBatch(ctx, c.Interval, stabQs)
+		return out, nil, rep, err
+	})
+
+	q3xs := gen.UniformFloats(100, 10)
+	q3 := make([]PSTQuery, len(q3xs))
+	for i, x := range q3xs {
+		q3[i] = PSTQuery{XL: x, XR: x + 0.15, YB: 0.4}
+	}
+	checkBatch("Query3SidedBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.Query3SidedBatch(ctx, c.Priority, q3)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+
+	rq := make([]RTQuery, len(q3xs))
+	for i, x := range q3xs {
+		rq[i] = RTQuery{XL: x, XR: x + 0.2, YB: 0.1, YT: 0.6}
+	}
+	checkBatch("RangeQueryBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.RangeQueryBatch(ctx, c.Range, rq)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+
+	knnQs := gen.UniformKPoints(100, 2, 11)
+	checkBatch("KNNBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.KNNBatch(ctx, c.KD, knnQs, 5)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+
+	boxes := make([]KBox, len(knnQs))
+	for i, p := range knnQs {
+		boxes[i] = KBox{
+			Min: KPoint{p[0] - 0.05, p[1] - 0.05},
+			Max: KPoint{p[0] + 0.05, p[1] + 0.05},
+		}
+	}
+	checkBatch("KDRangeBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.KDRangeBatch(ctx, c.KD, boxes)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+
+	locQs := gen.UniformPoints(150, 12)
+	checkBatch("LocateBatch", func(e *Engine, c *Checkpoint) (any, any, *Report, error) {
+		out, rep, err := e.LocateBatch(ctx, c.Delaunay, locQs)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		return out.Items, out.Off, rep, nil
+	})
+}
+
+// TestCheckpointPartial saves a checkpoint holding a single structure and
+// checks the other fields stay nil on load.
+func TestCheckpointPartial(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine()
+	givs := gen.UniformIntervals(100, 0.1, 7)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	itree, _, err := eng.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.SaveCheckpoint(ctx, &buf, &Checkpoint{Interval: itree}); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := NewEngine().LoadCheckpoint(ctx, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interval == nil {
+		t.Error("interval tree not restored")
+	}
+	if out.Priority != nil || out.Range != nil || out.KD != nil || out.Delaunay != nil {
+		t.Error("unexpected structures restored from a single-section checkpoint")
+	}
+}
+
+// TestCheckpointRejectsGarbage feeds a corrupted file to LoadCheckpoint.
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	ctx := context.Background()
+	if _, _, err := NewEngine().LoadCheckpoint(ctx, bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

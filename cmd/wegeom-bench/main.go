@@ -54,8 +54,20 @@ func main() {
 	scalingOut := flag.String("scaling-out", "BENCH_scaling.json", "output path for the -scaling JSON report")
 	scalingMaxP := flag.Int("scaling-maxp", 0, "largest worker-pool size for -scaling (0 = GOMAXPROCS)")
 	scalingReps := flag.Int("scaling-reps", 3, "repetitions per (workload, P) point in -scaling; best is kept")
+	serveBench := flag.Bool("serve", false, "load-test the wegeom-serve daemon over HTTP (boots it in-process) and exit -> BENCH_serve.json")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the -serve JSON report")
+	serveConc := flag.Int("serve-conc", 16, "concurrent HTTP clients for -serve")
+	serveReqs := flag.Int("serve-reqs", 3000, "total requests for -serve")
+	serveN := flag.Int("serve-n", 20000, "structure size for -serve")
 	flag.Parse()
 
+	if *serveBench {
+		if err := runServeBench(*serveOut, *serveConc, *serveReqs, *serveN); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scaling {
 		if err := runScaling(*scalingOut, *scalingMaxP, *scalingReps); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,294 @@
+package main
+
+// The -serve mode load-tests the wegeom-serve daemon: it boots the serving
+// layer in-process, exposes it on a loopback listener, and drives a mixed
+// single-query workload over real HTTP at a configurable concurrency. The
+// report (BENCH_serve.json) records per-endpoint latency percentiles, the
+// achieved coalesced-batch sizes (the quantity the daemon exists to
+// maximize: batch size > 1 means concurrent singles amortized one batched
+// run's write pass), and whether the /metrics counters reconcile with the
+// server's own Report totals.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+type serveLatency struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+type serveReport struct {
+	Concurrency int            `json:"concurrency"`
+	Requests    int            `json:"requests"`
+	N           int            `json:"n"`
+	MaxBatch    int            `json:"max_batch"`
+	MaxWaitMs   float64        `json:"max_wait_ms"`
+	WallMs      float64        `json:"wall_ms"`
+	QPS         float64        `json:"qps"`
+	Latencies   []serveLatency `json:"latencies"`
+	Overall     serveLatency   `json:"overall"`
+	Coalescing  struct {
+		Requests       int64   `json:"requests"`
+		Flushes        int64   `json:"flushes"`
+		MeanBatch      float64 `json:"mean_batch"`
+		SizeFlushes    int64   `json:"size_flushes"`
+		TimeoutFlushes int64   `json:"timeout_flushes"`
+		DrainFlushes   int64   `json:"drain_flushes"`
+		Retries        int64   `json:"retries"`
+	} `json:"coalescing"`
+	Reconcile struct {
+		MetricsReads  int64 `json:"metrics_reads"`
+		MetricsWrites int64 `json:"metrics_writes"`
+		ReportReads   int64 `json:"report_reads"`
+		ReportWrites  int64 `json:"report_writes"`
+		Match         bool  `json:"match"`
+	} `json:"reconcile"`
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func summarize(endpoint string, lats []time.Duration, errs int) serveLatency {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	mean := 0.0
+	if len(lats) > 0 {
+		mean = float64(sum) / float64(len(lats)) / float64(time.Millisecond)
+	}
+	return serveLatency{
+		Endpoint: endpoint,
+		Requests: len(lats),
+		Errors:   errs,
+		P50ms:    percentile(lats, 0.50),
+		P95ms:    percentile(lats, 0.95),
+		P99ms:    percentile(lats, 0.99),
+		MeanMs:   mean,
+	}
+}
+
+// serveWorkload returns the i-th request's path: a fixed mix over the six
+// endpoints, deterministic in i so every run drives the same queries.
+func serveWorkload(i int, rng *rand.Rand) string {
+	q := rng.Float64()
+	switch i % 6 {
+	case 0:
+		return fmt.Sprintf("/stab?q=%.4f", q)
+	case 1:
+		return fmt.Sprintf("/stab/count?q=%.4f", q)
+	case 2:
+		return fmt.Sprintf("/query3sided?xl=%.4f&xr=%.4f&yb=0.6", q, q+0.1)
+	case 3:
+		return fmt.Sprintf("/range?xl=%.4f&xr=%.4f&yb=0.3&yt=0.6", q, q+0.1)
+	case 4:
+		return fmt.Sprintf("/knn?x=%.4f&y=%.4f&k=4", q, 1-q)
+	default:
+		return fmt.Sprintf("/locate?x=%.4f&y=%.4f", 0.1+0.8*q, 0.1+0.8*rng.Float64())
+	}
+}
+
+// scrapeModelTotals pulls wegeom_model_total_{reads,writes} from /metrics.
+func scrapeModelTotals(base string) (reads, writes int64, err error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	parse := func(line, prefix string, dst *int64) error {
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, prefix)), 10, 64)
+		if err == nil {
+			*dst = v
+		}
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "wegeom_model_total_reads "):
+			err = parse(line, "wegeom_model_total_reads ", &reads)
+		case strings.HasPrefix(line, "wegeom_model_total_writes "):
+			err = parse(line, "wegeom_model_total_writes ", &writes)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return reads, writes, sc.Err()
+}
+
+func runServeBench(out string, conc, reqs, n int) error {
+	ctx := context.Background()
+	cfg := serve.Config{
+		N:        n,
+		Seed:     7,
+		MaxBatch: 64,
+		MaxWait:  2 * time.Millisecond,
+	}
+	fmt.Printf("serve bench: booting daemon (n=%d)...\n", cfg.N)
+	s, err := serve.Boot(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serve bench: %s, %d requests at concurrency %d\n", base, reqs, conc)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	type sample struct {
+		endpoint string
+		lat      time.Duration
+		err      bool
+	}
+	samples := make([]sample, reqs)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := range next {
+				path := serveWorkload(i, rng)
+				endpoint := path
+				if j := strings.IndexByte(path, '?'); j >= 0 {
+					endpoint = path[:j]
+				}
+				t0 := time.Now()
+				resp, err := client.Get(base + path)
+				lat := time.Since(t0)
+				failed := err != nil
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					failed = resp.StatusCode != http.StatusOK
+				}
+				samples[i] = sample{endpoint: endpoint, lat: lat, err: failed}
+			}
+		}(w)
+	}
+	for i := 0; i < reqs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Quiesce: drain pending windows so the batch counters are final, then
+	// reconcile /metrics against the server's own totals while the HTTP
+	// surface is still up.
+	cs := s.CoalesceStats()
+	mReads, mWrites, err := scrapeModelTotals(base)
+	if err != nil {
+		return err
+	}
+	_, total := s.Totals()
+
+	srv.Shutdown(ctx)
+	s.Close()
+
+	byEndpoint := make(map[string][]time.Duration)
+	byEndpointErrs := make(map[string]int)
+	var all []time.Duration
+	allErrs := 0
+	for _, sm := range samples {
+		if sm.err {
+			byEndpointErrs[sm.endpoint]++
+			allErrs++
+			continue
+		}
+		byEndpoint[sm.endpoint] = append(byEndpoint[sm.endpoint], sm.lat)
+		all = append(all, sm.lat)
+	}
+
+	rep := serveReport{
+		Concurrency: conc,
+		Requests:    reqs,
+		N:           cfg.N,
+		MaxBatch:    64,
+		MaxWaitMs:   2,
+		WallMs:      float64(wall) / float64(time.Millisecond),
+		QPS:         float64(reqs) / wall.Seconds(),
+	}
+	endpoints := make([]string, 0, len(byEndpoint))
+	for ep := range byEndpoint {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		rep.Latencies = append(rep.Latencies, summarize(ep, byEndpoint[ep], byEndpointErrs[ep]))
+	}
+	rep.Overall = summarize("overall", all, allErrs)
+	rep.Coalescing.Requests = cs.Requests
+	rep.Coalescing.Flushes = cs.SizeFlushes + cs.TimeoutFlushes + cs.DrainFlushes
+	rep.Coalescing.MeanBatch = cs.MeanBatch()
+	rep.Coalescing.SizeFlushes = cs.SizeFlushes
+	rep.Coalescing.TimeoutFlushes = cs.TimeoutFlushes
+	rep.Coalescing.DrainFlushes = cs.DrainFlushes
+	rep.Coalescing.Retries = cs.Retries
+	rep.Reconcile.MetricsReads = mReads
+	rep.Reconcile.MetricsWrites = mWrites
+	rep.Reconcile.ReportReads = total.Reads
+	rep.Reconcile.ReportWrites = total.Writes
+	rep.Reconcile.Match = mReads == total.Reads && mWrites == total.Writes
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("serve bench: %.0f req/s, overall p50=%.2fms p95=%.2fms p99=%.2fms (%d errors)\n",
+		rep.QPS, rep.Overall.P50ms, rep.Overall.P95ms, rep.Overall.P99ms, allErrs)
+	fmt.Printf("serve bench: mean coalesced batch %.2f over %d flushes (%d size, %d timeout); reconcile=%v\n",
+		rep.Coalescing.MeanBatch, rep.Coalescing.Flushes, cs.SizeFlushes, cs.TimeoutFlushes, rep.Reconcile.Match)
+	fmt.Printf("serve bench: wrote %s\n", out)
+	if conc >= 8 && rep.Coalescing.MeanBatch <= 1 {
+		return fmt.Errorf("serve bench: mean batch size %.2f at concurrency %d; coalescing is not engaging", rep.Coalescing.MeanBatch, conc)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// wegeom-serve is the long-lived batch-serving daemon over this module's
+// write-efficient structures: it builds (or restores from a checkpoint) one
+// interval tree, priority search tree, range tree, k-d tree, and Delaunay
+// tracing DAG, then serves single queries over HTTP, coalescing concurrent
+// requests of one kind into batched Engine runs so serving inherits the
+// batch layer's write-efficiency.
+//
+// Usage:
+//
+//	go run ./cmd/wegeom-serve -addr :8080 -n 20000
+//	go run ./cmd/wegeom-serve -restore serve.ckpt           # boot a replica
+//	go run ./cmd/wegeom-serve -checkpoint serve.ckpt        # save after boot
+//
+// Endpoints: /stab, /stab/count, /query3sided, /range, /knn, /kdrange,
+// /locate, /healthz, /metrics (Prometheus text). SIGINT/SIGTERM drain
+// in-flight batches before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	n := flag.Int("n", 20000, "intervals/points per structure when building from generated data")
+	delaunayN := flag.Int("delaunay-n", 0, "Delaunay point count (0 = min(n, 2000))")
+	seed := flag.Uint64("seed", 1, "generator seed (same seed+n => identical replicas)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = runtime default)")
+	omega := flag.Int64("omega", 0, "write/read cost ratio (0 = module default)")
+	alpha := flag.Int("alpha", 0, "alpha-labeling parameter (0 = module default)")
+	maxBatch := flag.Int("max-batch", 64, "coalescer flush size")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush timeout")
+	restore := flag.String("restore", "", "boot from this checkpoint file instead of building")
+	checkpoint := flag.String("checkpoint", "", "write a checkpoint of the booted structures to this path, then serve")
+	flag.Parse()
+
+	ctx := context.Background()
+	boot := time.Now()
+	s, err := serve.Boot(ctx, serve.Config{
+		N:           *n,
+		DelaunayN:   *delaunayN,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+		Omega:       *omega,
+		Alpha:       *alpha,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		RestorePath: *restore,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	_, total := s.Totals()
+	how := "built"
+	if *restore != "" {
+		how = "restored"
+	}
+	fmt.Printf("wegeom-serve: structures %s in %s (model: %d reads, %d writes)\n",
+		how, time.Since(boot).Round(time.Millisecond), total.Reads, total.Writes)
+
+	if *checkpoint != "" {
+		if err := s.SaveCheckpoint(ctx, *checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wegeom-serve: checkpoint written to %s\n", *checkpoint)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("wegeom-serve: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("wegeom-serve: %s, draining\n", sig)
+		shutdownCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		s.Close() // flush pending windows, wait for in-flight batches
+		fmt.Println("wegeom-serve: drained")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		s.Close()
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,164 @@
+package wegeom
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context whose Err() starts returning context.Canceled
+// after a fixed number of polls — a deterministic stand-in for "the caller
+// cancels mid-run". The Engine wires cfg.Interrupt = ctx.Err and the batch
+// layer polls it between query grains, so the n-th poll aborts the run.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchCancellation drives every Engine batch method through three
+// contexts: live (must succeed), pre-canceled (must fail without results),
+// and canceled after a few polls (must abort mid-run and fail). The batch
+// layer polls between grains, so the countdown context exercises the
+// abort-while-running path deterministically.
+func TestBatchCancellation(t *testing.T) {
+	eng := NewEngine()
+	c := buildAllStructures(t, eng)
+	stabQs := make([]float64, 400)
+	pts := make([]KPoint, 400)
+	pq := make([]PSTQuery, 400)
+	rq := make([]RTQuery, 400)
+	boxes := make([]KBox, 400)
+	locs := make([]Point, 400)
+	for i := range stabQs {
+		v := float64(i) / 400
+		stabQs[i] = v
+		pts[i] = KPoint{v, 1 - v}
+		pq[i] = PSTQuery{XL: v, XR: v + 0.1, YB: 0.5}
+		rq[i] = RTQuery{XL: v, XR: v + 0.1, YB: 0.2, YT: 0.8}
+		boxes[i] = KBox{Min: KPoint{v, 0}, Max: KPoint{v + 0.1, 1}}
+		locs[i] = Point{X: 0.1 + 0.8*v, Y: 0.5}
+	}
+
+	methods := []struct {
+		name string
+		run  func(ctx context.Context) (any, *Report, error)
+	}{
+		{"StabBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.StabBatch(ctx, c.Interval, stabQs)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"StabCountBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.StabCountBatch(ctx, c.Interval, stabQs)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"Query3SidedBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.Query3SidedBatch(ctx, c.Priority, pq)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"RangeQueryBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.RangeQueryBatch(ctx, c.Range, rq)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"KNNBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.KNNBatch(ctx, c.KD, pts, 3)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"KDRangeBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.KDRangeBatch(ctx, c.KD, boxes)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+		{"LocateBatch", func(ctx context.Context) (any, *Report, error) {
+			out, rep, err := eng.LocateBatch(ctx, c.Delaunay, locs)
+			return anyOrNil(out == nil, out), rep, err
+		}},
+	}
+
+	for _, m := range methods {
+		t.Run(m.name, func(t *testing.T) {
+			out, _, err := m.run(context.Background())
+			if err != nil || out == nil {
+				t.Fatalf("live context: out=%v err=%v", out, err)
+			}
+
+			pre, cancel := context.WithCancel(context.Background())
+			cancel()
+			out, _, err = m.run(pre)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("pre-canceled context: err=%v, want context.Canceled", err)
+			}
+			if out != nil {
+				t.Errorf("pre-canceled context returned results")
+			}
+
+			// Cancel after a handful of polls: the run starts, then aborts
+			// between grains. Err must surface and results must be withheld.
+			out, _, err = m.run(newCountdownCtx(3))
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("mid-run cancellation: err=%v, want context.Canceled", err)
+			}
+			if out != nil {
+				t.Errorf("mid-run cancellation returned results")
+			}
+		})
+	}
+}
+
+// anyOrNil keeps a typed nil pointer from masquerading as a non-nil any.
+func anyOrNil(isNil bool, v any) any {
+	if isNil {
+		return nil
+	}
+	return v
+}
+
+// TestBatchCancellationPromptness: a canceled batch must stop charging the
+// meter almost immediately — the abort happens within one grain's work, so
+// the aborted run's cost must be far below the full run's.
+func TestBatchCancellationPromptness(t *testing.T) {
+	eng := NewEngine()
+	c := buildAllStructures(t, eng)
+	qs := make([]float64, 2000)
+	for i := range qs {
+		qs[i] = float64(i) / 2000
+	}
+	_, full, err := eng.StabBatch(context.Background(), c.Interval, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aborted, err := eng.StabBatch(newCountdownCtx(2), c.Interval, qs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+	if aborted.Total.Reads*4 > full.Total.Reads {
+		t.Errorf("aborted run charged %d reads; full run charges %d — cancellation is not prompt",
+			aborted.Total.Reads, full.Total.Reads)
+	}
+}
+
+// TestEngineRunHonorsDeadline: the wiring works for real deadline contexts
+// too, not only the countdown test double.
+func TestEngineRunHonorsDeadline(t *testing.T) {
+	eng := NewEngine()
+	c := buildAllStructures(t, eng)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := eng.LocateBatch(ctx, c.Delaunay, []Point{{X: 0.5, Y: 0.5}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want context.DeadlineExceeded", err)
+	}
+}

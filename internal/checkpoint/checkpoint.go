@@ -1,0 +1,276 @@
+// Package checkpoint is the versioned binary snapshot container the serving
+// layer uses to boot a replica without re-building its structures: each
+// structure package serializes its built form into one named section, and the
+// container frames the sections with a magic string, a format version, and a
+// trailing CRC so a truncated or corrupted file is rejected instead of
+// half-decoded.
+//
+// The framing is deliberately simple — varint-framed byte sections — because
+// the interesting invariant lives in the per-structure encodings: a restored
+// structure must answer queries with exactly the same packed results and
+// counted model costs as the original. The structure packages get that for
+// free from two design properties of this module: tree shapes are
+// deterministic functions of the key sets (treap priorities are key hashes,
+// outer trees are mid-rank splits), and query charges are pure functions of
+// the shape. So the encodings store keys and payloads, rebuild the canonical
+// shape on decode, and bit-identical query behaviour follows.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// magic opens every checkpoint file; the trailing digit is the container
+// format generation (bump on incompatible framing changes).
+const magic = "WEGCKPT1"
+
+// Version is the current payload version; Read rejects files written by a
+// newer version instead of misinterpreting their sections.
+const Version = 1
+
+// ErrCorrupt reports a checkpoint whose framing or CRC failed validation.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
+
+// Section is one structure's serialized snapshot: a kind tag ("interval",
+// "kdtree", ...) and its opaque payload.
+type Section struct {
+	Kind string
+	Data []byte
+}
+
+// Encoder appends primitive values to a growing byte buffer. Integers are
+// varint-coded; floats are fixed 8-byte little-endian IEEE bits so every
+// float round-trips exactly (NaN payloads included).
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer (owned by the encoder; copy to retain).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U64 appends an unsigned varint.
+func (e *Encoder) U64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// I64 appends a signed (zig-zag) varint.
+func (e *Encoder) I64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// I32 appends an int32 as a signed varint.
+func (e *Encoder) I32(v int32) { e.I64(int64(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends the float's IEEE bits as 8 little-endian bytes.
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads values written by an Encoder. Errors are sticky: the first
+// malformed read latches, every later read returns a zero value, and the
+// caller checks Err once at the end — decode loops stay linear instead of
+// error-checking every primitive.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder returns a decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+// Fail latches ErrCorrupt from outside the decoder — structure decoders call
+// it when a semantic invariant (an out-of-range index, a duplicate id) fails,
+// so their decode loop can bail through the same sticky-error path.
+func (d *Decoder) Fail() { d.fail() }
+
+// U64 reads an unsigned varint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// I64 reads a signed varint.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Int reads an int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// I32 reads an int32.
+func (d *Decoder) I32() int32 { return int32(d.I64()) }
+
+// Bool reads one byte as a bool.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.buf) {
+		d.fail()
+		return false
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	if b > 1 {
+		d.fail()
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads 8 little-endian bytes as a float.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Count(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+// Count reads an element count (written with U64) and validates it against
+// the bytes actually remaining (each element occupies at least minElemBytes),
+// so a corrupted length can never drive a huge allocation.
+func (d *Decoder) Count(minElemBytes int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > uint64(d.Remaining()/minElemBytes) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// Write frames the sections into w: the magic string, the payload version,
+// the section count, each section as (kind, data) with varint length
+// prefixes, and a trailing CRC-32 (IEEE) of everything before it.
+func Write(w io.Writer, sections []Section) error {
+	var e Encoder
+	e.buf = append(e.buf, magic...)
+	e.U64(Version)
+	e.U64(uint64(len(sections)))
+	for _, s := range sections {
+		e.String(s.Kind)
+		e.U64(uint64(len(s.Data)))
+		e.buf = append(e.buf, s.Data...)
+	}
+	sum := crc32.ChecksumIEEE(e.buf)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// Read parses a checkpoint produced by Write, verifying the magic, the
+// version, and the CRC before returning the sections.
+func Read(r io.Reader) ([]Section, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(magic)+4 || string(raw[:len(magic)]) != magic {
+		return nil, ErrCorrupt
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrCorrupt
+	}
+	d := NewDecoder(body[len(magic):])
+	if v := d.U64(); v != Version {
+		if d.err != nil {
+			return nil, ErrCorrupt
+		}
+		return nil, fmt.Errorf("checkpoint: version %d not supported (have %d)", v, Version)
+	}
+	n := d.Count(1)
+	sections := make([]Section, 0, n)
+	for i := 0; i < n; i++ {
+		kind := d.String()
+		size := d.Count(1)
+		if d.err != nil {
+			return nil, d.err
+		}
+		data := make([]byte, size)
+		copy(data, d.buf[d.pos:d.pos+size])
+		d.pos += size
+		sections = append(sections, Section{Kind: kind, Data: data})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.Remaining() != 0 {
+		return nil, ErrCorrupt
+	}
+	return sections, nil
+}

@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U64(0)
+	e.U64(1<<63 + 17)
+	e.I64(-42)
+	e.Int(123456789)
+	e.I32(-7)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.14159)
+	e.F64(math.Inf(-1))
+	e.F64(math.NaN())
+	e.F64(math.Copysign(0, -1))
+	e.String("hello")
+	e.String("")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := d.U64(); got != 1<<63+17 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d, want -42", got)
+	}
+	if got := d.Int(); got != 123456789 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.I32(); got != -7 {
+		t.Errorf("I32 = %d, want -7", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %v, want -Inf", got)
+	}
+	if got := d.F64(); !math.IsNaN(got) {
+		t.Errorf("F64 = %v, want NaN", got)
+	}
+	if got := d.F64(); got != 0 || !math.Signbit(got) {
+		t.Errorf("F64 = %v, want -0", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0x01})
+	_ = d.F64() // needs 8 bytes; fails
+	if d.Err() == nil {
+		t.Fatal("expected error after short F64")
+	}
+	// Every later read is a zero-valued no-op.
+	if got := d.U64(); got != 0 {
+		t.Errorf("U64 after error = %d, want 0", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String after error = %q, want empty", got)
+	}
+}
+
+func TestCountRejectsHostileLength(t *testing.T) {
+	var e Encoder
+	e.U64(1 << 40) // claims a trillion elements
+	d := NewDecoder(e.Bytes())
+	if got := d.Count(8); got != 0 || d.Err() == nil {
+		t.Fatalf("Count = %d, err = %v; want 0 and error", got, d.Err())
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	in := []Section{
+		{Kind: "interval", Data: []byte{1, 2, 3}},
+		{Kind: "kdtree", Data: nil},
+		{Kind: "delaunay", Data: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d sections, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind {
+			t.Errorf("section %d kind = %q, want %q", i, out[i].Kind, in[i].Kind)
+		}
+		if !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("section %d data mismatch", i)
+		}
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Section{{Kind: "x", Data: []byte("payload")}}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut += 3 {
+			if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for i := 0; i < len(good); i += 2 {
+			bad := append([]byte{}, good...)
+			bad[i] ^= 0x40
+			if _, err := Read(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("bit flip at %d accepted", i)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		if _, err := Read(strings.NewReader("NOTACKPT")); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Read(strings.NewReader("")); err == nil {
+			t.Fatal("empty file accepted")
+		}
+	})
+}
+
+func TestContainerRejectsFutureVersion(t *testing.T) {
+	// Hand-build a file claiming version 99 with a valid CRC.
+	var e Encoder
+	e.buf = append(e.buf, magic...)
+	e.U64(99)
+	e.U64(0)
+	var buf bytes.Buffer
+	buf.Write(e.Bytes())
+	buf.Write(binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(e.Bytes())))
+	_, err := Read(&buf)
+	if err == nil || err == ErrCorrupt {
+		t.Fatalf("err = %v, want a version error", err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package coalesce is the serving layer's admission queue: it groups
+// concurrently-arriving single queries of the same kind into one batched run
+// and demultiplexes the packed results back to per-request futures.
+//
+// The point is economic. The batched query layer (internal/qbatch) amortizes
+// its write pass — one scan, one offset array, contiguous packed output —
+// across the whole batch, so under the asymmetric read/write model a batch of
+// b queries is strictly cheaper than b one-shot runs. But a daemon receives
+// queries one at a time. The coalescer buys back the batch discount by
+// holding each request briefly: a batch flushes when it reaches MaxBatch
+// requests or when the oldest member has waited MaxWait, whichever comes
+// first. Under load the size trigger dominates and latency added is ~0;
+// when idle the time trigger bounds added latency at MaxWait.
+//
+// Flush rules are deterministic and unit-testable: the Clock is injected, so
+// tests drive the timeout path with a fake clock and the size path with
+// plain concurrency.
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("coalesce: closed")
+
+// Clock abstracts time for tests. After is the only operation the coalescer
+// needs: a channel that fires once d has elapsed.
+type Clock interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Options tunes one coalescer.
+type Options struct {
+	// MaxBatch flushes a batch as soon as this many requests are pending.
+	// Default 64.
+	MaxBatch int
+	// MaxWait flushes a batch once its oldest request has waited this long.
+	// Default 2ms.
+	MaxWait time.Duration
+	// Clock is the time source; nil means real time.
+	Clock Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	return o
+}
+
+// Demux is the result shape a batch runner returns: query i's results.
+// *qbatch.Packed[R] satisfies it; count-style runners wrap a flat slice.
+type Demux[R any] interface {
+	Results(i int) []R
+}
+
+// Slice adapts a flat one-result-per-query slice (e.g. the interval tree's
+// count batch) to the Demux interface.
+type Slice[R any] []R
+
+// Results returns the single result of query i.
+func (s Slice[R]) Results(i int) []R { return s[i : i+1] }
+
+// Runner executes one coalesced batch. ctx is canceled when every remaining
+// member's request context is canceled (or when the daemon shuts down), so
+// runners should thread it through to the Engine's batch methods.
+type Runner[Q, R any] func(ctx context.Context, qs []Q) (Demux[R], error)
+
+// Stats is a snapshot of one coalescer's counters.
+type Stats struct {
+	Requests       int64 // requests admitted into a batch
+	Batches        int64 // batches run (including retries)
+	SizeFlushes    int64 // flushes triggered by MaxBatch
+	TimeoutFlushes int64 // flushes triggered by MaxWait
+	DrainFlushes   int64 // flushes triggered by Close
+	Retries        int64 // batch re-runs after a member's cancellation aborted a run
+	// SizeHist[i] counts flushed batches with size in [2^i, 2^(i+1));
+	// bucket 16 collects everything ≥ 65536.
+	SizeHist [17]int64
+}
+
+// MeanBatch returns the mean achieved batch size (requests per flush), or 0
+// before the first flush.
+func (s Stats) MeanBatch() float64 {
+	flushes := s.SizeFlushes + s.TimeoutFlushes + s.DrainFlushes
+	if flushes == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(flushes)
+}
+
+func histBucket(size int) int {
+	if size < 1 {
+		return 0
+	}
+	b := bits.Len(uint(size)) - 1
+	if b > 16 {
+		b = 16
+	}
+	return b
+}
+
+type reply[R any] struct {
+	res []R
+	err error
+}
+
+type request[Q, R any] struct {
+	ctx  context.Context
+	q    Q
+	done chan reply[R]
+}
+
+// Coalescer groups single queries of one kind into batched runs.
+type Coalescer[Q, R any] struct {
+	run  Runner[Q, R]
+	opts Options
+
+	mu      sync.Mutex
+	pending []*request[Q, R]
+	// gen numbers the current accumulation window; the timer goroutine
+	// re-checks it so a timer from an already-flushed window does nothing.
+	gen    uint64
+	quit   chan struct{} // closed when the current window flushes early
+	closed bool
+	stats  Stats
+
+	wg sync.WaitGroup // open batch runs + live timers; Close waits on it
+}
+
+// New builds a coalescer that executes batches with run.
+func New[Q, R any](run Runner[Q, R], opts Options) *Coalescer[Q, R] {
+	return &Coalescer[Q, R]{run: run, opts: opts.withDefaults()}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Coalescer[Q, R]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pending returns the number of requests parked in the open window — for
+// tests and drain diagnostics; the value is stale the moment it returns.
+func (c *Coalescer[Q, R]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+const (
+	flushSize = iota
+	flushTimeout
+	flushDrain
+)
+
+// takeLocked steals the pending window for a flush, advances the generation,
+// and records the flush in the counters. Callers hold c.mu and then run the
+// returned members (takeLocked has already taken the wg obligation that
+// runBatch releases).
+func (c *Coalescer[Q, R]) takeLocked(reason int) []*request[Q, R] {
+	members := c.pending
+	c.pending = nil
+	c.gen++
+	if c.quit != nil {
+		close(c.quit)
+		c.quit = nil
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	switch reason {
+	case flushSize:
+		c.stats.SizeFlushes++
+	case flushTimeout:
+		c.stats.TimeoutFlushes++
+	case flushDrain:
+		c.stats.DrainFlushes++
+	}
+	c.stats.Requests += int64(len(members))
+	c.stats.SizeHist[histBucket(len(members))]++
+	c.wg.Add(1)
+	return members
+}
+
+// Submit admits one query, waits for its batch to run, and returns this
+// query's demultiplexed results. If ctx is canceled while waiting, Submit
+// returns ctx.Err() immediately; the batch itself aborts only once every
+// remaining member is canceled, so one caller's cancellation never fails
+// another's request.
+func (c *Coalescer[Q, R]) Submit(ctx context.Context, q Q) ([]R, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &request[Q, R]{ctx: ctx, q: q, done: make(chan reply[R], 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending = append(c.pending, r)
+	if len(c.pending) >= c.opts.MaxBatch {
+		// Size flush: the filling request's goroutine is the leader and runs
+		// the batch itself — no handoff latency on the hot path.
+		members := c.takeLocked(flushSize)
+		c.mu.Unlock()
+		c.runBatch(members)
+	} else {
+		if len(c.pending) == 1 {
+			// First request of a new window: arm the MaxWait timer.
+			quit := make(chan struct{})
+			c.quit = quit
+			gen := c.gen
+			c.wg.Add(1)
+			go c.timer(gen, quit)
+		}
+		c.mu.Unlock()
+	}
+
+	select {
+	case rep := <-r.done:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		// The batch may still run this query; the buffered done channel
+		// absorbs the late reply.
+		return nil, ctx.Err()
+	}
+}
+
+// timer flushes the window opened at generation gen once MaxWait elapses,
+// unless the window already flushed (gen moved on or quit closed).
+func (c *Coalescer[Q, R]) timer(gen uint64, quit chan struct{}) {
+	defer c.wg.Done()
+	select {
+	case <-c.opts.Clock.After(c.opts.MaxWait):
+	case <-quit:
+		return
+	}
+	c.mu.Lock()
+	if c.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	members := c.takeLocked(flushTimeout)
+	c.mu.Unlock()
+	c.runBatch(members)
+}
+
+// runBatch executes one flushed window, retrying with the surviving members
+// when a member's cancellation aborts the shared run. Each retry removes at
+// least one (canceled) member, so the loop terminates.
+func (c *Coalescer[Q, R]) runBatch(members []*request[Q, R]) {
+	defer c.wg.Done()
+	for len(members) > 0 {
+		// Drop members already canceled; they get their own ctx.Err(), and
+		// the batch is built from the live ones only.
+		live := members[:0]
+		for _, m := range members {
+			if err := m.ctx.Err(); err != nil {
+				m.done <- reply[R]{err: err}
+				continue
+			}
+			live = append(live, m)
+		}
+		members = live
+		if len(members) == 0 {
+			return
+		}
+		c.mu.Lock()
+		c.stats.Batches++
+		c.mu.Unlock()
+
+		// The batch context cancels only when every member has canceled:
+		// each member's AfterFunc decrements the count of still-waiting
+		// members and the last one out cancels the run.
+		bctx, cancel := context.WithCancel(context.Background())
+		remaining := int64(len(members))
+		var remainingMu sync.Mutex
+		stops := make([]func() bool, len(members))
+		for i, m := range members {
+			stops[i] = context.AfterFunc(m.ctx, func() {
+				remainingMu.Lock()
+				remaining--
+				last := remaining == 0
+				remainingMu.Unlock()
+				if last {
+					cancel()
+				}
+			})
+		}
+
+		qs := make([]Q, len(members))
+		for i, m := range members {
+			qs[i] = m.q
+		}
+		res, err := c.run(bctx, qs)
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+
+		if err == nil {
+			for i, m := range members {
+				m.done <- reply[R]{res: res.Results(i)}
+			}
+			return
+		}
+		// A context error with at least one canceled member means a
+		// member's cancellation aborted the shared run: retry with the
+		// survivors so one caller's cancellation doesn't fail the rest.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			anyCanceled := false
+			for _, m := range members {
+				if m.ctx.Err() != nil {
+					anyCanceled = true
+					break
+				}
+			}
+			if anyCanceled {
+				c.mu.Lock()
+				c.stats.Retries++
+				c.mu.Unlock()
+				continue
+			}
+		}
+		for _, m := range members {
+			m.done <- reply[R]{err: err}
+		}
+		return
+	}
+}
+
+// Close flushes the pending window, waits for every in-flight batch and
+// timer to finish, and makes further Submits fail with ErrClosed.
+func (c *Coalescer[Q, R]) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	members := c.takeLocked(flushDrain)
+	c.mu.Unlock()
+	if members != nil {
+		c.runBatch(members)
+	}
+	c.wg.Wait()
+}

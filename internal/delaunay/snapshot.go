@@ -1,0 +1,146 @@
+package delaunay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/geom"
+)
+
+// EncodeSnapshot serializes the completed triangulation for
+// internal/checkpoint: the point array (real points plus the three bounding
+// slots), the triangle arena with the full tracing DAG (parents, children,
+// encroachment sets, liveness), the build statistics, and the directed
+// edge-owner map (sorted by key so the bytes are deterministic). A restored
+// replica serves Locate/LocateBatch over the identical DAG, so traversal
+// order and counted costs are bit-identical. Encoding charges nothing.
+func (t *Triangulation) EncodeSnapshot(e *checkpoint.Encoder) {
+	e.U64(uint64(len(t.Pts)))
+	for _, p := range t.Pts {
+		e.F64(p.X)
+		e.F64(p.Y)
+	}
+	e.Int(t.N)
+	e.U64(uint64(len(t.Tris)))
+	for i := range t.Tris {
+		tr := &t.Tris[i]
+		for _, v := range tr.V {
+			e.I32(v)
+		}
+		for _, p := range tr.Parents {
+			e.I32(p)
+		}
+		e.U64(uint64(len(tr.kids)))
+		for _, k := range tr.kids {
+			e.I32(k)
+		}
+		e.U64(uint64(len(tr.enc)))
+		for _, p := range tr.enc {
+			e.I32(p)
+		}
+		e.I32(tr.minEnc)
+		e.I32(tr.depth)
+		e.Bool(tr.alive)
+	}
+	st := t.Stats
+	e.Int(st.Rounds)
+	e.Int(st.Created)
+	e.I64(st.EncWrites)
+	e.I64(st.InCircleTests)
+	e.I32(st.MaxDAGDepth)
+	e.I64(st.LocateVisited)
+	e.I64(st.LocateOutputs)
+	e.Int(st.Batches)
+	keys := make([]uint64, 0, len(t.owner))
+	for k := range t.owner {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U64(uint64(len(keys)))
+	for _, k := range keys {
+		e.U64(k)
+		e.I32(t.owner[k])
+	}
+}
+
+// DecodeSnapshot reconstructs a triangulation from EncodeSnapshot's bytes,
+// charging cfg.Meter the O(n) writes of laying the arena back down.
+// cfg.Interrupt is installed as the restored mesh's cancellation hook.
+func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Triangulation, error) {
+	t := &Triangulation{meter: cfg.Meter, interrupt: cfg.Interrupt}
+	wk := cfg.WorkerMeter(0)
+	np := d.Count(16)
+	pts := make([]geom.Point, np)
+	for i := 0; i < np; i++ {
+		pts[i] = geom.Point{X: d.F64(), Y: d.F64()}
+	}
+	t.N = d.Int()
+	if d.Err() == nil && (t.N < 0 || t.N+3 != np) {
+		d.Fail()
+	}
+	nt := d.Count(8)
+	tris := make([]Tri, nt)
+	for i := 0; i < nt; i++ {
+		tr := &tris[i]
+		for j := range tr.V {
+			tr.V[j] = d.I32()
+		}
+		for j := range tr.Parents {
+			tr.Parents[j] = d.I32()
+		}
+		if nk := d.Count(1); nk > 0 {
+			tr.kids = make([]int32, nk)
+			for j := range tr.kids {
+				tr.kids[j] = d.I32()
+			}
+		}
+		if ne := d.Count(1); ne > 0 {
+			tr.enc = make([]int32, ne)
+			for j := range tr.enc {
+				tr.enc[j] = d.I32()
+			}
+		}
+		tr.minEnc = d.I32()
+		tr.depth = d.I32()
+		tr.alive = d.Bool()
+	}
+	t.Stats.Rounds = d.Int()
+	t.Stats.Created = d.Int()
+	t.Stats.EncWrites = d.I64()
+	t.Stats.InCircleTests = d.I64()
+	t.Stats.MaxDAGDepth = d.I32()
+	t.Stats.LocateVisited = d.I64()
+	t.Stats.LocateOutputs = d.I64()
+	t.Stats.Batches = d.Int()
+	no := d.Count(2)
+	owner := make(map[uint64]int32, no)
+	for i := 0; i < no; i++ {
+		k := d.U64()
+		owner[k] = d.I32()
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("delaunay: decode snapshot: %w", err)
+	}
+	// Validate triangle references so a tampered snapshot cannot drive the
+	// DAG walk out of bounds.
+	inRange := func(id int32) bool { return id == noTri || (id >= 0 && int(id) < nt) }
+	for i := range tris {
+		for _, p := range tris[i].Parents {
+			if !inRange(p) {
+				return nil, fmt.Errorf("delaunay: decode snapshot: parent %d out of range", p)
+			}
+		}
+		for _, k := range tris[i].kids {
+			if k < 0 || int(k) >= nt {
+				return nil, fmt.Errorf("delaunay: decode snapshot: kid %d out of range", k)
+			}
+		}
+	}
+	t.Pts = pts
+	t.Tris = tris
+	t.owner = owner
+	wk.WriteN(2*np + 4*nt + len(owner))
+	return t, nil
+}

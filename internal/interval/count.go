@@ -1,6 +1,13 @@
 package interval
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+	"repro/internal/qbatch"
+)
 
 // CountStab returns the number of live intervals containing q in
 // O(log² n) reads and zero writes — the appendix's "counting queries can
@@ -9,22 +16,29 @@ import "math"
 // each inner tree (an order statistic the treaps maintain) gives the
 // prefix length directly.
 func (t *Tree) CountStab(q float64) int {
+	return t.countStabH(q, t.meter)
+}
+
+// countStabH is the handle-parameterized core shared by the one-shot count
+// and CountBatch: all reads are charged to h, so a batch can charge
+// worker-local handles and still total bit-identically to a sequential loop.
+func (t *Tree) countStabH(q float64, h asymmem.Worker) int {
 	total := 0
 	n := t.root
 	lo := endKey{v: math.Inf(-1), id: math.MinInt32}
 	for n != nil {
-		t.meter.Read()
+		h.Read()
 		switch {
 		case q < n.key:
 			if n.byLeft != nil {
 				// Intervals with Left ≤ q.
-				total += n.byLeft.CountRange(lo, endKey{v: q, id: math.MaxInt32})
+				total += n.byLeft.CountRangeH(lo, endKey{v: q, id: math.MaxInt32}, h)
 			}
 			n = n.left
 		case q > n.key:
 			if n.byRight != nil {
 				// Intervals with Right ≥ q.
-				total += n.byRight.Len() - n.byRight.CountRange(lo, endKey{v: q, id: math.MinInt32})
+				total += n.byRight.Len() - n.byRight.CountRangeH(lo, endKey{v: q, id: math.MinInt32}, h)
 			}
 			n = n.right
 		default:
@@ -33,4 +47,32 @@ func (t *Tree) CountStab(q float64) int {
 		}
 	}
 	return total
+}
+
+// CountBatch answers a batch of counting stabbing queries in parallel:
+// out[i] = CountStab(qs[i]). Counts have no output term, so the batch
+// charges only the traversal reads (no write pass, unlike StabBatch) —
+// the cheapest query the structure serves under the asymmetric model.
+// Charges total bit-identically to a sequential CountStab loop.
+func (t *Tree) CountBatch(qs []float64, cfg config.Config) ([]int64, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(qs))
+	in := parallel.NewInterrupt(cfg.Interrupt)
+	cfg.Phase("interval/count-batch", func() {
+		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			for i := lo; i < hi; i++ {
+				out[i] = int64(t.countStabH(qs[i], wk))
+			}
+		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

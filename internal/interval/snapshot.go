@@ -1,0 +1,130 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/treap"
+)
+
+// noCharge is the inactive handle snapshot encoding traverses with — reading
+// the structure out is not a model query.
+var noCharge = asymmem.Worker{}
+
+// newInner creates an empty cover treap charging h.
+func newInner(h asymmem.Worker) *treap.Tree[endKey] {
+	return treap.NewW(endLess, endPrio, h)
+}
+
+// EncodeSnapshot serializes the built tree for internal/checkpoint. The
+// encoding stores each outer node's cover set once, in byLeft (Left, ID)
+// order; the byRight treap and the id map are derivable from it, and treap
+// priorities are deterministic key hashes, so DecodeSnapshot rebuilds the
+// exact canonical shapes — queries on the restored tree charge bit-identical
+// costs. Encoding is a pure read of the structure and charges nothing.
+func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
+	e.Int(t.opts.Alpha)
+	e.Int(t.live)
+	e.Int(t.deleted)
+	st := t.stats
+	e.Int(st.OuterNodes)
+	e.Int(st.Rebuilds)
+	e.I64(st.RebuildWork)
+	e.I64(st.WeightWrites)
+	e.Int(st.FullRebuilds)
+	e.I64(st.LeafInsertions)
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			e.Bool(false)
+			return
+		}
+		e.Bool(true)
+		e.F64(n.key)
+		e.Int(n.weight)
+		e.Int(n.initWeight)
+		e.Bool(n.critical)
+		if n.byLeft == nil {
+			e.U64(0)
+			e.Bool(false)
+		} else {
+			e.U64(uint64(n.byLeft.Len()))
+			e.Bool(true)
+			n.byLeft.InOrderH(noCharge, func(k endKey) bool {
+				iv := n.ivs[k.id]
+				e.F64(iv.Left)
+				e.F64(iv.Right)
+				e.I32(iv.ID)
+				return true
+			})
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
+// cfg.Meter O(n) writes (one per node or interval placed — a replica boots
+// for the cost of writing the structure down, not of re-running the build).
+func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
+	t := &Tree{meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.opts.Alpha = d.Int()
+	t.live = d.Int()
+	t.deleted = d.Int()
+	t.stats.OuterNodes = d.Int()
+	t.stats.Rebuilds = d.Int()
+	t.stats.RebuildWork = d.I64()
+	t.stats.WeightWrites = d.I64()
+	t.stats.FullRebuilds = d.Int()
+	t.stats.LeafInsertions = d.I64()
+	var rec func() *node
+	rec = func() *node {
+		if !d.Bool() || d.Err() != nil {
+			return nil
+		}
+		n := &node{key: d.F64()}
+		t.meter.Write()
+		n.weight = d.Int()
+		n.initWeight = d.Int()
+		n.critical = d.Bool()
+		// Each cover occupies two fixed floats plus a varint id.
+		m := d.Count(17)
+		if d.Bool() {
+			covers := make([]Interval, m)
+			keys := make([]endKey, m)
+			for i := 0; i < m; i++ {
+				iv := Interval{Left: d.F64(), Right: d.F64(), ID: d.I32()}
+				covers[i] = iv
+				keys[i] = endKey{v: iv.Left, id: iv.ID}
+			}
+			n.byLeft = newInner(t.meter)
+			n.byLeft.FromSorted(keys)
+			sort.Slice(covers, func(i, j int) bool {
+				if covers[i].Right != covers[j].Right {
+					return covers[i].Right < covers[j].Right
+				}
+				return covers[i].ID < covers[j].ID
+			})
+			n.ivs = make(map[int32]Interval, m)
+			for i, iv := range covers {
+				keys[i] = endKey{v: iv.Right, id: iv.ID}
+				n.ivs[iv.ID] = iv
+			}
+			n.byRight = newInner(t.meter)
+			n.byRight.FromSorted(keys)
+			t.meter.WriteN(m)
+		}
+		n.left = rec()
+		n.right = rec()
+		return n
+	}
+	t.root = rec()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("interval: decode snapshot: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/geom"
+)
+
+// EncodeSnapshot serializes the built tree for internal/checkpoint: the
+// node shape in preorder with each node's stable arena id, leaf payloads
+// (items and tombstone masks) inline. Arena ids are semisort keys for later
+// batched updates, so they are preserved exactly rather than re-assigned.
+// Encoding charges nothing.
+func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
+	e.Int(t.dims)
+	e.Int(t.leafSize)
+	e.Bool(t.sah)
+	e.Int(t.size)
+	e.Int(t.dead)
+	st := t.stats
+	e.Int(st.Height)
+	e.Int(st.Settles)
+	e.Int(st.MaxOverflow)
+	e.I64(st.LocationReads)
+	e.U64(uint64(len(t.arena)))
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			e.Bool(false)
+			return
+		}
+		e.Bool(true)
+		e.I32(n.id)
+		e.Bool(n.leaf)
+		e.Int(n.count)
+		e.Int(n.dead)
+		if n.leaf {
+			e.U64(uint64(len(n.items)))
+			for i, it := range n.items {
+				for d := 0; d < t.dims; d++ {
+					e.F64(it.P[d])
+				}
+				e.I32(it.ID)
+				e.Bool(n.deadMask[i])
+			}
+			return
+		}
+		e.Int(int(n.axis))
+		e.F64(n.split)
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
+// cfg.Meter one write per node plus one per leaf item restored.
+func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
+	t := &Tree{meter: cfg.Meter}
+	wk := cfg.WorkerMeter(0)
+	t.dims = d.Int()
+	t.leafSize = d.Int()
+	t.sah = d.Bool()
+	t.size = d.Int()
+	t.dead = d.Int()
+	t.stats.Height = d.Int()
+	t.stats.Settles = d.Int()
+	t.stats.MaxOverflow = d.Int()
+	t.stats.LocationReads = d.I64()
+	arenaLen := d.Count(1)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("kdtree: decode snapshot: %w", d.Err())
+	}
+	if t.dims < 1 {
+		return nil, fmt.Errorf("kdtree: decode snapshot: bad dims %d", t.dims)
+	}
+	t.arena = make([]*node, arenaLen)
+	var rec func() *node
+	rec = func() *node {
+		if !d.Bool() || d.Err() != nil {
+			return nil
+		}
+		n := &node{id: d.I32()}
+		wk.Write()
+		if int(n.id) < 0 || int(n.id) >= arenaLen || t.arena[n.id] != nil {
+			d.Fail()
+			return nil
+		}
+		t.arena[n.id] = n
+		n.leaf = d.Bool()
+		n.count = d.Int()
+		n.dead = d.Int()
+		if n.leaf {
+			// Each item occupies dims fixed floats plus at least one varint
+			// byte for the id and one for the tombstone flag.
+			m := d.Count(8*t.dims + 2)
+			n.items = make([]Item, m)
+			n.deadMask = make([]bool, m)
+			for i := 0; i < m; i++ {
+				p := make(geom.KPoint, t.dims)
+				for dim := 0; dim < t.dims; dim++ {
+					p[dim] = d.F64()
+				}
+				n.items[i] = Item{P: p, ID: d.I32()}
+				n.deadMask[i] = d.Bool()
+			}
+			wk.WriteN(m)
+			return n
+		}
+		n.axis = int8(d.Int())
+		n.split = d.F64()
+		n.left = rec()
+		n.right = rec()
+		return n
+	}
+	t.root = rec()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("kdtree: decode snapshot: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package pst
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+)
+
+// EncodeSnapshot serializes the built tree for internal/checkpoint: the
+// exact node shape in preorder — point, dummy flag, splitter, and balance
+// metadata per node — so the restored tree answers 3-sided queries with
+// bit-identical traversals and charges. Encoding charges nothing.
+func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
+	e.Int(t.opts.Alpha)
+	e.Int(t.live)
+	e.Int(t.dummies)
+	st := t.stats
+	e.Int(st.Rebuilds)
+	e.I64(st.RebuildWork)
+	e.I64(st.PointWrites)
+	e.I64(st.WeightWrites)
+	e.Int(st.FullRebuilds)
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			e.Bool(false)
+			return
+		}
+		e.Bool(true)
+		e.F64(n.pt.X)
+		e.F64(n.pt.Y)
+		e.I32(n.pt.ID)
+		e.Bool(n.hasPt)
+		e.Bool(n.dummy)
+		e.F64(n.split)
+		e.Int(n.weight)
+		e.Int(n.initWeight)
+		e.Bool(n.critical)
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
+// cfg.Meter one write per node restored.
+func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
+	t := &Tree{meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.opts.Alpha = d.Int()
+	t.live = d.Int()
+	t.dummies = d.Int()
+	t.stats.Rebuilds = d.Int()
+	t.stats.RebuildWork = d.I64()
+	t.stats.PointWrites = d.I64()
+	t.stats.WeightWrites = d.I64()
+	t.stats.FullRebuilds = d.Int()
+	var rec func() *node
+	rec = func() *node {
+		if !d.Bool() || d.Err() != nil {
+			return nil
+		}
+		n := &node{}
+		t.meter.Write()
+		n.pt = Point{X: d.F64(), Y: d.F64(), ID: d.I32()}
+		n.hasPt = d.Bool()
+		n.dummy = d.Bool()
+		n.split = d.F64()
+		n.weight = d.Int()
+		n.initWeight = d.Int()
+		n.critical = d.Bool()
+		n.left = rec()
+		n.right = rec()
+		return n
+	}
+	t.root = rec()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("pst: decode snapshot: %w", err)
+	}
+	return t, nil
+}

@@ -509,13 +509,20 @@ func (t *Tree[K]) RangeH(lo, hi K, h asymmem.Worker, visit func(k K) bool) {
 
 // CountRange returns |{k : lo ≤ k < hi}| in O(log n) expected reads.
 func (t *Tree[K]) CountRange(lo, hi K) int {
-	return t.countLess(t.root, hi) - t.countLess(t.root, lo)
+	return t.CountRangeH(lo, hi, t.meter)
 }
 
-func (t *Tree[K]) countLess(n *node[K], k K) int {
+// CountRangeH is CountRange charging the caller's handle h instead of the
+// tree's own — the batched-count path runs one count per worker and needs
+// worker-local charging.
+func (t *Tree[K]) CountRangeH(lo, hi K, h asymmem.Worker) int {
+	return t.countLessH(t.root, hi, h) - t.countLessH(t.root, lo, h)
+}
+
+func (t *Tree[K]) countLessH(n *node[K], k K, h asymmem.Worker) int {
 	c := 0
 	for n != nil {
-		t.meter.Read()
+		h.Read()
 		if t.less(n.key, k) {
 			c += 1 + t.count(n.left)
 			n = n.right

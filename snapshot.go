@@ -1,0 +1,130 @@
+package wegeom
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/delaunay"
+	"repro/internal/interval"
+	"repro/internal/kdtree"
+	"repro/internal/pst"
+	"repro/internal/rangetree"
+)
+
+// Checkpoint is the set of built structures one serving replica owns. Any
+// field may be nil; SaveCheckpoint writes one section per non-nil structure
+// and LoadCheckpoint fills exactly the fields the file carries.
+type Checkpoint struct {
+	Interval *IntervalTree
+	Priority *PriorityTree
+	Range    *RangeTree
+	KD       *KDTree
+	Delaunay *Triangulation
+}
+
+// Section kinds in the checkpoint container, one per structure family.
+const (
+	sectionInterval  = "interval"
+	sectionPST       = "pst"
+	sectionRangeTree = "rangetree"
+	sectionKDTree    = "kdtree"
+	sectionDelaunay  = "delaunay"
+)
+
+// SaveCheckpoint serializes the non-nil structures of c into w as a
+// versioned, CRC-checked binary snapshot (internal/checkpoint). Encoding is
+// a pure read of the structures and charges nothing; the Report records the
+// single "checkpoint/encode" phase (zero-cost, kept for uniformity) and the
+// wall time of writing the file out.
+//
+// The snapshot is exact: a replica restored with LoadCheckpoint answers any
+// fixed query batch with bit-identical packed results and counted model
+// costs, because the encodings store the key sets and payloads and every
+// tree shape in this module is a deterministic function of those (treap
+// priorities are key hashes; outer trees are mid-rank splits).
+func (e *Engine) SaveCheckpoint(ctx context.Context, w io.Writer, c *Checkpoint) (*Report, error) {
+	return e.run(ctx, "checkpoint-save", func(cfg config.Config) error {
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		var sections []checkpoint.Section
+		add := func(kind string, encode func(*checkpoint.Encoder)) {
+			var enc checkpoint.Encoder
+			encode(&enc)
+			sections = append(sections, checkpoint.Section{Kind: kind, Data: enc.Bytes()})
+		}
+		cfg.Phase("checkpoint/encode", func() {
+			if c.Interval != nil {
+				add(sectionInterval, c.Interval.EncodeSnapshot)
+			}
+			if c.Priority != nil {
+				add(sectionPST, c.Priority.EncodeSnapshot)
+			}
+			if c.Range != nil {
+				add(sectionRangeTree, c.Range.EncodeSnapshot)
+			}
+			if c.KD != nil {
+				add(sectionKDTree, c.KD.EncodeSnapshot)
+			}
+			if c.Delaunay != nil {
+				add(sectionDelaunay, c.Delaunay.EncodeSnapshot)
+			}
+		})
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		return checkpoint.Write(w, sections)
+	})
+}
+
+// LoadCheckpoint restores the structures saved in r. Restoring charges the
+// Engine's meter O(n) writes per structure — the cost of writing the built
+// form down, recorded under the "checkpoint/decode" phase — instead of the
+// full construction cost; a replica boots without re-building. Restored
+// trees charge future queries to this Engine's meter.
+func (e *Engine) LoadCheckpoint(ctx context.Context, r io.Reader) (*Checkpoint, *Report, error) {
+	out := &Checkpoint{}
+	rep, err := e.run(ctx, "checkpoint-load", func(cfg config.Config) error {
+		sections, err := checkpoint.Read(r)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Check(); err != nil {
+			return err
+		}
+		return cfg.PhaseErr("checkpoint/decode", func() error {
+			for _, s := range sections {
+				if err := cfg.Check(); err != nil {
+					return err
+				}
+				d := checkpoint.NewDecoder(s.Data)
+				var err error
+				switch s.Kind {
+				case sectionInterval:
+					out.Interval, err = interval.DecodeSnapshot(d, cfg)
+				case sectionPST:
+					out.Priority, err = pst.DecodeSnapshot(d, cfg)
+				case sectionRangeTree:
+					out.Range, err = rangetree.DecodeSnapshot(d, cfg)
+				case sectionKDTree:
+					out.KD, err = kdtree.DecodeSnapshot(d, cfg)
+				case sectionDelaunay:
+					out.Delaunay, err = delaunay.DecodeSnapshot(d, cfg)
+				default:
+					err = fmt.Errorf("checkpoint: unknown section kind %q", s.Kind)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
