@@ -1,0 +1,82 @@
+package wegeom
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The steady-state allocation tests pin down the arena payoff on the hot
+// serving paths: querying a pre-built tree must allocate O(queries + output)
+// heap objects — packed result buffers, the Report, a few per-grain scratch
+// headers — and never anything proportional to the tree's node count. A
+// regression that reintroduces per-node allocation (a pointer-linked node
+// copy, a per-node region clone, a per-visit closure) trips these budgets
+// immediately: the trees below have tens of thousands of nodes while the
+// budgets sit in the low thousands.
+//
+// testing.AllocsPerRun runs the body under GOMAXPROCS(1); the fork-join
+// pool still executes every grain, just serialized, so the counts cover the
+// full batch pipeline (semisort packing included).
+
+// allocBudget asserts that running f allocates at most budget heap objects
+// per run, averaged over a few runs to let pools and lazily-grown scratch
+// reach steady state.
+func allocBudget(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	f() // warm-up: grow worker scratch, result slices, timer state
+	got := testing.AllocsPerRun(5, f)
+	if got > budget {
+		t.Errorf("%s: %.0f allocs per run, budget %.0f — a hot serving path is allocating per node, not per result", name, got, budget)
+	}
+	t.Logf("%s: %.0f allocs per run (budget %.0f)", name, got, budget)
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithParallelism(4))
+
+	// Interval tree: ~40k intervals → ~80k arena nodes across primary and
+	// inner treaps. Short intervals keep the per-query output small so the
+	// O(output) term cannot mask a per-node term.
+	givs := gen.UniformIntervals(40000, 0.0005, 91)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, _, err := eng.NewIntervalTree(ctx, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stabs := gen.UniformFloats(256, 92)
+
+	allocBudget(t, "StabBatch", 4096, func() {
+		if _, _, err := eng.StabBatch(ctx, it, stabs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocBudget(t, "StabCountBatch", 4096, func() {
+		if _, _, err := eng.StabCountBatch(ctx, it, stabs); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// k-d tree: 40k points, leaf size defaults keep several thousand nodes.
+	kps := gen.UniformKPoints(40000, 2, 93)
+	items := make([]KDItem, len(kps))
+	for i, p := range kps {
+		items[i] = KDItem{P: p, ID: int32(i)}
+	}
+	kt, _, err := eng.BuildKDTree(ctx, 2, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kqs := gen.UniformKPoints(256, 2, 94)
+
+	allocBudget(t, "KNNBatch", 4096, func() {
+		if _, _, err := eng.KNNBatch(ctx, kt, kqs, 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -18,7 +18,9 @@ import (
 // the three augmented trees (interval, priority search, range), and the
 // shared primitives — plus the batched-query *serving* workloads
 // (stab-batch, range-query-batch, knn-batch), which fan a fixed query mix
-// over trees built once up front, at worker-pool sizes P = 1, 2, 4, ... up
+// over trees built once up front, and an arena-allocation workload
+// (alloc: bulk build followed by a delete/re-insert churn cycling nodes
+// through the internal/alloc free lists), at worker-pool sizes P = 1, 2, 4, ... up
 // to -scaling-maxp, pinning GOMAXPROCS to P for each step so the pool
 // matches the schedulable parallelism. Model costs (reads/writes) are
 // recorded alongside: they must not move with P — the paper's claims are
@@ -168,6 +170,28 @@ func runScaling(out string, maxP, reps int) error {
 		{"tournament", nPrims, func(p int) (*wegeom.Report, error) {
 			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).BuildTournament(ctx, prios)
 			return rep, err
+		}},
+		{"alloc", nTree, func(p int) (*wegeom.Report, error) {
+			// Arena workload: a parallel bulk build followed by a
+			// delete/re-insert churn that cycles nodes through the arena
+			// free lists. Wall time covers both; the counted costs are the
+			// meter delta across the whole run (P-invariant as usual).
+			eng := wegeom.NewEngine(wegeom.WithParallelism(p))
+			before := eng.Meter().Snapshot()
+			t, rep, err := eng.NewIntervalTree(ctx, ivs)
+			if err != nil {
+				return nil, err
+			}
+			for _, iv := range ivs[:nTree/10] {
+				if !t.Delete(iv) {
+					return nil, fmt.Errorf("alloc churn: interval %d not found", iv.ID)
+				}
+				if err := t.Insert(iv); err != nil {
+					return nil, err
+				}
+			}
+			rep.Total = eng.Meter().Snapshot().Sub(before)
+			return rep, nil
 		}},
 		{"stab-batch", nQBatch, func(p int) (*wegeom.Report, error) {
 			_, rep, err := wegeom.NewEngine(wegeom.WithParallelism(p)).StabBatch(ctx, qTree, stabQs)

@@ -119,16 +119,22 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 	phasesBefore := len(e.ledger.Phases())
 	beforeShards := cfg.Meter.PerWorker()
 	before := sumSnapshots(beforeShards)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	err := f(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	afterShards := cfg.Meter.PerWorker()
 	rep := &Report{
 		Op:        op,
 		Total:     sumSnapshots(afterShards).Sub(before),
 		PerWorker: subSnapshots(afterShards, beforeShards),
-		Wall:      time.Since(start),
+		Wall:      wall,
 		Omega:     cfg.Omega,
 		Workers:   parallel.Workers(),
+		Allocs:    msAfter.Mallocs - msBefore.Mallocs,
+		HeapDelta: int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc),
 	}
 	if all := e.ledger.Phases(); len(all) > phasesBefore {
 		rep.Phases = all[phasesBefore:]

@@ -1,0 +1,228 @@
+// Package alloc provides a concurrent fixed-size arena allocator in the
+// style of Blelloch & Wei, "Concurrent Fixed-Size Allocation and Free in
+// Constant Time" (arXiv:2008.04296), specialised for the tree structures
+// in this repository.
+//
+// An Allocator hands out uint32 index handles instead of pointers. Each
+// worker owns a block pool: allocation pops the worker's LIFO free list,
+// or carves the next slot from a worker-private fresh block, grabbing a
+// new block from a shared atomic bump counter only when the private block
+// is exhausted — so the common path touches only worker-local state and
+// every operation is constant time. Free pushes the handle back onto the
+// freeing worker's list, recycling slots without any global coordination.
+//
+// Handles index into Slabs: growable flat arrays laid out as a fixed set
+// of geometrically sized buckets. Buckets are installed with an atomic
+// pointer and never move once published, so readers traverse lock-free
+// while other workers grow the slab. Several slabs can share one
+// Allocator's handle space, giving structure-of-arrays layouts (hot
+// traversal fields in one slab, cold augmentation in another) without any
+// per-node bookkeeping.
+//
+// Handle 0 is Nil, the sentinel "no node" — an Allocator never returns it.
+//
+// Nothing here charges the asymmetric cost model: the structures charge
+// their own asymmem.Worker handles at the alloc sites, exactly where the
+// old &node{} allocations charged, so counted costs are unchanged by the
+// arena migration.
+package alloc
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Nil is the zero handle: no node. Allocators start handing out handles
+// at 1, so the zero value of any handle field means "empty" for free.
+const Nil uint32 = 0
+
+// blockSize is how many fresh handles a worker grabs from the shared bump
+// counter at once. Large enough that the shared atomic is touched rarely,
+// small enough that a short-lived tree on a wide pool wastes little.
+const blockSize = 64
+
+// pool is one worker's private allocation state. The mutex is almost
+// always uncontended — it exists because worker IDs are folded into the
+// pool range by a mask, so two goroutines can legitimately share a pool
+// when the parallel worker pool is resized mid-flight.
+type pool struct {
+	mu   sync.Mutex
+	free []uint32 // LIFO recycled handles
+	lo   uint32   // next fresh handle in the private block
+	hi   uint32   // end of the private block (lo == hi: block exhausted)
+	_    [40]byte // pad to a cache line so neighbouring pools don't false-share
+}
+
+// Allocator hands out and recycles uint32 handles. The zero value is not
+// usable; create one with NewAllocator.
+type Allocator struct {
+	next  atomic.Uint32 // shared bump counter for fresh blocks
+	pools []pool
+	mask  uint32
+}
+
+// NewAllocator returns an allocator with one block pool per worker in the
+// current parallel worker pool (rounded up to a power of two, minimum 1).
+// Worker IDs outside the range fold in by a mask, so any ID is valid.
+func NewAllocator() *Allocator {
+	a := &Allocator{}
+	InitAllocator(a)
+	return a
+}
+
+// Alloc returns a handle not currently allocated, recycling the calling
+// worker's most recently freed slot when one exists. Constant time.
+func (a *Allocator) Alloc(w int) uint32 {
+	p := &a.pools[uint32(w)&a.mask]
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		h := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return h
+	}
+	if p.lo == p.hi {
+		p.hi = a.next.Add(blockSize)
+		p.lo = p.hi - blockSize
+	}
+	h := p.lo
+	p.lo++
+	p.mu.Unlock()
+	return h
+}
+
+// Free returns h to worker w's pool for reuse. h must be a handle
+// previously returned by Alloc or AllocBulk and not already free.
+func (a *Allocator) Free(w int, h uint32) {
+	p := &a.pools[uint32(w)&a.mask]
+	p.mu.Lock()
+	p.free = append(p.free, h)
+	p.mu.Unlock()
+}
+
+// AllocBulk reserves n consecutive fresh handles and returns the first.
+// The range never overlaps recycled slots — it comes straight off the
+// bump counter — so bulk builders (FromSorted, snapshot restore) can fill
+// a contiguous block without per-node pool traffic.
+func (a *Allocator) AllocBulk(n int) uint32 {
+	if n <= 0 {
+		return Nil
+	}
+	return a.next.Add(uint32(n)) - uint32(n)
+}
+
+// Bound reports an exclusive upper bound on every handle ever returned:
+// all live and free handles are < Bound(). Slabs sized to Bound() cover
+// every handle.
+func (a *Allocator) Bound() uint32 { return a.next.Load() }
+
+// Slab bucket geometry: bucket k holds indexes [2^(minBits+k) - 2^minBits,
+// 2^(minBits+k+1) - 2^minBits) — i.e. bucket 0 has 2^minBits slots and
+// each later bucket doubles. 32-minBits buckets cover the full uint32
+// handle space.
+const (
+	minBits    = 9 // first bucket: 512 slots
+	numBuckets = 32 - minBits
+)
+
+// Slab is a growable flat array of T indexed by handle. Buckets are
+// published with atomic pointers and never move, so At is safe to call
+// concurrently with Grow. The zero value is an empty slab.
+type Slab[T any] struct {
+	buckets [numBuckets]atomic.Pointer[[]T]
+	mu      sync.Mutex // serialises Grow
+}
+
+// bucketOf maps index i to (bucket, offset within bucket).
+func bucketOf(i uint32) (uint32, uint32) {
+	v := i + 1<<minBits
+	top := uint32(bits.Len32(v)) - 1
+	return top - minBits, v - 1<<top
+}
+
+// At returns a pointer to slot i. The slot must be covered (Grow(i+1) has
+// happened, e.g. via Pool.Alloc); the pointer stays valid forever — slab
+// growth never moves existing buckets.
+func (s *Slab[T]) At(i uint32) *T {
+	b, off := bucketOf(i)
+	return &(*s.buckets[b].Load())[off]
+}
+
+// Grow ensures slots [0, n) are allocated. Cheap when already covered
+// (one atomic load); otherwise installs the missing buckets under a lock.
+func (s *Slab[T]) Grow(n uint32) {
+	if n == 0 {
+		return
+	}
+	b, _ := bucketOf(n - 1)
+	if s.buckets[b].Load() != nil {
+		return
+	}
+	s.mu.Lock()
+	for k := uint32(0); k <= b; k++ {
+		if s.buckets[k].Load() == nil {
+			buf := make([]T, uint32(1)<<(minBits+k))
+			s.buckets[k].Store(&buf)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Pool couples an Allocator with a slab of T: the common one-slab
+// ("array-of-structs") arena. Structure-of-arrays layouts instead share
+// one Allocator across several Slabs and Grow them in step.
+type Pool[T any] struct {
+	A Allocator
+	S Slab[T]
+}
+
+// NewPool returns an empty pool sized off the current worker pool.
+func NewPool[T any]() *Pool[T] {
+	p := &Pool[T]{}
+	InitAllocator(&p.A)
+	return p
+}
+
+// InitAllocator sets up an embedded Allocator in place — NewAllocator for
+// callers that hold the Allocator by value inside a larger arena struct.
+func InitAllocator(a *Allocator) {
+	n := 1
+	for n < parallel.Workers() {
+		n <<= 1
+	}
+	a.pools = make([]pool, n)
+	a.mask = uint32(n - 1)
+	a.next.Store(1)
+}
+
+// Alloc returns the handle of a zeroed slot, growing the slab as needed.
+func (p *Pool[T]) Alloc(w int) uint32 {
+	h := p.A.Alloc(w)
+	p.S.Grow(h + 1)
+	return h
+}
+
+// AllocBulk reserves n consecutive zeroed slots and returns the first
+// handle (Nil when n <= 0).
+func (p *Pool[T]) AllocBulk(n int) uint32 {
+	if n <= 0 {
+		return Nil
+	}
+	h := p.A.AllocBulk(n)
+	p.S.Grow(h + uint32(n))
+	return h
+}
+
+// At returns the slot for handle h.
+func (p *Pool[T]) At(h uint32) *T { return p.S.At(h) }
+
+// Free zeroes slot h (dropping any heap references it held) and recycles
+// the handle on worker w's pool.
+func (p *Pool[T]) Free(w int, h uint32) {
+	var zero T
+	*p.S.At(h) = zero
+	p.A.Free(w, h)
+}

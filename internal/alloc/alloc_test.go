@@ -1,0 +1,219 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocNeverNilAndUnique(t *testing.T) {
+	a := NewAllocator()
+	seen := make(map[uint32]bool)
+	for i := 0; i < 10_000; i++ {
+		h := a.Alloc(0)
+		if h == Nil {
+			t.Fatalf("Alloc returned Nil at i=%d", i)
+		}
+		if seen[h] {
+			t.Fatalf("Alloc returned live handle %d twice", h)
+		}
+		seen[h] = true
+	}
+	if b := a.Bound(); b < 10_001 {
+		t.Fatalf("Bound() = %d, want >= 10001", b)
+	}
+}
+
+func TestFreeRecyclesLIFO(t *testing.T) {
+	a := NewAllocator()
+	h1 := a.Alloc(0)
+	h2 := a.Alloc(0)
+	a.Free(0, h1)
+	a.Free(0, h2)
+	if got := a.Alloc(0); got != h2 {
+		t.Fatalf("after freeing %d then %d, Alloc = %d, want %d (LIFO)", h1, h2, got, h2)
+	}
+	if got := a.Alloc(0); got != h1 {
+		t.Fatalf("second Alloc after frees = %d, want %d", got, h1)
+	}
+}
+
+func TestAllocBulkContiguousAndFresh(t *testing.T) {
+	a := NewAllocator()
+	h := a.Alloc(0)
+	a.Free(0, h) // a recycled handle is pending; bulk must not collide with it
+	lo := a.AllocBulk(100)
+	if lo == Nil {
+		t.Fatal("AllocBulk returned Nil")
+	}
+	if lo <= h && h < lo+100 {
+		t.Fatalf("bulk range [%d,%d) overlaps freed handle %d", lo, lo+100, h)
+	}
+	got := a.Alloc(0)
+	if lo <= got && got < lo+100 {
+		t.Fatalf("Alloc returned %d inside bulk range [%d,%d)", got, lo, lo+100)
+	}
+	if a.AllocBulk(0) != Nil || a.AllocBulk(-1) != Nil {
+		t.Fatal("AllocBulk(n<=0) should return Nil")
+	}
+}
+
+func TestSlabBucketGeometry(t *testing.T) {
+	// Indexes across the first few bucket boundaries must land in distinct
+	// slots that survive later growth.
+	var s Slab[uint32]
+	idx := []uint32{0, 1, 511, 512, 513, 1535, 1536, 100_000, 1_000_000}
+	var max uint32
+	for _, i := range idx {
+		if i > max {
+			max = i
+		}
+	}
+	s.Grow(max + 1)
+	for _, i := range idx {
+		*s.At(i) = i + 7
+	}
+	s.Grow(4_000_000) // growth must not move existing buckets
+	for _, i := range idx {
+		if got := *s.At(i); got != i+7 {
+			t.Fatalf("slot %d = %d after growth, want %d", i, got, i+7)
+		}
+	}
+}
+
+func TestPoolFreeZeroesSlot(t *testing.T) {
+	p := NewPool[[]int]()
+	h := p.Alloc(0)
+	*p.At(h) = []int{1, 2, 3}
+	p.Free(0, h)
+	h2 := p.Alloc(0)
+	if h2 != h {
+		t.Fatalf("expected recycled handle %d, got %d", h, h2)
+	}
+	if *p.At(h2) != nil {
+		t.Fatalf("recycled slot not zeroed: %v", *p.At(h2))
+	}
+}
+
+// TestConcurrentAllocFree is the race-detector workout: several workers
+// hammer one pool-backed allocator, stamping each live slot with an
+// owner-unique value. Any handle aliasing between live allocations would
+// show up as a stamp mismatch (or a race report under -race).
+func TestConcurrentAllocFree(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool[uint64]()
+		var wg sync.WaitGroup
+		liveSets := make([][]uint32, workers)
+		stamps := make([]map[uint32]uint64, workers)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var live []uint32
+				stamp := make(map[uint32]uint64)
+				for i := 0; i < 5000; i++ {
+					if i%3 == 2 && len(live) > 0 {
+						h := live[len(live)-1]
+						live = live[:len(live)-1]
+						delete(stamp, h)
+						p.Free(g, h)
+						continue
+					}
+					h := p.Alloc(g)
+					v := uint64(g)<<32 | uint64(i)
+					*p.At(h) = v
+					live = append(live, h)
+					stamp[h] = v
+				}
+				liveSets[g] = live
+				stamps[g] = stamp
+			}(g)
+		}
+		wg.Wait()
+		all := make(map[uint32]int)
+		for g, live := range liveSets {
+			for _, h := range live {
+				if prev, dup := all[h]; dup {
+					t.Fatalf("P=%d: handle %d live in workers %d and %d", workers, h, prev, g)
+				}
+				all[h] = g
+				if got := *p.At(h); got != stamps[g][h] {
+					t.Fatalf("P=%d: slot %d = %#x, want %#x", workers, h, got, stamps[g][h])
+				}
+			}
+		}
+	}
+}
+
+// FuzzAllocFreeReuse drives alloc/free/bulk sequences on P ∈ {1, 2, 8}
+// concurrent workers from the fuzz input and checks that no live handle
+// aliases another: every live slot still holds the exact stamp its owner
+// wrote. Run under -race this also exercises pool-fold locking.
+func FuzzAllocFreeReuse(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 201, 7, 9, 11, 13, 100, 42})
+	f.Add([]byte{255, 254, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, workers := range []int{1, 2, 8} {
+			p := NewPool[uint64]()
+			liveSets := make([][]uint32, workers)
+			stamps := make([]map[uint32]uint64, workers)
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					live := []uint32{}
+					stamp := make(map[uint32]uint64)
+					step := 0
+					record := func(h uint32, v uint64) {
+						*p.At(h) = v
+						live = append(live, h)
+						stamp[h] = v
+					}
+					for i := g; i < len(data); i += workers {
+						b := data[i]
+						step++
+						switch b % 4 {
+						case 0, 1: // alloc
+							record(p.Alloc(g), uint64(g)<<32|uint64(step))
+						case 2: // free one live handle
+							if len(live) == 0 {
+								continue
+							}
+							k := int(b>>2) % len(live)
+							h := live[k]
+							live[k] = live[len(live)-1]
+							live = live[:len(live)-1]
+							delete(stamp, h)
+							p.Free(g, h)
+						case 3: // small bulk reservation
+							n := int(b>>2)%5 + 1
+							lo := p.AllocBulk(n)
+							for j := 0; j < n; j++ {
+								step++
+								record(lo+uint32(j), uint64(g)<<32|uint64(step))
+							}
+						}
+					}
+					liveSets[g] = live
+					stamps[g] = stamp
+				}(g)
+			}
+			wg.Wait()
+			all := make(map[uint32]int)
+			for g, live := range liveSets {
+				for _, h := range live {
+					if h == Nil {
+						t.Fatalf("P=%d: Nil handle reported live", workers)
+					}
+					if prev, dup := all[h]; dup {
+						t.Fatalf("P=%d: handle %d aliased by workers %d and %d", workers, h, prev, g)
+					}
+					all[h] = g
+					if got := *p.At(h); got != stamps[g][h] {
+						t.Fatalf("P=%d: slot %d = %#x, want %#x (aliasing after free?)", workers, h, got, stamps[g][h])
+					}
+				}
+			}
+		}
+	})
+}

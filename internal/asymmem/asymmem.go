@@ -314,6 +314,13 @@ type Ledger struct {
 type PhaseRecord struct {
 	Name string
 	Cost Snapshot
+	// Allocs and HeapDelta are runtime.ReadMemStats deltas across the
+	// phase body: cumulative heap objects allocated, and the change in
+	// live heap bytes (negative when a collection ran mid-phase). They
+	// expose the gap between the model's counted writes and the real
+	// allocator traffic a phase generates.
+	Allocs    uint64
+	HeapDelta int64
 }
 
 // NewLedger returns a ledger charging against meter m.
@@ -337,12 +344,20 @@ func (l *Ledger) Phase(name string, f func()) Snapshot {
 		return Snapshot{}
 	}
 	l.phaseMu.Lock()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	before := l.m.Snapshot()
 	f()
 	cost := l.m.Snapshot().Sub(before)
+	runtime.ReadMemStats(&msAfter)
 	l.phaseMu.Unlock()
 	l.mu.Lock()
-	l.ph = append(l.ph, PhaseRecord{Name: name, Cost: cost})
+	l.ph = append(l.ph, PhaseRecord{
+		Name:      name,
+		Cost:      cost,
+		Allocs:    msAfter.Mallocs - msBefore.Mallocs,
+		HeapDelta: int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc),
+	})
 	l.mu.Unlock()
 	return cost
 }

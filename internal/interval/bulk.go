@@ -3,6 +3,7 @@ package interval
 import (
 	"sort"
 
+	"repro/internal/alloc"
 	"repro/internal/parallel"
 	"repro/internal/treap"
 )
@@ -34,9 +35,11 @@ func (t *Tree) BulkInsert(ivs []Interval) error {
 	if len(ivs) == 0 {
 		return nil
 	}
-	if t.root == nil || len(ivs) >= t.live {
-		// Rebuild outright: the batch dominates the tree.
+	if t.root == alloc.Nil || len(ivs) >= t.live {
+		// Rebuild outright: the batch dominates the tree. Every old handle
+		// dies here, so swap in fresh arenas rather than free node by node.
 		all := append(t.Intervals(), ivs...)
+		t.resetArenas()
 		eps := gatherEndpoints(all)
 		t.sortEndpoints(eps, all)
 		t.root = t.buildPostSorted(eps, all)
@@ -62,18 +65,22 @@ func (t *Tree) BulkInsert(ivs []Interval) error {
 	// appends post-order (children before parents), so iterate in reverse
 	// and skip nodes detached by an earlier, higher rebuild. The recorded
 	// ancestor path lets us keep the maintained weights exact without a
-	// full relabel (rebuilding replaces node contents in place, so the
-	// recorded pointers stay valid even across overlapping rebuilds).
+	// full relabel. Frees are deferred for the duration of the loop: the
+	// recorded handles are revalidated by reachability from the root, which
+	// only works while detached handles stay un-recycled (a recycled handle
+	// re-attached elsewhere would alias a pending entry).
+	t.deferFrees = true
 	for i := len(doubled) - 1; i >= 0; i-- {
 		d := doubled[i]
 		if !t.isUnbalanced(d.n) || !t.contains(t.root, d.n) {
 			continue
 		}
-		oldW := weightOf(d.n)
-		sub := t.rebuildSubtree(d.n, findParent(t.root, d.n))
-		if delta := weightOf(sub) - oldW; delta != 0 {
-			for _, a := range d.path {
-				if (t.opts.classic() || a.critical) && t.contains(t.root, a) {
+		oldW := t.weightOf(d.n)
+		sub := t.rebuildSubtree(d.n, t.findParent(t.root, d.n))
+		if delta := t.weightOf(sub) - oldW; delta != 0 {
+			for _, ah := range d.path {
+				a := t.nd(ah)
+				if (t.opts.classic() || a.critical) && t.contains(t.root, ah) {
 					a.weight += delta
 					t.meter.Write()
 					t.stats.WeightWrites++
@@ -81,29 +88,31 @@ func (t *Tree) BulkInsert(ivs []Interval) error {
 			}
 		}
 	}
+	t.flushFrees()
 	return nil
 }
 
 // doubledEnt records a weight-doubled critical node and its ancestor path
-// (root first, exclusive of the node).
+// (root first, exclusive of the node), as pool handles.
 type doubledEnt struct {
-	n    *node
-	path []*node
+	n    uint32
+	path []uint32
 }
 
-// bulkRec distributes a Left-sorted batch below n, returning the node-count
-// increase of n's subtree. anc is the root-to-parent path of n; the caller
+// bulkRec distributes a Left-sorted batch below h, returning the node-count
+// increase of h's subtree. anc is the root-to-parent path of h; the caller
 // runs as worker w. Child recursions fork while the batch stays above the
 // grain; forked branches collect their doubled entries separately and the
 // join concatenates left-then-right, preserving the sequential pass's
 // post-order (children before parents) deterministically.
-func (t *Tree) bulkRec(w int, n *node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+func (t *Tree) bulkRec(w int, h uint32, batch []Interval, anc []uint32, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
-	if n == nil {
+	if h == alloc.Nil {
 		return 0 // callers handle nil children before recursing
 	}
+	n := t.nd(h)
 	wk := t.worker(w)
 	wk.Read()
 	var lefts, rights, covers []Interval
@@ -121,7 +130,7 @@ func (t *Tree) bulkRec(w int, n *node, batch []Interval, anc []*node, doubled *[
 	if len(covers) > 0 {
 		t.mergeCovers(w, n, covers)
 	}
-	childAnc := append(append([]*node{}, anc...), n)
+	childAnc := append(append([]uint32{}, anc...), h)
 	var addL, addR int
 	if len(lefts) > 0 && len(rights) > 0 && len(lefts)+len(rights) > bulkGrain {
 		var dl, dr []doubledEnt
@@ -141,20 +150,21 @@ func (t *Tree) bulkRec(w int, n *node, batch []Interval, anc []*node, doubled *[
 		t.statsMu.Lock()
 		t.stats.WeightWrites++
 		t.statsMu.Unlock()
-		if t.isUnbalanced(n) {
-			*doubled = append(*doubled, doubledEnt{n: n, path: anc})
+		if t.isUnbalanced(h) {
+			*doubled = append(*doubled, doubledEnt{n: h, path: anc})
 		}
 	}
 	return added
 }
 
 // bulkChild recurses into a child, building a fresh subtree when the child
-// is absent.
-func (t *Tree) bulkChild(w int, slot **node, batch []Interval, anc []*node, doubled *[]doubledEnt) int {
+// is absent. slot points at the parent's child-handle field (stable: slab
+// buckets never move).
+func (t *Tree) bulkChild(w int, slot *uint32, batch []Interval, anc []uint32, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
-	if *slot == nil {
+	if *slot == alloc.Nil {
 		eps := gatherEndpoints(batch)
 		t.sortEndpointsW(eps, batch, t.worker(w))
 		sub := t.buildPostSortedAt(eps, batch, w, nil)
@@ -164,17 +174,19 @@ func (t *Tree) bulkChild(w int, slot **node, batch []Interval, anc []*node, doub
 		t.statsMu.Lock()
 		t.stats.LeafInsertions += int64(len(batch))
 		t.statsMu.Unlock()
-		return weightOf(sub) - 1
+		return t.weightOf(sub) - 1
 	}
 	return t.bulkRec(w, *slot, batch, anc, doubled)
 }
 
 // mergeCovers unions a batch of covering intervals into n's inner trees,
-// running as worker w. Large batches use the parallel treap union.
+// running as worker w. Large batches use the parallel treap union. The
+// staging treaps are built in the tree's shared store (unions splice nodes
+// between trees, so both operands must draw from the same arena).
 func (t *Tree) mergeCovers(w int, n *node, covers []Interval) {
 	wk := t.worker(w)
 	if n.byLeft == nil {
-		t.fillInnerW(n, covers, wk)
+		t.fillInnerW(n, covers, wk, w)
 		return
 	}
 	union := func(dst *treap.Tree[endKey], b *treap.Tree[endKey]) {
@@ -188,7 +200,7 @@ func (t *Tree) mergeCovers(w int, n *node, covers []Interval) {
 	for i, iv := range covers {
 		keysL[i] = endKey{v: iv.Left, id: iv.ID}
 	}
-	bl := treap.NewW(endLess, endPrio, wk)
+	bl := t.newInner(wk, w)
 	bl.FromSorted(keysL)
 	union(n.byLeft, bl)
 
@@ -204,7 +216,7 @@ func (t *Tree) mergeCovers(w int, n *node, covers []Interval) {
 	for i, iv := range byR {
 		keysR[i] = endKey{v: iv.Right, id: iv.ID}
 	}
-	br := treap.NewW(endLess, endPrio, wk)
+	br := t.newInner(wk, w)
 	br.FromSorted(keysR)
 	union(n.byRight, br)
 
@@ -226,13 +238,14 @@ func (t *Tree) BulkDelete(ivs []Interval) int {
 	return removed
 }
 
-// contains reports whether node x is reachable from n.
-func (t *Tree) contains(n, x *node) bool {
-	if n == nil {
+// contains reports whether node x is reachable from h.
+func (t *Tree) contains(h, x uint32) bool {
+	if h == alloc.Nil {
 		return false
 	}
-	if n == x {
+	if h == x {
 		return true
 	}
+	n := t.nd(h)
 	return t.contains(n.left, x) || t.contains(n.right, x)
 }

@@ -3,6 +3,7 @@ package interval
 import (
 	"math"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
@@ -24,9 +25,10 @@ func (t *Tree) CountStab(q float64) int {
 // worker-local handles and still total bit-identically to a sequential loop.
 func (t *Tree) countStabH(q float64, h asymmem.Worker) int {
 	total := 0
-	n := t.root
+	cur := t.root
 	lo := endKey{v: math.Inf(-1), id: math.MinInt32}
-	for n != nil {
+	for cur != alloc.Nil {
+		n := t.nd(cur)
 		h.Read()
 		switch {
 		case q < n.key:
@@ -34,16 +36,16 @@ func (t *Tree) countStabH(q float64, h asymmem.Worker) int {
 				// Intervals with Left ≤ q.
 				total += n.byLeft.CountRangeH(lo, endKey{v: q, id: math.MaxInt32}, h)
 			}
-			n = n.left
+			cur = n.left
 		case q > n.key:
 			if n.byRight != nil {
 				// Intervals with Right ≥ q.
 				total += n.byRight.Len() - n.byRight.CountRangeH(lo, endKey{v: q, id: math.MinInt32}, h)
 			}
-			n = n.right
+			cur = n.right
 		default:
 			total += len(n.ivs)
-			n = nil
+			cur = alloc.Nil
 		}
 	}
 	return total

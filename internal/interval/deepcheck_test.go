@@ -4,16 +4,18 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/parallel"
 )
 
 // deepCheck verifies every ivs entry has its exact keys in both inner trees.
 func deepCheck(tr *Tree) error {
-	var rec func(n *node) error
-	rec = func(n *node) error {
-		if n == nil {
+	var rec func(h uint32) error
+	rec = func(h uint32) error {
+		if h == alloc.Nil {
 			return nil
 		}
+		n := tr.nd(h)
 		for id, iv := range n.ivs {
 			if iv.ID != id {
 				return fmt.Errorf("ivs key %d holds interval with ID %d", id, iv.ID)

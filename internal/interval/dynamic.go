@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 )
 
@@ -25,8 +26,9 @@ func (t *Tree) Stab(q float64, visit func(Interval) bool) {
 // charges one per visited interval, StabBatch charges each query's output
 // size in bulk after packing — so the two call shapes count identically.
 func (t *Tree) stabH(q float64, h asymmem.Worker, visit func(Interval) bool) {
-	n := t.root
-	for n != nil {
+	cur := t.root
+	for cur != alloc.Nil {
+		n := t.nd(cur)
 		h.Read()
 		stop := false
 		switch {
@@ -43,7 +45,7 @@ func (t *Tree) stabH(q float64, h asymmem.Worker, visit func(Interval) bool) {
 					return true
 				})
 			}
-			n = n.left
+			cur = n.left
 		case q > n.key:
 			if n.byRight != nil {
 				n.byRight.ReverseInOrderH(h, func(k endKey) bool {
@@ -57,7 +59,7 @@ func (t *Tree) stabH(q float64, h asymmem.Worker, visit func(Interval) bool) {
 					return true
 				})
 			}
-			n = n.right
+			cur = n.right
 		default:
 			if n.byLeft != nil {
 				n.byLeft.InOrderH(h, func(k endKey) bool {
@@ -68,7 +70,7 @@ func (t *Tree) stabH(q float64, h asymmem.Worker, visit func(Interval) bool) {
 					return true
 				})
 			}
-			n = nil
+			cur = alloc.Nil
 		}
 		if stop {
 			return
@@ -92,40 +94,45 @@ func (t *Tree) Insert(iv Interval) error {
 	if iv.Right < iv.Left {
 		return fmt.Errorf("interval: inverted interval [%v, %v]", iv.Left, iv.Right)
 	}
-	if t.root == nil {
-		t.root = &node{key: iv.Left, weight: 2, initWeight: 2, critical: true}
+	if t.root == alloc.Nil {
+		t.root = t.newNode(0, iv.Left)
+		r := t.nd(t.root)
+		r.weight, r.initWeight, r.critical = 2, 2, true
 		t.meter.Write()
-		t.fillInner(t.root, []Interval{iv})
+		t.fillInner(r, []Interval{iv})
 		t.live++
 		return nil
 	}
 	// Descend to the target node, remembering the path.
-	var path []*node
-	n := t.root
-	var target *node
-	for n != nil {
+	var path []uint32
+	cur := t.root
+	target := alloc.Nil
+	for cur != alloc.Nil {
+		n := t.nd(cur)
 		t.meter.Read()
-		path = append(path, n)
+		path = append(path, cur)
 		if iv.Left <= n.key && n.key <= iv.Right {
-			target = n
+			target = cur
 			break
 		}
 		if iv.Right < n.key {
-			n = n.left
+			cur = n.left
 		} else {
-			n = n.right
+			cur = n.right
 		}
 	}
-	if target != nil {
-		t.insertInner(target, iv)
+	if target != alloc.Nil {
+		t.insertInner(t.nd(target), iv)
 		t.live++
 		return nil
 	}
 	// No key is covered: attach a new leaf under the last path node.
-	parent := path[len(path)-1]
-	leaf := &node{key: iv.Left, weight: 2, initWeight: 2, critical: true}
+	parent := t.nd(path[len(path)-1])
+	leaf := t.newNode(0, iv.Left)
+	ln := t.nd(leaf)
+	ln.weight, ln.initWeight, ln.critical = 2, 2, true
 	t.meter.Write()
-	t.fillInner(leaf, []Interval{iv})
+	t.fillInner(ln, []Interval{iv})
 	if iv.Right < parent.key {
 		parent.left = leaf
 	} else {
@@ -136,30 +143,32 @@ func (t *Tree) Insert(iv Interval) error {
 
 	// Update weights: classic mode writes every ancestor; α-labeling
 	// writes only the critical ones.
-	var unbalanced *node
+	unbalanced := alloc.Nil
 	unbalancedIdx := -1
-	for i, a := range path {
+	for i, ah := range path {
+		a := t.nd(ah)
 		if t.opts.classic() || a.critical {
 			a.weight++
 			t.meter.Write()
 			t.stats.WeightWrites++
 		}
-		if unbalanced == nil && t.isUnbalanced(a) {
-			unbalanced, unbalancedIdx = a, i
+		if unbalanced == alloc.Nil && t.isUnbalanced(ah) {
+			unbalanced, unbalancedIdx = ah, i
 		}
 	}
-	if unbalanced != nil {
-		var parent *node
+	if unbalanced != alloc.Nil {
+		parent := alloc.Nil
 		if unbalancedIdx > 0 {
 			parent = path[unbalancedIdx-1]
 		}
-		oldW := weightOf(unbalanced)
+		oldW := t.weightOf(unbalanced)
 		sub := t.rebuildSubtree(unbalanced, parent)
 		// Rebuilding from the live intervals may change the outer node
 		// count (empty nodes are dropped, single-endpoint leaves become
 		// endpoint pairs); keep the maintained ancestor weights exact.
-		if delta := weightOf(sub) - oldW; delta != 0 {
-			for _, a := range path[:unbalancedIdx] {
+		if delta := t.weightOf(sub) - oldW; delta != 0 {
+			for _, ah := range path[:unbalancedIdx] {
+				a := t.nd(ah)
 				if t.opts.classic() || a.critical {
 					a.weight += delta
 					t.meter.Write()
@@ -171,16 +180,17 @@ func (t *Tree) Insert(iv Interval) error {
 	return nil
 }
 
-func (t *Tree) isUnbalanced(n *node) bool {
+func (t *Tree) isUnbalanced(h uint32) bool {
+	n := t.nd(h)
 	if t.opts.classic() {
 		// Standard weight balance: rebuild when one child holds more than
 		// ~71% of the weight.
-		w := weightOf(n)
+		w := n.weight
 		if w < 8 {
 			return false
 		}
-		mx := weightOf(n.left)
-		if r := weightOf(n.right); r > mx {
+		mx := t.weightOf(n.left)
+		if r := t.weightOf(n.right); r > mx {
 			mx = r
 		}
 		return float64(mx) > 0.71*float64(w)
@@ -188,18 +198,19 @@ func (t *Tree) isUnbalanced(n *node) bool {
 	return n.critical && n.weight >= 2*n.initWeight
 }
 
-// findParent locates child's parent by traversal (nil for the root).
+// findParent locates child's parent by traversal (Nil for the root).
 // Duplicate keys make a guided descent unreliable, and rebuilds are rare
 // enough that the traversal cost is amortized away.
-func findParent(root, child *node) *node {
-	var parent *node
-	var rec func(n *node) bool
-	rec = func(n *node) bool {
-		if n == nil {
+func (t *Tree) findParent(root, child uint32) uint32 {
+	parent := alloc.Nil
+	var rec func(h uint32) bool
+	rec = func(h uint32) bool {
+		if h == alloc.Nil {
 			return false
 		}
+		n := t.nd(h)
 		if n.left == child || n.right == child {
-			parent = n
+			parent = h
 			return true
 		}
 		return rec(n.left) || rec(n.right)
@@ -233,11 +244,12 @@ func (t *Tree) insertInner(n *node, iv Interval) {
 // the rank-based LCA of its own endpoints, which need not be the first
 // value-stabbed node on the path.
 func (t *Tree) Delete(iv Interval) bool {
-	var rec func(n *node) bool
-	rec = func(n *node) bool {
-		if n == nil {
+	var rec func(h uint32) bool
+	rec = func(h uint32) bool {
+		if h == alloc.Nil {
 			return false
 		}
+		n := t.nd(h)
 		t.meter.Read()
 		if iv.Right < n.key {
 			return rec(n.left)
@@ -275,11 +287,12 @@ func (t *Tree) Delete(iv Interval) bool {
 // Intervals returns all live intervals.
 func (t *Tree) Intervals() []Interval {
 	var out []Interval
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		n := t.nd(h)
 		rec(n.left)
 		for _, iv := range n.ivs {
 			out = append(out, iv)
@@ -290,14 +303,19 @@ func (t *Tree) Intervals() []Interval {
 	return out
 }
 
-// rebuildSubtree reconstructs the subtree rooted at n from its intervals
+// rebuildSubtree reconstructs the subtree rooted at h from its intervals
 // using the post-sorted algorithm (O(n' log n') reads, O(n') writes plus
-// the charged sort), then relabels it (§7.3.2). Returns the new subtree.
-func (t *Tree) rebuildSubtree(n *node, parent *node) *node {
-	ivs := collectIntervals(n)
+// the charged sort), then relabels it (§7.3.2). The old subtree's handles
+// are recycled (or queued, mid-bulk) before the rebuild allocates, so a
+// churning tree reuses its own slots instead of growing the arena.
+// Returns the new subtree.
+func (t *Tree) rebuildSubtree(h, parent uint32) uint32 {
+	n := t.nd(h)
+	ivs := t.collectIntervals(h)
 	t.stats.Rebuilds++
 	t.stats.RebuildWork += int64(len(ivs))
 	s := n.initWeight
+	t.freeSubtree(h)
 	eps := gatherEndpoints(ivs)
 	t.sortEndpoints(eps, ivs)
 	sub := t.buildPostSorted(eps, ivs)
@@ -305,36 +323,37 @@ func (t *Tree) rebuildSubtree(n *node, parent *node) *node {
 	if !t.opts.classic() {
 		skip = alabel.SkipRootMark(s, t.opts.Alpha)
 	}
-	t.labelSubtree(sub, weightOf(sub), skip)
+	t.labelSubtree(sub, t.weightOf(sub), skip)
 	switch {
-	case parent == nil:
+	case parent == alloc.Nil:
 		t.root = sub
 		// The tree root is always a virtual critical node (§7.3.1); the
 		// §7.3.2 skip exception never applies to it.
 		t.markVirtualRoot()
-	case parent.left == n:
-		parent.left = sub
+	case t.nd(parent).left == h:
+		t.nd(parent).left = sub
 	default:
-		parent.right = sub
+		t.nd(parent).right = sub
 	}
 	t.meter.Write()
 	return sub
 }
 
-func collectIntervals(n *node) []Interval {
+func (t *Tree) collectIntervals(h uint32) []Interval {
 	var out []Interval
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		n := t.nd(h)
 		rec(n.left)
 		for _, iv := range n.ivs {
 			out = append(out, iv)
 		}
 		rec(n.right)
 	}
-	rec(n)
+	rec(h)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Left != out[j].Left {
 			return out[i].Left < out[j].Left
@@ -344,11 +363,15 @@ func collectIntervals(n *node) []Interval {
 	return out
 }
 
-// rebuildAll reconstructs the whole tree from the live intervals.
+// rebuildAll reconstructs the whole tree from the live intervals on fresh
+// arenas: every old handle dies at once, so the pools are simply replaced
+// (constant time) and the rebuilt tree starts from a compact handle space
+// instead of a free list proportional to the churn history.
 func (t *Tree) rebuildAll() {
 	ivs := t.Intervals()
 	t.stats.FullRebuilds++
 	t.stats.RebuildWork += int64(len(ivs))
+	t.resetArenas()
 	eps := gatherEndpoints(ivs)
 	t.sortEndpoints(eps, ivs)
 	t.root = t.buildPostSorted(eps, ivs)
@@ -361,18 +384,20 @@ func (t *Tree) rebuildAll() {
 // weight bookkeeping at critical nodes, and — in α mode — the Corollary
 // 7.1/7.2 path bounds.
 func (t *Tree) Check() error {
-	var count func(n *node) int
-	count = func(n *node) int {
-		if n == nil {
+	var count func(h uint32) int
+	count = func(h uint32) int {
+		if h == alloc.Nil {
 			return 0
 		}
+		n := t.nd(h)
 		return 1 + count(n.left) + count(n.right)
 	}
-	var rec func(n *node, lo, hi float64) error
-	rec = func(n *node, lo, hi float64) error {
-		if n == nil {
+	var rec func(h uint32, lo, hi float64) error
+	rec = func(h uint32, lo, hi float64) error {
+		if h == alloc.Nil {
 			return nil
 		}
+		n := t.nd(h)
 		if n.key < lo || n.key > hi {
 			return fmt.Errorf("interval: key %v outside range [%v, %v]", n.key, lo, hi)
 		}
@@ -385,7 +410,7 @@ func (t *Tree) Check() error {
 			return fmt.Errorf("interval: inner tree sizes %d/%d != %d", n.byLeft.Len(), n.byRight.Len(), len(n.ivs))
 		}
 		if n.critical || t.opts.classic() {
-			if got, want := n.weight, count(n)+1; got != want {
+			if got, want := n.weight, count(h)+1; got != want {
 				return fmt.Errorf("interval: maintained weight %d != actual %d", got, want)
 			}
 		}
@@ -398,11 +423,12 @@ func (t *Tree) Check() error {
 		return err
 	}
 	total := 0
-	var sum func(n *node)
-	sum = func(n *node) {
-		if n == nil {
+	var sum func(h uint32)
+	sum = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		n := t.nd(h)
 		total += len(n.ivs)
 		sum(n.left)
 		sum(n.right)
@@ -427,9 +453,9 @@ type PathStats struct {
 // PathStats measures the α-labeling invariants.
 func (t *Tree) PathStats() PathStats {
 	var st PathStats
-	var rec func(n *node, depth, crit, run int)
-	rec = func(n *node, depth, crit, run int) {
-		if n == nil {
+	var rec func(h uint32, depth, crit, run int)
+	rec = func(h uint32, depth, crit, run int) {
+		if h == alloc.Nil {
 			if depth > st.MaxPathLen {
 				st.MaxPathLen = depth
 			}
@@ -438,6 +464,7 @@ func (t *Tree) PathStats() PathStats {
 			}
 			return
 		}
+		n := t.nd(h)
 		if n.critical {
 			crit++
 			run = 0

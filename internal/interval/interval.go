@@ -17,6 +17,15 @@
 //     inserts and deletes maintain subtree weights only at critical nodes,
 //     writing O(log_α n) locations per update, and rebuild a critical
 //     node's subtree once its weight doubles.
+//
+// Outer nodes are not heap objects: they live in an internal/alloc pool
+// addressed by uint32 handles (left/right are index pairs), and every
+// node's byLeft/byRight inner treaps allocate from one shared treap.Store,
+// so the whole structure occupies a handful of flat slabs. Handles recycle
+// through per-worker free lists on delete-triggered rebuilds; the arena
+// changes memory layout only — every model charge stays at the same
+// program point, so counted costs are bit-identical to the pointer-node
+// implementation.
 package interval
 
 import (
@@ -27,6 +36,7 @@ import (
 	"sync"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/lca"
@@ -58,9 +68,11 @@ func endPrio(k endKey) uint64 {
 	return parallel.Hash64(math.Float64bits(k.v) ^ uint64(uint32(k.id))*0x9e3779b97f4a7c15)
 }
 
+// node is one outer-tree node, stored flat in the tree's pool; left and
+// right are handles into the same pool (alloc.Nil = no child).
 type node struct {
 	key         float64
-	left, right *node
+	left, right uint32
 	byLeft      *treap.Tree[endKey] // covering intervals, keyed (Left, ID)
 	byRight     *treap.Tree[endKey] // covering intervals, keyed (Right, ID)
 	ivs         map[int32]Interval  // covering intervals by ID
@@ -83,7 +95,7 @@ func (o Options) classic() bool { return o.Alpha < 2 }
 // Tree is an interval tree.
 type Tree struct {
 	opts    Options
-	root    *node
+	root    uint32
 	live    int // live intervals
 	deleted int
 	meter   asymmem.Worker
@@ -93,6 +105,85 @@ type Tree struct {
 	wm      func(int) asymmem.Worker
 	statsMu sync.Mutex // guards stats on the parallel build/bulk paths
 	stats   Stats
+
+	pool *alloc.Pool[node]    // outer-node arena
+	est  *treap.Store[endKey] // shared arena for every inner treap
+	// Deferred frees: BulkInsert's doubled-rebuild loop revalidates stale
+	// handles by reachability, so handles freed during the loop must not
+	// recycle until it finishes (a recycled handle re-attached elsewhere
+	// would alias a pending entry).
+	deferFrees  bool
+	pendingFree []uint32
+}
+
+// arenas lazily initializes the node pool and inner-treap store, so trees
+// assembled field-by-field (tests, decode) work like built ones.
+func (t *Tree) arenas() {
+	if t.pool == nil {
+		t.pool = alloc.NewPool[node]()
+		t.est = treap.NewStore(endLess, endPrio)
+	}
+}
+
+// resetArenas drops the whole arena (full rebuilds): constant time, the
+// old slabs are garbage-collected wholesale, and the rebuilt tree starts
+// from a compact handle space.
+func (t *Tree) resetArenas() {
+	t.pool = alloc.NewPool[node]()
+	t.est = treap.NewStore(endLess, endPrio)
+}
+
+// nd resolves a node handle; the pointer is stable for the node's lifetime
+// (slab buckets never move).
+func (t *Tree) nd(h uint32) *node { return t.pool.At(h) }
+
+// newNode allocates an outer node keyed at key from worker w's pool. The
+// caller charges the model write, exactly as &node{} sites did.
+func (t *Tree) newNode(w int, key float64) uint32 {
+	t.arenas()
+	h := t.pool.Alloc(w)
+	t.nd(h).key = key
+	return h
+}
+
+// newInner returns an empty cover treap in the shared store charging wk,
+// allocating from worker w's pools.
+func (t *Tree) newInner(wk asymmem.Worker, w int) *treap.Tree[endKey] {
+	t.arenas()
+	return t.est.NewTree(wk, w)
+}
+
+// freeSubtree recycles an outer subtree — inner treap nodes to the shared
+// store, outer slots to the pool — or defers the recycling while a bulk
+// doubled-rebuild loop holds revalidatable handles. No model charges:
+// dropping a subtree was free under GC too.
+func (t *Tree) freeSubtree(h uint32) {
+	if h == alloc.Nil {
+		return
+	}
+	if t.deferFrees {
+		t.pendingFree = append(t.pendingFree, h)
+		return
+	}
+	n := t.nd(h)
+	l, r := n.left, n.right
+	if n.byLeft != nil {
+		n.byLeft.Release()
+		n.byRight.Release()
+	}
+	t.pool.Free(0, h)
+	t.freeSubtree(l)
+	t.freeSubtree(r)
+}
+
+// flushFrees performs the frees deferred during a bulk loop.
+func (t *Tree) flushFrees() {
+	t.deferFrees = false
+	pending := t.pendingFree
+	t.pendingFree = nil
+	for _, h := range pending {
+		t.freeSubtree(h)
+	}
 }
 
 // worker returns the charging handle for worker w, falling back to the
@@ -148,6 +239,7 @@ func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
@@ -173,6 +265,7 @@ func BuildClassicConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	eps := gatherEndpoints(ivs)
 	cfg.Phase("interval/sort", func() { t.sortEndpoints(eps, ivs) })
 	if err := cfg.Check(); err != nil {
@@ -264,7 +357,7 @@ const innerRunGrain = 32
 // buildPostSorted is the §7.2 construction: O(n) reads and writes given
 // sorted endpoints. It runs on the fork-join pool with the caller as
 // worker 0 (buildPostSortedAt for callers already running as some worker).
-func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
+func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) uint32 {
 	return t.buildPostSortedAt(eps, ivs, 0, nil)
 }
 
@@ -276,40 +369,46 @@ func (t *Tree) buildPostSorted(eps []endpoint, ivs []Interval) *node {
 // (the work is the same; only wall-clock and per-worker attribution move).
 // in, when non-nil, is polled at fork boundaries; a tripped interrupt
 // abandons the build and returns a partial tree the caller must discard.
-func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *parallel.Interrupt) *node {
+func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *parallel.Interrupt) uint32 {
 	m := len(eps)
 	if m == 0 {
-		return nil
+		return alloc.Nil
 	}
+	t.arenas()
 	// Build the perfectly balanced BST; record each rank's heap index. The
 	// mid-rank split halves sizes, so heap indices stay below
 	// 2^bits.Len(m); a flat slice (unlike the map a sequential builder
 	// could use) lets forked branches record nodes at disjoint indices
-	// without synchronization.
-	nodesByHeap := make([]*node, 2<<bits.Len(uint(m)))
+	// without synchronization. Node handles are nondeterministic at P > 1
+	// (workers draw from separate blocks); all cross-stage references go
+	// through heap indices, never handle order.
+	nodesByHeap := make([]uint32, 2<<bits.Len(uint(m)))
 	rankToHeap := make([]uint32, m)
-	var build func(w, lo, hi int, h uint32, wk asymmem.Worker) *node
-	build = func(w, lo, hi int, h uint32, wk asymmem.Worker) *node {
+	var build func(w, lo, hi int, h uint32, wk asymmem.Worker) uint32
+	build = func(w, lo, hi int, h uint32, wk asymmem.Worker) uint32 {
 		if lo >= hi || in.Stopped() {
-			return nil
+			return alloc.Nil
 		}
 		mid := (lo + hi) / 2
-		n := &node{key: eps[mid].v}
+		nh := t.newNode(w, eps[mid].v)
 		wk.Write()
-		nodesByHeap[h] = n
+		nodesByHeap[h] = nh
 		rankToHeap[mid] = uint32(h)
+		n := t.nd(nh)
 		if hi-lo <= buildGrain {
 			n.left = build(w, lo, mid, 2*h, wk)
 			n.right = build(w, mid+1, hi, 2*h+1, wk)
 		} else if in.Poll() {
-			return n
+			return nh
 		} else {
+			var cl, cr uint32
 			parallel.DoW(w,
-				func(w int) { n.left = build(w, lo, mid, 2*h, t.worker(w)) },
-				func(w int) { n.right = build(w, mid+1, hi, 2*h+1, t.worker(w)) })
+				func(w int) { cl = build(w, lo, mid, 2*h, t.worker(w)) },
+				func(w int) { cr = build(w, mid+1, hi, 2*h+1, t.worker(w)) })
+			n.left, n.right = cl, cr
 		}
-		n.weight = weightOf(n.left) + weightOf(n.right)
-		return n
+		n.weight = t.weightOf(n.left) + t.weightOf(n.right)
+		return nh
 	}
 	root := build(w, 0, m, 1, t.worker(w))
 	if in.Stopped() {
@@ -387,7 +486,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 	// a pair as well. Each loop block hoists one fillScratch — the run
 	// buffer, the key staging slice, and the treap spine stack — so the hot
 	// per-node fills allocate only what the tree retains.
-	group := func(w int, items []prims.Item, fill func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch)) {
+	group := func(w int, items []prims.Item, fill func(w int, wk asymmem.Worker, n *node, run []int32, sc *fillScratch)) {
 		var starts []int
 		for i := 0; i < len(items); {
 			starts = append(starts, i)
@@ -412,7 +511,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 				for k := lo; k < hi; k++ {
 					sc.run = append(sc.run, items[k].Val)
 				}
-				fill(wk, nodesByHeap[heapOf[items[lo].Val]], sc.run, &sc)
+				fill(w, wk, t.nd(nodesByHeap[heapOf[items[lo].Val]]), sc.run, &sc)
 			}
 		})
 	}
@@ -421,7 +520,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 	}
 	parallel.DoW(w,
 		func(w int) {
-			group(w, byL, func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
+			group(w, byL, func(w int, wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
 				if n.byLeft != nil {
 					panic("buildPostSorted: node received two byL runs")
 				}
@@ -429,7 +528,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 				for i, vi := range run {
 					keys[i] = endKey{v: ivs[vi].Left, id: ivs[vi].ID}
 				}
-				n.byLeft = treap.NewW(endLess, endPrio, wk)
+				n.byLeft = t.newInner(wk, w)
 				n.byLeft.FromSortedScratch(keys, &sc.spine)
 				for i := 1; i < len(keys); i++ {
 					if !endLess(keys[i-1], keys[i]) {
@@ -439,7 +538,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 			})
 		},
 		func(w int) {
-			group(w, byR, func(wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
+			group(w, byR, func(w int, wk asymmem.Worker, n *node, run []int32, sc *fillScratch) {
 				if n.byRight != nil {
 					panic("buildPostSorted: node received two byR runs")
 				}
@@ -452,7 +551,7 @@ func (t *Tree) buildPostSortedAt(eps []endpoint, ivs []Interval, w int, in *para
 						panic("buildPostSorted: byR keys not strictly increasing")
 					}
 				}
-				n.byRight = treap.NewW(endLess, endPrio, wk)
+				n.byRight = t.newInner(wk, w)
 				n.byRight.FromSortedScratch(keys, &sc.spine)
 				n.ivs = make(map[int32]Interval, len(run))
 				for _, vi := range run {
@@ -491,19 +590,21 @@ func (sc *fillScratch) stageKeys(n int) []endKey {
 // bulk per node to worker-local handles, identical totals at any P — while
 // its wall-clock scales, keeping classic-vs-ours comparisons apples-to-
 // apples at P > 1).
-func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) *node {
+func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) uint32 {
 	if len(eps) == 0 {
-		return nil
+		return alloc.Nil
 	}
+	t.arenas()
 	// Build the outer tree over all endpoints to keep the same shape as
 	// the post-sorted version; recursion works on endpoint ranges.
-	var build func(w, lo, hi int, pool []Interval, wk asymmem.Worker) *node
-	build = func(w, lo, hi int, pool []Interval, wk asymmem.Worker) *node {
+	var build func(w, lo, hi int, pool []Interval, wk asymmem.Worker) uint32
+	build = func(w, lo, hi int, pool []Interval, wk asymmem.Worker) uint32 {
 		if lo >= hi {
-			return nil
+			return alloc.Nil
 		}
 		mid := (lo + hi) / 2
-		n := &node{key: eps[mid].v}
+		nh := t.newNode(w, eps[mid].v)
+		n := t.nd(nh)
 		wk.Write()
 		var lefts, rights, covers []Interval
 		for _, iv := range pool {
@@ -519,35 +620,37 @@ func (t *Tree) buildClassicRec(eps []endpoint, ivs []Interval) *node {
 		// Classic: every interval is read and copied at every level.
 		wk.ReadN(len(pool))
 		wk.WriteN(len(pool))
-		t.fillInnerW(n, covers, wk)
+		t.fillInnerW(n, covers, wk, w)
 		if hi-lo <= buildGrain && len(pool) <= buildGrain {
 			n.left = build(w, lo, mid, lefts, wk)
 			n.right = build(w, mid+1, hi, rights, wk)
 		} else {
+			var cl, cr uint32
 			parallel.DoW(w,
-				func(w int) { n.left = build(w, lo, mid, lefts, t.worker(w)) },
-				func(w int) { n.right = build(w, mid+1, hi, rights, t.worker(w)) })
+				func(w int) { cl = build(w, lo, mid, lefts, t.worker(w)) },
+				func(w int) { cr = build(w, mid+1, hi, rights, t.worker(w)) })
+			n.left, n.right = cl, cr
 		}
-		n.weight = weightOf(n.left) + weightOf(n.right)
-		return n
+		n.weight = t.weightOf(n.left) + t.weightOf(n.right)
+		return nh
 	}
 	return build(0, 0, len(eps), ivs, t.worker(0))
 }
 
 // fillInner populates a node's inner trees from an unsorted cover set.
 func (t *Tree) fillInner(n *node, covers []Interval) {
-	t.fillInnerW(n, covers, t.meter)
+	t.fillInnerW(n, covers, t.meter, 0)
 }
 
-// fillInnerW is fillInner charging a worker-local handle. The two cover-set
-// sorts are charged at one read per comparison in closed form
-// (prims.ComparisonSortReads), so the classic baseline's counted cost is a
-// pure function of the input and never moves with P now that classic nodes
-// fill concurrently.
-func (t *Tree) fillInnerW(n *node, covers []Interval, wk asymmem.Worker) {
+// fillInnerW is fillInner charging a worker-local handle and allocating
+// from worker w's arena pools. The two cover-set sorts are charged at one
+// read per comparison in closed form (prims.ComparisonSortReads), so the
+// classic baseline's counted cost is a pure function of the input and
+// never moves with P now that classic nodes fill concurrently.
+func (t *Tree) fillInnerW(n *node, covers []Interval, wk asymmem.Worker, w int) {
 	if n.byLeft == nil {
-		n.byLeft = treap.NewW(endLess, endPrio, wk)
-		n.byRight = treap.NewW(endLess, endPrio, wk)
+		n.byLeft = t.newInner(wk, w)
+		n.byRight = t.newInner(wk, w)
 		n.ivs = make(map[int32]Interval, len(covers))
 	}
 	sort.Slice(covers, func(i, j int) bool {
@@ -581,47 +684,49 @@ func (t *Tree) fillInnerW(n *node, covers []Interval, wk asymmem.Worker) {
 // weightOf follows the paper's convention: weight = subtree node count + 1,
 // so an empty subtree has weight 1 and a node's weight is the sum of its
 // children's weights.
-func weightOf(n *node) int {
-	if n == nil {
+func (t *Tree) weightOf(h uint32) int {
+	if h == alloc.Nil {
 		return 1
 	}
-	return n.weight
+	return t.nd(h).weight
 }
 
 // finishLabels computes weights and marks critical nodes over the whole
 // tree (O(n) reads/writes, §7.3.1).
 func (t *Tree) finishLabels() {
 	t.stats.OuterNodes = t.countNodes(t.root)
-	t.labelSubtree(t.root, weightOf(t.root), false)
+	t.labelSubtree(t.root, t.weightOf(t.root), false)
 	t.markVirtualRoot()
 }
 
-func (t *Tree) countNodes(n *node) int {
-	if n == nil {
+func (t *Tree) countNodes(h uint32) int {
+	if h == alloc.Nil {
 		return 0
 	}
+	n := t.nd(h)
 	return 1 + t.countNodes(n.left) + t.countNodes(n.right)
 }
 
 // labelSubtree recomputes weights bottom-up and marks critical nodes.
 // skipRoot suppresses marking the subtree root (the §7.3.2 exception).
-func (t *Tree) labelSubtree(root *node, _ int, skipRoot bool) {
+func (t *Tree) labelSubtree(root uint32, _ int, skipRoot bool) {
 	t.labelSubtreeW(root, skipRoot, t.meter)
 }
 
 // labelSubtreeW is labelSubtree charging a worker-local handle.
-func (t *Tree) labelSubtreeW(root *node, skipRoot bool, wk asymmem.Worker) {
-	var rec func(n, sib *node) int
-	rec = func(n, sib *node) int {
-		if n == nil {
+func (t *Tree) labelSubtreeW(root uint32, skipRoot bool, wk asymmem.Worker) {
+	var rec func(h, sib uint32) int
+	rec = func(h, sib uint32) int {
+		if h == alloc.Nil {
 			return 1
 		}
+		n := t.nd(h)
 		wl := rec(n.left, n.right)
 		wr := rec(n.right, n.left)
 		n.weight = wl + wr // paper: a node's weight is the sum of its children's
 		sw := 0
-		if sib != nil {
-			sw = weightOf(sib)
+		if sib != alloc.Nil {
+			sw = t.weightOf(sib)
 		}
 		if t.opts.classic() {
 			n.critical = true
@@ -632,17 +737,18 @@ func (t *Tree) labelSubtreeW(root *node, skipRoot bool, wk asymmem.Worker) {
 		wk.Write()
 		return n.weight
 	}
-	rec(root, nil)
-	if root != nil && skipRoot {
-		root.critical = false
+	rec(root, alloc.Nil)
+	if root != alloc.Nil && skipRoot {
+		t.nd(root).critical = false
 	}
 }
 
 // markVirtualRoot forces the tree root to be the paper's virtual critical
 // node regardless of the predicate.
 func (t *Tree) markVirtualRoot() {
-	if t.root != nil {
-		t.root.critical = true
-		t.root.initWeight = t.root.weight
+	if t.root != alloc.Nil {
+		n := t.nd(t.root)
+		n.critical = true
+		n.initWeight = n.weight
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/gen"
@@ -17,11 +18,12 @@ import (
 // be compared node-for-node.
 func dumpTree(tr *Tree) string {
 	var b strings.Builder
-	var rec func(n *node, depth int)
-	rec = func(n *node, depth int) {
-		if n == nil {
+	var rec func(h uint32, depth int)
+	rec = func(h uint32, depth int) {
+		if h == alloc.Nil {
 			return
 		}
+		n := tr.nd(h)
 		fmt.Fprintf(&b, "%*sk=%v w=%d iw=%d c=%v", depth, "", n.key, n.weight, n.initWeight, n.critical)
 		if n.byLeft != nil {
 			fmt.Fprintf(&b, " L=%v R=%v", n.byLeft.Keys(), n.byRight.Keys())

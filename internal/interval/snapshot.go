@@ -4,27 +4,24 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/checkpoint"
 	"repro/internal/config"
-	"repro/internal/treap"
 )
 
 // noCharge is the inactive handle snapshot encoding traverses with — reading
 // the structure out is not a model query.
 var noCharge = asymmem.Worker{}
 
-// newInner creates an empty cover treap charging h.
-func newInner(h asymmem.Worker) *treap.Tree[endKey] {
-	return treap.NewW(endLess, endPrio, h)
-}
-
 // EncodeSnapshot serializes the built tree for internal/checkpoint. The
 // encoding stores each outer node's cover set once, in byLeft (Left, ID)
 // order; the byRight treap and the id map are derivable from it, and treap
 // priorities are deterministic key hashes, so DecodeSnapshot rebuilds the
 // exact canonical shapes — queries on the restored tree charge bit-identical
-// costs. Encoding is a pure read of the structure and charges nothing.
+// costs. The outer-node and total-cover counts lead the node stream so the
+// decoder can reserve the whole arena up front. Encoding is a pure read of
+// the structure and charges nothing.
 func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.Int(t.opts.Alpha)
 	e.Int(t.live)
@@ -36,12 +33,28 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.I64(st.WeightWrites)
 	e.Int(st.FullRebuilds)
 	e.I64(st.LeafInsertions)
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	nodes, covers := 0, 0
+	var tally func(h uint32)
+	tally = func(h uint32) {
+		if h == alloc.Nil {
+			return
+		}
+		n := t.nd(h)
+		nodes++
+		covers += len(n.ivs)
+		tally(n.left)
+		tally(n.right)
+	}
+	tally(t.root)
+	e.U64(uint64(nodes))
+	e.U64(uint64(covers))
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			e.Bool(false)
 			return
 		}
+		n := t.nd(h)
 		e.Bool(true)
 		e.F64(n.key)
 		e.Int(n.weight)
@@ -70,8 +83,12 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 // DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
 // cfg.Meter O(n) writes (one per node or interval placed — a replica boots
 // for the cost of writing the structure down, not of re-running the build).
+// The leading counts size the arenas in two bulk reservations: the outer
+// nodes come off one contiguous AllocBulk block and the inner-treap slabs
+// are grown once, so the decode loop performs no per-node pool traffic.
 func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t := &Tree{meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	t.opts.Alpha = d.Int()
 	t.live = d.Int()
 	t.deleted = d.Int()
@@ -81,12 +98,26 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t.stats.WeightWrites = d.I64()
 	t.stats.FullRebuilds = d.Int()
 	t.stats.LeafInsertions = d.I64()
-	var rec func() *node
-	rec = func() *node {
+	// Each node occupies at least 14 bytes (marker, key, three varints,
+	// cover header); each cover at least 17 (two floats, varint id).
+	nodes := d.Count(14)
+	covers := d.Count(17)
+	next := t.pool.AllocBulk(nodes)
+	used := 0
+	t.est.Reserve(2 * covers)
+	var rec func() uint32
+	rec = func() uint32 {
 		if !d.Bool() || d.Err() != nil {
-			return nil
+			return alloc.Nil
 		}
-		n := &node{key: d.F64()}
+		if used >= nodes { // more markers than the declared node count
+			d.Fail()
+			return alloc.Nil
+		}
+		h := next + uint32(used)
+		used++
+		n := t.nd(h)
+		n.key = d.F64()
 		t.meter.Write()
 		n.weight = d.Int()
 		n.initWeight = d.Int()
@@ -94,33 +125,33 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 		// Each cover occupies two fixed floats plus a varint id.
 		m := d.Count(17)
 		if d.Bool() {
-			covers := make([]Interval, m)
+			cvs := make([]Interval, m)
 			keys := make([]endKey, m)
 			for i := 0; i < m; i++ {
 				iv := Interval{Left: d.F64(), Right: d.F64(), ID: d.I32()}
-				covers[i] = iv
+				cvs[i] = iv
 				keys[i] = endKey{v: iv.Left, id: iv.ID}
 			}
-			n.byLeft = newInner(t.meter)
+			n.byLeft = t.newInner(t.meter, 0)
 			n.byLeft.FromSorted(keys)
-			sort.Slice(covers, func(i, j int) bool {
-				if covers[i].Right != covers[j].Right {
-					return covers[i].Right < covers[j].Right
+			sort.Slice(cvs, func(i, j int) bool {
+				if cvs[i].Right != cvs[j].Right {
+					return cvs[i].Right < cvs[j].Right
 				}
-				return covers[i].ID < covers[j].ID
+				return cvs[i].ID < cvs[j].ID
 			})
 			n.ivs = make(map[int32]Interval, m)
-			for i, iv := range covers {
+			for i, iv := range cvs {
 				keys[i] = endKey{v: iv.Right, id: iv.ID}
 				n.ivs[iv.ID] = iv
 			}
-			n.byRight = newInner(t.meter)
+			n.byRight = t.newInner(t.meter, 0)
 			n.byRight.FromSorted(keys)
 			t.meter.WriteN(m)
 		}
 		n.left = rec()
 		n.right = rec()
-		return n
+		return h
 	}
 	t.root = rec()
 	if err := d.Err(); err != nil {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/geom"
 )
 
@@ -33,17 +35,18 @@ import (
 // value: with duplicate coordinates (and with SAH splits) equal items can
 // legitimately live on either side of the plane.
 func (t *Tree) Delete(it Item) bool {
-	var rec func(n *node) bool
-	rec = func(n *node) bool {
-		if n == nil {
+	var rec func(c uint32) bool
+	rec = func(c uint32) bool {
+		if c == alloc.Nil {
 			return false
 		}
+		n := t.nd(c)
 		t.meter.Read()
 		if n.leaf {
 			for i := range n.items {
 				t.meter.Read()
-				if n.items[i].ID == it.ID && !n.deadMask[i] && n.items[i].P.Equal(it.P) {
-					n.deadMask[i] = true
+				if n.items[i].ID == it.ID && !n.isDead(i) && n.items[i].P.Equal(it.P) {
+					n.markDead(i)
 					t.meter.Write()
 					return true
 				}
@@ -69,10 +72,12 @@ func (t *Tree) Delete(it Item) bool {
 	return true
 }
 
-// rebuildAll reconstructs the tree from its live items.
+// rebuildAll reconstructs the tree from its live items on a fresh arena
+// (the old slabs drop wholesale, keeping arena growth bounded under churn).
 func (t *Tree) rebuildAll() {
 	items := t.Items()
-	t.arena = nil
+	t.pool = alloc.NewPool[node]()
+	t.byID = nil
 	t.dead = 0
 	t.size = len(items)
 	t.root = t.buildMedian(items, 0)
@@ -105,14 +110,15 @@ func NewSingleTree(t *Tree, mode BalanceMode) *SingleTree {
 	return &SingleTree{Tree: t, mode: mode}
 }
 
-func (t *Tree) recount(n *node) int {
-	if n == nil {
+func (t *Tree) recount(c uint32) int {
+	if c == alloc.Nil {
 		return 0
 	}
+	n := t.nd(c)
 	if n.leaf {
 		live := 0
 		for i := range n.items {
-			if !n.deadMask[i] {
+			if !n.isDead(i) {
 				live++
 			}
 		}
@@ -138,49 +144,53 @@ func (s *SingleTree) Insert(it Item) error {
 	if len(it.P) != s.dims {
 		return fmt.Errorf("kdtree: insert dimension %d, want %d", len(it.P), s.dims)
 	}
-	if s.root == nil {
+	if s.root == alloc.Nil {
 		s.root = s.newNode()
-		s.root.leaf = true
-		s.root.items = []Item{it}
-		s.root.deadMask = []bool{false}
-		s.root.count = 1
+		rn := s.nd(s.root)
+		rn.leaf = true
+		rn.items = []Item{it}
+		rn.deadBits = make([]uint64, 1)
+		rn.count = 1
 		s.size = 1
 		return nil
 	}
 	// Descend, updating counts and remembering the topmost violator.
 	type pathEnt struct {
-		n     *node
+		h     uint32
 		depth int
 	}
 	var path []pathEnt
-	n := s.root
+	c := s.root
 	depth := 0
+	n := s.nd(c)
 	for !n.leaf {
 		s.meter.Read()
 		n.count++
 		s.meter.Write()
-		path = append(path, pathEnt{n, depth})
+		path = append(path, pathEnt{c, depth})
 		if it.P[n.axis] < n.split {
-			n = n.left
+			c = n.left
 		} else {
-			n = n.right
+			c = n.right
 		}
+		n = s.nd(c)
 		depth++
 	}
 	n.items = append(n.items, it)
-	n.deadMask = append(n.deadMask, false)
+	n.growDeadBits()
 	n.count++
 	s.meter.Write()
 	s.size++
 	if len(n.items) > s.leafSize {
-		s.settleDynamic(n, depth)
+		s.settleDynamic(c, depth)
 	}
 	// Find the topmost node violating the balance budget and rebuild it.
 	budget := s.imbalanceBudget()
 	for _, pe := range path {
-		l, r := count(pe.n.left), count(pe.n.right)
+		pn := s.nd(pe.h)
+		l, r := s.count(pn.left), s.count(pn.right)
 		if l+r >= 2*s.leafSize && math.Abs(float64(l-r))/float64(l+r) > budget {
-			s.rebuildSubtree(pe.n, pe.depth)
+			s.rebuildSubtree(pe.h, pe.depth)
 			s.rebuilds++
 			break
 		}
@@ -188,54 +198,72 @@ func (s *SingleTree) Insert(it Item) error {
 	return nil
 }
 
-func count(n *node) int {
-	if n == nil {
+func (t *Tree) count(c uint32) int {
+	if c == alloc.Nil {
 		return 0
 	}
-	return n.count
+	return t.nd(c).count
 }
 
-// settleDynamic splits an overfull leaf at its median.
-func (s *SingleTree) settleDynamic(leaf *node, depth int) {
+// settleDynamic splits an overfull leaf at its median, keeping the leaf's
+// handle (the path above references it) and recycling the scratch root.
+func (s *SingleTree) settleDynamic(lh uint32, depth int) {
+	leaf := s.nd(lh)
 	items := make([]Item, 0, len(leaf.items))
 	for i := range leaf.items {
-		if !leaf.deadMask[i] {
+		if !leaf.isDead(i) {
 			items = append(items, leaf.items[i])
 		}
 	}
 	sub := s.buildMedian(items, depth)
-	*leaf = *sub
+	*leaf = *s.nd(sub)
+	s.byID[leaf.id] = lh
+	s.pool.Free(0, sub)
 }
 
-// rebuildSubtree reconstructs the subtree at n from its live items using
+// rebuildSubtree reconstructs the subtree at h from its live items using
 // the write-efficient p-batched builder on a reshuffled order — the paper's
-// rebuild cost is O(n′ log n′ + ωn′), i.e. only O(n′) writes. The rebuilt
+// rebuild cost is O(n′ log n′ + ωn′), i.e. only O(n′) writes. The scratch
+// build shares the owner's pool so the result grafts back by handle; the
+// old descendants recycle before the rebuild allocates. The rebuilt
 // subtree's axis phase restarts at 0, which affects only the split
 // heuristic, not correctness.
-func (s *SingleTree) rebuildSubtree(n *node, depth int) {
-	items := s.collect(n)
+func (s *SingleTree) rebuildSubtree(h uint32, depth int) {
+	n := s.nd(h)
+	items := s.collect(h)
 	items = SortItemsByRandomOrder(items, uint64(len(items))*0x9e37+uint64(s.rebuilds))
-	sub, err := BuildPBatched(s.dims, items, PBatchedOptions{Options: Options{LeafSize: s.leafSize}}, s.meter)
-	if err != nil || sub.root == nil {
+	l, r := n.left, n.right
+	n.left, n.right = alloc.Nil, alloc.Nil
+	s.freeSubtree(l)
+	s.freeSubtree(r)
+	sub, err := buildPBatched(s.dims, items, PBatchedOptions{Options: Options{LeafSize: s.leafSize}},
+		config.Config{Meter: s.meter}, s.pool)
+	if err != nil || sub.root == alloc.Nil {
 		// Dimensions were validated at insert; err is impossible here, but
 		// fall back to the in-place builder defensively.
-		*n = *s.buildMedian(items, depth)
+		mh := s.buildMedian(items, depth)
+		*n = *s.nd(mh)
+		s.byID[n.id] = h
+		s.pool.Free(0, mh)
 		return
 	}
 	sub.recount(sub.root)
-	*n = *sub.root
+	*n = *s.nd(sub.root)
+	s.byID[n.id] = h
+	s.pool.Free(0, sub.root)
 }
 
-func (s *SingleTree) collect(n *node) []Item {
+func (s *SingleTree) collect(h uint32) []Item {
 	var out []Item
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(c uint32)
+	rec = func(c uint32) {
+		if c == alloc.Nil {
 			return
 		}
+		n := s.nd(c)
 		if n.leaf {
 			for i, it := range n.items {
-				if !n.deadMask[i] {
+				if !n.isDead(i) {
 					out = append(out, it)
 				}
 			}
@@ -244,7 +272,7 @@ func (s *SingleTree) collect(n *node) []Item {
 		rec(n.left)
 		rec(n.right)
 	}
-	rec(n)
+	rec(h)
 	return out
 }
 

@@ -8,11 +8,20 @@
 // Points carry an ID so deletions can tombstone an exact item; a structure
 // is rebuilt from scratch once half its items are tombstones, giving the
 // amortized O(ω + log n) deletion bound of §6.2.
+//
+// Nodes live in an internal/alloc pool addressed by uint32 handles; the
+// logical pre-order arena id (the semisort key of later batched rounds)
+// stays a separate int32, mapped to its storage handle through byID, so ids
+// remain deterministic at any P while handles recycle freely on rebuilds.
+// Leaf tombstones pack one bit per buffered item (deadBits), keeping a leaf
+// scan to the item stream plus ⌈len/64⌉ mask words instead of a parallel
+// byte-per-item slice.
 package kdtree
 
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/geom"
 	"repro/internal/parallel"
@@ -29,12 +38,29 @@ type node struct {
 	axis        int8
 	leaf        bool
 	split       float64
-	left, right *node
-	id          int32  // arena index (stable; used for semisort keys)
-	count       int    // live items in subtree
-	dead        int    // tombstoned items in subtree
-	items       []Item // leaf payload (possibly with tombstones)
-	deadMask    []bool // parallel to items
+	left, right uint32
+	id          int32    // arena id (stable; used for semisort keys)
+	count       int      // live items in subtree
+	dead        int      // tombstoned items in subtree
+	items       []Item   // leaf payload (possibly with tombstones)
+	deadBits    []uint64 // tombstone bitset, one bit per item
+}
+
+// isDead reports whether leaf item i is tombstoned.
+func (n *node) isDead(i int) bool { return n.deadBits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// markDead tombstones leaf item i.
+func (n *node) markDead(i int) { n.deadBits[i>>6] |= 1 << (uint(i) & 63) }
+
+// deadBitsLen returns the mask words covering m items.
+func deadBitsLen(m int) int { return (m + 63) / 64 }
+
+// growDeadBits extends the mask after items grew by one (new items are
+// live; fresh words are zero).
+func (n *node) growDeadBits() {
+	if deadBitsLen(len(n.items)) > len(n.deadBits) {
+		n.deadBits = append(n.deadBits, 0)
+	}
 }
 
 // Tree is a k-d tree over k-dimensional points.
@@ -42,9 +68,10 @@ type Tree struct {
 	dims     int
 	leafSize int
 	sah      bool
-	root     *node
-	arena    []*node
-	size     int // live items
+	root     uint32
+	pool     *alloc.Pool[node]
+	byID     []uint32 // arena id -> pool handle, in registration order
+	size     int      // live items
 	dead     int
 	meter    *asymmem.Meter
 	stats    Stats
@@ -74,14 +101,45 @@ func (o Options) leafSize() int {
 }
 
 func newTree(dims int, opts Options, m *asymmem.Meter) *Tree {
-	return &Tree{dims: dims, leafSize: opts.leafSize(), sah: opts.SAH, meter: m}
+	return newTreeShared(dims, opts, m, nil)
 }
 
-func (t *Tree) newNode() *node {
-	n := &node{id: int32(len(t.arena))}
-	t.arena = append(t.arena, n)
+// newTreeShared builds a Tree header on an existing pool (the single-tree
+// scheme rebuilds subtrees through a scratch Tree whose nodes must graft
+// back into the owner's pool) or a fresh one when pool is nil.
+func newTreeShared(dims int, opts Options, m *asymmem.Meter, pool *alloc.Pool[node]) *Tree {
+	if pool == nil {
+		pool = alloc.NewPool[node]()
+	}
+	return &Tree{dims: dims, leafSize: opts.leafSize(), sah: opts.SAH, meter: m, pool: pool}
+}
+
+// nd resolves a node handle; the pointer is stable for the node's lifetime
+// (slab buckets never move).
+func (t *Tree) nd(h uint32) *node { return t.pool.At(h) }
+
+// newNode allocates and registers a node, charging the one model write per
+// tree node the pointer implementation charged at &node{}.
+func (t *Tree) newNode() uint32 {
+	h := t.pool.Alloc(0)
+	n := t.nd(h)
+	n.id = int32(len(t.byID))
+	t.byID = append(t.byID, h)
 	t.meter.Write()
-	return n
+	return h
+}
+
+// freeSubtree recycles a detached subtree's handles. No model charges:
+// dropping a subtree was free under GC too.
+func (t *Tree) freeSubtree(h uint32) {
+	if h == alloc.Nil {
+		return
+	}
+	n := t.nd(h)
+	l, r := n.left, n.right
+	t.pool.Free(0, h)
+	t.freeSubtree(l)
+	t.freeSubtree(r)
 }
 
 // Len returns the number of live items.
@@ -96,10 +154,11 @@ func (t *Tree) Stats() Stats {
 	return t.stats
 }
 
-func (t *Tree) height(n *node) int {
-	if n == nil {
+func (t *Tree) height(h uint32) int {
+	if h == alloc.Nil {
 		return 0
 	}
+	n := t.nd(h)
 	if n.leaf {
 		return 1
 	}
@@ -152,48 +211,51 @@ func validate(dims int, items []Item) error {
 const classicGrain = 1 << 13
 
 // buildMedian recursively splits buf by the exact median along the cycling
-// axis. buf is consumed (reordered in place). The recursion creates nodes
-// unregistered (forked branches touch no shared state); the registration
-// walk below then assigns arena ids in the same pre-order the sequential
-// builder produced, so ids — which later batched rounds use as semisort
-// keys — are deterministic at any P.
-func (t *Tree) buildMedian(buf []Item, depth int) *node {
+// axis. buf is consumed (reordered in place). The recursion allocates nodes
+// unregistered (forked branches touch no shared state beyond their worker's
+// pool); the registration walk below then assigns arena ids in the same
+// pre-order the sequential builder produced, so ids — which later batched
+// rounds use as semisort keys — are deterministic at any P.
+func (t *Tree) buildMedian(buf []Item, depth int) uint32 {
 	root := t.buildMedianRec(buf, depth, 0)
 	t.registerNodes(root)
 	return root
 }
 
-// registerNodes appends a built subtree's nodes to the arena in pre-order,
-// charging the one write per tree node the sequential builder charged at
-// node creation.
-func (t *Tree) registerNodes(n *node) {
-	if n == nil {
+// registerNodes assigns a built subtree's arena ids in pre-order, charging
+// the one write per tree node the sequential builder charged at node
+// creation.
+func (t *Tree) registerNodes(h uint32) {
+	if h == alloc.Nil {
 		return
 	}
-	n.id = int32(len(t.arena))
-	t.arena = append(t.arena, n)
+	n := t.nd(h)
+	n.id = int32(len(t.byID))
+	t.byID = append(t.byID, h)
 	t.meter.Write()
 	t.registerNodes(n.left)
 	t.registerNodes(n.right)
 }
 
 // buildMedianRec runs as worker w; forked branches charge their own
-// worker-local meter handles so the concurrent classic baseline never
-// contends on one shard's cache line (totals are order-independent sums, so
-// the counted cost is unchanged at any P).
-func (t *Tree) buildMedianRec(buf []Item, depth, w int) *node {
+// worker-local meter handles and allocate from their own worker's pool, so
+// the concurrent classic baseline never contends on one shard's cache line
+// (totals are order-independent sums, so the counted cost is unchanged at
+// any P).
+func (t *Tree) buildMedianRec(buf []Item, depth, w int) uint32 {
 	if len(buf) == 0 {
-		return nil
+		return alloc.Nil
 	}
 	h := t.meter.Worker(w)
-	n := &node{}
+	nh := t.pool.Alloc(w)
+	n := t.nd(nh)
 	if len(buf) <= t.leafSize {
 		n.leaf = true
 		n.items = append([]Item{}, buf...)
-		n.deadMask = make([]bool, len(buf))
+		n.deadBits = make([]uint64, deadBitsLen(len(buf)))
 		n.count = len(buf)
 		h.WriteN(len(buf))
-		return n
+		return nh
 	}
 	axis := depth % t.dims
 	mid := len(buf) / 2
@@ -221,7 +283,7 @@ func (t *Tree) buildMedianRec(buf []Item, depth, w int) *node {
 		n.right = t.buildMedianRec(buf[mid:], depth+1, w)
 	}
 	n.count = len(buf)
-	return n
+	return nh
 }
 
 // radixMedian reorders buf into full (axis value, ID) order — the order
@@ -287,22 +349,24 @@ func lessItem(a, b Item, axis int) bool {
 // charging one read per level to the caller's worker-local meter handle
 // (counted locally and flushed as one bulk charge — same total, one atomic
 // add).
-func (t *Tree) locate(p geom.KPoint, h asymmem.Worker) *node {
-	n := t.root
-	if n == nil {
-		return nil
+func (t *Tree) locate(p geom.KPoint, h asymmem.Worker) uint32 {
+	c := t.root
+	if c == alloc.Nil {
+		return alloc.Nil
 	}
 	reads := 0
+	n := t.nd(c)
 	for !n.leaf {
 		reads++
 		if p[n.axis] < n.split {
-			n = n.left
+			c = n.left
 		} else {
-			n = n.right
+			c = n.right
 		}
+		n = t.nd(c)
 	}
 	h.ReadN(reads)
-	return n
+	return c
 }
 
 // RangeQuery reports the IDs of all live items inside box (inclusive).
@@ -325,16 +389,17 @@ func (t *Tree) RangeQuery(box geom.KBox, visit func(Item) bool) {
 // per-node clones.
 func (t *Tree) rangeH(box geom.KBox, h asymmem.Worker, s *queryScratch, visit func(Item) bool) {
 	s.resetRegion(t.dims)
-	var rec func(n *node) bool
-	rec = func(n *node) bool {
-		if n == nil || !box.Intersects(s.region) {
+	var rec func(c uint32) bool
+	rec = func(c uint32) bool {
+		if c == alloc.Nil || !box.Intersects(s.region) {
 			return true
 		}
+		n := t.nd(c)
 		h.Read()
 		if n.leaf {
 			h.ReadN(len(n.items)) // one read per buffered item, in bulk
 			for i, it := range n.items {
-				if n.deadMask[i] {
+				if n.isDead(i) {
 					continue
 				}
 				if box.Contains(it.P) {
@@ -373,11 +438,12 @@ func (t *Tree) RangeCount(box geom.KBox) int {
 // box touches (the query-cost measure of Lemma 6.1).
 func (t *Tree) NodesVisitedByRange(box geom.KBox) int {
 	visited := 0
-	var rec func(n *node, region geom.KBox)
-	rec = func(n *node, region geom.KBox) {
-		if n == nil || !box.Intersects(region) {
+	var rec func(c uint32, region geom.KBox)
+	rec = func(c uint32, region geom.KBox) {
+		if c == alloc.Nil || !box.Intersects(region) {
 			return
 		}
+		n := t.nd(c)
 		visited++
 		if n.leaf {
 			return
@@ -397,16 +463,17 @@ func (t *Tree) NodesVisitedByRange(box geom.KBox) int {
 // items: the returned item's distance is at most (1+eps) times the true
 // minimum. ok is false for an empty tree.
 func (t *Tree) ANN(q geom.KPoint, eps float64) (best Item, ok bool) {
-	if t.root == nil || t.size == 0 {
+	if t.root == alloc.Nil || t.size == 0 {
 		return Item{}, false
 	}
 	bestD2 := -1.0
 	shrink := 1.0 / ((1 + eps) * (1 + eps))
-	var rec3 func(n *node, region geom.KBox)
-	rec3 = func(n *node, region geom.KBox) {
-		if n == nil {
+	var rec3 func(c uint32, region geom.KBox)
+	rec3 = func(c uint32, region geom.KBox) {
+		if c == alloc.Nil {
 			return
 		}
+		n := t.nd(c)
 		t.meter.Read()
 		if bestD2 >= 0 && region.Dist2(q) > bestD2*shrink {
 			return // prune: cannot improve by more than the (1+eps) slack
@@ -414,7 +481,7 @@ func (t *Tree) ANN(q geom.KPoint, eps float64) (best Item, ok bool) {
 		if n.leaf {
 			t.meter.ReadN(len(n.items)) // one read per buffered item, in bulk
 			for i, it := range n.items {
-				if n.deadMask[i] {
+				if n.isDead(i) {
 					continue
 				}
 				d2 := q.Dist2(it.P)
@@ -443,14 +510,15 @@ func (t *Tree) ANN(q geom.KPoint, eps float64) (best Item, ok bool) {
 // Items returns all live items (in arbitrary order).
 func (t *Tree) Items() []Item {
 	out := make([]Item, 0, t.size)
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(c uint32)
+	rec = func(c uint32) {
+		if c == alloc.Nil {
 			return
 		}
+		n := t.nd(c)
 		if n.leaf {
 			for i, it := range n.items {
-				if !n.deadMask[i] {
+				if !n.isDead(i) {
 					out = append(out, it)
 				}
 			}
@@ -465,18 +533,19 @@ func (t *Tree) Items() []Item {
 
 // checkInvariants verifies split consistency, counts, and leaf sizes.
 func (t *Tree) checkInvariants() error {
-	var rec func(n *node, region geom.KBox) (live int, err error)
-	rec = func(n *node, region geom.KBox) (int, error) {
-		if n == nil {
+	var rec func(c uint32, region geom.KBox) (live int, err error)
+	rec = func(c uint32, region geom.KBox) (int, error) {
+		if c == alloc.Nil {
 			return 0, nil
 		}
+		n := t.nd(c)
 		if n.leaf {
 			live := 0
 			for i, it := range n.items {
 				if !region.Contains(it.P) {
 					return 0, fmt.Errorf("kdtree: leaf item %v outside region %v", it.P, region)
 				}
-				if !n.deadMask[i] {
+				if !n.isDead(i) {
 					live++
 				}
 			}

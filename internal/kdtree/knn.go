@@ -1,9 +1,9 @@
 package kdtree
 
 import (
-	"container/heap"
 	"math"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/geom"
 )
@@ -52,16 +52,17 @@ func (t *Tree) KNN(q geom.KPoint, k int) []Item {
 // output size), so both call shapes count identically. The region box is
 // narrowed and restored in place on the scratch — no per-node clones.
 func (t *Tree) knnH(q geom.KPoint, k int, h asymmem.Worker, s *queryScratch, emit func(Item)) {
-	if k <= 0 || t.root == nil {
+	if k <= 0 || t.root == alloc.Nil {
 		return
 	}
 	s.heap.entries = s.heap.entries[:0]
 	s.resetRegion(t.dims)
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(c uint32)
+	rec = func(c uint32) {
+		if c == alloc.Nil {
 			return
 		}
+		n := t.nd(c)
 		h.Read()
 		if s.heap.Len() == k && s.region.Dist2(q) > s.heap.worst() {
 			return
@@ -69,15 +70,14 @@ func (t *Tree) knnH(q geom.KPoint, k int, h asymmem.Worker, s *queryScratch, emi
 		if n.leaf {
 			h.ReadN(len(n.items)) // one read per buffered item, in bulk
 			for i, it := range n.items {
-				if n.deadMask[i] {
+				if n.isDead(i) {
 					continue
 				}
 				d2 := q.Dist2(it.P)
 				if s.heap.Len() < k {
-					heap.Push(&s.heap, knnEnt{d2: d2, it: it})
+					s.heap.push(knnEnt{d2: d2, it: it})
 				} else if d2 < s.heap.worst() {
-					s.heap.entries[0] = knnEnt{d2: d2, it: it}
-					heap.Fix(&s.heap, 0)
+					s.heap.replaceTop(knnEnt{d2: d2, it: it})
 				}
 			}
 			return
@@ -107,7 +107,7 @@ func (t *Tree) knnH(q geom.KPoint, k int, h asymmem.Worker, s *queryScratch, emi
 
 	s.out = s.out[:0]
 	for s.heap.Len() > 0 {
-		s.out = append(s.out, heap.Pop(&s.heap).(knnEnt).it)
+		s.out = append(s.out, s.heap.popTop().it)
 	}
 	for i := len(s.out) - 1; i >= 0; i-- {
 		emit(s.out[i])
@@ -119,19 +119,65 @@ type knnEnt struct {
 	it Item
 }
 
-// knnHeap is a max-heap by distance (worst candidate on top).
+// knnHeap is a max-heap by distance (worst candidate on top). The sift
+// operations work directly on the entry slice instead of going through
+// container/heap, whose interface{} methods box one knnEnt per push and
+// pop — on the batched serving path that was an allocation per result.
 type knnHeap struct {
 	entries []knnEnt
 }
 
-func (h *knnHeap) Len() int           { return len(h.entries) }
-func (h *knnHeap) Less(i, j int) bool { return h.entries[i].d2 > h.entries[j].d2 }
-func (h *knnHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *knnHeap) Push(x interface{}) { h.entries = append(h.entries, x.(knnEnt)) }
-func (h *knnHeap) worst() float64     { return h.entries[0].d2 }
-func (h *knnHeap) Pop() interface{} {
+func (h *knnHeap) Len() int       { return len(h.entries) }
+func (h *knnHeap) worst() float64 { return h.entries[0].d2 }
+
+// push adds a candidate and sifts it up.
+func (h *knnHeap) push(e knnEnt) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.entries[p].d2 >= h.entries[i].d2 {
+			break
+		}
+		h.entries[p], h.entries[i] = h.entries[i], h.entries[p]
+		i = p
+	}
+}
+
+// replaceTop overwrites the worst candidate and restores heap order.
+func (h *knnHeap) replaceTop(e knnEnt) {
+	h.entries[0] = e
+	h.siftDown(0)
+}
+
+// popTop removes and returns the worst (largest-distance) candidate.
+func (h *knnHeap) popTop() knnEnt {
+	top := h.entries[0]
+	n := len(h.entries) - 1
+	h.entries[0] = h.entries[n]
+	h.entries = h.entries[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below index i.
+func (h *knnHeap) siftDown(i int) {
 	n := len(h.entries)
-	out := h.entries[n-1]
-	h.entries = h.entries[:n-1]
-	return out
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.entries[r].d2 > h.entries[l].d2 {
+			m = r
+		}
+		if h.entries[i].d2 >= h.entries[m].d2 {
+			break
+		}
+		h.entries[i], h.entries[m] = h.entries[m], h.entries[i]
+		i = m
+	}
 }

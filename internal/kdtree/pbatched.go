@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/incremental"
@@ -42,7 +43,7 @@ func (o PBatchedOptions) EffectiveP(n int) int {
 // builder. O(n) writes whp (Theorem 6.1); tree height log₂n + O(1) whp for
 // p = Ω(log³n) (Lemma 6.2).
 func BuildPBatched(dims int, items []Item, opts PBatchedOptions, m *asymmem.Meter) (*Tree, error) {
-	return buildPBatched(dims, items, opts, config.Config{Meter: m})
+	return buildPBatched(dims, items, opts, config.Config{Meter: m}, nil)
 }
 
 // BuildConfig is the module-wide Config entry point for k-d construction:
@@ -57,7 +58,7 @@ func BuildConfig(dims int, items []Item, cfg config.Config) (*Tree, error) {
 		Options: Options{LeafSize: cfg.LeafSize, SAH: cfg.SAH},
 		P:       cfg.PBatch,
 	}
-	return buildPBatched(dims, items, opts, cfg)
+	return buildPBatched(dims, items, opts, cfg, nil)
 }
 
 // BuildClassicConfig is BuildClassic (exact-median, Θ(n log n) writes)
@@ -88,7 +89,10 @@ func NewForestConfig(dims int, cfg config.Config) *Forest {
 	return NewForest(dims, opts, cfg.Meter)
 }
 
-func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Config) (*Tree, error) {
+// buildPBatched runs the construction; pool, when non-nil, is an existing
+// arena the new tree's nodes allocate from (the single-tree scheme grafts
+// rebuilt subtrees back into its owner's pool, so handles must share it).
+func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Config, pool *alloc.Pool[node]) (*Tree, error) {
 	if err := validate(dims, items); err != nil {
 		return nil, err
 	}
@@ -97,7 +101,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 	}
 	m := cfg.Meter
 	n := len(items)
-	t := newTree(dims, opts.Options, m)
+	t := newTreeShared(dims, opts.Options, m, pool)
 	if n == 0 {
 		return t, nil
 	}
@@ -132,7 +136,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 		// Step 1: locate (reads only) + semisort by leaf.
 		var groups []prims.Group
 		cfg.Phase("kdtree/locate", func() {
-			leaves := make([]*node, len(batch))
+			leaves := make([]uint32, len(batch))
 			before := t.meter.Snapshot()
 			parallel.ForChunkedW(len(batch), parallel.DefaultGrain, func(w, lo, hi int) {
 				hw := t.meter.Worker(w)
@@ -144,7 +148,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 			pairs := make([]prims.Pair, len(batch))
 			parallel.ForChunked(len(batch), parallel.DefaultGrain, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					pairs[i] = prims.Pair{Key: uint64(leaves[i].id), Val: int32(r.Start + i)}
+					pairs[i] = prims.Pair{Key: uint64(t.nd(leaves[i]).id), Val: int32(r.Start + i)}
 				}
 			})
 			groups = prims.Semisort(pairs, t.meter.Worker(0))
@@ -152,23 +156,24 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 
 		cfg.Phase("kdtree/settle", func() {
 			// Step 2: append to buffers; collect overflowed leaves.
-			var overflowed []*node
+			var overflowed []uint32
 			for _, g := range groups {
-				leaf := t.arena[g.Key]
+				lh := t.byID[g.Key]
+				leaf := t.nd(lh)
 				for _, vi := range g.Vals {
 					leaf.items = append(leaf.items, items[vi])
-					leaf.deadMask = append(leaf.deadMask, false)
+					leaf.growDeadBits()
 				}
 				m.WriteN(len(g.Vals)) // one write per buffered item, in bulk
 				if len(leaf.items) > p {
-					overflowed = append(overflowed, leaf)
+					overflowed = append(overflowed, lh)
 				}
 			}
 
 			// Step 3: settle overflowed leaves (possibly cascading, O(1)
 			// deep whp by Lemma 6.3).
-			for _, leaf := range overflowed {
-				t.settle(leaf, depthOf[leaf.id], p, depthOf)
+			for _, lh := range overflowed {
+				t.settle(lh, depthOf[t.nd(lh).id], p, depthOf)
 			}
 		})
 	}
@@ -182,12 +187,13 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 
 // computeDepths returns depth per arena id (root = 0) for axis cycling.
 func (t *Tree) computeDepths() map[int32]int {
-	d := make(map[int32]int, len(t.arena))
-	var rec func(n *node, depth int)
-	rec = func(n *node, depth int) {
-		if n == nil {
+	d := make(map[int32]int, len(t.byID))
+	var rec func(c uint32, depth int)
+	rec = func(c uint32, depth int) {
+		if c == alloc.Nil {
 			return
 		}
+		n := t.nd(c)
 		d[n.id] = depth
 		rec(n.left, depth+1)
 		rec(n.right, depth+1)
@@ -199,7 +205,8 @@ func (t *Tree) computeDepths() map[int32]int {
 // settle converts an overflowed leaf into an internal node splitting at
 // the median of its buffered items, pushing the items into two child
 // leaves; children still above p are settled recursively.
-func (t *Tree) settle(leaf *node, depth, p int, depthOf map[int32]int) {
+func (t *Tree) settle(lh uint32, depth, p int, depthOf map[int32]int) {
+	leaf := t.nd(lh)
 	t.stats.Settles++
 	if len(leaf.items) > t.stats.MaxOverflow {
 		t.stats.MaxOverflow = len(leaf.items)
@@ -219,22 +226,23 @@ func (t *Tree) settle(leaf *node, depth, p int, depthOf map[int32]int) {
 
 	leaf.leaf = false
 	leaf.axis = int8(axis)
-	left, right := t.newNode(), t.newNode()
+	lc, rc := t.newNode(), t.newNode()
+	left, right := t.nd(lc), t.nd(rc)
 	left.leaf, right.leaf = true, true
 	left.items = append([]Item{}, items[:mid]...)
 	right.items = append([]Item{}, items[mid:]...)
-	left.deadMask = make([]bool, len(left.items))
-	right.deadMask = make([]bool, len(right.items))
+	left.deadBits = make([]uint64, deadBitsLen(len(left.items)))
+	right.deadBits = make([]uint64, deadBitsLen(len(right.items)))
 	t.meter.WriteN(len(items))
-	leaf.items, leaf.deadMask = nil, nil
-	leaf.left, leaf.right = left, right
+	leaf.items, leaf.deadBits = nil, nil
+	leaf.left, leaf.right = lc, rc
 	depthOf[left.id] = depth + 1
 	depthOf[right.id] = depth + 1
 	if len(left.items) > p {
-		t.settle(left, depth+1, p, depthOf)
+		t.settle(lc, depth+1, p, depthOf)
 	}
 	if len(right.items) > p {
-		t.settle(right, depth+1, p, depthOf)
+		t.settle(rc, depth+1, p, depthOf)
 	}
 }
 
@@ -243,14 +251,20 @@ func (t *Tree) settle(leaf *node, depth, p int, depthOf map[int32]int) {
 // rebuild loads the buffer once (O(size) reads), builds in small memory,
 // and emits the subtree (O(size) writes) — the accounting behind the
 // "O(n) writes to settle the leaves" step of Theorem 6.1.
-func (t *Tree) finishLeaves(n *node, depth int) {
-	if n == nil {
+func (t *Tree) finishLeaves(c uint32, depth int) {
+	if c == alloc.Nil {
 		return
 	}
+	n := t.nd(c)
 	if n.leaf {
 		if len(n.items) > t.leafSize {
 			sub := t.buildMedianSmallMem(n.items, depth)
-			*n = *sub
+			// Copy-in-place splice: the subtree root moves into the old
+			// leaf's slot (keeping its handle valid for ancestors) and its
+			// own fresh handle recycles.
+			*n = *t.nd(sub)
+			t.byID[n.id] = c
+			t.pool.Free(0, sub)
 		}
 		return
 	}
@@ -261,7 +275,7 @@ func (t *Tree) finishLeaves(n *node, depth int) {
 // buildMedianSmallMem builds a subtree over a buffer that fits in the
 // small symmetric memory: O(|buf|) reads to load it and O(|buf|) writes to
 // emit the result, with the internal recursion uncharged.
-func (t *Tree) buildMedianSmallMem(buf []Item, depth int) *node {
+func (t *Tree) buildMedianSmallMem(buf []Item, depth int) uint32 {
 	t.meter.ReadN(len(buf))
 	t.meter.WriteN(2 * len(buf)) // emitted items + tree nodes
 	saved := t.meter
@@ -288,15 +302,16 @@ func SortItemsByRandomOrder(items []Item, seed uint64) []Item {
 // least minCount items.
 func (t *Tree) MedianSplitQuality(minCount int) float64 {
 	worst := 0.0
-	var rec func(n *node) int
-	rec = func(n *node) int {
-		if n == nil {
+	var rec func(c uint32) int
+	rec = func(c uint32) int {
+		if c == alloc.Nil {
 			return 0
 		}
+		n := t.nd(c)
 		if n.leaf {
 			live := 0
 			for i := range n.items {
-				if !n.deadMask[i] {
+				if !n.isDead(i) {
 					live++
 				}
 			}

@@ -3,6 +3,7 @@ package kdtree
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/geom"
@@ -10,9 +11,10 @@ import (
 
 // EncodeSnapshot serializes the built tree for internal/checkpoint: the
 // node shape in preorder with each node's stable arena id, leaf payloads
-// (items and tombstone masks) inline. Arena ids are semisort keys for later
+// (items and tombstone bits) inline. Arena ids are semisort keys for later
 // batched updates, so they are preserved exactly rather than re-assigned.
-// Encoding charges nothing.
+// The tree's node count follows the id-space size so the decoder can
+// reserve the whole arena up front. Encoding charges nothing.
 func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.Int(t.dims)
 	e.Int(t.leafSize)
@@ -24,13 +26,29 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.Int(st.Settles)
 	e.Int(st.MaxOverflow)
 	e.I64(st.LocationReads)
-	e.U64(uint64(len(t.arena)))
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	e.U64(uint64(len(t.byID)))
+	nodes := 0
+	var tally func(c uint32)
+	tally = func(c uint32) {
+		if c == alloc.Nil {
+			return
+		}
+		nodes++
+		n := t.nd(c)
+		if !n.leaf {
+			tally(n.left)
+			tally(n.right)
+		}
+	}
+	tally(t.root)
+	e.U64(uint64(nodes))
+	var rec func(c uint32)
+	rec = func(c uint32) {
+		if c == alloc.Nil {
 			e.Bool(false)
 			return
 		}
+		n := t.nd(c)
 		e.Bool(true)
 		e.I32(n.id)
 		e.Bool(n.leaf)
@@ -43,7 +61,7 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 					e.F64(it.P[d])
 				}
 				e.I32(it.ID)
-				e.Bool(n.deadMask[i])
+				e.Bool(n.isDead(i))
 			}
 			return
 		}
@@ -56,9 +74,11 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 }
 
 // DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
-// cfg.Meter one write per node plus one per leaf item restored.
+// cfg.Meter one write per node plus one per leaf item restored. The leading
+// node count sizes the arena in one bulk reservation, so the decode loop
+// performs no per-node pool traffic.
 func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
-	t := &Tree{meter: cfg.Meter}
+	t := &Tree{meter: cfg.Meter, pool: alloc.NewPool[node]()}
 	wk := cfg.WorkerMeter(0)
 	t.dims = d.Int()
 	t.leafSize = d.Int()
@@ -76,19 +96,33 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	if t.dims < 1 {
 		return nil, fmt.Errorf("kdtree: decode snapshot: bad dims %d", t.dims)
 	}
-	t.arena = make([]*node, arenaLen)
-	var rec func() *node
-	rec = func() *node {
+	// Each node occupies at least 6 bytes (marker, id, leaf flag, count,
+	// dead count, and an items-length or axis byte).
+	nodes := d.Count(6)
+	next := t.pool.AllocBulk(nodes)
+	used := 0
+	// byID entries default to alloc.Nil (0), doubling as the
+	// duplicate-id check below.
+	t.byID = make([]uint32, arenaLen)
+	var rec func() uint32
+	rec = func() uint32 {
 		if !d.Bool() || d.Err() != nil {
-			return nil
+			return alloc.Nil
 		}
-		n := &node{id: d.I32()}
-		wk.Write()
-		if int(n.id) < 0 || int(n.id) >= arenaLen || t.arena[n.id] != nil {
+		if used >= nodes { // more markers than the declared node count
 			d.Fail()
-			return nil
+			return alloc.Nil
 		}
-		t.arena[n.id] = n
+		h := next + uint32(used)
+		used++
+		n := t.nd(h)
+		n.id = d.I32()
+		wk.Write()
+		if int(n.id) < 0 || int(n.id) >= arenaLen || t.byID[n.id] != alloc.Nil {
+			d.Fail()
+			return alloc.Nil
+		}
+		t.byID[n.id] = h
 		n.leaf = d.Bool()
 		n.count = d.Int()
 		n.dead = d.Int()
@@ -97,23 +131,25 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 			// byte for the id and one for the tombstone flag.
 			m := d.Count(8*t.dims + 2)
 			n.items = make([]Item, m)
-			n.deadMask = make([]bool, m)
+			n.deadBits = make([]uint64, deadBitsLen(m))
 			for i := 0; i < m; i++ {
 				p := make(geom.KPoint, t.dims)
 				for dim := 0; dim < t.dims; dim++ {
 					p[dim] = d.F64()
 				}
 				n.items[i] = Item{P: p, ID: d.I32()}
-				n.deadMask[i] = d.Bool()
+				if d.Bool() {
+					n.markDead(i)
+				}
 			}
 			wk.WriteN(m)
-			return n
+			return h
 		}
 		n.axis = int8(d.Int())
 		n.split = d.F64()
 		n.left = rec()
 		n.right = rec()
-		return n
+		return h
 	}
 	t.root = rec()
 	if err := d.Err(); err != nil {

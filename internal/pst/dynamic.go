@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 )
 
 // Insert adds a point (§7.3.4): descend by x-splitters carrying the point;
@@ -15,17 +16,17 @@ import (
 // doubled critical subtree is reconstructed.
 func (t *Tree) Insert(p Point) {
 	t.live++
-	if t.root == nil {
-		t.root = &node{pt: p, hasPt: true, split: p.X, weight: 2, initWeight: 2, critical: true}
-		t.meter.Write()
+	if t.root == alloc.Nil {
+		t.root = t.newLeaf(p)
 		return
 	}
 	carried := p
-	var path []*node
-	n := t.root
+	var path []uint32
+	cur := t.root
 	for {
+		n := t.nd(cur)
 		t.meter.Read()
-		path = append(path, n)
+		path = append(path, cur)
 		if t.opts.classic() || n.critical {
 			n.weight++
 			t.meter.Write()
@@ -40,33 +41,44 @@ func (t *Tree) Insert(p Point) {
 			// so filling the hole would break the heap order. Dummies are
 			// cleared by reconstructions.
 		}
-		var next **node
+		var next *uint32
 		if carried.X <= n.split {
 			next = &n.left
 		} else {
 			next = &n.right
 		}
-		if *next == nil {
-			leaf := &node{pt: carried, hasPt: true, split: carried.X, weight: 2, initWeight: 2, critical: true}
-			*next = leaf
-			t.meter.Write()
+		if *next == alloc.Nil {
+			*next = t.newLeaf(carried)
 			t.stats.PointWrites++
 			t.checkRebuild(path)
 			return
 		}
-		n = *next
+		cur = *next
 	}
+}
+
+// newLeaf allocates a critical leaf holding p, charging the one write the
+// old &node{...} literal charged.
+func (t *Tree) newLeaf(p Point) uint32 {
+	h := t.alloc(0)
+	n := t.nd(h)
+	n.pt, n.hasPt, n.split = p, true, p.X
+	n.weight, n.initWeight, n.critical = 2, 2, true
+	t.meter.Write()
+	return h
 }
 
 // checkRebuild rebuilds the topmost critical node on the path whose weight
 // has doubled since its last labeling.
-func (t *Tree) checkRebuild(path []*node) {
-	for i, a := range path {
+func (t *Tree) checkRebuild(path []uint32) {
+	for i, ah := range path {
+		a := t.nd(ah)
 		if (t.opts.classic() || a.critical) && a.weight >= 2*a.initWeight && a.weight > 4 {
 			oldW := a.weight
-			sub := t.rebuildSubtree(a)
-			if delta := sub.weight - oldW; delta != 0 {
-				for _, b := range path[:i] {
+			t.rebuildSubtree(ah)
+			if delta := a.weight - oldW; delta != 0 {
+				for _, bh := range path[:i] {
+					b := t.nd(bh)
 					if t.opts.classic() || b.critical {
 						b.weight += delta
 						t.meter.Write()
@@ -79,33 +91,43 @@ func (t *Tree) checkRebuild(path []*node) {
 	}
 }
 
-// rebuildSubtree reconstructs n's subtree from its live points with the
+// rebuildSubtree reconstructs h's subtree from its live points with the
 // post-sorted algorithm and relabels it (skip-root exception per §7.3.2).
-// Returns the new subtree root (spliced in place of n by copying).
-func (t *Tree) rebuildSubtree(n *node) *node {
-	pts := collectPoints(n)
+// The new subtree is spliced by copying its root into h's slot, so every
+// recorded ancestor path stays valid; the old descendants' handles are
+// recycled before the rebuild allocates, so a churning tree reuses its own
+// slots instead of growing the arena.
+func (t *Tree) rebuildSubtree(h uint32) {
+	n := t.nd(h)
+	pts := t.collectPoints(h)
 	t.stats.Rebuilds++
 	t.stats.RebuildWork += int64(len(pts))
 	s := n.initWeight
+	oldSplit := n.split
+	l, r := n.left, n.right
+	n.left, n.right = alloc.Nil, alloc.Nil
+	t.freeSubtree(l)
+	t.freeSubtree(r)
 	t.sortByX(pts)
 	sub := t.buildPostSorted(pts)
-	if sub == nil {
-		sub = &node{split: n.split, weight: 1, initWeight: 1, critical: true}
+	if sub == alloc.Nil {
+		*n = node{split: oldSplit, weight: 1, initWeight: 1, critical: true}
+	} else {
+		*n = *t.nd(sub)
+		t.pool.Free(0, sub)
 	}
-	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && sub.hasPt {
+	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && n.hasPt {
 		// Demote the new root to secondary: push its point back down so
 		// that points stay only at critical nodes.
-		pt := sub.pt
-		sub.hasPt = false
-		sub.critical = false
-		t.pushDown(sub, pt)
+		pt := n.pt
+		n.hasPt = false
+		n.critical = false
+		t.pushDown(n, pt)
 	}
-	*n = *sub
-	if n == t.root {
+	if h == t.root {
 		t.markVirtualRoot()
 	}
 	t.meter.Write()
-	return n
 }
 
 // pushDown reinserts a point below a secondary node (used when the skip
@@ -114,18 +136,17 @@ func (t *Tree) pushDown(n *node, p Point) {
 	carried := p
 	cur := n
 	for {
-		var next **node
+		var next *uint32
 		if carried.X <= cur.split {
 			next = &cur.left
 		} else {
 			next = &cur.right
 		}
-		if *next == nil {
-			*next = &node{pt: carried, hasPt: true, split: carried.X, weight: 2, initWeight: 2, critical: true}
-			t.meter.Write()
+		if *next == alloc.Nil {
+			*next = t.newLeaf(carried)
 			return
 		}
-		cur = *next
+		cur = t.nd(*next)
 		t.meter.Read()
 		if cur.critical {
 			// The demoted point enters cur's subtree for good.
@@ -152,10 +173,11 @@ func (t *Tree) pushDown(n *node, p Point) {
 // the parallel post-sorted construction, like the interval and range tree
 // bulk paths.
 func (t *Tree) BulkInsert(pts []Point) {
-	if t.root == nil || len(pts) >= t.live {
-		all := append(collectPoints(t.root), pts...)
+	if t.root == alloc.Nil || len(pts) >= t.live {
+		all := append(t.collectPoints(t.root), pts...)
 		t.stats.FullRebuilds++
 		t.stats.RebuildWork += int64(len(all))
+		t.resetArenas()
 		t.sortByX(all)
 		t.root = t.buildPostSorted(all)
 		t.live = len(all)
@@ -199,18 +221,19 @@ func (t *Tree) BulkDelete(pts []Point) int {
 // The whole tree is rebuilt once dummies outnumber live points.
 func (t *Tree) Delete(p Point) bool {
 	target, path := t.findNodeWithPath(t.root, p)
-	if target == nil {
+	if target == alloc.Nil {
 		return false
 	}
 	// The point leaves every ancestor's subtree (including target's).
-	for _, a := range path {
+	for _, ah := range path {
+		a := t.nd(ah)
 		if t.opts.classic() || a.critical {
 			a.weight--
 			t.meter.Write()
 			t.stats.WeightWrites++
 		}
 	}
-	t.promoteFrom(target)
+	t.promoteFrom(t.nd(target))
 	t.live--
 	if t.dummies > t.live {
 		t.rebuildAll()
@@ -218,46 +241,47 @@ func (t *Tree) Delete(p Point) bool {
 	return true
 }
 
-// findNodeWithPath is findNode also returning the root-to-target path
-// (inclusive of target).
-func (t *Tree) findNodeWithPath(n *node, p Point) (*node, []*node) {
-	var path []*node
-	var rec func(n *node) *node
-	rec = func(n *node) *node {
-		if n == nil {
-			return nil
+// findNodeWithPath returns the handle of the node holding p and the
+// root-to-target path (inclusive of target), or (Nil, nil).
+func (t *Tree) findNodeWithPath(root uint32, p Point) (uint32, []uint32) {
+	var path []uint32
+	var rec func(h uint32) uint32
+	rec = func(h uint32) uint32 {
+		if h == alloc.Nil {
+			return alloc.Nil
 		}
+		n := t.nd(h)
 		t.meter.Read()
-		path = append(path, n)
+		path = append(path, h)
 		if n.hasPt && n.pt.ID == p.ID && n.pt.X == p.X && n.pt.Y == p.Y {
-			return n
+			return h
 		}
 		if n.hasPt && n.pt.Y < p.Y {
 			path = path[:len(path)-1]
-			return nil // heap order: p cannot be below a lower-priority point
+			return alloc.Nil // heap order: p cannot be below a lower-priority point
 		}
 		if p.X < n.split {
-			if f := rec(n.left); f != nil {
+			if f := rec(n.left); f != alloc.Nil {
 				return f
 			}
 		} else if p.X > n.split {
-			if f := rec(n.right); f != nil {
+			if f := rec(n.right); f != alloc.Nil {
 				return f
 			}
 		} else {
-			if f := rec(n.left); f != nil {
+			if f := rec(n.left); f != alloc.Nil {
 				return f
 			}
-			if f := rec(n.right); f != nil {
+			if f := rec(n.right); f != alloc.Nil {
 				return f
 			}
 		}
 		path = path[:len(path)-1]
-		return nil
+		return alloc.Nil
 	}
-	target := rec(n)
-	if target == nil {
-		return nil, nil
+	target := rec(root)
+	if target == alloc.Nil {
+		return alloc.Nil, nil
 	}
 	return target, path
 }
@@ -266,7 +290,8 @@ func (t *Tree) findNodeWithPath(n *node, p Point) (*node, []*node) {
 // point-bearing frontier, cascading until a frontier is empty; the final
 // hole becomes a dummy. Critical nodes strictly between n and the promoted
 // source lose one point from their subtree, so their weights are
-// decremented along the way.
+// decremented along the way. (Node pointers are stable slab slots, so the
+// walk holds them directly; no handles are allocated or freed here.)
 func (t *Tree) promoteFrom(n *node) {
 	for {
 		best, path := t.bestFrontier(n)
@@ -319,11 +344,12 @@ func (t *Tree) bestFrontier(n *node) (*node, []*node) {
 	var best *node
 	var bestPath []*node
 	var cur []*node
-	var rec func(c *node)
-	rec = func(c *node) {
-		if c == nil {
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		c := t.nd(h)
 		t.meter.Read()
 		cur = append(cur, c)
 		if c.hasPt {
@@ -343,31 +369,34 @@ func (t *Tree) bestFrontier(n *node) (*node, []*node) {
 	return best, bestPath
 }
 
-// rebuildAll reconstructs the whole tree from the live points.
+// rebuildAll reconstructs the whole tree from the live points on a fresh
+// arena: every old handle dies at once, so the pool is simply replaced.
 func (t *Tree) rebuildAll() {
-	pts := collectPoints(t.root)
+	pts := t.collectPoints(t.root)
 	t.stats.FullRebuilds++
 	t.stats.RebuildWork += int64(len(pts))
+	t.resetArenas()
 	t.sortByX(pts)
 	t.root = t.buildPostSorted(pts)
 	t.dummies = 0
 	t.markVirtualRoot()
 }
 
-func collectPoints(n *node) []Point {
+func (t *Tree) collectPoints(h uint32) []Point {
 	var out []Point
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		n := t.nd(h)
 		if n.hasPt {
 			out = append(out, n.pt)
 		}
 		rec(n.left)
 		rec(n.right)
 	}
-	rec(n)
+	rec(h)
 	return out
 }
 
@@ -375,11 +404,12 @@ func collectPoints(n *node) []Point {
 // order across point-bearing nodes, weight bookkeeping at critical nodes,
 // and the live count.
 func (t *Tree) Check() error {
-	var rec func(n *node, lo, hi float64, capY float64, capSet bool) (int, error)
-	rec = func(n *node, lo, hi float64, capY float64, capSet bool) (int, error) {
-		if n == nil {
+	var rec func(h uint32, lo, hi float64, capY float64, capSet bool) (int, error)
+	rec = func(h uint32, lo, hi float64, capY float64, capSet bool) (int, error) {
+		if h == alloc.Nil {
 			return 0, nil
 		}
+		n := t.nd(h)
 		pts := 0
 		if n.hasPt {
 			if n.pt.X < lo || n.pt.X > hi {
@@ -393,7 +423,7 @@ func (t *Tree) Check() error {
 		}
 		if n.split < lo || n.split > hi {
 			// A leaf's split is its own point's X; allow that exact case.
-			if !(n.left == nil && n.right == nil) {
+			if !(n.left == alloc.Nil && n.right == alloc.Nil) {
 				return 0, fmt.Errorf("pst: split %v outside [%v, %v]", n.split, lo, hi)
 			}
 		}
@@ -433,9 +463,9 @@ type PathStats struct {
 // PathStats measures critical-node density over all root-to-nil paths.
 func (t *Tree) PathStats() PathStats {
 	var st PathStats
-	var rec func(n *node, depth, crit, run int)
-	rec = func(n *node, depth, crit, run int) {
-		if n == nil {
+	var rec func(h uint32, depth, crit, run int)
+	rec = func(h uint32, depth, crit, run int) {
+		if h == alloc.Nil {
 			if depth > st.MaxPathLen {
 				st.MaxPathLen = depth
 			}
@@ -444,6 +474,7 @@ func (t *Tree) PathStats() PathStats {
 			}
 			return
 		}
+		n := t.nd(h)
 		if n.critical {
 			crit++
 			run = 0

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
@@ -14,11 +15,12 @@ import (
 // critical flags — so two builds can be compared node-for-node.
 func dumpTree(tr *Tree) string {
 	var b strings.Builder
-	var rec func(n *node, depth int)
-	rec = func(n *node, depth int) {
-		if n == nil {
+	var rec func(h uint32, depth int)
+	rec = func(h uint32, depth int) {
+		if h == alloc.Nil {
 			return
 		}
+		n := tr.nd(h)
 		fmt.Fprintf(&b, "%*ss=%v w=%d iw=%d c=%v d=%v", depth, "", n.split, n.weight, n.initWeight, n.critical, n.dummy)
 		if n.hasPt {
 			fmt.Fprintf(&b, " pt=%v", n.pt)

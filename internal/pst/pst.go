@@ -17,6 +17,12 @@
 //     leave a dummy in the last hole; a subtree is reconstructed when its
 //     weight doubles (reconstruction-based rebalancing, §7.3.2).
 //
+// Nodes live in an internal/alloc pool addressed by uint32 handles
+// (left/right are handle pairs), recycled through per-worker free lists on
+// rebuilds. The arena changes memory layout only: every model charge stays
+// at the same program point as the pointer-node implementation, so counted
+// costs are bit-identical.
+//
 // Deviation noted in DESIGN.md: subtree weights are maintained in units of
 // points + 1 rather than tree nodes + 1. Secondary nodes add at most a
 // factor-2 gap between the two measures (the paper makes the same
@@ -28,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
@@ -41,12 +48,14 @@ type Point struct {
 	ID   int32
 }
 
+// node is one tree node, stored flat in the tree's pool; left and right
+// are handles into the same pool (alloc.Nil = no child).
 type node struct {
 	pt          Point
 	hasPt       bool
 	dummy       bool // deletion hole left by the last promotion
 	split       float64
-	left, right *node
+	left, right uint32
 
 	weight     int // live points in subtree + 1; maintained iff critical
 	initWeight int
@@ -72,7 +81,7 @@ func (o Options) isCritical(nv, sibNv int) bool {
 // Tree is a priority search tree.
 type Tree struct {
 	opts    Options
-	root    *node
+	root    uint32
 	live    int
 	dummies int
 	meter   asymmem.Worker
@@ -81,6 +90,44 @@ type Tree struct {
 	// sequential handle).
 	wm    func(int) asymmem.Worker
 	stats Stats
+
+	pool *alloc.Pool[node] // node arena
+}
+
+// arenas lazily initializes the node pool, so trees assembled
+// field-by-field (tests, decode) work like built ones.
+func (t *Tree) arenas() {
+	if t.pool == nil {
+		t.pool = alloc.NewPool[node]()
+	}
+}
+
+// resetArenas swaps in a fresh pool (full rebuilds): every old handle dies
+// at once and the rebuilt tree starts from a compact handle space.
+func (t *Tree) resetArenas() { t.pool = alloc.NewPool[node]() }
+
+// nd resolves a node handle; the pointer is stable for the node's lifetime
+// (slab buckets never move).
+func (t *Tree) nd(h uint32) *node { return t.pool.At(h) }
+
+// alloc returns a zeroed node handle from worker w's pool. The caller
+// charges the model write, exactly as &node{} sites did.
+func (t *Tree) alloc(w int) uint32 {
+	t.arenas()
+	return t.pool.Alloc(w)
+}
+
+// freeSubtree recycles a whole subtree's handles onto worker 0's free
+// list. No model charges: dropping a subtree was free under GC too.
+func (t *Tree) freeSubtree(h uint32) {
+	if h == alloc.Nil {
+		return
+	}
+	n := t.nd(h)
+	l, r := n.left, n.right
+	t.pool.Free(0, h)
+	t.freeSubtree(l)
+	t.freeSubtree(r)
 }
 
 // worker returns the charging handle for worker w, falling back to the
@@ -123,6 +170,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("pst/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
@@ -159,6 +207,7 @@ func BuildClassicConfig(pts []Point, cfg config.Config) (*Tree, error) {
 // and copies the points at every level — the Θ(ωn log n) baseline.
 func BuildClassic(pts []Point, opts Options, m *asymmem.Meter) *Tree {
 	t := &Tree{opts: opts, meter: m.Worker(0), wm: m.Worker}
+	t.arenas()
 	buf := append([]Point{}, pts...)
 	t.meter.WriteN(len(buf))
 	t.root = t.buildClassicRec(buf, -1)
@@ -194,7 +243,7 @@ const pstBuildGrain = 1024
 
 // buildPostSorted is the Appendix-A construction over x-sorted points,
 // with the caller as worker 0.
-func (t *Tree) buildPostSorted(pts []Point) *node {
+func (t *Tree) buildPostSorted(pts []Point) uint32 {
 	return t.buildPostSortedAt(pts, 0, nil)
 }
 
@@ -207,11 +256,12 @@ func (t *Tree) buildPostSorted(pts []Point) *node {
 // its own worker-local handle. Counted costs are bit-identical to the
 // sequential construction at any P. in, when non-nil, is polled at fork
 // boundaries; a tripped interrupt abandons the build.
-func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *node {
+func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) uint32 {
 	n := len(pts)
 	if n == 0 {
-		return nil
+		return alloc.Nil
 	}
+	t.arenas()
 	prios := make([]float64, n)
 	for i, p := range pts {
 		prios[i] = p.Y
@@ -219,10 +269,10 @@ func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *no
 	tt := tournament.NewW(prios, t.worker(w))
 	smallMem := 4 * int(math.Log2(float64(n)+2))
 
-	var build func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) *node
-	build = func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) *node {
+	var build func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) uint32
+	build = func(w, lo, hi, nv, sibNv int, wk asymmem.Worker) uint32 {
 		if nv <= 0 || lo >= hi || in.Stopped() {
-			return nil
+			return alloc.Nil
 		}
 		holes := (hi - lo) - nv
 		if nv <= smallMem || holes > nv {
@@ -236,9 +286,10 @@ func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *no
 					tt.DeleteScopedH(i, lo, hi, wk)
 				}
 			}
-			return t.buildSmallW(valid, sibNv, wk)
+			return t.buildSmallW(w, valid, sibNv, wk)
 		}
-		nd := &node{}
+		nh := t.alloc(w)
+		nd := t.nd(nh)
 		wk.Write()
 		critical := t.opts.isCritical(nv, sibNv)
 		remaining := nv
@@ -255,7 +306,7 @@ func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *no
 		nd.initWeight = nd.weight
 		if remaining == 0 {
 			nd.split = nd.pt.X
-			return nd
+			return nh
 		}
 		k := (remaining + 1) / 2
 		q := tt.KthValidH(lo, hi, k, wk)
@@ -264,13 +315,13 @@ func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *no
 			nd.left = build(w, lo, q+1, k, remaining-k, wk)
 			nd.right = build(w, q+1, hi, remaining-k, k, wk)
 		} else if in.Poll() {
-			return nd
+			return nh
 		} else {
 			parallel.DoW(w,
 				func(w int) { nd.left = build(w, lo, q+1, k, remaining-k, t.worker(w)) },
 				func(w int) { nd.right = build(w, q+1, hi, remaining-k, k, t.worker(w)) })
 		}
-		return nd
+		return nh
 	}
 	return build(w, 0, n, n, 0, t.worker(w))
 }
@@ -279,35 +330,30 @@ func (t *Tree) buildPostSortedAt(pts []Point, w int, in *parallel.Interrupt) *no
 // charging only the O(n) emission writes (to the caller's worker handle);
 // the classic recursion below runs on an inactive handle, free like the
 // model's small memory.
-func (t *Tree) buildSmallW(pts []Point, sibNv int, wk asymmem.Worker) *node {
+func (t *Tree) buildSmallW(w int, pts []Point, sibNv int, wk asymmem.Worker) uint32 {
 	wk.WriteN(2 * len(pts))
-	return t.buildClassicRecH(pts, sibNv, asymmem.Worker{})
+	return t.buildClassicRecAt(pts, sibNv, w, asymmem.Worker{}, nil)
 }
 
 // buildClassicRec: extract the max-priority point (if the node is
 // critical), split the rest at the x-median, recurse. Charges a read and a
 // write per point per level — the classic cost.
-func (t *Tree) buildClassicRec(pts []Point, sibNv int) *node {
+func (t *Tree) buildClassicRec(pts []Point, sibNv int) uint32 {
 	return t.buildClassicRecAt(pts, sibNv, 0, t.meter, t.worker)
-}
-
-// buildClassicRecH is buildClassicRec charging one explicit handle on every
-// branch — the small-memory base case passes an inactive one, and its
-// forked branches must stay free too, so no worker-meter factory applies.
-func (t *Tree) buildClassicRecH(pts []Point, sibNv int, h asymmem.Worker) *node {
-	return t.buildClassicRecAt(pts, sibNv, 0, h, nil)
 }
 
 // buildClassicRecAt is the classic recursion for a caller running as worker
 // w charging h; wm, when non-nil, hands forked branches their own
 // worker-local handles so the concurrent baseline never funnels every
-// subtree's charges onto one meter shard.
-func (t *Tree) buildClassicRecAt(pts []Point, sibNv, w int, h asymmem.Worker, wm func(int) asymmem.Worker) *node {
+// subtree's charges onto one meter shard. (The small-memory base case
+// passes an inactive handle and nil wm: its branches stay free too.)
+func (t *Tree) buildClassicRecAt(pts []Point, sibNv, w int, h asymmem.Worker, wm func(int) asymmem.Worker) uint32 {
 	nv := len(pts)
 	if nv == 0 {
-		return nil
+		return alloc.Nil
 	}
-	nd := &node{}
+	nh := t.alloc(w)
+	nd := t.nd(nh)
 	h.Write()
 	critical := t.opts.isCritical(nv, sibNv)
 	nd.critical = critical
@@ -330,7 +376,7 @@ func (t *Tree) buildClassicRecAt(pts []Point, sibNv, w int, h asymmem.Worker, wm
 	}
 	if len(rest) == 0 {
 		nd.split = nd.pt.X
-		return nd
+		return nh
 	}
 	sort.Slice(rest, func(i, j int) bool {
 		if rest[i].X != rest[j].X {
@@ -363,19 +409,20 @@ func (t *Tree) buildClassicRecAt(pts []Point, sibNv, w int, h asymmem.Worker, wm
 		nd.left = t.buildClassicRecAt(rest[:k], len(rest)-k, w, h, wm)
 		nd.right = t.buildClassicRecAt(rest[k:], k, w, h, wm)
 	}
-	return nd
+	return nh
 }
 
 func (t *Tree) markVirtualRoot() {
-	if t.root != nil {
-		t.root.critical = true
-		if !t.root.hasPt && !t.root.dummy {
+	if t.root != alloc.Nil {
+		r := t.nd(t.root)
+		r.critical = true
+		if !r.hasPt && !r.dummy {
 			// The construction stores a point at every critical node; a
 			// secondary root can only arise from the skip exception, which
 			// never applies to the tree root.
-			t.promoteInto(t.root)
+			t.promoteInto(r)
 		}
-		t.root.initWeight = t.root.weight
+		r.initWeight = r.weight
 	}
 }
 
@@ -393,11 +440,12 @@ func (t *Tree) Query3Sided(xL, xR, yB float64, visit func(Point) bool) {
 // sequentially; the packed output size in bulk for a batch), so both call
 // shapes count identically.
 func (t *Tree) query3SidedH(xL, xR, yB float64, h asymmem.Worker, visit func(Point) bool) {
-	var rec func(n *node, lo, hi float64) bool
-	rec = func(n *node, lo, hi float64) bool {
-		if n == nil || hi < xL || lo > xR {
+	var rec func(c uint32, lo, hi float64) bool
+	rec = func(c uint32, lo, hi float64) bool {
+		if c == alloc.Nil || hi < xL || lo > xR {
 			return true
 		}
+		n := t.nd(c)
 		h.Read()
 		if n.hasPt {
 			if n.pt.Y < yB {
@@ -427,18 +475,5 @@ func (t *Tree) Count3Sided(xL, xR, yB float64) int {
 
 // Points returns all live points.
 func (t *Tree) Points() []Point {
-	var out []Point
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.hasPt {
-			out = append(out, n.pt)
-		}
-		rec(n.left)
-		rec(n.right)
-	}
-	rec(t.root)
-	return out
+	return t.collectPoints(t.root)
 }

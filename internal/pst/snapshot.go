@@ -3,6 +3,7 @@ package pst
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/checkpoint"
 	"repro/internal/config"
 )
@@ -10,7 +11,9 @@ import (
 // EncodeSnapshot serializes the built tree for internal/checkpoint: the
 // exact node shape in preorder — point, dummy flag, splitter, and balance
 // metadata per node — so the restored tree answers 3-sided queries with
-// bit-identical traversals and charges. Encoding charges nothing.
+// bit-identical traversals and charges. The node count leads the stream so
+// the decoder can reserve the whole arena up front. Encoding charges
+// nothing.
 func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.Int(t.opts.Alpha)
 	e.Int(t.live)
@@ -21,12 +24,26 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.I64(st.PointWrites)
 	e.I64(st.WeightWrites)
 	e.Int(st.FullRebuilds)
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	nodes := 0
+	var tally func(h uint32)
+	tally = func(h uint32) {
+		if h == alloc.Nil {
+			return
+		}
+		nodes++
+		n := t.nd(h)
+		tally(n.left)
+		tally(n.right)
+	}
+	tally(t.root)
+	e.U64(uint64(nodes))
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			e.Bool(false)
 			return
 		}
+		n := t.nd(h)
 		e.Bool(true)
 		e.F64(n.pt.X)
 		e.F64(n.pt.Y)
@@ -44,9 +61,12 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 }
 
 // DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
-// cfg.Meter one write per node restored.
+// cfg.Meter one write per node restored. The leading count sizes the arena
+// in one bulk reservation, so the decode loop performs no per-node pool
+// traffic.
 func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t := &Tree{meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	t.opts.Alpha = d.Int()
 	t.live = d.Int()
 	t.dummies = d.Int()
@@ -55,12 +75,23 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t.stats.PointWrites = d.I64()
 	t.stats.WeightWrites = d.I64()
 	t.stats.FullRebuilds = d.Int()
-	var rec func() *node
-	rec = func() *node {
+	// Each node occupies at least 31 bytes (marker, three floats, four
+	// one-byte varints/bools minimum).
+	nodes := d.Count(31)
+	next := t.pool.AllocBulk(nodes)
+	used := 0
+	var rec func() uint32
+	rec = func() uint32 {
 		if !d.Bool() || d.Err() != nil {
-			return nil
+			return alloc.Nil
 		}
-		n := &node{}
+		if used >= nodes { // more markers than the declared node count
+			d.Fail()
+			return alloc.Nil
+		}
+		h := next + uint32(used)
+		used++
+		n := t.nd(h)
 		t.meter.Write()
 		n.pt = Point{X: d.F64(), Y: d.F64(), ID: d.I32()}
 		n.hasPt = d.Bool()
@@ -71,7 +102,7 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 		n.critical = d.Bool()
 		n.left = rec()
 		n.right = rec()
-		return n
+		return h
 	}
 	t.root = rec()
 	if err := d.Err(); err != nil {

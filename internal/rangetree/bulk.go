@@ -3,8 +3,8 @@ package rangetree
 import (
 	"sort"
 
+	"repro/internal/alloc"
 	"repro/internal/parallel"
-	"repro/internal/treap"
 )
 
 // rtBulkGrain is the batch-size cutoff below which the bulk distribution
@@ -26,8 +26,9 @@ func (t *Tree) BulkInsert(pts []Point) {
 	if len(pts) == 0 {
 		return
 	}
-	if t.root == nil || len(pts) >= t.live {
+	if t.root == alloc.Nil || len(pts) >= t.live {
 		all := append(t.Points(), pts...)
+		t.resetArenas()
 		t.sortByX(all)
 		t.root = t.buildOuter(all)
 		t.live = len(all)
@@ -43,22 +44,30 @@ func (t *Tree) BulkInsert(pts []Point) {
 	t.live += len(pts)
 	// Topmost-first: the recursion appends post-order, so iterate in
 	// reverse; skip nodes detached by an earlier, higher rebuild and keep
-	// ancestor weights exact via the recorded paths.
+	// ancestor weights exact via the recorded paths. Reachability and the
+	// trigger test revalidate stale handles, so frees are deferred until
+	// the loop finishes — a recycled handle re-attached elsewhere would
+	// alias a doubled entry. (The fringe rebuilds above freed only their
+	// own fresh scratch roots; doubled entries are pre-existing nodes that
+	// never enter the free list mid-pass.)
+	t.deferFrees = true
 	for i := len(doubled) - 1; i >= 0; i-- {
 		d := doubled[i]
 		if !t.reachable(t.root, d.n) {
 			continue
 		}
-		trigger := (!t.opts.classic() && d.n.critical && d.n.weight >= 2*d.n.initWeight) ||
+		dn := t.nd(d.n)
+		trigger := (!t.opts.classic() && dn.critical && dn.weight >= 2*dn.initWeight) ||
 			(t.opts.classic() && t.classicUnbalanced(d.n))
 		if !trigger {
 			continue
 		}
-		oldW := d.n.weight
+		oldW := dn.weight
 		t.rebuildSubtree(d.n)
-		if delta := d.n.weight - oldW; delta != 0 {
-			for _, a := range d.path {
-				if (t.opts.classic() || a.critical) && t.reachable(t.root, a) {
+		if delta := dn.weight - oldW; delta != 0 {
+			for _, ah := range d.path {
+				a := t.nd(ah)
+				if (t.opts.classic() || a.critical) && t.reachable(t.root, ah) {
 					a.weight += delta
 					t.meter.Write()
 					t.stats.WeightWrites++
@@ -66,30 +75,33 @@ func (t *Tree) BulkInsert(pts []Point) {
 			}
 		}
 	}
+	t.flushFrees()
 }
 
 // doubledEnt records a node whose weight grew during the bulk pass and its
 // ancestor path (root first, exclusive).
 type doubledEnt struct {
-	n    *node
-	path []*node
+	n    uint32
+	path []uint32
 }
 
-// bulkRec distributes an x-sorted batch below n, running as worker w;
-// returns the node-count increase of n's subtree. n must be non-nil; anc is
+// bulkRec distributes an x-sorted batch below h, running as worker w;
+// returns the node-count increase of h's subtree. h must be non-Nil; anc is
 // its ancestor path. Child recursions fork while the batch stays above the
 // grain; forked branches collect doubled entries separately and the join
 // concatenates left-then-right, preserving the sequential pass's
 // post-order deterministically.
-func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]doubledEnt) int {
+func (t *Tree) bulkRec(w int, h uint32, batch []Point, anc []uint32, doubled *[]doubledEnt) int {
 	if len(batch) == 0 {
 		return 0
 	}
 	wk := t.worker(w)
 	wk.Read()
+	n := t.nd(h)
 	if n.leaf {
 		// Rebuild this fringe: the old leaf plus the batch become a
-		// subtree. The scratch tree charges the current worker and its
+		// subtree. The scratch tree shares t's arenas (its inner treaps
+		// must union with t's later), charges the current worker, and its
 		// statistics merge in under the stats lock.
 		all := batch
 		if !n.dead {
@@ -97,12 +109,15 @@ func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]do
 			sort.Slice(all, func(i, j int) bool { return pointLess(all[i], all[j]) })
 		}
 		before := n.weight
-		tmp := &Tree{opts: t.opts, meter: wk, wm: t.wm}
+		tmp := t.scratchTree(wk, t.wm)
 		tmp.root = tmp.buildOuterAt(all, w, nil)
 		tmp.labelAt(w, nil)
 		tmp.buildInnersAt(all, w, nil)
 		t.addStats(tmp.stats)
-		*n = *tmp.root
+		// The fringe root moves into the old leaf's slot; its own fresh
+		// handle (never recorded anywhere) recycles immediately.
+		*n = *t.nd(tmp.root)
+		t.pool.Free(w, tmp.root)
 		return n.weight - before
 	}
 	// Merge the batch into this node's inner tree if it keeps one.
@@ -116,7 +131,9 @@ func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]do
 		for i, p := range byY {
 			keys[i] = yKey{p.Y, p.ID}
 		}
-		b := treap.NewW(yLess, yPrio, wk)
+		// The staging treap comes from the shared store so the union can
+		// splice its nodes straight into n.inner.
+		b := t.yst.NewTree(wk, w)
 		b.FromSorted(keys)
 		if len(batch) >= rtUnionMin && t.wm != nil {
 			n.inner.UnionPar(b, w, t.wm)
@@ -141,14 +158,15 @@ func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]do
 			r = append(r, p)
 		}
 	}
-	childAnc := append(append([]*node{}, anc...), n)
+	childAnc := append(append([]uint32{}, anc...), h)
 	var added int
 	if len(l) > 0 && len(r) > 0 && len(l)+len(r) > rtBulkGrain {
 		var addL, addR int
 		var dl, dr []doubledEnt
+		nl, nr := n.left, n.right
 		parallel.DoW(w,
-			func(w int) { addL = t.bulkRec(w, n.left, l, childAnc, &dl) },
-			func(w int) { addR = t.bulkRec(w, n.right, r, childAnc, &dr) })
+			func(w int) { addL = t.bulkRec(w, nl, l, childAnc, &dl) },
+			func(w int) { addR = t.bulkRec(w, nr, r, childAnc, &dr) })
 		*doubled = append(*doubled, dl...)
 		*doubled = append(*doubled, dr...)
 		added = addL + addR
@@ -161,19 +179,20 @@ func (t *Tree) bulkRec(w int, n *node, batch []Point, anc []*node, doubled *[]do
 		t.statsMu.Lock()
 		t.stats.WeightWrites++
 		t.statsMu.Unlock()
-		*doubled = append(*doubled, doubledEnt{n: n, path: anc})
+		*doubled = append(*doubled, doubledEnt{n: h, path: anc})
 	}
 	return added
 }
 
-// reachable reports whether x is still attached under n.
-func (t *Tree) reachable(n, x *node) bool {
-	if n == nil {
+// reachable reports whether handle x is still attached under h.
+func (t *Tree) reachable(h, x uint32) bool {
+	if h == alloc.Nil {
 		return false
 	}
-	if n == x {
+	if h == x {
 		return true
 	}
+	n := t.nd(h)
 	if n.leaf {
 		return false
 	}

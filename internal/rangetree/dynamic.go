@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 )
 
 // Insert adds a point: a new leaf splits the leaf it lands on, the point
@@ -14,37 +15,42 @@ import (
 // O((α log n + ω) log_α n) amortized update of Theorem 7.4.
 func (t *Tree) Insert(p Point) {
 	t.live++
-	if t.root == nil {
-		t.root = &node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
+	if t.root == alloc.Nil {
+		h := t.alloc(0)
+		*t.nd(h) = node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
+		t.root = h
 		t.meter.Write()
 		return
 	}
-	var path []*node
-	n := t.root
-	for !n.leaf {
+	var path []uint32
+	cur := t.root
+	for !t.nd(cur).leaf {
 		t.meter.Read()
-		path = append(path, n)
-		if t.goesLeft(n, p) {
-			n = n.left
+		path = append(path, cur)
+		if t.goesLeft(t.nd(cur), p) {
+			cur = t.nd(cur).left
 		} else {
-			n = n.right
+			cur = t.nd(cur).right
 		}
 	}
 	// Split the leaf: it becomes an internal routing node over {old, new}.
-	old := *n
-	a, b := &node{leaf: true, pt: old.pt, key: old.pt.X, dead: old.dead, weight: 2, initWeight: 2, critical: true},
-		&node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
-	if pointLess(p, old.pt) {
-		a, b = b, a
+	n := t.nd(cur)
+	oldPt, oldDead := n.pt, n.dead
+	ah, bh := t.alloc(0), t.alloc(0)
+	*t.nd(ah) = node{leaf: true, pt: oldPt, key: oldPt.X, dead: oldDead, weight: 2, initWeight: 2, critical: true}
+	*t.nd(bh) = node{leaf: true, pt: p, key: p.X, weight: 2, initWeight: 2, critical: true}
+	if pointLess(p, oldPt) {
+		ah, bh = bh, ah
 	}
+	a, b := t.nd(ah), t.nd(bh)
 	n.leaf = false
 	n.pt = Point{}
 	n.dead = false
 	n.key = a.pt.X
-	n.left, n.right = a, b
+	n.left, n.right = ah, bh
 	n.weight = 4
 	n.initWeight = 4
-	if t.opts.classic() || n == t.root {
+	if t.opts.classic() || cur == t.root {
 		// The tree root is always the paper's virtual critical node.
 		n.critical = true
 	} else {
@@ -72,9 +78,10 @@ func (t *Tree) Insert(p Point) {
 	// Update weights and inner trees along the path. The split added one
 	// leaf node, which raises every ancestor's weight by 2 under the
 	// paper's nodes+1 convention.
-	var unbalanced *node
+	unbalanced := alloc.Nil
 	unbalancedIdx := -1
-	for i, anc := range path {
+	for i, ah := range path {
+		anc := t.nd(ah)
 		if t.opts.classic() || anc.critical {
 			anc.weight += 2
 			t.meter.Write()
@@ -83,18 +90,19 @@ func (t *Tree) Insert(p Point) {
 			anc.pts[p.ID] = p
 			t.stats.InnerUpdates++
 		}
-		if unbalanced == nil && !t.opts.classic() && anc.critical && anc.weight >= 2*anc.initWeight {
-			unbalanced, unbalancedIdx = anc, i
+		if unbalanced == alloc.Nil && !t.opts.classic() && anc.critical && anc.weight >= 2*anc.initWeight {
+			unbalanced, unbalancedIdx = ah, i
 		}
-		if unbalanced == nil && t.opts.classic() && t.classicUnbalanced(anc) {
-			unbalanced, unbalancedIdx = anc, i
+		if unbalanced == alloc.Nil && t.opts.classic() && t.classicUnbalanced(ah) {
+			unbalanced, unbalancedIdx = ah, i
 		}
 	}
-	if unbalanced != nil {
-		oldW := unbalanced.weight
-		sub := t.rebuildSubtree(unbalanced)
-		if delta := sub.weight - oldW; delta != 0 {
-			for _, anc := range path[:unbalancedIdx] {
+	if unbalanced != alloc.Nil {
+		oldW := t.nd(unbalanced).weight
+		t.rebuildSubtree(unbalanced)
+		if delta := t.nd(unbalanced).weight - oldW; delta != 0 {
+			for _, ah := range path[:unbalancedIdx] {
+				anc := t.nd(ah)
 				if t.opts.classic() || anc.critical {
 					anc.weight += delta
 					t.meter.Write()
@@ -105,13 +113,14 @@ func (t *Tree) Insert(p Point) {
 	}
 }
 
-func (t *Tree) classicUnbalanced(n *node) bool {
+func (t *Tree) classicUnbalanced(h uint32) bool {
+	n := t.nd(h)
 	if n.leaf || n.weight < 8 {
 		return false
 	}
-	mx := n.left.weight
-	if n.right.weight > mx {
-		mx = n.right.weight
+	mx := t.nd(n.left).weight
+	if w := t.nd(n.right).weight; w > mx {
+		mx = w
 	}
 	return float64(mx) > 0.71*float64(n.weight)
 }
@@ -129,23 +138,28 @@ func pointLess(a, b Point) bool {
 func (t *Tree) Delete(p Point) bool {
 	// Locate the leaf (ties on routing keys are resolved by goesLeft's
 	// ID-aware comparison, so the path is unique).
-	var path []*node
-	n := t.root
-	for n != nil && !n.leaf {
+	var path []uint32
+	cur := t.root
+	for cur != alloc.Nil && !t.nd(cur).leaf {
 		t.meter.Read()
-		path = append(path, n)
-		if t.goesLeft(n, p) {
-			n = n.left
+		path = append(path, cur)
+		if t.goesLeft(t.nd(cur), p) {
+			cur = t.nd(cur).left
 		} else {
-			n = n.right
+			cur = t.nd(cur).right
 		}
 	}
-	if n == nil || n.dead || n.pt.ID != p.ID || n.pt != p {
+	if cur == alloc.Nil {
+		return false
+	}
+	n := t.nd(cur)
+	if n.dead || n.pt.ID != p.ID || n.pt != p {
 		return false
 	}
 	n.dead = true
 	t.meter.Write()
-	for _, anc := range path {
+	for _, ah := range path {
+		anc := t.nd(ah)
 		if t.opts.classic() || anc.critical {
 			anc.inner.Delete(yKey{p.Y, p.ID})
 			delete(anc.pts, p.ID)
@@ -162,60 +176,65 @@ func (t *Tree) Delete(p Point) bool {
 
 // Points returns all live points in x order.
 func (t *Tree) Points() []Point {
-	var out []Point
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.leaf {
-			if !n.dead {
-				out = append(out, n.pt)
-			}
-			return
-		}
-		rec(n.left)
-		rec(n.right)
-	}
-	rec(t.root)
-	return out
+	return t.collectLive(t.root)
 }
 
-// rebuildSubtree reconstructs n's subtree from its live points, relabels
-// it (skip-root exception) and rebuilds its inner trees.
-func (t *Tree) rebuildSubtree(n *node) *node {
-	pts := collectLive(n)
+// rebuildSubtree reconstructs h's subtree from its live points, relabels
+// it (skip-root exception) and rebuilds its inner trees. The node keeps
+// its handle — ancestors' child links and any recorded paths stay valid —
+// while the old descendants recycle to the arenas before the rebuild
+// allocates (deferred while a bulk doubled loop is revalidating handles).
+func (t *Tree) rebuildSubtree(h uint32) {
+	pts := t.collectLive(h)
 	t.stats.Rebuilds++
 	t.stats.RebuildWork += int64(len(pts))
+	n := t.nd(h)
 	s := n.initWeight
+	wasRoot := h == t.root
+	l, r := n.left, n.right
+	oldInner := n.inner
+	n.left, n.right, n.inner, n.pts = alloc.Nil, alloc.Nil, nil, nil
+	t.freeSubtree(l)
+	t.freeSubtree(r)
+	if oldInner != nil {
+		// h itself stays allocated (never enters a pending-free list), so
+		// its old inner tree can always recycle immediately.
+		oldInner.Release()
+	}
 	t.sortByX(pts)
 	sub := t.buildOuter(pts)
-	if sub == nil {
-		sub = &node{leaf: true, dead: true, weight: 2, initWeight: 2, critical: true}
+	if sub == alloc.Nil {
+		sub = t.alloc(0)
+		*t.nd(sub) = node{leaf: true, dead: true, weight: 2, initWeight: 2, critical: true}
 	}
-	tmp := &Tree{opts: t.opts, root: sub, meter: t.meter}
+	tmp := t.scratchTree(t.meter, nil)
+	tmp.root = sub
 	tmp.label()
-	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && n != t.root {
-		sub.critical = false
+	sn := t.nd(sub)
+	if !t.opts.classic() && alabel.SkipRootMark(s, t.opts.Alpha) && !wasRoot {
+		sn.critical = false
 	}
-	if n == t.root {
-		sub.critical = true
+	if wasRoot {
+		sn.critical = true
 	}
 	tmp.stats = t.stats
 	tmp.buildInners(pts)
 	t.stats = tmp.stats
-	*n = *sub
+	// Copy-in-place splice: the subtree root moves into h's slot and its
+	// own (fresh, never published) handle recycles immediately.
+	*n = *sn
+	t.pool.Free(0, sub)
 	t.meter.Write()
-	return n
 }
 
-func collectLive(n *node) []Point {
+func (t *Tree) collectLive(h uint32) []Point {
 	var out []Point
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			return
 		}
+		n := t.nd(h)
 		if n.leaf {
 			if !n.dead {
 				out = append(out, n.pt)
@@ -225,15 +244,18 @@ func collectLive(n *node) []Point {
 		rec(n.left)
 		rec(n.right)
 	}
-	rec(n)
+	rec(h)
 	return out
 }
 
-// rebuildAll reconstructs the whole tree from the live points.
+// rebuildAll reconstructs the whole tree from the live points on fresh
+// arenas (the old slabs drop wholesale, keeping arena growth bounded under
+// churn).
 func (t *Tree) rebuildAll() {
 	pts := t.Points()
 	t.stats.FullRebuilds++
 	t.stats.RebuildWork += int64(len(pts))
+	t.resetArenas()
 	t.sortByX(pts)
 	t.root = t.buildOuter(pts)
 	t.dead = 0
@@ -247,11 +269,12 @@ func (t *Tree) Check() error {
 	// Leaves in non-decreasing (X, ID).
 	leaves := []Point{}
 	deadCount := 0
-	var rec func(n *node) error
-	rec = func(n *node) error {
-		if n == nil {
+	var rec func(h uint32) error
+	rec = func(h uint32) error {
+		if h == alloc.Nil {
 			return nil
 		}
+		n := t.nd(h)
 		if n.leaf {
 			if n.dead {
 				deadCount++
@@ -280,11 +303,12 @@ func (t *Tree) Check() error {
 		return fmt.Errorf("rangetree: %d live leaves, expected %d", len(leaves), t.live)
 	}
 	// Inner contents match subtree live points at critical nodes.
-	var verify func(n *node) ([]int32, error)
-	verify = func(n *node) ([]int32, error) {
-		if n == nil {
+	var verify func(h uint32) ([]int32, error)
+	verify = func(h uint32) ([]int32, error) {
+		if h == alloc.Nil {
 			return nil, nil
 		}
+		n := t.nd(h)
 		if n.leaf {
 			if n.dead {
 				return nil, nil
@@ -309,7 +333,7 @@ func (t *Tree) Check() error {
 					return nil, fmt.Errorf("rangetree: inner missing id %d", id)
 				}
 			}
-			if got, want := n.weight, t.subtreeWeight(n); got != want {
+			if got, want := n.weight, t.subtreeWeight(h); got != want {
 				return nil, fmt.Errorf("rangetree: weight %d != %d", got, want)
 			}
 		}
@@ -321,10 +345,11 @@ func (t *Tree) Check() error {
 
 // subtreeWeight recomputes the paper's weight (leaf nodes count 2;
 // internal node = sum of children).
-func (t *Tree) subtreeWeight(n *node) int {
-	if n == nil {
+func (t *Tree) subtreeWeight(h uint32) int {
+	if h == alloc.Nil {
 		return 1
 	}
+	n := t.nd(h)
 	if n.leaf {
 		return 2
 	}
@@ -341,9 +366,9 @@ type PathStats struct {
 // PathStats measures critical-node density over all root-to-leaf paths.
 func (t *Tree) PathStats() PathStats {
 	var st PathStats
-	var rec func(n *node, depth, crit, run int)
-	rec = func(n *node, depth, crit, run int) {
-		if n == nil {
+	var rec func(h uint32, depth, crit, run int)
+	rec = func(h uint32, depth, crit, run int) {
+		if h == alloc.Nil {
 			if depth > st.MaxPathLen {
 				st.MaxPathLen = depth
 			}
@@ -352,6 +377,7 @@ func (t *Tree) PathStats() PathStats {
 			}
 			return
 		}
+		n := t.nd(h)
 		if n.critical {
 			crit++
 			run = 0

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
@@ -15,11 +16,12 @@ import (
 // compared node-for-node.
 func dumpTree(tr *Tree) string {
 	var b strings.Builder
-	var rec func(n *node, depth int)
-	rec = func(n *node, depth int) {
-		if n == nil {
+	var rec func(h uint32, depth int)
+	rec = func(h uint32, depth int) {
+		if h == alloc.Nil {
 			return
 		}
+		n := tr.nd(h)
 		fmt.Fprintf(&b, "%*sk=%v leaf=%v w=%d iw=%d c=%v dead=%v", depth, "", n.key, n.leaf, n.weight, n.initWeight, n.critical, n.dead)
 		if n.leaf {
 			fmt.Fprintf(&b, " pt=%v", n.pt)

@@ -14,6 +14,14 @@
 // point set; each critical node's inner list is an ordered filter of its
 // critical parent's list, costing O((α + ω)s) for an inner tree of size s
 // and O((α + ω)·n log_α n) in total.
+//
+// Outer nodes live in an internal/alloc pool addressed by uint32 handles
+// (left/right are handle pairs), and every inner treap allocates from one
+// shared treap.Store, so the whole structure occupies a handful of flat
+// slabs. Handles recycle through per-worker free lists on rebuilds; the
+// arena changes memory layout only — every model charge stays at the same
+// program point, so counted costs are bit-identical to the pointer-node
+// implementation.
 package rangetree
 
 import (
@@ -21,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/alabel"
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/parallel"
@@ -53,9 +62,11 @@ func yPrio(k yKey) uint64 {
 	return parallel.Hash64(math.Float64bits(k.y) ^ uint64(uint32(k.id))*0x9e3779b97f4a7c15)
 }
 
+// node is one outer-tree node, stored flat in the tree's pool; left and
+// right are handles into the same pool (alloc.Nil = no child).
 type node struct {
 	key         float64 // routing: x ≤ key goes left
-	left, right *node
+	left, right uint32
 	leaf        bool
 	pt          Point
 	dead        bool
@@ -79,7 +90,7 @@ func (o Options) classic() bool { return o.Alpha < 2 }
 // Tree is a 2D range tree.
 type Tree struct {
 	opts  Options
-	root  *node
+	root  uint32
 	live  int
 	dead  int
 	meter asymmem.Worker
@@ -89,6 +100,83 @@ type Tree struct {
 	wm      func(int) asymmem.Worker
 	statsMu sync.Mutex // guards stats on the parallel build/bulk paths
 	stats   Stats
+
+	pool *alloc.Pool[node]  // outer-node arena
+	yst  *treap.Store[yKey] // shared arena for every inner treap
+	// Deferred frees: BulkInsert's doubled-rebuild loop revalidates stale
+	// handles by reachability, so handles freed during the loop must not
+	// recycle until it finishes.
+	deferFrees  bool
+	pendingFree []uint32
+}
+
+// arenas lazily initializes the node pool and inner-treap store, so trees
+// assembled field-by-field (tests, decode, scratch trees) work like built
+// ones.
+func (t *Tree) arenas() {
+	if t.pool == nil {
+		t.pool = alloc.NewPool[node]()
+		t.yst = treap.NewStore(yLess, yPrio).WithValues(ySum)
+	}
+}
+
+// resetArenas swaps in fresh arenas (full rebuilds): every old handle dies
+// at once and the rebuilt tree starts from a compact handle space.
+func (t *Tree) resetArenas() {
+	t.pool = alloc.NewPool[node]()
+	t.yst = treap.NewStore(yLess, yPrio).WithValues(ySum)
+}
+
+// nd resolves a node handle; the pointer is stable for the node's lifetime
+// (slab buckets never move).
+func (t *Tree) nd(h uint32) *node { return t.pool.At(h) }
+
+// alloc returns a zeroed node handle from worker w's pool. The caller
+// charges the model write, exactly as &node{} sites did.
+func (t *Tree) alloc(w int) uint32 {
+	t.arenas()
+	return t.pool.Alloc(w)
+}
+
+// scratchTree returns a throwaway Tree header sharing t's arenas, used by
+// fringe rebuilds to run label/buildInners on a detached subtree. wm may
+// be nil to funnel every charge onto wk (the historical behaviour of the
+// sequential rebuild path).
+func (t *Tree) scratchTree(wk asymmem.Worker, wm func(int) asymmem.Worker) *Tree {
+	t.arenas()
+	return &Tree{opts: t.opts, meter: wk, wm: wm, pool: t.pool, yst: t.yst}
+}
+
+// freeSubtree recycles an outer subtree — inner treap nodes to the shared
+// store, outer slots to the pool — or defers the recycling while a bulk
+// doubled-rebuild loop holds revalidatable handles. No model charges:
+// dropping a subtree was free under GC too.
+func (t *Tree) freeSubtree(h uint32) {
+	if h == alloc.Nil {
+		return
+	}
+	if t.deferFrees {
+		t.pendingFree = append(t.pendingFree, h)
+		return
+	}
+	n := t.nd(h)
+	l, r := n.left, n.right
+	if n.inner != nil {
+		n.inner.Release()
+	}
+	t.pool.Free(0, h)
+	t.freeSubtree(l)
+	t.freeSubtree(r)
+}
+
+// flushFrees performs the frees deferred during a bulk loop.
+func (t *Tree) flushFrees() {
+	t.deferFrees = false
+	pending := t.pendingFree
+	t.pendingFree = nil
+	for _, h := range pending {
+		t.freeSubtree(h)
+	}
 }
 
 // worker returns the charging handle for worker w, falling back to the
@@ -149,6 +237,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{opts: Options{Alpha: cfg.Alpha}, meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	sorted := append([]Point{}, pts...)
 	cfg.Phase("rangetree/sort", func() { t.sortByX(sorted) })
 	if err := cfg.Check(); err != nil {
@@ -210,7 +299,7 @@ const rtBuildGrain = 1024
 const rtUnionMin = 256
 
 // buildOuter builds the leaf-oriented balanced BST over x-sorted points.
-func (t *Tree) buildOuter(pts []Point) *node {
+func (t *Tree) buildOuter(pts []Point) uint32 {
 	return t.buildOuterAt(pts, 0, nil)
 }
 
@@ -218,21 +307,31 @@ func (t *Tree) buildOuter(pts []Point) *node {
 // as worker w: the two halves of the rank range fork on the worker pool,
 // each charging a worker-local handle. in, when non-nil, is polled at fork
 // boundaries.
-func (t *Tree) buildOuterAt(pts []Point, w int, in *parallel.Interrupt) *node {
+func (t *Tree) buildOuterAt(pts []Point, w int, in *parallel.Interrupt) uint32 {
 	if len(pts) == 0 {
-		return nil
+		return alloc.Nil
 	}
-	var build func(w, lo, hi int, wk asymmem.Worker) *node
-	build = func(w, lo, hi int, wk asymmem.Worker) *node {
+	t.arenas()
+	var build func(w, lo, hi int, wk asymmem.Worker) uint32
+	build = func(w, lo, hi int, wk asymmem.Worker) uint32 {
 		if in.Stopped() {
-			return &node{leaf: true, weight: 2}
+			h := t.alloc(w)
+			n := t.nd(h)
+			n.leaf, n.weight = true, 2
+			return h
 		}
 		wk.Write()
 		if hi-lo == 1 {
-			return &node{leaf: true, pt: pts[lo], key: pts[lo].X, weight: 2, initWeight: 2}
+			h := t.alloc(w)
+			n := t.nd(h)
+			n.leaf, n.pt, n.key = true, pts[lo], pts[lo].X
+			n.weight, n.initWeight = 2, 2
+			return h
 		}
 		mid := (lo + hi) / 2
-		n := &node{key: pts[mid-1].X}
+		h := t.alloc(w)
+		n := t.nd(h)
+		n.key = pts[mid-1].X
 		if hi-lo <= rtBuildGrain || in.Poll() {
 			n.left = build(w, lo, mid, wk)
 			n.right = build(w, mid, hi, wk)
@@ -241,9 +340,9 @@ func (t *Tree) buildOuterAt(pts []Point, w int, in *parallel.Interrupt) *node {
 				func(w int) { n.left = build(w, lo, mid, t.worker(w)) },
 				func(w int) { n.right = build(w, mid, hi, t.worker(w)) })
 		}
-		n.weight = n.left.weight + n.right.weight
+		n.weight = t.nd(n.left).weight + t.nd(n.right).weight
 		n.initWeight = n.weight
-		return n
+		return h
 	}
 	return build(w, 0, len(pts), t.worker(w))
 }
@@ -257,14 +356,15 @@ func (t *Tree) label() {
 // labelAt is label running as worker w, forking the two subtree walks while
 // the subtree weight stays above the grain.
 func (t *Tree) labelAt(w int, in *parallel.Interrupt) {
-	var rec func(w int, n, sib *node, wk asymmem.Worker)
-	rec = func(w int, n, sib *node, wk asymmem.Worker) {
-		if n == nil || in.Stopped() {
+	var rec func(w int, h, sib uint32, wk asymmem.Worker)
+	rec = func(w int, h, sib uint32, wk asymmem.Worker) {
+		if h == alloc.Nil || in.Stopped() {
 			return
 		}
+		n := t.nd(h)
 		sw := 0
-		if sib != nil {
-			sw = sib.weight
+		if sib != alloc.Nil {
+			sw = t.nd(sib).weight
 		}
 		if t.opts.classic() {
 			n.critical = true
@@ -277,14 +377,15 @@ func (t *Tree) labelAt(w int, in *parallel.Interrupt) {
 			rec(w, n.left, n.right, wk)
 			rec(w, n.right, n.left, wk)
 		} else {
+			nl, nr := n.left, n.right
 			parallel.DoW(w,
-				func(w int) { rec(w, n.left, n.right, t.worker(w)) },
-				func(w int) { rec(w, n.right, n.left, t.worker(w)) })
+				func(w int) { rec(w, nl, nr, t.worker(w)) },
+				func(w int) { rec(w, nr, nl, t.worker(w)) })
 		}
 	}
-	rec(w, t.root, nil, t.worker(w))
-	if t.root != nil {
-		t.root.critical = true
+	rec(w, t.root, alloc.Nil, t.worker(w))
+	if t.root != alloc.Nil {
+		t.nd(t.root).critical = true
 	}
 }
 
@@ -303,7 +404,7 @@ func (t *Tree) buildInners(byX []Point) {
 // counted costs equal the sequential top-down construction at any P. in,
 // when non-nil, is polled at fork boundaries.
 func (t *Tree) buildInnersAt(byX []Point, w int, in *parallel.Interrupt) {
-	if t.root == nil {
+	if t.root == alloc.Nil {
 		return
 	}
 	byY := append([]Point{}, byX...)
@@ -311,38 +412,45 @@ func (t *Tree) buildInnersAt(byX []Point, w int, in *parallel.Interrupt) {
 
 	// xRange computes [min,max] x (with ID tie-break) per subtree from the
 	// routing keys; we track ranges during the descent instead.
-	var fill func(w int, n *node, list []Point)
+	var fill func(w int, h uint32, list []Point)
 	// walk distributes a list to the maximal critical descendants: at each
 	// secondary internal node, split by the routing key and keep walking.
-	var walk func(w int, c *node, sub []Point)
-	walk = func(w int, c *node, sub []Point) {
-		if c == nil || c.leaf || in.Stopped() {
+	var walk func(w int, h uint32, sub []Point)
+	walk = func(w int, h uint32, sub []Point) {
+		if h == alloc.Nil || in.Stopped() {
+			return
+		}
+		c := t.nd(h)
+		if c.leaf {
 			return // leaves answer directly from their single point
 		}
 		if c.critical {
-			fill(w, c, sub)
+			fill(w, h, sub)
 			return
 		}
 		l, r := t.splitByXW(c, sub, t.worker(w))
 		if len(sub) > rtBuildGrain && !in.Poll() {
+			cl, cr := c.left, c.right
 			parallel.DoW(w,
-				func(w int) { walk(w, c.left, l) },
-				func(w int) { walk(w, c.right, r) })
+				func(w int) { walk(w, cl, l) },
+				func(w int) { walk(w, cr, r) })
 		} else {
 			walk(w, c.left, l)
 			walk(w, c.right, r)
 		}
 	}
-	fill = func(w int, n *node, list []Point) {
+	fill = func(w int, h uint32, list []Point) {
+		n := t.nd(h)
 		if n.leaf || in.Stopped() {
 			return // leaves answer directly from their single point
 		}
 		descend := func(w int) {
 			l, r := t.splitByXW(n, list, t.worker(w))
 			if len(list) > rtBuildGrain && !in.Poll() {
+				nl, nr := n.left, n.right
 				parallel.DoW(w,
-					func(w int) { walk(w, n.left, l) },
-					func(w int) { walk(w, n.right, r) })
+					func(w int) { walk(w, nl, l) },
+					func(w int) { walk(w, nr, r) })
 			} else {
 				walk(w, n.left, l)
 				walk(w, n.right, r)
@@ -350,10 +458,10 @@ func (t *Tree) buildInnersAt(byX []Point, w int, in *parallel.Interrupt) {
 		}
 		if len(list) > rtBuildGrain && !in.Poll() {
 			parallel.DoW(w,
-				func(w int) { t.setInnerW(n, list, t.worker(w)) },
+				func(w int) { t.setInnerW(n, list, t.worker(w), w) },
 				func(w int) { descend(w) })
 		} else {
-			t.setInnerW(n, list, t.worker(w))
+			t.setInnerW(n, list, t.worker(w), w)
 			descend(w)
 		}
 	}
@@ -388,32 +496,35 @@ func (t *Tree) goesLeft(n *node, p Point) bool {
 	// The routing key is the max (X, ID) of the left subtree; recover the
 	// boundary ID from the rightmost leaf of the left subtree.
 	b := n.left
-	for b != nil && !b.leaf {
-		b = b.right
+	for b != alloc.Nil && !t.nd(b).leaf {
+		b = t.nd(b).right
 	}
-	if b == nil {
+	if b == alloc.Nil {
 		return p.X <= n.key
 	}
-	if b.pt.X != p.X {
+	bp := t.nd(b).pt
+	if bp.X != p.X {
 		return p.X < n.key
 	}
-	return p.ID <= b.pt.ID
+	return p.ID <= bp.ID
 }
 
 // setInner stores a node's inner tree from a y-sorted list. Inner trees
 // carry the y-sum augmentation, supporting the appendix's weighted-sum
 // queries without an output term.
 func (t *Tree) setInner(n *node, list []Point) {
-	t.setInnerW(n, list, t.meter)
+	t.setInnerW(n, list, t.meter, 0)
 }
 
-// setInnerW is setInner charging a worker-local handle; the statistics
-// update takes the stats lock because inner trees build concurrently. One
-// inner tree builds per call, so the spine scratch is call-local (a
-// worker-indexed pool would break under a mid-flight SetWorkers resize).
-func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker) {
+// setInnerW is setInner charging a worker-local handle and allocating from
+// worker w's pools in the shared inner store; the statistics update takes
+// the stats lock because inner trees build concurrently. One inner tree
+// builds per call, so the spine scratch is call-local (a worker-indexed
+// pool would break under a mid-flight SetWorkers resize).
+func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker, w int) {
+	t.arenas()
 	var sc treap.Scratch[yKey]
-	n.inner = treap.NewW(yLess, yPrio, wk).WithValues(ySum)
+	n.inner = t.yst.NewTree(wk, w)
 	keys := make([]yKey, len(list))
 	n.pts = make(map[int32]Point, len(list))
 	for i, p := range list {
@@ -447,10 +558,11 @@ func (t *Tree) queryH(xL, xR, yB, yT float64, h asymmem.Worker, visit func(Point
 
 // query walks the outer tree; fully-covered subtrees are answered from the
 // nearest inner trees at or below their root.
-func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
-	if n == nil || hi < xL || lo > xR {
+func (t *Tree) query(c uint32, lo, hi, xL, xR, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
+	if c == alloc.Nil || hi < xL || lo > xR {
 		return true
 	}
+	n := t.nd(c)
 	h.Read()
 	if n.leaf {
 		if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
@@ -460,7 +572,7 @@ func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, h asymmem.Worker, 
 	}
 	if lo >= xL && hi <= xR {
 		// Canonical subtree: report from the critical cover.
-		return t.reportCover(n, yB, yT, h, visit)
+		return t.reportCover(c, yB, yT, h, visit)
 	}
 	if !t.query(n.left, lo, n.key, xL, xR, yB, yT, h, visit) {
 		return false
@@ -468,12 +580,13 @@ func (t *Tree) query(n *node, lo, hi, xL, xR, yB, yT float64, h asymmem.Worker, 
 	return t.query(n.right, n.key, hi, xL, xR, yB, yT, h, visit)
 }
 
-// reportCover reports points with y ∈ [yB, yT] under n using the maximal
-// critical descendants' inner trees (n itself if critical).
-func (t *Tree) reportCover(n *node, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
-	if n == nil {
+// reportCover reports points with y ∈ [yB, yT] under c using the maximal
+// critical descendants' inner trees (c itself if critical).
+func (t *Tree) reportCover(c uint32, yB, yT float64, h asymmem.Worker, visit func(Point) bool) bool {
+	if c == alloc.Nil {
 		return true
 	}
+	n := t.nd(c)
 	h.Read()
 	if n.critical {
 		if n.leaf {
@@ -504,11 +617,12 @@ func (t *Tree) reportCover(n *node, yB, yT float64, h asymmem.Worker, visit func
 func (t *Tree) Count(xL, xR, yB, yT float64) int {
 	lo := yKey{yB, math.MinInt32}
 	hi := yKey{yT, math.MaxInt32}
-	var rec func(n *node, xlo, xhi float64) int
-	rec = func(n *node, xlo, xhi float64) int {
-		if n == nil || xhi < xL || xlo > xR {
+	var rec func(c uint32, xlo, xhi float64) int
+	rec = func(c uint32, xlo, xhi float64) int {
+		if c == alloc.Nil || xhi < xL || xlo > xR {
 			return 0
 		}
+		n := t.nd(c)
 		t.meter.Read()
 		if n.leaf {
 			if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
@@ -517,18 +631,19 @@ func (t *Tree) Count(xL, xR, yB, yT float64) int {
 			return 0
 		}
 		if xlo >= xL && xhi <= xR {
-			return t.countCover(n, lo, hi)
+			return t.countCover(c, lo, hi)
 		}
 		return rec(n.left, xlo, n.key) + rec(n.right, n.key, xhi)
 	}
 	return rec(t.root, math.Inf(-1), math.Inf(1))
 }
 
-// countCover counts y-matching points under n via the critical cover.
-func (t *Tree) countCover(n *node, lo, hi yKey) int {
-	if n == nil {
+// countCover counts y-matching points under c via the critical cover.
+func (t *Tree) countCover(c uint32, lo, hi yKey) int {
+	if c == alloc.Nil {
 		return 0
 	}
+	n := t.nd(c)
 	t.meter.Read()
 	if n.critical {
 		if n.leaf {

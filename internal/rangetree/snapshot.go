@@ -3,6 +3,7 @@ package rangetree
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/checkpoint"
 	"repro/internal/config"
@@ -13,8 +14,9 @@ import (
 // node with an inner tree stores its points once, in inner (Y, ID) order;
 // treap priorities are deterministic key hashes, so DecodeSnapshot's
 // FromSorted rebuild reproduces the exact inner shapes and the restored tree
-// answers range queries with bit-identical traversals and charges. Encoding
-// charges nothing.
+// answers range queries with bit-identical traversals and charges. The outer
+// node count and total inner-entry count lead the stream so the decoder can
+// reserve both arenas up front. Encoding charges nothing.
 func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.Int(t.opts.Alpha)
 	e.Int(t.live)
@@ -27,12 +29,30 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 	e.I64(st.WeightWrites)
 	e.I64(st.InnerUpdates)
 	e.Int(st.FullRebuilds)
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
+	nodes, entries := 0, 0
+	var tally func(h uint32)
+	tally = func(h uint32) {
+		if h == alloc.Nil {
+			return
+		}
+		nodes++
+		n := t.nd(h)
+		if n.inner != nil {
+			entries += n.inner.Len()
+		}
+		tally(n.left)
+		tally(n.right)
+	}
+	tally(t.root)
+	e.U64(uint64(nodes))
+	e.U64(uint64(entries))
+	var rec func(h uint32)
+	rec = func(h uint32) {
+		if h == alloc.Nil {
 			e.Bool(false)
 			return
 		}
+		n := t.nd(h)
 		e.Bool(true)
 		e.Bool(n.leaf)
 		e.F64(n.key)
@@ -65,10 +85,12 @@ func (t *Tree) EncodeSnapshot(e *checkpoint.Encoder) {
 
 // DecodeSnapshot reconstructs a tree from EncodeSnapshot's bytes, charging
 // cfg.Meter O(n log_α n) writes — one per node plus one per inner-tree entry
-// replaced. Statistics are restored wholesale from the snapshot; the decode
-// itself records nothing.
+// replaced. The leading counts size both arenas in bulk reservations, so the
+// decode loop performs no per-node pool traffic. Statistics are restored
+// wholesale from the snapshot; the decode itself records nothing.
 func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t := &Tree{meter: cfg.WorkerMeter(0), wm: cfg.WorkerMeter}
+	t.arenas()
 	t.opts.Alpha = d.Int()
 	t.live = d.Int()
 	t.dead = d.Int()
@@ -79,13 +101,27 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 	t.stats.WeightWrites = d.I64()
 	t.stats.InnerUpdates = d.I64()
 	t.stats.FullRebuilds = d.Int()
+	// Each outer node occupies at least 33 bytes (marker, three fixed
+	// floats, eight one-byte varints/bools minimum); each inner entry two
+	// fixed floats plus a varint id.
+	nodes := d.Count(33)
+	entries := d.Count(17)
+	next := t.pool.AllocBulk(nodes)
+	used := 0
+	t.yst.Reserve(entries)
 	var sc treap.Scratch[yKey]
-	var rec func() *node
-	rec = func() *node {
+	var rec func() uint32
+	rec = func() uint32 {
 		if !d.Bool() || d.Err() != nil {
-			return nil
+			return alloc.Nil
 		}
-		n := &node{}
+		if used >= nodes { // more markers than the declared node count
+			d.Fail()
+			return alloc.Nil
+		}
+		h := next + uint32(used)
+		used++
+		n := t.nd(h)
 		t.meter.Write()
 		n.leaf = d.Bool()
 		n.key = d.F64()
@@ -104,13 +140,13 @@ func DecodeSnapshot(d *checkpoint.Decoder, cfg config.Config) (*Tree, error) {
 				keys[i] = yKey{p.Y, p.ID}
 				n.pts[p.ID] = p
 			}
-			n.inner = treap.NewW(yLess, yPrio, t.meter).WithValues(ySum)
+			n.inner = t.yst.NewTree(t.meter, 0)
 			n.inner.FromSortedScratch(keys, &sc)
 			t.meter.WriteN(m)
 		}
 		n.left = rec()
 		n.right = rec()
-		return n
+		return h
 	}
 	t.root = rec()
 	if err := d.Err(); err != nil {

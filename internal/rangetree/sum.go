@@ -1,6 +1,10 @@
 package rangetree
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/alloc"
+)
 
 // SumY returns the sum of the y-coordinates of the live points in the
 // query rectangle, in O(polylog) reads and zero writes — the appendix's
@@ -9,11 +13,12 @@ import "math"
 func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
 	lo := yKey{yB, math.MinInt32}
 	hi := yKey{yT, math.MaxInt32}
-	var rec func(n *node, xlo, xhi float64) float64
-	rec = func(n *node, xlo, xhi float64) float64 {
-		if n == nil || xhi < xL || xlo > xR {
+	var rec func(h uint32, xlo, xhi float64) float64
+	rec = func(h uint32, xlo, xhi float64) float64 {
+		if h == alloc.Nil || xhi < xL || xlo > xR {
 			return 0
 		}
+		n := t.nd(h)
 		t.meter.Read()
 		if n.leaf {
 			if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
@@ -22,18 +27,19 @@ func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
 			return 0
 		}
 		if xlo >= xL && xhi <= xR {
-			return t.sumCover(n, lo, hi)
+			return t.sumCover(h, lo, hi)
 		}
 		return rec(n.left, xlo, n.key) + rec(n.right, n.key, xhi)
 	}
 	return rec(t.root, math.Inf(-1), math.Inf(1))
 }
 
-// sumCover sums y over the critical cover under n.
-func (t *Tree) sumCover(n *node, lo, hi yKey) float64 {
-	if n == nil {
+// sumCover sums y over the critical cover under h.
+func (t *Tree) sumCover(h uint32, lo, hi yKey) float64 {
+	if h == alloc.Nil {
 		return 0
 	}
+	n := t.nd(h)
 	t.meter.Read()
 	if n.critical {
 		if n.leaf {

@@ -10,37 +10,120 @@
 // build the canonical treap in O(n) writes, which the linear-write
 // constructions rely on.
 //
+// Nodes are not heap objects: a Store is an arena (internal/alloc) handing
+// out uint32 index handles, with the hot traversal fields (key, priority,
+// children, subtree count) in one slab and the optional sum augmentation in
+// a second slab sharing the handle space — a structure-of-arrays layout, so
+// un-augmented traversals never touch sum memory. Many trees can share one
+// Store: the interval tree keeps every node's byLeft/byRight inner treaps
+// in a single arena, the range tree likewise for its inner trees, so a
+// structure's O(n log n) inner nodes occupy a handful of flat allocations
+// instead of one heap object each. Free slots recycle through per-worker
+// pools in constant time.
+//
 // Expected costs per operation: Insert/Delete O(log n) reads and O(1)
 // structural writes (expected O(1) rotations, Tarjan-style), Union of sizes
 // m ≤ n O(m log(n/m)) work. The meter is charged a write per node created
-// or mutated and a read per node inspected.
+// or mutated and a read per node inspected — at exactly the same program
+// points as the old pointer-node implementation, so counted costs are
+// unchanged by the arena layout. Arena recycling itself charges nothing,
+// just as garbage collection charged nothing before.
 package treap
 
 import (
+	"repro/internal/alloc"
 	"repro/internal/asymmem"
 	"repro/internal/parallel"
 )
 
-// Tree is a treap. The zero value is not usable; create with New.
-type Tree[K any] struct {
-	root  *node[K]
+// nodeData is one treap node's hot fields, stored flat in the Store's node
+// slab and addressed by uint32 handle (alloc.Nil = no node).
+type nodeData[K any] struct {
+	key         K
+	prio        uint64
+	left, right uint32
+	count       int32 // subtree node count
+}
+
+// Store is an arena of treap nodes plus the key ordering/hashing shared by
+// every tree allocated from it. Create with NewStore; a structure that
+// owns many inner treaps (interval tree, range tree) creates one Store and
+// every inner tree in it, so all inner nodes share two slabs.
+type Store[K any] struct {
 	less  func(a, b K) bool
 	prio  func(K) uint64
 	value func(K) float64 // optional sum augmentation (nil = disabled)
+	arena alloc.Allocator
+	nodes alloc.Slab[nodeData[K]]
+	sums  alloc.Slab[float64] // grown only when value != nil
+}
+
+// NewStore returns an empty arena for trees ordered by less, hashing keys
+// to priorities with prio, sized off the current parallel worker pool.
+func NewStore[K any](less func(a, b K) bool, prio func(K) uint64) *Store[K] {
+	s := &Store[K]{less: less, prio: prio}
+	alloc.InitAllocator(&s.arena)
+	return s
+}
+
+// WithValues enables the sum augmentation (the paper's appendix "counting
+// or weighted sum queries ... by augmenting the inner trees") for every
+// tree in the store: each subtree maintains the sum of value(k) over its
+// keys. Must be set before any tree in the store holds nodes.
+func (s *Store[K]) WithValues(value func(K) float64) *Store[K] {
+	s.value = value
+	return s
+}
+
+// NewTree returns an empty tree allocating from s, charging costs to h,
+// preferring worker w's arena pool.
+func (s *Store[K]) NewTree(h asymmem.Worker, w int) *Tree[K] {
+	return &Tree[K]{st: s, meter: h, w: w}
+}
+
+// Reserve grows the store's slabs to cover n more nodes up front, so a
+// bulk build (snapshot restore) performs one arena reservation instead of
+// growing under the per-node allocations.
+func (s *Store[K]) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	bound := s.arena.Bound() + uint32(n)
+	s.nodes.Grow(bound)
+	if s.value != nil {
+		s.sums.Grow(bound)
+	}
+}
+
+// alloc returns a fresh or recycled zeroed node slot.
+func (s *Store[K]) alloc(w int) uint32 {
+	h := s.arena.Alloc(w)
+	s.nodes.Grow(h + 1)
+	if s.value != nil {
+		s.sums.Grow(h + 1)
+	}
+	return h
+}
+
+// free recycles h, zeroing the slot so keys holding heap references do not
+// pin them from the free list.
+func (s *Store[K]) free(w int, h uint32) {
+	*s.nodes.At(h) = nodeData[K]{}
+	s.arena.Free(w, h)
+}
+
+// Tree is a treap. The zero value is not usable; create with New, NewW, or
+// Store.NewTree.
+type Tree[K any] struct {
+	st    *Store[K]
+	root  uint32
 	meter asymmem.Worker
 	size  int
+	w     int // arena pool hint for alloc/free
 }
 
-type node[K any] struct {
-	key         K
-	prio        uint64
-	left, right *node[K]
-	count       int     // subtree node count
-	sum         float64 // subtree value sum (when augmented)
-}
-
-// New returns an empty treap ordered by less, hashing keys to priorities
-// with prio, charging costs to m (nil allowed).
+// New returns an empty treap in a private store ordered by less, hashing
+// keys to priorities with prio, charging costs to m (nil allowed).
 func New[K any](less func(a, b K) bool, prio func(K) uint64, m *asymmem.Meter) *Tree[K] {
 	return NewW(less, prio, m.Worker(0))
 }
@@ -49,7 +132,14 @@ func New[K any](less func(a, b K) bool, prio func(K) uint64, m *asymmem.Meter) *
 // linear-write tree constructions use so inner-tree charges land on the
 // worker that builds them.
 func NewW[K any](less func(a, b K) bool, prio func(K) uint64, h asymmem.Worker) *Tree[K] {
-	return &Tree[K]{less: less, prio: prio, meter: h}
+	return NewStore(less, prio).NewTree(h, 0)
+}
+
+// NewEmpty returns an empty tree sharing t's store, meter handle, and
+// worker pool hint — the way to create a second tree that can later Join
+// or Union into t (both require one store).
+func (t *Tree[K]) NewEmpty() *Tree[K] {
+	return &Tree[K]{st: t.st, meter: t.meter, w: t.w}
 }
 
 // NewFloat64 returns a treap over float64 keys with the standard hash.
@@ -69,73 +159,93 @@ func (t *Tree[K]) Len() int { return t.size }
 // Meter returns the worker-local meter handle costs are charged to.
 func (t *Tree[K]) Meter() asymmem.Worker { return t.meter }
 
-func (t *Tree[K]) count(n *node[K]) int {
-	if n == nil {
+// Store returns the arena t allocates from.
+func (t *Tree[K]) Store() *Store[K] { return t.st }
+
+func (t *Tree[K]) nd(h uint32) *nodeData[K] { return t.st.nodes.At(h) }
+
+func (t *Tree[K]) count(h uint32) int {
+	if h == alloc.Nil {
 		return 0
 	}
-	return n.count
+	return int(t.nd(h).count)
 }
 
-func (t *Tree[K]) update(n *node[K]) {
-	n.count = 1 + t.count(n.left) + t.count(n.right)
-	if t.value != nil {
-		n.sum = t.value(n.key) + t.sum(n.left) + t.sum(n.right)
+func (t *Tree[K]) update(h uint32) {
+	n := t.nd(h)
+	n.count = int32(1 + t.count(n.left) + t.count(n.right))
+	if t.st.value != nil {
+		*t.st.sums.At(h) = t.st.value(n.key) + t.sum(n.left) + t.sum(n.right)
 	}
 }
 
-func (t *Tree[K]) sum(n *node[K]) float64 {
-	if n == nil {
+func (t *Tree[K]) sum(h uint32) float64 {
+	if h == alloc.Nil {
 		return 0
 	}
-	return n.sum
+	return *t.st.sums.At(h)
 }
 
-// WithValues enables the sum augmentation (the paper's appendix "counting
-// or weighted sum queries ... by augmenting the inner trees"): every
-// subtree maintains the sum of value(k) over its keys. Must be called on an
-// empty tree.
+// newNode allocates a leaf node for k (all fields set; recycled slots may
+// be dirty only in the sums slab, which is overwritten here too).
+func (t *Tree[K]) newNode(k K) uint32 {
+	h := t.st.alloc(t.w)
+	n := t.nd(h)
+	n.key, n.prio, n.left, n.right, n.count = k, t.st.prio(k), alloc.Nil, alloc.Nil, 1
+	if t.st.value != nil {
+		*t.st.sums.At(h) = t.st.value(k)
+	}
+	return h
+}
+
+// WithValues enables the sum augmentation on t's store (see
+// Store.WithValues). Must be called on an empty tree; intended for trees
+// with a private store — shared stores set it once at NewStore time.
 func (t *Tree[K]) WithValues(value func(K) float64) *Tree[K] {
 	if t.size != 0 {
 		panic("treap: WithValues on a non-empty tree")
 	}
-	t.value = value
+	t.st.value = value
+	t.st.sums.Grow(t.st.arena.Bound())
 	return t
 }
 
 // SumRange returns Σ value(k) over lo ≤ k < hi in O(log n) expected reads.
 // Panics if the tree was not built WithValues.
 func (t *Tree[K]) SumRange(lo, hi K) float64 {
-	if t.value == nil {
+	if t.st.value == nil {
 		panic("treap: SumRange without WithValues")
 	}
 	return t.sumLess(t.root, hi) - t.sumLess(t.root, lo)
 }
 
-func (t *Tree[K]) sumLess(n *node[K], k K) float64 {
+func (t *Tree[K]) sumLess(h uint32, k K) float64 {
 	s := 0.0
-	for n != nil {
+	for h != alloc.Nil {
 		t.meter.Read()
-		if t.less(n.key, k) {
-			s += t.value(n.key) + t.sum(n.left)
-			n = n.right
+		n := t.nd(h)
+		if t.st.less(n.key, k) {
+			s += t.st.value(n.key) + t.sum(n.left)
+			h = n.right
 		} else {
-			n = n.left
+			h = n.left
 		}
 	}
 	return s
 }
 
-func (t *Tree[K]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+func (t *Tree[K]) eq(a, b K) bool { return !t.st.less(a, b) && !t.st.less(b, a) }
 
 // Contains reports whether k is present.
 func (t *Tree[K]) Contains(k K) bool {
-	n := t.root
-	for n != nil {
+	h := t.root
+	for h != alloc.Nil {
 		t.meter.Read()
-		if t.less(k, n.key) {
-			n = n.left
-		} else if t.less(n.key, k) {
-			n = n.right
+		n := t.nd(h)
+		if t.st.less(k, n.key) {
+			h = n.left
+		} else if t.st.less(n.key, k) {
+			h = n.right
 		} else {
 			return true
 		}
@@ -150,17 +260,15 @@ func (t *Tree[K]) Insert(k K) bool {
 		return false
 	}
 	l, r := t.split(t.root, k)
-	n := &node[K]{key: k, prio: t.prio(k), count: 1}
-	if t.value != nil {
-		n.sum = t.value(k)
-	}
+	h := t.newNode(k)
 	t.meter.Write()
-	t.root = t.join(t.join(l, n), r)
+	t.root = t.join(t.join(l, h), r)
 	t.size++
 	return true
 }
 
-// Delete removes k, returning false if absent.
+// Delete removes k, returning false if absent. The removed node's slot is
+// recycled through the worker pool.
 func (t *Tree[K]) Delete(k K) bool {
 	var deleted bool
 	t.root = t.delete(t.root, k, &deleted)
@@ -170,125 +278,142 @@ func (t *Tree[K]) Delete(k K) bool {
 	return deleted
 }
 
-func (t *Tree[K]) delete(n *node[K], k K, deleted *bool) *node[K] {
-	if n == nil {
-		return nil
+func (t *Tree[K]) delete(h uint32, k K, deleted *bool) uint32 {
+	if h == alloc.Nil {
+		return alloc.Nil
 	}
 	t.meter.Read()
+	n := t.nd(h)
 	switch {
-	case t.less(k, n.key):
+	case t.st.less(k, n.key):
 		n.left = t.delete(n.left, k, deleted)
-	case t.less(n.key, k):
+	case t.st.less(n.key, k):
 		n.right = t.delete(n.right, k, deleted)
 	default:
 		*deleted = true
-		return t.join(n.left, n.right)
+		l, r := n.left, n.right
+		t.st.free(t.w, h)
+		return t.join(l, r)
 	}
 	if *deleted {
-		t.update(n)
+		t.update(h)
 		t.meter.Write()
 	}
-	return n
+	return h
 }
 
-// split partitions n into (< k) and (≥ k).
-func (t *Tree[K]) split(n *node[K], k K) (*node[K], *node[K]) {
-	return t.splitH(n, k, t.meter)
+// split partitions h into (< k) and (≥ k).
+func (t *Tree[K]) split(h uint32, k K) (uint32, uint32) {
+	return t.splitH(h, k, t.meter)
 }
 
 // splitH is split charging an explicit worker-local handle, so parallel
 // regions can attribute the structural charges to the worker that made them.
-func (t *Tree[K]) splitH(n *node[K], k K, h asymmem.Worker) (*node[K], *node[K]) {
-	if n == nil {
-		return nil, nil
+func (t *Tree[K]) splitH(h uint32, k K, wk asymmem.Worker) (uint32, uint32) {
+	if h == alloc.Nil {
+		return alloc.Nil, alloc.Nil
 	}
-	h.Read()
-	if t.less(n.key, k) {
-		l, r := t.splitH(n.right, k, h)
+	wk.Read()
+	n := t.nd(h)
+	if t.st.less(n.key, k) {
+		l, r := t.splitH(n.right, k, wk)
 		n.right = l
-		t.update(n)
-		h.Write()
-		return n, r
+		t.update(h)
+		wk.Write()
+		return h, r
 	}
-	l, r := t.splitH(n.left, k, h)
+	l, r := t.splitH(n.left, k, wk)
 	n.left = r
-	t.update(n)
-	h.Write()
-	return l, n
+	t.update(h)
+	wk.Write()
+	return l, h
 }
 
 // join concatenates l and r assuming every key in l < every key in r.
-func (t *Tree[K]) join(l, r *node[K]) *node[K] {
+func (t *Tree[K]) join(l, r uint32) uint32 {
 	return t.joinH(l, r, t.meter)
 }
 
 // joinH is join charging an explicit worker-local handle.
-func (t *Tree[K]) joinH(l, r *node[K], h asymmem.Worker) *node[K] {
+func (t *Tree[K]) joinH(l, r uint32, wk asymmem.Worker) uint32 {
 	switch {
-	case l == nil:
+	case l == alloc.Nil:
 		return r
-	case r == nil:
+	case r == alloc.Nil:
 		return l
 	}
-	h.Read()
-	if l.prio > r.prio {
-		l.right = t.joinH(l.right, r, h)
+	wk.Read()
+	ln, rn := t.nd(l), t.nd(r)
+	if ln.prio > rn.prio {
+		ln.right = t.joinH(ln.right, r, wk)
 		t.update(l)
-		h.Write()
+		wk.Write()
 		return l
 	}
-	r.left = t.joinH(l, r.left, h)
+	rn.left = t.joinH(l, rn.left, wk)
 	t.update(r)
-	h.Write()
+	wk.Write()
 	return r
 }
 
-// SplitAt splits t into two treaps: keys < k and keys ≥ k. t becomes empty.
+// SplitAt splits t into two treaps (sharing t's store): keys < k and keys
+// ≥ k. t becomes empty.
 func (t *Tree[K]) SplitAt(k K) (*Tree[K], *Tree[K]) {
 	l, r := t.split(t.root, k)
-	lt := &Tree[K]{root: l, less: t.less, prio: t.prio, value: t.value, meter: t.meter, size: t.count(l)}
-	rt := &Tree[K]{root: r, less: t.less, prio: t.prio, value: t.value, meter: t.meter, size: t.count(r)}
-	t.root, t.size = nil, 0
+	lt := &Tree[K]{st: t.st, root: l, meter: t.meter, size: t.count(l), w: t.w}
+	rt := &Tree[K]{st: t.st, root: r, meter: t.meter, size: t.count(r), w: t.w}
+	t.root, t.size = alloc.Nil, 0
 	return lt, rt
 }
 
 // Join appends other (all keys must be ≥ t's keys) into t, emptying other.
+// Both trees must share one store (SplitAt and NewEmpty arrange this).
 func (t *Tree[K]) Join(other *Tree[K]) {
+	t.checkStore(other)
 	t.root = t.join(t.root, other.root)
 	t.size += other.size
-	other.root, other.size = nil, 0
+	other.root, other.size = alloc.Nil, 0
 }
 
-// Union merges other into t (duplicates collapse), emptying other.
-// Expected O(m log(n/m + 1)) work for sizes m ≤ n.
+func (t *Tree[K]) checkStore(other *Tree[K]) {
+	if t.st != other.st {
+		panic("treap: trees from different stores (use NewEmpty/Store.NewTree)")
+	}
+}
+
+// Union merges other into t (duplicates collapse), emptying other. Both
+// trees must share one store. Expected O(m log(n/m + 1)) work for sizes
+// m ≤ n; dropped duplicate nodes recycle through the arena.
 func (t *Tree[K]) Union(other *Tree[K]) {
+	t.checkStore(other)
 	t.root = t.union(t.root, other.root)
 	t.size = t.count(t.root)
-	other.root, other.size = nil, 0
+	other.root, other.size = alloc.Nil, 0
 }
 
-func (t *Tree[K]) union(a, b *node[K]) *node[K] {
+func (t *Tree[K]) union(a, b uint32) uint32 {
 	return t.unionSeq(a, b, t.meter)
 }
 
-func (t *Tree[K]) unionSeq(a, b *node[K], h asymmem.Worker) *node[K] {
-	if a == nil {
+func (t *Tree[K]) unionSeq(a, b uint32, wk asymmem.Worker) uint32 {
+	if a == alloc.Nil {
 		return b
 	}
-	if b == nil {
+	if b == alloc.Nil {
 		return a
 	}
-	if a.prio < b.prio {
+	if t.nd(a).prio < t.nd(b).prio {
 		a, b = b, a
 	}
-	h.Read()
-	bl, br := t.splitH(b, a.key, h)
-	// Drop a duplicate of a.key from br's leftmost position if present.
-	br = t.dropMinIfEqual(br, a.key)
-	a.left = t.unionSeq(a.left, bl, h)
-	a.right = t.unionSeq(a.right, br, h)
+	wk.Read()
+	an := t.nd(a)
+	bl, br := t.splitH(b, an.key, wk)
+	// Drop a duplicate of a's key from br's leftmost position if present.
+	br = t.dropMinIfEqual(br, an.key)
+	an.left = t.unionSeq(an.left, bl, wk)
+	an.right = t.unionSeq(an.right, br, wk)
 	t.update(a)
-	h.Write()
+	wk.Write()
 	return a
 }
 
@@ -310,51 +435,76 @@ func (t *Tree[K]) UnionPar(other *Tree[K], w int, wm func(int) asymmem.Worker) {
 		t.Union(other)
 		return
 	}
+	t.checkStore(other)
 	t.root = t.unionPar(t.root, other.root, w, wm)
 	t.size = t.count(t.root)
-	other.root, other.size = nil, 0
+	other.root, other.size = alloc.Nil, 0
 }
 
-func (t *Tree[K]) unionPar(a, b *node[K], w int, wm func(int) asymmem.Worker) *node[K] {
-	if a == nil {
+func (t *Tree[K]) unionPar(a, b uint32, w int, wm func(int) asymmem.Worker) uint32 {
+	if a == alloc.Nil {
 		return b
 	}
-	if b == nil {
+	if b == alloc.Nil {
 		return a
 	}
-	if a.count+b.count <= unionParGrain {
+	if t.count(a)+t.count(b) <= unionParGrain {
 		return t.unionSeq(a, b, wm(w))
 	}
-	if a.prio < b.prio {
+	if t.nd(a).prio < t.nd(b).prio {
 		a, b = b, a
 	}
 	h := wm(w)
 	h.Read()
-	bl, br := t.splitH(b, a.key, h)
-	br = t.dropMinIfEqual(br, a.key)
-	var l, r *node[K]
+	an := t.nd(a)
+	bl, br := t.splitH(b, an.key, h)
+	br = t.dropMinIfEqual(br, an.key)
+	var l, r uint32
+	al, ar := an.left, an.right
 	parallel.DoW(w,
-		func(w int) { l = t.unionPar(a.left, bl, w, wm) },
-		func(w int) { r = t.unionPar(a.right, br, w, wm) })
-	a.left, a.right = l, r
+		func(w int) { l = t.unionPar(al, bl, w, wm) },
+		func(w int) { r = t.unionPar(ar, br, w, wm) })
+	an.left, an.right = l, r
 	t.update(a)
 	h.Write()
 	return a
 }
 
-func (t *Tree[K]) dropMinIfEqual(n *node[K], k K) *node[K] {
-	if n == nil {
-		return nil
+func (t *Tree[K]) dropMinIfEqual(h uint32, k K) uint32 {
+	if h == alloc.Nil {
+		return alloc.Nil
 	}
-	if n.left == nil {
+	n := t.nd(h)
+	if n.left == alloc.Nil {
 		if t.eq(n.key, k) {
-			return n.right
+			r := n.right
+			t.st.free(t.w, h)
+			return r
 		}
-		return n
+		return h
 	}
 	n.left = t.dropMinIfEqual(n.left, k)
-	t.update(n)
-	return n
+	t.update(h)
+	return h
+}
+
+// Release recycles every node of t back to the store and empties t. No
+// cost-model charges (dropping a subtree was free under GC too); use it
+// when a structure rebuild replaces inner trees so their slots reuse.
+func (t *Tree[K]) Release() {
+	t.releaseRec(t.root)
+	t.root, t.size = alloc.Nil, 0
+}
+
+func (t *Tree[K]) releaseRec(h uint32) {
+	if h == alloc.Nil {
+		return
+	}
+	n := t.nd(h)
+	l, r := n.left, n.right
+	t.st.free(t.w, h)
+	t.releaseRec(l)
+	t.releaseRec(r)
 }
 
 // Scratch is reusable construction state for FromSortedScratch: one value
@@ -364,7 +514,7 @@ func (t *Tree[K]) dropMinIfEqual(n *node[K], k K) *node[K] {
 // every tree. A Scratch must not be shared by concurrent builds. The zero
 // value is ready to use.
 type Scratch[K any] struct {
-	stack []*node[K]
+	stack []uint32
 }
 
 // FromSorted replaces t's contents with the strictly increasing keys,
@@ -377,51 +527,47 @@ func (t *Tree[K]) FromSorted(keys []K) {
 
 // FromSortedScratch is FromSorted reusing the caller's scratch for the
 // rightmost-spine stack; hot loops that build one treap per tree node hoist
-// one Scratch per worker instead of allocating per call.
+// one Scratch per worker instead of allocating per call. Replaced contents
+// recycle through the arena.
 func (t *Tree[K]) FromSortedScratch(keys []K, sc *Scratch[K]) {
-	t.root = nil
+	if t.root != alloc.Nil {
+		t.releaseRec(t.root)
+	}
+	t.root = alloc.Nil
 	t.size = len(keys)
 	if len(keys) == 0 {
 		return
 	}
 	if cap(sc.stack) == 0 {
-		sc.stack = make([]*node[K], 0, 64)
+		sc.stack = make([]uint32, 0, 64)
 	}
 	stack := sc.stack[:0]
-	defer func() {
-		// Hand the (possibly grown) backing array back, cleared to its
-		// high-water mark — spine pops leave stale pointers beyond the
-		// final length — so the scratch does not pin this treap's nodes
-		// past the next build.
-		clear(stack[:cap(stack)])
-		sc.stack = stack[:0]
-	}()
+	defer func() { sc.stack = stack[:0] }()
 	for _, k := range keys {
-		n := &node[K]{key: k, prio: t.prio(k), count: 1}
-		if t.value != nil {
-			n.sum = t.value(k)
-		}
+		h := t.newNode(k)
+		n := t.nd(h)
 		t.meter.Write()
-		var last *node[K]
-		for len(stack) > 0 && stack[len(stack)-1].prio < n.prio {
+		last := alloc.Nil
+		for len(stack) > 0 && t.nd(stack[len(stack)-1]).prio < n.prio {
 			last = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 		}
 		n.left = last
 		if len(stack) > 0 {
-			stack[len(stack)-1].right = n
+			t.nd(stack[len(stack)-1]).right = h
 		}
-		stack = append(stack, n)
+		stack = append(stack, h)
 	}
 	t.root = stack[0]
-	var fix func(n *node[K]) int
-	fix = func(n *node[K]) int {
-		if n == nil {
+	var fix func(h uint32) int32
+	fix = func(h uint32) int32 {
+		if h == alloc.Nil {
 			return 0
 		}
+		n := t.nd(h)
 		n.count = 1 + fix(n.left) + fix(n.right)
-		if t.value != nil {
-			n.sum = t.value(n.key) + t.sum(n.left) + t.sum(n.right)
+		if t.st.value != nil {
+			*t.st.sums.At(h) = t.st.value(n.key) + t.sum(n.left) + t.sum(n.right)
 		}
 		return n.count
 	}
@@ -437,13 +583,14 @@ func (t *Tree[K]) InOrder(visit func(k K) bool) {
 // tree's own handle — the form the batched-query runtime uses so a query
 // charges the worker it runs as (and can re-run uncharged with the zero
 // handle).
-func (t *Tree[K]) InOrderH(h asymmem.Worker, visit func(k K) bool) {
-	var rec func(n *node[K]) bool
-	rec = func(n *node[K]) bool {
-		if n == nil {
+func (t *Tree[K]) InOrderH(wk asymmem.Worker, visit func(k K) bool) {
+	var rec func(h uint32) bool
+	rec = func(h uint32) bool {
+		if h == alloc.Nil {
 			return true
 		}
-		h.Read()
+		wk.Read()
+		n := t.nd(h)
 		return rec(n.left) && visit(n.key) && rec(n.right)
 	}
 	rec(t.root)
@@ -457,13 +604,14 @@ func (t *Tree[K]) ReverseInOrder(visit func(k K) bool) {
 
 // ReverseInOrderH is ReverseInOrder charging the traversal reads to h (see
 // InOrderH).
-func (t *Tree[K]) ReverseInOrderH(h asymmem.Worker, visit func(k K) bool) {
-	var rec func(n *node[K]) bool
-	rec = func(n *node[K]) bool {
-		if n == nil {
+func (t *Tree[K]) ReverseInOrderH(wk asymmem.Worker, visit func(k K) bool) {
+	var rec func(h uint32) bool
+	rec = func(h uint32) bool {
+		if h == alloc.Nil {
 			return true
 		}
-		h.Read()
+		wk.Read()
+		n := t.nd(h)
 		return rec(n.right) && visit(n.key) && rec(n.left)
 	}
 	rec(t.root)
@@ -482,24 +630,25 @@ func (t *Tree[K]) Range(lo, hi K, visit func(k K) bool) {
 }
 
 // RangeH is Range charging the traversal reads to h (see InOrderH).
-func (t *Tree[K]) RangeH(lo, hi K, h asymmem.Worker, visit func(k K) bool) {
-	var rec func(n *node[K]) bool
-	rec = func(n *node[K]) bool {
-		if n == nil {
+func (t *Tree[K]) RangeH(lo, hi K, wk asymmem.Worker, visit func(k K) bool) {
+	var rec func(h uint32) bool
+	rec = func(h uint32) bool {
+		if h == alloc.Nil {
 			return true
 		}
-		h.Read()
-		if !t.less(n.key, lo) { // n.key >= lo: left subtree may contain range
+		wk.Read()
+		n := t.nd(h)
+		if !t.st.less(n.key, lo) { // n.key >= lo: left subtree may contain range
 			if !rec(n.left) {
 				return false
 			}
-			if t.less(n.key, hi) {
+			if t.st.less(n.key, hi) {
 				if !visit(n.key) {
 					return false
 				}
 			}
 		}
-		if t.less(n.key, hi) {
+		if t.st.less(n.key, hi) {
 			return rec(n.right)
 		}
 		return true
@@ -515,19 +664,20 @@ func (t *Tree[K]) CountRange(lo, hi K) int {
 // CountRangeH is CountRange charging the caller's handle h instead of the
 // tree's own — the batched-count path runs one count per worker and needs
 // worker-local charging.
-func (t *Tree[K]) CountRangeH(lo, hi K, h asymmem.Worker) int {
-	return t.countLessH(t.root, hi, h) - t.countLessH(t.root, lo, h)
+func (t *Tree[K]) CountRangeH(lo, hi K, wk asymmem.Worker) int {
+	return t.countLessH(t.root, hi, wk) - t.countLessH(t.root, lo, wk)
 }
 
-func (t *Tree[K]) countLessH(n *node[K], k K, h asymmem.Worker) int {
+func (t *Tree[K]) countLessH(h uint32, k K, wk asymmem.Worker) int {
 	c := 0
-	for n != nil {
-		h.Read()
-		if t.less(n.key, k) {
+	for h != alloc.Nil {
+		wk.Read()
+		n := t.nd(h)
+		if t.st.less(n.key, k) {
 			c += 1 + t.count(n.left)
-			n = n.right
+			h = n.right
 		} else {
-			n = n.left
+			h = n.left
 		}
 	}
 	return c
@@ -535,30 +685,30 @@ func (t *Tree[K]) countLessH(n *node[K], k K, h asymmem.Worker) int {
 
 // Min returns the smallest key; ok=false if empty.
 func (t *Tree[K]) Min() (K, bool) {
-	n := t.root
-	if n == nil {
+	h := t.root
+	if h == alloc.Nil {
 		var zero K
 		return zero, false
 	}
-	for n.left != nil {
+	for t.nd(h).left != alloc.Nil {
 		t.meter.Read()
-		n = n.left
+		h = t.nd(h).left
 	}
-	return n.key, true
+	return t.nd(h).key, true
 }
 
 // Max returns the largest key; ok=false if empty.
 func (t *Tree[K]) Max() (K, bool) {
-	n := t.root
-	if n == nil {
+	h := t.root
+	if h == alloc.Nil {
 		var zero K
 		return zero, false
 	}
-	for n.right != nil {
+	for t.nd(h).right != alloc.Nil {
 		t.meter.Read()
-		n = n.right
+		h = t.nd(h).right
 	}
-	return n.key, true
+	return t.nd(h).key, true
 }
 
 // Select returns the i-th smallest key (0-based); ok=false if out of range.
@@ -567,18 +717,19 @@ func (t *Tree[K]) Select(i int) (K, bool) {
 		var zero K
 		return zero, false
 	}
-	n := t.root
+	h := t.root
 	for {
 		t.meter.Read()
+		n := t.nd(h)
 		lc := t.count(n.left)
 		switch {
 		case i < lc:
-			n = n.left
+			h = n.left
 		case i == lc:
 			return n.key, true
 		default:
 			i -= lc + 1
-			n = n.right
+			h = n.right
 		}
 	}
 }
@@ -586,11 +737,12 @@ func (t *Tree[K]) Select(i int) (K, bool) {
 // Height returns the height of the tree (0 for empty); used by tests to
 // check balance.
 func (t *Tree[K]) Height() int {
-	var rec func(n *node[K]) int
-	rec = func(n *node[K]) int {
-		if n == nil {
+	var rec func(h uint32) int
+	rec = func(h uint32) int {
+		if h == alloc.Nil {
 			return 0
 		}
+		n := t.nd(h)
 		l, r := rec(n.left), rec(n.right)
 		if l > r {
 			return l + 1
@@ -603,24 +755,27 @@ func (t *Tree[K]) Height() int {
 // checkInvariants validates BST order, heap order, and counts; exported to
 // the package tests via export_test.go.
 func (t *Tree[K]) checkInvariants() error {
-	var rec func(n *node[K]) (int, error)
-	rec = func(n *node[K]) (int, error) {
-		if n == nil {
+	var rec func(h uint32) (int32, error)
+	rec = func(h uint32) (int32, error) {
+		if h == alloc.Nil {
 			return 0, nil
 		}
-		if n.left != nil {
-			if !t.less(n.left.key, n.key) {
+		n := t.nd(h)
+		if n.left != alloc.Nil {
+			ln := t.nd(n.left)
+			if !t.st.less(ln.key, n.key) {
 				return 0, errInvariant("BST order violated (left)")
 			}
-			if n.left.prio > n.prio {
+			if ln.prio > n.prio {
 				return 0, errInvariant("heap order violated (left)")
 			}
 		}
-		if n.right != nil {
-			if !t.less(n.key, n.right.key) {
+		if n.right != alloc.Nil {
+			rn := t.nd(n.right)
+			if !t.st.less(n.key, rn.key) {
 				return 0, errInvariant("BST order violated (right)")
 			}
-			if n.right.prio > n.prio {
+			if rn.prio > n.prio {
 				return 0, errInvariant("heap order violated (right)")
 			}
 		}
@@ -635,9 +790,9 @@ func (t *Tree[K]) checkInvariants() error {
 		if n.count != lc+rc+1 {
 			return 0, errInvariant("count wrong")
 		}
-		if t.value != nil {
-			want := t.value(n.key) + t.sum(n.left) + t.sum(n.right)
-			if diff := n.sum - want; diff > 1e-9 || diff < -1e-9 {
+		if t.st.value != nil {
+			want := t.st.value(n.key) + t.sum(n.left) + t.sum(n.right)
+			if diff := t.sum(h) - want; diff > 1e-9 || diff < -1e-9 {
 				return 0, errInvariant("sum wrong")
 			}
 		}
@@ -647,7 +802,7 @@ func (t *Tree[K]) checkInvariants() error {
 	if err != nil {
 		return err
 	}
-	if total != t.size {
+	if int(total) != t.size {
 		return errInvariant("size mismatch")
 	}
 	return nil

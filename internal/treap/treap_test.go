@@ -171,7 +171,8 @@ func TestSplitJoin(t *testing.T) {
 }
 
 func TestUnion(t *testing.T) {
-	a, b := newIntTree(), newIntTree()
+	a := newIntTree()
+	b := a.NewEmpty() // Union requires both trees in one store
 	for i := 0; i < 100; i += 2 {
 		a.Insert(i)
 	}
@@ -326,7 +327,8 @@ func TestQuickTreapMatchesOracle(t *testing.T) {
 // Property: Union equals set union against the oracle.
 func TestQuickUnionOracle(t *testing.T) {
 	f := func(xs, ys []int16) bool {
-		a, b := newIntTree(), newIntTree()
+		a := newIntTree()
+		b := a.NewEmpty()
 		want := map[int]bool{}
 		for _, x := range xs {
 			a.Insert(int(x))
@@ -442,7 +444,7 @@ func TestSumFromSortedAndUnion(t *testing.T) {
 	if got := a.SumRange(0, 1000); got != float64(99*100) {
 		t.Fatalf("FromSorted sum = %v", got)
 	}
-	b := newSumTree()
+	b := a.NewEmpty()
 	for i := 0; i < 100; i += 3 {
 		b.Insert(i)
 	}

@@ -11,8 +11,7 @@ import (
 // and bit-identical meter totals as the sequential union, across pool
 // sizes. Run under -race in CI.
 func TestUnionParMatchesUnion(t *testing.T) {
-	mk := func(m *asymmem.Meter, lo, hi, step int) *Tree[float64] {
-		tr := NewFloat64(m)
+	fill := func(tr *Tree[float64], lo, hi, step int) *Tree[float64] {
 		keys := make([]float64, 0, (hi-lo)/step+1)
 		for k := lo; k < hi; k += step {
 			keys = append(keys, float64(k))
@@ -23,16 +22,16 @@ func TestUnionParMatchesUnion(t *testing.T) {
 	for _, p := range []int{1, 2, 8} {
 		prev := parallel.SetWorkers(p)
 		ms := asymmem.NewMeterShards(p)
-		a := mk(ms, 0, 6000, 1)
-		b := mk(ms, 3000, 9000, 2) // overlap: duplicates must collapse
+		a := fill(NewFloat64(ms), 0, 6000, 1)
+		b := fill(a.NewEmpty(), 3000, 9000, 2) // overlap: duplicates must collapse
 		before := ms.Snapshot()
 		a.Union(b)
 		seqCost := ms.Snapshot().Sub(before)
 		seqKeys := a.Keys()
 
 		mp := asymmem.NewMeterShards(p)
-		c := mk(mp, 0, 6000, 1)
-		d := mk(mp, 3000, 9000, 2)
+		c := fill(NewFloat64(mp), 0, 6000, 1)
+		d := fill(c.NewEmpty(), 3000, 9000, 2)
 		before = mp.Snapshot()
 		c.UnionPar(d, 0, mp.Worker)
 		parCost := mp.Snapshot().Sub(before)

@@ -63,6 +63,16 @@ type Report struct {
 	// construction runs.
 	Queries int
 	Results int64
+	// Allocs and HeapDelta are runtime.ReadMemStats deltas across the run:
+	// cumulative heap objects allocated, and the change in live heap bytes
+	// (negative when a collection ran mid-run). They expose the gap between
+	// the model's counted writes and the run's real allocator traffic —
+	// with the arena-backed structures, construction allocates O(n/blocks)
+	// slab buckets rather than one object per node, and steady-state batch
+	// queries allocate only their packed output. Per-phase deltas are on
+	// each PhaseCost.
+	Allocs    uint64
+	HeapDelta int64
 }
 
 // QPS returns a batched-query run's throughput in queries per second
@@ -134,7 +144,7 @@ func (r *Report) PhaseTotals() map[string]Snapshot {
 // for experiment logs.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers)
+	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d allocs=%d heapΔ=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers, r.Allocs, r.HeapDelta)
 	if r.Queries > 0 {
 		fmt.Fprintf(&b, " queries=%d results=%d qps=%.0f", r.Queries, r.Results, r.QPS())
 	}
