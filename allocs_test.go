@@ -62,6 +62,31 @@ func TestSteadyStateAllocs(t *testing.T) {
 		}
 	})
 
+	// Mixed batch, steady state: stab queries interleaved with an insert
+	// epoch and a delete epoch that cancel out, so every run starts from the
+	// same tree. The budget covers the serialization plan (O(ops)), the
+	// per-epoch packed buffers, and the bulk apply — never the node count.
+	mixed := make([]IntervalOp, 0, 3*64)
+	for i := 0; i < 64; i++ {
+		mixed = append(mixed, StabOp(stabs[i]))
+	}
+	for i := 0; i < 64; i++ {
+		iv := Interval{Left: 2 + float64(i), Right: 2.5 + float64(i), ID: int32(200000 + i)}
+		mixed = append(mixed, InsertIntervalOp(iv))
+	}
+	for i := 0; i < 64; i++ {
+		mixed = append(mixed, StabOp(stabs[64+i]))
+	}
+	for i := 0; i < 64; i++ {
+		iv := Interval{Left: 2 + float64(i), Right: 2.5 + float64(i), ID: int32(200000 + i)}
+		mixed = append(mixed, DeleteIntervalOp(iv))
+	}
+	allocBudget(t, "IntervalMixedBatch", 4096, func() {
+		if _, _, err := eng.IntervalMixedBatch(ctx, it, mixed); err != nil {
+			t.Fatal(err)
+		}
+	})
+
 	// k-d tree: 40k points, leaf size defaults keep several thousand nodes.
 	kps := gen.UniformKPoints(40000, 2, 93)
 	items := make([]KDItem, len(kps))

@@ -74,13 +74,47 @@ func (e *Engine) StabBatch(ctx context.Context, t *IntervalTree, qs []float64) (
 // at all — making it the cheapest query under the asymmetric model.
 // Results stays 0 on the Report: nothing is reported, only counted.
 func (e *Engine) StabCountBatch(ctx context.Context, t *IntervalTree, qs []float64) ([]int64, *Report, error) {
-	var out []int64
-	rep, err := e.run(ctx, "stab-count-batch", func(cfg config.Config) error {
+	return runCountBatch(e, ctx, "stab-count-batch", len(qs),
+		func(cfg config.Config) ([]int64, error) { return t.CountBatch(qs, cfg) })
+}
+
+// Count3SidedBatch answers a batch of counting 3-sided queries on t:
+// out[i] is the number of live points with x ∈ [XL, XR], y ≥ YB of qs[i].
+// Zero writes, like StabCountBatch.
+func (e *Engine) Count3SidedBatch(ctx context.Context, t *PriorityTree, qs []PSTQuery) ([]int64, *Report, error) {
+	return runCountBatch(e, ctx, "count3sided-batch", len(qs),
+		func(cfg config.Config) ([]int64, error) { return t.Count3SidedBatch(qs, cfg) })
+}
+
+// SumYBatch answers a batch of weighted-sum queries on t: out[i] is the sum
+// of y-coordinates of the live points in rectangle qs[i] (the appendix's
+// aggregate-query extension with weight(p) = p.Y). Zero writes, like
+// StabCountBatch.
+func (e *Engine) SumYBatch(ctx context.Context, t *RangeTree, qs []RTQuery) ([]float64, *Report, error) {
+	return runCountBatch(e, ctx, "sumy-batch", len(qs),
+		func(cfg config.Config) ([]float64, error) { return t.SumYBatch(qs, cfg) })
+}
+
+// KDRangeCountBatch answers a batch of counting orthogonal range queries on
+// t: out[i] is the number of live items in boxes[i]. Zero writes, like
+// StabCountBatch.
+func (e *Engine) KDRangeCountBatch(ctx context.Context, t *KDTree, boxes []KBox) ([]int64, *Report, error) {
+	return runCountBatch(e, ctx, "kd-range-count-batch", len(boxes),
+		func(cfg config.Config) ([]int64, error) { return t.RangeCountBatch(boxes, cfg) })
+}
+
+// runCountBatch executes one zero-write count/aggregate batch (flat output
+// slice instead of a Packed — no output term, no write pass): it runs f and
+// stamps Queries on the Report. Results stays 0: nothing is reported, only
+// counted.
+func runCountBatch[R any](e *Engine, ctx context.Context, op string, nq int, f func(cfg config.Config) ([]R, error)) ([]R, *Report, error) {
+	var out []R
+	rep, err := e.run(ctx, op, func(cfg config.Config) error {
 		var ferr error
-		out, ferr = t.CountBatch(qs, cfg)
+		out, ferr = f(cfg)
 		return ferr
 	})
-	rep.Queries = len(qs)
+	rep.Queries = nq
 	if err != nil {
 		return nil, rep, err
 	}

@@ -59,10 +59,11 @@ func main() {
 	serveConc := flag.Int("serve-conc", 16, "concurrent HTTP clients for -serve")
 	serveReqs := flag.Int("serve-reqs", 3000, "total requests for -serve")
 	serveN := flag.Int("serve-n", 20000, "structure size for -serve")
+	serveUpdateFrac := flag.Float64("serve-update-frac", 0.2, "fraction of -serve requests that are POST /batch mixed-op requests (0..1)")
 	flag.Parse()
 
 	if *serveBench {
-		if err := runServeBench(*serveOut, *serveConc, *serveReqs, *serveN); err != nil {
+		if err := runServeBench(*serveOut, *serveConc, *serveReqs, *serveN, *serveUpdateFrac); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

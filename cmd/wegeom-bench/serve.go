@@ -2,12 +2,15 @@ package main
 
 // The -serve mode load-tests the wegeom-serve daemon: it boots the serving
 // layer in-process, exposes it on a loopback listener, and drives a mixed
-// single-query workload over real HTTP at a configurable concurrency. The
-// report (BENCH_serve.json) records per-endpoint latency percentiles, the
-// achieved coalesced-batch sizes (the quantity the daemon exists to
-// maximize: batch size > 1 means concurrent singles amortized one batched
-// run's write pass), and whether the /metrics counters reconcile with the
-// server's own Report totals.
+// read/write workload over real HTTP at a configurable concurrency. A
+// configurable fraction of requests (-serve-update-frac) are POST /batch
+// mixed-op requests — interleaved queries and net-zero insert/delete pairs
+// riding the mbatch epoch executor — and the rest are single GET queries
+// over the six read endpoints. The report (BENCH_serve.json) records
+// per-endpoint latency percentiles, the achieved coalesced-batch sizes
+// (the quantity the daemon exists to maximize: batch size > 1 means
+// concurrent requests amortized one batched run's write pass), and whether
+// the /metrics counters reconcile with the server's own Report totals.
 
 import (
 	"bufio"
@@ -41,6 +44,7 @@ type serveLatency struct {
 type serveReport struct {
 	Concurrency int            `json:"concurrency"`
 	Requests    int            `json:"requests"`
+	UpdateFrac  float64        `json:"update_frac"`
 	N           int            `json:"n"`
 	MaxBatch    int            `json:"max_batch"`
 	MaxWaitMs   float64        `json:"max_wait_ms"`
@@ -96,7 +100,7 @@ func summarize(endpoint string, lats []time.Duration, errs int) serveLatency {
 }
 
 // serveWorkload returns the i-th request's path: a fixed mix over the six
-// endpoints, deterministic in i so every run drives the same queries.
+// read endpoints, deterministic in i so every run drives the same queries.
 func serveWorkload(i int, rng *rand.Rand) string {
 	q := rng.Float64()
 	switch i % 6 {
@@ -112,6 +116,47 @@ func serveWorkload(i int, rng *rand.Rand) string {
 		return fmt.Sprintf("/knn?x=%.4f&y=%.4f&k=4", q, 1-q)
 	default:
 		return fmt.Sprintf("/locate?x=%.4f&y=%.4f", 0.1+0.8*q, 0.1+0.8*rng.Float64())
+	}
+}
+
+// serveMixedBody builds the i-th POST /batch body: a 5-op mixed run — two
+// stabbing/range queries bracketing an insert, then a delete of the same
+// element, so the structure's size is unchanged by the whole bench run
+// while every batch still exercises the mbatch write path. Coordinates sit
+// near 2.0, outside the seeded [0,1] data, so the bracketed queries have
+// small exact results. The target structure rotates with i.
+func serveMixedBody(i int, rng *rand.Rand) string {
+	id := 500000 + i
+	c := 2 + rng.Float64()
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf(`{"structure":"interval","ops":[`+
+			`{"op":"stab","q":%.4f},`+
+			`{"op":"insert","left":%.4f,"right":%.4f,"id":%d},`+
+			`{"op":"stab","q":%.4f},`+
+			`{"op":"delete","left":%.4f,"right":%.4f,"id":%d},`+
+			`{"op":"stab","q":%.4f}]}`,
+			c+0.05, c, c+0.1, id, c+0.05, c, c+0.1, id, c+0.05)
+	case 1:
+		return fmt.Sprintf(`{"structure":"range","ops":[`+
+			`{"op":"query","xl":%.4f,"xr":%.4f,"yb":%.4f,"yt":%.4f},`+
+			`{"op":"insert","x":%.4f,"y":%.4f,"id":%d},`+
+			`{"op":"query","xl":%.4f,"xr":%.4f,"yb":%.4f,"yt":%.4f},`+
+			`{"op":"delete","x":%.4f,"y":%.4f,"id":%d},`+
+			`{"op":"query","xl":%.4f,"xr":%.4f,"yb":%.4f,"yt":%.4f}]}`,
+			c-0.1, c+0.1, c-0.1, c+0.1, c, c, id,
+			c-0.1, c+0.1, c-0.1, c+0.1, c, c, id,
+			c-0.1, c+0.1, c-0.1, c+0.1)
+	default:
+		return fmt.Sprintf(`{"structure":"kd","ops":[`+
+			`{"op":"range","min":[%.4f,%.4f],"max":[%.4f,%.4f]},`+
+			`{"op":"insert","p":[%.4f,%.4f],"id":%d},`+
+			`{"op":"range","min":[%.4f,%.4f],"max":[%.4f,%.4f]},`+
+			`{"op":"delete","p":[%.4f,%.4f],"id":%d},`+
+			`{"op":"range","min":[%.4f,%.4f],"max":[%.4f,%.4f]}]}`,
+			c-0.1, c-0.1, c+0.1, c+0.1, c, c, id,
+			c-0.1, c-0.1, c+0.1, c+0.1, c, c, id,
+			c-0.1, c-0.1, c+0.1, c+0.1)
 	}
 }
 
@@ -145,7 +190,8 @@ func scrapeModelTotals(base string) (reads, writes int64, err error) {
 	return reads, writes, sc.Err()
 }
 
-func runServeBench(out string, conc, reqs, n int) error {
+func runServeBench(out string, conc, reqs, n int, updateFrac float64) error {
+	updatePct := int(updateFrac*100 + 0.5)
 	ctx := context.Background()
 	cfg := serve.Config{
 		N:        n,
@@ -167,7 +213,7 @@ func runServeBench(out string, conc, reqs, n int) error {
 	srv := &http.Server{Handler: s.Handler()}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serve bench: %s, %d requests at concurrency %d\n", base, reqs, conc)
+	fmt.Printf("serve bench: %s, %d requests at concurrency %d (%d%% mixed /batch)\n", base, reqs, conc, updatePct)
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
 	type sample struct {
@@ -185,13 +231,26 @@ func runServeBench(out string, conc, reqs, n int) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + w)))
 			for i := range next {
-				path := serveWorkload(i, rng)
-				endpoint := path
-				if j := strings.IndexByte(path, '?'); j >= 0 {
-					endpoint = path[:j]
+				var (
+					endpoint string
+					t0       time.Time
+					resp     *http.Response
+					err      error
+				)
+				if i%100 < updatePct {
+					body := serveMixedBody(i, rng)
+					endpoint = "/batch"
+					t0 = time.Now()
+					resp, err = client.Post(base+"/batch", "application/json", strings.NewReader(body))
+				} else {
+					path := serveWorkload(i, rng)
+					endpoint = path
+					if j := strings.IndexByte(path, '?'); j >= 0 {
+						endpoint = path[:j]
+					}
+					t0 = time.Now()
+					resp, err = client.Get(base + path)
 				}
-				t0 := time.Now()
-				resp, err := client.Get(base + path)
 				lat := time.Since(t0)
 				failed := err != nil
 				if err == nil {
@@ -240,6 +299,7 @@ func runServeBench(out string, conc, reqs, n int) error {
 	rep := serveReport{
 		Concurrency: conc,
 		Requests:    reqs,
+		UpdateFrac:  float64(updatePct) / 100,
 		N:           cfg.N,
 		MaxBatch:    64,
 		MaxWaitMs:   2,

@@ -11,9 +11,23 @@
 //	go run ./cmd/wegeom-serve -restore serve.ckpt           # boot a replica
 //	go run ./cmd/wegeom-serve -checkpoint serve.ckpt        # save after boot
 //
-// Endpoints: /stab, /stab/count, /query3sided, /range, /knn, /kdrange,
-// /locate, /healthz, /metrics (Prometheus text). SIGINT/SIGTERM drain
-// in-flight batches before exit.
+// Read endpoints: /stab, /stab/count, /query3sided, /query3sided/count,
+// /range, /range/sum, /knn, /kdrange, /kdrange/count, /locate, /healthz,
+// /metrics (Prometheus text). The zero-write count/aggregate variants
+// (/stab/count, /query3sided/count, /range/sum, /kdrange/count) answer
+// without materializing result lists.
+//
+// Write path: POST /batch takes one JSON mixed-op request —
+//
+//	{"structure":"interval","ops":[{"op":"stab","q":0.5},
+//	  {"op":"insert","left":0.4,"right":0.6,"id":7},{"op":"stab","q":0.5}]}
+//
+// ("range" and "kd" structures take their own op payloads; see
+// internal/serve). Ops run under mbatch epoch serialization: each query
+// sees exactly the updates that precede it in the request. POST /checkpoint
+// re-saves the structures to the -checkpoint path mid-stream; the snapshot
+// lands between batches, so a replica restored from it continues
+// bit-identically. SIGINT/SIGTERM drain in-flight batches before exit.
 package main
 
 import (
@@ -40,21 +54,22 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "coalescer flush size")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush timeout")
 	restore := flag.String("restore", "", "boot from this checkpoint file instead of building")
-	checkpoint := flag.String("checkpoint", "", "write a checkpoint of the booted structures to this path, then serve")
+	checkpoint := flag.String("checkpoint", "", "write a checkpoint of the booted structures to this path, then serve (also enables POST /checkpoint re-saves)")
 	flag.Parse()
 
 	ctx := context.Background()
 	boot := time.Now()
 	s, err := serve.Boot(ctx, serve.Config{
-		N:           *n,
-		DelaunayN:   *delaunayN,
-		Seed:        *seed,
-		Parallelism: *parallelism,
-		Omega:       *omega,
-		Alpha:       *alpha,
-		MaxBatch:    *maxBatch,
-		MaxWait:     *maxWait,
-		RestorePath: *restore,
+		N:              *n,
+		DelaunayN:      *delaunayN,
+		Seed:           *seed,
+		Parallelism:    *parallelism,
+		Omega:          *omega,
+		Alpha:          *alpha,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		RestorePath:    *restore,
+		CheckpointPath: *checkpoint,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

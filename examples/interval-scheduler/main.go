@@ -99,6 +99,40 @@ func main() {
 		len(bulk), at/60, at%60, busiest)
 	fmt.Printf("stab-batch: %d queries, %d results, %.0f queries/s (reporting writes = output size = %d)\n",
 		qrep.Queries, qrep.Results, qrep.QPS(), qrep.Total.Writes)
+
+	// Live operation: bookings arrive while availability queries stream. One
+	// mixed batch carries the whole interleaved feed; mbatch serializes it
+	// into epochs (queries | inserts | queries | deletes | ...), so each
+	// availability probe sees exactly the bookings that precede it — the same
+	// answers as replaying the feed one op at a time, but updates apply as
+	// bulk merges and queries run as packed parallel batches.
+	noon := 0.5
+	booking := func(i int) wegeom.Interval {
+		left := noon - 0.01 + float64(i)*0.001
+		return wegeom.Interval{Left: left, Right: left + 0.02, ID: int32(3_000_000 + i)}
+	}
+	feed := []wegeom.IntervalOp{
+		wegeom.StabOp(noon), // how busy is noon before today's bookings?
+	}
+	for i := 0; i < 16; i++ {
+		feed = append(feed, wegeom.InsertIntervalOp(booking(i)))
+	}
+	feed = append(feed, wegeom.StabOp(noon)) // ...after the morning's 16 bookings
+	for i := 0; i < 8; i++ {
+		feed = append(feed, wegeom.DeleteIntervalOp(booking(i))) // 8 cancellations
+	}
+	feed = append(feed, wegeom.StabOp(noon)) // ...after the cancellations
+	mixed, mrep, err := peng.IntervalMixedBatch(ctx, tree, feed)
+	if err != nil {
+		panic(err)
+	}
+	before, _ := mixed.ResultsAt(0)
+	after, _ := mixed.ResultsAt(17)
+	final, _ := mixed.ResultsAt(len(feed) - 1)
+	fmt.Printf("mixed feed: %d ops in %d epochs; meetings live at noon: %d -> %d after 16 bookings -> %d after 8 cancellations\n",
+		mixed.Applied+mixed.Queries, mixed.Epochs, len(before), len(after), len(final))
+	fmt.Printf("mixed-batch model cost: %d reads, %d writes (updates pay bulk-path writes; queries pay output-sized writes)\n",
+		mrep.Total.Reads, mrep.Total.Writes)
 }
 
 func convert(gi []gen.Interval) []wegeom.Interval {

@@ -116,13 +116,17 @@ func histBucket(size int) int {
 }
 
 type reply[R any] struct {
-	res []R
+	res [][]R // per submitted op, in the request's own order
 	err error
 }
 
+// request is one admitted Submit or SubmitAll call. Its ops stay a
+// contiguous run, in order, inside the flushed batch — mixed-op callers
+// (internal/mbatch semantics) depend on their intra-request order
+// surviving coalescing.
 type request[Q, R any] struct {
 	ctx  context.Context
-	q    Q
+	qs   []Q
 	done chan reply[R]
 }
 
@@ -204,10 +208,26 @@ func (c *Coalescer[Q, R]) takeLocked(reason int) []*request[Q, R] {
 // remaining member is canceled, so one caller's cancellation never fails
 // another's request.
 func (c *Coalescer[Q, R]) Submit(ctx context.Context, q Q) ([]R, error) {
+	res, err := c.SubmitAll(ctx, []Q{q})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SubmitAll admits one ordered run of queries as a single request: the run
+// stays contiguous and in order inside whatever batch it lands in (so a
+// mixed-op caller's serialization semantics survive coalescing), and the
+// per-op results come back in the same order. Cancellation behaves as in
+// Submit. An empty run returns immediately.
+func (c *Coalescer[Q, R]) SubmitAll(ctx context.Context, qs []Q) ([][]R, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &request[Q, R]{ctx: ctx, q: q, done: make(chan reply[R], 1)}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	r := &request[Q, R]{ctx: ctx, qs: qs, done: make(chan reply[R], 1)}
 
 	c.mu.Lock()
 	if c.closed {
@@ -305,9 +325,17 @@ func (c *Coalescer[Q, R]) runBatch(members []*request[Q, R]) {
 			})
 		}
 
-		qs := make([]Q, len(members))
+		// Flatten the members' runs, each kept contiguous and in order; off
+		// remembers where each member's run starts for the demux below.
+		total := 0
+		for _, m := range members {
+			total += len(m.qs)
+		}
+		qs := make([]Q, 0, total)
+		off := make([]int, len(members))
 		for i, m := range members {
-			qs[i] = m.q
+			off[i] = len(qs)
+			qs = append(qs, m.qs...)
 		}
 		res, err := c.run(bctx, qs)
 		for _, stop := range stops {
@@ -317,7 +345,11 @@ func (c *Coalescer[Q, R]) runBatch(members []*request[Q, R]) {
 
 		if err == nil {
 			for i, m := range members {
-				m.done <- reply[R]{res: res.Results(i)}
+				out := make([][]R, len(m.qs))
+				for j := range m.qs {
+					out[j] = res.Results(off[i] + j)
+				}
+				m.done <- reply[R]{res: out}
 			}
 			return
 		}

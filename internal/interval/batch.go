@@ -1,7 +1,6 @@
 package interval
 
 import (
-	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/qbatch"
 )
@@ -15,11 +14,5 @@ import (
 // the output size (the write-efficiency discipline extended to queries).
 // cfg.Interrupt is polled between query grains.
 func (t *Tree) StabBatch(qs []float64, cfg config.Config) (*qbatch.Packed[Interval], error) {
-	return qbatch.Run(cfg, "interval/stab-batch", qs,
-		func(q float64, wk asymmem.Worker, _ *struct{}, emit func(Interval)) {
-			t.stabH(q, wk, func(iv Interval) bool {
-				emit(iv)
-				return true
-			})
-		})
+	return qbatch.Run(cfg, "interval/stab-batch", qs, t.stabCore())
 }

@@ -1,0 +1,47 @@
+package interval
+
+import (
+	"fmt"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/mbatch"
+	"repro/internal/qbatch"
+)
+
+// stabCore is the qbatch visitor shared by StabBatch and MixedBatch: one
+// stabbing traversal charging its reads to the worker-local handle.
+func (t *Tree) stabCore() qbatch.Core[float64, Interval, struct{}] {
+	return func(q float64, wk asymmem.Worker, _ *struct{}, emit func(Interval)) {
+		t.stabH(q, wk, func(iv Interval) bool {
+			emit(iv)
+			return true
+		})
+	}
+}
+
+// Op is one tagged interval-tree operation: a stabbing query (OpQuery,
+// payload Qry) or an interval insert/delete (OpInsert/OpDelete, payload
+// Upd).
+type Op = mbatch.Op[Interval, float64]
+
+// MixedBatch executes one interleaved slice of stab/insert/delete ops under
+// the deterministic epoch serialization of internal/mbatch: update runs
+// apply through BulkInsert/BulkDelete, query runs answer through the same
+// stabbing core StabBatch uses, and both the packed results and the counted
+// costs are a pure function of the batch at any worker-pool size.
+func (t *Tree) MixedBatch(ops []Op, cfg config.Config) (*mbatch.Result[Interval], error) {
+	return mbatch.Run(cfg, "interval", ops, mbatch.Hooks[Interval, float64, Interval, struct{}]{
+		Apply: func(kind mbatch.Kind, batch []Interval) error {
+			if kind == mbatch.OpDelete {
+				t.BulkDelete(batch)
+				return nil
+			}
+			if err := t.BulkInsert(batch); err != nil {
+				return fmt.Errorf("interval: %w", err)
+			}
+			return nil
+		},
+		Core: t.stabCore(),
+	})
+}

@@ -1,0 +1,201 @@
+package interval
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/mbatch"
+	"repro/internal/parallel"
+)
+
+// mixedOps builds a deterministic interleaved op mix: stabbing queries,
+// inserts of fresh intervals (IDs disjoint from the base tree), and deletes
+// of base intervals and earlier inserts (some already gone — replay must
+// agree on the misses too).
+func mixedOps(base []Interval, nops int, seed uint64) []Op {
+	rng := parallel.NewRNG(seed)
+	ops := make([]Op, 0, nops)
+	var inserted []Interval
+	for i := 0; i < nops; i++ {
+		switch r := rng.Next() % 10; {
+		case r < 6:
+			ops = append(ops, Op{Kind: mbatch.OpQuery, Qry: rng.Float64()})
+		case r < 8:
+			left := rng.Float64()
+			iv := Interval{Left: left, Right: left + 0.01 + 0.05*rng.Float64(), ID: int32(100000 + i)}
+			inserted = append(inserted, iv)
+			ops = append(ops, Op{Kind: mbatch.OpInsert, Upd: iv})
+		default:
+			var iv Interval
+			if len(inserted) > 0 && rng.Next()%2 == 0 {
+				iv = inserted[rng.Intn(len(inserted))]
+			} else {
+				iv = base[rng.Intn(len(base))]
+			}
+			ops = append(ops, Op{Kind: mbatch.OpDelete, Upd: iv})
+		}
+	}
+	return ops
+}
+
+func sortIvs(ivs []Interval) []Interval {
+	out := append([]Interval{}, ivs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TestMixedBatchEquivalence asserts, at P ∈ {1, 2, 8}: (a) the mixed
+// batch's packed results, final tree contents, and counted costs are
+// bit-identical across worker-pool sizes, and (b) each query's result set
+// and the final tree contents match a sequential one-op-at-a-time replay
+// of the same batch. Result sets are compared order-insensitively — bulk
+// application legitimately produces a different tree shape, hence a
+// different visit order — and the replay's costs differ by construction
+// (bulk application is the improvement being bought). Run under -race in
+// CI.
+func TestMixedBatchEquivalence(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 800
+	}
+	base := fromGen(gen.UniformIntervals(n, 0.02, 41))
+	ops := mixedOps(base, 600, 42)
+
+	for _, alpha := range []int{0, 8} {
+		// Sequential per-op replay on its own tree.
+		replayTree, err := BuildConfig(base, config.Config{Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replay [][]Interval
+		for _, op := range ops {
+			switch op.Kind {
+			case mbatch.OpQuery:
+				var res []Interval
+				replayTree.Stab(op.Qry, func(iv Interval) bool {
+					res = append(res, iv)
+					return true
+				})
+				replay = append(replay, res)
+			case mbatch.OpInsert:
+				if err := replayTree.Insert(op.Upd); err != nil {
+					t.Fatal(err)
+				}
+			case mbatch.OpDelete:
+				replayTree.Delete(op.Upd)
+			}
+		}
+		replayFinal := sortIvs(replayTree.Intervals())
+
+		var refItems []Interval
+		var refOff []int64
+		var refCost asymmem.Snapshot
+		var refFinal []Interval
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			m := asymmem.NewMeterShards(8)
+			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+			if err != nil {
+				parallel.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			res, err := tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (b) per-query result sets match the replay.
+			qi := 0
+			for i, op := range ops {
+				if op.Kind != mbatch.OpQuery {
+					continue
+				}
+				got, _ := res.ResultsAt(i)
+				want := replay[qi]
+				qi++
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(sortIvs(got), sortIvs(want)) {
+					t.Fatalf("alpha=%d P=%d query op %d: %v != replay %v", alpha, p, i, got, want)
+				}
+			}
+			final := sortIvs(tr.Intervals())
+			if !reflect.DeepEqual(final, replayFinal) {
+				t.Fatalf("alpha=%d P=%d: final tree diverged from replay", alpha, p)
+			}
+
+			// (a) bit-identical across P.
+			if refItems == nil {
+				refItems, refOff, refCost, refFinal = res.Packed.Items, res.Packed.Off, cost, final
+				continue
+			}
+			if !reflect.DeepEqual(res.Packed.Items, refItems) || !reflect.DeepEqual(res.Packed.Off, refOff) {
+				t.Errorf("alpha=%d P=%d: packed results differ from P=1", alpha, p)
+			}
+			if cost != refCost {
+				t.Errorf("alpha=%d P=%d: cost %v != P=1 cost %v", alpha, p, cost, refCost)
+			}
+			if !reflect.DeepEqual(final, refFinal) {
+				t.Errorf("alpha=%d P=%d: final tree differs from P=1", alpha, p)
+			}
+		}
+	}
+}
+
+// FuzzMixedBatch drives random op mixes through MixedBatch under two
+// worker-count permutations and asserts bit-identical packed results,
+// final tree contents, and counted costs — the determinism contract under
+// adversarial interleavings.
+func FuzzMixedBatch(f *testing.F) {
+	f.Add(uint64(1), uint64(7), 40)
+	f.Add(uint64(99), uint64(3), 120)
+	f.Add(uint64(0), uint64(0), 1)
+	f.Fuzz(func(t *testing.T, seed, opSeed uint64, nops int) {
+		if nops < 0 || nops > 300 {
+			return
+		}
+		base := fromGen(gen.UniformIntervals(200, 0.05, seed%1000+1))
+		ops := mixedOps(base, nops, opSeed)
+
+		run := func(p int) ([]Interval, []int64, []Interval, asymmem.Snapshot) {
+			prev := parallel.SetWorkers(p)
+			defer parallel.SetWorkers(prev)
+			m := asymmem.NewMeterShards(8)
+			tr, err := BuildConfig(base, config.Config{Alpha: 4, Meter: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			res, err := tr.MixedBatch(ops, config.Config{Alpha: 4, Meter: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Packed.Items, res.Packed.Off, sortIvs(tr.Intervals()), m.Snapshot().Sub(before)
+		}
+		i1, o1, f1, c1 := run(1)
+		i4, o4, f4, c4 := run(4)
+		if !reflect.DeepEqual(i1, i4) || !reflect.DeepEqual(o1, o4) {
+			t.Fatal("packed results differ between P=1 and P=4")
+		}
+		if !reflect.DeepEqual(f1, f4) {
+			t.Fatal("final tree contents differ between P=1 and P=4")
+		}
+		if c1 != c4 {
+			t.Fatalf("costs differ between P=1 and P=4: %v != %v", c1, c4)
+		}
+		for _, iv := range f1 {
+			if math.IsNaN(iv.Left) || math.IsNaN(iv.Right) {
+				t.Fatal("NaN interval in final tree")
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/geom"
+	"repro/internal/parallel"
 	"repro/internal/qbatch"
 )
 
@@ -28,11 +29,39 @@ func (t *Tree) KNNBatch(qs []geom.KPoint, k int, cfg config.Config) (*qbatch.Pac
 // same order a sequential RangeQuery would visit them. Charging and scratch
 // reuse follow KNNBatch. cfg.Interrupt is polled between query grains.
 func (t *Tree) RangeBatch(boxes []geom.KBox, cfg config.Config) (*qbatch.Packed[Item], error) {
-	return qbatch.Run(cfg, "kdtree/range-batch", boxes,
-		func(box geom.KBox, wk asymmem.Worker, s *queryScratch, emit func(Item)) {
-			t.rangeH(box, wk, s, func(it Item) bool {
-				emit(it)
-				return true
-			})
+	return qbatch.Run(cfg, "kdtree/range-batch", boxes, t.rangeCore())
+}
+
+// RangeCountBatch counts the live items in each box in parallel:
+// out[i] = RangeCount(boxes[i]) — but with zero writes: counts have no
+// output term, so the batch charges only the traversal reads (no write
+// pass, unlike RangeBatch), following the interval CountBatch pattern.
+// Charges total bit-identically to a sequential counting loop.
+func (t *Tree) RangeCountBatch(boxes []geom.KBox, cfg config.Config) ([]int64, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(boxes))
+	in := parallel.NewInterrupt(cfg.Interrupt)
+	cfg.Phase("kdtree/range-count-batch", func() {
+		parallel.ForChunkedW(len(boxes), qbatch.Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			var s queryScratch
+			for i := lo; i < hi; i++ {
+				var c int64
+				t.rangeH(boxes[i], wk, &s, func(Item) bool {
+					c++
+					return true
+				})
+				out[i] = c
+			}
 		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

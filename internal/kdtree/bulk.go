@@ -1,0 +1,85 @@
+package kdtree
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// BulkInsert adds a batch of items with one p-batched round over the
+// existing tree (§6.2 applied to a flat batch): a parallel locate pass
+// (reads only, worker-local handles), a semisort grouping items by target
+// leaf, a bulk buffer append (one write per item), and median settles of
+// the leaves the batch overflowed — the same machinery the doubling rounds
+// of BuildPBatched run, with the buffer capacity set to leafSize so the
+// tree comes back fully settled. Counted costs are a pure function of the
+// tree and the batch at any worker-pool size: the locate charges are
+// per-item path costs, the semisort charges land on worker 0, and the
+// settle pass is sequential.
+func (t *Tree) BulkInsert(items []Item) error {
+	if err := validate(t.dims, items); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if t.root == alloc.Nil {
+		buf := make([]Item, len(items))
+		copy(buf, items)
+		t.meter.WriteN(len(buf))
+		t.root = t.buildMedian(buf, 0)
+		t.size = len(items)
+		return nil
+	}
+
+	// Locate (reads only) + semisort by destination leaf.
+	leaves := make([]uint32, len(items))
+	parallel.ForChunkedW(len(items), parallel.DefaultGrain, func(w, lo, hi int) {
+		hw := t.meter.Worker(w)
+		for i := lo; i < hi; i++ {
+			leaves[i] = t.locate(items[i].P, hw)
+		}
+	})
+	pairs := make([]prims.Pair, len(items))
+	parallel.ForChunked(len(items), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pairs[i] = prims.Pair{Key: uint64(t.nd(leaves[i]).id), Val: int32(i)}
+		}
+	})
+	groups := prims.Semisort(pairs, t.meter.Worker(0))
+
+	// Buffer appends (one write per item, in bulk) and settles.
+	depthOf := t.computeDepths()
+	var overflowed []uint32
+	for _, g := range groups {
+		lh := t.byID[g.Key]
+		leaf := t.nd(lh)
+		for _, vi := range g.Vals {
+			leaf.items = append(leaf.items, items[vi])
+			leaf.growDeadBits()
+		}
+		t.meter.WriteN(len(g.Vals))
+		if len(leaf.items) > t.leafSize {
+			overflowed = append(overflowed, lh)
+		}
+	}
+	for _, lh := range overflowed {
+		t.settle(lh, depthOf[t.nd(lh).id], t.leafSize, depthOf)
+	}
+	t.size += len(items)
+	return nil
+}
+
+// BulkDelete tombstones each item in the batch (see Delete), returning how
+// many were found and removed. Deletions are applied in batch order, so the
+// half-dead rebuild triggers at exactly the point a sequential delete loop
+// would hit it.
+func (t *Tree) BulkDelete(items []Item) int {
+	removed := 0
+	for _, it := range items {
+		if t.Delete(it) {
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,48 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/mbatch"
+	"repro/internal/qbatch"
+)
+
+// rangeCore is the qbatch visitor shared by RangeBatch and MixedBatch: one
+// orthogonal range traversal charging its reads to the worker-local handle,
+// with the region box narrowed and restored in per-grain scratch.
+func (t *Tree) rangeCore() qbatch.Core[geom.KBox, Item, queryScratch] {
+	return func(box geom.KBox, wk asymmem.Worker, s *queryScratch, emit func(Item)) {
+		t.rangeH(box, wk, s, func(it Item) bool {
+			emit(it)
+			return true
+		})
+	}
+}
+
+// Op is one tagged k-d tree operation: an orthogonal range query (OpQuery,
+// payload Qry) or an item insert/delete (OpInsert/OpDelete, payload Upd).
+type Op = mbatch.Op[Item, geom.KBox]
+
+// MixedBatch executes one interleaved slice of range/insert/delete ops
+// under the deterministic epoch serialization of internal/mbatch: update
+// runs apply through BulkInsert/BulkDelete, query runs answer through the
+// same range core RangeBatch uses, and both the packed results and the
+// counted costs are a pure function of the batch at any worker-pool size.
+func (t *Tree) MixedBatch(ops []Op, cfg config.Config) (*mbatch.Result[Item], error) {
+	return mbatch.Run(cfg, "kdtree", ops, mbatch.Hooks[Item, geom.KBox, Item, queryScratch]{
+		Apply: func(kind mbatch.Kind, batch []Item) error {
+			if kind == mbatch.OpDelete {
+				t.BulkDelete(batch)
+				return nil
+			}
+			if err := t.BulkInsert(batch); err != nil {
+				return fmt.Errorf("kdtree: %w", err)
+			}
+			return nil
+		},
+		Core: t.rangeCore(),
+	})
+}

@@ -1,0 +1,186 @@
+package kdtree
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/mbatch"
+	"repro/internal/parallel"
+)
+
+// kdMixedOps builds a deterministic interleaved op mix over 2D items.
+func kdMixedOps(base []Item, nops int, seed uint64) []Op {
+	rng := parallel.NewRNG(seed)
+	ops := make([]Op, 0, nops)
+	var inserted []Item
+	for i := 0; i < nops; i++ {
+		switch r := rng.Next() % 10; {
+		case r < 6:
+			x, y := rng.Float64(), rng.Float64()
+			w := 0.05 + 0.1*rng.Float64()
+			ops = append(ops, Op{Kind: mbatch.OpQuery,
+				Qry: geom.KBox{Min: geom.KPoint{x, y}, Max: geom.KPoint{x + w, y + w}}})
+		case r < 8:
+			it := Item{P: geom.KPoint{rng.Float64(), rng.Float64()}, ID: int32(100000 + i)}
+			inserted = append(inserted, it)
+			ops = append(ops, Op{Kind: mbatch.OpInsert, Upd: it})
+		default:
+			var it Item
+			if len(inserted) > 0 && rng.Next()%2 == 0 {
+				it = inserted[rng.Intn(len(inserted))]
+			} else {
+				it = base[rng.Intn(len(base))]
+			}
+			ops = append(ops, Op{Kind: mbatch.OpDelete, Upd: it})
+		}
+	}
+	return ops
+}
+
+func sortKDItems(items []Item) []Item {
+	out := append([]Item{}, items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TestKDMixedBatchEquivalence asserts, at P ∈ {1, 2, 8}: (a) the mixed
+// batch's packed results, final tree contents, and counted costs are
+// bit-identical across worker-pool sizes, and (b) each range query's result
+// set and the final contents match a sequential per-op replay (insert one
+// item at a time through the bulk path, delete through Delete). Result sets
+// are compared order-insensitively — bulk application produces a different
+// tree shape, hence a different visit order. Run under -race in CI.
+func TestKDMixedBatchEquivalence(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 800
+	}
+	kpts := gen.UniformKPoints(n, 2, 51)
+	base := make([]Item, n)
+	for i, p := range kpts {
+		base[i] = Item{P: p, ID: int32(i)}
+	}
+	ops := kdMixedOps(base, 500, 52)
+
+	// Sequential per-op replay on its own tree.
+	replayTree, err := BuildConfig(2, base, config.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay [][]Item
+	for _, op := range ops {
+		switch op.Kind {
+		case mbatch.OpQuery:
+			var res []Item
+			replayTree.RangeQuery(op.Qry, func(it Item) bool {
+				res = append(res, it)
+				return true
+			})
+			replay = append(replay, res)
+		case mbatch.OpInsert:
+			if err := replayTree.BulkInsert([]Item{op.Upd}); err != nil {
+				t.Fatal(err)
+			}
+		case mbatch.OpDelete:
+			replayTree.Delete(op.Upd)
+		}
+	}
+	replayFinal := sortKDItems(replayTree.Items())
+
+	var refItems []Item
+	var refOff []int64
+	var refCost asymmem.Snapshot
+	for _, p := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(p)
+		m := asymmem.NewMeterShards(8)
+		tr, err := BuildConfig(2, base, config.Config{Meter: m})
+		if err != nil {
+			parallel.SetWorkers(prev)
+			t.Fatal(err)
+		}
+		before := m.Snapshot()
+		res, err := tr.MixedBatch(ops, config.Config{Meter: m})
+		cost := m.Snapshot().Sub(before)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		qi := 0
+		for i, op := range ops {
+			if op.Kind != mbatch.OpQuery {
+				continue
+			}
+			got, _ := res.ResultsAt(i)
+			want := replay[qi]
+			qi++
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(sortKDItems(got), sortKDItems(want)) {
+				t.Fatalf("P=%d query op %d: %v != replay %v", p, i, got, want)
+			}
+		}
+		if final := sortKDItems(tr.Items()); !reflect.DeepEqual(final, replayFinal) {
+			t.Fatalf("P=%d: final tree diverged from replay", p)
+		}
+
+		if refItems == nil {
+			refItems, refOff, refCost = res.Packed.Items, res.Packed.Off, cost
+			continue
+		}
+		if !reflect.DeepEqual(res.Packed.Items, refItems) || !reflect.DeepEqual(res.Packed.Off, refOff) {
+			t.Errorf("P=%d: packed results differ from P=1", p)
+		}
+		if cost != refCost {
+			t.Errorf("P=%d: cost %v != P=1 cost %v", p, cost, refCost)
+		}
+	}
+}
+
+// TestBulkInsertMatchesIncrementalContents asserts BulkInsert leaves the
+// same live item set as one-at-a-time insertion and splits every overflowed
+// leaf back under the leaf-size bound.
+func TestBulkInsertMatchesIncrementalContents(t *testing.T) {
+	kpts := gen.UniformKPoints(500, 2, 53)
+	base := make([]Item, 300)
+	batch := make([]Item, 200)
+	for i, p := range kpts[:300] {
+		base[i] = Item{P: p, ID: int32(i)}
+	}
+	for i, p := range kpts[300:] {
+		batch[i] = Item{P: p, ID: int32(300 + i)}
+	}
+	bulk, err := BuildConfig(2, base, config.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.BulkInsert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", bulk.Len())
+	}
+	inc, err := BuildConfig(2, base, config.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range batch {
+		if err := inc.BulkInsert([]Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(sortKDItems(bulk.Items()), sortKDItems(inc.Items())) {
+		t.Fatal("bulk and incremental contents diverge")
+	}
+	// Every query must still see everything: a full-space range count.
+	all := geom.KBox{Min: geom.KPoint{-1, -1}, Max: geom.KPoint{2, 2}}
+	if got := bulk.RangeCount(all); got != 500 {
+		t.Fatalf("RangeCount = %d, want 500", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package mbatch is the mixed-batch executor: one slice of tagged
+// query/insert/delete ops against a single structure, executed with a
+// deterministic epoch serialization so that the results and the counted
+// model costs are a pure function of the batch — independent of the
+// worker-pool size and of scheduling.
+//
+// Serialization follows the round discipline of the distributed algorithms
+// in PAPERS.md (group, exchange, apply): ops are ordered by the stable key
+// (epoch, arrival index) with the prims sorting layer, where an op's epoch
+// is the number of op-kind transitions before it in arrival order. Epochs
+// are therefore maximal same-kind runs:
+//
+//	stab stab | ins ins ins | stab | del | stab stab
+//	 epoch 0     epoch 1     ep 2   ep 3    epoch 4
+//
+// Update epochs apply through the structures' bulk entry points
+// (BulkInsert / BulkDelete — the §7.3.5 flat batch operations), so a run
+// of m inserts costs the bulk price, not m root-to-leaf searches. Query
+// epochs answer through qbatch's count→Scan→write packing, reusing the same
+// handle-parameterized visitor cores the one-shot queries run — no
+// structure grows a second query implementation. Each query epoch packs
+// independently (its counts depend on the updates before it), and
+// qbatch.Concat stitches the per-epoch outputs into one batch-wide Packed.
+//
+// Determinism contract: epochs, and the op order within each epoch, depend
+// only on the batch. Bulk applies and qbatch runs charge worker-local
+// handles with P-invariant totals (their own contracts), and the sort and
+// concatenation steps here are sequential or uncharged. Hence two runs of
+// the same batch against equal structures produce bit-identical results
+// and bit-identical counted costs at any P. Relative to a sequential
+// one-op-at-a-time replay, the final structure state and each query's
+// result set are identical; result order within a query and the update
+// costs may differ (bulk application is exactly the algorithmic
+// improvement being bought).
+package mbatch
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/prims"
+	"repro/internal/qbatch"
+)
+
+// Kind tags one op.
+type Kind uint8
+
+const (
+	// OpQuery answers a query between updates.
+	OpQuery Kind = iota
+	// OpInsert adds the op's update payload to the structure.
+	OpInsert
+	// OpDelete removes the op's update payload from the structure.
+	OpDelete
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case OpQuery:
+		return "query"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one tagged operation: a query payload Q or an update payload U,
+// selected by Kind. Arrival order in the ops slice is the serialization
+// order.
+type Op[U, Q any] struct {
+	Kind Kind
+	// Upd is the insert/delete payload (ignored for queries).
+	Upd U
+	// Qry is the query payload (ignored for updates).
+	Qry Q
+}
+
+// Hooks binds the executor to one structure: Apply runs one update epoch
+// through the structure's bulk paths, Core is the handle-parameterized
+// visitor the query epochs hand to qbatch.Run.
+type Hooks[U, Q, R, S any] struct {
+	// Apply applies one same-kind update run (kind is OpInsert or
+	// OpDelete) in arrival order. It must charge the structure's meter
+	// itself (the bulk paths do) and be P-invariant in its counted costs.
+	Apply func(kind Kind, batch []U) error
+	// Core runs one query's traversal under the qbatch contract.
+	Core qbatch.Core[Q, R, S]
+}
+
+// Result is a mixed batch's outcome.
+type Result[R any] struct {
+	// Packed holds the query results: the i-th query op of the batch (in
+	// arrival order among queries) answers to Packed.Results(i).
+	Packed *qbatch.Packed[R]
+	// QuerySlot maps op index → query index into Packed, or -1 for
+	// update ops.
+	QuerySlot []int32
+	// Queries and Applied count the query ops answered and the update ops
+	// applied; Epochs is the number of serialization epochs.
+	Queries int
+	Applied int
+	Epochs  int
+}
+
+// ResultsAt returns op i's results and whether op i was a query (updates
+// report no results).
+func (r *Result[R]) ResultsAt(i int) ([]R, bool) {
+	s := r.QuerySlot[i]
+	if s < 0 {
+		return nil, false
+	}
+	return r.Packed.Results(int(s)), true
+}
+
+// epoch is one maximal same-kind run in serialized order.
+type epoch struct {
+	kind Kind
+	ix   []int // op indices, arrival order
+}
+
+// plan serializes the batch: one read per op for the kind scan, a stable
+// (epoch, arrival-index) ordering through prims.SortPerm, one write per op
+// for the serialized order. The charges are a pure function of the batch
+// length and land on worker 0's handle, so the phase is P-invariant.
+func plan[U, Q any](cfg config.Config, ops []Op[U, Q]) []epoch {
+	n := len(ops)
+	wk := cfg.WorkerMeter(0)
+	wk.ReadN(n)
+	eid := make([]uint64, n)
+	for i := 1; i < n; i++ {
+		eid[i] = eid[i-1]
+		if ops[i].Kind != ops[i-1].Kind {
+			eid[i]++
+		}
+	}
+	perm := prims.SortPerm(n,
+		func(i int) uint64 { return uint64(i) },
+		func(i int) uint64 { return eid[i] })
+	wk.WriteN(n)
+	var epochs []epoch
+	for _, it := range perm {
+		i := int(it.Val)
+		if len(epochs) == 0 || eid[i] != eid[epochs[len(epochs)-1].ix[0]] {
+			epochs = append(epochs, epoch{kind: ops[i].Kind})
+		}
+		e := &epochs[len(epochs)-1]
+		e.ix = append(e.ix, i)
+	}
+	return epochs
+}
+
+// Run executes the mixed batch under cfg. Phases are recorded as
+// "mbatch/<structure>/sort" (the epoch serialization), one
+// "mbatch/<structure>/apply" per update epoch, and per query epoch the
+// qbatch pair "mbatch/<structure>/query/{count,write}"; repeated phase
+// names sum in a Report's PhaseTotals. cfg.Interrupt is polled between
+// epochs (and between query grains inside qbatch); a cancelled batch
+// returns the interrupt error with the structure left after the last fully
+// applied epoch.
+func Run[U, Q, R, S any](cfg config.Config, structure string, ops []Op[U, Q], hooks Hooks[U, Q, R, S]) (*Result[R], error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	res := &Result[R]{QuerySlot: make([]int32, len(ops))}
+	var epochs []epoch
+	cfg.Phase("mbatch/"+structure+"/sort", func() {
+		epochs = plan(cfg, ops)
+	})
+	res.Epochs = len(epochs)
+	var parts []*qbatch.Packed[R]
+	for _, e := range epochs {
+		if err := cfg.Check(); err != nil {
+			return nil, err
+		}
+		if e.kind == OpQuery {
+			qs := make([]Q, len(e.ix))
+			for j, i := range e.ix {
+				qs[j] = ops[i].Qry
+				res.QuerySlot[i] = int32(res.Queries)
+				res.Queries++
+			}
+			p, err := qbatch.Run(cfg, "mbatch/"+structure+"/query", qs, hooks.Core)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+			continue
+		}
+		us := make([]U, len(e.ix))
+		for j, i := range e.ix {
+			us[j] = ops[i].Upd
+			res.QuerySlot[i] = -1
+		}
+		err := cfg.PhaseErr("mbatch/"+structure+"/apply", func() error {
+			return hooks.Apply(e.kind, us)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mbatch: %s epoch of %d ops: %w", e.kind, len(us), err)
+		}
+		res.Applied += len(us)
+	}
+	res.Packed = qbatch.Concat(parts)
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package mbatch
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+)
+
+// toySet is a minimal structure for exercising the executor: a set of ints
+// whose "query q" reports the members ≤ q in sorted order, charging one
+// read per member scanned.
+type toySet struct{ vals []int }
+
+func (s *toySet) hooks() Hooks[int, int, int, struct{}] {
+	return Hooks[int, int, int, struct{}]{
+		Apply: func(kind Kind, batch []int) error {
+			for _, v := range batch {
+				if kind == OpInsert {
+					s.vals = append(s.vals, v)
+				} else {
+					for i, have := range s.vals {
+						if have == v {
+							s.vals = append(s.vals[:i], s.vals[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			sort.Ints(s.vals)
+			return nil
+		},
+		Core: func(q int, wk asymmem.Worker, _ *struct{}, emit func(int)) {
+			for _, v := range s.vals {
+				wk.Read()
+				if v <= q {
+					emit(v)
+				}
+			}
+		},
+	}
+}
+
+func toyOps() []Op[int, int] {
+	return []Op[int, int]{
+		{Kind: OpQuery, Qry: 10},  // epoch 0
+		{Kind: OpQuery, Qry: 2},   // epoch 0
+		{Kind: OpInsert, Upd: 7},  // epoch 1
+		{Kind: OpInsert, Upd: 1},  // epoch 1
+		{Kind: OpQuery, Qry: 10},  // epoch 2
+		{Kind: OpDelete, Upd: 7},  // epoch 3
+		{Kind: OpQuery, Qry: 10},  // epoch 4
+		{Kind: OpQuery, Qry: 0},   // epoch 4
+		{Kind: OpInsert, Upd: 99}, // epoch 5
+	}
+}
+
+// TestRunEpochSemantics asserts the executor applies maximal same-kind runs
+// in arrival order: each query sees exactly the updates that precede it.
+func TestRunEpochSemantics(t *testing.T) {
+	s := &toySet{vals: []int{3, 5}}
+	res, err := Run(config.Config{}, "toy", toyOps(), s.hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 6 {
+		t.Errorf("Epochs = %d, want 6", res.Epochs)
+	}
+	if res.Queries != 5 || res.Applied != 4 {
+		t.Errorf("Queries, Applied = %d, %d; want 5, 4", res.Queries, res.Applied)
+	}
+	want := [][]int{
+		{3, 5},       // q=10 before any update
+		{},           // q=2
+		{1, 3, 5, 7}, // q=10 after inserting 7, 1
+		{1, 3, 5},    // q=10 after deleting 7
+		{},           // q=0
+	}
+	wi := 0
+	for i := range toyOps() {
+		got, isQuery := res.ResultsAt(i)
+		if !isQuery {
+			if res.QuerySlot[i] != -1 {
+				t.Errorf("op %d: update with QuerySlot %d", i, res.QuerySlot[i])
+			}
+			continue
+		}
+		if len(got) != len(want[wi]) || (len(got) > 0 && !reflect.DeepEqual(got, want[wi])) {
+			t.Errorf("query op %d: got %v, want %v", i, got, want[wi])
+		}
+		wi++
+	}
+	if got := []int{1, 3, 5, 99}; !reflect.DeepEqual(s.vals, got) {
+		t.Errorf("final set %v, want %v", s.vals, got)
+	}
+}
+
+// TestRunDeterministicAcrossP asserts the packed results and the counted
+// costs are bit-identical at P ∈ {1, 2, 8}.
+func TestRunDeterministicAcrossP(t *testing.T) {
+	// A larger synthetic batch so the query epochs actually fan out.
+	var ops []Op[int, int]
+	for i := 0; i < 400; i++ {
+		switch i % 5 {
+		case 0:
+			ops = append(ops, Op[int, int]{Kind: OpInsert, Upd: i})
+		case 1:
+			ops = append(ops, Op[int, int]{Kind: OpDelete, Upd: i - 6})
+		default:
+			ops = append(ops, Op[int, int]{Kind: OpQuery, Qry: i})
+		}
+	}
+	type outcome struct {
+		items []int
+		off   []int64
+		slots []int32
+		cost  asymmem.Snapshot
+	}
+	var ref *outcome
+	for _, p := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(p)
+		s := &toySet{}
+		m := asymmem.NewMeterShards(8)
+		before := m.Snapshot()
+		res, err := Run(config.Config{Meter: m}, "toy", ops, s.hooks())
+		cost := m.Snapshot().Sub(before)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &outcome{items: res.Packed.Items, off: res.Packed.Off, slots: res.QuerySlot, cost: cost}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got.items, ref.items) || !reflect.DeepEqual(got.off, ref.off) ||
+			!reflect.DeepEqual(got.slots, ref.slots) {
+			t.Errorf("P=%d: packed results differ from P=1", p)
+		}
+		if got.cost != ref.cost {
+			t.Errorf("P=%d: cost %v != P=1 cost %v", p, got.cost, ref.cost)
+		}
+	}
+}
+
+// TestRunInterrupt asserts cancellation between epochs returns the context
+// error and leaves the structure after the last fully applied epoch.
+func TestRunInterrupt(t *testing.T) {
+	s := &toySet{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(config.Config{Interrupt: ctx.Err}, "toy", toyOps(), s.hooks())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunEmptyAndPure asserts the degenerate shapes: an empty batch, an
+// all-query batch (one epoch, identity serialization), and an all-update
+// batch (no packed output).
+func TestRunEmptyAndPure(t *testing.T) {
+	s := &toySet{vals: []int{1, 2}}
+	res, err := Run(config.Config{}, "toy", nil, s.hooks())
+	if err != nil || res.Epochs != 0 || res.Packed.Queries() != 0 {
+		t.Fatalf("empty batch: res=%+v err=%v", res, err)
+	}
+
+	qs := []Op[int, int]{{Kind: OpQuery, Qry: 1}, {Kind: OpQuery, Qry: 2}, {Kind: OpQuery, Qry: 0}}
+	res, err = Run(config.Config{}, "toy", qs, s.hooks())
+	if err != nil || res.Epochs != 1 || res.Queries != 3 {
+		t.Fatalf("all-query batch: res=%+v err=%v", res, err)
+	}
+	if got := res.Packed.Results(1); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("query 1: %v", got)
+	}
+
+	us := []Op[int, int]{{Kind: OpInsert, Upd: 9}, {Kind: OpInsert, Upd: 8}}
+	res, err = Run(config.Config{}, "toy", us, s.hooks())
+	if err != nil || res.Applied != 2 || res.Packed.Total() != 0 {
+		t.Fatalf("all-update batch: res=%+v err=%v", res, err)
+	}
+	if !reflect.DeepEqual(s.vals, []int{1, 2, 8, 9}) {
+		t.Fatalf("final set %v", s.vals)
+	}
+}

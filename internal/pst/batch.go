@@ -3,6 +3,7 @@ package pst
 import (
 	"repro/internal/asymmem"
 	"repro/internal/config"
+	"repro/internal/parallel"
 	"repro/internal/qbatch"
 )
 
@@ -27,4 +28,37 @@ func (t *Tree) Query3SidedBatch(qs []Query3, cfg config.Config) (*qbatch.Packed[
 				return true
 			})
 		})
+}
+
+// Count3SidedBatch counts the matching points for each query in parallel:
+// out[i] = Count3Sided over qs[i] — but with zero writes: counts have no
+// output term, so the batch charges only the traversal reads (no write
+// pass, unlike Query3SidedBatch), following the interval CountBatch
+// pattern. Charges total bit-identically to a sequential counting loop.
+func (t *Tree) Count3SidedBatch(qs []Query3, cfg config.Config) ([]int64, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(qs))
+	in := parallel.NewInterrupt(cfg.Interrupt)
+	cfg.Phase("pst/count3-batch", func() {
+		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			for i := lo; i < hi; i++ {
+				var c int64
+				t.query3SidedH(qs[i].XL, qs[i].XR, qs[i].YB, wk, func(Point) bool {
+					c++
+					return true
+				})
+				out[i] = c
+			}
+		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

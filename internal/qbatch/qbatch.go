@@ -80,6 +80,37 @@ func (p *Packed[R]) Total() int64 {
 	return p.Off[len(p.Off)-1]
 }
 
+// Concat merges the packed results of several consecutive sub-batches into
+// one Packed whose query numbering is the concatenation of the parts' — the
+// per-epoch generalization of the packing pass: a mixed batch (internal/
+// mbatch) runs one count→Scan→write pass per query epoch, because an
+// epoch's counts depend on the updates applied before it, and Concat stitches
+// the per-epoch outputs back into a single batch-wide result.
+//
+// The copy is uncharged: each part's traversal reads were charged in its
+// count pass and its reporting writes — exactly the output size — in its
+// write pass, so re-packing moves no new model cost. Layout stays
+// deterministic because the parts' layouts are.
+func Concat[R any](parts []*Packed[R]) *Packed[R] {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	nq, total := 0, int64(0)
+	for _, p := range parts {
+		nq += p.Queries()
+		total += p.Total()
+	}
+	out := &Packed[R]{Items: make([]R, 0, total), Off: make([]int64, 1, nq+1)}
+	for _, p := range parts {
+		base := int64(len(out.Items))
+		out.Items = append(out.Items, p.Items...)
+		for i := 1; i < len(p.Off); i++ {
+			out.Off = append(out.Off, base+p.Off[i])
+		}
+	}
+	return out
+}
+
 // Run evaluates the batch under cfg: queries fan across the worker pool in
 // grains, traversal reads and reporting writes are charged to worker-local
 // handles on cfg.Meter (totals bit-identical to a sequential query loop at

@@ -1,7 +1,6 @@
 package rangetree
 
 import (
-	"repro/internal/asymmem"
 	"repro/internal/config"
 	"repro/internal/qbatch"
 )
@@ -20,11 +19,5 @@ type Query2D struct {
 // reporting writes are exactly the output size. cfg.Interrupt is polled
 // between query grains.
 func (t *Tree) QueryBatch(qs []Query2D, cfg config.Config) (*qbatch.Packed[Point], error) {
-	return qbatch.Run(cfg, "rangetree/query-batch", qs,
-		func(q Query2D, wk asymmem.Worker, _ *struct{}, emit func(Point)) {
-			t.queryH(q.XL, q.XR, q.YB, q.YT, wk, func(p Point) bool {
-				emit(p)
-				return true
-			})
-		})
+	return qbatch.Run(cfg, "rangetree/query-batch", qs, t.queryCore())
 }

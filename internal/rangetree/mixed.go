@@ -1,0 +1,42 @@
+package rangetree
+
+import (
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/mbatch"
+	"repro/internal/qbatch"
+)
+
+// queryCore is the qbatch visitor shared by QueryBatch and MixedBatch: one
+// rectangle traversal charging its reads to the worker-local handle.
+func (t *Tree) queryCore() qbatch.Core[Query2D, Point, struct{}] {
+	return func(q Query2D, wk asymmem.Worker, _ *struct{}, emit func(Point)) {
+		t.queryH(q.XL, q.XR, q.YB, q.YT, wk, func(p Point) bool {
+			emit(p)
+			return true
+		})
+	}
+}
+
+// Op is one tagged range-tree operation: a rectangle query (OpQuery,
+// payload Qry) or a point insert/delete (OpInsert/OpDelete, payload Upd).
+type Op = mbatch.Op[Point, Query2D]
+
+// MixedBatch executes one interleaved slice of query/insert/delete ops
+// under the deterministic epoch serialization of internal/mbatch: update
+// runs apply through BulkInsert/BulkDelete, query runs answer through the
+// same rectangle core QueryBatch uses, and both the packed results and the
+// counted costs are a pure function of the batch at any worker-pool size.
+func (t *Tree) MixedBatch(ops []Op, cfg config.Config) (*mbatch.Result[Point], error) {
+	return mbatch.Run(cfg, "rangetree", ops, mbatch.Hooks[Point, Query2D, Point, struct{}]{
+		Apply: func(kind mbatch.Kind, batch []Point) error {
+			if kind == mbatch.OpDelete {
+				t.BulkDelete(batch)
+				return nil
+			}
+			t.BulkInsert(batch)
+			return nil
+		},
+		Core: t.queryCore(),
+	})
+}

@@ -1,0 +1,191 @@
+package rangetree
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/mbatch"
+	"repro/internal/parallel"
+)
+
+// rtMixedOps builds a deterministic interleaved op mix over 2D points.
+func rtMixedOps(base []Point, nops int, seed uint64) []Op {
+	rng := parallel.NewRNG(seed)
+	ops := make([]Op, 0, nops)
+	var inserted []Point
+	for i := 0; i < nops; i++ {
+		switch r := rng.Next() % 10; {
+		case r < 6:
+			x, y := rng.Float64(), rng.Float64()
+			w := 0.05 + 0.15*rng.Float64()
+			ops = append(ops, Op{Kind: mbatch.OpQuery, Qry: Query2D{XL: x, XR: x + w, YB: y, YT: y + w}})
+		case r < 8:
+			p := Point{X: rng.Float64(), Y: rng.Float64(), ID: int32(100000 + i)}
+			inserted = append(inserted, p)
+			ops = append(ops, Op{Kind: mbatch.OpInsert, Upd: p})
+		default:
+			var p Point
+			if len(inserted) > 0 && rng.Next()%2 == 0 {
+				p = inserted[rng.Intn(len(inserted))]
+			} else {
+				p = base[rng.Intn(len(base))]
+			}
+			ops = append(ops, Op{Kind: mbatch.OpDelete, Upd: p})
+		}
+	}
+	return ops
+}
+
+func sortPts(pts []Point) []Point {
+	out := append([]Point{}, pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func rtUniform(n int, seed uint64) []Point {
+	rng := parallel.NewRNG(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64(), ID: int32(i)}
+	}
+	return pts
+}
+
+// TestRTMixedBatchEquivalence asserts, at P ∈ {1, 2, 8}: (a) the mixed
+// batch's packed results, final tree contents, and counted costs are
+// bit-identical across worker-pool sizes, and (b) each rectangle query's
+// result set and the final contents match a sequential per-op replay
+// (Insert/Delete/Query one at a time). Result sets are compared
+// order-insensitively — bulk application produces a different tree shape.
+// Run under -race in CI.
+func TestRTMixedBatchEquivalence(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 600
+	}
+	base := rtUniform(n, 61)
+	ops := rtMixedOps(base, 400, 62)
+
+	for _, alpha := range []int{0, 8} {
+		replayTree, err := BuildConfig(base, config.Config{Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replay [][]Point
+		for _, op := range ops {
+			switch op.Kind {
+			case mbatch.OpQuery:
+				var res []Point
+				replayTree.Query(op.Qry.XL, op.Qry.XR, op.Qry.YB, op.Qry.YT, func(p Point) bool {
+					res = append(res, p)
+					return true
+				})
+				replay = append(replay, res)
+			case mbatch.OpInsert:
+				replayTree.Insert(op.Upd)
+			case mbatch.OpDelete:
+				replayTree.Delete(op.Upd)
+			}
+		}
+		replayFinal := sortPts(replayTree.Points())
+
+		var refItems []Point
+		var refOff []int64
+		var refCost asymmem.Snapshot
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			m := asymmem.NewMeterShards(8)
+			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+			if err != nil {
+				parallel.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			res, err := tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			qi := 0
+			for i, op := range ops {
+				if op.Kind != mbatch.OpQuery {
+					continue
+				}
+				got, _ := res.ResultsAt(i)
+				want := replay[qi]
+				qi++
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(sortPts(got), sortPts(want)) {
+					t.Fatalf("alpha=%d P=%d query op %d: %v != replay %v", alpha, p, i, got, want)
+				}
+			}
+			if final := sortPts(tr.Points()); !reflect.DeepEqual(final, replayFinal) {
+				t.Fatalf("alpha=%d P=%d: final tree diverged from replay", alpha, p)
+			}
+
+			if refItems == nil {
+				refItems, refOff, refCost = res.Packed.Items, res.Packed.Off, cost
+				continue
+			}
+			if !reflect.DeepEqual(res.Packed.Items, refItems) || !reflect.DeepEqual(res.Packed.Off, refOff) {
+				t.Errorf("alpha=%d P=%d: packed results differ from P=1", alpha, p)
+			}
+			if cost != refCost {
+				t.Errorf("alpha=%d P=%d: cost %v != P=1 cost %v", alpha, p, cost, refCost)
+			}
+		}
+	}
+}
+
+// TestSumYBatchEquivalence asserts SumYBatch is indistinguishable from a
+// sequential SumY loop — identical sums and bit-identical counted costs —
+// at P ∈ {1, 2, 8}, with zero writes charged.
+func TestSumYBatchEquivalence(t *testing.T) {
+	base := rtUniform(1200, 63)
+	qs := make([]Query2D, 300)
+	rng := parallel.NewRNG(64)
+	for i := range qs {
+		x, y := rng.Float64(), rng.Float64()
+		w := 0.05 + 0.3*rng.Float64()
+		qs[i] = Query2D{XL: x, XR: x + w, YB: y, YT: y + w}
+	}
+	for _, alpha := range []int{0, 8} {
+		m := asymmem.NewMeterShards(8)
+		tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.Snapshot()
+		seq := make([]float64, len(qs))
+		for i, q := range qs {
+			seq[i] = tr.SumY(q.XL, q.XR, q.YB, q.YT)
+		}
+		seqCost := m.Snapshot().Sub(before)
+		if seqCost.Writes != 0 {
+			t.Fatalf("alpha=%d: sequential SumY charged %d writes", alpha, seqCost.Writes)
+		}
+		for _, p := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(p)
+			before := m.Snapshot()
+			out, err := tr.SumYBatch(qs, config.Config{Alpha: alpha, Meter: m})
+			cost := m.Snapshot().Sub(before)
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != seqCost {
+				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
+			}
+			if !reflect.DeepEqual(out, seq) {
+				t.Errorf("alpha=%d P=%d: sums differ from sequential loop", alpha, p)
+			}
+		}
+	}
+}

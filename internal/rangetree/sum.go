@@ -4,6 +4,10 @@ import (
 	"math"
 
 	"repro/internal/alloc"
+	"repro/internal/asymmem"
+	"repro/internal/config"
+	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 // SumY returns the sum of the y-coordinates of the live points in the
@@ -11,6 +15,13 @@ import (
 // "counting or weighted sum queries can be answered by augmenting the
 // inner trees" extension, instantiated with weight(p) = p.Y.
 func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
+	return t.sumYH(xL, xR, yB, yT, t.meter)
+}
+
+// sumYH is the handle-parameterized core shared by SumY and SumYBatch: all
+// reads are charged to wk, so a batch can charge worker-local handles and
+// still total bit-identically to a sequential loop.
+func (t *Tree) sumYH(xL, xR, yB, yT float64, wk asymmem.Worker) float64 {
 	lo := yKey{yB, math.MinInt32}
 	hi := yKey{yT, math.MaxInt32}
 	var rec func(h uint32, xlo, xhi float64) float64
@@ -19,7 +30,7 @@ func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
 			return 0
 		}
 		n := t.nd(h)
-		t.meter.Read()
+		wk.Read()
 		if n.leaf {
 			if !n.dead && n.pt.X >= xL && n.pt.X <= xR && n.pt.Y >= yB && n.pt.Y <= yT {
 				return n.pt.Y
@@ -27,20 +38,20 @@ func (t *Tree) SumY(xL, xR, yB, yT float64) float64 {
 			return 0
 		}
 		if xlo >= xL && xhi <= xR {
-			return t.sumCover(h, lo, hi)
+			return t.sumCoverH(h, lo, hi, wk)
 		}
 		return rec(n.left, xlo, n.key) + rec(n.right, n.key, xhi)
 	}
 	return rec(t.root, math.Inf(-1), math.Inf(1))
 }
 
-// sumCover sums y over the critical cover under h.
-func (t *Tree) sumCover(h uint32, lo, hi yKey) float64 {
+// sumCoverH sums y over the critical cover under h, charging wk.
+func (t *Tree) sumCoverH(h uint32, lo, hi yKey, wk asymmem.Worker) float64 {
 	if h == alloc.Nil {
 		return 0
 	}
 	n := t.nd(h)
-	t.meter.Read()
+	wk.Read()
 	if n.critical {
 		if n.leaf {
 			if n.dead || n.pt.Y < lo.y || n.pt.Y > hi.y {
@@ -48,7 +59,36 @@ func (t *Tree) sumCover(h uint32, lo, hi yKey) float64 {
 			}
 			return n.pt.Y
 		}
-		return n.inner.SumRange(lo, hi)
+		return n.inner.SumRangeH(lo, hi, wk)
 	}
-	return t.sumCover(n.left, lo, hi) + t.sumCover(n.right, lo, hi)
+	return t.sumCoverH(n.left, lo, hi, wk) + t.sumCoverH(n.right, lo, hi, wk)
+}
+
+// SumYBatch answers a batch of weighted-sum queries in parallel:
+// out[i] = SumY over rectangle qs[i]. Sums have no output term, so the
+// batch charges only the traversal reads (no write pass, unlike
+// QueryBatch), following the interval CountBatch pattern — the cheapest
+// aggregate the structure serves under the asymmetric model. Charges total
+// bit-identically to a sequential SumY loop.
+func (t *Tree) SumYBatch(qs []Query2D, cfg config.Config) ([]float64, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(qs))
+	in := parallel.NewInterrupt(cfg.Interrupt)
+	cfg.Phase("rangetree/sumy-batch", func() {
+		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+			if in.Poll() {
+				return
+			}
+			wk := cfg.WorkerMeter(w)
+			for i := lo; i < hi; i++ {
+				out[i] = t.sumYH(qs[i].XL, qs[i].XR, qs[i].YB, qs[i].YT, wk)
+			}
+		})
+	})
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

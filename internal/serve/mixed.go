@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro"
+	"repro/internal/coalesce"
+	"repro/internal/mbatch"
+)
+
+// This file is the daemon's write path: the POST /batch mixed-op endpoint
+// plus the zero-write count/aggregate endpoints. A mixed request's ops ride
+// through the per-structure mixed coalescer as ONE ordered run
+// (coalesce.SubmitAll keeps it contiguous inside whatever batch it lands
+// in), so the epoch serialization the client observes is exactly
+// internal/mbatch's: its own ops in order, grouped with whatever
+// concurrent requests coalesced around them. Every mixed batch runs under
+// the Engine's run lock, as does SaveCheckpoint — a checkpoint can land
+// between batches (hence between epochs), never inside one, which is what
+// keeps mid-stream checkpoints bit-identical on restore.
+
+// mixedDemux adapts an mbatch result to the coalescer's Demux: update ops
+// answer nil (the HTTP layer labels them by kind, not by payload).
+type mixedDemux[R any] struct{ res *mbatch.Result[R] }
+
+func (d mixedDemux[R]) Results(i int) []R {
+	r, _ := d.res.ResultsAt(i)
+	return r
+}
+
+// initExtra wires the PR-8 coalescers: the three mixed-op runs and the
+// three remaining zero-write count/aggregate batches.
+func (s *Server) initExtra() {
+	s.q3count = coalesce.New(func(ctx context.Context, qs []wegeom.PSTQuery) (coalesce.Demux[int64], error) {
+		out, rep, err := s.eng.Count3SidedBatch(ctx, s.ck.Priority, qs)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return coalesce.Slice[int64](out), nil
+	}, s.copts)
+	s.rngSum = coalesce.New(func(ctx context.Context, qs []wegeom.RTQuery) (coalesce.Demux[float64], error) {
+		out, rep, err := s.eng.SumYBatch(ctx, s.ck.Range, qs)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return coalesce.Slice[float64](out), nil
+	}, s.copts)
+	s.kdrCount = coalesce.New(func(ctx context.Context, boxes []wegeom.KBox) (coalesce.Demux[int64], error) {
+		out, rep, err := s.eng.KDRangeCountBatch(ctx, s.ck.KD, boxes)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return coalesce.Slice[int64](out), nil
+	}, s.copts)
+	s.mixedIv = coalesce.New(func(ctx context.Context, ops []wegeom.IntervalOp) (coalesce.Demux[wegeom.Interval], error) {
+		out, rep, err := s.eng.IntervalMixedBatch(ctx, s.ck.Interval, ops)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return mixedDemux[wegeom.Interval]{out}, nil
+	}, s.copts)
+	s.mixedRT = coalesce.New(func(ctx context.Context, ops []wegeom.RTOp) (coalesce.Demux[wegeom.RTPoint], error) {
+		out, rep, err := s.eng.RangeTreeMixedBatch(ctx, s.ck.Range, ops)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return mixedDemux[wegeom.RTPoint]{out}, nil
+	}, s.copts)
+	s.mixedKD = coalesce.New(func(ctx context.Context, ops []wegeom.KDOp) (coalesce.Demux[wegeom.KDItem], error) {
+		out, rep, err := s.eng.KDMixedBatch(ctx, s.ck.KD, ops)
+		s.observe(rep)
+		if err != nil {
+			return nil, err
+		}
+		return mixedDemux[wegeom.KDItem]{out}, nil
+	}, s.copts)
+}
+
+// batchRequest is the POST /batch body.
+type batchRequest struct {
+	// Structure selects the target: "interval" (default), "range", or "kd".
+	Structure string    `json:"structure"`
+	Ops       []batchOp `json:"ops"`
+}
+
+// batchOp is one tagged op. Op selects the kind; the payload fields used
+// depend on the structure:
+//
+//	interval: query "stab" {q}; updates {left, right, id}
+//	range:    query "query" {xl, xr, yb, yt}; updates {x, y, id}
+//	kd:       query "range" {min, max}; updates {p, id}
+type batchOp struct {
+	Op string `json:"op"` // "stab"/"query"/"range" (query), "insert", "delete"
+
+	Q     float64   `json:"q"`
+	Left  float64   `json:"left"`
+	Right float64   `json:"right"`
+	XL    float64   `json:"xl"`
+	XR    float64   `json:"xr"`
+	YB    float64   `json:"yb"`
+	YT    float64   `json:"yt"`
+	X     float64   `json:"x"`
+	Y     float64   `json:"y"`
+	Min   []float64 `json:"min"`
+	Max   []float64 `json:"max"`
+	P     []float64 `json:"p"`
+	ID    int32     `json:"id"`
+}
+
+// kindOf maps the wire op name to the mbatch kind; any of the query
+// spellings is accepted for any structure.
+func kindOf(op string) (wegeom.MixedKind, error) {
+	switch op {
+	case "stab", "query", "range":
+		return wegeom.OpQuery, nil
+	case "insert":
+		return wegeom.OpInsert, nil
+	case "delete":
+		return wegeom.OpDelete, nil
+	}
+	return 0, fmt.Errorf("op %q: want stab/query/range, insert, or delete", op)
+}
+
+// opResult is one op's slot in the /batch response: its kind, and for
+// queries the result count plus the structure-specific payload list.
+type opResult struct {
+	Kind      string            `json:"kind"`
+	Count     int               `json:"count"`
+	Intervals []wegeom.Interval `json:"intervals,omitempty"`
+	Points    []wegeom.RTPoint  `json:"points,omitempty"`
+	Items     []wegeom.KDItem   `json:"items,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	done := s.countReq("/batch")
+	if r.Method != http.MethodPost {
+		done(true)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		done(true)
+		http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		done(true)
+		http.Error(w, "empty ops", http.StatusBadRequest)
+		return
+	}
+	var (
+		results []opResult
+		err     error
+	)
+	switch req.Structure {
+	case "", "interval":
+		results, err = s.batchInterval(r.Context(), req.Ops)
+	case "range":
+		results, err = s.batchRange(r.Context(), req.Ops)
+	case "kd":
+		results, err = s.batchKD(r.Context(), req.Ops)
+	default:
+		done(true)
+		http.Error(w, fmt.Sprintf("structure %q: want interval, range, or kd", req.Structure), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		done(true)
+		if _, bad := err.(badOpError); bad {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		httpError(w, err)
+		return
+	}
+	done(false)
+	writeJSON(w, map[string]any{"ops": len(req.Ops), "results": results})
+}
+
+// badOpError marks a malformed op (a 400, not a 5xx).
+type badOpError struct{ error }
+
+func (s *Server) batchInterval(ctx context.Context, raw []batchOp) ([]opResult, error) {
+	ops := make([]wegeom.IntervalOp, len(raw))
+	for i, o := range raw {
+		k, err := kindOf(o.Op)
+		if err != nil {
+			return nil, badOpError{fmt.Errorf("ops[%d]: %w", i, err)}
+		}
+		if k == wegeom.OpQuery {
+			ops[i] = wegeom.IntervalOp{Kind: k, Qry: o.Q}
+		} else {
+			ops[i] = wegeom.IntervalOp{Kind: k, Upd: wegeom.Interval{Left: o.Left, Right: o.Right, ID: o.ID}}
+		}
+	}
+	res, err := s.mixedIv.SubmitAll(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]opResult, len(ops))
+	for i := range ops {
+		out[i] = opResult{Kind: ops[i].Kind.String()}
+		if ops[i].Kind == wegeom.OpQuery {
+			out[i].Count = len(res[i])
+			out[i].Intervals = res[i]
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) batchRange(ctx context.Context, raw []batchOp) ([]opResult, error) {
+	ops := make([]wegeom.RTOp, len(raw))
+	for i, o := range raw {
+		k, err := kindOf(o.Op)
+		if err != nil {
+			return nil, badOpError{fmt.Errorf("ops[%d]: %w", i, err)}
+		}
+		if k == wegeom.OpQuery {
+			ops[i] = wegeom.RTOp{Kind: k, Qry: wegeom.RTQuery{XL: o.XL, XR: o.XR, YB: o.YB, YT: o.YT}}
+		} else {
+			ops[i] = wegeom.RTOp{Kind: k, Upd: wegeom.RTPoint{X: o.X, Y: o.Y, ID: o.ID}}
+		}
+	}
+	res, err := s.mixedRT.SubmitAll(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]opResult, len(ops))
+	for i := range ops {
+		out[i] = opResult{Kind: ops[i].Kind.String()}
+		if ops[i].Kind == wegeom.OpQuery {
+			out[i].Count = len(res[i])
+			out[i].Points = res[i]
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) batchKD(ctx context.Context, raw []batchOp) ([]opResult, error) {
+	ops := make([]wegeom.KDOp, len(raw))
+	for i, o := range raw {
+		k, err := kindOf(o.Op)
+		if err != nil {
+			return nil, badOpError{fmt.Errorf("ops[%d]: %w", i, err)}
+		}
+		if k == wegeom.OpQuery {
+			if len(o.Min) != 2 || len(o.Max) != 2 {
+				return nil, badOpError{fmt.Errorf("ops[%d]: want 2-coordinate min and max", i)}
+			}
+			ops[i] = wegeom.KDOp{Kind: k, Qry: wegeom.KBox{Min: o.Min, Max: o.Max}}
+		} else {
+			if len(o.P) != 2 {
+				return nil, badOpError{fmt.Errorf("ops[%d]: want a 2-coordinate p", i)}
+			}
+			ops[i] = wegeom.KDOp{Kind: k, Upd: wegeom.KDItem{P: o.P, ID: o.ID}}
+		}
+	}
+	res, err := s.mixedKD.SubmitAll(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]opResult, len(ops))
+	for i := range ops {
+		out[i] = opResult{Kind: ops[i].Kind.String()}
+		if ops[i].Kind == wegeom.OpQuery {
+			out[i].Count = len(res[i])
+			out[i].Items = res[i]
+		}
+	}
+	return out, nil
+}
+
+// handleCheckpoint re-saves the structures to the configured checkpoint
+// path on demand — the daemon's mid-stream checkpoint hook. SaveCheckpoint
+// serializes on the Engine's run lock, so the snapshot always lands between
+// batches (hence between mixed-op epochs), never inside one; a replica
+// restored from it continues the stream bit-identically.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	done := s.countReq("/checkpoint")
+	if r.Method != http.MethodPost {
+		done(true)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	path := s.cfg.CheckpointPath
+	if path == "" {
+		done(true)
+		http.Error(w, "no checkpoint path configured (-checkpoint)", http.StatusNotFound)
+		return
+	}
+	if err := s.SaveCheckpoint(r.Context(), path); err != nil {
+		done(true)
+		httpError(w, err)
+		return
+	}
+	done(false)
+	writeJSON(w, map[string]any{"ok": true, "path": path})
+}
+
+func (s *Server) handleQuery3SidedCount(w http.ResponseWriter, r *http.Request) {
+	done := s.countReq("/query3sided/count")
+	xl, err1 := parseFloat(r, "xl")
+	xr, err2 := parseFloat(r, "xr")
+	yb, err3 := parseFloat(r, "yb")
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			done(true)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.q3count.Submit(r.Context(), wegeom.PSTQuery{XL: xl, XR: xr, YB: yb})
+	if err != nil {
+		done(true)
+		httpError(w, err)
+		return
+	}
+	done(false)
+	writeJSON(w, map[string]any{"count": res[0]})
+}
+
+func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
+	done := s.countReq("/range/sum")
+	xl, err1 := parseFloat(r, "xl")
+	xr, err2 := parseFloat(r, "xr")
+	yb, err3 := parseFloat(r, "yb")
+	yt, err4 := parseFloat(r, "yt")
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			done(true)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.rngSum.Submit(r.Context(), wegeom.RTQuery{XL: xl, XR: xr, YB: yb, YT: yt})
+	if err != nil {
+		done(true)
+		httpError(w, err)
+		return
+	}
+	done(false)
+	writeJSON(w, map[string]any{"sum_y": res[0]})
+}
+
+func (s *Server) handleKDRangeCount(w http.ResponseWriter, r *http.Request) {
+	done := s.countReq("/kdrange/count")
+	min, err1 := parseKPoint(r, "min", 2)
+	max, err2 := parseKPoint(r, "max", 2)
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			done(true)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.kdrCount.Submit(r.Context(), wegeom.KBox{Min: min, Max: max})
+	if err != nil {
+		done(true)
+		httpError(w, err)
+		return
+	}
+	done(false)
+	writeJSON(w, map[string]any{"count": res[0]})
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) map[string]any {
+	t.Helper()
+	code, out := post(t, h, path, body)
+	if code != http.StatusOK {
+		t.Fatalf("POST %s: status %d, body %q", path, code, out)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("POST %s: bad JSON %q: %v", path, out, err)
+	}
+	return m
+}
+
+// TestBatchEndpointInterleaving drives one mixed request per structure and
+// checks the epoch serialization the client observes: each query sees
+// exactly the updates that precede it in the request's own op order.
+func TestBatchEndpointInterleaving(t *testing.T) {
+	s := bootTestServer(t, Config{})
+	h := s.Handler()
+
+	// Interval: operate far outside the seeded [0,1] data so counts are exact.
+	body := `{"structure":"interval","ops":[
+		{"op":"stab","q":5.0},
+		{"op":"insert","left":4.9,"right":5.1,"id":777},
+		{"op":"stab","q":5.0},
+		{"op":"delete","left":4.9,"right":5.1,"id":777},
+		{"op":"stab","q":5.0}]}`
+	res := postJSON(t, h, "/batch", body)["results"].([]any)
+	wantCounts := []float64{0, 0, 1, 0, 0}
+	wantKinds := []string{"query", "insert", "query", "delete", "query"}
+	for i, r := range res {
+		m := r.(map[string]any)
+		if m["kind"] != wantKinds[i] || m["count"].(float64) != wantCounts[i] {
+			t.Errorf("interval op %d: kind=%v count=%v, want %s/%v", i, m["kind"], m["count"], wantKinds[i], wantCounts[i])
+		}
+	}
+	// The inserted interval's round trip carried its ID.
+	iv := res[2].(map[string]any)["intervals"].([]any)[0].(map[string]any)
+	if iv["ID"].(float64) != 777 {
+		t.Errorf("stab after insert returned %v", iv)
+	}
+
+	// Range tree: same shape in 2D.
+	body = `{"structure":"range","ops":[
+		{"op":"query","xl":4,"xr":6,"yb":4,"yt":6},
+		{"op":"insert","x":5,"y":5,"id":888},
+		{"op":"query","xl":4,"xr":6,"yb":4,"yt":6},
+		{"op":"delete","x":5,"y":5,"id":888},
+		{"op":"query","xl":4,"xr":6,"yb":4,"yt":6}]}`
+	res = postJSON(t, h, "/batch", body)["results"].([]any)
+	for i, want := range []float64{0, 0, 1, 0, 0} {
+		if got := res[i].(map[string]any)["count"].(float64); got != want {
+			t.Errorf("range op %d: count %v, want %v", i, got, want)
+		}
+	}
+
+	// k-d tree.
+	body = `{"structure":"kd","ops":[
+		{"op":"range","min":[4,4],"max":[6,6]},
+		{"op":"insert","p":[5,5],"id":999},
+		{"op":"range","min":[4,4],"max":[6,6]},
+		{"op":"delete","p":[5,5],"id":999},
+		{"op":"range","min":[4,4],"max":[6,6]}]}`
+	res = postJSON(t, h, "/batch", body)["results"].([]any)
+	for i, want := range []float64{0, 0, 1, 0, 0} {
+		if got := res[i].(map[string]any)["count"].(float64); got != want {
+			t.Errorf("kd op %d: count %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestBatchEndpointErrors: malformed batches are 400s, wrong method is 405.
+func TestBatchEndpointErrors(t *testing.T) {
+	s := bootTestServer(t, Config{})
+	h := s.Handler()
+
+	for _, body := range []string{
+		`{"ops":[]}`,
+		`not json`,
+		`{"structure":"zebra","ops":[{"op":"stab","q":0.5}]}`,
+		`{"ops":[{"op":"zebra","q":0.5}]}`,
+		`{"structure":"kd","ops":[{"op":"range","min":[1],"max":[2,3]}]}`,
+		`{"structure":"kd","ops":[{"op":"insert","p":[1,2,3],"id":1}]}`,
+	} {
+		if code, out := post(t, h, "/batch", body); code != http.StatusBadRequest {
+			t.Errorf("POST /batch %s: status %d (%q), want 400", body, code, out)
+		}
+	}
+	req := httptest.NewRequest("GET", "/batch", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch: status %d, want 405", rec.Code)
+	}
+}
+
+// TestCountEndpoints: the zero-write count/aggregate endpoints agree with
+// their reporting counterparts.
+func TestCountEndpoints(t *testing.T) {
+	s := bootTestServer(t, Config{})
+	h := s.Handler()
+
+	q3 := getJSON(t, h, "/query3sided?xl=0.2&xr=0.6&yb=0.4")
+	q3c := getJSON(t, h, "/query3sided/count?xl=0.2&xr=0.6&yb=0.4")
+	if q3["count"].(float64) != q3c["count"].(float64) {
+		t.Errorf("/query3sided count %v != /query3sided/count %v", q3["count"], q3c["count"])
+	}
+	kdr := getJSON(t, h, "/kdrange?min=0.2,0.2&max=0.7,0.7")
+	kdrc := getJSON(t, h, "/kdrange/count?min=0.2,0.2&max=0.7,0.7")
+	if kdr["count"].(float64) != kdrc["count"].(float64) {
+		t.Errorf("/kdrange count %v != /kdrange/count %v", kdr["count"], kdrc["count"])
+	}
+	sum := getJSON(t, h, "/range/sum?xl=0&xr=1&yb=0&yt=1")
+	if sum["sum_y"].(float64) <= 0 {
+		t.Errorf("/range/sum over the full square = %v, want > 0", sum["sum_y"])
+	}
+	for _, path := range []string{"/query3sided/count?xl=z", "/range/sum?xl=0", "/kdrange/count?min=1&max=2,3"} {
+		if code, _ := get(t, h, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestBatchCheckpointMidStream checkpoints a server mid-way through a stream
+// of mixed batches and asserts the replica restored from that checkpoint
+// continues the stream bit-identically: the remaining batches and all
+// follow-up reads return byte-for-byte the same bodies. This is the
+// serving-layer face of the determinism contract — a checkpoint lands only
+// between batches (hence between epochs), never inside one.
+func TestBatchCheckpointMidStream(t *testing.T) {
+	ctx := context.Background()
+	s1 := bootTestServer(t, Config{})
+	h1 := s1.Handler()
+
+	// Stream part 1: mutations that must be captured by the checkpoint.
+	batchA := `{"structure":"interval","ops":[
+		{"op":"insert","left":3.0,"right":3.2,"id":501},
+		{"op":"insert","left":3.1,"right":3.3,"id":502},
+		{"op":"stab","q":3.15},
+		{"op":"delete","left":3.0,"right":3.2,"id":501},
+		{"op":"stab","q":3.15}]}`
+	postJSON(t, h1, "/batch", batchA)
+	postJSON(t, h1, "/batch", `{"structure":"range","ops":[
+		{"op":"insert","x":3,"y":3,"id":601},{"op":"insert","x":3.1,"y":3.1,"id":602}]}`)
+	postJSON(t, h1, "/batch", `{"structure":"kd","ops":[
+		{"op":"insert","p":[3,3],"id":701},{"op":"delete","p":[3,3],"id":701},
+		{"op":"insert","p":[3.5,3.5],"id":702}]}`)
+
+	// Mid-stream checkpoint.
+	path := filepath.Join(t.TempDir(), "midstream.ckpt")
+	if err := s1.SaveCheckpoint(ctx, path); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	s2, err := Boot(ctx, Config{RestorePath: path, MaxWait: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatalf("Boot from checkpoint: %v", err)
+	}
+	defer s2.Close()
+	h2 := s2.Handler()
+
+	// Stream part 2, replayed on both the original and the replica: every
+	// response must match byte for byte.
+	batchB := `{"structure":"interval","ops":[
+		{"op":"stab","q":3.15},
+		{"op":"insert","left":3.1,"right":3.4,"id":503},
+		{"op":"stab","q":3.15},
+		{"op":"delete","left":3.1,"right":3.3,"id":502},
+		{"op":"stab","q":3.15}]}`
+	for i, body := range []string{
+		batchB,
+		`{"structure":"range","ops":[{"op":"query","xl":2,"xr":4,"yb":2,"yt":4},{"op":"delete","x":3,"y":3,"id":601},{"op":"query","xl":2,"xr":4,"yb":2,"yt":4}]}`,
+		`{"structure":"kd","ops":[{"op":"range","min":[2,2],"max":[4,4]},{"op":"insert","p":[3.6,3.6],"id":703},{"op":"range","min":[2,2],"max":[4,4]}]}`,
+	} {
+		_, b1 := post(t, h1, "/batch", body)
+		_, b2 := post(t, h2, "/batch", body)
+		if b1 != b2 {
+			t.Errorf("batch %d diverges after restore:\n  original: %s\n  replica:  %s", i, b1, b2)
+		}
+	}
+	for _, path := range []string{
+		"/stab?q=3.15",
+		"/range?xl=2&xr=4&yb=2&yt=4",
+		"/range/sum?xl=2&xr=4&yb=2&yt=4",
+		"/kdrange?min=2,2&max=4,4",
+		"/kdrange/count?min=2,2&max=4,4",
+		"/query3sided/count?xl=0.1&xr=0.9&yb=0.2",
+		fmt.Sprintf("/stab/count?q=%.2f", 0.5),
+	} {
+		_, b1 := get(t, h1, path)
+		_, b2 := get(t, h2, path)
+		if b1 != b2 {
+			t.Errorf("GET %s diverges after restore:\n  original: %s\n  replica:  %s", path, b1, b2)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// RestorePath boots the structures from a checkpoint file instead of
 	// building them from generated data.
 	RestorePath string
+	// CheckpointPath, when set, enables POST /checkpoint: the daemon
+	// re-saves its structures to this path on demand. The save runs under
+	// the Engine's run lock, so it lands between batches (hence between
+	// mixed-op epochs), never inside one.
+	CheckpointPath string
 	// KMax caps the k accepted by /knn (default 128); each distinct k gets
 	// its own coalescer, so the cap bounds daemon memory.
 	KMax int
@@ -79,9 +84,15 @@ type Server struct {
 	stab      *coalesce.Coalescer[float64, wegeom.Interval]
 	stabCount *coalesce.Coalescer[float64, int64]
 	q3        *coalesce.Coalescer[wegeom.PSTQuery, wegeom.PSTPoint]
+	q3count   *coalesce.Coalescer[wegeom.PSTQuery, int64]
 	rng       *coalesce.Coalescer[wegeom.RTQuery, wegeom.RTPoint]
+	rngSum    *coalesce.Coalescer[wegeom.RTQuery, float64]
 	kdr       *coalesce.Coalescer[wegeom.KBox, wegeom.KDItem]
+	kdrCount  *coalesce.Coalescer[wegeom.KBox, int64]
 	locate    *coalesce.Coalescer[wegeom.Point, int32]
+	mixedIv   *coalesce.Coalescer[wegeom.IntervalOp, wegeom.Interval]
+	mixedRT   *coalesce.Coalescer[wegeom.RTOp, wegeom.RTPoint]
+	mixedKD   *coalesce.Coalescer[wegeom.KDOp, wegeom.KDItem]
 	knnMu     sync.Mutex
 	knn       map[int]*coalesce.Coalescer[wegeom.KPoint, wegeom.KDItem]
 
@@ -180,6 +191,7 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		}
 		return out, nil
 	}, s.copts)
+	s.initExtra()
 	return s, nil
 }
 
@@ -320,7 +332,8 @@ func (s *Server) Totals() (map[string]wegeom.Snapshot, wegeom.Snapshot) {
 // CoalesceStats merges every coalescer's counters into one Stats.
 func (s *Server) CoalesceStats() coalesce.Stats {
 	cs := []interface{ Stats() coalesce.Stats }{
-		s.stab, s.stabCount, s.q3, s.rng, s.kdr, s.locate,
+		s.stab, s.stabCount, s.q3, s.q3count, s.rng, s.rngSum,
+		s.kdr, s.kdrCount, s.locate, s.mixedIv, s.mixedRT, s.mixedKD,
 	}
 	s.knnMu.Lock()
 	for _, c := range s.knn {
@@ -379,9 +392,15 @@ func (s *Server) Close() {
 	s.stab.Close()
 	s.stabCount.Close()
 	s.q3.Close()
+	s.q3count.Close()
 	s.rng.Close()
+	s.rngSum.Close()
 	s.kdr.Close()
+	s.kdrCount.Close()
 	s.locate.Close()
+	s.mixedIv.Close()
+	s.mixedRT.Close()
+	s.mixedKD.Close()
 	s.knnMu.Lock()
 	knns := s.knn
 	s.knn = nil
@@ -401,10 +420,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stab", s.handleStab)
 	mux.HandleFunc("/stab/count", s.handleStabCount)
 	mux.HandleFunc("/query3sided", s.handleQuery3Sided)
+	mux.HandleFunc("/query3sided/count", s.handleQuery3SidedCount)
 	mux.HandleFunc("/range", s.handleRange)
+	mux.HandleFunc("/range/sum", s.handleRangeSum)
 	mux.HandleFunc("/knn", s.handleKNN)
 	mux.HandleFunc("/kdrange", s.handleKDRange)
+	mux.HandleFunc("/kdrange/count", s.handleKDRangeCount)
 	mux.HandleFunc("/locate", s.handleLocate)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux

@@ -213,16 +213,23 @@ func (t *Tree[K]) WithValues(value func(K) float64) *Tree[K] {
 // SumRange returns Σ value(k) over lo ≤ k < hi in O(log n) expected reads.
 // Panics if the tree was not built WithValues.
 func (t *Tree[K]) SumRange(lo, hi K) float64 {
+	return t.SumRangeH(lo, hi, t.meter)
+}
+
+// SumRangeH is SumRange charging the caller's handle wk instead of the
+// tree's own meter, for batched aggregate queries whose traversal reads
+// must land on worker-local shards.
+func (t *Tree[K]) SumRangeH(lo, hi K, wk asymmem.Worker) float64 {
 	if t.st.value == nil {
 		panic("treap: SumRange without WithValues")
 	}
-	return t.sumLess(t.root, hi) - t.sumLess(t.root, lo)
+	return t.sumLessH(t.root, hi, wk) - t.sumLessH(t.root, lo, wk)
 }
 
-func (t *Tree[K]) sumLess(h uint32, k K) float64 {
+func (t *Tree[K]) sumLessH(h uint32, k K, wk asymmem.Worker) float64 {
 	s := 0.0
 	for h != alloc.Nil {
-		t.meter.Read()
+		wk.Read()
 		n := t.nd(h)
 		if t.st.less(n.key, k) {
 			s += t.st.value(n.key) + t.sum(n.left)

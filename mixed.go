@@ -1,0 +1,105 @@
+package wegeom
+
+import (
+	"context"
+
+	"repro/internal/config"
+	"repro/internal/mbatch"
+)
+
+// This file is the Engine surface of the mixed-batch layer
+// (internal/mbatch): one slice of tagged query/insert/delete ops per
+// structure, executed under a deterministic epoch serialization. Ops are
+// grouped into maximal same-kind runs in arrival order; update runs apply
+// through the structures' bulk paths (BulkInsert/BulkDelete) and query runs
+// answer through the same qbatch packing the read-only batches use. Results
+// and counted model costs are a pure function of the batch at any
+// WithParallelism, and each query's result set matches a sequential
+// one-op-at-a-time replay of the same batch.
+//
+// The returned Report records "mbatch/<structure>/sort", one
+// "mbatch/<structure>/apply" per update epoch, and per query epoch the
+// packing pair "mbatch/<structure>/query/{count,write}" (repeated names sum
+// in PhaseTotals). Cancellation is polled between epochs; a cancelled batch
+// returns ctx.Err() with the tree left after the last fully applied epoch.
+
+// MixedKind tags one op in a mixed batch.
+type MixedKind = mbatch.Kind
+
+// Mixed-batch op kinds: a query answered between updates, or an update
+// applied through the structure's bulk path.
+const (
+	OpQuery  = mbatch.OpQuery
+	OpInsert = mbatch.OpInsert
+	OpDelete = mbatch.OpDelete
+)
+
+// IntervalOp is one interval-tree mixed op: a stabbing query (Qry) or an
+// interval insert/delete (Upd).
+type IntervalOp = mbatch.Op[Interval, float64]
+
+// RTOp is one range-tree mixed op: a rectangle query (Qry) or a point
+// insert/delete (Upd).
+type RTOp = mbatch.Op[RTPoint, RTQuery]
+
+// KDOp is one k-d tree mixed op: an orthogonal range query (Qry) or an item
+// insert/delete (Upd).
+type KDOp = mbatch.Op[KDItem, KBox]
+
+// IntervalMixed is an interval-tree mixed batch's outcome: ResultsAt(i)
+// gives op i's stabbed intervals (queries only).
+type IntervalMixed = mbatch.Result[Interval]
+
+// RTMixed is a range-tree mixed batch's outcome.
+type RTMixed = mbatch.Result[RTPoint]
+
+// KDMixed is a k-d tree mixed batch's outcome.
+type KDMixed = mbatch.Result[KDItem]
+
+// StabOp returns a stabbing-query op for an interval mixed batch.
+func StabOp(q float64) IntervalOp { return IntervalOp{Kind: OpQuery, Qry: q} }
+
+// InsertIntervalOp returns an insert op for an interval mixed batch.
+func InsertIntervalOp(iv Interval) IntervalOp { return IntervalOp{Kind: OpInsert, Upd: iv} }
+
+// DeleteIntervalOp returns a delete op for an interval mixed batch.
+func DeleteIntervalOp(iv Interval) IntervalOp { return IntervalOp{Kind: OpDelete, Upd: iv} }
+
+// runMixed stamps a mixed batch's dimensions on the uniform Report
+// (methods cannot be generic, hence the package-level shape).
+func runMixed[U, Q, R any](e *Engine, ctx context.Context, op string, ops []mbatch.Op[U, Q], f func(cfg config.Config) (*mbatch.Result[R], error)) (*mbatch.Result[R], *Report, error) {
+	var out *mbatch.Result[R]
+	rep, err := e.run(ctx, op, func(cfg config.Config) error {
+		var ferr error
+		out, ferr = f(cfg)
+		return ferr
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Queries = out.Queries
+	rep.Results = out.Packed.Total()
+	return out, rep, nil
+}
+
+// IntervalMixedBatch executes one interleaved slice of stab/insert/delete
+// ops on t. See the package comment above for the serialization, charging,
+// and determinism contract.
+func (e *Engine) IntervalMixedBatch(ctx context.Context, t *IntervalTree, ops []IntervalOp) (*IntervalMixed, *Report, error) {
+	return runMixed(e, ctx, "interval-mixed-batch", ops,
+		func(cfg config.Config) (*IntervalMixed, error) { return t.MixedBatch(ops, cfg) })
+}
+
+// RangeTreeMixedBatch executes one interleaved slice of rectangle-query/
+// insert/delete ops on t.
+func (e *Engine) RangeTreeMixedBatch(ctx context.Context, t *RangeTree, ops []RTOp) (*RTMixed, *Report, error) {
+	return runMixed(e, ctx, "rangetree-mixed-batch", ops,
+		func(cfg config.Config) (*RTMixed, error) { return t.MixedBatch(ops, cfg) })
+}
+
+// KDMixedBatch executes one interleaved slice of range-query/insert/delete
+// ops on t.
+func (e *Engine) KDMixedBatch(ctx context.Context, t *KDTree, ops []KDOp) (*KDMixed, *Report, error) {
+	return runMixed(e, ctx, "kd-mixed-batch", ops,
+		func(cfg config.Config) (*KDMixed, error) { return t.MixedBatch(ops, cfg) })
+}
