@@ -50,7 +50,7 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
-	scaling := flag.Bool("scaling", false, "run the strong-scaling sweep (Delaunay/wesort/kdtree/interval/pst/rangetree/radixsort/semisort/tournament builds, the alloc arena build+churn workload, plus stab-batch/range-query-batch/knn-batch query serving at P = 1, 2, 4, ...) and exit")
+	scaling := flag.Bool("scaling", false, "run the strong-scaling sweep (Delaunay/wesort/kdtree/interval/pst/rangetree/radixsort/semisort/tournament builds, the alloc arena build+churn workload, stab-batch/range-query-batch/knn-batch query serving, and the sharded shard-build-n{1,2,4,8} / shard-stab-batch-n4 scatter-gather workloads, at P = 1, 2, 4, ...) and exit")
 	scalingOut := flag.String("scaling-out", "BENCH_scaling.json", "output path for the -scaling JSON report")
 	scalingMaxP := flag.Int("scaling-maxp", 0, "largest worker-pool size for -scaling (0 = GOMAXPROCS)")
 	scalingReps := flag.Int("scaling-reps", 3, "repetitions per (workload, P) point in -scaling; best is kept")

@@ -11,6 +11,7 @@ import (
 	wegeom "repro"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/shard"
 )
 
 // The -scaling mode measures wall-clock strong scaling of the parallel
@@ -206,6 +207,40 @@ func runScaling(out string, maxP, reps int) error {
 			return rep, err
 		}},
 	}
+	// Sharded build workloads: the same interval input split across N
+	// engines behind the scatter-gather router, per-shard constructions
+	// overlapping under the shared pool. N=1 prices the router's overhead
+	// against the plain "interval" build above.
+	for _, nsh := range []int{1, 2, 4, 8} {
+		nsh := nsh
+		workloads = append(workloads, struct {
+			name string
+			n    int
+			run  func(p int) (*wegeom.Report, error)
+		}{fmt.Sprintf("shard-build-n%d", nsh), nTree, func(p int) (*wegeom.Report, error) {
+			return shard.New(shard.Options{Shards: nsh, Parallelism: p}).BuildIntervalTree(ctx, ivs)
+		}})
+	}
+	// Sharded serving workload: stab batches scatter-gathered across 4
+	// prebuilt shard engines (built once per P on the first rep; best-of-reps
+	// keeps the build out of the reported wall time).
+	shardServe := map[int]*shard.Engine{}
+	workloads = append(workloads, struct {
+		name string
+		n    int
+		run  func(p int) (*wegeom.Report, error)
+	}{"shard-stab-batch-n4", nQBatch, func(p int) (*wegeom.Report, error) {
+		se, ok := shardServe[p]
+		if !ok {
+			se = shard.New(shard.Options{Shards: 4, Parallelism: p})
+			if _, err := se.BuildIntervalTree(ctx, ivs); err != nil {
+				return nil, err
+			}
+			shardServe[p] = se
+		}
+		_, rep, err := se.StabBatch(ctx, stabQs)
+		return rep, err
+	}})
 
 	cpus := runtime.NumCPU()
 	report := scalingReport{

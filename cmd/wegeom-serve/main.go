@@ -10,6 +10,14 @@
 //	go run ./cmd/wegeom-serve -addr :8080 -n 20000
 //	go run ./cmd/wegeom-serve -restore serve.ckpt           # boot a replica
 //	go run ./cmd/wegeom-serve -checkpoint serve.ckpt        # save after boot
+//	go run ./cmd/wegeom-serve -shards 4                     # scatter-gather scale-out
+//	go run ./cmd/wegeom-serve -shards 4 -shard-scheme kdmedian
+//
+// With -shards N > 1 the four partitioned structures split across N
+// independent engines behind internal/shard's scatter-gather router (the
+// Delaunay DAG stays on the daemon's engine); /metrics grows per-shard
+// model-cost labels, and checkpoints save/restore every shard (a restored
+// daemon adopts the file's shard count).
 //
 // Read endpoints: /stab, /stab/count, /query3sided, /query3sided/count,
 // /range, /range/sum, /knn, /kdrange, /kdrange/count, /locate, /healthz,
@@ -55,6 +63,8 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush timeout")
 	restore := flag.String("restore", "", "boot from this checkpoint file instead of building")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint of the booted structures to this path, then serve (also enables POST /checkpoint re-saves)")
+	shards := flag.Int("shards", 1, "shard the partitioned structures across this many engines behind the scatter-gather router (1 = single engine; a restored checkpoint's shard count wins)")
+	shardScheme := flag.String("shard-scheme", "grid", "spatial partitioner for -shards > 1: grid or kdmedian")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -70,6 +80,8 @@ func main() {
 		MaxWait:        *maxWait,
 		RestorePath:    *restore,
 		CheckpointPath: *checkpoint,
+		Shards:         *shards,
+		ShardScheme:    *shardScheme,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -80,8 +92,12 @@ func main() {
 	if *restore != "" {
 		how = "restored"
 	}
-	fmt.Printf("wegeom-serve: structures %s in %s (model: %d reads, %d writes)\n",
-		how, time.Since(boot).Round(time.Millisecond), total.Reads, total.Writes)
+	sharded := ""
+	if sh := s.Sharded(); sh != nil {
+		sharded = fmt.Sprintf(" across %d shards [%s]", sh.Shards(), sh.Scheme())
+	}
+	fmt.Printf("wegeom-serve: structures %s%s in %s (model: %d reads, %d writes)\n",
+		how, sharded, time.Since(boot).Round(time.Millisecond), total.Reads, total.Writes)
 
 	if *checkpoint != "" {
 		if err := s.SaveCheckpoint(ctx, *checkpoint); err != nil {

@@ -212,6 +212,31 @@ func (t *Tree) settle(lh uint32, depth, p int, depthOf map[int32]int) {
 		t.stats.MaxOverflow = len(leaf.items)
 	}
 	items := leaf.items
+	// Compact tombstones away first: the split rebuilds the leaf's
+	// contents with fresh (all-live) child masks, so keeping dead items
+	// here would resurrect them.
+	for _, w := range leaf.deadBits {
+		if w == 0 {
+			continue
+		}
+		live := make([]Item, 0, len(items))
+		for i := range items {
+			if !leaf.isDead(i) {
+				live = append(live, items[i])
+			}
+		}
+		t.dead -= len(items) - len(live)
+		items = live
+		break
+	}
+	if len(items) <= p {
+		// Compaction alone brought the buffer back under the leaf budget.
+		t.meter.ReadN(len(leaf.items))
+		leaf.items = items
+		leaf.deadBits = make([]uint64, deadBitsLen(len(items)))
+		t.meter.WriteN(len(items))
+		return
+	}
 	axis := depth % t.dims
 	mid := len(items) / 2
 	if t.sah {

@@ -1,0 +1,84 @@
+package qbatch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConcatZeroParts: concatenating nothing is the empty batch — zero
+// queries, zero results, and a well-formed Off (a single 0), so callers
+// can index it like any other Packed.
+func TestConcatZeroParts(t *testing.T) {
+	out := Concat[int](nil)
+	if out.Queries() != 0 {
+		t.Errorf("Queries() = %d, want 0", out.Queries())
+	}
+	if out.Total() != 0 {
+		t.Errorf("Total() = %d, want 0", out.Total())
+	}
+	if !reflect.DeepEqual(out.Off, []int64{0}) {
+		t.Errorf("Off = %v, want [0]", out.Off)
+	}
+}
+
+// TestConcatSinglePart: a single part passes through untouched — same
+// pointer, no copy, no recharging.
+func TestConcatSinglePart(t *testing.T) {
+	p := &Packed[int]{Items: []int{7, 8, 9}, Off: []int64{0, 2, 3}}
+	out := Concat([]*Packed[int]{p})
+	if out != p {
+		t.Fatalf("Concat of one part returned a new Packed (%p != %p)", out, p)
+	}
+}
+
+// TestConcatAllEmptyResults: parts whose queries all reported nothing
+// concatenate into all-zero offsets with the query count preserved.
+func TestConcatAllEmptyResults(t *testing.T) {
+	parts := []*Packed[int]{
+		{Items: nil, Off: []int64{0, 0, 0}}, // 2 queries, 0 results
+		{Items: nil, Off: []int64{0}},       // 0 queries
+		{Items: nil, Off: []int64{0, 0}},    // 1 query, 0 results
+	}
+	out := Concat(parts)
+	if out.Queries() != 3 {
+		t.Errorf("Queries() = %d, want 3", out.Queries())
+	}
+	if out.Total() != 0 {
+		t.Errorf("Total() = %d, want 0", out.Total())
+	}
+	if !reflect.DeepEqual(out.Off, []int64{0, 0, 0, 0}) {
+		t.Errorf("Off = %v, want [0 0 0 0]", out.Off)
+	}
+	for i := 0; i < out.Queries(); i++ {
+		if len(out.Results(i)) != 0 {
+			t.Errorf("Results(%d) = %v, want empty", i, out.Results(i))
+		}
+	}
+}
+
+// TestConcatStitch: offsets rebase part by part and every query's slice
+// survives the stitch — the invariant the shard router's arrival-order
+// gather leans on.
+func TestConcatStitch(t *testing.T) {
+	parts := []*Packed[int]{
+		{Items: []int{1, 2}, Off: []int64{0, 1, 2}},
+		{Items: nil, Off: []int64{0, 0}},
+		{Items: []int{3, 4, 5}, Off: []int64{0, 3}},
+	}
+	out := Concat(parts)
+	if out.Queries() != 4 || out.Total() != 5 {
+		t.Fatalf("got %d queries/%d results, want 4/5", out.Queries(), out.Total())
+	}
+	want := [][]int{{1}, {2}, {}, {3, 4, 5}}
+	for i, w := range want {
+		got := out.Results(i)
+		if len(got) != len(w) {
+			t.Fatalf("Results(%d) = %v, want %v", i, got, w)
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("Results(%d) = %v, want %v", i, got, w)
+			}
+		}
+	}
+}

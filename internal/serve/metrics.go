@@ -85,6 +85,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE wegeom_model_total_writes counter\n")
 	fmt.Fprintf(&b, "wegeom_model_total_writes %d\n", total.Writes)
 
+	if s.sh != nil {
+		b.WriteString("# HELP wegeom_shards Shard engines behind the scatter-gather router.\n")
+		b.WriteString("# TYPE wegeom_shards gauge\n")
+		fmt.Fprintf(&b, "wegeom_shards %d\n", s.sh.Shards())
+		per, router := s.sh.PerShardTotals()
+		b.WriteString("# HELP wegeom_shard_model_reads_total Simulated reads charged per shard engine (shard=\"router\" is the scatter-gather plan).\n")
+		b.WriteString("# TYPE wegeom_shard_model_reads_total counter\n")
+		for sid, snap := range per {
+			fmt.Fprintf(&b, "wegeom_shard_model_reads_total{shard=\"%d\"} %d\n", sid, snap.Reads)
+		}
+		fmt.Fprintf(&b, "wegeom_shard_model_reads_total{shard=\"router\"} %d\n", router.Reads)
+		b.WriteString("# HELP wegeom_shard_model_writes_total Simulated writes charged per shard engine (shard=\"router\" is the scatter-gather plan).\n")
+		b.WriteString("# TYPE wegeom_shard_model_writes_total counter\n")
+		for sid, snap := range per {
+			fmt.Fprintf(&b, "wegeom_shard_model_writes_total{shard=\"%d\"} %d\n", sid, snap.Writes)
+		}
+		fmt.Fprintf(&b, "wegeom_shard_model_writes_total{shard=\"router\"} %d\n", router.Writes)
+	}
+
 	cs := s.CoalesceStats()
 	b.WriteString("# HELP wegeom_coalesce_flushes_total Coalesced-batch flushes, by trigger.\n")
 	b.WriteString("# TYPE wegeom_coalesce_flushes_total counter\n")

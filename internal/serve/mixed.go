@@ -35,7 +35,7 @@ func (d mixedDemux[R]) Results(i int) []R {
 // three remaining zero-write count/aggregate batches.
 func (s *Server) initExtra() {
 	s.q3count = coalesce.New(func(ctx context.Context, qs []wegeom.PSTQuery) (coalesce.Demux[int64], error) {
-		out, rep, err := s.eng.Count3SidedBatch(ctx, s.ck.Priority, qs)
+		out, rep, err := s.count3SidedBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -43,7 +43,7 @@ func (s *Server) initExtra() {
 		return coalesce.Slice[int64](out), nil
 	}, s.copts)
 	s.rngSum = coalesce.New(func(ctx context.Context, qs []wegeom.RTQuery) (coalesce.Demux[float64], error) {
-		out, rep, err := s.eng.SumYBatch(ctx, s.ck.Range, qs)
+		out, rep, err := s.sumYBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -51,7 +51,7 @@ func (s *Server) initExtra() {
 		return coalesce.Slice[float64](out), nil
 	}, s.copts)
 	s.kdrCount = coalesce.New(func(ctx context.Context, boxes []wegeom.KBox) (coalesce.Demux[int64], error) {
-		out, rep, err := s.eng.KDRangeCountBatch(ctx, s.ck.KD, boxes)
+		out, rep, err := s.kdRangeCountBatch(ctx, boxes)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -59,7 +59,7 @@ func (s *Server) initExtra() {
 		return coalesce.Slice[int64](out), nil
 	}, s.copts)
 	s.mixedIv = coalesce.New(func(ctx context.Context, ops []wegeom.IntervalOp) (coalesce.Demux[wegeom.Interval], error) {
-		out, rep, err := s.eng.IntervalMixedBatch(ctx, s.ck.Interval, ops)
+		out, rep, err := s.intervalMixedBatch(ctx, ops)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -67,7 +67,7 @@ func (s *Server) initExtra() {
 		return mixedDemux[wegeom.Interval]{out}, nil
 	}, s.copts)
 	s.mixedRT = coalesce.New(func(ctx context.Context, ops []wegeom.RTOp) (coalesce.Demux[wegeom.RTPoint], error) {
-		out, rep, err := s.eng.RangeTreeMixedBatch(ctx, s.ck.Range, ops)
+		out, rep, err := s.rangeTreeMixedBatch(ctx, ops)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -75,7 +75,7 @@ func (s *Server) initExtra() {
 		return mixedDemux[wegeom.RTPoint]{out}, nil
 	}, s.copts)
 	s.mixedKD = coalesce.New(func(ctx context.Context, ops []wegeom.KDOp) (coalesce.Demux[wegeom.KDItem], error) {
-		out, rep, err := s.eng.KDMixedBatch(ctx, s.ck.KD, ops)
+		out, rep, err := s.kdMixedBatch(ctx, ops)
 		s.observe(rep)
 		if err != nil {
 			return nil, err

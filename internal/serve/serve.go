@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"repro"
 	"repro/internal/coalesce"
 	"repro/internal/gen"
+	"repro/internal/shard"
 )
 
 // Config tunes one server.
@@ -54,6 +56,14 @@ type Config struct {
 	// KMax caps the k accepted by /knn (default 128); each distinct k gets
 	// its own coalescer, so the cap bounds daemon memory.
 	KMax int
+	// Shards, when > 1, scales the four partitioned structures out across
+	// that many independent engines behind internal/shard's scatter-gather
+	// router (the Delaunay DAG stays on the daemon's own engine). When
+	// restoring, the checkpoint's shard count wins.
+	Shards int
+	// ShardScheme picks the spatial partitioner: "grid" (default) or
+	// "kdmedian".
+	ShardScheme string
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +87,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	eng   *wegeom.Engine
+	sh    *shard.Engine // non-nil iff serving sharded
 	ck    *wegeom.Checkpoint
 	start time.Time
 
@@ -136,15 +147,23 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		requests:     make(map[string]int64),
 		requestErrs:  make(map[string]int64),
 	}
+	scheme, err := shard.ParseScheme(cfg.ShardScheme)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	if cfg.RestorePath != "" {
 		if err := s.restore(ctx, cfg.RestorePath); err != nil {
+			return nil, err
+		}
+	} else if cfg.Shards > 1 {
+		if err := s.buildSharded(ctx, scheme); err != nil {
 			return nil, err
 		}
 	} else if err := s.build(ctx); err != nil {
 		return nil, err
 	}
 	s.stab = coalesce.New(func(ctx context.Context, qs []float64) (coalesce.Demux[wegeom.Interval], error) {
-		out, rep, err := s.eng.StabBatch(ctx, s.ck.Interval, qs)
+		out, rep, err := s.stabBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -152,7 +171,7 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		return out, nil
 	}, s.copts)
 	s.stabCount = coalesce.New(func(ctx context.Context, qs []float64) (coalesce.Demux[int64], error) {
-		out, rep, err := s.eng.StabCountBatch(ctx, s.ck.Interval, qs)
+		out, rep, err := s.stabCountBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -160,7 +179,7 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		return coalesce.Slice[int64](out), nil
 	}, s.copts)
 	s.q3 = coalesce.New(func(ctx context.Context, qs []wegeom.PSTQuery) (coalesce.Demux[wegeom.PSTPoint], error) {
-		out, rep, err := s.eng.Query3SidedBatch(ctx, s.ck.Priority, qs)
+		out, rep, err := s.query3SidedBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -168,7 +187,7 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		return out, nil
 	}, s.copts)
 	s.rng = coalesce.New(func(ctx context.Context, qs []wegeom.RTQuery) (coalesce.Demux[wegeom.RTPoint], error) {
-		out, rep, err := s.eng.RangeQueryBatch(ctx, s.ck.Range, qs)
+		out, rep, err := s.rangeQueryBatch(ctx, qs)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -176,7 +195,7 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 		return out, nil
 	}, s.copts)
 	s.kdr = coalesce.New(func(ctx context.Context, boxes []wegeom.KBox) (coalesce.Demux[wegeom.KDItem], error) {
-		out, rep, err := s.eng.KDRangeBatch(ctx, s.ck.KD, boxes)
+		out, rep, err := s.kdRangeBatch(ctx, boxes)
 		s.observe(rep)
 		if err != nil {
 			return nil, err
@@ -246,14 +265,18 @@ func (s *Server) build(ctx context.Context) error {
 	return nil
 }
 
-// restore boots the structures from a checkpoint file.
+// restore boots the structures from a checkpoint file, sniffing whether
+// the container is a sharded or single-engine snapshot so a daemon can
+// restore either regardless of its own -shards flag.
 func (s *Server) restore(ctx context.Context, path string) error {
-	f, err := os.Open(path)
+	data, err := readCheckpointFile(path)
 	if err != nil {
-		return fmt.Errorf("serve: restore: %w", err)
+		return err
 	}
-	defer f.Close()
-	ck, rep, err := s.eng.LoadCheckpoint(ctx, f)
+	if shard.IsSharded(data) {
+		return s.restoreSharded(ctx, path, data)
+	}
+	ck, rep, err := s.eng.LoadCheckpoint(ctx, bytes.NewReader(data))
 	s.observe(rep)
 	if err != nil {
 		return fmt.Errorf("serve: restore %s: %w", path, err)
@@ -273,7 +296,12 @@ func (s *Server) SaveCheckpoint(ctx context.Context, path string) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	rep, err := s.eng.SaveCheckpoint(ctx, tmp, s.ck)
+	var rep *wegeom.Report
+	if s.sh != nil {
+		rep, err = s.sh.SaveCheckpoint(ctx, tmp, s.ck)
+	} else {
+		rep, err = s.eng.SaveCheckpoint(ctx, tmp, s.ck)
+	}
 	s.observe(rep)
 	if err != nil {
 		tmp.Close()
@@ -367,7 +395,7 @@ func (s *Server) knnFor(k int) *coalesce.Coalescer[wegeom.KPoint, wegeom.KDItem]
 	c, ok := s.knn[k]
 	if !ok {
 		c = coalesce.New(func(ctx context.Context, qs []wegeom.KPoint) (coalesce.Demux[wegeom.KDItem], error) {
-			out, rep, err := s.eng.KNNBatch(ctx, s.ck.KD, qs, k)
+			out, rep, err := s.knnBatch(ctx, qs, k)
 			s.observe(rep)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/shard"
+)
+
+// Sharded scale-out: with Config.Shards > 1 the daemon routes the four
+// partitioned structures (interval, pst, range, kd) through a
+// shard.Engine — N independent engines behind a scatter-gather router —
+// while the Delaunay DAG (not spatially partitioned) stays on the
+// daemon's own engine. Every coalescer runner dispatches through the
+// s.xxxBatch methods below, so the HTTP surface, the coalescing layer,
+// and the metrics reconciliation are identical in both modes; /metrics
+// additionally labels per-shard model totals when sharding is on.
+
+// Sharded reports the shard engine when sharding is enabled (nil
+// otherwise).
+func (s *Server) Sharded() *shard.Engine { return s.sh }
+
+func (s *Server) stabBatch(ctx context.Context, qs []float64) (*wegeom.IntervalBatch, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.StabBatch(ctx, qs)
+	}
+	return s.eng.StabBatch(ctx, s.ck.Interval, qs)
+}
+
+func (s *Server) stabCountBatch(ctx context.Context, qs []float64) ([]int64, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.StabCountBatch(ctx, qs)
+	}
+	return s.eng.StabCountBatch(ctx, s.ck.Interval, qs)
+}
+
+func (s *Server) query3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) (*wegeom.PSTBatch, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.Query3SidedBatch(ctx, qs)
+	}
+	return s.eng.Query3SidedBatch(ctx, s.ck.Priority, qs)
+}
+
+func (s *Server) count3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) ([]int64, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.Count3SidedBatch(ctx, qs)
+	}
+	return s.eng.Count3SidedBatch(ctx, s.ck.Priority, qs)
+}
+
+func (s *Server) rangeQueryBatch(ctx context.Context, qs []wegeom.RTQuery) (*wegeom.RTBatch, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.RangeQueryBatch(ctx, qs)
+	}
+	return s.eng.RangeQueryBatch(ctx, s.ck.Range, qs)
+}
+
+func (s *Server) sumYBatch(ctx context.Context, qs []wegeom.RTQuery) ([]float64, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.SumYBatch(ctx, qs)
+	}
+	return s.eng.SumYBatch(ctx, s.ck.Range, qs)
+}
+
+func (s *Server) kdRangeBatch(ctx context.Context, boxes []wegeom.KBox) (*wegeom.KDBatch, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.KDRangeBatch(ctx, boxes)
+	}
+	return s.eng.KDRangeBatch(ctx, s.ck.KD, boxes)
+}
+
+func (s *Server) kdRangeCountBatch(ctx context.Context, boxes []wegeom.KBox) ([]int64, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.KDRangeCountBatch(ctx, boxes)
+	}
+	return s.eng.KDRangeCountBatch(ctx, s.ck.KD, boxes)
+}
+
+func (s *Server) knnBatch(ctx context.Context, qs []wegeom.KPoint, k int) (*wegeom.KDBatch, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.KNNBatch(ctx, qs, k)
+	}
+	return s.eng.KNNBatch(ctx, s.ck.KD, qs, k)
+}
+
+func (s *Server) intervalMixedBatch(ctx context.Context, ops []wegeom.IntervalOp) (*wegeom.IntervalMixed, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.IntervalMixedBatch(ctx, ops)
+	}
+	return s.eng.IntervalMixedBatch(ctx, s.ck.Interval, ops)
+}
+
+func (s *Server) rangeTreeMixedBatch(ctx context.Context, ops []wegeom.RTOp) (*wegeom.RTMixed, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.RangeTreeMixedBatch(ctx, ops)
+	}
+	return s.eng.RangeTreeMixedBatch(ctx, s.ck.Range, ops)
+}
+
+func (s *Server) kdMixedBatch(ctx context.Context, ops []wegeom.KDOp) (*wegeom.KDMixed, *wegeom.Report, error) {
+	if s.sh != nil {
+		return s.sh.KDMixedBatch(ctx, ops)
+	}
+	return s.eng.KDMixedBatch(ctx, s.ck.KD, ops)
+}
+
+// buildSharded is build()'s Shards > 1 counterpart: same generated data,
+// same seeds, but the four partitioned structures build on the shard
+// engine (per-shard construction overlapping across engines). The
+// Delaunay DAG builds on the daemon's engine as usual and s.ck keeps only
+// that global structure.
+func (s *Server) buildSharded(ctx context.Context, scheme shard.Scheme) error {
+	cfg := s.cfg
+	s.sh = shard.New(shard.Options{
+		Shards:      cfg.Shards,
+		Scheme:      scheme,
+		Parallelism: cfg.Parallelism,
+		Omega:       cfg.Omega,
+		Alpha:       cfg.Alpha,
+		Seed:        cfg.Seed,
+	})
+	givs := gen.UniformIntervals(cfg.N, 10.0/float64(cfg.N), cfg.Seed+1)
+	ivs := make([]wegeom.Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = wegeom.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	rep, err := s.sh.BuildIntervalTree(ctx, ivs)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: build sharded interval tree: %w", err)
+	}
+	xs := gen.UniformFloats(cfg.N, cfg.Seed+2)
+	ys := gen.UniformFloats(cfg.N, cfg.Seed+3)
+	ppts := make([]wegeom.PSTPoint, cfg.N)
+	rpts := make([]wegeom.RTPoint, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ppts[i] = wegeom.PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+		rpts[i] = wegeom.RTPoint{X: xs[i], Y: ys[i], ID: int32(i)}
+	}
+	rep, err = s.sh.BuildPriorityTree(ctx, ppts)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: build sharded priority tree: %w", err)
+	}
+	rep, err = s.sh.BuildRangeTree(ctx, rpts)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: build sharded range tree: %w", err)
+	}
+	kpts := gen.UniformKPoints(cfg.N, 2, cfg.Seed+4)
+	kitems := make([]wegeom.KDItem, cfg.N)
+	for i, p := range kpts {
+		kitems[i] = wegeom.KDItem{P: p, ID: int32(i)}
+	}
+	rep, err = s.sh.BuildKDTree(ctx, 2, kitems)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: build sharded k-d tree: %w", err)
+	}
+	dpts := s.eng.ShufflePoints(gen.UniformPoints(cfg.DelaunayN, cfg.Seed+5))
+	tri, rep, err := s.eng.Triangulate(ctx, dpts)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: triangulate: %w", err)
+	}
+	s.ck = &wegeom.Checkpoint{Delaunay: tri}
+	return nil
+}
+
+// restoreSharded boots from a sharded checkpoint container: the shard
+// count and scheme come from the file (overriding Config.Shards), the
+// Delaunay DAG decodes onto the daemon's engine.
+func (s *Server) restoreSharded(ctx context.Context, path string, data []byte) error {
+	sh, global, rep, err := shard.LoadCheckpoint(ctx, bytes.NewReader(data), shard.Options{
+		Parallelism: s.cfg.Parallelism,
+		Omega:       s.cfg.Omega,
+		Alpha:       s.cfg.Alpha,
+		Seed:        s.cfg.Seed,
+	}, s.eng)
+	s.observe(rep)
+	if err != nil {
+		return fmt.Errorf("serve: restore %s: %w", path, err)
+	}
+	if global == nil || global.Delaunay == nil {
+		return fmt.Errorf("serve: restore %s: sharded checkpoint is missing the Delaunay DAG", path)
+	}
+	s.sh = sh
+	s.cfg.Shards = sh.Shards()
+	s.ck = global
+	return nil
+}
+
+// readCheckpointFile slurps the checkpoint so restore can sniff whether
+// the container is sharded before picking a loader.
+func readCheckpointFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	return data, nil
+}

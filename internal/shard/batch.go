@@ -1,0 +1,329 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+)
+
+// StabBatch answers point-stab queries over the sharded interval trees.
+// Each stab routes to its owning shard only — intervals were replicated
+// at build time, so the owner holds every interval containing the point.
+func (e *Engine) StabBatch(ctx context.Context, qs []float64) (*wegeom.IntervalBatch, *wegeom.Report, error) {
+	if e.iv.part == nil {
+		return nil, nil, errNotBuilt("interval tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.iv.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, func(i int, visit func(s int)) {
+			visit(part.Owner(geom.KPoint{qs[i]}))
+		})
+	})
+	res := make([]*wegeom.IntervalBatch, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].StabBatch(ctx, e.iv.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gather(len(qs), targets, func(s, local int32) []wegeom.Interval {
+		return res[s].Results(int(local))
+	})
+	rep := e.aggregate("shard-stab-batch", route, reps)
+	rep.Queries, rep.Results, rep.Wall = len(qs), out.Total(), time.Since(start)
+	return out, rep, nil
+}
+
+// StabCountBatch is the zero-write counting variant of StabBatch.
+func (e *Engine) StabCountBatch(ctx context.Context, qs []float64) ([]int64, *wegeom.Report, error) {
+	if e.iv.part == nil {
+		return nil, nil, errNotBuilt("interval tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.iv.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, func(i int, visit func(s int)) {
+			visit(part.Owner(geom.KPoint{qs[i]}))
+		})
+	})
+	res := make([][]int64, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].StabCountBatch(ctx, e.iv.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gatherSum(len(qs), targets, func(s int32) []int64 { return res[s] })
+	rep := e.aggregate("shard-stab-count-batch", route, reps)
+	rep.Queries, rep.Wall = len(qs), time.Since(start)
+	return out, rep, nil
+}
+
+// pstShardsOf routes one 3-sided query [XL,XR] × [YB,∞) to every shard
+// whose region the query rectangle overlaps.
+func pstShardsOf(part *Partition, qs []wegeom.PSTQuery) func(i int, visit func(s int)) {
+	return func(i int, visit func(s int)) {
+		part.Overlap(geom.KPoint{qs[i].XL, qs[i].YB}, geom.KPoint{qs[i].XR, math.Inf(1)}, visit)
+	}
+}
+
+// Query3SidedBatch answers 3-sided report queries over the sharded
+// priority search trees; straddling queries replicate to every
+// overlapping shard and the disjoint per-shard point sets stitch back
+// duplicate-free in ascending shard order.
+func (e *Engine) Query3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) (*wegeom.PSTBatch, *wegeom.Report, error) {
+	if e.pr.part == nil {
+		return nil, nil, errNotBuilt("priority search tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.pr.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, pstShardsOf(part, qs))
+	})
+	res := make([]*wegeom.PSTBatch, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].Query3SidedBatch(ctx, e.pr.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gather(len(qs), targets, func(s, local int32) []wegeom.PSTPoint {
+		return res[s].Results(int(local))
+	})
+	rep := e.aggregate("shard-query3sided-batch", route, reps)
+	rep.Queries, rep.Results, rep.Wall = len(qs), out.Total(), time.Since(start)
+	return out, rep, nil
+}
+
+// Count3SidedBatch is the zero-write counting variant of Query3SidedBatch.
+func (e *Engine) Count3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) ([]int64, *wegeom.Report, error) {
+	if e.pr.part == nil {
+		return nil, nil, errNotBuilt("priority search tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.pr.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, pstShardsOf(part, qs))
+	})
+	res := make([][]int64, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].Count3SidedBatch(ctx, e.pr.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gatherSum(len(qs), targets, func(s int32) []int64 { return res[s] })
+	rep := e.aggregate("shard-count3sided-batch", route, reps)
+	rep.Queries, rep.Wall = len(qs), time.Since(start)
+	return out, rep, nil
+}
+
+// rtShardsOf routes one rectangle query to every overlapping shard.
+func rtShardsOf(part *Partition, qs []wegeom.RTQuery) func(i int, visit func(s int)) {
+	return func(i int, visit func(s int)) {
+		part.Overlap(geom.KPoint{qs[i].XL, qs[i].YB}, geom.KPoint{qs[i].XR, qs[i].YT}, visit)
+	}
+}
+
+// RangeQueryBatch answers rectangle report queries over the sharded range
+// trees.
+func (e *Engine) RangeQueryBatch(ctx context.Context, qs []wegeom.RTQuery) (*wegeom.RTBatch, *wegeom.Report, error) {
+	if e.rt.part == nil {
+		return nil, nil, errNotBuilt("range tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.rt.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, rtShardsOf(part, qs))
+	})
+	res := make([]*wegeom.RTBatch, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].RangeQueryBatch(ctx, e.rt.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gather(len(qs), targets, func(s, local int32) []wegeom.RTPoint {
+		return res[s].Results(int(local))
+	})
+	rep := e.aggregate("shard-range-query-batch", route, reps)
+	rep.Queries, rep.Results, rep.Wall = len(qs), out.Total(), time.Since(start)
+	return out, rep, nil
+}
+
+// SumYBatch is the zero-write aggregate variant of RangeQueryBatch. Each
+// query's partial sums accumulate in ascending shard order, so the output
+// is deterministic at any (shards, P) — though a sharded sum may differ
+// from the unsharded tree's by float regrouping.
+func (e *Engine) SumYBatch(ctx context.Context, qs []wegeom.RTQuery) ([]float64, *wegeom.Report, error) {
+	if e.rt.part == nil {
+		return nil, nil, errNotBuilt("range tree")
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.rt.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(qs), part.Shards(), wk, rtShardsOf(part, qs))
+	})
+	res := make([][]float64, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].SumYBatch(ctx, e.rt.trees[s], subset(qs, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gatherSum(len(qs), targets, func(s int32) []float64 { return res[s] })
+	rep := e.aggregate("shard-sumy-batch", route, reps)
+	rep.Queries, rep.Wall = len(qs), time.Since(start)
+	return out, rep, nil
+}
+
+// kdCheckBoxes validates query boxes against the built tree's dims.
+func (e *Engine) kdCheckBoxes(boxes []wegeom.KBox) error {
+	for i := range boxes {
+		if len(boxes[i].Min) != e.kd.dims || len(boxes[i].Max) != e.kd.dims {
+			return fmt.Errorf("shard: kd range box %d has %d/%d dims, want %d",
+				i, len(boxes[i].Min), len(boxes[i].Max), e.kd.dims)
+		}
+	}
+	return nil
+}
+
+// kdShardsOf routes one range box to every overlapping shard.
+func kdShardsOf(part *Partition, boxes []wegeom.KBox) func(i int, visit func(s int)) {
+	return func(i int, visit func(s int)) {
+		part.Overlap(boxes[i].Min, boxes[i].Max, visit)
+	}
+}
+
+// KDRangeBatch answers orthogonal range report queries over the sharded
+// k-d trees.
+func (e *Engine) KDRangeBatch(ctx context.Context, boxes []wegeom.KBox) (*wegeom.KDBatch, *wegeom.Report, error) {
+	if e.kd.part == nil {
+		return nil, nil, errNotBuilt("k-d tree")
+	}
+	if err := e.kdCheckBoxes(boxes); err != nil {
+		return nil, nil, err
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.kd.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(boxes), part.Shards(), wk, kdShardsOf(part, boxes))
+	})
+	res := make([]*wegeom.KDBatch, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].KDRangeBatch(ctx, e.kd.trees[s], subset(boxes, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gather(len(boxes), targets, func(s, local int32) []wegeom.KDItem {
+		return res[s].Results(int(local))
+	})
+	rep := e.aggregate("shard-kd-range-batch", route, reps)
+	rep.Queries, rep.Results, rep.Wall = len(boxes), out.Total(), time.Since(start)
+	return out, rep, nil
+}
+
+// KDRangeCountBatch is the zero-write counting variant of KDRangeBatch.
+func (e *Engine) KDRangeCountBatch(ctx context.Context, boxes []wegeom.KBox) ([]int64, *wegeom.Report, error) {
+	if e.kd.part == nil {
+		return nil, nil, errNotBuilt("k-d tree")
+	}
+	if err := e.kdCheckBoxes(boxes); err != nil {
+		return nil, nil, err
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.kd.part
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(len(boxes), part.Shards(), wk, kdShardsOf(part, boxes))
+	})
+	res := make([][]int64, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = e.engines[s].KDRangeCountBatch(ctx, e.kd.trees[s], subset(boxes, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := gatherSum(len(boxes), targets, func(s int32) []int64 { return res[s] })
+	rep := e.aggregate("shard-kd-range-count-batch", route, reps)
+	rep.Queries, rep.Wall = len(boxes), time.Since(start)
+	return out, rep, nil
+}

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/checkpoint"
+)
+
+// Sharded checkpoint container layout: a "shard-meta" section (shard
+// count, scheme, kd dims, and each family's partition), one "shard-<i>"
+// section per shard holding that engine's nested wegeom checkpoint
+// container verbatim, and an optional "shard-global" section for
+// structures that live outside the shards (the serving daemon's Delaunay
+// DAG). Containers nest cleanly because a section payload is opaque bytes.
+const (
+	sectionMeta   = "shard-meta"
+	sectionGlobal = "shard-global"
+)
+
+func sectionShard(s int) string { return fmt.Sprintf("shard-%d", s) }
+
+// SaveCheckpoint serializes every shard's structures plus the partitions
+// that route to them (and global, if non-nil) into w. Like the engine
+// snapshot, encoding is a pure read and charges nothing; per-shard encode
+// phases land in the aggregated Report.
+func (e *Engine) SaveCheckpoint(ctx context.Context, w io.Writer, global *wegeom.Checkpoint) (*wegeom.Report, error) {
+	defer e.begin()()
+	start := time.Now()
+	var meta checkpoint.Encoder
+	meta.Int(len(e.engines))
+	meta.U64(uint64(e.opts.Scheme))
+	meta.Int(e.kd.dims)
+	for _, part := range []*Partition{e.iv.part, e.pr.part, e.rt.part, e.kd.part} {
+		meta.Bool(part != nil)
+		if part != nil {
+			part.encode(&meta)
+		}
+	}
+	sections := []checkpoint.Section{{Kind: sectionMeta, Data: meta.Bytes()}}
+
+	bufs := make([]bytes.Buffer, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		ck := &wegeom.Checkpoint{}
+		if e.iv.part != nil {
+			ck.Interval = e.iv.trees[s]
+		}
+		if e.pr.part != nil {
+			ck.Priority = e.pr.trees[s]
+		}
+		if e.rt.part != nil {
+			ck.Range = e.rt.trees[s]
+		}
+		if e.kd.part != nil {
+			ck.KD = e.kd.trees[s]
+		}
+		var err error
+		reps[s], err = e.engines[s].SaveCheckpoint(ctx, &bufs[s], ck)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for s := range bufs {
+		sections = append(sections, checkpoint.Section{Kind: sectionShard(s), Data: bufs[s].Bytes()})
+	}
+	rep := e.aggregate("shard-checkpoint-save", wegeom.Snapshot{}, reps)
+	if global != nil {
+		var gb bytes.Buffer
+		grep, err := e.engines[0].SaveCheckpoint(ctx, &gb, global)
+		if err != nil {
+			return nil, err
+		}
+		sections = append(sections, checkpoint.Section{Kind: sectionGlobal, Data: gb.Bytes()})
+		rep.Total = rep.Total.Add(grep.Total)
+	}
+	if err := checkpoint.Write(w, sections); err != nil {
+		return nil, err
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// IsSharded reports whether the checkpoint container in data was written
+// by Engine.SaveCheckpoint (as opposed to a single-engine snapshot), so
+// callers holding a file of unknown provenance can pick the right loader.
+func IsSharded(data []byte) bool {
+	sections, err := checkpoint.Read(bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	for _, s := range sections {
+		if s.Kind == sectionMeta {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadCheckpoint restores a sharded engine from r. The file's shard count
+// and scheme override opts (a checkpoint restores bit-identically on any
+// host); the remaining opts fields configure the rebuilt engines. Global
+// structures, if present, decode on globalEng (nil: shard 0's engine) and
+// return as the second value. Restore charges each shard's meter the same
+// O(n) decode writes the single-engine loader does, so a restored replica
+// serves bit-identically to the original.
+func LoadCheckpoint(ctx context.Context, r io.Reader, opts Options, globalEng *wegeom.Engine) (*Engine, *wegeom.Checkpoint, *wegeom.Report, error) {
+	sections, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	byKind := make(map[string][]byte, len(sections))
+	for _, s := range sections {
+		byKind[s.Kind] = s.Data
+	}
+	metaData, ok := byKind[sectionMeta]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("shard: checkpoint has no %s section (single-engine snapshot?)", sectionMeta)
+	}
+	meta := checkpoint.NewDecoder(metaData)
+	shards := meta.Int()
+	scheme := Scheme(meta.U64())
+	kdDims := meta.Int()
+	if meta.Err() != nil {
+		return nil, nil, nil, meta.Err()
+	}
+	if shards < 1 || shards > 1<<20 {
+		return nil, nil, nil, fmt.Errorf("shard: corrupt checkpoint shard count %d", shards)
+	}
+	if scheme != Grid && scheme != KDMedian {
+		return nil, nil, nil, fmt.Errorf("shard: corrupt checkpoint scheme %d", scheme)
+	}
+	parts := make([]*Partition, 4)
+	for f := range parts {
+		present := meta.Bool()
+		if meta.Err() != nil {
+			return nil, nil, nil, meta.Err()
+		}
+		if !present {
+			continue
+		}
+		part, err := decodePartition(meta)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if part.shards != shards {
+			return nil, nil, nil, fmt.Errorf("shard: partition %d routes %d shards, checkpoint has %d", f, part.shards, shards)
+		}
+		parts[f] = part
+	}
+
+	opts.Shards, opts.Scheme = shards, scheme
+	e := New(opts)
+	start := time.Now()
+	defer e.begin()()
+	e.iv.part, e.pr.part, e.rt.part, e.kd.part = parts[0], parts[1], parts[2], parts[3]
+	e.kd.dims = kdDims
+	if e.iv.part != nil {
+		e.iv.trees = make([]*wegeom.IntervalTree, shards)
+	}
+	if e.pr.part != nil {
+		e.pr.trees = make([]*wegeom.PriorityTree, shards)
+	}
+	if e.rt.part != nil {
+		e.rt.trees = make([]*wegeom.RangeTree, shards)
+	}
+	if e.kd.part != nil {
+		e.kd.trees = make([]*wegeom.KDTree, shards)
+	}
+	reps := make([]*wegeom.Report, shards)
+	err = e.fanOut(func(s int) error {
+		data, ok := byKind[sectionShard(s)]
+		if !ok {
+			return fmt.Errorf("shard: checkpoint is missing section %s", sectionShard(s))
+		}
+		ck, rep, err := e.engines[s].LoadCheckpoint(ctx, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		reps[s] = rep
+		if e.iv.part != nil {
+			if ck.Interval == nil {
+				return fmt.Errorf("shard: shard %d checkpoint is missing its interval tree", s)
+			}
+			e.iv.trees[s] = ck.Interval
+		}
+		if e.pr.part != nil {
+			if ck.Priority == nil {
+				return fmt.Errorf("shard: shard %d checkpoint is missing its priority tree", s)
+			}
+			e.pr.trees[s] = ck.Priority
+		}
+		if e.rt.part != nil {
+			if ck.Range == nil {
+				return fmt.Errorf("shard: shard %d checkpoint is missing its range tree", s)
+			}
+			e.rt.trees[s] = ck.Range
+		}
+		if e.kd.part != nil {
+			if ck.KD == nil {
+				return fmt.Errorf("shard: shard %d checkpoint is missing its k-d tree", s)
+			}
+			e.kd.trees[s] = ck.KD
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep := e.aggregate("shard-checkpoint-load", wegeom.Snapshot{}, reps)
+	var global *wegeom.Checkpoint
+	if data, ok := byKind[sectionGlobal]; ok {
+		eng := globalEng
+		if eng == nil {
+			eng = e.engines[0]
+		}
+		g, grep, err := eng.LoadCheckpoint(ctx, bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		global = g
+		rep.Total = rep.Total.Add(grep.Total)
+	}
+	rep.Wall = time.Since(start)
+	return e, global, rep, nil
+}

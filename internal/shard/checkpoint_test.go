@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	wegeom "repro"
+)
+
+// TestShardCheckpointRoundTrip saves a sharded engine, restores it, and
+// requires the replica to answer every batch bit-identically — items,
+// offsets, and aggregates. The restore must also override the caller's
+// shard count with the file's.
+func TestShardCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	ds := makeDataset(700, 70, 53)
+	for _, scheme := range []Scheme{Grid, KDMedian} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			e := New(Options{Shards: 3, Scheme: scheme, Parallelism: 2})
+			if _, err := e.BuildIntervalTree(ctx, ds.ivs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildPriorityTree(ctx, ds.ppts); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildRangeTree(ctx, ds.rpts); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildKDTree(ctx, 2, ds.kitems); err != nil {
+				t.Fatal(err)
+			}
+			want := runShardedQueries(t, e, ds)
+
+			var buf bytes.Buffer
+			if _, err := e.SaveCheckpoint(ctx, &buf, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !IsSharded(buf.Bytes()) {
+				t.Fatal("IsSharded = false on a sharded checkpoint")
+			}
+
+			// Deliberately wrong Shards in the restore options: the file wins.
+			re, _, _, err := LoadCheckpoint(ctx, bytes.NewReader(buf.Bytes()),
+				Options{Shards: 1, Parallelism: 2}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.Shards() != 3 || re.Scheme() != scheme {
+				t.Fatalf("restored %d shards [%s], want 3 [%s]", re.Shards(), re.Scheme(), scheme)
+			}
+			got := runShardedQueries(t, re, ds)
+			checkBitIdentical(t, want, got)
+
+			// A second save of the replica must byte-equal the original
+			// checkpoint: restore is lossless.
+			var buf2 bytes.Buffer
+			if _, err := re.SaveCheckpoint(ctx, &buf2, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Error("re-saved checkpoint differs from the original bytes")
+			}
+		})
+	}
+}
+
+// TestShardCheckpointGlobalSection round-trips the caller's unsharded
+// extras (here a Delaunay triangulation) through the global section.
+func TestShardCheckpointGlobalSection(t *testing.T) {
+	ctx := context.Background()
+	ds := makeDataset(300, 30, 71)
+	e := New(Options{Shards: 2, Parallelism: 1})
+	if _, err := e.BuildIntervalTree(ctx, ds.ivs); err != nil {
+		t.Fatal(err)
+	}
+	host := wegeom.NewEngine()
+	tri, _, err := host.Triangulate(ctx, wegeom.ShufflePoints(hostPoints(200), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.SaveCheckpoint(ctx, &buf, &wegeom.Checkpoint{Delaunay: tri}); err != nil {
+		t.Fatal(err)
+	}
+	re, global, _, err := LoadCheckpoint(ctx, bytes.NewReader(buf.Bytes()), Options{}, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global == nil || global.Delaunay == nil {
+		t.Fatal("global section lost the Delaunay triangulation")
+	}
+	if got, want := len(global.Delaunay.Triangles()), len(tri.Triangles()); got != want {
+		t.Errorf("restored triangulation has %d triangles, want %d", got, want)
+	}
+	wantStab, _, err := e.StabBatch(ctx, ds.stabQs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStab, _, err := re.StabBatch(ctx, ds.stabQs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantStab, gotStab) {
+		t.Error("restored interval shards answer differently")
+	}
+}
+
+func hostPoints(n int) []wegeom.Point {
+	pts := make([]wegeom.Point, n)
+	for i := range pts {
+		// Low-discrepancy-ish spread; exact layout is irrelevant here.
+		pts[i] = wegeom.Point{
+			X: float64(i%17)/17 + float64(i)*1e-4,
+			Y: float64(i%13)/13 + float64(i)*7e-5,
+		}
+	}
+	return pts
+}
+
+// TestShardErrNotBuilt: querying a family that was never built fails with
+// a named error rather than a panic, on every entry point.
+func TestShardErrNotBuilt(t *testing.T) {
+	ctx := context.Background()
+	e := New(Options{Shards: 2})
+	if _, _, err := e.StabBatch(ctx, []float64{0.5}); err == nil {
+		t.Error("StabBatch on an empty engine should fail")
+	}
+	if _, _, err := e.KNNBatch(ctx, []wegeom.KPoint{{0, 0}}, 1); err == nil {
+		t.Error("KNNBatch on an empty engine should fail")
+	}
+	if _, _, err := e.IntervalMixedBatch(ctx, nil); err == nil {
+		t.Error("IntervalMixedBatch on an empty engine should fail")
+	}
+}

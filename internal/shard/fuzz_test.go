@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+// contains reports whether region r holds pt under the partition's
+// half-open rule: Min[a] <= pt[a] < Max[a], with the +Inf faces closing
+// the last cells (a finite coordinate is always < +Inf).
+func regionContains(r geom.KBox, pt geom.KPoint) bool {
+	for a := range pt {
+		if !(r.Min[a] <= pt[a] && pt[a] < r.Max[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether region r meets the closed query box [lo, hi]:
+// on every axis the box must reach past the region's closed lower face
+// (hi >= Min) and start before its open upper face (lo < Max).
+func regionIntersects(r geom.KBox, lo, hi geom.KPoint) bool {
+	for a := range lo {
+		if !(hi[a] >= r.Min[a] && lo[a] < r.Max[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzShardRoute checks the routing invariants the scatter layer is built
+// on, against brute force over the materialized leaf regions: Owner puts a
+// point in the unique region containing it, and Overlap visits exactly the
+// intersecting regions, each once, in ascending shard order.
+func FuzzShardRoute(f *testing.F) {
+	f.Add(uint8(0), uint8(4), 0.2, 0.3, 0.7, 0.8)
+	f.Add(uint8(1), uint8(5), 0.5, 0.5, 0.5, 0.5)
+	f.Add(uint8(0), uint8(1), -3.0, 0.1, 9.0, 0.2)
+	f.Add(uint8(1), uint8(8), 0.9, -0.4, 0.1, 2.5)
+	f.Fuzz(func(t *testing.T, rawScheme, rawShards uint8, lox, loy, hix, hiy float64) {
+		for _, v := range []float64{lox, loy, hix, hiy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		shards := 1 + int(rawShards)%9
+		pts := gen.UniformKPoints(64, 2, 5)
+		var p *Partition
+		if rawScheme%2 == 0 {
+			var bbox geom.KBox
+			bbox.Min = geom.KPoint{math.Inf(1), math.Inf(1)}
+			bbox.Max = geom.KPoint{math.Inf(-1), math.Inf(-1)}
+			for _, pt := range pts {
+				bbox.Extend(pt)
+			}
+			p = NewGrid(2, shards, bbox)
+		} else {
+			p = NewKDMedian(2, shards, len(pts), func(i, axis int) float64 { return pts[i][axis] })
+		}
+		regions := p.Regions()
+
+		// Owner: the point version of the query box is in exactly one
+		// region, and Owner finds it.
+		for _, pt := range []geom.KPoint{{lox, loy}, {hix, hiy}} {
+			var in []int
+			for s, r := range regions {
+				if regionContains(r, pt) {
+					in = append(in, s)
+				}
+			}
+			if len(in) != 1 {
+				t.Fatalf("point %v is in %d regions (%v), want exactly 1", pt, len(in), in)
+			}
+			if own := p.Owner(pt); own != in[0] {
+				t.Fatalf("Owner(%v) = %d, brute force says %d", pt, own, in[0])
+			}
+		}
+
+		lo := geom.KPoint{lox, loy}
+		hi := geom.KPoint{hix, hiy}
+		var visited []int
+		p.Overlap(lo, hi, func(s int) { visited = append(visited, s) })
+		if lox > hix || loy > hiy {
+			if len(visited) != 0 {
+				t.Fatalf("inverted box visited %v, want nothing", visited)
+			}
+			return
+		}
+		var want []int
+		for s, r := range regions {
+			if regionIntersects(r, lo, hi) {
+				want = append(want, s)
+			}
+		}
+		if len(visited) != len(want) {
+			t.Fatalf("Overlap visited %v, brute force says %v", visited, want)
+		}
+		for i := range want {
+			if visited[i] != want[i] {
+				t.Fatalf("Overlap visited %v (order/content), brute force says %v", visited, want)
+			}
+		}
+		// Owner/Overlap agreement on the degenerate point box: the owner
+		// must be among the visited shards.
+		ownerSeen := false
+		p.Overlap(lo, lo, func(s int) { ownerSeen = ownerSeen || s == p.Owner(lo) })
+		if !ownerSeen {
+			t.Fatalf("Overlap(pt, pt) does not visit Owner(pt) for %v", lo)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/qbatch"
+)
+
+// gatherGrain is how many ops one worker stitches between fork points —
+// the same granularity qbatch fans queries at.
+const gatherGrain = 16
+
+// gather stitches per-shard packed results back into arrival order with
+// the same count→Scan→write shape qbatch packs with: a parallel count pass
+// sizes each op's slot from its targets, parallel.Scan turns the counts
+// into offsets, and a parallel write pass copies each target's slice in
+// ascending shard order. fetch(s, local) returns slot local's result slice
+// on shard s. Like qbatch.Concat, the stitch is uncharged: every per-shard
+// write pass already paid exactly its output size, and re-packing moves no
+// new model cost. Layout is deterministic because the routing plan and the
+// per-shard layouts are.
+func gather[R any](n int, targets [][]target, fetch func(s, local int32) []R) *qbatch.Packed[R] {
+	off := make([]int64, n+1)
+	parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var c int64
+			for _, t := range targets[i] {
+				c += int64(len(fetch(t.shard, t.local)))
+			}
+			off[i] = c
+		}
+	})
+	total := parallel.Scan(off[:n], off[:n])
+	off[n] = total
+	items := make([]R, total)
+	parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := off[i]
+			for _, t := range targets[i] {
+				pos += int64(copy(items[pos:], fetch(t.shard, t.local)))
+			}
+		}
+	})
+	return &qbatch.Packed[R]{Items: items, Off: off}
+}
+
+// gatherSum folds per-shard flat count/aggregate outputs back into arrival
+// order, summing across each op's targets. A count query replicated to
+// every overlapping shard counts each live result exactly once (results
+// partition across shards), and sums accumulate in ascending shard order,
+// so even float aggregates are deterministic at any (shards, P) — though
+// float sums regroup relative to the unsharded tree's traversal order.
+func gatherSum[T int64 | float64](n int, targets [][]target, fetch func(s int32) []T) []T {
+	out := make([]T, n)
+	parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var v T
+			for _, t := range targets[i] {
+				v += fetch(t.shard)[t.local]
+			}
+			out[i] = v
+		}
+	})
+	return out
+}
+
+// packRows packs per-op rows into one qbatch.Packed — the kNN merge's
+// final stitch. Uncharged, like gather.
+func packRows[R any](rows [][]R) *qbatch.Packed[R] {
+	n := len(rows)
+	off := make([]int64, n+1)
+	parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off[i] = int64(len(rows[i]))
+		}
+	})
+	total := parallel.Scan(off[:n], off[:n])
+	off[n] = total
+	items := make([]R, total)
+	parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(items[off[i]:], rows[i])
+		}
+	})
+	return &qbatch.Packed[R]{Items: items, Off: off}
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
+
+// KNNBatch answers k-nearest-neighbor queries over the sharded k-d trees
+// with the two-round protocol of the distributed related work: round one
+// asks each query's home shard for its k nearest, which bounds the true
+// k-th distance from above; round two replicates the query only to shards
+// whose region boundary lies within that bound, and the per-shard
+// candidate lists merge by (distance, ID) into the final k. Results per
+// query come back in non-decreasing distance order, and the whole output
+// is a pure function of the batch at any (shards, P).
+func (e *Engine) KNNBatch(ctx context.Context, qs []wegeom.KPoint, k int) (*wegeom.KDBatch, *wegeom.Report, error) {
+	if e.kd.part == nil {
+		return nil, nil, errNotBuilt("k-d tree")
+	}
+	if k < 0 {
+		return nil, nil, fmt.Errorf("shard: knn k %d", k)
+	}
+	for i := range qs {
+		if len(qs[i]) != e.kd.dims {
+			return nil, nil, fmt.Errorf("shard: knn query %d has %d dims, want %d", i, len(qs[i]), e.kd.dims)
+		}
+	}
+	defer e.begin()()
+	start := time.Now()
+	part := e.kd.part
+	n := len(qs)
+	nshards := part.Shards()
+
+	// Round 1: home shards.
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(n, nshards, wk, func(i int, visit func(s int)) {
+			visit(part.Owner(qs[i]))
+		})
+	})
+	res1 := make([]*wegeom.KDBatch, nshards)
+	reps1 := make([]*wegeom.Report, nshards)
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res1[s], reps1[s], err = e.engines[s].KNNBatch(ctx, e.kd.trees[s], subset(qs, perShard[s]), k)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	home := make([][]wegeom.KDItem, n)
+	for i := 0; i < n; i++ {
+		t := targets[i][0]
+		home[i] = res1[t.shard].Results(int(t.local))
+	}
+
+	// Round 2: refinement. A shard other than home can improve query i's
+	// answer only if its region's boundary distance is within the current
+	// k-th radius (∞ while fewer than k candidates exist). Reading each
+	// home row to bound the radius charges the router.
+	reps2 := make([]*wegeom.Report, nshards)
+	if nshards > 1 {
+		regions := part.Regions()
+		var perShard2 [][]int32
+		var targets2 [][]target
+		route2 := e.routed(func(wk asymmem.Worker) {
+			r2 := make([]float64, n)
+			homeLen := 0
+			for i := 0; i < n; i++ {
+				homeLen += len(home[i])
+				if len(home[i]) < k {
+					r2[i] = math.Inf(1)
+				} else {
+					last := home[i][len(home[i])-1]
+					r2[i] = qs[i].Dist2(last.P)
+				}
+			}
+			wk.ReadN(homeLen)
+			perShard2, targets2 = scatter(n, nshards, wk, func(i int, visit func(s int)) {
+				homeShard := int(targets[i][0].shard)
+				for s := 0; s < nshards; s++ {
+					if s != homeShard && regions[s].Dist2(qs[i]) <= r2[i] {
+						visit(s)
+					}
+				}
+			})
+		})
+		route = route.Add(route2)
+		res2 := make([]*wegeom.KDBatch, nshards)
+		err = e.fanOut(func(s int) error {
+			if len(perShard2[s]) == 0 {
+				return nil
+			}
+			var err error
+			res2[s], reps2[s], err = e.engines[s].KNNBatch(ctx, e.kd.trees[s], subset(qs, perShard2[s]), k)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Merge: home candidates plus every refinement row, re-ranked by
+		// (distance, ID) and truncated to k. Shard point sets are
+		// disjoint, so the merge never sees duplicates.
+		merged := make([][]wegeom.KDItem, n)
+		parallel.ForChunked(n, gatherGrain, func(lo, hi int) {
+			type cand struct {
+				d2 float64
+				it wegeom.KDItem
+			}
+			for i := lo; i < hi; i++ {
+				if len(targets2[i]) == 0 {
+					merged[i] = home[i]
+					continue
+				}
+				cands := make([]cand, 0, len(home[i])+len(targets2[i])*k)
+				for _, it := range home[i] {
+					cands = append(cands, cand{qs[i].Dist2(it.P), it})
+				}
+				for _, t := range targets2[i] {
+					for _, it := range res2[t.shard].Results(int(t.local)) {
+						cands = append(cands, cand{qs[i].Dist2(it.P), it})
+					}
+				}
+				sort.Slice(cands, func(a, b int) bool {
+					if cands[a].d2 != cands[b].d2 {
+						return cands[a].d2 < cands[b].d2
+					}
+					return cands[a].it.ID < cands[b].it.ID
+				})
+				if len(cands) > k {
+					cands = cands[:k]
+				}
+				row := make([]wegeom.KDItem, len(cands))
+				for j, c := range cands {
+					row[j] = c.it
+				}
+				merged[i] = row
+			}
+		})
+		mergedReads, mergedWrites := 0, 0
+		for i := 0; i < n; i++ {
+			if len(targets2[i]) != 0 {
+				mergedReads += len(home[i])
+				for _, t := range targets2[i] {
+					mergedReads += len(res2[t.shard].Results(int(t.local)))
+				}
+				mergedWrites += len(merged[i])
+			}
+		}
+		route = route.Add(e.routed(func(wk asymmem.Worker) {
+			wk.ReadN(mergedReads)
+			wk.WriteN(mergedWrites)
+		}))
+		home = merged
+	}
+
+	out := packRows(home)
+	rep := e.aggregate("shard-knn-batch", route, reps1, reps2)
+	rep.Queries, rep.Results, rep.Wall = n, out.Total(), time.Since(start)
+	return out, rep, nil
+}

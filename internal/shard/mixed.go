@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+	"repro/internal/mbatch"
+)
+
+// shardMixed is the scatter-gather core all three mixed batches share:
+// route every op by shardsOf (queries and updates alike — updates to a
+// replicated structure fan to every replica, Owner-routed updates to
+// exactly one shard), run each shard's sub-batch under its own mbatch
+// epoch serialization, and reassemble the global Result: QuerySlot maps
+// the arrival-order op index to its packed slot, the packed rows stitch
+// from each query's targets in ascending shard order, Applied counts each
+// update op once regardless of replication, and Epochs sums the per-shard
+// epoch counts. Because each shard's sub-batch preserves arrival order,
+// every per-shard query still sees exactly the updates that precede it in
+// the global batch, so the assembled results and the final (replicated)
+// contents match the unsharded run's.
+func shardMixed[U, Q, R any](e *Engine, op string, nshards int,
+	ops []mbatch.Op[U, Q],
+	shardsOf func(i int, visit func(s int)),
+	run func(s int, sub []mbatch.Op[U, Q]) (*mbatch.Result[R], *wegeom.Report, error),
+) (*mbatch.Result[R], *wegeom.Report, error) {
+	defer e.begin()()
+	start := time.Now()
+	n := len(ops)
+	var perShard [][]int32
+	var targets [][]target
+	route := e.routed(func(wk asymmem.Worker) {
+		perShard, targets = scatter(n, nshards, wk, shardsOf)
+	})
+	res := make([]*mbatch.Result[R], nshards)
+	reps := make([]*wegeom.Report, nshards)
+	err := e.fanOut(func(s int) error {
+		if len(perShard[s]) == 0 {
+			return nil
+		}
+		var err error
+		res[s], reps[s], err = run(s, subset(ops, perShard[s]))
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &mbatch.Result[R]{QuerySlot: make([]int32, n)}
+	var qTargets [][]target
+	for i := 0; i < n; i++ {
+		if ops[i].Kind == mbatch.OpQuery {
+			out.QuerySlot[i] = int32(len(qTargets))
+			qTargets = append(qTargets, targets[i])
+		} else {
+			out.QuerySlot[i] = -1
+			out.Applied++
+		}
+	}
+	out.Queries = len(qTargets)
+	for _, r := range res {
+		if r != nil {
+			out.Epochs += r.Epochs
+		}
+	}
+	out.Packed = gather(len(qTargets), qTargets, func(s, local int32) []R {
+		row, _ := res[s].ResultsAt(int(local))
+		return row
+	})
+	rep := e.aggregate(op, route, reps)
+	rep.Queries, rep.Results, rep.Wall = out.Queries, out.Packed.Total(), time.Since(start)
+	return out, rep, nil
+}
+
+// IntervalMixedBatch runs a mixed stab/insert/delete batch over the
+// sharded interval trees. Stabs route to their owning shard; inserts and
+// deletes replicate to every shard their span overlaps, mirroring the
+// build-time replication, so the invariant "a stab's owner holds every
+// matching interval" survives updates.
+func (e *Engine) IntervalMixedBatch(ctx context.Context, ops []wegeom.IntervalOp) (*wegeom.IntervalMixed, *wegeom.Report, error) {
+	if e.iv.part == nil {
+		return nil, nil, errNotBuilt("interval tree")
+	}
+	part := e.iv.part
+	return shardMixed(e, "shard-interval-mixed-batch", part.Shards(), ops,
+		func(i int, visit func(s int)) {
+			if ops[i].Kind == mbatch.OpQuery {
+				visit(part.Owner(geom.KPoint{ops[i].Qry}))
+				return
+			}
+			part.Overlap(geom.KPoint{ops[i].Upd.Left}, geom.KPoint{ops[i].Upd.Right}, visit)
+		},
+		func(s int, sub []wegeom.IntervalOp) (*wegeom.IntervalMixed, *wegeom.Report, error) {
+			return e.engines[s].IntervalMixedBatch(ctx, e.iv.trees[s], sub)
+		})
+}
+
+// RangeTreeMixedBatch runs a mixed query/insert/delete batch over the
+// sharded range trees. Updates route to their point's owning shard;
+// rectangle queries replicate to every overlapping shard.
+func (e *Engine) RangeTreeMixedBatch(ctx context.Context, ops []wegeom.RTOp) (*wegeom.RTMixed, *wegeom.Report, error) {
+	if e.rt.part == nil {
+		return nil, nil, errNotBuilt("range tree")
+	}
+	part := e.rt.part
+	return shardMixed(e, "shard-rangetree-mixed-batch", part.Shards(), ops,
+		func(i int, visit func(s int)) {
+			if ops[i].Kind == mbatch.OpQuery {
+				q := ops[i].Qry
+				part.Overlap(geom.KPoint{q.XL, q.YB}, geom.KPoint{q.XR, q.YT}, visit)
+				return
+			}
+			visit(part.Owner(geom.KPoint{ops[i].Upd.X, ops[i].Upd.Y}))
+		},
+		func(s int, sub []wegeom.RTOp) (*wegeom.RTMixed, *wegeom.Report, error) {
+			return e.engines[s].RangeTreeMixedBatch(ctx, e.rt.trees[s], sub)
+		})
+}
+
+// KDMixedBatch runs a mixed range-query/insert/delete batch over the
+// sharded k-d trees. Updates route to their point's owning shard; range
+// boxes replicate to every overlapping shard.
+func (e *Engine) KDMixedBatch(ctx context.Context, ops []wegeom.KDOp) (*wegeom.KDMixed, *wegeom.Report, error) {
+	if e.kd.part == nil {
+		return nil, nil, errNotBuilt("k-d tree")
+	}
+	for i := range ops {
+		if ops[i].Kind == mbatch.OpQuery {
+			q := ops[i].Qry
+			if len(q.Min) != e.kd.dims || len(q.Max) != e.kd.dims {
+				return nil, nil, errKDDims(i, e.kd.dims)
+			}
+		} else if len(ops[i].Upd.P) != e.kd.dims {
+			return nil, nil, errKDDims(i, e.kd.dims)
+		}
+	}
+	part := e.kd.part
+	return shardMixed(e, "shard-kd-mixed-batch", part.Shards(), ops,
+		func(i int, visit func(s int)) {
+			if ops[i].Kind == mbatch.OpQuery {
+				part.Overlap(ops[i].Qry.Min, ops[i].Qry.Max, visit)
+				return
+			}
+			visit(part.Owner(ops[i].Upd.P))
+		},
+		func(s int, sub []wegeom.KDOp) (*wegeom.KDMixed, *wegeom.Report, error) {
+			return e.engines[s].KDMixedBatch(ctx, e.kd.trees[s], sub)
+		})
+}
+
+func errKDDims(i, dims int) error {
+	return fmt.Errorf("shard: kd mixed op %d dims mismatch (tree dims %d)", i, dims)
+}

@@ -1,0 +1,400 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+)
+
+// Scheme selects how a Partition splits space across shards, chosen at
+// build time.
+type Scheme uint8
+
+const (
+	// Grid splits the input's bounding box into a uniform grid: the shard
+	// count's prime factors spread across axes (the axis with the widest
+	// current cell takes the next factor) and every cell is one shard.
+	// Data-oblivious; clustered inputs can leave cells empty, which is
+	// harmless — empty shards build empty trees and answer nothing.
+	Grid Scheme = iota
+	// KDMedian splits like a k-d build: the region with the most shards
+	// still to place is cut at the median coordinate along its point set's
+	// widest axis, so shards hold near-equal point counts even on skewed
+	// inputs.
+	KDMedian
+)
+
+// String names the scheme as accepted by ParseScheme.
+func (s Scheme) String() string {
+	if s == KDMedian {
+		return "kdmedian"
+	}
+	return "grid"
+}
+
+// ParseScheme parses "grid" or "kdmedian" ("" defaults to grid).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "", "grid":
+		return Grid, nil
+	case "kdmedian":
+		return KDMedian, nil
+	}
+	return Grid, fmt.Errorf("shard: unknown scheme %q (want grid or kdmedian)", s)
+}
+
+// pnode is one splitter of the partition's BSP tree: points with
+// coordinate < cut on axis descend left, the rest right. A negative child
+// c is a leaf holding shard ^c.
+type pnode struct {
+	axis        int32
+	left, right int32
+	cut         float64
+}
+
+// Partition is a BSP tree of axis-aligned cuts whose leaves are the
+// shards. Both builders assign leaf ids in in-order (left-to-right)
+// traversal, so Overlap visits shards in ascending id order. The leaf
+// regions tile all of space — every outer face sits at ±Inf — so ownership
+// is total: any finite point lands in exactly one shard, including points
+// that arrive (via mixed-batch inserts) outside the build-time bounding
+// box. Region semantics are half-open: a leaf covers Min[a] <= x < Max[a]
+// on every axis, with the +Inf faces closing the last cells.
+type Partition struct {
+	dims    int
+	shards  int
+	scheme  Scheme
+	nodes   []pnode // len = shards-1; empty iff shards == 1
+	regions []geom.KBox
+}
+
+// Dims returns the partition's dimensionality.
+func (p *Partition) Dims() int { return p.dims }
+
+// Shards returns the shard count.
+func (p *Partition) Shards() int { return p.shards }
+
+// Regions returns the shard regions, indexed by shard id (do not mutate).
+func (p *Partition) Regions() []geom.KBox { return p.regions }
+
+// Owner returns the shard owning pt (which must have Dims coordinates).
+func (p *Partition) Owner(pt geom.KPoint) int {
+	c := int32(-1) // ^c == 0: leaf 0 when there are no splitters
+	if len(p.nodes) > 0 {
+		i := int32(0)
+		for {
+			nd := &p.nodes[i]
+			if pt[nd.axis] < nd.cut {
+				c = nd.left
+			} else {
+				c = nd.right
+			}
+			if c < 0 {
+				break
+			}
+			i = c
+		}
+	}
+	return int(^c)
+}
+
+// Overlap calls visit once for every shard whose region intersects the
+// closed box [lo, hi], in ascending shard order. An inverted or NaN box
+// visits nothing.
+func (p *Partition) Overlap(lo, hi geom.KPoint, visit func(s int)) {
+	for a := range lo {
+		if !(lo[a] <= hi[a]) {
+			return
+		}
+	}
+	if len(p.nodes) == 0 {
+		visit(0)
+		return
+	}
+	p.overlap(0, lo, hi, visit)
+}
+
+func (p *Partition) overlap(i int32, lo, hi geom.KPoint, visit func(s int)) {
+	nd := &p.nodes[i]
+	// The left region is the open half-space < cut, so the box reaches it
+	// iff lo < cut; the right region is >= cut, reached iff hi >= cut.
+	if lo[nd.axis] < nd.cut {
+		if nd.left < 0 {
+			visit(int(^nd.left))
+		} else {
+			p.overlap(nd.left, lo, hi, visit)
+		}
+	}
+	if hi[nd.axis] >= nd.cut {
+		if nd.right < 0 {
+			visit(int(^nd.right))
+		} else {
+			p.overlap(nd.right, lo, hi, visit)
+		}
+	}
+}
+
+// newSingle returns the trivial one-shard partition covering all of space.
+func newSingle(dims int) *Partition {
+	p := &Partition{dims: dims, shards: 1}
+	p.computeRegions()
+	return p
+}
+
+// NewGrid builds a Grid partition of shards cells over bbox, expressed as
+// a balanced BSP whose cuts land on the exact grid lines (midpoint
+// cell-index splits). A degenerate bbox (empty input) falls back to the
+// unit box so every cut stays finite.
+func NewGrid(dims, shards int, bbox geom.KBox) *Partition {
+	p := &Partition{dims: dims, shards: shards, scheme: Grid}
+	if shards > 1 {
+		for a := 0; a < dims; a++ {
+			if !(bbox.Min[a] <= bbox.Max[a]) {
+				bbox = geom.KBox{Min: make(geom.KPoint, dims), Max: make(geom.KPoint, dims)}
+				for i := range bbox.Max {
+					bbox.Max[i] = 1
+				}
+				break
+			}
+		}
+		counts := gridCounts(dims, shards, bbox)
+		next := int32(0)
+		var build func(lo, hi []int) int32
+		build = func(lo, hi []int) int32 {
+			cells, axis := 1, 0
+			for a := 0; a < dims; a++ {
+				cells *= hi[a] - lo[a]
+				if hi[a]-lo[a] > hi[axis]-lo[axis] {
+					axis = a
+				}
+			}
+			if cells == 1 {
+				id := next
+				next++
+				return ^id
+			}
+			mid := (lo[axis] + hi[axis]) / 2
+			span := bbox.Max[axis] - bbox.Min[axis]
+			node := int32(len(p.nodes))
+			p.nodes = append(p.nodes, pnode{
+				axis: int32(axis),
+				cut:  bbox.Min[axis] + span*float64(mid)/float64(counts[axis]),
+			})
+			nhi := append([]int{}, hi...)
+			nhi[axis] = mid
+			left := build(lo, nhi)
+			nlo := append([]int{}, lo...)
+			nlo[axis] = mid
+			right := build(nlo, hi)
+			p.nodes[node].left, p.nodes[node].right = left, right
+			return node
+		}
+		lo, hi := make([]int, dims), make([]int, dims)
+		copy(hi, counts)
+		build(lo, hi)
+	}
+	p.computeRegions()
+	return p
+}
+
+// gridCounts factorizes the shard count across axes: each prime factor
+// (largest first) multiplies the axis whose cells are currently widest.
+func gridCounts(dims, shards int, bbox geom.KBox) []int {
+	counts := make([]int, dims)
+	for a := range counts {
+		counts[a] = 1
+	}
+	for _, f := range primeFactors(shards) {
+		axis, best := 0, math.Inf(-1)
+		for a := 0; a < dims; a++ {
+			if w := (bbox.Max[a] - bbox.Min[a]) / float64(counts[a]); w > best {
+				best, axis = w, a
+			}
+		}
+		counts[axis] *= f
+	}
+	return counts
+}
+
+// primeFactors returns n's prime factorization, largest factors first.
+func primeFactors(n int) []int {
+	var fs []int
+	for d := 2; d*d <= n; d++ {
+		for n%d == 0 {
+			fs = append(fs, d)
+			n /= d
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(fs)))
+	return fs
+}
+
+// NewKDMedian builds a KDMedian partition over n points with coordinates
+// coord(i, axis): the region holding the most shards still to place is cut
+// at the quantile coordinate splitting its shard budget floor/ceil along
+// its point set's widest axis. Ties at the cut all go right (the half-open
+// region rule), so duplicate-heavy axes may split unevenly; point-free
+// regions rotate axes with cut 0 — empty shards are harmless.
+func NewKDMedian(dims, shards, n int, coord func(i, axis int) float64) *Partition {
+	p := &Partition{dims: dims, shards: shards, scheme: KDMedian}
+	if shards > 1 {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		next := int32(0)
+		var build func(target, depth int, idx []int32) int32
+		build = func(target, depth int, idx []int32) int32 {
+			if target == 1 {
+				id := next
+				next++
+				return ^id
+			}
+			axis, cut := medianCut(dims, depth, target, idx, coord)
+			var lix, rix []int32
+			for _, i := range idx {
+				if coord(int(i), axis) < cut {
+					lix = append(lix, i)
+				} else {
+					rix = append(rix, i)
+				}
+			}
+			node := int32(len(p.nodes))
+			p.nodes = append(p.nodes, pnode{axis: int32(axis), cut: cut})
+			lt := target / 2
+			left := build(lt, depth+1, lix)
+			right := build(target-lt, depth+1, rix)
+			p.nodes[node].left, p.nodes[node].right = left, right
+			return node
+		}
+		build(shards, 0, idx)
+	}
+	p.computeRegions()
+	return p
+}
+
+// medianCut picks the widest axis of the point set and the coordinate
+// sending target/2 of target shares of it left.
+func medianCut(dims, depth, target int, idx []int32, coord func(i, axis int) float64) (int, float64) {
+	if len(idx) == 0 {
+		return depth % dims, 0
+	}
+	axis, best := 0, math.Inf(-1)
+	for a := 0; a < dims; a++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := coord(int(i), a)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > best {
+			best, axis = hi-lo, a
+		}
+	}
+	vals := make([]float64, len(idx))
+	for j, i := range idx {
+		vals[j] = coord(int(i), axis)
+	}
+	sort.Float64s(vals)
+	return axis, vals[len(vals)*(target/2)/target]
+}
+
+// computeRegions materializes the leaf boxes by descending the BSP from
+// the all-space box.
+func (p *Partition) computeRegions() {
+	p.regions = make([]geom.KBox, p.shards)
+	if len(p.nodes) == 0 {
+		p.regions[0] = geom.UniverseKBox(p.dims)
+		return
+	}
+	var rec func(c int32, box geom.KBox)
+	rec = func(c int32, box geom.KBox) {
+		if c < 0 {
+			p.regions[^c] = box
+			return
+		}
+		nd := &p.nodes[c]
+		lbox := box.Clone()
+		lbox.Max[nd.axis] = nd.cut
+		rec(nd.left, lbox)
+		box.Min[nd.axis] = nd.cut
+		rec(nd.right, box)
+	}
+	rec(0, geom.UniverseKBox(p.dims))
+}
+
+// encode serializes the partition's splitter tree (regions are recomputed
+// on decode).
+func (p *Partition) encode(e *checkpoint.Encoder) {
+	e.Int(p.dims)
+	e.Int(p.shards)
+	e.U64(uint64(p.scheme))
+	e.U64(uint64(len(p.nodes))) // Count on decode reads a U64
+	for _, nd := range p.nodes {
+		e.I32(nd.axis)
+		e.I32(nd.left)
+		e.I32(nd.right)
+		e.F64(nd.cut)
+	}
+}
+
+// decodePartition reverses encode, validating tree shape: exactly
+// shards-1 splitters, children strictly after their parent (no cycles),
+// every shard id a leaf exactly once.
+func decodePartition(d *checkpoint.Decoder) (*Partition, error) {
+	p := &Partition{dims: d.Int(), shards: d.Int(), scheme: Scheme(d.U64())}
+	n := d.Count(4)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if p.dims < 1 || p.shards < 1 || n != p.shards-1 {
+		return nil, fmt.Errorf("shard: corrupt partition header (dims=%d shards=%d splitters=%d)", p.dims, p.shards, n)
+	}
+	p.nodes = make([]pnode, n)
+	for i := range p.nodes {
+		p.nodes[i] = pnode{axis: d.I32(), left: d.I32(), right: d.I32(), cut: d.F64()}
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	leaves := make([]bool, p.shards)
+	for i := range p.nodes {
+		nd := &p.nodes[i]
+		if nd.axis < 0 || int(nd.axis) >= p.dims ||
+			!validChild(nd.left, i, n, leaves) || !validChild(nd.right, i, n, leaves) {
+			return nil, fmt.Errorf("shard: corrupt partition splitter %d", i)
+		}
+	}
+	for s, seen := range leaves {
+		if !seen && n > 0 {
+			return nil, fmt.Errorf("shard: partition is missing leaf %d", s)
+		}
+	}
+	p.computeRegions()
+	return p, nil
+}
+
+// validChild accepts a leaf id seen for the first time, or an internal
+// child strictly after its parent (the builders append children after
+// parents, which also rules out cycles).
+func validChild(c int32, parent, nodes int, leaves []bool) bool {
+	if c < 0 {
+		id := int(^c)
+		if id >= len(leaves) || leaves[id] {
+			return false
+		}
+		leaves[id] = true
+		return true
+	}
+	return int(c) > parent && int(c) < nodes
+}

@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/asymmem"
+	"repro/internal/prims"
+)
+
+// target locates one op's routed copy: the shard it ran on and its
+// position (local slot) in that shard's sub-batch.
+type target struct{ shard, local int32 }
+
+// scatter computes one routed batch's plan. shardsOf must call visit with
+// op i's target shards in ascending order, at most once per shard (the
+// partition's Owner/Overlap both satisfy this). It returns each shard's
+// op-index list in arrival order — the sub-batch the shard runs — and, per
+// op, its (shard, local slot) targets in ascending shard order, which is
+// what the arrival-order gather stitches from.
+//
+// The plan semisorts (op, shard) pairs by owning shard id with
+// prims.Semisort, charged to the router handle: one read per op for the
+// routing scan, the semisort's own scatter charges, and one write per
+// routed copy for the plan itself. Semisort's group order and its
+// bucket-collision resolution are deterministic but not stable, so each
+// group re-sorts ascending — arrival order inside every shard's sub-batch
+// is the contract the per-shard epochs (and the determinism suite) rely
+// on. The plan runs sequentially on the router handle, so its charges are
+// a pure function of the batch at any pool size.
+func scatter(n, nshards int, wk asymmem.Worker, shardsOf func(i int, visit func(s int))) (perShard [][]int32, targets [][]target) {
+	perShard = make([][]int32, nshards)
+	targets = make([][]target, n)
+	if nshards == 1 {
+		all := make([]int32, n)
+		flat := make([]target, n)
+		for i := 0; i < n; i++ {
+			all[i] = int32(i)
+			flat[i] = target{0, int32(i)}
+			targets[i] = flat[i : i+1]
+		}
+		perShard[0] = all
+		wk.ReadN(n)
+		wk.WriteN(n)
+		return perShard, targets
+	}
+	pairs := make([]prims.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		shardsOf(i, func(s int) {
+			pairs = append(pairs, prims.Pair{Key: uint64(s), Val: int32(i)})
+		})
+	}
+	wk.ReadN(n)
+	groups := prims.Semisort(pairs, wk)
+	for _, g := range groups {
+		vals := g.Vals
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		perShard[g.Key] = vals
+	}
+	wk.WriteN(len(pairs))
+	for s := 0; s < nshards; s++ {
+		for j, i := range perShard[s] {
+			targets[i] = append(targets[i], target{int32(s), int32(j)})
+		}
+	}
+	return perShard, targets
+}
+
+// subset gathers ops[idx] into a fresh slice — one shard's sub-batch.
+func subset[T any](ops []T, idx []int32) []T {
+	out := make([]T, len(idx))
+	for j, i := range idx {
+		out[j] = ops[i]
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+// Package shard scales the write-efficient engine out across N independent
+// wegeom.Engine instances behind one spatial partition. A build splits the
+// input by a Partition (uniform grid over the data's bounding box, or
+// kd-median splits — chosen per Options.Scheme), constructs each shard's
+// structure concurrently on its own engine, and every batched read or mixed
+// batch then flows through a scatter-gather router: semisort the ops by
+// owning shard id (straddling range/kNN queries replicate to every
+// overlapping shard), run the per-shard *Batch/MixedBatch epochs
+// concurrently, and stitch the packed per-shard results back into arrival
+// order with one more count→Scan→write pass. The router is the batch
+// layer's plan→apply→pack shape one level up, so sharded results, final
+// structure contents, and counted costs stay a pure function of the batch
+// at any (shards, P).
+//
+// Cost attribution: routing work charges a dedicated router meter
+// (reported as the "shard/route" phase), per-shard engine work charges
+// each shard's own meter, and the aggregated Report's PerShard entries sum
+// with the route phase to Total exactly. kNN runs the two-round protocol:
+// home-shard candidates first, then a refinement round that visits only
+// shards whose region boundary beats the query's current k-th radius.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	wegeom "repro"
+	"repro/internal/asymmem"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// Options configures a sharded engine. The zero value is one shard with
+// the module defaults — equivalent to a single wegeom.Engine plus the
+// (then trivial) router pass.
+type Options struct {
+	// Shards is the number of independent engines (min 1).
+	Shards int
+	// Scheme picks how the build-time Partition splits space.
+	Scheme Scheme
+	// Parallelism, when > 0, pins the process worker pool for the
+	// duration of every sharded run. The N concurrent per-shard epochs
+	// share that pool, so each shard's effective budget is ⌈Parallelism/N⌉
+	// workers on average; per-shard engines deliberately do not pin the
+	// pool themselves — that would serialize the shard epochs on the
+	// pool's configuration lock.
+	Parallelism int
+	// Omega, Alpha, Seed forward to every per-shard engine (0 = module
+	// default).
+	Omega int64
+	Alpha int
+	Seed  uint64
+}
+
+// Engine fans the wegeom batch API out across Options.Shards independent
+// engines. Methods mirror wegeom.Engine's batch surface and return the
+// same packed shapes; one Engine is safe for concurrent use (runs
+// serialize on an internal lock, like wegeom.Engine).
+type Engine struct {
+	mu      sync.Mutex
+	opts    Options
+	engines []*wegeom.Engine
+	router  *asymmem.Meter
+
+	iv struct {
+		part  *Partition
+		trees []*wegeom.IntervalTree
+	}
+	pr struct {
+		part  *Partition
+		trees []*wegeom.PriorityTree
+	}
+	rt struct {
+		part  *Partition
+		trees []*wegeom.RangeTree
+	}
+	kd struct {
+		part  *Partition
+		dims  int
+		trees []*wegeom.KDTree
+	}
+}
+
+// New builds a sharded engine: Options.Shards independent wegeom.Engines
+// (each with its own meter and arenas) plus a router meter for scatter
+// and refinement charges.
+func New(opts Options) *Engine {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Scheme != Grid && opts.Scheme != KDMedian {
+		opts.Scheme = Grid
+	}
+	var eopts []wegeom.Option
+	if opts.Omega > 0 {
+		eopts = append(eopts, wegeom.WithOmega(opts.Omega))
+	}
+	if opts.Alpha > 0 {
+		eopts = append(eopts, wegeom.WithAlpha(opts.Alpha))
+	}
+	if opts.Seed != 0 {
+		eopts = append(eopts, wegeom.WithSeed(opts.Seed))
+	}
+	engines := make([]*wegeom.Engine, opts.Shards)
+	for s := range engines {
+		engines[s] = wegeom.NewEngine(eopts...)
+	}
+	return &Engine{opts: opts, engines: engines, router: asymmem.NewMeterShards(0)}
+}
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return len(e.engines) }
+
+// Scheme reports the partition scheme builds use.
+func (e *Engine) Scheme() Scheme { return e.opts.Scheme }
+
+// Omega reports the per-shard engines' write/read cost ratio.
+func (e *Engine) Omega() int64 { return e.engines[0].Omega() }
+
+// PerShardTotals returns each shard engine's cumulative meter snapshot
+// plus the router's, for live attribution (the /metrics per-shard labels).
+func (e *Engine) PerShardTotals() ([]wegeom.Snapshot, wegeom.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	per := make([]wegeom.Snapshot, len(e.engines))
+	for s, eng := range e.engines {
+		per[s] = eng.Meter().Snapshot()
+	}
+	return per, e.router.Snapshot()
+}
+
+// begin serializes runs and pins the worker pool when Options.Parallelism
+// asks for it. The returned func undoes both.
+func (e *Engine) begin() func() {
+	e.mu.Lock()
+	if e.opts.Parallelism > 0 {
+		prev := parallel.SetWorkers(e.opts.Parallelism)
+		return func() {
+			parallel.SetWorkers(prev)
+			e.mu.Unlock()
+		}
+	}
+	return e.mu.Unlock
+}
+
+// routed runs f sequentially on the router meter's worker 0 handle and
+// returns exactly what it charged. Routing is sequential by design: its
+// cost is a pure function of the batch regardless of the pool size.
+func (e *Engine) routed(f func(wk asymmem.Worker)) wegeom.Snapshot {
+	before := e.router.Snapshot()
+	f(e.router.Worker(0))
+	return e.router.Snapshot().Sub(before)
+}
+
+// fanOut runs fn(s) for every shard concurrently and returns the
+// lowest-shard error, so the surfaced error is deterministic.
+func (e *Engine) fanOut(fn func(s int) error) error {
+	n := len(e.engines)
+	if n == 1 {
+		return fn(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggregate folds the route cost and every shard's reports (one slice per
+// round, indexed by shard, nil where a shard had no work) into one Report:
+// Total = route + Σ shards, PerShard preserves the per-shard attribution,
+// and each shard phase is renamed "shard<i>/<phase>".
+func (e *Engine) aggregate(op string, route wegeom.Snapshot, repsets ...[]*wegeom.Report) *wegeom.Report {
+	n := len(e.engines)
+	rep := &wegeom.Report{
+		Op:       op,
+		Omega:    e.engines[0].Omega(),
+		Workers:  parallel.Workers(),
+		PerShard: make([]wegeom.Snapshot, n),
+	}
+	if route != (wegeom.Snapshot{}) {
+		rep.Phases = append(rep.Phases, wegeom.PhaseCost{Name: "shard/route", Cost: route})
+		rep.Total = rep.Total.Add(route)
+	}
+	for s := 0; s < n; s++ {
+		for _, set := range repsets {
+			r := set[s]
+			if r == nil {
+				continue
+			}
+			rep.PerShard[s] = rep.PerShard[s].Add(r.Total)
+			rep.Total = rep.Total.Add(r.Total)
+			for _, ph := range r.Phases {
+				ph.Name = fmt.Sprintf("shard%d/%s", s, ph.Name)
+				rep.Phases = append(rep.Phases, ph)
+			}
+			rep.Allocs += r.Allocs
+			rep.HeapDelta += r.HeapDelta
+		}
+	}
+	return rep
+}
+
+// partitionFor computes the build-time partition for n items whose axis-a
+// extents are [lo(i,a), hi(i,a)] (points have lo == hi). The grid scheme
+// grows the bounding box over both extents; the kd-median scheme splits on
+// extent midpoints. Charged to the router: one read per item scanned plus
+// one write per split node.
+func (e *Engine) partitionFor(wk asymmem.Worker, dims, n int, lo, hi func(i, axis int) float64) *Partition {
+	if len(e.engines) == 1 {
+		return newSingle(dims)
+	}
+	wk.ReadN(n)
+	var part *Partition
+	if e.opts.Scheme == KDMedian {
+		part = NewKDMedian(dims, len(e.engines), n, func(i, axis int) float64 {
+			return (lo(i, axis) + hi(i, axis)) / 2
+		})
+	} else {
+		box := geom.NewKBox(dims)
+		pt := make(geom.KPoint, dims)
+		for i := 0; i < n; i++ {
+			for a := 0; a < dims; a++ {
+				pt[a] = lo(i, a)
+			}
+			box.Extend(pt)
+			for a := 0; a < dims; a++ {
+				pt[a] = hi(i, a)
+			}
+			box.Extend(pt)
+		}
+		part = NewGrid(dims, len(e.engines), box)
+	}
+	wk.WriteN(len(part.nodes))
+	return part
+}
+
+func errNotBuilt(family string) error {
+	return fmt.Errorf("shard: no %s built on this engine", family)
+}
+
+// BuildIntervalTree partitions the intervals on their left endpoints'
+// axis, replicating each interval to every shard its span overlaps, and
+// builds one interval tree per shard concurrently. A later stab at q then
+// needs only q's owning shard, and each matching interval is reported by
+// exactly one replica.
+func (e *Engine) BuildIntervalTree(ctx context.Context, ivs []wegeom.Interval) (*wegeom.Report, error) {
+	defer e.begin()()
+	start := time.Now()
+	var part *Partition
+	var perShard [][]int32
+	route := e.routed(func(wk asymmem.Worker) {
+		part = e.partitionFor(wk, 1, len(ivs),
+			func(i, _ int) float64 { return ivs[i].Left },
+			func(i, _ int) float64 { return ivs[i].Right })
+		perShard, _ = scatter(len(ivs), part.Shards(), wk, func(i int, visit func(s int)) {
+			part.Overlap(geom.KPoint{ivs[i].Left}, geom.KPoint{ivs[i].Right}, visit)
+		})
+	})
+	trees := make([]*wegeom.IntervalTree, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		t, r, err := e.engines[s].NewIntervalTree(ctx, subset(ivs, perShard[s]))
+		trees[s], reps[s] = t, r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.iv.part, e.iv.trees = part, trees
+	rep := e.aggregate("shard-interval", route, reps)
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// BuildPriorityTree partitions the points in (x, y) and builds one
+// priority search tree per shard concurrently. Points are disjoint across
+// shards, so 3-sided queries replicate to overlapping shards and never
+// double-report.
+func (e *Engine) BuildPriorityTree(ctx context.Context, pts []wegeom.PSTPoint) (*wegeom.Report, error) {
+	defer e.begin()()
+	start := time.Now()
+	var part *Partition
+	var perShard [][]int32
+	route := e.routed(func(wk asymmem.Worker) {
+		coord := func(i, axis int) float64 {
+			if axis == 0 {
+				return pts[i].X
+			}
+			return pts[i].Y
+		}
+		part = e.partitionFor(wk, 2, len(pts), coord, coord)
+		perShard, _ = scatter(len(pts), part.Shards(), wk, func(i int, visit func(s int)) {
+			visit(part.Owner(geom.KPoint{pts[i].X, pts[i].Y}))
+		})
+	})
+	trees := make([]*wegeom.PriorityTree, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		t, r, err := e.engines[s].NewPriorityTree(ctx, subset(pts, perShard[s]))
+		trees[s], reps[s] = t, r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.pr.part, e.pr.trees = part, trees
+	rep := e.aggregate("shard-pst", route, reps)
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// BuildRangeTree partitions the points in (x, y) and builds one range
+// tree per shard concurrently.
+func (e *Engine) BuildRangeTree(ctx context.Context, pts []wegeom.RTPoint) (*wegeom.Report, error) {
+	defer e.begin()()
+	start := time.Now()
+	var part *Partition
+	var perShard [][]int32
+	route := e.routed(func(wk asymmem.Worker) {
+		coord := func(i, axis int) float64 {
+			if axis == 0 {
+				return pts[i].X
+			}
+			return pts[i].Y
+		}
+		part = e.partitionFor(wk, 2, len(pts), coord, coord)
+		perShard, _ = scatter(len(pts), part.Shards(), wk, func(i int, visit func(s int)) {
+			visit(part.Owner(geom.KPoint{pts[i].X, pts[i].Y}))
+		})
+	})
+	trees := make([]*wegeom.RangeTree, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		t, r, err := e.engines[s].NewRangeTree(ctx, subset(pts, perShard[s]))
+		trees[s], reps[s] = t, r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.rt.part, e.rt.trees = part, trees
+	rep := e.aggregate("shard-rangetree", route, reps)
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// BuildKDTree partitions the items in their native dims and builds one
+// k-d tree per shard concurrently.
+func (e *Engine) BuildKDTree(ctx context.Context, dims int, items []wegeom.KDItem) (*wegeom.Report, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("shard: kdtree dims %d", dims)
+	}
+	for i := range items {
+		if len(items[i].P) != dims {
+			return nil, fmt.Errorf("shard: kdtree item %d has %d dims, want %d", i, len(items[i].P), dims)
+		}
+	}
+	defer e.begin()()
+	start := time.Now()
+	var part *Partition
+	var perShard [][]int32
+	route := e.routed(func(wk asymmem.Worker) {
+		coord := func(i, axis int) float64 { return items[i].P[axis] }
+		part = e.partitionFor(wk, dims, len(items), coord, coord)
+		perShard, _ = scatter(len(items), part.Shards(), wk, func(i int, visit func(s int)) {
+			visit(part.Owner(items[i].P))
+		})
+	})
+	trees := make([]*wegeom.KDTree, len(e.engines))
+	reps := make([]*wegeom.Report, len(e.engines))
+	err := e.fanOut(func(s int) error {
+		t, r, err := e.engines[s].BuildKDTree(ctx, dims, subset(items, perShard[s]))
+		trees[s], reps[s] = t, r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.kd.part, e.kd.dims, e.kd.trees = part, dims, trees
+	rep := e.aggregate("shard-kdtree", route, reps)
+	rep.Wall = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,522 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	wegeom "repro"
+	"repro/internal/gen"
+	"repro/internal/mbatch"
+	"repro/internal/qbatch"
+)
+
+// dataset is one build's inputs and one batch's queries, shared by the
+// unsharded reference and every sharded configuration.
+type dataset struct {
+	ivs    []wegeom.Interval
+	ppts   []wegeom.PSTPoint
+	rpts   []wegeom.RTPoint
+	kitems []wegeom.KDItem
+
+	stabQs []float64
+	pstQs  []wegeom.PSTQuery
+	rtQs   []wegeom.RTQuery
+	boxes  []wegeom.KBox
+	knnQs  []wegeom.KPoint
+	knnK   int
+}
+
+func makeDataset(n, nq int, seed uint64) dataset {
+	var ds dataset
+	for _, iv := range gen.UniformIntervals(n, 12.0/float64(n), seed+1) {
+		ds.ivs = append(ds.ivs, wegeom.Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID})
+	}
+	xs := gen.UniformFloats(n, seed+2)
+	ys := gen.UniformFloats(n, seed+3)
+	for i := 0; i < n; i++ {
+		ds.ppts = append(ds.ppts, wegeom.PSTPoint{X: xs[i], Y: ys[i], ID: int32(i)})
+		ds.rpts = append(ds.rpts, wegeom.RTPoint{X: xs[i], Y: ys[i], ID: int32(i)})
+	}
+	for i, p := range gen.UniformKPoints(n, 2, seed+4) {
+		ds.kitems = append(ds.kitems, wegeom.KDItem{P: p, ID: int32(i)})
+	}
+	ds.stabQs = gen.UniformFloats(nq, seed+5)
+	qa := gen.UniformFloats(nq, seed+6)
+	qb := gen.UniformFloats(nq, seed+7)
+	qc := gen.UniformFloats(nq, seed+8)
+	qd := gen.UniformFloats(nq, seed+9)
+	for i := 0; i < nq; i++ {
+		xl, xr := math.Min(qa[i], qb[i]), math.Max(qa[i], qb[i])
+		yb, yt := math.Min(qc[i], qd[i]), math.Max(qc[i], qd[i])
+		ds.pstQs = append(ds.pstQs, wegeom.PSTQuery{XL: xl, XR: xr, YB: yb})
+		ds.rtQs = append(ds.rtQs, wegeom.RTQuery{XL: xl, XR: xr, YB: yb, YT: yt})
+		ds.boxes = append(ds.boxes, wegeom.KBox{
+			Min: wegeom.KPoint{xl, yb},
+			Max: wegeom.KPoint{xl + (xr-xl)*0.5, yb + (yt-yb)*0.5},
+		})
+	}
+	ds.knnQs = gen.UniformKPoints(nq, 2, seed+10)
+	ds.knnK = 5
+	return ds
+}
+
+// outputs is everything one engine (sharded or not) answers for a dataset,
+// plus the counted cost of each run.
+type outputs struct {
+	stab       *wegeom.IntervalBatch
+	stabCounts []int64
+	q3         *wegeom.PSTBatch
+	q3Counts   []int64
+	rng        *wegeom.RTBatch
+	sums       []float64
+	kdr        *wegeom.KDBatch
+	kdrCounts  []int64
+	knn        *wegeom.KDBatch
+
+	costs    map[string]wegeom.Snapshot // op -> Report.Total
+	perShard map[string][]wegeom.Snapshot
+}
+
+func runUnsharded(t *testing.T, ds dataset) *outputs {
+	t.Helper()
+	ctx := context.Background()
+	eng := wegeom.NewEngine()
+	itree, _, err := eng.NewIntervalTree(ctx, ds.ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptree, _, err := eng.NewPriorityTree(ctx, ds.ppts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtree, _, err := eng.NewRangeTree(ctx, ds.rpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdt, _, err := eng.BuildKDTree(ctx, 2, ds.kitems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &outputs{costs: make(map[string]wegeom.Snapshot)}
+	record := func(op string, rep *wegeom.Report, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		out.costs[op] = rep.Total
+	}
+	var rep *wegeom.Report
+	out.stab, rep, err = eng.StabBatch(ctx, itree, ds.stabQs)
+	record("stab", rep, err)
+	out.stabCounts, rep, err = eng.StabCountBatch(ctx, itree, ds.stabQs)
+	record("stab-count", rep, err)
+	out.q3, rep, err = eng.Query3SidedBatch(ctx, ptree, ds.pstQs)
+	record("q3", rep, err)
+	out.q3Counts, rep, err = eng.Count3SidedBatch(ctx, ptree, ds.pstQs)
+	record("q3-count", rep, err)
+	out.rng, rep, err = eng.RangeQueryBatch(ctx, rtree, ds.rtQs)
+	record("range", rep, err)
+	out.sums, rep, err = eng.SumYBatch(ctx, rtree, ds.rtQs)
+	record("sumy", rep, err)
+	out.kdr, rep, err = eng.KDRangeBatch(ctx, kdt, ds.boxes)
+	record("kdrange", rep, err)
+	out.kdrCounts, rep, err = eng.KDRangeCountBatch(ctx, kdt, ds.boxes)
+	record("kdrange-count", rep, err)
+	out.knn, rep, err = eng.KNNBatch(ctx, kdt, ds.knnQs, ds.knnK)
+	record("knn", rep, err)
+	return out
+}
+
+func runSharded(t *testing.T, ds dataset, opts Options) *outputs {
+	t.Helper()
+	ctx := context.Background()
+	e := New(opts)
+	if _, err := e.BuildIntervalTree(ctx, ds.ivs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BuildPriorityTree(ctx, ds.ppts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BuildRangeTree(ctx, ds.rpts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BuildKDTree(ctx, 2, ds.kitems); err != nil {
+		t.Fatal(err)
+	}
+	return runShardedQueries(t, e, ds)
+}
+
+func runShardedQueries(t *testing.T, e *Engine, ds dataset) *outputs {
+	t.Helper()
+	ctx := context.Background()
+	out := &outputs{
+		costs:    make(map[string]wegeom.Snapshot),
+		perShard: make(map[string][]wegeom.Snapshot),
+	}
+	record := func(op string, rep *wegeom.Report, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		out.costs[op] = rep.Total
+		out.perShard[op] = rep.PerShard
+	}
+	var rep *wegeom.Report
+	var err error
+	out.stab, rep, err = e.StabBatch(ctx, ds.stabQs)
+	record("stab", rep, err)
+	out.stabCounts, rep, err = e.StabCountBatch(ctx, ds.stabQs)
+	record("stab-count", rep, err)
+	out.q3, rep, err = e.Query3SidedBatch(ctx, ds.pstQs)
+	record("q3", rep, err)
+	out.q3Counts, rep, err = e.Count3SidedBatch(ctx, ds.pstQs)
+	record("q3-count", rep, err)
+	out.rng, rep, err = e.RangeQueryBatch(ctx, ds.rtQs)
+	record("range", rep, err)
+	out.sums, rep, err = e.SumYBatch(ctx, ds.rtQs)
+	record("sumy", rep, err)
+	out.kdr, rep, err = e.KDRangeBatch(ctx, ds.boxes)
+	record("kdrange", rep, err)
+	out.kdrCounts, rep, err = e.KDRangeCountBatch(ctx, ds.boxes)
+	record("kdrange-count", rep, err)
+	out.knn, rep, err = e.KNNBatch(ctx, ds.knnQs, ds.knnK)
+	record("knn", rep, err)
+	return out
+}
+
+// idsOf canonicalizes one query's result row as a sorted id list.
+func idsOf[R any](row []R, id func(R) int32) []int32 {
+	ids := make([]int32, len(row))
+	for i, r := range row {
+		ids[i] = id(r)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// checkSetEqual compares two packed batches query by query as id sets.
+func checkSetEqual[R any](t *testing.T, op string, want, got *qbatch.Packed[R], id func(R) int32) {
+	t.Helper()
+	if got.Queries() != want.Queries() {
+		t.Fatalf("%s: %d queries, want %d", op, got.Queries(), want.Queries())
+	}
+	for i := 0; i < want.Queries(); i++ {
+		w := idsOf(want.Results(i), id)
+		g := idsOf(got.Results(i), id)
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s query %d: ids %v, want %v", op, i, g, w)
+		}
+	}
+}
+
+// checkEquivalence verifies a sharded run against the unsharded reference:
+// result sets, counts, and aggregates must agree for every query (order
+// within a query's row may differ once shards split the traversals).
+func checkEquivalence(t *testing.T, ds dataset, ref, got *outputs) {
+	t.Helper()
+	checkSetEqual(t, "stab", ref.stab, got.stab, func(iv wegeom.Interval) int32 { return iv.ID })
+	checkSetEqual(t, "q3", ref.q3, got.q3, func(p wegeom.PSTPoint) int32 { return p.ID })
+	checkSetEqual(t, "range", ref.rng, got.rng, func(p wegeom.RTPoint) int32 { return p.ID })
+	checkSetEqual(t, "kdrange", ref.kdr, got.kdr, func(it wegeom.KDItem) int32 { return it.ID })
+	if !reflect.DeepEqual(ref.stabCounts, got.stabCounts) {
+		t.Errorf("stab counts diverge")
+	}
+	if !reflect.DeepEqual(ref.q3Counts, got.q3Counts) {
+		t.Errorf("3-sided counts diverge")
+	}
+	if !reflect.DeepEqual(ref.kdrCounts, got.kdrCounts) {
+		t.Errorf("kd range counts diverge")
+	}
+	for i := range ref.sums {
+		if d := math.Abs(ref.sums[i] - got.sums[i]); d > 1e-9*(1+math.Abs(ref.sums[i])) {
+			t.Errorf("sumy query %d: %g, want %g", i, got.sums[i], ref.sums[i])
+		}
+	}
+	// kNN: same k nearest by (distance, id), allowing order differences.
+	for i := 0; i < ref.knn.Queries(); i++ {
+		w := knnKey(ds.knnQs[i], ref.knn.Results(i))
+		g := knnKey(ds.knnQs[i], got.knn.Results(i))
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("knn query %d: %v, want %v", i, g, w)
+		}
+	}
+}
+
+func knnKey(q wegeom.KPoint, row []wegeom.KDItem) [][2]float64 {
+	out := make([][2]float64, len(row))
+	for i, it := range row {
+		out[i] = [2]float64{q.Dist2(it.P), float64(it.ID)}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// checkBitIdentical verifies two sharded runs of the same configuration
+// (different P) agree bit for bit: packed items and offsets, counts,
+// aggregates, and every run's counted cost.
+func checkBitIdentical(t *testing.T, base, got *outputs) {
+	t.Helper()
+	pairs := []struct {
+		op   string
+		a, b any
+	}{
+		{"stab", base.stab, got.stab},
+		{"stab-count", base.stabCounts, got.stabCounts},
+		{"q3", base.q3, got.q3},
+		{"q3-count", base.q3Counts, got.q3Counts},
+		{"range", base.rng, got.rng},
+		{"sumy", base.sums, got.sums},
+		{"kdrange", base.kdr, got.kdr},
+		{"kdrange-count", base.kdrCounts, got.kdrCounts},
+		{"knn", base.knn, got.knn},
+	}
+	for _, p := range pairs {
+		if !reflect.DeepEqual(p.a, p.b) {
+			t.Errorf("%s: output not bit-identical across P", p.op)
+		}
+	}
+	if !reflect.DeepEqual(base.costs, got.costs) {
+		t.Errorf("counted costs not identical across P: %v vs %v", base.costs, got.costs)
+	}
+	if !reflect.DeepEqual(base.perShard, got.perShard) {
+		t.Errorf("per-shard attribution not identical across P")
+	}
+}
+
+// TestShardEquivalence is the routing equivalence suite: every scheme ×
+// shards × P combination must answer exactly like one unsharded Engine,
+// and for a fixed (scheme, shards) the outputs and counted costs must be
+// bit-identical at every P.
+func TestShardEquivalence(t *testing.T) {
+	n, nq := 1200, 120
+	if testing.Short() {
+		n, nq = 500, 60
+	}
+	ds := makeDataset(n, nq, 11)
+	ref := runUnsharded(t, ds)
+	for _, scheme := range []Scheme{Grid, KDMedian} {
+		for _, shards := range []int{1, 2, 4} {
+			var base *outputs
+			for _, p := range []int{1, 2, 8} {
+				opts := Options{Shards: shards, Scheme: scheme, Parallelism: p}
+				t.Run(fmt.Sprintf("%s/shards%d/p%d", scheme, shards, p), func(t *testing.T) {
+					got := runSharded(t, ds, opts)
+					checkEquivalence(t, ds, ref, got)
+					if base == nil {
+						base = got
+					} else {
+						checkBitIdentical(t, base, got)
+					}
+					if shards == 1 {
+						// One shard is the degenerate router: the packed
+						// outputs must match the unsharded engine bit for
+						// bit, and the whole per-shard attribution is
+						// shard 0 charging exactly the unsharded totals.
+						if !reflect.DeepEqual(ref.stab, got.stab) ||
+							!reflect.DeepEqual(ref.q3, got.q3) ||
+							!reflect.DeepEqual(ref.rng, got.rng) ||
+							!reflect.DeepEqual(ref.kdr, got.kdr) ||
+							!reflect.DeepEqual(ref.knn, got.knn) ||
+							!reflect.DeepEqual(ref.sums, got.sums) {
+							t.Errorf("shards=1 packed outputs differ from the unsharded engine")
+						}
+						for op, want := range ref.costs {
+							per := got.perShard[op]
+							if len(per) != 1 || per[0] != want {
+								t.Errorf("shards=1 %s: PerShard = %v, want [%v]", op, per, want)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardClusteredData drives the grid scheme into its worst case — all
+// points in one tiny cluster, so most cells (shards) are empty — and the
+// answers must still match the unsharded engine exactly.
+func TestShardClusteredData(t *testing.T) {
+	n, nq := 600, 60
+	ds := makeDataset(n, nq, 23)
+	shrink := func(v float64) float64 { return 0.5 + v*1e-3 }
+	for i := range ds.ivs {
+		ds.ivs[i].Left = shrink(ds.ivs[i].Left)
+		ds.ivs[i].Right = shrink(ds.ivs[i].Right)
+	}
+	for i := range ds.ppts {
+		ds.ppts[i].X, ds.ppts[i].Y = shrink(ds.ppts[i].X), shrink(ds.ppts[i].Y)
+		ds.rpts[i].X, ds.rpts[i].Y = shrink(ds.rpts[i].X), shrink(ds.rpts[i].Y)
+	}
+	for i := range ds.kitems {
+		p := ds.kitems[i].P
+		ds.kitems[i].P = wegeom.KPoint{shrink(p[0]), shrink(p[1])}
+	}
+	ref := runUnsharded(t, ds)
+	got := runSharded(t, ds, Options{Shards: 4, Scheme: Grid, Parallelism: 2})
+	checkEquivalence(t, ds, ref, got)
+}
+
+// TestShardMixedEquivalence runs the three mixed batches sharded and
+// unsharded: per-op result sets must match, and so must the final
+// structure contents (probed with follow-up query batches).
+func TestShardMixedEquivalence(t *testing.T) {
+	n, nq := 800, 80
+	if testing.Short() {
+		n, nq = 400, 50
+	}
+	ds := makeDataset(n, nq, 37)
+	ctx := context.Background()
+
+	// Interleaved ops: queries, deletes of build-time items, inserts of
+	// fresh ones — every third op is an update.
+	var ivOps []wegeom.IntervalOp
+	var rtOps []wegeom.RTOp
+	var kdOps []wegeom.KDOp
+	fresh := gen.UniformKPoints(nq, 2, 91)
+	for i := 0; i < nq; i++ {
+		switch i % 3 {
+		case 0:
+			ivOps = append(ivOps, wegeom.IntervalOp{Kind: wegeom.OpQuery, Qry: ds.stabQs[i]})
+			rtOps = append(rtOps, wegeom.RTOp{Kind: wegeom.OpQuery, Qry: ds.rtQs[i]})
+			kdOps = append(kdOps, wegeom.KDOp{Kind: wegeom.OpQuery, Qry: ds.boxes[i]})
+		case 1:
+			ivOps = append(ivOps, wegeom.IntervalOp{Kind: wegeom.OpDelete, Upd: ds.ivs[i]})
+			rtOps = append(rtOps, wegeom.RTOp{Kind: wegeom.OpDelete, Upd: ds.rpts[i]})
+			kdOps = append(kdOps, wegeom.KDOp{Kind: wegeom.OpDelete, Upd: ds.kitems[i]})
+		default:
+			ivOps = append(ivOps, wegeom.IntervalOp{Kind: wegeom.OpInsert,
+				Upd: wegeom.Interval{Left: ds.stabQs[i] - 0.01, Right: ds.stabQs[i] + 0.01, ID: int32(n + i)}})
+			rtOps = append(rtOps, wegeom.RTOp{Kind: wegeom.OpInsert,
+				Upd: wegeom.RTPoint{X: fresh[i][0], Y: fresh[i][1], ID: int32(n + i)}})
+			kdOps = append(kdOps, wegeom.KDOp{Kind: wegeom.OpInsert,
+				Upd: wegeom.KDItem{P: fresh[i], ID: int32(n + i)}})
+		}
+	}
+
+	// Unsharded reference.
+	eng := wegeom.NewEngine()
+	itree, _, err := eng.NewIntervalTree(ctx, ds.ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtree, _, err := eng.NewRangeTree(ctx, ds.rpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdt, _, err := eng.BuildKDTree(ctx, 2, ds.kitems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIv, _, err := eng.IntervalMixedBatch(ctx, itree, ivOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRT, _, err := eng.RangeTreeMixedBatch(ctx, rtree, rtOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKD, _, err := eng.KDMixedBatch(ctx, kdt, kdOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			e := New(Options{Shards: shards, Parallelism: 2})
+			if _, err := e.BuildIntervalTree(ctx, ds.ivs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildRangeTree(ctx, ds.rpts); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildKDTree(ctx, 2, ds.kitems); err != nil {
+				t.Fatal(err)
+			}
+			gotIv, _, err := e.IntervalMixedBatch(ctx, ivOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRT, _, err := e.RangeTreeMixedBatch(ctx, rtOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotKD, _, err := e.KDMixedBatch(ctx, kdOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMixed(t, "interval", len(ivOps), refIv, gotIv, func(iv wegeom.Interval) int32 { return iv.ID })
+			checkMixed(t, "range", len(rtOps), refRT, gotRT, func(p wegeom.RTPoint) int32 { return p.ID })
+			checkMixed(t, "kd", len(kdOps), refKD, gotKD, func(it wegeom.KDItem) int32 { return it.ID })
+
+			// Final contents: probe both engines with the same follow-up
+			// read batches.
+			wantStab, _, err := eng.StabBatch(ctx, itree, ds.stabQs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStab, _, err := e.StabBatch(ctx, ds.stabQs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSetEqual(t, "post-mixed stab", wantStab, gotStab, func(iv wegeom.Interval) int32 { return iv.ID })
+			wantRng, _, err := eng.RangeQueryBatch(ctx, rtree, ds.rtQs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRng, _, err := e.RangeQueryBatch(ctx, ds.rtQs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSetEqual(t, "post-mixed range", wantRng, gotRng, func(p wegeom.RTPoint) int32 { return p.ID })
+			wantKdr, _, err := eng.KDRangeBatch(ctx, kdt, ds.boxes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotKdr, _, err := e.KDRangeBatch(ctx, ds.boxes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSetEqual(t, "post-mixed kdrange", wantKdr, gotKdr, func(it wegeom.KDItem) int32 { return it.ID })
+		})
+	}
+}
+
+// checkMixed compares a sharded mixed result against the reference op by
+// op: same query slots, same per-op result sets, same global counters.
+func checkMixed[R any](t *testing.T, op string, nops int, want, got *mbatch.Result[R], id func(R) int32) {
+	t.Helper()
+	if !reflect.DeepEqual(want.QuerySlot, got.QuerySlot) {
+		t.Fatalf("%s: QuerySlot diverges", op)
+	}
+	if want.Queries != got.Queries {
+		t.Fatalf("%s: %d queries, want %d", op, got.Queries, want.Queries)
+	}
+	if want.Applied != got.Applied {
+		t.Errorf("%s: Applied = %d, want %d", op, got.Applied, want.Applied)
+	}
+	for i := 0; i < nops; i++ {
+		wrow, wq := want.ResultsAt(i)
+		grow, gq := got.ResultsAt(i)
+		if wq != gq {
+			t.Fatalf("%s op %d: query-ness diverges", op, i)
+		}
+		if !wq {
+			continue
+		}
+		w := idsOf(wrow, id)
+		g := idsOf(grow, id)
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s op %d: ids %v, want %v", op, i, g, w)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type Report struct {
 	// phases and legacy unsharded charges). Summing PerWorker gives Total
 	// exactly. Nil when the Engine was built with WithMeter(nil).
 	PerWorker []Snapshot
+	// PerShard attributes Total to the shards of a sharded run (see
+	// internal/shard): entry s is everything shard s's engine charged, so
+	// summing PerShard and adding the router's own "shard/route" phase
+	// gives Total exactly. Nil for single-engine runs.
+	PerShard []Snapshot
 	// Wall is the elapsed wall-clock time of the run.
 	Wall time.Duration
 	// Omega is the configured write/read cost ratio.
