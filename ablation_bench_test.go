@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/delaunay"
 	"repro/internal/gen"
 	"repro/internal/kdtree"
@@ -109,10 +110,11 @@ func BenchmarkAblationKDHeuristic(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationParallelism measures wall-clock with the worker pool at
-// one worker vs the machine default — a sanity check that the fork-join
-// runtime actually helps (the paper's claims are about model costs; this is
-// the engineering check).
+// BenchmarkAblationParallelism measures wall-clock with a one-worker scope
+// vs the process-default scope — a sanity check that the fork-join runtime
+// actually helps (the paper's claims are about model costs; this is the
+// engineering check). The sequential variants run inside a unit
+// parallel.Scoped so every fork degrades to inline execution.
 func BenchmarkAblationParallelism(b *testing.B) {
 	pts := ShufflePoints(gen.UniformPoints(1<<13, 44), 45)
 	keys := gen.UniformFloats(1<<16, 46)
@@ -121,20 +123,22 @@ func BenchmarkAblationParallelism(b *testing.B) {
 		workers int
 	}{{"sequential", 1}, {"parallel", 0}} {
 		b.Run("delaunay/"+cfg.name, func(b *testing.B) {
-			old := parallel.SetWorkers(cfg.workers)
-			defer parallel.SetWorkers(old)
-			for i := 0; i < b.N; i++ {
-				if _, err := delaunay.TriangulateWriteEfficient(pts, nil); err != nil {
-					b.Fatal(err)
+			parallel.Scoped(cfg.workers, func(root int) {
+				for i := 0; i < b.N; i++ {
+					if _, err := delaunay.TriangulateConfig(pts, config.Config{Root: root}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
+			})
 		})
 		b.Run("sort/"+cfg.name, func(b *testing.B) {
-			old := parallel.SetWorkers(cfg.workers)
-			defer parallel.SetWorkers(old)
-			for i := 0; i < b.N; i++ {
-				wesort.ParallelPlain(keys, nil)
-			}
+			parallel.Scoped(cfg.workers, func(root int) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := wesort.BuildConfig(keys, config.Config{Root: root}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

@@ -18,6 +18,13 @@ import (
 // charged at exactly the output size: the paper's write-efficiency
 // discipline extended from construction to serving.
 //
+// Batches are read-only, so they run in the Engine's shared mode: any
+// number execute concurrently on one Engine (structure mutations still
+// fence them out), each charging a private per-run meter folded into the
+// Engine's on completion. Results and counted costs are bit-identical to
+// serial execution regardless of overlap; see the Engine doc and
+// WithExclusiveReads.
+//
 // The returned Report records the two packing passes as
 // "<structure>/<op>/count" and "<structure>/<op>/write" phases and carries
 // Queries/Results, so rep.QPS() gives the batch's query throughput.
@@ -47,7 +54,7 @@ type TriBatch = qbatch.Packed[int32]
 // charged, when the batch was cancelled.
 func runBatch[R any](e *Engine, ctx context.Context, op string, nq int, f func(cfg config.Config) (*qbatch.Packed[R], error)) (*qbatch.Packed[R], *Report, error) {
 	var out *qbatch.Packed[R]
-	rep, err := e.run(ctx, op, func(cfg config.Config) error {
+	rep, err := e.runShared(ctx, op, func(cfg config.Config) error {
 		var ferr error
 		out, ferr = f(cfg)
 		return ferr
@@ -109,7 +116,7 @@ func (e *Engine) KDRangeCountBatch(ctx context.Context, t *KDTree, boxes []KBox)
 // counted.
 func runCountBatch[R any](e *Engine, ctx context.Context, op string, nq int, f func(cfg config.Config) ([]R, error)) ([]R, *Report, error) {
 	var out []R
-	rep, err := e.run(ctx, op, func(cfg config.Config) error {
+	rep, err := e.runShared(ctx, op, func(cfg config.Config) error {
 		var ferr error
 		out, ferr = f(cfg)
 		return ferr

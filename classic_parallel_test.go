@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/interval"
@@ -26,16 +27,23 @@ func TestClassicCostInvariance(t *testing.T) {
 	}
 	var refI, refP, refK asymmem.Snapshot
 	for _, p := range []int{1, 8} {
-		prev := parallel.SetWorkers(p)
 		mi, mp, mk := asymmem.NewMeterShards(p), asymmem.NewMeterShards(p), asymmem.NewMeterShards(p)
-		if _, err := interval.BuildClassic(ivs, interval.Options{Alpha: 4}, mi); err != nil {
-			t.Fatal(err)
+		var errI, errK error
+		parallel.Scoped(p, func(root int) {
+			_, errI = interval.BuildClassicConfig(ivs, config.Config{Alpha: 4, Meter: mi, Root: root})
+			if _, err := pst.BuildClassicConfig(pts, config.Config{Alpha: 4, Meter: mp, Root: root}); err != nil {
+				errK = err
+			}
+			if _, err := kdtree.BuildClassicConfig(2, items, config.Config{Meter: mk, Root: root}); err != nil {
+				errK = err
+			}
+		})
+		if errI != nil {
+			t.Fatal(errI)
 		}
-		pst.BuildClassic(pts, pst.Options{Alpha: 4}, mp)
-		if _, err := kdtree.BuildClassic(2, items, kdtree.Options{}, mk); err != nil {
-			t.Fatal(err)
+		if errK != nil {
+			t.Fatal(errK)
 		}
-		parallel.SetWorkers(prev)
 		si, sp, sk := mi.Snapshot(), mp.Snapshot(), mk.Snapshot()
 		if p == 1 {
 			refI, refP, refK = si, sp, sk

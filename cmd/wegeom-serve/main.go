@@ -36,6 +36,13 @@
 // re-saves the structures to the -checkpoint path mid-stream; the snapshot
 // lands between batches, so a replica restored from it continues
 // bit-identically. SIGINT/SIGTERM drain in-flight batches before exit.
+//
+// Read batches run in the Engine's shared mode: any number of coalesced
+// read flushes execute concurrently (bounded by -max-inflight), and writes
+// take the lock exclusively. -exclusive-reads restores the old
+// one-batch-at-a-time behaviour for A/B comparison. -pprof mounts
+// net/http/pprof (with mutex and block profiling enabled) for inspecting
+// contention under concurrent load.
 package main
 
 import (
@@ -43,8 +50,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -61,6 +70,9 @@ func main() {
 	alpha := flag.Int("alpha", 0, "alpha-labeling parameter (0 = module default)")
 	maxBatch := flag.Int("max-batch", 64, "coalescer flush size")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush timeout")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent flushed batches per coalescer (0 = default 8)")
+	exclusiveReads := flag.Bool("exclusive-reads", false, "serialize read batches behind the write lock instead of running them concurrently")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ and enable mutex/block profiling")
 	restore := flag.String("restore", "", "boot from this checkpoint file instead of building")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint of the booted structures to this path, then serve (also enables POST /checkpoint re-saves)")
 	shards := flag.Int("shards", 1, "shard the partitioned structures across this many engines behind the scatter-gather router (1 = single engine; a restored checkpoint's shard count wins)")
@@ -78,6 +90,8 @@ func main() {
 		Alpha:          *alpha,
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
+		MaxInFlight:    *maxInFlight,
+		ExclusiveReads: *exclusiveReads,
 		RestorePath:    *restore,
 		CheckpointPath: *checkpoint,
 		Shards:         *shards,
@@ -107,7 +121,21 @@ func main() {
 		fmt.Printf("wegeom-serve: checkpoint written to %s\n", *checkpoint)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *pprofFlag {
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Printf("wegeom-serve: pprof mounted at /debug/pprof/\n")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("wegeom-serve: listening on %s\n", *addr)

@@ -35,20 +35,25 @@ import (
 // cancelled context aborts a large run within one round's work and the
 // method returns ctx.Err().
 //
-// An Engine is safe for concurrent use; calls serialize so each Report's
-// phase attribution stays coherent. Engines are cheap — construct one per
-// experimental variant rather than reconfiguring a shared one.
+// An Engine is safe for concurrent use. Runs execute in one of two modes:
+// read-only batch queries (the *Batch, *CountBatch, SumYBatch and Locate
+// methods) run *shared* — any number execute concurrently, each charging a
+// private per-run meter that folds into the Engine's meter on completion —
+// while everything that mutates or replaces structures (constructions,
+// sorts, MixedBatch, checkpoint restore) runs *exclusive* behind the write
+// side of an RWMutex. Counted costs are a pure function of each run's batch
+// either way, bit-identical to serial execution at any parallelism and any
+// interleaving. WithExclusiveReads restores the old serialize-everything
+// behaviour. Engines are cheap — construct one per experimental variant
+// rather than reconfiguring a shared one.
 type Engine struct {
-	mu        sync.Mutex
-	cfg       config.Config
-	ledger    *Ledger
-	meterSet  bool
-	ledgerSet bool
+	mu             sync.RWMutex
+	cfg            config.Config
+	ledger         *Ledger
+	meterSet       bool
+	ledgerSet      bool
+	exclusiveReads bool
 }
-
-// poolMu serializes runs from engines that install an explicit worker-pool
-// size (WithParallelism > 0); engines at the runtime default never take it.
-var poolMu sync.Mutex
 
 // NewEngine returns an Engine with the given options applied over the
 // defaults: a fresh private meter and ledger, ω = DefaultOmega,
@@ -92,28 +97,28 @@ func (e *Engine) Omega() int64 { return e.cfg.Omega }
 // Alpha returns the configured α-labeling parameter.
 func (e *Engine) Alpha() int { return e.cfg.Alpha }
 
-// run executes f under the Engine's Config with ctx wired to the
-// builders' interrupt hook, and assembles the uniform Report. A nil ctx is
-// normalized to context.Background() so every Engine method — and every
+// run executes f exclusively (write lock — no other run overlaps) under
+// the Engine's Config with ctx wired to the builders' interrupt hook, and
+// assembles the uniform Report from engine-meter snapshot deltas. A nil ctx
+// is normalized to context.Background() so every Engine method — and every
 // deprecated facade wrapper that forwards a nil context — gets the same
 // cancellation/interrupt semantics: cfg.Interrupt is always wired, and the
 // builders poll it at phase and fork boundaries.
+//
+// Each run executes in its own immutable fork-join scope (parallel.Enter,
+// sized by WithParallelism), whose root is threaded through cfg.Root; there
+// is no process-global pool state, so runs from engines with different
+// parallelism never interfere.
 func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) error) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.cfg.Parallelism > 0 {
-		// The worker pool is process-wide; serialize pinned runs so the
-		// save/restore pairs of concurrent engines cannot interleave and
-		// leak a stale pool size past the last run.
-		poolMu.Lock()
-		defer poolMu.Unlock()
-		prev := parallel.SetWorkers(e.cfg.Parallelism)
-		defer parallel.SetWorkers(prev)
-	}
+	root, release := parallel.Enter(e.cfg.Parallelism)
+	defer release()
 	cfg := e.cfg
+	cfg.Root = root
 	cfg.Ledger = e.ledger
 	cfg.Interrupt = ctx.Err
 	phasesBefore := len(e.ledger.Phases())
@@ -132,7 +137,7 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 		PerWorker: subSnapshots(afterShards, beforeShards),
 		Wall:      wall,
 		Omega:     cfg.Omega,
-		Workers:   parallel.Workers(),
+		Workers:   parallel.ScopeWorkers(root),
 		Allocs:    msAfter.Mallocs - msBefore.Mallocs,
 		HeapDelta: int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc),
 	}
@@ -143,6 +148,64 @@ func (e *Engine) run(ctx context.Context, op string, f func(cfg config.Config) e
 		return rep, err
 	}
 	return rep, nil
+}
+
+// runShared executes f in shared (read) mode: any number of shared runs
+// overlap on one Engine (read lock), while exclusive runs — anything that
+// mutates a structure — still fence them out. Only read-only query batches
+// go through here.
+//
+// Attribution under overlap works by charging a private per-run meter and
+// ledger: cfg.Meter is a fresh meter sized to the run's scope, so
+// Report.Total and PerWorker are a pure function of this run's batch —
+// bit-identical to serial execution at any P and any interleaving — and the
+// run's counts and phases fold into the Engine's meter and ledger when it
+// completes, keeping engine-lifetime totals exact. Allocs/HeapDelta are
+// reported as zero: runtime.ReadMemStats deltas are process-global and
+// would double-count overlapping runs (see Report).
+func (e *Engine) runShared(ctx context.Context, op string, f func(cfg config.Config) error) (*Report, error) {
+	if e.exclusiveReads {
+		return e.run(ctx, op, f)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	root, release := parallel.Enter(e.cfg.Parallelism)
+	defer release()
+	workers := parallel.ScopeWorkers(root)
+	cfg := e.cfg
+	cfg.Root = root
+	cfg.Interrupt = ctx.Err
+	if e.cfg.Meter != nil {
+		cfg.Meter = asymmem.NewMeterShards(workers)
+	}
+	var runLedger *asymmem.Ledger
+	if e.ledger != nil {
+		runLedger = asymmem.NewRunLedger(cfg.Meter)
+	}
+	cfg.Ledger = runLedger
+	start := time.Now()
+	err := f(cfg)
+	wall := time.Since(start)
+	per := cfg.Meter.PerWorker()
+	for w, s := range per {
+		e.cfg.Meter.AddAt(w, s)
+	}
+	phases := runLedger.Phases()
+	e.ledger.Append(phases)
+	rep := &Report{
+		Op:        op,
+		Phases:    phases,
+		Total:     sumSnapshots(per),
+		PerWorker: per,
+		Wall:      wall,
+		Omega:     cfg.Omega,
+		Workers:   workers,
+		Shared:    true,
+	}
+	return rep, err
 }
 
 // ---- §4: write-efficient comparison sort ----

@@ -224,6 +224,23 @@ func (m *Meter) Work(omega int64) int64 {
 	return s.Reads + omega*s.Writes
 }
 
+// AddAt folds a snapshot's counts into shard id (folded by the mask like
+// Worker) with one atomic add per counter. The Engine uses it to fold a
+// completed shared run's per-run meter into the engine-lifetime meter
+// shard-by-shard, preserving per-worker attribution.
+func (m *Meter) AddAt(id int, s Snapshot) {
+	if m == nil || s == (Snapshot{}) {
+		return
+	}
+	sh := &m.shards[uint32(id)&m.mask]
+	if s.Reads != 0 {
+		sh.reads.Add(s.Reads)
+	}
+	if s.Writes != 0 {
+		sh.writes.Add(s.Writes)
+	}
+}
+
 // Reset zeroes all shards.
 func (m *Meter) Reset() {
 	if m == nil {
@@ -303,6 +320,11 @@ func (s Snapshot) String() string {
 // phases throughout.
 type Ledger struct {
 	m *Meter
+	// noMem skips the runtime.ReadMemStats calls around each phase — set
+	// for per-run ledgers of shared (concurrent) Engine runs, where the
+	// process-global deltas would misattribute overlapping runs' traffic
+	// and the stop-the-world reads would serialize them.
+	noMem bool
 	// phaseMu serializes Phase bodies; mu guards the record slice only, so
 	// Phases/Total stay non-blocking while a phase runs.
 	phaseMu sync.Mutex
@@ -326,6 +348,12 @@ type PhaseRecord struct {
 // NewLedger returns a ledger charging against meter m.
 func NewLedger(m *Meter) *Ledger { return &Ledger{m: m} }
 
+// NewRunLedger returns a ledger for one shared (concurrent) Engine run: it
+// records phase meter deltas like NewLedger but skips the per-phase
+// runtime.ReadMemStats bracketing, whose process-global deltas are
+// meaningless when runs overlap. Phase Allocs/HeapDelta stay zero.
+func NewRunLedger(m *Meter) *Ledger { return &Ledger{m: m, noMem: true} }
+
 // Meter returns the underlying meter.
 func (l *Ledger) Meter() *Meter {
 	if l == nil {
@@ -345,11 +373,15 @@ func (l *Ledger) Phase(name string, f func()) Snapshot {
 	}
 	l.phaseMu.Lock()
 	var msBefore, msAfter runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
+	if !l.noMem {
+		runtime.ReadMemStats(&msBefore)
+	}
 	before := l.m.Snapshot()
 	f()
 	cost := l.m.Snapshot().Sub(before)
-	runtime.ReadMemStats(&msAfter)
+	if !l.noMem {
+		runtime.ReadMemStats(&msAfter)
+	}
 	l.phaseMu.Unlock()
 	l.mu.Lock()
 	l.ph = append(l.ph, PhaseRecord{
@@ -360,6 +392,19 @@ func (l *Ledger) Phase(name string, f func()) Snapshot {
 	})
 	l.mu.Unlock()
 	return cost
+}
+
+// Append adds already-closed phase records to the ledger, in order. The
+// Engine uses it to fold a completed shared run's private ledger into the
+// engine-lifetime ledger after the run; concurrent Appends interleave at
+// record granularity, never inside one run's records.
+func (l *Ledger) Append(recs []PhaseRecord) {
+	if l == nil || len(recs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.ph = append(l.ph, recs...)
+	l.mu.Unlock()
 }
 
 // Phases returns a copy of the recorded phases in order.

@@ -46,6 +46,13 @@ type Options struct {
 	// MaxWait flushes a batch once its oldest request has waited this long.
 	// Default 2ms.
 	MaxWait time.Duration
+	// MaxInFlight bounds how many flushed batches may execute concurrently.
+	// While one batch runs, the next window keeps filling and flushes into
+	// another slot, so read batches pipeline into the engine's shared
+	// execution mode instead of queueing behind a single run; a flush past
+	// the bound blocks (backpressure) rather than queueing unboundedly.
+	// Default 8.
+	MaxInFlight int
 	// Clock is the time source; nil means real time.
 	Clock Clock
 }
@@ -56,6 +63,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWait <= 0 {
 		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 8
 	}
 	if o.Clock == nil {
 		o.Clock = realClock{}
@@ -89,6 +99,8 @@ type Stats struct {
 	TimeoutFlushes int64 // flushes triggered by MaxWait
 	DrainFlushes   int64 // flushes triggered by Close
 	Retries        int64 // batch re-runs after a member's cancellation aborted a run
+	InFlight       int64 // batches executing at snapshot time (gauge)
+	InFlightPeak   int64 // maximum concurrently-executing batches observed
 	// SizeHist[i] counts flushed batches with size in [2^i, 2^(i+1));
 	// bucket 16 collects everything ≥ 65536.
 	SizeHist [17]int64
@@ -134,6 +146,7 @@ type request[Q, R any] struct {
 type Coalescer[Q, R any] struct {
 	run  Runner[Q, R]
 	opts Options
+	sem  chan struct{} // in-flight batch slots (cap MaxInFlight)
 
 	mu      sync.Mutex
 	pending []*request[Q, R]
@@ -149,7 +162,8 @@ type Coalescer[Q, R any] struct {
 
 // New builds a coalescer that executes batches with run.
 func New[Q, R any](run Runner[Q, R], opts Options) *Coalescer[Q, R] {
-	return &Coalescer[Q, R]{run: run, opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Coalescer[Q, R]{run: run, opts: o, sem: make(chan struct{}, o.MaxInFlight)}
 }
 
 // Stats returns a snapshot of the counters.
@@ -285,8 +299,25 @@ func (c *Coalescer[Q, R]) timer(gen uint64, quit chan struct{}) {
 // runBatch executes one flushed window, retrying with the surviving members
 // when a member's cancellation aborts the shared run. Each retry removes at
 // least one (canceled) member, so the loop terminates.
+//
+// Batches pipeline: up to MaxInFlight flushed windows execute concurrently
+// (the engine's shared mode lets read batches overlap), and the window that
+// would exceed the bound blocks here until a slot frees.
 func (c *Coalescer[Q, R]) runBatch(members []*request[Q, R]) {
 	defer c.wg.Done()
+	c.sem <- struct{}{}
+	c.mu.Lock()
+	c.stats.InFlight++
+	if c.stats.InFlight > c.stats.InFlightPeak {
+		c.stats.InFlightPeak = c.stats.InFlight
+	}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.stats.InFlight--
+		c.mu.Unlock()
+		<-c.sem
+	}()
 	for len(members) > 0 {
 		// Drop members already canceled; they get their own ctx.Err(), and
 		// the batch is built from the live ones only.

@@ -1,0 +1,106 @@
+package coalesce
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingEcho is an echo runner that parks inside the run until gate is
+// closed, counting entries — so tests can observe how many batches execute
+// concurrently.
+func blockingEcho(started *atomic.Int64, gate chan struct{}) Runner[int, int] {
+	return func(ctx context.Context, qs []int) (Demux[int], error) {
+		started.Add(1)
+		<-gate
+		out := make(Slice[int], len(qs))
+		copy(out, qs)
+		return out, nil
+	}
+}
+
+// TestBatchesPipelineUpToMaxInFlight asserts flushed batches overlap — up to
+// MaxInFlight execute concurrently, and the next one blocks until a slot
+// frees (backpressure, not unbounded queueing). The InFlight gauge and
+// InFlightPeak high-water mark must track the overlap exactly.
+func TestBatchesPipelineUpToMaxInFlight(t *testing.T) {
+	var started atomic.Int64
+	gate := make(chan struct{})
+	c := New(blockingEcho(&started, gate), Options{MaxBatch: 1, MaxInFlight: 2})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if _, err := c.Submit(context.Background(), q); err != nil {
+				t.Errorf("submit %d: %v", q, err)
+			}
+		}(i)
+	}
+	// MaxBatch=1 flushes each submit immediately; exactly two batches may
+	// enter the runner, the third must wait on the in-flight semaphore.
+	waitFor(t, "two batches in flight", func() bool { return started.Load() == 2 })
+	time.Sleep(20 * time.Millisecond)
+	if got := started.Load(); got != 2 {
+		t.Fatalf("%d batches entered the runner, want 2 (MaxInFlight)", got)
+	}
+	if st := c.Stats(); st.InFlight != 2 || st.InFlightPeak != 2 {
+		t.Fatalf("InFlight=%d InFlightPeak=%d, want 2/2", st.InFlight, st.InFlightPeak)
+	}
+
+	close(gate)
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight=%d after drain, want 0", st.InFlight)
+	}
+	if st.InFlightPeak != 2 {
+		t.Fatalf("InFlightPeak=%d, want 2", st.InFlightPeak)
+	}
+	if st.Batches != 3 {
+		t.Fatalf("Batches=%d, want 3", st.Batches)
+	}
+	c.Close()
+}
+
+// TestInFlightSerializedAtOne asserts MaxInFlight=1 restores strict
+// serialization: the peak never exceeds one no matter how many batches flush.
+func TestInFlightSerializedAtOne(t *testing.T) {
+	var running, peak atomic.Int64
+	c := New(func(ctx context.Context, qs []int) (Demux[int], error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+		out := make(Slice[int], len(qs))
+		copy(out, qs)
+		return out, nil
+	}, Options{MaxBatch: 1, MaxInFlight: 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if _, err := c.Submit(context.Background(), q); err != nil {
+				t.Errorf("submit %d: %v", q, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("observed %d concurrent runner entries, want 1", p)
+	}
+	if st := c.Stats(); st.InFlightPeak != 1 {
+		t.Fatalf("InFlightPeak=%d, want 1", st.InFlightPeak)
+	}
+	c.Close()
+}

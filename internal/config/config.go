@@ -19,7 +19,10 @@
 // every knob at its package default.
 package config
 
-import "repro/internal/asymmem"
+import (
+	"repro/internal/asymmem"
+	"repro/internal/parallel"
+)
 
 // DefaultOmega is the write/read cost ratio assumed when a caller does not
 // choose one. The paper evaluates ω between 5 and 40 for projected NVM; 10
@@ -42,10 +45,18 @@ type Config struct {
 	// Omega is the write/read cost ratio used when reporting work. It does
 	// not change any algorithm's behaviour, only the Work aggregation.
 	Omega int64
-	// Parallelism sizes the fork-join runtime's worker pool for the run:
-	// 0 keeps the runtime default (GOMAXPROCS workers), 1 forces sequential
-	// execution, p > 1 runs a pool of p workers.
+	// Parallelism sizes the fork-join scope the run executes in: 0 keeps
+	// the runtime default (GOMAXPROCS workers), 1 forces the run's rooted
+	// parallel regions sequential, p > 1 runs a private scope of p workers.
+	// The Engine opens the scope (parallel.Enter) per run and stores its
+	// root in Root; scopes are immutable, so concurrent runs with different
+	// Parallelism never interfere.
 	Parallelism int
+	// Root is the run's scope root worker ID (parallel.Enter), threaded by
+	// the Engine. Builders root their parallel regions at it
+	// (parallel.ForChunkedAt(cfg.Root, ...)) so forks draw from the run's
+	// own scope; the zero value roots at the process-default scope.
+	Root int
 	// Seed drives the Engine's deterministic shuffles (and any future
 	// randomized choice routed through the Config).
 	Seed uint64
@@ -74,9 +85,12 @@ type Config struct {
 // WorkerMeter returns the worker-local charging handle for worker w on the
 // Config's meter (a no-op handle when the meter is nil). Builders obtain one
 // per parallel task — the fork-join runtime hands worker IDs down the fork
-// path — so concurrent charge sites touch distinct meter shards.
+// path — so concurrent charge sites touch distinct meter shards. Worker IDs
+// carry their scope in the high bits; the scope-local index selects the
+// shard, so a per-run meter's PerWorker attribution is indexed 0..P-1
+// regardless of which scope slot the run landed in.
 func (c Config) WorkerMeter(w int) asymmem.Worker {
-	return c.Meter.Worker(w)
+	return c.Meter.Worker(parallel.Local(w))
 }
 
 // Check polls the interrupt hook; builders call it at round boundaries.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 // TestLocateBatchEquivalence asserts LocateBatch is indistinguishable from
@@ -33,14 +34,17 @@ func TestLocateBatchEquivalence(t *testing.T) {
 	seqCost := m.Snapshot().Sub(before)
 
 	for _, p := range []int{1, 2, 8} {
-		prev := parallel.SetWorkers(p)
-		before := m.Snapshot()
-		out, err := tri.LocateBatch(qs, config.Config{Meter: m})
-		cost := m.Snapshot().Sub(before)
-		parallel.SetWorkers(prev)
-		if err != nil {
-			t.Fatal(err)
-		}
+		var out *qbatch.Packed[int32]
+		var cost asymmem.Snapshot
+		parallel.Scoped(p, func(root int) {
+			before := m.Snapshot()
+			var err error
+			out, err = tri.LocateBatch(qs, config.Config{Meter: m, Root: root})
+			cost = m.Snapshot().Sub(before)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 		if cost != seqCost {
 			t.Errorf("P=%d: batch cost %v != sequential loop %v", p, cost, seqCost)
 		}

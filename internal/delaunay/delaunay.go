@@ -88,6 +88,7 @@ type Triangulation struct {
 	meter     *asymmem.Meter
 	interrupt func() error                // optional cancellation hook, polled per round
 	debug     func(round int, msg string) // optional round tracer for tests
+	rootW     int                         // scope root worker ID the build forks at (cfg.Root)
 }
 
 func edgeKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
@@ -212,7 +213,7 @@ func (t *Triangulation) runRounds(active []int32) error {
 		// partially carved cavity — and (b) its minimum encroacher is no
 		// larger than every neighbour's minimum.
 		fires := make([]bool, len(active))
-		parallel.ForChunkedW(len(active), parallel.DefaultGrain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(t.rootW, len(active), parallel.DefaultGrain, func(w, lo, hi int) {
 			hw := t.meter.Worker(w)
 			var lc localCost
 			for i := lo; i < hi; i++ {
@@ -235,7 +236,7 @@ func (t *Triangulation) runRounds(active []int32) error {
 
 		// Phase 2 (parallel): compute replacements for fired triangles.
 		news := make([][]pending, len(active))
-		parallel.ForChunkedW(len(active), 8, func(wk, lo, hi int) {
+		parallel.ForChunkedAt(t.rootW, len(active), 8, func(wk, lo, hi int) {
 			hw := t.meter.Worker(wk)
 			var lc localCost
 			for i := lo; i < hi; i++ {
@@ -341,6 +342,7 @@ func Triangulate(pts []geom.Point, m *asymmem.Meter) (*Triangulation, error) {
 func TriangulateClassicConfig(pts []geom.Point, cfg config.Config) (*Triangulation, error) {
 	t := newTriangulation(pts, cfg.Meter)
 	t.interrupt = cfg.Interrupt
+	t.rootW = cfg.Root
 	if err := cfg.PhaseErr("delaunay/seed", func() error { return t.seed(len(pts)) }); err != nil {
 		return nil, err
 	}
@@ -397,6 +399,7 @@ func TriangulateConfig(pts []geom.Point, cfg config.Config) (*Triangulation, err
 	n := len(pts)
 	t := newTriangulation(pts, cfg.Meter)
 	t.interrupt = cfg.Interrupt
+	t.rootW = cfg.Root
 	if n == 0 {
 		if err := t.seed(0); err != nil {
 			return nil, err
@@ -448,7 +451,7 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	var mu sync.Mutex
 	pairs := make([]prims.Pair, 0, 4*batch)
 
-	parallel.ForChunkedW(batch, 16, func(w, lo, hi int) {
+	parallel.ForChunkedAt(t.rootW, batch, 16, func(w, lo, hi int) {
 		hw := t.meter.Worker(w)
 		var lc localCost
 		var v, o int64
@@ -480,7 +483,7 @@ func (t *Triangulation) locateAndFill(start, end int) error {
 	var encWrites atomic.Int64
 	var deadTri atomic.Int32
 	deadTri.Store(noTri)
-	parallel.ForGrainW(len(groups), 64, func(w, gi int) {
+	parallel.ForGrainAt(t.rootW, len(groups), 64, func(w, gi int) {
 		g := groups[gi]
 		id := int32(g.Key)
 		tr := &t.Tris[id]

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/parallel"
@@ -196,9 +197,10 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := parallel.SetWorkers(1)
-	b, err := Triangulate(pts, nil)
-	parallel.SetWorkers(old)
+	var b *Triangulation
+	parallel.Scoped(1, func(root int) {
+		b, err = TriangulateClassicConfig(pts, config.Config{Root: root})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 // TestStabBatchEquivalence asserts StabBatch is indistinguishable from a
@@ -40,14 +41,17 @@ func TestStabBatchEquivalence(t *testing.T) {
 		seqCost := m.Snapshot().Sub(before)
 
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			before := m.Snapshot()
-			out, err := tr.StabBatch(qs, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
-			if err != nil {
-				t.Fatal(err)
-			}
+			var out *qbatch.Packed[Interval]
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				before := m.Snapshot()
+				var err error
+				out, err = tr.StabBatch(qs, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
 			if cost != seqCost {
 				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
 			}

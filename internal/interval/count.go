@@ -63,7 +63,7 @@ func (t *Tree) CountBatch(qs []float64, cfg config.Config) ([]int64, error) {
 	out := make([]int64, len(qs))
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("interval/count-batch", func() {
-		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, len(qs), qbatch.Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}

@@ -246,7 +246,7 @@ func BuildConfig(ivs []Interval, cfg config.Config) (*Tree, error) {
 		return nil, err
 	}
 	in := parallel.NewInterrupt(cfg.Interrupt)
-	cfg.Phase("interval/build", func() { t.root = t.buildPostSortedAt(eps, ivs, 0, in) })
+	cfg.Phase("interval/build", func() { t.root = t.buildPostSortedAt(eps, ivs, cfg.Root, in) })
 	if err := in.Err(); err != nil {
 		return nil, err
 	}

@@ -97,20 +97,23 @@ func TestMixedBatchEquivalence(t *testing.T) {
 		var refCost asymmem.Snapshot
 		var refFinal []Interval
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			m := asymmem.NewMeterShards(8)
-			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
-			if err != nil {
-				parallel.SetWorkers(prev)
-				t.Fatal(err)
-			}
-			before := m.Snapshot()
-			res, err := tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
-			if err != nil {
-				t.Fatal(err)
-			}
+			var tr *Tree
+			var res *mbatch.Result[Interval]
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				m := asymmem.NewMeterShards(8)
+				var err error
+				tr, err = BuildConfig(base, config.Config{Alpha: alpha, Meter: m, Root: root})
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := m.Snapshot()
+				res, err = tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
 
 			// (b) per-query result sets match the replay.
 			qi := 0
@@ -166,20 +169,23 @@ func FuzzMixedBatch(f *testing.F) {
 		base := fromGen(gen.UniformIntervals(200, 0.05, seed%1000+1))
 		ops := mixedOps(base, nops, opSeed)
 
-		run := func(p int) ([]Interval, []int64, []Interval, asymmem.Snapshot) {
-			prev := parallel.SetWorkers(p)
-			defer parallel.SetWorkers(prev)
-			m := asymmem.NewMeterShards(8)
-			tr, err := BuildConfig(base, config.Config{Alpha: 4, Meter: m})
-			if err != nil {
-				t.Fatal(err)
-			}
-			before := m.Snapshot()
-			res, err := tr.MixedBatch(ops, config.Config{Alpha: 4, Meter: m})
-			if err != nil {
-				t.Fatal(err)
-			}
-			return res.Packed.Items, res.Packed.Off, sortIvs(tr.Intervals()), m.Snapshot().Sub(before)
+		run := func(p int) (items []Interval, off []int64, final []Interval, cost asymmem.Snapshot) {
+			parallel.Scoped(p, func(root int) {
+				m := asymmem.NewMeterShards(8)
+				tr, err := BuildConfig(base, config.Config{Alpha: 4, Meter: m, Root: root})
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := m.Snapshot()
+				res, err := tr.MixedBatch(ops, config.Config{Alpha: 4, Meter: m, Root: root})
+				if err != nil {
+					t.Fatal(err)
+				}
+				items, off = res.Packed.Items, res.Packed.Off
+				final = sortIvs(tr.Intervals())
+				cost = m.Snapshot().Sub(before)
+			})
+			return
 		}
 		i1, o1, f1, c1 := run(1)
 		i4, o4, f4, c4 := run(4)

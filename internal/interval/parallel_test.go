@@ -36,18 +36,22 @@ func dumpTree(tr *Tree) string {
 	return b.String()
 }
 
-// buildAt builds under a worker pool of p and returns the tree and the
+// buildAt builds inside a p-wide worker scope and returns the tree and the
 // meter totals the build charged.
 func buildAt(t *testing.T, p int, ivs []Interval, alpha int) (*Tree, asymmem.Snapshot) {
 	t.Helper()
-	prev := parallel.SetWorkers(p)
-	defer parallel.SetWorkers(prev)
-	m := asymmem.NewMeterShards(p)
-	tr, err := BuildConfig(ivs, config.Config{Alpha: alpha, Meter: m})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return tr, m.Snapshot()
+	var tr *Tree
+	var snap asymmem.Snapshot
+	parallel.Scoped(p, func(root int) {
+		m := asymmem.NewMeterShards(p)
+		var err error
+		tr, err = BuildConfig(ivs, config.Config{Alpha: alpha, Meter: m, Root: root})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap = m.Snapshot()
+	})
+	return tr, snap
 }
 
 // TestParallelBuildEquivalence asserts the pool-parallel construction is
@@ -96,20 +100,21 @@ func TestParallelBulkInsertEquivalence(t *testing.T) {
 		var refDump string
 		var refCost asymmem.Snapshot
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			m := asymmem.NewMeterShards(p)
-			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
-			if err != nil {
-				parallel.SetWorkers(prev)
-				t.Fatal(err)
-			}
-			before := m.Snapshot()
-			if err := tr.BulkInsert(batch); err != nil {
-				parallel.SetWorkers(prev)
-				t.Fatal(err)
-			}
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
+			var tr *Tree
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				m := asymmem.NewMeterShards(p)
+				var err error
+				tr, err = BuildConfig(base, config.Config{Alpha: alpha, Meter: m, Root: root})
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := m.Snapshot()
+				if err := tr.BulkInsert(batch); err != nil {
+					t.Fatal(err)
+				}
+				cost = m.Snapshot().Sub(before)
+			})
 			if err := tr.Check(); err != nil {
 				t.Fatalf("alpha=%d P=%d: %v", alpha, p, err)
 			}
@@ -151,9 +156,11 @@ func TestBuildHostileKeys(t *testing.T) {
 			ivs[i] = Interval{Left: v, Right: 20 + float64(i%7), ID: int32(i) - int32(n/2)}
 		}
 		for _, p := range []int{1, 8} {
-			prev := parallel.SetWorkers(p)
-			tr, err := BuildConfig(ivs, config.Config{Alpha: 8, Meter: asymmem.NewMeterShards(p)})
-			parallel.SetWorkers(prev)
+			var tr *Tree
+			var err error
+			parallel.Scoped(p, func(root int) {
+				tr, err = BuildConfig(ivs, config.Config{Alpha: 8, Meter: asymmem.NewMeterShards(p), Root: root})
+			})
 			if err != nil {
 				t.Fatalf("n=%d P=%d: %v", n, p, err)
 			}

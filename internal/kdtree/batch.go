@@ -44,7 +44,7 @@ func (t *Tree) RangeCountBatch(boxes []geom.KBox, cfg config.Config) ([]int64, e
 	out := make([]int64, len(boxes))
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("kdtree/range-count-batch", func() {
-		parallel.ForChunkedW(len(boxes), qbatch.Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, len(boxes), qbatch.Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}

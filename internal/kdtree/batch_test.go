@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 func batchTree(t *testing.T, n int, m *asymmem.Meter) (*Tree, []Item) {
@@ -49,14 +50,17 @@ func TestKNNBatchEquivalence(t *testing.T) {
 		seqCost := m.Snapshot().Sub(before)
 
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			before := m.Snapshot()
-			out, err := tr.KNNBatch(qs, k, config.Config{Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
-			if err != nil {
-				t.Fatal(err)
-			}
+			var out *qbatch.Packed[Item]
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				before := m.Snapshot()
+				var err error
+				out, err = tr.KNNBatch(qs, k, config.Config{Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
 			if cost != seqCost {
 				t.Errorf("k=%d P=%d: batch cost %v != sequential loop %v", k, p, cost, seqCost)
 			}
@@ -103,14 +107,17 @@ func TestRangeBatchEquivalence(t *testing.T) {
 	seqCost := m.Snapshot().Sub(before)
 
 	for _, p := range []int{1, 2, 8} {
-		prev := parallel.SetWorkers(p)
-		before := m.Snapshot()
-		out, err := tr.RangeBatch(boxes, config.Config{Meter: m})
-		cost := m.Snapshot().Sub(before)
-		parallel.SetWorkers(prev)
-		if err != nil {
-			t.Fatal(err)
-		}
+		var out *qbatch.Packed[Item]
+		var cost asymmem.Snapshot
+		parallel.Scoped(p, func(root int) {
+			before := m.Snapshot()
+			var err error
+			out, err = tr.RangeBatch(boxes, config.Config{Meter: m, Root: root})
+			cost = m.Snapshot().Sub(before)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 		if cost != seqCost {
 			t.Errorf("P=%d: batch cost %v != sequential loop %v", p, cost, seqCost)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/config"
 	"repro/internal/geom"
 	"repro/internal/parallel"
 )
@@ -221,11 +222,13 @@ func TestPBatchedDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := parallel.SetWorkers(1)
-	b, err := BuildPBatched(2, items, PBatchedOptions{}, nil)
-	parallel.SetWorkers(old)
-	if err != nil {
-		t.Fatal(err)
+	var b *Tree
+	var err2 error
+	parallel.Scoped(1, func(root int) {
+		b, err2 = buildPBatched(2, items, PBatchedOptions{}, config.Config{Root: root}, nil)
+	})
+	if err2 != nil {
+		t.Fatal(err2)
 	}
 	// Same structure: identical range answers and heights.
 	if a.Stats().Height != b.Stats().Height {

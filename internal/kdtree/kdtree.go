@@ -217,7 +217,13 @@ const classicGrain = 1 << 13
 // pre-order the sequential builder produced, so ids — which later batched
 // rounds use as semisort keys — are deterministic at any P.
 func (t *Tree) buildMedian(buf []Item, depth int) uint32 {
-	root := t.buildMedianRec(buf, depth, 0)
+	return t.buildMedianAt(buf, depth, 0)
+}
+
+// buildMedianAt is buildMedian with the recursion rooted at worker w (a
+// run's scope root when the caller holds a config.Config).
+func (t *Tree) buildMedianAt(buf []Item, depth, w int) uint32 {
+	root := t.buildMedianRec(buf, depth, w)
 	t.registerNodes(root)
 	return root
 }

@@ -96,20 +96,23 @@ func TestKDMixedBatchEquivalence(t *testing.T) {
 	var refOff []int64
 	var refCost asymmem.Snapshot
 	for _, p := range []int{1, 2, 8} {
-		prev := parallel.SetWorkers(p)
-		m := asymmem.NewMeterShards(8)
-		tr, err := BuildConfig(2, base, config.Config{Meter: m})
-		if err != nil {
-			parallel.SetWorkers(prev)
-			t.Fatal(err)
-		}
-		before := m.Snapshot()
-		res, err := tr.MixedBatch(ops, config.Config{Meter: m})
-		cost := m.Snapshot().Sub(before)
-		parallel.SetWorkers(prev)
-		if err != nil {
-			t.Fatal(err)
-		}
+		var tr *Tree
+		var res *mbatch.Result[Item]
+		var cost asymmem.Snapshot
+		parallel.Scoped(p, func(root int) {
+			m := asymmem.NewMeterShards(8)
+			var err error
+			tr, err = BuildConfig(2, base, config.Config{Meter: m, Root: root})
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := m.Snapshot()
+			res, err = tr.MixedBatch(ops, config.Config{Meter: m, Root: root})
+			cost = m.Snapshot().Sub(before)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 
 		qi := 0
 		for i, op := range ops {

@@ -121,7 +121,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 		if p > savedLeaf {
 			t.leafSize = p
 		}
-		t.root = t.buildMedian(buf, 0)
+		t.root = t.buildMedianAt(buf, 0, cfg.Root)
 		t.leafSize = savedLeaf
 		t.size = n
 	})
@@ -138,7 +138,7 @@ func buildPBatched(dims int, items []Item, opts PBatchedOptions, cfg config.Conf
 		cfg.Phase("kdtree/locate", func() {
 			leaves := make([]uint32, len(batch))
 			before := t.meter.Snapshot()
-			parallel.ForChunkedW(len(batch), parallel.DefaultGrain, func(w, lo, hi int) {
+			parallel.ForChunkedAt(cfg.Root, len(batch), parallel.DefaultGrain, func(w, lo, hi int) {
 				hw := t.meter.Worker(w)
 				for i := lo; i < hi; i++ {
 					leaves[i] = t.locate(batch[i].P, hw)

@@ -122,16 +122,19 @@ func TestRunDeterministicAcrossP(t *testing.T) {
 	}
 	var ref *outcome
 	for _, p := range []int{1, 2, 8} {
-		prev := parallel.SetWorkers(p)
-		s := &toySet{}
-		m := asymmem.NewMeterShards(8)
-		before := m.Snapshot()
-		res, err := Run(config.Config{Meter: m}, "toy", ops, s.hooks())
-		cost := m.Snapshot().Sub(before)
-		parallel.SetWorkers(prev)
-		if err != nil {
-			t.Fatal(err)
-		}
+		var res *Result[int]
+		var cost asymmem.Snapshot
+		parallel.Scoped(p, func(root int) {
+			s := &toySet{}
+			m := asymmem.NewMeterShards(8)
+			before := m.Snapshot()
+			var err error
+			res, err = Run(config.Config{Meter: m, Root: root}, "toy", ops, s.hooks())
+			cost = m.Snapshot().Sub(before)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 		got := &outcome{items: res.Packed.Items, off: res.Packed.Off, slots: res.QuerySlot, cost: cost}
 		if ref == nil {
 			ref = got

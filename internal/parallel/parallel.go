@@ -2,17 +2,28 @@
 // this module. It stands in for the nested-parallel model's FORK instruction
 // (binary forking) and the work-stealing scheduler assumed by the paper.
 //
-// The runtime is organized around a fixed pool of P workers (P defaults to
-// GOMAXPROCS; SetWorkers resizes it). Worker identities flow down the fork
-// path: the caller of a parallel region is worker 0, and every successful
-// fork hands the spawned branch a free worker ID from the pool, so any task
-// can know which worker it runs as without a global goroutine registry. The
-// worker-aware primitives (DoW, ForW, ForGrainW, ForChunkedW) expose that ID
-// to their bodies; charge sites use it to obtain a worker-local handle on
-// the asymmetric-memory meter (see internal/asymmem) so parallel phases
-// never contend on shared counter cache lines.
+// The runtime is organized around immutable worker *scopes*. A scope is a
+// fixed pool of P workers; the process-default scope (P = GOMAXPROCS) always
+// exists, and a run that wants its own parallelism opens a private scope with
+// Enter and releases it when the run completes. Scopes are never resized:
+// concurrent runs with different parallelism each fork against their own
+// free list, so there is no process-global pool state to save and restore
+// (the old SetWorkers contract) and no serialization between runs.
 //
-// Forking is throttled by the pool: a branch forks only while a worker ID is
+// Worker identities flow down the fork path: the caller of a parallel region
+// is its scope's root worker, and every successful fork hands the spawned
+// branch a free worker ID from that scope, so any task can know which worker
+// it runs as without a global goroutine registry. A worker ID encodes its
+// scope in the high bits (slot<<16) and the scope-local worker index in the
+// low bits; Local strips the scope bits for code that indexes per-worker
+// state, and the masked folding in internal/asymmem and internal/alloc
+// already ignores the high bits. The worker-aware primitives (DoW, ForW,
+// ForGrainW, ForChunkedW and their At-variants) expose the ID to their
+// bodies; charge sites use it to obtain a worker-local handle on the
+// asymmetric-memory meter (see internal/asymmem) so parallel phases never
+// contend on shared counter cache lines.
+//
+// Forking is throttled by the scope: a branch forks only while a worker ID is
 // free, and loops fall back to sequential execution below a grain size.
 // Because a running task re-attempts the fork at every recursive split,
 // workers that finish early are re-engaged at the next split point (lazy
@@ -28,50 +39,119 @@ import (
 	"sync/atomic"
 )
 
-// pool is one sizing of the worker pool: IDs 1..n-1 circulate through the
-// free list; ID 0 is the caller of every parallel region.
-type pool struct {
+// Worker IDs are slot<<localBits | local: the scope slot in the high bits,
+// the scope-local worker index (0 = the scope's root) in the low bits. The
+// split is invisible to charge sites — internal/asymmem and internal/alloc
+// fold IDs by masks far below 1<<localBits — but code that sizes or indexes
+// per-worker state by ID should go through Local.
+const (
+	localBits = 16
+	localMask = 1<<localBits - 1
+	maxScopes = 64
+)
+
+// scope is one immutable worker pool: local IDs 1..n-1 circulate through the
+// free list; local ID 0 is the caller of every parallel region rooted there.
+type scope struct {
 	n   int
 	ids chan int
 }
 
-var curPool atomic.Pointer[pool]
-
-func newPool(n int) *pool {
+func newScope(n int) *scope {
 	if n < 1 {
 		n = 1
 	}
-	p := &pool{n: n, ids: make(chan int, n)}
+	s := &scope{n: n, ids: make(chan int, n)}
 	for i := 1; i < n; i++ {
-		p.ids <- i
+		s.ids <- i
 	}
-	return p
+	return s
 }
+
+var (
+	// scopes[0] is the process-default scope (GOMAXPROCS workers) and
+	// scopes[1] the shared sequential scope (one worker, never forks); both
+	// are installed at init and never replaced. Slots 2.. are handed out by
+	// Enter and cleared by its release func.
+	scopes   [maxScopes]atomic.Pointer[scope]
+	slotFree chan int
+)
 
 func init() {
-	curPool.Store(newPool(runtime.GOMAXPROCS(0)))
+	scopes[0].Store(newScope(runtime.GOMAXPROCS(0)))
+	scopes[1].Store(newScope(1))
+	slotFree = make(chan int, maxScopes-2)
+	for s := 2; s < maxScopes; s++ {
+		slotFree <- s
+	}
 }
 
-// Workers returns the current worker-pool size P. Worker IDs handed down
-// the fork path are in [0, P).
-func Workers() int { return curPool.Load().n }
+// scopeOf returns the scope worker w belongs to. A slot that has been
+// released (which a live worker ID should never outlive) falls back to the
+// default scope rather than faulting.
+func scopeOf(w int) *scope {
+	s := scopes[(uint(w)>>localBits)%maxScopes].Load()
+	if s == nil {
+		return scopes[0].Load()
+	}
+	return s
+}
 
-// SetWorkers resizes the worker pool: 1 forces sequential execution, n > 1
-// allows n-way fork-join, and n <= 0 restores the default (GOMAXPROCS).
-// It returns the previous size. Resizing while parallel regions are in
-// flight is safe (in-flight forks drain against the pool they started
-// with) but sizes the new regions only; callers that pin parallelism (the
-// Engine) serialize runs around it.
-func SetWorkers(n int) int {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+// Workers returns the process-default scope's size (GOMAXPROCS at init).
+// Use it to size worker-indexed state that must cover default-scope runs;
+// per-run parallelism is per-scope — see Enter and ScopeWorkers.
+func Workers() int { return scopes[0].Load().n }
+
+// ScopeWorkers returns the size P of the scope worker w belongs to. Local
+// worker indexes within that scope are in [0, P).
+func ScopeWorkers(w int) int { return scopeOf(w).n }
+
+// Local returns w's scope-local worker index (0 for the scope's root),
+// stripping the scope slot bits. Code that sizes or indexes per-worker
+// arrays by worker ID must index by Local(w); the masked folding in
+// internal/asymmem and internal/alloc makes raw IDs safe there.
+func Local(w int) int { return w & localMask }
+
+// Enter opens a fresh immutable scope of n workers (n <= 0 selects the
+// process default) and returns its root worker ID plus a release func the
+// caller must invoke once every parallel region rooted there has joined.
+// The root is what a run threads into the At-variants (ForChunkedAt,
+// ForGrainAt, ScanAt) and stores in config.Config.Root so its parallel
+// regions fork against the run's own free list.
+//
+// n == 1 returns the shared sequential scope and n == Workers() the default
+// scope — neither consumes a slot. If all scope slots are in use (more than
+// ~60 concurrent pinned runs) Enter degrades to the default scope; counted
+// costs are unaffected, only the effective parallelism of that run.
+func Enter(n int) (root int, release func()) {
+	def := scopes[0].Load().n
+	if n <= 0 || n == def {
+		return 0, func() {}
 	}
-	prev := curPool.Load()
-	if n == prev.n {
-		return prev.n
+	if n == 1 {
+		return 1 << localBits, func() {}
 	}
-	curPool.Store(newPool(n))
-	return prev.n
+	select {
+	case slot := <-slotFree:
+		scopes[slot].Store(newScope(n))
+		return slot << localBits, func() {
+			scopes[slot].Store(nil)
+			slotFree <- slot
+		}
+	default:
+		return 0, func() {}
+	}
+}
+
+// Scoped runs f inside a fresh scope of n workers, passing the scope's root
+// worker ID — the value to hand to the At-variants or to assign to
+// config.Config.Root. It replaces the removed SetWorkers save/restore
+// pattern: the scope is private to this call, so concurrent Scoped calls
+// (and Engine runs) with different n never interfere.
+func Scoped(n int, f func(root int)) {
+	root, release := Enter(n)
+	defer release()
+	f(root)
 }
 
 // Do runs a and b, potentially in parallel, and returns when both complete.
@@ -82,19 +162,20 @@ func Do(a, b func()) {
 }
 
 // DoW is the worker-aware binary FORK: the caller, running as worker w,
-// runs a(w) itself; b runs as a freshly acquired pool worker when one is
-// free and as w sequentially otherwise. Both branches have completed when
-// DoW returns.
+// runs a(w) itself; b runs as a freshly acquired worker of w's scope when
+// one is free and as w sequentially otherwise. Both branches have completed
+// when DoW returns.
 func DoW(w int, a, b func(w int)) {
-	p := curPool.Load()
+	sc := scopeOf(w)
 	select {
-	case id := <-p.ids:
+	case id := <-sc.ids:
 		var wg sync.WaitGroup
 		wg.Add(1)
+		bw := w&^localMask | id
 		go func() {
 			defer wg.Done()
-			b(id)
-			p.ids <- id
+			b(bw)
+			sc.ids <- id
 		}()
 		a(w)
 		wg.Wait()
@@ -133,13 +214,14 @@ func ForGrain(n, grain int, body func(i int)) {
 // ForGrainW is ForGrain passing each iteration the worker it runs as —
 // the worker ID is constant across one sequential block, so per-block state
 // (a meter handle, scratch) can be hoisted with ForChunkedW instead when
-// the body is hot.
+// the body is hot. The loop roots at the default scope; a run that carries
+// its own scope roots with ForGrainAt instead.
 func ForGrainW(n, grain int, body func(w, i int)) {
 	ForGrainAt(0, n, grain, body)
 }
 
-// ForGrainAt is ForGrainW for a caller already running as worker w (see
-// ForChunkedAt).
+// ForGrainAt is ForGrainW rooted at worker w: caller-side blocks run as w
+// and forks draw from w's scope.
 func ForGrainAt(w, n, grain int, body func(w, i int)) {
 	ForChunkedAt(w, n, grain, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -159,16 +241,18 @@ func ForChunked(n, grain int, body func(lo, hi int)) {
 // worker each chunk runs as. The recursion is a balanced binary split,
 // giving O(log(n/grain)) span for the control structure, matching the
 // model's binary forking; each split re-attempts a fork, so freed workers
-// are re-engaged mid-loop. The caller runs as worker 0; a loop nested
-// inside a worker-aware body should use ForChunkedAt with its own worker
-// instead, so its caller-side chunks keep charging that worker's shard.
+// are re-engaged mid-loop. The caller runs as the default scope's worker 0;
+// a loop nested inside a worker-aware body — or rooting a run that entered
+// its own scope — should use ForChunkedAt with that worker instead, so its
+// caller-side chunks keep the right identity and its forks draw from the
+// right scope.
 func ForChunkedW(n, grain int, body func(w, lo, hi int)) {
 	ForChunkedAt(0, n, grain, body)
 }
 
-// ForChunkedAt is ForChunkedW for a caller already running as worker w:
-// the unforked (caller-side) chunks run as w, and forked branches acquire
-// fresh pool workers as usual.
+// ForChunkedAt is ForChunkedW rooted at worker w: the unforked
+// (caller-side) chunks run as w, and forked branches acquire fresh workers
+// from w's scope.
 func ForChunkedAt(w, n, grain int, body func(w, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -193,9 +277,10 @@ func ForChunkedAt(w, n, grain int, body func(w, lo, hi int)) {
 // BlockBounds returns the half-open range [lo, hi) of block b when [0, n)
 // is partitioned into nblocks near-equal contiguous blocks (the first
 // n mod nblocks blocks are one element longer). The decomposition is a pure
-// function of n and nblocks — never of the pool size — so primitives that
-// must produce P-independent results (the stable sorts in internal/prims)
-// can parallelize over blocks without their block boundaries moving with P.
+// function of n and nblocks — never of any scope's size — so primitives
+// that must produce P-independent results (the stable sorts in
+// internal/prims) can parallelize over blocks without their block
+// boundaries moving with P.
 func BlockBounds(n, nblocks, b int) (lo, hi int) {
 	q, r := n/nblocks, n%nblocks
 	lo = b*q + min(b, r)
@@ -256,11 +341,18 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 const scanParBlocks = 2048
 
 // Scan computes the exclusive prefix sums of src into dst (dst[i] = sum of
-// src[0..i)) and returns the total. dst and src may alias. It uses the
-// standard two-pass blocked algorithm: per-block sums, a scan of the block
-// sums (recursing in parallel when there are many blocks), then per-block
-// fill-in; work O(n), span O(n/P + P).
-func Scan(dst, src []int64) int64 {
+// src[0..i)) and returns the total, rooted at the default scope. dst and
+// src may alias. See ScanAt.
+func Scan(dst, src []int64) int64 { return ScanAt(0, dst, src) }
+
+// ScanAt is Scan rooted at worker w: block count scales with w's scope size
+// and forks draw from w's scope. It uses the standard two-pass blocked
+// algorithm: per-block sums, a scan of the block sums (recursing in
+// parallel when there are many blocks), then per-block fill-in; work O(n),
+// span O(n/P + P). The sums — and hence the output — are exact int64
+// arithmetic, identical at any block count, so results never depend on the
+// scope.
+func ScanAt(w int, dst, src []int64) int64 {
 	n := len(src)
 	if n == 0 {
 		return 0
@@ -268,7 +360,7 @@ func Scan(dst, src []int64) int64 {
 	if len(dst) < n {
 		panic("parallel.Scan: dst shorter than src")
 	}
-	nblocks := Workers() * 4
+	nblocks := ScopeWorkers(w) * 4
 	if big := n / (1 << 15); big > nblocks {
 		// Keep blocks at a bounded size on large inputs so the fill-in pass
 		// parallelizes past 4P chunks; the block-sums scan then recurses.
@@ -280,7 +372,7 @@ func Scan(dst, src []int64) int64 {
 	blockSize := (n + nblocks - 1) / nblocks
 	nblocks = (n + blockSize - 1) / blockSize
 	sums := make([]int64, nblocks)
-	ForGrain(nblocks, 1, func(b int) {
+	ForGrainAt(w, nblocks, 1, func(w, b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
 		var s int64
 		for i := lo; i < hi; i++ {
@@ -290,7 +382,7 @@ func Scan(dst, src []int64) int64 {
 	})
 	var total int64
 	if nblocks >= scanParBlocks {
-		total = Scan(sums, sums)
+		total = ScanAt(w, sums, sums)
 	} else {
 		for b := 0; b < nblocks; b++ {
 			s := sums[b]
@@ -298,7 +390,7 @@ func Scan(dst, src []int64) int64 {
 			total += s
 		}
 	}
-	ForGrain(nblocks, 1, func(b int) {
+	ForGrainAt(w, nblocks, 1, func(w, b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
 		acc := sums[b]
 		for i := lo; i < hi; i++ {
@@ -375,7 +467,7 @@ func min(a, b int) int {
 }
 
 // WaitGroupFor runs body(i) for i in [0, n) with one goroutine per chunk,
-// outside the worker pool. It is used by the harness for embarrassingly
+// outside the worker scopes. It is used by the harness for embarrassingly
 // parallel outer loops (e.g. batched query evaluation).
 func WaitGroupFor(n int, body func(i int)) {
 	p := Workers()

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -23,14 +24,141 @@ func TestDo3(t *testing.T) {
 	}
 }
 
-func TestDoSequentialWhenBudgetZero(t *testing.T) {
-	old := SetWorkers(1)
-	defer SetWorkers(old)
+func TestDoSequentialInUnitScope(t *testing.T) {
 	order := []int{}
-	Do(func() { order = append(order, 1) }, func() { order = append(order, 2) })
+	Scoped(1, func(root int) {
+		DoW(root,
+			func(int) { order = append(order, 1) },
+			func(int) { order = append(order, 2) })
+	})
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("sequential Do order = %v", order)
 	}
+}
+
+func TestEnterScopeSizes(t *testing.T) {
+	root, release := Enter(3)
+	defer release()
+	if got := ScopeWorkers(root); got != 3 {
+		t.Fatalf("ScopeWorkers(root) = %d, want 3", got)
+	}
+	if Local(root) != 0 {
+		t.Fatalf("Local(root) = %d, want 0", Local(root))
+	}
+	if got := ScopeWorkers(0); got != Workers() {
+		t.Fatalf("default scope size = %d, want Workers() = %d", got, Workers())
+	}
+}
+
+func TestEnterDefaultSizeIsNoop(t *testing.T) {
+	for _, n := range []int{0, -1, Workers()} {
+		root, release := Enter(n)
+		release()
+		if root != 0 {
+			t.Fatalf("Enter(%d) root = %d, want the default-scope root 0", n, root)
+		}
+	}
+}
+
+func TestScopedForCoversAndStaysInScope(t *testing.T) {
+	Scoped(4, func(root int) {
+		n := 5000
+		seen := make([]atomic.Int32, n)
+		var bad atomic.Int32
+		ForGrainAt(root, n, 64, func(w, i int) {
+			seen[i].Add(1)
+			if lw := Local(w); lw < 0 || lw >= 4 {
+				bad.Store(int32(lw) + 1)
+			}
+			if ScopeWorkers(w) != 4 {
+				bad.Store(-1)
+			}
+		})
+		if v := bad.Load(); v != 0 {
+			t.Fatalf("worker escaped its 4-wide scope (marker %d)", v)
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("index %d touched %d times", i, seen[i].Load())
+			}
+		}
+	})
+}
+
+func TestConcurrentScopesIndependent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Scoped(2, func(root int) {
+				var total atomic.Int64
+				ForChunkedAt(root, 1000, 16, func(w, lo, hi int) {
+					if ScopeWorkers(w) != 2 {
+						t.Errorf("worker %d not in a 2-wide scope", w)
+					}
+					total.Add(int64(hi - lo))
+				})
+				if total.Load() != 1000 {
+					t.Errorf("scope covered %d indices, want 1000", total.Load())
+				}
+			})
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScopeSlotExhaustionDegrades(t *testing.T) {
+	// Hold every slot open; Enter must degrade to the default scope (root
+	// 0) instead of blocking or failing, and loops must still cover.
+	var releases []func()
+	defer func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}()
+	degraded := false
+	for i := 0; i < maxScopes+4; i++ {
+		root, rel := Enter(2)
+		releases = append(releases, rel)
+		if root == 0 {
+			degraded = true
+			var total atomic.Int64
+			ForChunkedAt(root, 100, 8, func(_, lo, hi int) { total.Add(int64(hi - lo)) })
+			if total.Load() != 100 {
+				t.Fatalf("degraded scope covered %d, want 100", total.Load())
+			}
+		}
+	}
+	if !degraded {
+		t.Fatal("exhausting all slots never degraded to the default scope")
+	}
+}
+
+func TestScanAtInScopeMatchesSequential(t *testing.T) {
+	Scoped(3, func(root int) {
+		n := 4097
+		src := make([]int64, n)
+		r := NewRNG(11)
+		for i := range src {
+			src[i] = int64(r.Intn(100)) - 50
+		}
+		want := make([]int64, n)
+		var acc int64
+		for i := 0; i < n; i++ {
+			want[i] = acc
+			acc += src[i]
+		}
+		dst := make([]int64, n)
+		if total := ScanAt(root, dst, src); total != acc {
+			t.Fatalf("ScanAt total = %d, want %d", total, acc)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+			}
+		}
+	})
 }
 
 func TestForCoversAllIndices(t *testing.T) {

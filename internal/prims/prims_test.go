@@ -218,23 +218,19 @@ func TestFilterAndPackIndex(t *testing.T) {
 
 func TestLevelSweep(t *testing.T) {
 	// Sum a complete binary tree bottom-up; every node must see both
-	// children already computed, in every pool configuration.
-	for _, p := range []int{1, 4} {
-		prev := parallel.SetWorkers(p)
-		for _, leaves := range []int{1, 2, 64, 4096} {
-			sum := make([]int64, 2*leaves)
-			for i := 0; i < leaves; i++ {
-				sum[leaves+i] = int64(i)
-			}
-			LevelSweep(leaves, 8, func(_, v int) {
-				sum[v] = sum[2*v] + sum[2*v+1]
-			})
-			want := int64(leaves) * int64(leaves-1) / 2
-			if leaves > 1 && sum[1] != want {
-				t.Errorf("P=%d leaves=%d: root sum %d, want %d", p, leaves, sum[1], want)
-			}
+	// children already computed.
+	for _, leaves := range []int{1, 2, 64, 4096} {
+		sum := make([]int64, 2*leaves)
+		for i := 0; i < leaves; i++ {
+			sum[leaves+i] = int64(i)
 		}
-		parallel.SetWorkers(prev)
+		LevelSweep(leaves, 8, func(_, v int) {
+			sum[v] = sum[2*v] + sum[2*v+1]
+		})
+		want := int64(leaves) * int64(leaves-1) / 2
+		if leaves > 1 && sum[1] != want {
+			t.Errorf("leaves=%d: root sum %d, want %d", leaves, sum[1], want)
+		}
 	}
 }
 

@@ -42,7 +42,7 @@ func (t *Tree) Count3SidedBatch(qs []Query3, cfg config.Config) ([]int64, error)
 	out := make([]int64, len(qs))
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("pst/count3-batch", func() {
-		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, len(qs), qbatch.Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}

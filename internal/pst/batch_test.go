@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 // TestQuery3SidedBatchEquivalence asserts Query3SidedBatch is
@@ -52,14 +53,17 @@ func TestQuery3SidedBatchEquivalence(t *testing.T) {
 		seqCost := m.Snapshot().Sub(before)
 
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			before := m.Snapshot()
-			out, err := tr.Query3SidedBatch(qs, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
-			if err != nil {
-				t.Fatal(err)
-			}
+			var out *qbatch.Packed[Point]
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				before := m.Snapshot()
+				var err error
+				out, err = tr.Query3SidedBatch(qs, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
 			if cost != seqCost {
 				t.Errorf("alpha=%d P=%d: batch cost %v != sequential loop %v", alpha, p, cost, seqCost)
 			}

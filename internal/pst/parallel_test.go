@@ -43,14 +43,17 @@ func TestParallelBuildEquivalence(t *testing.T) {
 			var refDump string
 			var refCost asymmem.Snapshot
 			for _, p := range []int{1, 2, 8} {
-				prev := parallel.SetWorkers(p)
-				m := asymmem.NewMeterShards(p)
-				tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
-				parallel.SetWorkers(prev)
-				if err != nil {
-					t.Fatal(err)
-				}
-				cost := m.Snapshot()
+				var tr *Tree
+				var cost asymmem.Snapshot
+				parallel.Scoped(p, func(root int) {
+					m := asymmem.NewMeterShards(p)
+					var err error
+					tr, err = BuildConfig(pts, config.Config{Alpha: alpha, Meter: m, Root: root})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cost = m.Snapshot()
+				})
 				dump := dumpTree(tr)
 				if err := tr.Check(); err != nil {
 					t.Fatalf("n=%d alpha=%d P=%d: %v", n, alpha, p, err)

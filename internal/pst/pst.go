@@ -178,7 +178,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	}
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("pst/build", func() {
-		t.root = t.buildPostSortedAt(sorted, 0, in)
+		t.root = t.buildPostSortedAt(sorted, cfg.Root, in)
 		t.live = len(pts)
 		if !in.Stopped() {
 			t.markVirtualRoot()

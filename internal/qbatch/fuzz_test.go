@@ -23,25 +23,27 @@ func FuzzPack(f *testing.F) {
 			counts = counts[:4096]
 		}
 		p := int(pRaw)%8 + 1
-		prev := parallel.SetWorkers(p)
-		defer parallel.SetWorkers(prev)
 
 		qs := make([]int, len(counts))
 		for i := range qs {
 			qs[i] = i
 		}
+		var out *Packed[uint64]
 		m := asymmem.NewMeterShards(p)
-		out, err := Run(config.Config{Meter: m}, "fuzz", qs,
-			func(q int, wk asymmem.Worker, _ *struct{}, emit func(uint64)) {
-				wk.ReadN(1)
-				for j := 0; j < int(counts[q]); j++ {
-					// Encode (query, rank) so any misplaced slot is visible.
-					emit(uint64(q)<<16 | uint64(j))
-				}
-			})
-		if err != nil {
-			t.Fatal(err)
-		}
+		parallel.Scoped(p, func(root int) {
+			var err error
+			out, err = Run(config.Config{Meter: m, Root: root}, "fuzz", qs,
+				func(q int, wk asymmem.Worker, _ *struct{}, emit func(uint64)) {
+					wk.ReadN(1)
+					for j := 0; j < int(counts[q]); j++ {
+						// Encode (query, rank) so any misplaced slot is visible.
+						emit(uint64(q)<<16 | uint64(j))
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 
 		if len(out.Off) != len(qs)+1 || out.Off[0] != 0 {
 			t.Fatalf("offsets malformed: %v", out.Off)

@@ -118,13 +118,15 @@ func Concat[R any](parts []*Packed[R]) *Packed[R] {
 // cfg.Ledger is set the two passes are recorded as phase+"/count" and
 // phase+"/write".
 //
+// The passes root at cfg.Root, so the batch forks inside its own run's
+// scope (parallel.Enter) and honours the run's parallelism without touching
+// any global pool state — concurrent batches with different P coexist.
+//
 // One scratch value lives per sequential grain (up to Grain queries run
 // against it back-to-back), hoisted out of the per-query path. Scratch is
-// deliberately NOT indexed by worker ID: parallel.SetWorkers may resize the
-// pool while a batch is in flight (its documented contract), which both
-// widens the ID range and lets an old-pool task and a new-pool task hold
-// the same ID concurrently — fine for the meter's masked atomic shards,
-// unsound for exclusive scratch.
+// deliberately NOT indexed by worker ID: concurrent shared-mode batches on
+// one Engine run in scopes whose local IDs overlap — fine for the meter's
+// masked atomic shards, unsound for exclusive scratch.
 func Run[Q, R, S any](cfg config.Config, phase string, queries []Q, core Core[Q, R, S]) (*Packed[R], error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
@@ -139,7 +141,7 @@ func Run[Q, R, S any](cfg config.Config, phase string, queries []Q, core Core[Q,
 	// Pass 1 — count: one traversal per query, charging reads worker-
 	// locally; counts land in disjoint cells.
 	cfg.Phase(phase+"/count", func() {
-		parallel.ForChunkedW(nq, Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, nq, Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}
@@ -158,7 +160,7 @@ func Run[Q, R, S any](cfg config.Config, phase string, queries []Q, core Core[Q,
 
 	// Pass 2 — scan: exclusive prefix sums over the counts give each query
 	// its slot; the total sizes the output exactly.
-	total := parallel.Scan(off[:nq], off[:nq])
+	total := parallel.ScanAt(cfg.Root, off[:nq], off[:nq])
 	off[nq] = total
 	items := make([]R, total)
 
@@ -166,7 +168,7 @@ func Run[Q, R, S any](cfg config.Config, phase string, queries []Q, core Core[Q,
 	// the query's offset; the reporting writes charged are exactly the
 	// output size.
 	cfg.Phase(phase+"/write", func() {
-		parallel.ForChunkedW(nq, Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, nq, Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}

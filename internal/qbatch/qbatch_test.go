@@ -25,14 +25,18 @@ func fakeCore(modulus int) Core[int, int64, struct{}] {
 
 func runAt(t *testing.T, p int, qs []int, modulus int) (*Packed[int64], asymmem.Snapshot) {
 	t.Helper()
-	prev := parallel.SetWorkers(p)
-	defer parallel.SetWorkers(prev)
-	m := asymmem.NewMeterShards(p)
-	out, err := Run(config.Config{Meter: m}, "test", qs, fakeCore(modulus))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return out, m.Snapshot()
+	var out *Packed[int64]
+	var snap asymmem.Snapshot
+	parallel.Scoped(p, func(root int) {
+		m := asymmem.NewMeterShards(p)
+		var err error
+		out, err = Run(config.Config{Meter: m, Root: root}, "test", qs, fakeCore(modulus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap = m.Snapshot()
+	})
+	return out, snap
 }
 
 func TestRunPacksDeterministically(t *testing.T) {
@@ -109,14 +113,16 @@ func TestRunScratchIsThreadedAndReused(t *testing.T) {
 	// The scratch must be handed to every query, and queries sharing a
 	// grain see the same (reused) scratch value.
 	type scr struct{ uses int }
-	prev := parallel.SetWorkers(4)
-	defer parallel.SetWorkers(prev)
+	var out *Packed[int]
+	var err error
 	qs := make([]int, 500)
-	out, err := Run(config.Config{}, "test", qs,
-		func(q int, wk asymmem.Worker, s *scr, emit func(int)) {
-			s.uses++
-			emit(s.uses)
-		})
+	parallel.Scoped(4, func(root int) {
+		out, err = Run(config.Config{Root: root}, "test", qs,
+			func(q int, wk asymmem.Worker, s *scr, emit func(int)) {
+				s.uses++
+				emit(s.uses)
+			})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,12 +8,13 @@ import (
 	"repro/internal/prims"
 )
 
-// sortAt runs the facade sort under a worker pool of p and returns the
-// sorted items and the charged totals.
+// sortAt runs the facade sort with a p-sharded meter and returns the
+// sorted items and the charged totals. The radix sweeps themselves run on
+// the process-default scope (prims takes a Worker handle, not a Config),
+// so the p-indexed runs assert run-to-run determinism of output and
+// charges under concurrent forked sweeps.
 func sortAt(t *testing.T, p int, src []Item, maxKey uint64) ([]Item, asymmem.Snapshot) {
 	t.Helper()
-	prev := parallel.SetWorkers(p)
-	defer parallel.SetWorkers(prev)
 	items := append([]Item{}, src...)
 	m := asymmem.NewMeterShards(p)
 	prims.RadixSort(items, maxKey, m.Worker(0))

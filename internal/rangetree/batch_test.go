@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/qbatch"
 )
 
 // TestQueryBatchEquivalence asserts QueryBatch is indistinguishable from a
@@ -55,11 +56,14 @@ func TestQueryBatchEquivalence(t *testing.T) {
 		seqCost := m.Snapshot().Sub(before)
 
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			before := m.Snapshot()
-			out, err := tr.QueryBatch(qs, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
+			var out *qbatch.Packed[Point]
+			var cost asymmem.Snapshot
+			var err error
+			parallel.Scoped(p, func(root int) {
+				before := m.Snapshot()
+				out, err = tr.QueryBatch(qs, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+			})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -96,17 +96,20 @@ func TestRTMixedBatchEquivalence(t *testing.T) {
 		var refOff []int64
 		var refCost asymmem.Snapshot
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
 			m := asymmem.NewMeterShards(8)
-			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
-			if err != nil {
-				parallel.SetWorkers(prev)
-				t.Fatal(err)
-			}
-			before := m.Snapshot()
-			res, err := tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
+			var tr *Tree
+			var res *mbatch.Result[Point]
+			var cost asymmem.Snapshot
+			var err error
+			parallel.Scoped(p, func(root int) {
+				tr, err = BuildConfig(base, config.Config{Alpha: alpha, Meter: m, Root: root})
+				if err != nil {
+					return
+				}
+				before := m.Snapshot()
+				res, err = tr.MixedBatch(ops, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,11 +175,14 @@ func TestSumYBatchEquivalence(t *testing.T) {
 			t.Fatalf("alpha=%d: sequential SumY charged %d writes", alpha, seqCost.Writes)
 		}
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
-			before := m.Snapshot()
-			out, err := tr.SumYBatch(qs, config.Config{Alpha: alpha, Meter: m})
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
+			var out []float64
+			var cost asymmem.Snapshot
+			var err error
+			parallel.Scoped(p, func(root int) {
+				before := m.Snapshot()
+				out, err = tr.SumYBatch(qs, config.Config{Alpha: alpha, Meter: m, Root: root})
+				cost = m.Snapshot().Sub(before)
+			})
 			if err != nil {
 				t.Fatal(err)
 			}

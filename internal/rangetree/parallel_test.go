@@ -48,10 +48,12 @@ func TestParallelBuildEquivalence(t *testing.T) {
 			var refDump string
 			var refCost asymmem.Snapshot
 			for _, p := range []int{1, 2, 8} {
-				prev := parallel.SetWorkers(p)
 				m := asymmem.NewMeterShards(p)
-				tr, err := BuildConfig(pts, config.Config{Alpha: alpha, Meter: m})
-				parallel.SetWorkers(prev)
+				var tr *Tree
+				var err error
+				parallel.Scoped(p, func(root int) {
+					tr, err = BuildConfig(pts, config.Config{Alpha: alpha, Meter: m, Root: root})
+				})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -112,17 +114,22 @@ func TestParallelBulkInsertEquivalence(t *testing.T) {
 		var refDump string
 		var refCost asymmem.Snapshot
 		for _, p := range []int{1, 2, 8} {
-			prev := parallel.SetWorkers(p)
 			m := asymmem.NewMeterShards(p)
-			tr, err := BuildConfig(base, config.Config{Alpha: alpha, Meter: m})
+			var tr *Tree
+			var err error
+			var cost asymmem.Snapshot
+			parallel.Scoped(p, func(root int) {
+				tr, err = BuildConfig(base, config.Config{Alpha: alpha, Meter: m, Root: root})
+				if err != nil {
+					return
+				}
+				before := m.Snapshot()
+				tr.BulkInsert(batch)
+				cost = m.Snapshot().Sub(before)
+			})
 			if err != nil {
-				parallel.SetWorkers(prev)
 				t.Fatal(err)
 			}
-			before := m.Snapshot()
-			tr.BulkInsert(batch)
-			cost := m.Snapshot().Sub(before)
-			parallel.SetWorkers(prev)
 			if err := tr.Check(); err != nil {
 				t.Fatalf("alpha=%d P=%d: %v", alpha, p, err)
 			}

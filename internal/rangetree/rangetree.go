@@ -245,10 +245,10 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	}
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("rangetree/outer", func() {
-		t.root = t.buildOuterAt(sorted, 0, in)
+		t.root = t.buildOuterAt(sorted, cfg.Root, in)
 		t.live = len(pts)
 		if !in.Stopped() {
-			t.labelAt(0, in)
+			t.labelAt(cfg.Root, in)
 		}
 	})
 	if err := in.Err(); err != nil {
@@ -259,7 +259,7 @@ func BuildConfig(pts []Point, cfg config.Config) (*Tree, error) {
 	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
-	cfg.Phase("rangetree/inners", func() { t.buildInnersAt(sorted, 0, in) })
+	cfg.Phase("rangetree/inners", func() { t.buildInnersAt(sorted, cfg.Root, in) })
 	if err := in.Err(); err != nil {
 		return nil, err
 	}
@@ -519,8 +519,8 @@ func (t *Tree) setInner(n *node, list []Point) {
 // setInnerW is setInner charging a worker-local handle and allocating from
 // worker w's pools in the shared inner store; the statistics update takes
 // the stats lock because inner trees build concurrently. One inner tree
-// builds per call, so the spine scratch is call-local (a worker-indexed
-// pool would break under a mid-flight SetWorkers resize).
+// builds per call, so the spine scratch is call-local (scope-encoded
+// worker IDs are sparse, so they cannot index a dense pool directly).
 func (t *Tree) setInnerW(n *node, list []Point, wk asymmem.Worker, w int) {
 	t.arenas()
 	var sc treap.Scratch[yKey]

@@ -77,7 +77,7 @@ func (t *Tree) SumYBatch(qs []Query2D, cfg config.Config) ([]float64, error) {
 	out := make([]float64, len(qs))
 	in := parallel.NewInterrupt(cfg.Interrupt)
 	cfg.Phase("rangetree/sumy-batch", func() {
-		parallel.ForChunkedW(len(qs), qbatch.Grain, func(w, lo, hi int) {
+		parallel.ForChunkedAt(cfg.Root, len(qs), qbatch.Grain, func(w, lo, hi int) {
 			if in.Poll() {
 				return
 			}

@@ -9,12 +9,12 @@ import (
 	"repro/internal/prims"
 )
 
-// semisortAt runs the semisort under a worker pool of p and returns the
-// groups and charged totals.
+// semisortAt runs the semisort with a p-sharded meter and returns the
+// groups and charged totals. The sweeps run on the process-default scope
+// (prims takes a Worker handle, not a Config), so the p-indexed runs
+// assert run-to-run determinism of groups and charges.
 func semisortAt(t *testing.T, p int, pairs []Pair) ([]Group, asymmem.Snapshot) {
 	t.Helper()
-	prev := parallel.SetWorkers(p)
-	defer parallel.SetWorkers(prev)
 	m := asymmem.NewMeterShards(p)
 	groups := prims.Semisort(pairs, m.Worker(0))
 	return groups, m.Snapshot()

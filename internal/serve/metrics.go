@@ -113,6 +113,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# HELP wegeom_coalesce_retries_total Batch re-runs after a member's cancellation aborted a shared run.\n")
 	b.WriteString("# TYPE wegeom_coalesce_retries_total counter\n")
 	fmt.Fprintf(&b, "wegeom_coalesce_retries_total %d\n", cs.Retries)
+	b.WriteString("# HELP wegeom_coalesce_inflight Coalesced batches executing right now, summed over coalescers.\n")
+	b.WriteString("# TYPE wegeom_coalesce_inflight gauge\n")
+	fmt.Fprintf(&b, "wegeom_coalesce_inflight %d\n", cs.InFlight)
+	b.WriteString("# HELP wegeom_coalesce_inflight_peak Maximum concurrently-executing batches observed on any single coalescer (> 1 proves read batches overlapped).\n")
+	b.WriteString("# TYPE wegeom_coalesce_inflight_peak gauge\n")
+	fmt.Fprintf(&b, "wegeom_coalesce_inflight_peak %d\n", cs.InFlightPeak)
 
 	b.WriteString("# HELP wegeom_coalesce_batch_size Achieved coalesced-batch sizes (requests per flush).\n")
 	b.WriteString("# TYPE wegeom_coalesce_batch_size histogram\n")

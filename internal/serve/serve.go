@@ -34,15 +34,23 @@ type Config struct {
 	// Seed drives the generators, so two replicas with the same Config hold
 	// identical structures.
 	Seed uint64
-	// Parallelism pins the Engine's worker pool (0 = runtime default).
+	// Parallelism sizes the per-run fork-join scope of the Engine's runs
+	// (0 = runtime default).
 	Parallelism int
 	// Omega is the write/read cost ratio (0 = the module default).
 	Omega int64
 	// Alpha is the α-labeling parameter (0 = the module default).
 	Alpha int
-	// MaxBatch and MaxWait tune every coalescer (see coalesce.Options).
-	MaxBatch int
-	MaxWait  time.Duration
+	// MaxBatch, MaxWait and MaxInFlight tune every coalescer (see
+	// coalesce.Options). MaxInFlight bounds how many flushed read batches
+	// pipeline into the Engine's shared mode concurrently.
+	MaxBatch    int
+	MaxWait     time.Duration
+	MaxInFlight int
+	// ExclusiveReads serializes read batches behind the Engine's write lock
+	// (the pre-shared-mode behaviour) — for A/B benchmarking the concurrent
+	// read path.
+	ExclusiveReads bool
 	// Clock overrides the coalescers' time source (tests).
 	Clock coalesce.Clock
 	// RestorePath boots the structures from a checkpoint file instead of
@@ -134,11 +142,14 @@ func Boot(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Seed != 0 {
 		opts = append(opts, wegeom.WithSeed(cfg.Seed))
 	}
+	if cfg.ExclusiveReads {
+		opts = append(opts, wegeom.WithExclusiveReads(true))
+	}
 	s := &Server{
 		cfg:          cfg,
 		eng:          wegeom.NewEngine(opts...),
 		start:        time.Now(),
-		copts:        coalesce.Options{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Clock: cfg.Clock},
+		copts:        coalesce.Options{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, MaxInFlight: cfg.MaxInFlight, Clock: cfg.Clock},
 		knn:          make(map[int]*coalesce.Coalescer[wegeom.KPoint, wegeom.KDItem]),
 		phaseTotals:  make(map[string]wegeom.Snapshot),
 		batches:      make(map[string]int64),
@@ -377,6 +388,14 @@ func (s *Server) CoalesceStats() coalesce.Stats {
 		out.TimeoutFlushes += st.TimeoutFlushes
 		out.DrainFlushes += st.DrainFlushes
 		out.Retries += st.Retries
+		// InFlight sums the instantaneous gauges; InFlightPeak takes the
+		// max of the per-coalescer peaks, so a value > 1 proves batches of
+		// one kind actually overlapped (peaks at different times are never
+		// summed into a phantom overlap).
+		out.InFlight += st.InFlight
+		if st.InFlightPeak > out.InFlightPeak {
+			out.InFlightPeak = st.InFlightPeak
+		}
 		for i := range st.SizeHist {
 			out.SizeHist[i] += st.SizeHist[i]
 		}

@@ -116,12 +116,13 @@ func (s *Server) kdMixedBatch(ctx context.Context, ops []wegeom.KDOp) (*wegeom.K
 func (s *Server) buildSharded(ctx context.Context, scheme shard.Scheme) error {
 	cfg := s.cfg
 	s.sh = shard.New(shard.Options{
-		Shards:      cfg.Shards,
-		Scheme:      scheme,
-		Parallelism: cfg.Parallelism,
-		Omega:       cfg.Omega,
-		Alpha:       cfg.Alpha,
-		Seed:        cfg.Seed,
+		Shards:         cfg.Shards,
+		Scheme:         scheme,
+		Parallelism:    cfg.Parallelism,
+		ExclusiveReads: cfg.ExclusiveReads,
+		Omega:          cfg.Omega,
+		Alpha:          cfg.Alpha,
+		Seed:           cfg.Seed,
 	})
 	givs := gen.UniformIntervals(cfg.N, 10.0/float64(cfg.N), cfg.Seed+1)
 	ivs := make([]wegeom.Interval, len(givs))
@@ -176,10 +177,11 @@ func (s *Server) buildSharded(ctx context.Context, scheme shard.Scheme) error {
 // Delaunay DAG decodes onto the daemon's engine.
 func (s *Server) restoreSharded(ctx context.Context, path string, data []byte) error {
 	sh, global, rep, err := shard.LoadCheckpoint(ctx, bytes.NewReader(data), shard.Options{
-		Parallelism: s.cfg.Parallelism,
-		Omega:       s.cfg.Omega,
-		Alpha:       s.cfg.Alpha,
-		Seed:        s.cfg.Seed,
+		Parallelism:    s.cfg.Parallelism,
+		ExclusiveReads: s.cfg.ExclusiveReads,
+		Omega:          s.cfg.Omega,
+		Alpha:          s.cfg.Alpha,
+		Seed:           s.cfg.Seed,
 	}, s.eng)
 	s.observe(rep)
 	if err != nil {

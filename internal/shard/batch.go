@@ -18,7 +18,7 @@ func (e *Engine) StabBatch(ctx context.Context, qs []float64) (*wegeom.IntervalB
 	if e.iv.part == nil {
 		return nil, nil, errNotBuilt("interval tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.iv.part
 	var perShard [][]int32
@@ -54,7 +54,7 @@ func (e *Engine) StabCountBatch(ctx context.Context, qs []float64) ([]int64, *we
 	if e.iv.part == nil {
 		return nil, nil, errNotBuilt("interval tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.iv.part
 	var perShard [][]int32
@@ -99,7 +99,7 @@ func (e *Engine) Query3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) (*w
 	if e.pr.part == nil {
 		return nil, nil, errNotBuilt("priority search tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.pr.part
 	var perShard [][]int32
@@ -133,7 +133,7 @@ func (e *Engine) Count3SidedBatch(ctx context.Context, qs []wegeom.PSTQuery) ([]
 	if e.pr.part == nil {
 		return nil, nil, errNotBuilt("priority search tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.pr.part
 	var perShard [][]int32
@@ -173,7 +173,7 @@ func (e *Engine) RangeQueryBatch(ctx context.Context, qs []wegeom.RTQuery) (*weg
 	if e.rt.part == nil {
 		return nil, nil, errNotBuilt("range tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.rt.part
 	var perShard [][]int32
@@ -210,7 +210,7 @@ func (e *Engine) SumYBatch(ctx context.Context, qs []wegeom.RTQuery) ([]float64,
 	if e.rt.part == nil {
 		return nil, nil, errNotBuilt("range tree")
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.rt.part
 	var perShard [][]int32
@@ -264,7 +264,7 @@ func (e *Engine) KDRangeBatch(ctx context.Context, boxes []wegeom.KBox) (*wegeom
 	if err := e.kdCheckBoxes(boxes); err != nil {
 		return nil, nil, err
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.kd.part
 	var perShard [][]int32
@@ -301,7 +301,7 @@ func (e *Engine) KDRangeCountBatch(ctx context.Context, boxes []wegeom.KBox) ([]
 	if err := e.kdCheckBoxes(boxes); err != nil {
 		return nil, nil, err
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.kd.part
 	var perShard [][]int32

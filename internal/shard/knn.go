@@ -32,7 +32,7 @@ func (e *Engine) KNNBatch(ctx context.Context, qs []wegeom.KPoint, k int) (*wege
 			return nil, nil, fmt.Errorf("shard: knn query %d has %d dims, want %d", i, len(qs[i]), e.kd.dims)
 		}
 	}
-	defer e.begin()()
+	defer e.beginRead()()
 	start := time.Now()
 	part := e.kd.part
 	n := len(qs)

@@ -40,13 +40,16 @@ type Options struct {
 	Shards int
 	// Scheme picks how the build-time Partition splits space.
 	Scheme Scheme
-	// Parallelism, when > 0, pins the process worker pool for the
-	// duration of every sharded run. The N concurrent per-shard epochs
-	// share that pool, so each shard's effective budget is ⌈Parallelism/N⌉
-	// workers on average; per-shard engines deliberately do not pin the
-	// pool themselves — that would serialize the shard epochs on the
-	// pool's configuration lock.
+	// Parallelism, when > 0, forwards to every per-shard engine
+	// (wegeom.WithParallelism): each shard's runs open their own
+	// fork-join scope of that many workers, so the N concurrent shard
+	// epochs are independently sized rather than competing for one
+	// process-global pool.
 	Parallelism int
+	// ExclusiveReads forwards wegeom.WithExclusiveReads to every
+	// per-shard engine, serializing read batches per shard (the
+	// pre-shared-mode behaviour) — mainly for A/B benchmarks.
+	ExclusiveReads bool
 	// Omega, Alpha, Seed forward to every per-shard engine (0 = module
 	// default).
 	Omega int64
@@ -56,10 +59,12 @@ type Options struct {
 
 // Engine fans the wegeom batch API out across Options.Shards independent
 // engines. Methods mirror wegeom.Engine's batch surface and return the
-// same packed shapes; one Engine is safe for concurrent use (runs
-// serialize on an internal lock, like wegeom.Engine).
+// same packed shapes; one Engine is safe for concurrent use. Like
+// wegeom.Engine, read batches run shared — any number overlap, against the
+// same shard set — while builds, mixed batches and checkpoint restore take
+// the exclusive side of the router's RWMutex.
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	opts    Options
 	engines []*wegeom.Engine
 	router  *asymmem.Meter
@@ -94,6 +99,12 @@ func New(opts Options) *Engine {
 		opts.Scheme = Grid
 	}
 	var eopts []wegeom.Option
+	if opts.Parallelism > 0 {
+		eopts = append(eopts, wegeom.WithParallelism(opts.Parallelism))
+	}
+	if opts.ExclusiveReads {
+		eopts = append(eopts, wegeom.WithExclusiveReads(true))
+	}
 	if opts.Omega > 0 {
 		eopts = append(eopts, wegeom.WithOmega(opts.Omega))
 	}
@@ -122,8 +133,8 @@ func (e *Engine) Omega() int64 { return e.engines[0].Omega() }
 // PerShardTotals returns each shard engine's cumulative meter snapshot
 // plus the router's, for live attribution (the /metrics per-shard labels).
 func (e *Engine) PerShardTotals() ([]wegeom.Snapshot, wegeom.Snapshot) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	per := make([]wegeom.Snapshot, len(e.engines))
 	for s, eng := range e.engines {
 		per[s] = eng.Meter().Snapshot()
@@ -131,27 +142,36 @@ func (e *Engine) PerShardTotals() ([]wegeom.Snapshot, wegeom.Snapshot) {
 	return per, e.router.Snapshot()
 }
 
-// begin serializes runs and pins the worker pool when Options.Parallelism
-// asks for it. The returned func undoes both.
+// begin takes the exclusive side of the router lock: builds, mixed
+// batches and checkpoint restore swap tree sets and partitions, so
+// nothing may overlap them. The returned func releases it.
 func (e *Engine) begin() func() {
 	e.mu.Lock()
-	if e.opts.Parallelism > 0 {
-		prev := parallel.SetWorkers(e.opts.Parallelism)
-		return func() {
-			parallel.SetWorkers(prev)
-			e.mu.Unlock()
-		}
-	}
 	return e.mu.Unlock
 }
 
-// routed runs f sequentially on the router meter's worker 0 handle and
-// returns exactly what it charged. Routing is sequential by design: its
-// cost is a pure function of the batch regardless of the pool size.
+// beginRead takes the shared side: read batches only consult the
+// partition and the per-shard trees, so any number overlap — against the
+// same shard set — and each shard engine's own shared mode lets their
+// per-shard epochs overlap too.
+func (e *Engine) beginRead() func() {
+	e.mu.RLock()
+	return e.mu.RUnlock
+}
+
+// routed runs f sequentially against a fresh private meter and returns
+// exactly what it charged, folding the charges into the router meter
+// afterwards. Routing is sequential by design — its cost is a pure
+// function of the batch regardless of the pool size — and the private
+// meter keeps the returned route snapshot exact when read batches overlap
+// (a before/after delta on the shared router meter would count concurrent
+// routes too).
 func (e *Engine) routed(f func(wk asymmem.Worker)) wegeom.Snapshot {
-	before := e.router.Snapshot()
-	f(e.router.Worker(0))
-	return e.router.Snapshot().Sub(before)
+	m := asymmem.NewMeterShards(1)
+	f(m.Worker(0))
+	snap := m.Snapshot()
+	e.router.AddAt(0, snap)
+	return snap
 }
 
 // fanOut runs fn(s) for every shard concurrently and returns the

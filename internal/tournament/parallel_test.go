@@ -24,12 +24,12 @@ func dumpTree(t *Tree) string {
 	return b.String()
 }
 
-// buildAt builds under a worker pool of p and returns the tree and charged
-// totals.
+// buildAt builds with a p-sharded meter and returns the tree and charged
+// totals. The level sweeps run on the process-default scope (New takes a
+// meter, not a Config), so the p-indexed runs assert run-to-run
+// determinism of structure and charges under concurrent forked sweeps.
 func buildAt(t *testing.T, p int, prios []float64) (*Tree, asymmem.Snapshot) {
 	t.Helper()
-	prev := parallel.SetWorkers(p)
-	defer parallel.SetWorkers(prev)
 	m := asymmem.NewMeterShards(p)
 	tr := New(prios, m)
 	return tr, m.Snapshot()

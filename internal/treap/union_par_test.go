@@ -20,7 +20,6 @@ func TestUnionParMatchesUnion(t *testing.T) {
 		return tr
 	}
 	for _, p := range []int{1, 2, 8} {
-		prev := parallel.SetWorkers(p)
 		ms := asymmem.NewMeterShards(p)
 		a := fill(NewFloat64(ms), 0, 6000, 1)
 		b := fill(a.NewEmpty(), 3000, 9000, 2) // overlap: duplicates must collapse
@@ -32,10 +31,12 @@ func TestUnionParMatchesUnion(t *testing.T) {
 		mp := asymmem.NewMeterShards(p)
 		c := fill(NewFloat64(mp), 0, 6000, 1)
 		d := fill(c.NewEmpty(), 3000, 9000, 2)
-		before = mp.Snapshot()
-		c.UnionPar(d, 0, mp.Worker)
-		parCost := mp.Snapshot().Sub(before)
-		parallel.SetWorkers(prev)
+		var parCost asymmem.Snapshot
+		parallel.Scoped(p, func(root int) {
+			before = mp.Snapshot()
+			c.UnionPar(d, root, mp.Worker)
+			parCost = mp.Snapshot().Sub(before)
+		})
 
 		if err := c.CheckInvariants(); err != nil {
 			t.Fatalf("P=%d: %v", p, err)

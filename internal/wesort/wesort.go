@@ -55,6 +55,9 @@ type Tree struct {
 	// holding an uncommitted value is still up for grabs by priority-write.
 	committed []atomic.Int32
 	meter     *asymmem.Meter
+	// rootW is the scope root worker ID the build's parallel loops fork at
+	// (cfg.Root); zero — the process-default scope — outside BuildConfig.
+	rootW int
 }
 
 // Stats describes the cost profile of a build.
@@ -192,7 +195,7 @@ func (t *Tree) insertRoundBased(elems []int32, start []slot, maxRounds int, par 
 			parallel.PriorityWriteMinI32(t.slotAddr(s), e)
 		}
 		if par {
-			parallel.ForChunkedW(len(active), parallel.DefaultGrain, func(w, lo, hi int) {
+			parallel.ForChunkedAt(t.rootW, len(active), parallel.DefaultGrain, func(w, lo, hi int) {
 				hw := t.meter.Worker(w)
 				for i := lo; i < hi; i++ {
 					body(hw, i)
@@ -263,6 +266,7 @@ func WriteEfficient(keys []float64, m *asymmem.Meter, opts Options) (*Tree, Stat
 func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 	n := len(keys)
 	t := newTree(keys, cfg.Meter)
+	t.rootW = cfg.Root
 	var st Stats
 	if n == 0 {
 		return t, st, nil
@@ -322,7 +326,7 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 		cfg.Phase("sort/locate", func() {
 			slots := make([]slot, batch)
 			before := t.meter.Snapshot()
-			parallel.ForChunkedW(batch, parallel.DefaultGrain, func(w, lo, hi int) {
+			parallel.ForChunkedAt(cfg.Root, batch, parallel.DefaultGrain, func(w, lo, hi int) {
 				hw := t.meter.Worker(w)
 				for i := lo; i < hi; i++ {
 					slots[i] = t.descend(rootSlot, int32(rd.Start+i), hw)
@@ -342,7 +346,7 @@ func BuildConfig(keys []float64, cfg config.Config) (*Tree, Stats, error) {
 
 		// Step 3: insert per bucket, in parallel across buckets.
 		insertBuckets := func() {
-			parallel.ForGrainW(len(groups), 1, func(w, gi int) {
+			parallel.ForGrainAt(cfg.Root, len(groups), 1, func(w, gi int) {
 				hw := t.meter.Worker(w)
 				g := groups[gi]
 				s := slotFromKey(g.Key)

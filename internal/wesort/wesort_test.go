@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/asymmem"
+	"repro/internal/config"
 	"repro/internal/gen"
 	"repro/internal/parallel"
 )
@@ -180,9 +181,10 @@ func TestExpectedTreeHeightLogarithmic(t *testing.T) {
 func TestDeterminismAcrossParallelism(t *testing.T) {
 	keys := gen.UniformFloats(8000, 77)
 	a, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
-	old := parallel.SetWorkers(1) // fully sequential execution
-	b, _ := WriteEfficient(keys, nil, Options{CapRounds: true})
-	parallel.SetWorkers(old)
+	var b *Tree
+	parallel.Scoped(1, func(root int) { // fully sequential execution
+		b, _, _ = BuildConfig(keys, config.Config{CapRounds: true, Root: root})
+	})
 	if !a.Equal(b) {
 		t.Fatal("result depends on parallel schedule")
 	}

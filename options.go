@@ -42,13 +42,25 @@ func WithOmega(omega int64) Option {
 	return func(e *Engine) { e.cfg.Omega = omega }
 }
 
-// WithParallelism sizes the fork-join runtime's worker pool during this
-// Engine's runs: 0 keeps the runtime default (GOMAXPROCS workers), 1 forces
-// sequential execution, p > 1 runs a pool of p workers. The pool size is
-// installed for the duration of each method call; runs from engines that
-// pin a size serialize against each other.
+// WithParallelism sizes the private fork-join scope each of this Engine's
+// runs executes in: 0 keeps the runtime default (GOMAXPROCS workers), 1
+// forces the run's rooted parallel regions sequential, p > 1 opens a scope
+// of p workers per run. Scopes are immutable and per-run — there is no
+// process-global pool state — so engines with different parallelism run
+// concurrently without interfering, and counted costs are identical at
+// every setting.
 func WithParallelism(p int) Option {
 	return func(e *Engine) { e.cfg.Parallelism = p }
+}
+
+// WithExclusiveReads disables the shared (concurrent) execution mode for
+// read-only query batches, serializing every run behind the Engine's write
+// lock as pre-shared-mode versions did. Reports then regain their
+// Allocs/HeapDelta deltas for read batches. Intended for A/B benchmarking
+// and for callers that want strict one-at-a-time execution; results and
+// counted costs are identical either way.
+func WithExclusiveReads(enabled bool) Option {
+	return func(e *Engine) { e.exclusiveReads = enabled }
 }
 
 // WithSeed seeds the Engine's deterministic RNG (ShufflePoints and any

@@ -1,0 +1,247 @@
+package wegeom
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// This file is the shared (read) execution mode's equivalence suite: any
+// number of read-only batches overlapping on one Engine must be
+// indistinguishable — in packed results AND in counted costs — from running
+// the same batches one at a time, at any WithParallelism; and a writer
+// interleaved with overlapping readers must never expose a torn tree. Run
+// under -race in CI.
+
+func sharedTestTree(t *testing.T, eng *Engine, n int, seed uint64) *IntervalTree {
+	t.Helper()
+	givs := gen.UniformIntervals(n, 0.02, seed)
+	ivs := make([]Interval, len(givs))
+	for i, iv := range givs {
+		ivs[i] = Interval{Left: iv.Left, Right: iv.Right, ID: iv.ID}
+	}
+	it, _, err := eng.NewIntervalTree(context.Background(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+// TestSharedReadEquivalence overlaps G ∈ {2, 8, 32} concurrent StabBatch
+// runs per Engine at P ∈ {1, 2, 8} and asserts every run's packed results
+// and Report.Total are bit-identical to the same batch run serially, that
+// shared Reports carry no ReadMemStats deltas, and that the per-run costs
+// fold into the Engine's meter exactly (the meter delta across a wave
+// equals the sum of the serial totals).
+func TestSharedReadEquivalence(t *testing.T) {
+	ctx := context.Background()
+	n := 3000
+	if testing.Short() {
+		n = 1000
+	}
+	const nSets = 4
+	sets := make([][]float64, nSets)
+	for s := range sets {
+		sets[s] = gen.UniformFloats(120, 90+uint64(s))
+	}
+
+	for _, p := range []int{1, 2, 8} {
+		eng := NewEngine(WithParallelism(p))
+		it := sharedTestTree(t, eng, n, 89)
+
+		// Serial reference: one run at a time defines the expected packed
+		// layout and cost of each query set.
+		refItems := make([][]Interval, nSets)
+		refOff := make([][]int64, nSets)
+		refTotal := make([]Snapshot, nSets)
+		for s, qs := range sets {
+			out, rep, err := eng.StabBatch(ctx, it, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Shared {
+				t.Fatalf("P=%d: batch report not marked Shared", p)
+			}
+			if rep.Allocs != 0 || rep.HeapDelta != 0 {
+				t.Fatalf("P=%d: shared report carries ReadMemStats deltas: allocs=%d heapΔ=%d",
+					p, rep.Allocs, rep.HeapDelta)
+			}
+			refItems[s], refOff[s], refTotal[s] = out.Items, out.Off, rep.Total
+		}
+
+		for _, g := range []int{2, 8, 32} {
+			before := eng.Meter().Snapshot()
+			reps := make([]*Report, g)
+			outs := make([]*IntervalBatch, g)
+			var wg sync.WaitGroup
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					out, rep, err := eng.StabBatch(ctx, it, sets[i%nSets])
+					if err != nil {
+						t.Errorf("P=%d G=%d run %d: %v", p, g, i, err)
+						return
+					}
+					outs[i], reps[i] = out, rep
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.Fatalf("P=%d G=%d: overlapping runs failed", p, g)
+			}
+			var wantSum Snapshot
+			for i := 0; i < g; i++ {
+				s := i % nSets
+				if !reflect.DeepEqual(outs[i].Items, refItems[s]) || !reflect.DeepEqual(outs[i].Off, refOff[s]) {
+					t.Fatalf("P=%d G=%d run %d: packed results differ from serial run", p, g, i)
+				}
+				if reps[i].Total != refTotal[s] {
+					t.Fatalf("P=%d G=%d run %d: cost %v != serial %v", p, g, i, reps[i].Total, refTotal[s])
+				}
+				wantSum = wantSum.Add(refTotal[s])
+			}
+			if delta := eng.Meter().Snapshot().Sub(before); delta != wantSum {
+				t.Fatalf("P=%d G=%d: engine meter moved %v across the wave, want the serial sum %v",
+					p, g, delta, wantSum)
+			}
+		}
+	}
+}
+
+// TestSharedReadsWithInterleavedWriter overlaps looping readers with one
+// exclusive mixed-update run. Every reader must observe either the
+// pre-update tree or the post-update tree in full — packed results equal to
+// one reference or the other, never a mixture — and the final state must
+// match a serial replay of the update.
+func TestSharedReadsWithInterleavedWriter(t *testing.T) {
+	ctx := context.Background()
+	n := 2000
+	if testing.Short() {
+		n = 800
+	}
+	qs := gen.UniformFloats(100, 95)
+	ops := make([]IntervalOp, 0, 200)
+	for i, iv := range gen.UniformIntervals(200, 0.03, 96) {
+		ops = append(ops, InsertIntervalOp(Interval{Left: iv.Left, Right: iv.Right, ID: int32(1 << 20 * (i%2 + 1) * (i + 1))}))
+	}
+
+	// References from a private engine: the same tree before and after the
+	// same update, queried serially.
+	refEng := NewEngine(WithParallelism(2))
+	refTree := sharedTestTree(t, refEng, n, 94)
+	beforeRef, _, err := refEng.StabBatch(ctx, refTree, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := refEng.IntervalMixedBatch(ctx, refTree, ops); err != nil {
+		t.Fatal(err)
+	}
+	afterRef, _, err := refEng.StabBatch(ctx, refTree, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(beforeRef.Items, afterRef.Items) && reflect.DeepEqual(beforeRef.Off, afterRef.Off) {
+		t.Fatal("update did not change the query results; the test would be vacuous")
+	}
+
+	eng := NewEngine(WithParallelism(2))
+	it := sharedTestTree(t, eng, n, 94)
+
+	const readers = 8
+	const rounds = 6
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < rounds; k++ {
+				out, rep, err := eng.StabBatch(ctx, it, qs)
+				if err != nil {
+					t.Errorf("reader %d round %d: %v", r, k, err)
+					return
+				}
+				if !rep.Shared {
+					t.Errorf("reader %d round %d: not a shared run", r, k)
+					return
+				}
+				matchesBefore := reflect.DeepEqual(out.Items, beforeRef.Items) && reflect.DeepEqual(out.Off, beforeRef.Off)
+				matchesAfter := reflect.DeepEqual(out.Items, afterRef.Items) && reflect.DeepEqual(out.Off, afterRef.Off)
+				if !matchesBefore && !matchesAfter {
+					t.Errorf("reader %d round %d: observed a tree matching neither the pre- nor post-update reference", r, k)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if _, rep, err := eng.IntervalMixedBatch(ctx, it, ops); err != nil {
+			t.Errorf("writer: %v", err)
+		} else if rep.Shared {
+			t.Error("writer: mixed batch ran in shared mode")
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	final, _, err := eng.StabBatch(ctx, it, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.Items, afterRef.Items) || !reflect.DeepEqual(final.Off, afterRef.Off) {
+		t.Fatal("final tree differs from the serial replay of the update")
+	}
+}
+
+// TestExclusiveReadsFallback asserts WithExclusiveReads(true) restores the
+// serialize-everything behaviour — batches run exclusive (Shared=false, with
+// ReadMemStats deltas populated) and still produce the shared mode's exact
+// results and costs under concurrency.
+func TestExclusiveReadsFallback(t *testing.T) {
+	ctx := context.Background()
+	shared := NewEngine(WithParallelism(2))
+	excl := NewEngine(WithParallelism(2), WithExclusiveReads(true))
+	st := sharedTestTree(t, shared, 1200, 97)
+	et := sharedTestTree(t, excl, 1200, 97)
+	qs := gen.UniformFloats(150, 98)
+
+	refOut, refRep, err := shared.StabBatch(ctx, st, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, rep, err := excl.StabBatch(ctx, et, qs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rep.Shared {
+				t.Error("exclusive-reads engine produced a Shared report")
+				return
+			}
+			if rep.Total != refRep.Total {
+				t.Errorf("exclusive cost %v != shared cost %v", rep.Total, refRep.Total)
+			}
+			if !reflect.DeepEqual(out.Items, refOut.Items) || !reflect.DeepEqual(out.Off, refOut.Off) {
+				t.Error("exclusive results differ from shared results")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -68,6 +68,11 @@ type Report struct {
 	// construction runs.
 	Queries int
 	Results int64
+	// Shared reports that the run executed in the Engine's shared (read)
+	// mode — concurrently with other read batches, charging a private
+	// per-run meter (see the Engine doc). Counted costs are unaffected;
+	// Allocs/HeapDelta are zero for shared runs.
+	Shared bool
 	// Allocs and HeapDelta are runtime.ReadMemStats deltas across the run:
 	// cumulative heap objects allocated, and the change in live heap bytes
 	// (negative when a collection ran mid-run). They expose the gap between
@@ -76,6 +81,12 @@ type Report struct {
 	// slab buckets rather than one object per node, and steady-state batch
 	// queries allocate only their packed output. Per-phase deltas are on
 	// each PhaseCost.
+	//
+	// ReadMemStats deltas are process-global: under overlapping runs they
+	// would double-count every concurrent run's allocations. They are
+	// therefore reported only for exclusive runs and are always zero when
+	// Shared is true (use pprof on the serving daemon for allocation
+	// profiles under concurrency).
 	Allocs    uint64
 	HeapDelta int64
 }
@@ -149,7 +160,12 @@ func (r *Report) PhaseTotals() map[string]Snapshot {
 // for experiment logs.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d allocs=%d heapΔ=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers, r.Allocs, r.HeapDelta)
+	fmt.Fprintf(&b, "%s: %s work(ω=%d)=%d wall=%s workers=%d", r.Op, r.Total, r.Omega, r.Work(), r.Wall.Round(time.Microsecond), r.Workers)
+	if r.Shared {
+		b.WriteString(" shared")
+	} else {
+		fmt.Fprintf(&b, " allocs=%d heapΔ=%d", r.Allocs, r.HeapDelta)
+	}
 	if r.Queries > 0 {
 		fmt.Fprintf(&b, " queries=%d results=%d qps=%.0f", r.Queries, r.Results, r.QPS())
 	}
